@@ -1,0 +1,66 @@
+"""Shared driver for the Figure 10-13 benches (reference comparison).
+
+Each figure is the same experiment at one (distribution, accuracy) pair
+across the three machines; these helpers run it and hold the common
+assertions about the paper's shape.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ReferenceComparisonResult, fig10_13_reference_comparison
+
+MACHINES = ("intel", "amd", "sun")
+
+
+def run_panels(
+    distribution: str, target: float, max_level: int = 6, instances: int = 2
+) -> dict[str, ReferenceComparisonResult]:
+    return {
+        machine: fig10_13_reference_comparison(
+            max_level=max_level,
+            machine=machine,
+            distribution=distribution,
+            target=target,
+            instances=instances,
+        )
+        for machine in MACHINES
+    }
+
+
+def combined_text(panels: dict[str, ReferenceComparisonResult]) -> str:
+    return "\n\n".join(panels[m].format() for m in MACHINES)
+
+
+def assert_autotuned_improves(panels: dict[str, ReferenceComparisonResult]) -> None:
+    """Paper: 'On all three architectures, we see that the autotuned
+    algorithms provide an improvement over the reference algorithms'
+    (with near-ties at high accuracy and large size, section 4.2.2).
+
+    At our scaled-down sizes the tuned plans are open-loop (worst-case
+    trained iteration counts) while the references stop closed-loop per
+    instance, so a tuned plan may trail reference V by up to one cycle
+    (~15-25%) at mid sizes; the robust claims are the small-size shortcut
+    advantage and the win against reference full MG at the top size.
+    """
+    for machine, res in panels.items():
+        names = {s.name: s for s in res.series}
+        ref_v = names["Reference V"].values
+        ref_fmg = names["Reference Full MG"].values
+        best_auto = [
+            min(a, b)
+            for a, b in zip(
+                names["Autotuned V"].values, names["Autotuned Full MG"].values
+            )
+        ]
+        assert best_auto[-1] <= ref_fmg[-1] * 1.05, f"{machine}: loses to ref FMG"
+        for i in range(len(ref_v)):
+            assert best_auto[i] <= ref_v[i] * 1.25, f"{machine}: size idx {i}"
+
+
+def assert_small_sizes_use_shortcut(panels: dict[str, ReferenceComparisonResult]) -> None:
+    """'an especially marked difference for small problem sizes due to the
+    autotuned algorithms' use of the direct solve'."""
+    for machine, res in panels.items():
+        names = {s.name: s for s in res.series}
+        ratio = names["Autotuned V"].values[0] / names["Reference V"].values[0]
+        assert ratio < 0.9, f"{machine}: no small-size advantage ({ratio:.2f})"

@@ -1,0 +1,38 @@
+"""Section 4.3: the cross-architecture tuning penalty.
+
+Paper: the Niagara-trained full-MG cycle runs 29% slower on the Xeon
+than the natively trained one; the Xeon-trained cycle is 79% slower on
+the Niagara.  Shape to reproduce: both penalties non-negative, and the
+penalty on the weaker machine at least as large.
+"""
+
+import pytest
+
+from repro.bench.experiments import cross_architecture
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cross_architecture(max_level=6, machines=("intel", "sun"), target=1e5)
+
+
+def test_cross_arch_regenerate(benchmark, result, write_artifact):
+    benchmark.pedantic(
+        lambda: cross_architecture(max_level=4, machines=("intel", "sun")),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("cross_architecture", result.format())
+
+
+def test_two_directions_measured(result):
+    assert len(result.entries) == 2
+
+
+def test_foreign_tuning_never_wins(result):
+    for _trained, _run, pct in result.entries:
+        assert pct >= -0.5  # native tuning is optimal under its own prices
+
+
+def test_some_penalty_exists(result):
+    assert max(pct for *_rest, pct in result.entries) > 1.0

@@ -1,0 +1,77 @@
+"""Extension bench: dynamic input-adaptive dispatch (paper section 6).
+
+Runs a mixed unbiased/biased workload through the DynamicSolver and
+verifies (a) every instance is routed to the plan trained for its class,
+(b) every solve meets the accuracy target, and (c) dispatch adds no
+measurable op-count overhead over using the matching plan directly.
+"""
+
+import pytest
+
+from repro.accuracy.judge import AccuracyJudge
+from repro.accuracy.reference import ReferenceSolutionCache
+from repro.core import autotune
+from repro.machines.meter import OpMeter
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.tuner.dynamic import DynamicSolver
+from repro.workloads.distributions import make_problem
+
+MAX_LEVEL = 6
+TARGET = 1e5
+
+
+@pytest.fixture(scope="module")
+def solver():
+    plans = {
+        dist: autotune(max_level=MAX_LEVEL, machine="intel", distribution=dist)
+        for dist in ("unbiased", "biased")
+    }
+    return DynamicSolver(plans=plans)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [
+        make_problem(dist, 2**MAX_LEVEL + 1, seed=40 + i)
+        for i, dist in enumerate(
+            ("unbiased", "biased", "biased", "unbiased", "biased", "unbiased")
+        )
+    ]
+
+
+def test_dynamic_dispatch_regenerate(benchmark, solver, workload, write_artifact):
+    def run_stream():
+        return [solver.solve(p, TARGET)[1] for p in workload]
+
+    labels = benchmark.pedantic(run_stream, rounds=1, iterations=1)
+    lines = ["dynamic dispatch over a mixed workload (target 1e5):"]
+    for problem, label in zip(workload, labels):
+        lines.append(f"  true={problem.label:<9} routed-to={label}")
+    write_artifact("extension_dynamic_tuning", "\n".join(lines))
+
+
+def test_routing_is_perfect(solver, workload):
+    for problem in workload:
+        label, plan = solver.plan_for(problem)
+        assert label == problem.label
+        assert plan.metadata["distribution"] == problem.label
+
+
+def test_accuracy_contract_held(solver, workload):
+    cache = ReferenceSolutionCache()
+    for problem in workload:
+        judge = AccuracyJudge(problem.initial_guess(), cache.get(problem))
+        x, _ = solver.solve(problem, TARGET)
+        assert judge.accuracy_of(x) >= 0.5 * TARGET
+
+
+def test_no_dispatch_overhead_in_op_counts(solver, workload):
+    problem = workload[0]
+    meter = OpMeter()
+    _, label = solver.solve(problem, TARGET, meter)
+    plan = solver.plans[label]
+    expected = plan.unit_meter(MAX_LEVEL, plan.accuracy_index(TARGET))
+    assert meter == expected
+    assert INTEL_HARPERTOWN.price(meter) == pytest.approx(
+        INTEL_HARPERTOWN.price(expected)
+    )

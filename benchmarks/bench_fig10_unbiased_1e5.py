@@ -1,0 +1,39 @@
+"""Figure 10: relative time vs reference V, unbiased data, accuracy 10^5,
+on Intel / AMD / Sun profiles.  Paper speedups vs reference full MG at
+N = 2049: 1.2x (Intel), 1.1x (AMD), 1.8x (Sun)."""
+
+import pytest
+
+from benchmarks._refcomp import (
+    assert_autotuned_improves,
+    assert_small_sizes_use_shortcut,
+    combined_text,
+    run_panels,
+)
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return run_panels("unbiased", 1e5)
+
+
+def test_fig10_regenerate(benchmark, panels, write_artifact):
+    benchmark.pedantic(
+        lambda: run_panels("unbiased", 1e5, max_level=4, instances=1),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig10_unbiased_1e5", combined_text(panels))
+
+
+def test_autotuned_improves_everywhere(panels):
+    assert_autotuned_improves(panels)
+
+
+def test_small_size_shortcut(panels):
+    assert_small_sizes_use_shortcut(panels)
+
+
+def test_speedups_vs_reference_full_mg_positive(panels):
+    for res in panels.values():
+        assert res.speedup_at_top["Autotuned Full MG"] >= 0.95

@@ -1,0 +1,33 @@
+"""Figure 11: relative time vs reference V, biased data, accuracy 10^5.
+Paper speedups vs reference full MG at N = 2049: 2.9x / 2.5x / 1.8x."""
+
+import pytest
+
+from benchmarks._refcomp import (
+    assert_autotuned_improves,
+    assert_small_sizes_use_shortcut,
+    combined_text,
+    run_panels,
+)
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return run_panels("biased", 1e5)
+
+
+def test_fig11_regenerate(benchmark, panels, write_artifact):
+    benchmark.pedantic(
+        lambda: run_panels("biased", 1e5, max_level=4, instances=1),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig11_biased_1e5", combined_text(panels))
+
+
+def test_autotuned_improves_everywhere(panels):
+    assert_autotuned_improves(panels)
+
+
+def test_small_size_shortcut(panels):
+    assert_small_sizes_use_shortcut(panels)

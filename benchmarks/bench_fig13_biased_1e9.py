@@ -1,0 +1,41 @@
+"""Figure 13: relative time vs reference V, biased data, accuracy 10^9.
+Paper: Niagara keeps a 1.9x win vs reference full MG at N = 2049; the
+other machines essentially tie at large sizes."""
+
+import pytest
+
+from benchmarks._refcomp import combined_text, run_panels
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return run_panels("biased", 1e9)
+
+
+def test_fig13_regenerate(benchmark, panels, write_artifact):
+    benchmark.pedantic(
+        lambda: run_panels("biased", 1e9, max_level=4, instances=1),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig13_biased_1e9", combined_text(panels))
+
+
+def test_autotuned_never_loses_badly(panels):
+    for machine, res in panels.items():
+        names = {s.name: s for s in res.series}
+        for i in range(len(res.sizes)):
+            best_auto = min(
+                names["Autotuned V"].values[i],
+                names["Autotuned Full MG"].values[i],
+            )
+            best_ref = min(
+                names["Reference V"].values[i],
+                names["Reference Full MG"].values[i],
+            )
+            assert best_auto <= best_ref * 1.45, f"{machine} idx {i}"
+
+
+def test_artifact_includes_speedups(panels):
+    text = combined_text(panels)
+    assert "speedup vs reference full MG" in text

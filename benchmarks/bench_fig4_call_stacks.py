@@ -1,0 +1,38 @@
+"""Figure 4: call stacks of tuned MULTIGRID-V4 (unbiased and biased).
+
+Paper: Intel Xeon, N = 4097, ladder (10, 10^3, 10^5, 10^7, 10^9); the
+tuned V4 chains down through *different* accuracy variants per level.
+Scaled here to N = 129.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig4_call_stacks
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig4_call_stacks(max_level=7, machine="intel")
+
+
+def test_fig4_regenerate(benchmark, result, write_artifact):
+    benchmark.pedantic(
+        lambda: fig4_call_stacks(max_level=5, machine="intel"),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig4_call_stacks", result.format())
+
+
+def test_stacks_use_sub_accuracies(result):
+    # The tuned chain must actually recurse (not solve everything direct)
+    # at this size, and reference tuned sub-variants by accuracy.
+    for name, text in result.renders.items():
+        assert "MULTIGRID-V4" in text
+        assert "RECURSE" in text, f"{name} never recursed"
+
+
+def test_distributions_differ_or_document(result):
+    # Unbiased vs biased training may produce different stacks; record
+    # both artifacts either way (the paper's Fig 4a vs 4b differ).
+    assert len(result.renders) == 2

@@ -1,0 +1,51 @@
+"""Figure 5: tuned V and full-MG cycle shapes on the AMD profile.
+
+Paper: N = 2049 on AMD Barcelona, cycles for accuracies 10, 10^3, 10^5,
+10^7, trained on unbiased and biased data.  Scaled here to N = 65.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig5_cycle_shapes
+from repro.cycles.stats import CycleStats
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5_cycle_shapes(max_level=6, machine="amd", targets=(1e1, 1e3, 1e5, 1e7))
+
+
+def test_fig5_regenerate(benchmark, result, write_artifact):
+    benchmark.pedantic(
+        lambda: fig5_cycle_shapes(max_level=4, targets=(1e1, 1e3)),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig5_cycle_shapes", result.format())
+
+
+def test_all_sixteen_cycles_rendered(result):
+    # 2 distributions x 2 plan kinds x 4 accuracies.
+    assert len(result.renders) == 16
+
+
+def test_higher_accuracy_cycles_do_more_work(result):
+    # Within one distribution/kind, the accuracy-10^7 cycle must perform
+    # at least as many relaxations as the accuracy-10 cycle.
+    for dist in ("unbiased", "biased"):
+        for kind in ("V", "full-MG"):
+            lo = result.stats[f"{kind} cycle, {dist}, accuracy 10 (amd-barcelona)"]
+            hi = result.stats[f"{kind} cycle, {dist}, accuracy 1e+07 (amd-barcelona)"]
+            assert isinstance(lo, CycleStats) and isinstance(hi, CycleStats)
+            assert sum(hi.relaxations.values()) >= sum(lo.relaxations.values())
+
+
+def test_cycles_take_shortcuts(result):
+    # Tuned cycles bottom out in a direct or iterated-SOR shortcut above
+    # the 3x3 base case (the paper's key structural finding).
+    shortcut_found = False
+    for stats in result.stats.values():
+        assert isinstance(stats, CycleStats)
+        if (stats.direct_level or 1) > 1 or stats.sor_segments:
+            shortcut_found = True
+    assert shortcut_found

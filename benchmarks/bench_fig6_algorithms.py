@@ -1,0 +1,55 @@
+"""Figure 6: autotuned vs Direct / SOR / simple multigrid, accuracy 10^9.
+
+Paper: unbiased data, 8-core Intel, sizes to N = 16385.  Shape to
+reproduce: direct is fastest at small N (and the autotuned algorithm
+matches it by taking the shortcut), multigrid wins at large N with the
+autotuned algorithm competitive or better, SOR and direct blow up
+super-linearly.  Scaled here to N = 129.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig6_algorithm_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig6_algorithm_comparison(max_level=7, machine="intel", instances=2)
+
+
+def test_fig6_regenerate(benchmark, result, write_artifact):
+    benchmark.pedantic(
+        lambda: fig6_algorithm_comparison(max_level=5, instances=1),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig6_algorithms", result.format())
+
+
+def _series(result, name):
+    return next(s for s in result.series if s.name == name)
+
+
+def test_autotuned_matches_direct_at_small_sizes(result):
+    auto = _series(result, "Autotuned")
+    direct = _series(result, "Direct")
+    assert auto.values[0] == pytest.approx(direct.values[0], rel=0.01)
+
+
+def test_autotuned_wins_at_large_sizes(result):
+    auto = _series(result, "Autotuned")
+    for name in ("Direct", "SOR"):
+        assert auto.values[-1] < _series(result, name).values[-1]
+
+
+def test_multigrid_scales_best_among_basics(result):
+    mg = _series(result, "Multigrid")
+    sor = _series(result, "SOR")
+    direct = _series(result, "Direct")
+    growth = lambda s: s.values[-1] / s.values[2]
+    assert growth(mg) < growth(sor) < growth(direct)
+
+
+def test_everything_reached_target(result):
+    for name in ("SOR", "Multigrid", "Autotuned"):
+        assert all(a >= 0.5e9 for a in result.achieved[name])

@@ -1,0 +1,43 @@
+"""Figure 7: fixed heuristic strategies vs the autotuner (absolute times).
+
+Paper: biased data, accuracy 10^9, 8 cores; strategies 10^9 and
+10^x/10^9.  Shape to reproduce: the autotuner is never worse than any
+heuristic, and which heuristic is best depends on problem size.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig7_heuristics
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig7_heuristics(max_level=7, machine="intel", distribution="biased")
+
+
+def test_fig7_regenerate(benchmark, result, write_artifact):
+    benchmark.pedantic(
+        lambda: fig7_heuristics(max_level=5, min_level=3),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig7_heuristics", result.format())
+
+
+def test_autotuned_ties_or_beats_every_heuristic(result):
+    auto = result.series[-1]
+    assert auto.name == "Autotuned"
+    for s in result.series[:-1]:
+        for i in range(len(result.sizes)):
+            assert auto.values[i] <= s.values[i] * 1.0001
+
+
+def test_heuristic_gap_grows_with_size(result):
+    # Strategy 10^9's penalty relative to the autotuner must widen as the
+    # problem grows (Fig 8's rising curves).
+    strat109 = result.series[0]
+    auto = result.series[-1]
+    first_ratio = strat109.values[0] / auto.values[0]
+    last_ratio = strat109.values[-1] / auto.values[-1]
+    assert last_ratio >= first_ratio
+    assert last_ratio > 1.5

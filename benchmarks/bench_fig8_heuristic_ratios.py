@@ -1,0 +1,35 @@
+"""Figure 8: the same data as Figure 7 plotted as ratios vs the autotuner.
+
+Paper shape: all heuristics >= 1.0x, curves fan out with size, with the
+highest fixed accuracy (Strategy 10^9) worst at large N.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig7_heuristics
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig7_heuristics(max_level=7, machine="intel", distribution="biased")
+
+
+def test_fig8_regenerate(benchmark, result, write_artifact):
+    out = benchmark.pedantic(lambda: result.format_ratios(), rounds=1, iterations=1)
+    write_artifact("fig8_heuristic_ratios", out)
+    assert "Autotuned" in out
+
+
+def test_ratios_at_least_one(result):
+    auto = result.series[-1]
+    for s in result.series[:-1]:
+        for i in range(len(result.sizes)):
+            assert s.values[i] / auto.values[i] >= 0.999
+
+
+def test_strategy_ordering_at_largest_size(result):
+    # At the largest size, stricter per-level accuracy must cost more:
+    # 10^9 >= 10^7/10^9 >= ... >= 10^1/10^9 (paper Fig 8's top-to-bottom
+    # ordering at the right edge).
+    last = [s.values[-1] for s in result.series[:-1]]
+    assert all(a >= b * 0.999 for a, b in zip(last, last[1:]))

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the numerical substrates.
+
+Not a paper figure, but the foundation every experiment rests on: the
+wall-clock cost of each primitive kernel at representative sizes.  Useful
+for validating the host-calibrated cost model and spotting regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grids.poisson import residual
+from repro.grids.transfer import interpolate_bilinear, restrict_full_weighting
+from repro.linalg.blocktri import BlockTridiagonalCholesky
+from repro.linalg.direct import DirectSolver
+from repro.multigrid.cycles import vcycle
+from repro.relax.sor import sor_redblack
+from repro.workloads.distributions import make_problem
+
+
+@pytest.fixture(scope="module")
+def grids129():
+    problem = make_problem("unbiased", 129, seed=1)
+    return problem.initial_guess(), problem.b
+
+
+def test_sor_sweep_129(benchmark, grids129):
+    u, b = grids129
+    benchmark(sor_redblack, u, b, 1.15, 1)
+
+
+def test_residual_129(benchmark, grids129):
+    u, b = grids129
+    out = np.zeros_like(u)
+    benchmark(residual, u, b, out)
+
+
+def test_restrict_129(benchmark, grids129):
+    u, _ = grids129
+    benchmark(restrict_full_weighting, u)
+
+
+def test_interpolate_65_to_129(benchmark):
+    coarse = make_problem("unbiased", 65, seed=2).initial_guess()
+    benchmark(interpolate_bilinear, coarse)
+
+
+def test_direct_solve_33_block(benchmark):
+    problem = make_problem("unbiased", 33, seed=3)
+    solver = DirectSolver(backend="block", cache_factorization=False)
+    benchmark(lambda: solver.solve(problem.initial_guess(), problem.b))
+
+
+def test_direct_solve_33_lapack(benchmark):
+    problem = make_problem("unbiased", 33, seed=3)
+    solver = DirectSolver(backend="lapack", cache_factorization=False)
+    benchmark(lambda: solver.solve(problem.initial_guess(), problem.b))
+
+
+def test_direct_solve_33_cached_factor(benchmark):
+    problem = make_problem("unbiased", 33, seed=3)
+    solver = DirectSolver(backend="lapack", cache_factorization=True)
+    solver.solve(problem.initial_guess(), problem.b)  # warm the cache
+    benchmark(lambda: solver.solve(problem.initial_guess(), problem.b))
+
+
+def test_block_factorization_65(benchmark):
+    benchmark(BlockTridiagonalCholesky, 65)
+
+
+def test_vcycle_129(benchmark, grids129):
+    u, b = grids129
+    benchmark(vcycle, u, b)

@@ -1,0 +1,33 @@
+"""Table 1 (section 2): serial complexity of the three building blocks.
+
+Paper: Direct n^2, SOR n^1.5, Multigrid n (in n = N^2 grid cells).  The
+bench regenerates the table, fits the exponents, and records the artifact.
+"""
+
+import pytest
+
+from repro.bench.experiments import table1_complexity
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1_complexity(max_level=7)
+
+
+def test_table1_regenerate(benchmark, result, write_artifact):
+    out = benchmark.pedantic(
+        lambda: table1_complexity(max_level=6), rounds=1, iterations=1
+    )
+    write_artifact("table1_complexity", result.format())
+    assert out.fits
+
+
+def test_exponents_match_paper(result):
+    assert result.fits["Direct"].exponent == pytest.approx(2.0, abs=0.2)
+    assert result.fits["SOR"].exponent == pytest.approx(1.5, abs=0.2)
+    assert result.fits["Multigrid"].exponent == pytest.approx(1.0, abs=0.15)
+
+
+def test_fit_quality(result):
+    for fit in result.fits.values():
+        assert fit.r_squared > 0.98

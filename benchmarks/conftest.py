@@ -1,0 +1,30 @@
+"""Benchmark-suite fixtures: artifact output directory and helpers.
+
+Every figure/table bench writes the regenerated artifact (the text table
+or cycle diagram) to ``benchmarks/out/<name>.txt`` so a benchmark run
+leaves a diffable record; EXPERIMENTS.md is assembled from these.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(artifact_dir):
+    def _write(name: str, content: str) -> Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(content + "\n")
+        return path
+
+    return _write

@@ -1,0 +1,37 @@
+"""Tuned cycle shapes across accuracy targets and machines (Figures 5/14).
+
+Run:  python examples/cycle_shapes.py
+
+Renders the V-type and full-multigrid cycles the autotuner produces for
+the AMD Barcelona cost model at four accuracy targets, then compares the
+full-MG cycle across the three testbed architectures — the paper's
+evidence that optimal cycle shape is machine-dependent.
+"""
+
+from repro.bench import fig14_architectures, fig5_cycle_shapes
+from repro.cycles.stats import CycleStats
+
+MAX_LEVEL = 6
+
+
+def main() -> None:
+    print("=== Figure 5: tuned cycles on AMD Barcelona (unbiased & biased) ===\n")
+    res = fig5_cycle_shapes(max_level=MAX_LEVEL, machine="amd", targets=(1e1, 1e5))
+    print(res.format())
+
+    print("\n\n=== Figure 14: tuned full-MG cycles across architectures ===\n")
+    arch = fig14_architectures(max_level=MAX_LEVEL, target=1e5)
+    print(arch.format())
+
+    print("\nshape statistics (per machine):")
+    for name, stats in arch.stats.items():
+        assert isinstance(stats, CycleStats)
+        print(
+            f"  {name}: bottoms out at level {stats.bottom_level}, "
+            f"direct call at level {stats.direct_level}, "
+            f"relaxations per level {stats.relaxations}"
+        )
+
+
+if __name__ == "__main__":
+    main()

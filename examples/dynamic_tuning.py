@@ -1,0 +1,58 @@
+"""Dynamic tuning: input-adaptive plan dispatch (paper section 6).
+
+Run:  python examples/dynamic_tuning.py
+
+The paper's future-work section proposes algorithms that "classify inputs
+... into different distribution classes and then switch between tuned
+versions of itself."  This example tunes one plan per input family
+(unbiased / biased), builds a DynamicSolver that sniffs each incoming
+problem's distribution from its right-hand side, and runs a mixed stream
+of problems through it — every instance is routed to the plan trained for
+its class and still meets the accuracy target.
+"""
+
+from repro.accuracy import AccuracyJudge, reference_solution
+from repro.machines import INTEL_HARPERTOWN
+from repro.tuner import DynamicSolver
+from repro.core import autotune, poisson_problem
+
+MAX_LEVEL = 6
+TARGET = 1e5
+
+
+def main() -> None:
+    print("tuning one plan per input distribution...")
+    plans = {
+        dist: autotune(max_level=MAX_LEVEL, machine="intel", distribution=dist)
+        for dist in ("unbiased", "biased")
+    }
+    solver = DynamicSolver(plans=plans)
+    print(f"classes: {solver.classes}")
+
+    print("\nmixed workload through the dynamic solver:")
+    stream = [
+        ("unbiased", 21), ("biased", 22), ("biased", 23),
+        ("unbiased", 24), ("biased", 25), ("unbiased", 26),
+    ]
+    correct = 0
+    for dist, seed in stream:
+        problem = poisson_problem(dist, n=2**MAX_LEVEL + 1, seed=seed)
+        judge = AccuracyJudge(problem.initial_guess(), reference_solution(problem))
+        from repro.machines import OpMeter
+
+        meter = OpMeter()
+        x, label = solver.solve(problem, TARGET, meter)
+        achieved = judge.accuracy_of(x)
+        ok = label == dist
+        correct += ok
+        print(
+            f"  true={dist:<9} classified={label:<9} "
+            f"accuracy={achieved:9.2e} (target {TARGET:.0e}) "
+            f"simulated={INTEL_HARPERTOWN.price(meter):.2e}s "
+            f"{'OK' if ok else 'MISROUTED'}"
+        )
+    print(f"\nrouting accuracy: {correct}/{len(stream)}")
+
+
+if __name__ == "__main__":
+    main()

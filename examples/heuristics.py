@@ -1,0 +1,31 @@
+"""The autotuner vs fixed heuristic strategies (Figures 7 and 8).
+
+Run:  python examples/heuristics.py
+
+Trains the five fixed strategies (10^9 at every level; 10^x at lower
+levels for x = 1, 3, 5, 7) plus the full autotuner on biased data, then
+prints absolute times and ratios against the autotuned algorithm.  The
+paper's observation: the best heuristic changes with problem size, and the
+autotuner beats them all because it tunes accuracy per level.
+"""
+
+from repro.bench import fig7_heuristics
+
+MAX_LEVEL = 7
+
+
+def main() -> None:
+    result = fig7_heuristics(max_level=MAX_LEVEL, machine="intel", distribution="biased")
+    print("time to accuracy 1e9 (simulated seconds, Intel cost model):\n")
+    print(result.format())
+    print("\nratio vs autotuned (Figure 8; 1.0 = as fast as the autotuner):\n")
+    print(result.format_ratios())
+    # Which heuristic wins at each size?
+    print("\nbest heuristic per size:")
+    for i, size in enumerate(result.sizes):
+        best = min(result.series[:-1], key=lambda s: s.values[i])
+        print(f"  N={size}: {best.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: autotune a multigrid solver and solve a Poisson problem.
+
+Run:  python examples/quickstart.py
+
+What it does:
+1. builds training data from the paper's unbiased distribution,
+2. runs the accuracy-aware DP autotuner for the Intel testbed cost model,
+3. solves an unseen problem to three different accuracy targets,
+4. saves the tuned configuration file and loads it back (the PetaBricks
+   workflow: tune once, reuse the config).
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.accuracy import AccuracyJudge, reference_solution
+from repro.core import autotune, poisson_problem, solve
+from repro.machines import INTEL_HARPERTOWN
+from repro.tuner import load_plan, save_plan
+
+MAX_LEVEL = 6  # N = 65; raise for bigger runs
+
+
+def main() -> None:
+    print("tuning MULTIGRID-V_i for the Intel cost model (unbiased data)...")
+    plan = autotune(max_level=MAX_LEVEL, machine="intel", distribution="unbiased")
+    print(f"accuracy ladder: {plan.accuracies}")
+    for level in range(1, MAX_LEVEL + 1):
+        choices = [plan.choice(level, i).describe() for i in range(plan.num_accuracies)]
+        print(f"  level {level}: {choices}")
+
+    problem = poisson_problem("unbiased", n=2**MAX_LEVEL + 1, seed=123)
+    x_opt = reference_solution(problem)
+    judge = AccuracyJudge(problem.initial_guess(), x_opt)
+    print("\nsolving an unseen instance:")
+    for target in (1e1, 1e5, 1e9):
+        x, meter = solve(plan, problem, target)
+        simulated = INTEL_HARPERTOWN.price(meter)
+        print(
+            f"  target {target:>7.0e}: achieved {judge.accuracy_of(x):.2e}, "
+            f"simulated time {simulated:.2e}s"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "poisson.cfg.json"
+        save_plan(plan, path)
+        reloaded = load_plan(path)
+        assert reloaded.table == plan.table
+        print(f"\nconfiguration round-trips through {path.name} "
+              f"({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Iterations-to-accuracy estimation on training data.
+
+The autotuner "first computes the number of iterations needed for the SOR
+and RECURSE_j choices before determining which is the fastest option to
+attain accuracy p_i" (section 4.1).  This module runs a candidate step
+repeatedly on each training instance and reports how many applications are
+needed, aggregated across instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Literal, Sequence
+
+import numpy as np
+
+__all__ = ["InfeasibleCandidate", "iterations_to_accuracy"]
+
+Aggregate = Literal["max", "median", "mean"]
+
+StepFn = Callable[[np.ndarray, np.ndarray], None]
+
+
+class InfeasibleCandidate(Exception):
+    """A candidate could not reach the accuracy target within its budget."""
+
+    def __init__(self, message: str, iterations_tried: int) -> None:
+        super().__init__(message)
+        self.iterations_tried = iterations_tried
+
+
+def _aggregate(values: Sequence[int], how: Aggregate) -> int:
+    if how == "max":
+        return max(values)
+    if how == "median":
+        ordered = sorted(values)
+        return ordered[(len(ordered) - 1) // 2 + (len(ordered) % 2 == 0)]
+    if how == "mean":
+        return math.ceil(sum(values) / len(values))
+    raise ValueError(f"unknown aggregate {how!r}")
+
+
+def iterations_to_accuracy(
+    step: StepFn,
+    starts: Sequence[tuple[np.ndarray, np.ndarray]],
+    accuracy_fns: Sequence[Callable[[np.ndarray], float]],
+    target: float,
+    max_iters: int,
+    aggregate: Aggregate = "max",
+) -> int:
+    """Iterations of ``step`` needed to reach ``target`` on every instance.
+
+    ``starts`` holds (x, b) pairs; each ``x`` is mutated in place (callers
+    pass fresh copies).  ``accuracy_fns[i]`` judges instance i.  Aggregation
+    defaults to the worst case ("max") so a tuned plan meets its advertised
+    accuracy on all training instances — the property the DP composition
+    relies on.
+
+    Raises :class:`InfeasibleCandidate` if any instance fails to converge
+    within ``max_iters`` applications.
+    """
+    if len(starts) != len(accuracy_fns):
+        raise ValueError("starts and accuracy_fns must align")
+    if not starts:
+        raise ValueError("need at least one training instance")
+    if max_iters < 1:
+        raise ValueError("max_iters must be >= 1")
+    needed: list[int] = []
+    for (x, b), acc in zip(starts, accuracy_fns):
+        if acc(x) >= target:
+            needed.append(0)
+            continue
+        count = None
+        for it in range(1, max_iters + 1):
+            step(x, b)
+            if acc(x) >= target:
+                count = it
+                break
+        if count is None:
+            raise InfeasibleCandidate(
+                f"candidate did not reach accuracy {target:g} within "
+                f"{max_iters} iterations (n={x.shape[0]})",
+                iterations_tried=max_iters,
+            )
+        needed.append(count)
+    return _aggregate(needed, aggregate)

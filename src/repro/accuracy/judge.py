@@ -1,0 +1,57 @@
+"""The accuracy-level metric and a per-problem judge."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.grids.norms import error_norm
+
+__all__ = ["AccuracyJudge", "accuracy_ratio"]
+
+
+def accuracy_ratio(x_in: np.ndarray, x_out: np.ndarray, x_opt: np.ndarray) -> float:
+    """||x_in - x_opt|| / ||x_out - x_opt|| with edge cases pinned down.
+
+    * If the input error is zero the input was already optimal: any output
+      at least as good gets +inf, anything worse gets 0.0 (it *lost*
+      accuracy, the worst possible score).
+    * If only the output error is zero the algorithm is perfect: +inf.
+    """
+    e_in = error_norm(x_in, x_opt)
+    e_out = error_norm(x_out, x_opt)
+    if e_in == 0.0:
+        return math.inf if e_out == 0.0 else 0.0
+    if e_out == 0.0:
+        return math.inf
+    return e_in / e_out
+
+
+class AccuracyJudge:
+    """Accuracy evaluation anchored to one problem instance.
+
+    Holds the reference solution and the input error norm so repeated
+    evaluations during iteration counting cost one norm each.
+    """
+
+    __slots__ = ("x_opt", "input_error")
+
+    def __init__(self, x_in: np.ndarray, x_opt: np.ndarray) -> None:
+        if x_in.shape != x_opt.shape:
+            raise ValueError(f"shape mismatch: {x_in.shape} vs {x_opt.shape}")
+        self.x_opt = x_opt
+        self.input_error = error_norm(x_in, x_opt)
+
+    def accuracy_of(self, x: np.ndarray) -> float:
+        """Accuracy level of iterate ``x`` relative to the stored input."""
+        e_out = error_norm(x, self.x_opt)
+        if self.input_error == 0.0:
+            return math.inf if e_out == 0.0 else 0.0
+        if e_out == 0.0:
+            return math.inf
+        return self.input_error / e_out
+
+    def achieved(self, x: np.ndarray, target: float) -> bool:
+        """True if ``x`` meets accuracy level ``target``."""
+        return self.accuracy_of(x) >= target

@@ -1,0 +1,48 @@
+"""Scaling-exponent fits for the complexity table (section 2).
+
+The paper's table states serial complexities in n = N^2 grid cells:
+direct n^2, SOR n^1.5, multigrid n.  We recover empirical exponents by
+least-squares in log-log space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """time ~ coefficient * n**exponent."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return self.coefficient * n**self.exponent
+
+
+def fit_power_law(ns: Sequence[float], times: Sequence[float]) -> PowerLawFit:
+    """Fit time = c * n^e over the provided points (requires >= 2)."""
+    if len(ns) != len(times):
+        raise ValueError("ns and times must align")
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit")
+    if any(v <= 0 for v in ns) or any(v <= 0 for v in times):
+        raise ValueError("power-law fit needs positive data")
+    lx = np.log(np.asarray(ns, dtype=float))
+    ly = np.log(np.asarray(times, dtype=float))
+    a = np.vstack([np.ones_like(lx), lx]).T
+    (intercept, slope), res, *_ = np.linalg.lstsq(a, ly, rcond=None)
+    total = float(((ly - ly.mean()) ** 2).sum())
+    if total == 0.0:
+        r2 = 1.0
+    else:
+        residual = float(res[0]) if len(res) else float(((a @ [intercept, slope] - ly) ** 2).sum())
+        r2 = 1.0 - residual / total
+    return PowerLawFit(exponent=float(slope), coefficient=float(np.exp(intercept)), r_squared=r2)

@@ -1,0 +1,133 @@
+"""Command-line interface: ``repro-mg <experiment> [options]``.
+
+Runs any paper experiment or ablation and prints its table/diagram.  This
+is the operational entry point EXPERIMENTS.md is generated from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.bench import (
+    ablation_accuracy_ladder,
+    ablation_factor_caching,
+    ablation_pareto_vs_discrete,
+    ablation_smoother,
+    ablation_training_distribution,
+    cross_architecture,
+    fig10_13_reference_comparison,
+    fig14_architectures,
+    fig4_call_stacks,
+    fig5_cycle_shapes,
+    fig6_algorithm_comparison,
+    fig7_heuristics,
+    fig9_parallel_scaling,
+    table1_complexity,
+)
+
+__all__ = ["main"]
+
+
+def _fig7(args: argparse.Namespace) -> str:
+    res = fig7_heuristics(max_level=args.max_level, machine=args.machine, seed=args.seed)
+    return res.format() + "\n\nratios vs autotuned (Figure 8):\n" + res.format_ratios()
+
+
+def _fig10_13(args: argparse.Namespace) -> str:
+    parts = []
+    for machine in ("intel", "amd", "sun"):
+        for dist in ("unbiased", "biased"):
+            for target in (1e5, 1e9):
+                res = fig10_13_reference_comparison(
+                    max_level=args.max_level,
+                    machine=machine,
+                    distribution=dist,
+                    target=target,
+                    seed=args.seed,
+                )
+                parts.append(res.format())
+    return "\n\n".join(parts)
+
+
+_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": lambda a: table1_complexity(
+        max_level=a.max_level, machine=a.machine, seed=a.seed
+    ).format(),
+    "fig4": lambda a: fig4_call_stacks(
+        max_level=a.max_level, machine=a.machine, seed=a.seed
+    ).format(),
+    "fig5": lambda a: fig5_cycle_shapes(
+        max_level=min(a.max_level, 6), machine="amd", seed=a.seed
+    ).format(),
+    "fig6": lambda a: fig6_algorithm_comparison(
+        max_level=a.max_level, machine=a.machine, seed=a.seed
+    ).format(),
+    "fig7": _fig7,
+    "fig9": lambda a: fig9_parallel_scaling(
+        max_level=a.max_level, machine=a.machine, seed=a.seed
+    ).format(),
+    "fig10-13": _fig10_13,
+    "fig14": lambda a: fig14_architectures(
+        max_level=min(a.max_level, 6), seed=a.seed
+    ).format(),
+    "cross-arch": lambda a: cross_architecture(
+        max_level=min(a.max_level, 6), seed=a.seed
+    ).format(),
+    "ablation-ladder": lambda a: ablation_accuracy_ladder(
+        max_level=min(a.max_level, 6), seed=a.seed
+    ).format(),
+    "ablation-distribution": lambda a: ablation_training_distribution(
+        max_level=min(a.max_level, 6), seed=a.seed
+    ).format(),
+    "ablation-smoother": lambda a: ablation_smoother(seed=a.seed).format(),
+    "ablation-caching": lambda a: ablation_factor_caching(
+        max_level=min(a.max_level, 6), seed=a.seed
+    ).format(),
+    "ablation-pareto": lambda a: ablation_pareto_vs_discrete(seed=a.seed).format(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mg",
+        description="Reproduction experiments for 'Autotuning Multigrid with "
+        "PetaBricks' (SC'09)",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--max-level",
+        type=int,
+        default=7,
+        help="finest grid level (N = 2^level + 1); paper scale is 11-12",
+    )
+    parser.add_argument(
+        "--machine",
+        default="intel",
+        help="machine preset: intel | amd | sun | host",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = _EXPERIMENTS[name](args)
+        elapsed = time.perf_counter() - start
+        print(f"==== {name} (generated in {elapsed:.1f}s) ====")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

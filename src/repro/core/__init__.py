@@ -1,0 +1,22 @@
+"""High-level convenience API over the tuner.
+
+This is the entry point a downstream user reaches for first: build a
+problem, autotune a plan for a machine, solve to a target accuracy.  The
+full control surface lives in :mod:`repro.tuner`.
+"""
+
+from repro.core.api import (
+    autotune,
+    autotune_full_mg,
+    poisson_problem,
+    solve,
+    solve_reference,
+)
+
+__all__ = [
+    "autotune",
+    "autotune_full_mg",
+    "poisson_problem",
+    "solve",
+    "solve_reference",
+]

@@ -1,0 +1,129 @@
+"""One-call wrappers: autotune a plan, solve a problem, compare baselines."""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.accuracy.judge import AccuracyJudge
+from repro.accuracy.reference import reference_solution
+from repro.machines.meter import OpMeter
+from repro.machines.presets import get_preset
+from repro.machines.profile import MachineProfile
+from repro.multigrid.solver import ReferenceFullMGSolver, ReferenceVSolver, SORSolver
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.executor import PlanExecutor
+from repro.tuner.full_mg import FullMGTuner
+from repro.tuner.plan import DEFAULT_ACCURACIES, TunedFullMGPlan, TunedVPlan
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+from repro.util.validation import level_of_size
+from repro.workloads.distributions import make_problem
+from repro.workloads.problem import PoissonProblem
+
+__all__ = [
+    "autotune",
+    "autotune_full_mg",
+    "poisson_problem",
+    "solve",
+    "solve_reference",
+]
+
+
+def poisson_problem(
+    distribution: str = "unbiased", n: int = 33, seed: int | None = 0
+) -> PoissonProblem:
+    """A deterministic problem instance from a named distribution."""
+    return make_problem(distribution, n, seed)
+
+
+def autotune(
+    max_level: int = 6,
+    machine: str | MachineProfile = "intel",
+    distribution: str = "unbiased",
+    accuracies: tuple[float, ...] = DEFAULT_ACCURACIES,
+    instances: int = 3,
+    seed: int | None = 0,
+) -> TunedVPlan:
+    """Tune the MULTIGRID-V_i family for a machine and input distribution."""
+    profile = get_preset(machine) if isinstance(machine, str) else machine
+    training = TrainingData(distribution=distribution, instances=instances, seed=seed)
+    tuner = VCycleTuner(
+        max_level=max_level,
+        accuracies=accuracies,
+        training=training,
+        timing=CostModelTiming(profile),
+    )
+    return tuner.tune()
+
+
+def autotune_full_mg(
+    max_level: int = 6,
+    machine: str | MachineProfile = "intel",
+    distribution: str = "unbiased",
+    accuracies: tuple[float, ...] = DEFAULT_ACCURACIES,
+    instances: int = 3,
+    seed: int | None = 0,
+    vplan: TunedVPlan | None = None,
+) -> TunedFullMGPlan:
+    """Tune FULL-MULTIGRID_i (tuning the V family first if not supplied)."""
+    profile = get_preset(machine) if isinstance(machine, str) else machine
+    training = TrainingData(distribution=distribution, instances=instances, seed=seed)
+    if vplan is None:
+        vplan = VCycleTuner(
+            max_level=max_level,
+            accuracies=accuracies,
+            training=training,
+            timing=CostModelTiming(profile),
+        ).tune()
+    tuner = FullMGTuner(vplan=vplan, training=training, timing=CostModelTiming(profile))
+    return tuner.tune(max_level)
+
+
+def solve(
+    plan: TunedVPlan | TunedFullMGPlan,
+    problem: PoissonProblem,
+    target_accuracy: float,
+) -> tuple[np.ndarray, OpMeter]:
+    """Solve ``problem`` to ``target_accuracy`` with a tuned plan.
+
+    Returns the solution grid and the op meter of the run (price it with
+    any :class:`MachineProfile` for a simulated time).
+    """
+    level = problem.level
+    if level > plan.max_level:
+        raise ValueError(
+            f"plan tuned to level {plan.max_level}; problem is level {level}"
+        )
+    acc_index = plan.accuracy_index(target_accuracy)
+    x = problem.initial_guess()
+    meter = OpMeter()
+    executor = PlanExecutor()
+    if isinstance(plan, TunedFullMGPlan):
+        executor.run_full_mg(plan, x, problem.b, acc_index, meter)
+    else:
+        executor.run_v(plan, x, problem.b, acc_index, meter)
+    return x, meter
+
+
+def solve_reference(
+    problem: PoissonProblem,
+    target_accuracy: float,
+    method: Literal["v", "full-mg", "sor"] = "v",
+) -> tuple[np.ndarray, OpMeter, int]:
+    """Solve with one of the paper's reference algorithms.
+
+    Returns (solution, op meter, iteration count).
+    """
+    x_opt = reference_solution(problem)
+    x = problem.initial_guess()
+    judge = AccuracyJudge(x, x_opt)
+    meter = OpMeter()
+    solver = {
+        "v": ReferenceVSolver(),
+        "full-mg": ReferenceFullMGSolver(),
+        "sor": SORSolver(),
+    }[method]
+    iters = solver.solve(x, problem.b, judge.accuracy_of, target_accuracy, meter)
+    return x, meter, iters

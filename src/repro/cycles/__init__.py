@@ -1,0 +1,22 @@
+"""Cycle-shape extraction and rendering.
+
+The paper visualizes tuned algorithms as multigrid cycles (Figures 5 and
+14) and call stacks (Figure 4).  This package turns execution traces into
+those artifacts: a :class:`CycleShape` is the time-ordered sequence of
+level transitions and work events, rendered as ASCII diagrams using the
+paper's notation — dots for relaxations, solid arrows for direct solves,
+dashed arrows for iterated SOR.
+"""
+
+from repro.cycles.shape import CycleShape, extract_shape
+from repro.cycles.render import render_cycle, render_call_stack
+from repro.cycles.stats import CycleStats, cycle_stats
+
+__all__ = [
+    "CycleShape",
+    "CycleStats",
+    "cycle_stats",
+    "extract_shape",
+    "render_call_stack",
+    "render_cycle",
+]

@@ -1,0 +1,111 @@
+"""ASCII rendering of cycle shapes and call stacks.
+
+Paper notation (Figure 5 caption): the path moves left to right through
+time; down-slopes are restrictions, up-slopes interpolations; dots are
+single red-black SOR relaxations; solid horizontal arrows are direct
+solves; dashed horizontal arrows are iterated SOR solves.
+
+ASCII mapping: ``*`` relaxation, ``\\`` restriction, ``/`` interpolation,
+``==>`` direct solve, ``-N->`` iterated SOR (N sweeps).
+"""
+
+from __future__ import annotations
+
+from repro.cycles.shape import CycleShape
+from repro.tuner.choices import (
+    DirectChoice,
+    EstimateChoice,
+    RecurseChoice,
+    SORChoice,
+)
+from repro.util.validation import size_of_level
+
+__all__ = ["render_call_stack", "render_cycle"]
+
+_GLYPHS = {
+    "relax": ["*"],
+    "down": ["\\"],
+    "up": ["/"],
+}
+
+
+def render_cycle(shape: CycleShape, legend: bool = True) -> str:
+    """Multi-line ASCII diagram of a cycle shape.
+
+    Rows are recursion levels (finest on top, labelled with the grid size);
+    columns advance with time.
+    """
+    lo = shape.min_level
+    hi = shape.top_level
+    rows = {level: [] for level in range(lo, hi + 1)}
+
+    def pad_to(width: int) -> None:
+        for cells in rows.values():
+            cells.extend(" " * (width - len(cells)))
+
+    width = 0
+    for step in shape.steps:
+        if step.kind == "direct":
+            glyph = "==>"
+        elif step.kind == "sor":
+            glyph = f"-{step.count}->"
+        else:
+            glyph = _GLYPHS[step.kind][0]
+        pad_to(width)
+        for level, cells in rows.items():
+            cells.append(glyph if level == step.level else " " * len(glyph))
+        width += len(glyph)
+
+    lines = []
+    for level in range(hi, lo - 1, -1):
+        label = f"level {level:>2} (N={size_of_level(level):>5}) |"
+        lines.append(label + "".join(rows[level]).rstrip())
+    if legend:
+        lines.append("")
+        lines.append(
+            "legend: * = SOR(1.15) relaxation, \\ = restrict, / = interpolate,"
+        )
+        lines.append("        ==> = direct solve, -N-> = N sweeps of SOR(w_opt)")
+    return "\n".join(lines)
+
+
+def render_call_stack(plan, level: int, acc_index: int, indent: int = 0) -> str:
+    """Figure-4-style call stack of a tuned plan entry.
+
+    Walks the plan table from (level, acc_index), printing which tuned
+    accuracy variant each recursive call invokes and with how many
+    iterations.
+    """
+    pad = "  " * indent
+    n = size_of_level(level)
+    choice = plan.choice(level, acc_index)
+    header = f"{pad}MULTIGRID-V{acc_index + 1} @ level {level} (N={n}): "
+    if hasattr(plan, "vplan"):
+        header = f"{pad}FULL-MG{acc_index + 1} @ level {level} (N={n}): "
+    if isinstance(choice, DirectChoice):
+        return header + "direct solve"
+    if isinstance(choice, SORChoice):
+        return header + f"SOR(w_opt) x {choice.iterations}"
+    if isinstance(choice, RecurseChoice):
+        body = header + (
+            f"RECURSE x {choice.iterations} -> coarse accuracy p{choice.sub_accuracy + 1}"
+        )
+        child = render_call_stack(plan, level - 1, choice.sub_accuracy, indent + 1)
+        return body + "\n" + child
+    if isinstance(choice, EstimateChoice):
+        body = header + f"ESTIMATE(p{choice.estimate_accuracy + 1})"
+        child = render_call_stack(plan, level - 1, choice.estimate_accuracy, indent + 1)
+        solver = choice.solver
+        if isinstance(solver, SORChoice):
+            tail = f"{pad}  then SOR(w_opt) x {solver.iterations}"
+        else:
+            tail = (
+                f"{pad}  then RECURSE x {solver.iterations} -> coarse accuracy "
+                f"p{solver.sub_accuracy + 1}"
+            )
+            vtail = render_call_stack(
+                plan.vplan, level - 1, solver.sub_accuracy, indent + 2
+            )
+            tail = tail + "\n" + vtail
+        return body + "\n" + child + "\n" + tail
+    raise TypeError(f"unknown choice {choice!r}")

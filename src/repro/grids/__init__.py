@@ -1,0 +1,58 @@
+"""Grid substrate: 2D vertex-centered grids, the discrete Poisson operator,
+inter-grid transfers, boundary handling, and norms.
+
+Grids are square ``float64`` arrays of shape (N, N) with N = 2**k + 1.  The
+outermost ring of cells holds Dirichlet boundary values; interior cells are
+unknowns.  The mesh spacing is h = 1/(N-1) and the operator is the standard
+5-point discretization of the negative Laplacian,
+
+    (A u)_ij = (4 u_ij - u_{i-1,j} - u_{i+1,j} - u_{i,j-1} - u_{i,j+1}) / h**2,
+
+which is symmetric positive definite on the interior unknowns — exactly the
+system the paper's three building blocks (band Cholesky, Red-Black SOR,
+multigrid) all solve.
+"""
+
+from repro.grids.grid import (
+    alloc_grid,
+    coarsen_size,
+    interior,
+    mesh_width,
+    refine_size,
+    zero_boundary,
+)
+from repro.grids.poisson import apply_poisson, residual, rhs_scale
+from repro.grids.transfer import (
+    interpolate_bilinear,
+    interpolate_correction,
+    restrict_full_weighting,
+    restrict_injection,
+)
+from repro.grids.boundary import (
+    apply_dirichlet,
+    boundary_ring,
+    set_boundary,
+)
+from repro.grids.norms import error_norm, interior_norm, residual_norm
+
+__all__ = [
+    "alloc_grid",
+    "apply_dirichlet",
+    "apply_poisson",
+    "boundary_ring",
+    "coarsen_size",
+    "error_norm",
+    "interior",
+    "interior_norm",
+    "interpolate_bilinear",
+    "interpolate_correction",
+    "mesh_width",
+    "refine_size",
+    "residual",
+    "residual_norm",
+    "restrict_full_weighting",
+    "restrict_injection",
+    "rhs_scale",
+    "set_boundary",
+    "zero_boundary",
+]

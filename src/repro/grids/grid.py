@@ -1,0 +1,58 @@
+"""Basic grid construction and view helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_grid_size, level_of_size
+
+__all__ = [
+    "alloc_grid",
+    "coarsen_size",
+    "interior",
+    "mesh_width",
+    "refine_size",
+    "zero_boundary",
+]
+
+
+def alloc_grid(n: int, fill: float = 0.0) -> np.ndarray:
+    """Allocate an (n, n) float64 grid filled with ``fill``."""
+    check_grid_size(n)
+    if fill == 0.0:
+        return np.zeros((n, n), dtype=np.float64)
+    return np.full((n, n), fill, dtype=np.float64)
+
+
+def mesh_width(n: int) -> float:
+    """Mesh spacing h = 1/(n-1) of the unit-square grid with n points/side."""
+    check_grid_size(n)
+    return 1.0 / (n - 1)
+
+
+def coarsen_size(n: int) -> int:
+    """Size of the next-coarser grid: 2**(k-1) + 1."""
+    k = level_of_size(n)
+    if k == 1:
+        raise ValueError("cannot coarsen the 3x3 base grid")
+    return (1 << (k - 1)) + 1
+
+
+def refine_size(n: int) -> int:
+    """Size of the next-finer grid: 2**(k+1) + 1."""
+    k = level_of_size(n)
+    return (1 << (k + 1)) + 1
+
+
+def interior(a: np.ndarray) -> np.ndarray:
+    """Writable view of the interior unknowns of ``a`` (no copy)."""
+    return a[1:-1, 1:-1]
+
+
+def zero_boundary(a: np.ndarray) -> np.ndarray:
+    """Zero the boundary ring of ``a`` in place and return ``a``."""
+    a[0, :] = 0.0
+    a[-1, :] = 0.0
+    a[:, 0] = 0.0
+    a[:, -1] = 0.0
+    return a

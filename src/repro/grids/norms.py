@@ -1,0 +1,32 @@
+"""Norms over grid interiors.
+
+The paper's accuracy metric is a ratio of error 2-norms, so any consistent
+norm works; we use the plain Euclidean norm over interior unknowns (boundary
+values are fixed data and identical between iterate and reference, so
+including them would only dilute the ratio).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["error_norm", "interior_norm", "residual_norm"]
+
+
+def interior_norm(a: np.ndarray) -> float:
+    """Euclidean norm of the interior unknowns of ``a``."""
+    inner = a[1:-1, 1:-1]
+    return float(np.sqrt(np.einsum("ij,ij->", inner, inner)))
+
+
+def error_norm(x: np.ndarray, x_opt: np.ndarray) -> float:
+    """||x - x_opt||_2 over interior points."""
+    if x.shape != x_opt.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {x_opt.shape}")
+    d = x[1:-1, 1:-1] - x_opt[1:-1, 1:-1]
+    return float(np.sqrt(np.einsum("ij,ij->", d, d)))
+
+
+def residual_norm(r: np.ndarray) -> float:
+    """Euclidean norm of a residual grid (alias of :func:`interior_norm`)."""
+    return interior_norm(r)

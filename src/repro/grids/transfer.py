@@ -1,0 +1,137 @@
+"""Inter-grid transfer operators: restriction and interpolation.
+
+Vertex-centered hierarchy: a fine grid of size N_f = 2**k + 1 maps onto a
+coarse grid of size N_c = 2**(k-1) + 1 with coincident points at even fine
+indices.  Restriction is full weighting (the transpose of bilinear
+interpolation up to a scale factor of 4 in 2D), interpolation is bilinear.
+These are the standard pairing for the 5-point Poisson operator and what the
+paper's RECURSE steps 5 and 7 perform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.grid import coarsen_size
+from repro.util.validation import check_square_grid, level_of_size
+
+__all__ = [
+    "interpolate_bilinear",
+    "interpolate_correction",
+    "restrict_full_weighting",
+    "restrict_injection",
+]
+
+
+def restrict_full_weighting(fine: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Full-weighting restriction of ``fine`` onto the next-coarser grid.
+
+    Interior coarse point (I, J) (fine point (2I, 2J)) receives
+
+        (4*c + 2*(n+s+w+e) + (nw+ne+sw+se)) / 16 .
+
+    The coarse boundary ring is set to zero: restriction is applied to
+    residuals, which vanish on the boundary.
+    """
+    check_square_grid(fine, "fine")
+    nc = coarsen_size(fine.shape[0])
+    if out is None:
+        out = np.zeros((nc, nc), dtype=fine.dtype)
+    else:
+        if out.shape != (nc, nc):
+            raise ValueError(f"out shape {out.shape} != ({nc}, {nc})")
+        out[0, :] = 0.0
+        out[-1, :] = 0.0
+        out[:, 0] = 0.0
+        out[:, -1] = 0.0
+    c = fine[2:-2:2, 2:-2:2]
+    n_ = fine[1:-3:2, 2:-2:2]
+    s_ = fine[3:-1:2, 2:-2:2]
+    w_ = fine[2:-2:2, 1:-3:2]
+    e_ = fine[2:-2:2, 3:-1:2]
+    nw = fine[1:-3:2, 1:-3:2]
+    ne = fine[1:-3:2, 3:-1:2]
+    sw = fine[3:-1:2, 1:-3:2]
+    se = fine[3:-1:2, 3:-1:2]
+    acc = out[1:-1, 1:-1]
+    # Edge neighbours (weight 2), accumulated first so they can be scaled once.
+    np.add(n_, s_, out=acc)
+    acc += w_
+    acc += e_
+    acc *= 2.0
+    acc += nw
+    acc += ne
+    acc += sw
+    acc += se
+    acc += 4.0 * c
+    acc *= 1.0 / 16.0
+    return out
+
+
+def restrict_injection(fine: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Injection restriction: coarse point takes the coincident fine value.
+
+    Used for transferring *solution/boundary* data (not residuals) in the
+    full-multigrid estimation phase, where boundary values must carry over.
+    """
+    check_square_grid(fine, "fine")
+    nc = coarsen_size(fine.shape[0])
+    if out is None:
+        out = np.empty((nc, nc), dtype=fine.dtype)
+    elif out.shape != (nc, nc):
+        raise ValueError(f"out shape {out.shape} != ({nc}, {nc})")
+    np.copyto(out, fine[::2, ::2])
+    return out
+
+
+def interpolate_bilinear(coarse: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Bilinear interpolation of ``coarse`` onto the next-finer grid.
+
+    Coincident fine points copy the coarse value; fine points midway along a
+    coarse edge average the two endpoints; fine cell centers average the four
+    surrounding coarse points.
+    """
+    k = check_square_grid(coarse, "coarse")
+    nf = (1 << (k + 1)) + 1
+    if out is None:
+        out = np.empty((nf, nf), dtype=coarse.dtype)
+    elif out.shape != (nf, nf):
+        raise ValueError(f"out shape {out.shape} != ({nf}, {nf})")
+    out[::2, ::2] = coarse
+    # Horizontal midpoints (even rows, odd columns).
+    np.add(coarse[:, :-1], coarse[:, 1:], out=out[::2, 1::2])
+    out[::2, 1::2] *= 0.5
+    # Vertical midpoints (odd rows, even columns).
+    np.add(coarse[:-1, :], coarse[1:, :], out=out[1::2, ::2])
+    out[1::2, ::2] *= 0.5
+    # Cell centers (odd rows, odd columns).
+    cc = out[1::2, 1::2]
+    np.add(coarse[:-1, :-1], coarse[:-1, 1:], out=cc)
+    cc += coarse[1:, :-1]
+    cc += coarse[1:, 1:]
+    cc *= 0.25
+    return out
+
+
+def interpolate_correction(u: np.ndarray, coarse_correction: np.ndarray) -> np.ndarray:
+    """Add the bilinear interpolation of ``coarse_correction`` to ``u`` in place.
+
+    This is step 7 of the paper's RECURSE: "Interpolate result and add
+    correction term to current solution."  Only the interior of ``u`` is
+    touched — corrections are zero on the Dirichlet boundary.
+    """
+    nf = u.shape[0]
+    nc = coarse_correction.shape[0]
+    if (nc - 1) * 2 + 1 != nf:
+        raise ValueError(f"correction size {nc} does not refine to {nf}")
+    level_of_size(nf)
+    c = coarse_correction
+    # Coincident interior points.
+    u[2:-2:2, 2:-2:2] += c[1:-1, 1:-1]
+    # Horizontal midpoints on even fine rows (interior rows only).
+    u[2:-2:2, 1:-1:2] += 0.5 * (c[1:-1, :-1] + c[1:-1, 1:])
+    # Vertical midpoints on even fine columns.
+    u[1:-1:2, 2:-2:2] += 0.5 * (c[:-1, 1:-1] + c[1:, 1:-1])
+    # Cell centers.
+    u[1:-1:2, 1:-1:2] += 0.25 * (c[:-1, :-1] + c[:-1, 1:] + c[1:, :-1] + c[1:, 1:])
+    return u

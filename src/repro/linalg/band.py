@@ -1,0 +1,108 @@
+"""Symmetric band storage and a reference scalar band Cholesky.
+
+Band storage follows the LAPACK lower convention: for a symmetric matrix A
+of order m with bandwidth w, ``ab[i, j] = A[j + i, j]`` for ``0 <= i <= w``
+and ``j + i < m``.  Row 0 is the main diagonal.
+
+The reference factorization here is written with explicit loops — it is the
+executable specification that the vectorized production solver
+(:mod:`repro.linalg.blocktri`) and the LAPACK backend are tested against on
+small systems.  Do not use it in hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.poisson import rhs_scale
+from repro.util.validation import check_grid_size
+
+__all__ = [
+    "bandwidth_of_grid",
+    "cholesky_banded_reference",
+    "poisson_band_matrix",
+    "solve_banded_reference",
+]
+
+
+def bandwidth_of_grid(n: int) -> int:
+    """Half-bandwidth of the Poisson matrix for an n x n grid: w = n - 2.
+
+    With natural row-major ordering of the (n-2)^2 interior unknowns, the
+    north/south couplings sit n-2 sub/super-diagonals away.
+    """
+    check_grid_size(n)
+    return n - 2
+
+
+def poisson_band_matrix(n: int) -> np.ndarray:
+    """Lower band storage of the SPD 5-point Poisson matrix for grid size n.
+
+    Returns ``ab`` of shape (w + 1, m) with m = (n-2)^2 unknowns and
+    w = n - 2.  Entries: 4/h^2 on the diagonal, -1/h^2 on the first
+    subdiagonal (except across grid-row boundaries) and on subdiagonal w.
+    """
+    w = bandwidth_of_grid(n)
+    m = w * w
+    inv_h2 = rhs_scale(n)
+    ab = np.zeros((w + 1, m), dtype=np.float64)
+    ab[0, :] = 4.0 * inv_h2
+    # West/east coupling: adjacent unknowns within a grid row.  The last
+    # unknown of each grid row has no east neighbour.
+    sub1 = np.full(m - 1, -inv_h2)
+    sub1[w - 1 :: w] = 0.0
+    ab[1, : m - 1] = sub1
+    # North/south coupling: unknowns one grid row apart.
+    if w >= 2:
+        ab[w, : m - w] = -inv_h2
+    return ab
+
+
+def cholesky_banded_reference(ab: np.ndarray) -> np.ndarray:
+    """Band Cholesky A = L L^T in lower band storage (scalar reference).
+
+    Input is not modified.  Raises :class:`np.linalg.LinAlgError` if a pivot
+    is not positive (matrix not SPD to working precision).
+    """
+    w = ab.shape[0] - 1
+    m = ab.shape[1]
+    lb = ab.copy()
+    for j in range(m):
+        pivot = lb[0, j]
+        if pivot <= 0.0:
+            raise np.linalg.LinAlgError(f"non-positive pivot at column {j}")
+        d = np.sqrt(pivot)
+        lb[0, j] = d
+        reach = min(w, m - 1 - j)
+        if reach == 0:
+            continue
+        lb[1 : reach + 1, j] /= d
+        v = lb[1 : reach + 1, j]
+        # Rank-1 update of the trailing triangle within the band.
+        for t in range(reach):
+            col = j + 1 + t
+            lb[0 : reach - t, col] -= v[t] * v[t:]
+    return lb
+
+
+def solve_banded_reference(lb: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve A x = rhs given the band Cholesky factor from
+    :func:`cholesky_banded_reference` (scalar reference implementation)."""
+    w = lb.shape[0] - 1
+    m = lb.shape[1]
+    if rhs.shape != (m,):
+        raise ValueError(f"rhs shape {rhs.shape} != ({m},)")
+    y = rhs.astype(np.float64, copy=True)
+    # Forward substitution: L y = rhs.
+    for j in range(m):
+        y[j] /= lb[0, j]
+        reach = min(w, m - 1 - j)
+        if reach:
+            y[j + 1 : j + 1 + reach] -= y[j] * lb[1 : reach + 1, j]
+    # Back substitution: L^T x = y.
+    for j in range(m - 1, -1, -1):
+        reach = min(w, m - 1 - j)
+        if reach:
+            y[j] -= lb[1 : reach + 1, j] @ y[j + 1 : j + 1 + reach]
+        y[j] /= lb[0, j]
+    return y

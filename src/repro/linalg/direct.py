@@ -1,0 +1,137 @@
+"""The direct solver facade used by the tuner and the reference algorithms.
+
+Solves the interior Poisson system exactly for a given grid (whose boundary
+ring carries Dirichlet data) and right-hand side.  Mirrors the role of
+LAPACK ``DPBSV`` in the paper: by default every call factors and solves
+(``cache_factorization=False``), exactly like DPBSV; caching the
+factorization per grid size is available as an extension and is exercised by
+an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+from scipy.linalg import cho_solve_banded, cholesky_banded
+
+from repro.grids.poisson import rhs_scale
+from repro.linalg.band import (
+    cholesky_banded_reference,
+    poisson_band_matrix,
+    solve_banded_reference,
+)
+from repro.linalg.blocktri import BlockTridiagonalCholesky
+from repro.util.validation import check_square_grid
+
+__all__ = ["DirectSolver", "build_interior_rhs", "scatter_interior"]
+
+Backend = Literal["block", "lapack", "reference"]
+
+
+def build_interior_rhs(x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Flat right-hand side over interior unknowns with boundary data folded in.
+
+    For an interior point adjacent to the boundary, the stencil term
+    -u_neighbor/h^2 is known data and moves to the right-hand side.
+    """
+    check_square_grid(x, "x")
+    n = x.shape[0]
+    inv_h2 = rhs_scale(n)
+    rhs = b[1:-1, 1:-1].astype(np.float64, copy=True)
+    rhs[0, :] += inv_h2 * x[0, 1:-1]
+    rhs[-1, :] += inv_h2 * x[-1, 1:-1]
+    rhs[:, 0] += inv_h2 * x[1:-1, 0]
+    rhs[:, -1] += inv_h2 * x[1:-1, -1]
+    return rhs.reshape(-1)
+
+
+def scatter_interior(x: np.ndarray, flat: np.ndarray) -> np.ndarray:
+    """Write the flat interior solution back into grid ``x`` in place."""
+    n = x.shape[0]
+    m = n - 2
+    if flat.shape != (m * m,):
+        raise ValueError(f"flat shape {flat.shape} != ({m * m},)")
+    x[1:-1, 1:-1] = flat.reshape(m, m)
+    return x
+
+
+class _LapackFactor:
+    """Banded Cholesky factor held in scipy/LAPACK lower band storage."""
+
+    def __init__(self, n: int) -> None:
+        ab = poisson_band_matrix(n)
+        self._cb = cholesky_banded(ab, lower=True)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return cho_solve_banded((self._cb, True), rhs)
+
+
+class _ReferenceFactor:
+    """Factor produced by the scalar-loop reference implementation."""
+
+    def __init__(self, n: int) -> None:
+        self._lb = cholesky_banded_reference(poisson_band_matrix(n))
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return solve_banded_reference(self._lb, rhs)
+
+
+_FACTORIES = {
+    "block": BlockTridiagonalCholesky,
+    "lapack": _LapackFactor,
+    "reference": _ReferenceFactor,
+}
+
+
+class DirectSolver:
+    """Exact interior solve of the discrete Poisson equation.
+
+    Parameters
+    ----------
+    backend:
+        ``"block"`` — our block-tridiagonal band Cholesky (default);
+        ``"lapack"`` — scipy's binding of the LAPACK routine the paper used;
+        ``"reference"`` — the scalar-loop specification (tiny grids only).
+    cache_factorization:
+        If True, keep one factorization per grid size and reuse it across
+        calls.  False (default) re-factors on every call, matching DPBSV's
+        cost profile assumed by the paper's cost comparisons.
+    """
+
+    def __init__(
+        self,
+        backend: Backend = "block",
+        cache_factorization: bool = False,
+    ) -> None:
+        if backend not in _FACTORIES:
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.cache_factorization = cache_factorization
+        self._cache: dict[int, object] = {}
+
+    def _factor(self, n: int):
+        if self.cache_factorization:
+            factor = self._cache.get(n)
+            if factor is None:
+                factor = _FACTORIES[self.backend](n)
+                self._cache[n] = factor
+            return factor
+        return _FACTORIES[self.backend](n)
+
+    def solve(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve A u = b with Dirichlet data from ``x``'s boundary, in place.
+
+        Overwrites the interior of ``x`` with the exact discrete solution
+        and returns ``x``.
+        """
+        check_square_grid(x, "x")
+        if b.shape != x.shape:
+            raise ValueError(f"b shape {b.shape} != x shape {x.shape}")
+        rhs = build_interior_rhs(x, b)
+        flat = self._factor(x.shape[0]).solve(rhs)
+        return scatter_interior(x, flat)
+
+    def solved_copy(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Like :meth:`solve` but leaves ``x`` untouched."""
+        return self.solve(x.copy(), b)

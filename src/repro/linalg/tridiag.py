@@ -1,0 +1,43 @@
+"""Thomas algorithm for SPD tridiagonal systems.
+
+Used for the 1-D analogue of the model problem in tests, and as the base
+case of block elimination experiments.  O(m) time, no pivoting (valid for
+the diagonally dominant SPD matrices that arise here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["thomas_solve"]
+
+
+def thomas_solve(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve the tridiagonal system with the given bands.
+
+    ``lower`` has length m-1 (subdiagonal), ``diag`` length m, ``upper``
+    length m-1 (superdiagonal).  Inputs are not modified.
+    """
+    m = diag.shape[0]
+    if lower.shape != (m - 1,) or upper.shape != (m - 1,) or rhs.shape != (m,):
+        raise ValueError("inconsistent band/rhs lengths")
+    c = np.empty(m - 1, dtype=np.float64)
+    d = np.empty(m, dtype=np.float64)
+    piv = diag[0]
+    if piv == 0.0:
+        raise np.linalg.LinAlgError("zero pivot in Thomas solve")
+    c[0] = upper[0] / piv
+    d[0] = rhs[0] / piv
+    for i in range(1, m):
+        piv = diag[i] - lower[i - 1] * c[i - 1]
+        if piv == 0.0:
+            raise np.linalg.LinAlgError(f"zero pivot at row {i}")
+        if i < m - 1:
+            c[i] = upper[i] / piv
+        d[i] = (rhs[i] - lower[i - 1] * d[i - 1]) / piv
+    x = d
+    for i in range(m - 2, -1, -1):
+        x[i] -= c[i] * x[i + 1]
+    return x

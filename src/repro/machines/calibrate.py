@@ -1,0 +1,116 @@
+"""Host-profile calibration from microbenchmarks.
+
+Measures the actual cost of the library's primitive kernels on the running
+machine at a few grid sizes and fits the two-parameter per-op model
+
+    time(n) = overhead + points(n) * per_point_cost
+
+used to build a :class:`~repro.machines.profile.MachineProfile` whose
+pricing tracks this host.  The fit feeds the ``host`` timing mode: tuning
+stays deterministic (prices, not noisy timings) while still reflecting the
+machine the experiments run on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.poisson import residual
+from repro.grids.transfer import interpolate_bilinear, restrict_full_weighting
+from repro.linalg.direct import DirectSolver
+from repro.machines.profile import MachineProfile, OpShape
+from repro.relax.sor import sor_redblack
+from repro.util.timing import median_time
+from repro.util.validation import size_of_level
+
+__all__ = ["calibrate_host_profile", "measure_op_times"]
+
+
+def measure_op_times(
+    levels: tuple[int, ...] = (4, 6, 8),
+    repeats: int = 3,
+) -> dict[str, list[tuple[int, float]]]:
+    """Median wall-clock seconds for each primitive op at each level."""
+    rng = np.random.default_rng(1234)
+    samples: dict[str, list[tuple[int, float]]] = {
+        "relax": [],
+        "residual": [],
+        "restrict": [],
+        "interpolate": [],
+        "direct": [],
+    }
+    direct = DirectSolver(backend="lapack", cache_factorization=False)
+    for level in levels:
+        n = size_of_level(level)
+        u = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        scratch = np.zeros_like(u)
+        coarse = rng.standard_normal(((n - 1) // 2 + 1, (n - 1) // 2 + 1))
+        samples["relax"].append((n, median_time(lambda: sor_redblack(u, b, 1.15, 1), repeats)))
+        samples["residual"].append(
+            (n, median_time(lambda: residual(u, b, out=scratch), repeats))
+        )
+        samples["restrict"].append(
+            (n, median_time(lambda: restrict_full_weighting(u), repeats))
+        )
+        samples["interpolate"].append(
+            (n, median_time(lambda: interpolate_bilinear(coarse), repeats))
+        )
+        if n <= 129:
+            samples["direct"].append(
+                (n, median_time(lambda: direct.solve(u.copy(), b), repeats=max(1, repeats - 1)))
+            )
+    return samples
+
+
+def _fit_linear(points: list[tuple[int, float]]) -> tuple[float, float]:
+    """Least-squares fit time = overhead + per_point * n^2 (clipped at >= 0)."""
+    xs = np.array([float(n) * float(n) for n, _ in points])
+    ys = np.array([t for _, t in points])
+    a = np.vstack([np.ones_like(xs), xs]).T
+    (overhead, per_point), *_ = np.linalg.lstsq(a, ys, rcond=None)
+    return max(float(overhead), 0.0), max(float(per_point), 1e-12)
+
+
+def calibrate_host_profile(
+    levels: tuple[int, ...] = (4, 6, 8),
+    repeats: int = 3,
+) -> MachineProfile:
+    """Build a single-thread profile whose op prices match this host.
+
+    The fitted per-op costs are encoded by giving every op a bytes-dominated
+    shape against a synthetic 1-byte/s-normalized bandwidth, so
+    ``stencil_time`` reproduces ``overhead + n^2 * per_point`` exactly for
+    in-cache and out-of-cache sizes alike.
+    """
+    samples = measure_op_times(levels, repeats)
+    fits = {op: _fit_linear(pts) for op, pts in samples.items() if op != "direct" and pts}
+    overhead = float(np.median([f[0] for f in fits.values()]))
+    shapes = {
+        op: OpShape(flops_per_point=0.0, bytes_per_point=per_point, barriers=1)
+        for op, (_, per_point) in fits.items()
+    }
+    shapes["norm"] = OpShape(0.0, fits["residual"][1] * 0.25)
+    shapes["copy"] = OpShape(0.0, fits["residual"][1] * 0.5)
+    # Dense rate from the measured direct solves: flops ~ (n-2)^4.
+    dense_rate = 1.0e9
+    if samples["direct"]:
+        rates = [((n - 2) ** 4 + 6.0 * (n - 2) ** 3) / t for n, t in samples["direct"] if t > 0]
+        if rates:
+            dense_rate = float(np.median(rates))
+    return MachineProfile(
+        name="host-calibrated",
+        cores=1,
+        flop_rate=dense_rate,
+        mem_bw=1.0,  # normalized: shapes carry seconds-per-point directly
+        single_thread_bw_frac=1.0,
+        cache_size=float("inf"),
+        cache_bw=1.0,
+        op_overhead=overhead,
+        sync_overhead=0.0,
+        dense_efficiency=1.0,
+        direct_overhead=0.0,
+        direct_includes_memory=False,
+        op_shapes=shapes,
+        description="profile fitted from microbenchmarks on the current host",
+    )

@@ -1,0 +1,97 @@
+"""Operation metering.
+
+Solvers record *what* they did (which primitive op, at which grid size, how
+many times) into an :class:`OpMeter`.  A :class:`~repro.machines.profile.
+MachineProfile` then prices the meter, yielding a deterministic simulated
+runtime for any target architecture.  This separation is what lets a single
+numerical tuning run be re-priced for Intel/AMD/Sun profiles: the numerics
+(and therefore iteration counts) are architecture-independent, while the
+cost landscape is not.
+
+This module is dependency-free so every solver layer can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+__all__ = ["NULL_METER", "OpMeter", "OPS"]
+
+#: Primitive operations the cost model understands.  ``n`` is always the
+#: fine-grid size the op touches.
+OPS = (
+    "relax",  # one red-black SOR (or Jacobi) sweep on an n x n grid
+    "residual",  # residual computation on an n x n grid
+    "restrict",  # full-weighting restriction from an n x n grid
+    "interpolate",  # bilinear interpolation + correction add onto n x n
+    "direct",  # band-Cholesky factor + solve at size n (DPBSV-style)
+    "direct_solve",  # banded triangular solves only (cached factorization)
+    "norm",  # interior norm on an n x n grid
+    "copy",  # grid copy / zero-fill at size n
+)
+
+
+class OpMeter:
+    """Multiset of (op, n) events with merge and pricing hooks."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Counter[tuple[str, int]] = Counter()
+
+    def charge(self, op: str, n: int, times: int = 1) -> None:
+        """Record ``times`` occurrences of ``op`` at grid size ``n``."""
+        if op not in OPS:
+            raise ValueError(f"unknown op {op!r}; known: {OPS}")
+        if times:
+            self.counts[(op, n)] += times
+
+    def merge(self, other: "OpMeter", times: int = 1) -> None:
+        """Fold ``times`` copies of ``other``'s counts into this meter."""
+        if times == 1:
+            self.counts.update(other.counts)
+        elif times > 1:
+            for key, cnt in other.counts.items():
+                self.counts[key] += cnt * times
+
+    def scaled(self, times: int) -> "OpMeter":
+        """A new meter holding ``times`` copies of these counts."""
+        out = OpMeter()
+        out.merge(self, times)
+        return out
+
+    def total(self, op: str) -> int:
+        """Total count of ``op`` across all sizes."""
+        return sum(cnt for (name, _), cnt in self.counts.items() if name == op)
+
+    def items(self) -> Iterator[tuple[tuple[str, int], int]]:
+        return iter(self.counts.items())
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpMeter):
+            return NotImplemented
+        return self.counts == other.counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{op}@{n}x{cnt}" for (op, n), cnt in sorted(self.counts.items()))
+        return f"OpMeter({body})"
+
+
+class _NullMeter(OpMeter):
+    """Meter that discards charges; the default when callers don't care."""
+
+    def charge(self, op: str, n: int, times: int = 1) -> None:  # noqa: D102
+        if op not in OPS:
+            raise ValueError(f"unknown op {op!r}; known: {OPS}")
+
+    def merge(self, other: OpMeter, times: int = 1) -> None:  # noqa: D102
+        pass
+
+
+#: Shared do-nothing meter instance.
+NULL_METER = _NullMeter()

@@ -1,0 +1,30 @@
+"""Reference multigrid algorithms — the paper's baselines.
+
+* :func:`vcycle` — MULTIGRID-V-SIMPLE from section 2.1: one pre-relaxation,
+  coarse-grid correction by recursion, one post-relaxation, direct solve at
+  the 3x3 base case.
+* :func:`wcycle` — the W-shaped variant (two coarse corrections per level).
+* :func:`full_multigrid_cycle` — the standard full multigrid cycle of
+  Figure 3 (estimation phase by recursion, then a V-cycle).
+* :class:`ReferenceVSolver` / :class:`ReferenceFullMGSolver` — the two
+  reference algorithms of section 4.2.2: iterate standard V cycles until an
+  accuracy target is reached, optionally preceded by one full-MG cycle.
+"""
+
+from repro.multigrid.cycles import full_multigrid_cycle, vcycle, wcycle
+from repro.multigrid.solver import (
+    IterationLimit,
+    ReferenceFullMGSolver,
+    ReferenceVSolver,
+    SORSolver,
+)
+
+__all__ = [
+    "IterationLimit",
+    "ReferenceFullMGSolver",
+    "ReferenceVSolver",
+    "SORSolver",
+    "full_multigrid_cycle",
+    "vcycle",
+    "wcycle",
+]

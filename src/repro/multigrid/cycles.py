@@ -1,0 +1,180 @@
+"""Standard multigrid cycles (the algorithmically static baselines).
+
+All cycles operate in correction form below the top level: the coarse
+problem is A_c e = r_c with zero boundary and zero initial guess, so
+transfers of corrections never touch Dirichlet data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.poisson import residual
+from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+from repro.linalg.direct import DirectSolver
+from repro.machines.meter import NULL_METER, OpMeter
+from repro.relax.sor import sor_redblack
+from repro.relax.weights import OMEGA_RECURSE
+from repro.util.validation import check_square_grid
+
+__all__ = ["full_multigrid_cycle", "vcycle", "wcycle"]
+
+_DEFAULT_DIRECT = DirectSolver(backend="block", cache_factorization=True)
+
+
+def _coarse_correction(
+    u: np.ndarray,
+    b: np.ndarray,
+    *,
+    recursions: int,
+    pre_sweeps: int,
+    post_sweeps: int,
+    omega: float,
+    base_size: int,
+    direct: DirectSolver,
+    meter: OpMeter,
+) -> None:
+    """Shared body of the V and W cycles (`recursions` = 1 or 2)."""
+    n = u.shape[0]
+    if n <= base_size:
+        direct.solve(u, b)
+        meter.charge("direct", n)
+        return
+    if pre_sweeps:
+        sor_redblack(u, b, omega, pre_sweeps)
+        meter.charge("relax", n, pre_sweeps)
+    r = residual(u, b)
+    meter.charge("residual", n)
+    rc = restrict_full_weighting(r)
+    meter.charge("restrict", n)
+    ec = np.zeros_like(rc)
+    for _ in range(recursions):
+        _coarse_correction(
+            ec,
+            rc,
+            recursions=recursions,
+            pre_sweeps=pre_sweeps,
+            post_sweeps=post_sweeps,
+            omega=omega,
+            base_size=base_size,
+            direct=direct,
+            meter=meter,
+        )
+    interpolate_correction(u, ec)
+    meter.charge("interpolate", n)
+    if post_sweeps:
+        sor_redblack(u, b, omega, post_sweeps)
+        meter.charge("relax", n, post_sweeps)
+
+
+def vcycle(
+    u: np.ndarray,
+    b: np.ndarray,
+    *,
+    pre_sweeps: int = 1,
+    post_sweeps: int = 1,
+    omega: float = OMEGA_RECURSE,
+    base_size: int = 3,
+    direct: DirectSolver | None = None,
+    meter: OpMeter = NULL_METER,
+) -> np.ndarray:
+    """One MULTIGRID-V-SIMPLE cycle on ``u`` in place.
+
+    ``base_size`` is the grid size at which the recursion bottoms out into
+    the direct solver (the paper's simple variant uses 3; the heuristic
+    strategies of Figure 7 use larger cutoffs).
+    """
+    check_square_grid(u, "u")
+    _coarse_correction(
+        u,
+        b,
+        recursions=1,
+        pre_sweeps=pre_sweeps,
+        post_sweeps=post_sweeps,
+        omega=omega,
+        base_size=base_size,
+        direct=direct or _DEFAULT_DIRECT,
+        meter=meter,
+    )
+    return u
+
+
+def wcycle(
+    u: np.ndarray,
+    b: np.ndarray,
+    *,
+    pre_sweeps: int = 1,
+    post_sweeps: int = 1,
+    omega: float = OMEGA_RECURSE,
+    base_size: int = 3,
+    direct: DirectSolver | None = None,
+    meter: OpMeter = NULL_METER,
+) -> np.ndarray:
+    """One W cycle (two coarse-grid corrections per level) on ``u`` in place."""
+    check_square_grid(u, "u")
+    _coarse_correction(
+        u,
+        b,
+        recursions=2,
+        pre_sweeps=pre_sweeps,
+        post_sweeps=post_sweeps,
+        omega=omega,
+        base_size=base_size,
+        direct=direct or _DEFAULT_DIRECT,
+        meter=meter,
+    )
+    return u
+
+
+def full_multigrid_cycle(
+    u: np.ndarray,
+    b: np.ndarray,
+    *,
+    pre_sweeps: int = 1,
+    post_sweeps: int = 1,
+    omega: float = OMEGA_RECURSE,
+    base_size: int = 3,
+    direct: DirectSolver | None = None,
+    meter: OpMeter = NULL_METER,
+) -> np.ndarray:
+    """One standard full multigrid cycle (Figure 3) on ``u`` in place.
+
+    Estimation phase: restrict the residual equation and solve it with a
+    recursive full-MG call, then add the interpolated correction.  Solve
+    phase: one standard V cycle at this resolution.
+    """
+    check_square_grid(u, "u")
+    direct = direct or _DEFAULT_DIRECT
+    n = u.shape[0]
+    if n <= base_size:
+        direct.solve(u, b)
+        meter.charge("direct", n)
+        return u
+    r = residual(u, b)
+    meter.charge("residual", n)
+    rc = restrict_full_weighting(r)
+    meter.charge("restrict", n)
+    ec = np.zeros_like(rc)
+    full_multigrid_cycle(
+        ec,
+        rc,
+        pre_sweeps=pre_sweeps,
+        post_sweeps=post_sweeps,
+        omega=omega,
+        base_size=base_size,
+        direct=direct,
+        meter=meter,
+    )
+    interpolate_correction(u, ec)
+    meter.charge("interpolate", n)
+    vcycle(
+        u,
+        b,
+        pre_sweeps=pre_sweeps,
+        post_sweeps=post_sweeps,
+        omega=omega,
+        base_size=base_size,
+        direct=direct,
+        meter=meter,
+    )
+    return u

@@ -1,0 +1,161 @@
+"""Reference solvers that iterate until an accuracy target is met.
+
+These are the paper's comparison points: iterated SOR(omega_opt) and the
+"reference V" / "reference full MG" algorithms of section 4.2.2.  Each takes
+an ``accuracy_of`` callable — typically
+:meth:`repro.accuracy.AccuracyJudge.accuracy_of` — so the stopping rule is
+the same error-ratio metric the tuner optimizes for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.linalg.direct import DirectSolver
+from repro.machines.meter import NULL_METER, OpMeter
+from repro.multigrid.cycles import full_multigrid_cycle, vcycle
+from repro.relax.sor import sor_redblack
+from repro.relax.weights import OMEGA_RECURSE, omega_opt
+
+__all__ = [
+    "IterationLimit",
+    "ReferenceFullMGSolver",
+    "ReferenceVSolver",
+    "SORSolver",
+]
+
+AccuracyFn = Callable[[np.ndarray], float]
+
+
+class IterationLimit(RuntimeError):
+    """Raised when a reference solver exhausts its iteration budget."""
+
+
+@dataclass
+class _IterativeSolverBase:
+    """Common driver: apply `self._step` until accuracy_of(x) >= target."""
+
+    max_iters: int = 10_000
+
+    def solve(
+        self,
+        x: np.ndarray,
+        b: np.ndarray,
+        accuracy_of: AccuracyFn,
+        target: float,
+        meter: OpMeter = NULL_METER,
+    ) -> int:
+        """Iterate on ``x`` in place until the target accuracy; return the
+        iteration count."""
+        if accuracy_of(x) >= target:
+            return 0
+        for it in range(1, self.max_iters + 1):
+            self._step(x, b, meter)
+            if accuracy_of(x) >= target:
+                return it
+        raise IterationLimit(
+            f"{type(self).__name__} did not reach accuracy {target:g} in "
+            f"{self.max_iters} iterations (n={x.shape[0]})"
+        )
+
+    def _step(self, x: np.ndarray, b: np.ndarray, meter: OpMeter) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class SORSolver(_IterativeSolverBase):
+    """Iterated red-black SOR with the size-optimal weight (Figure 6's "SOR").
+
+    ``omega`` of None means: use omega_opt for the grid size at solve time.
+    """
+
+    omega: float | None = None
+
+    def _step(self, x: np.ndarray, b: np.ndarray, meter: OpMeter) -> None:
+        w = self.omega if self.omega is not None else omega_opt(x.shape[0])
+        sor_redblack(x, b, w, 1)
+        meter.charge("relax", x.shape[0])
+
+
+@dataclass
+class ReferenceVSolver(_IterativeSolverBase):
+    """Standard V cycles until the accuracy target is reached."""
+
+    pre_sweeps: int = 1
+    post_sweeps: int = 1
+    omega: float = OMEGA_RECURSE
+    base_size: int = 3
+    direct: DirectSolver | None = None
+
+    def _step(self, x: np.ndarray, b: np.ndarray, meter: OpMeter) -> None:
+        vcycle(
+            x,
+            b,
+            pre_sweeps=self.pre_sweeps,
+            post_sweeps=self.post_sweeps,
+            omega=self.omega,
+            base_size=self.base_size,
+            direct=self.direct,
+            meter=meter,
+        )
+
+
+@dataclass
+class ReferenceFullMGSolver(_IterativeSolverBase):
+    """One standard full-MG cycle, then V cycles until the target is reached.
+
+    This is the paper's "reference full multigrid algorithm": a full
+    multigrid cycle as in Figure 3, followed by standard V cycles.
+    """
+
+    pre_sweeps: int = 1
+    post_sweeps: int = 1
+    omega: float = OMEGA_RECURSE
+    base_size: int = 3
+    direct: DirectSolver | None = None
+
+    def solve(
+        self,
+        x: np.ndarray,
+        b: np.ndarray,
+        accuracy_of: AccuracyFn,
+        target: float,
+        meter: OpMeter = NULL_METER,
+    ) -> int:
+        if accuracy_of(x) >= target:
+            return 0
+        full_multigrid_cycle(
+            x,
+            b,
+            pre_sweeps=self.pre_sweeps,
+            post_sweeps=self.post_sweeps,
+            omega=self.omega,
+            base_size=self.base_size,
+            direct=self.direct,
+            meter=meter,
+        )
+        if accuracy_of(x) >= target:
+            return 1
+        for it in range(2, self.max_iters + 1):
+            self._step(x, b, meter)
+            if accuracy_of(x) >= target:
+                return it
+        raise IterationLimit(
+            f"reference full MG did not reach accuracy {target:g} in "
+            f"{self.max_iters} iterations (n={x.shape[0]})"
+        )
+
+    def _step(self, x: np.ndarray, b: np.ndarray, meter: OpMeter) -> None:
+        vcycle(
+            x,
+            b,
+            pre_sweeps=self.pre_sweeps,
+            post_sweeps=self.post_sweeps,
+            omega=self.omega,
+            base_size=self.base_size,
+            direct=self.direct,
+            meter=meter,
+        )

@@ -1,0 +1,57 @@
+"""Mini-PetaBricks: the language/compiler substrate (paper section 3).
+
+PetaBricks is an implicitly parallel language where algorithmic choice is a
+first-class construct: *transforms* (functions) contain *rules*
+(alternative ways to compute regions of the output), the compiler builds
+choice grids and a choice dependency graph, and an autotuner picks rules
+and parameters, persisting them in a configuration file.
+
+This package reproduces that machinery in Python:
+
+* :mod:`~repro.petabricks.language` — transforms, rules, tunables, and the
+  selector-based execution model ("multi-level algorithms": a rule per
+  input-size range).
+* :mod:`~repro.petabricks.regions` / :mod:`~repro.petabricks.choicegrid` —
+  applicable-region inference and rectilinear choice grids for 2-D data.
+* :mod:`~repro.petabricks.choicedep` — the choice dependency graph
+  (networkx), with schedule extraction.
+* :mod:`~repro.petabricks.autotuner` — the bottom-up genetic autotuner of
+  section 3.2.2: population seeded with single-algorithm configs, input
+  sizes doubling, new candidates by adding levels to the fastest members.
+* :mod:`~repro.petabricks.nary` — n-ary search for scalar tunables.
+* :mod:`~repro.petabricks.configfile` — flat configuration space with
+  dependency ordering and JSON persistence.
+
+The multigrid work uses the same concepts with a specialized DP tuner
+(:mod:`repro.tuner`); this package demonstrates the general framework on
+other transforms (see ``examples/petabricks_sort.py``).
+"""
+
+from repro.petabricks.language import (
+    Rule,
+    Transform,
+    TunableParam,
+)
+from repro.petabricks.configfile import Configuration, ConfigSpace
+from repro.petabricks.regions import Region, region_intersection
+from repro.petabricks.choicegrid import ChoiceGrid, build_choice_grid
+from repro.petabricks.choicedep import ChoiceDependencyGraph
+from repro.petabricks.autotuner import BottomUpTuner, Candidate, MultiLevelConfig
+from repro.petabricks.nary import nary_search
+
+__all__ = [
+    "BottomUpTuner",
+    "Candidate",
+    "ChoiceDependencyGraph",
+    "ChoiceGrid",
+    "Configuration",
+    "ConfigSpace",
+    "MultiLevelConfig",
+    "Region",
+    "Rule",
+    "Transform",
+    "TunableParam",
+    "build_choice_grid",
+    "nary_search",
+    "region_intersection",
+]

@@ -1,0 +1,100 @@
+"""The choice dependency graph (section 3.2.1).
+
+"Finally, a choice dependency graph is constructed and analyzed ...  Each
+edge is annotated with the set of choices that require that edge, a
+direction of the data dependency, and an offset between rule centers."
+The graph drives both code generation (schedule order) and the parallel
+scheduler (which regions may run concurrently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+__all__ = ["ChoiceDependencyGraph", "DependencyEdge"]
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """Annotation of one data dependency between symbolic regions."""
+
+    choices: frozenset[str]
+    direction: tuple[int, int]
+    offset: tuple[int, int] = (0, 0)
+
+
+class ChoiceDependencyGraph:
+    """Directed graph over symbolic regions with annotated edges."""
+
+    def __init__(self) -> None:
+        self._g = nx.MultiDiGraph()
+
+    def add_region(self, region: Hashable, **attrs) -> None:
+        self._g.add_node(region, **attrs)
+
+    def add_dependency(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        choices: Iterable[str],
+        direction: tuple[int, int] = (0, 0),
+        offset: tuple[int, int] = (0, 0),
+    ) -> None:
+        """``dst`` reads data produced at ``src`` under the given choices."""
+        for node in (src, dst):
+            if node not in self._g:
+                self._g.add_node(node)
+        self._g.add_edge(
+            src,
+            dst,
+            annotation=DependencyEdge(frozenset(choices), direction, offset),
+        )
+
+    def regions(self) -> list[Hashable]:
+        return list(self._g.nodes)
+
+    def edges(self) -> list[tuple[Hashable, Hashable, DependencyEdge]]:
+        return [(u, v, d["annotation"]) for u, v, d in self._g.edges(data=True)]
+
+    def restricted(self, active_choices: Iterable[str]) -> "ChoiceDependencyGraph":
+        """Subgraph keeping only edges required by the active choices."""
+        active = set(active_choices)
+        out = ChoiceDependencyGraph()
+        for node, attrs in self._g.nodes(data=True):
+            out.add_region(node, **attrs)
+        for u, v, d in self._g.edges(data=True):
+            ann: DependencyEdge = d["annotation"]
+            if ann.choices & active:
+                out._g.add_edge(u, v, annotation=ann)
+        return out
+
+    def schedule(self) -> list[Hashable]:
+        """Topological evaluation order of regions (raises on cycles).
+
+        Cycles mean the active choice set has circular data dependencies —
+        in PetaBricks those parameters are tuned together; for execution
+        they are an error.
+        """
+        plain = nx.DiGraph(self._g)
+        if not nx.is_directed_acyclic_graph(plain):
+            cycle = nx.find_cycle(plain)
+            raise ValueError(f"choice dependency cycle: {cycle}")
+        return list(nx.topological_sort(plain))
+
+    def parallel_stages(self) -> list[list[Hashable]]:
+        """Antichains of regions that may execute concurrently, in order."""
+        plain = nx.DiGraph(self._g)
+        if not nx.is_directed_acyclic_graph(plain):
+            raise ValueError("cannot stage a cyclic dependency graph")
+        depth: dict[Hashable, int] = {}
+        for node in nx.topological_sort(plain):
+            depth[node] = 1 + max(
+                (depth[p] for p in plain.predecessors(node)), default=-1
+            )
+        stages: dict[int, list[Hashable]] = {}
+        for node, d in depth.items():
+            stages.setdefault(d, []).append(node)
+        return [sorted(stages[d], key=repr) for d in sorted(stages)]

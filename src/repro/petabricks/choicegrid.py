@@ -1,0 +1,81 @@
+"""Choice grids: rectilinear partition of a matrix by available rule sets.
+
+"Next, the applicable regions are aggregated together into choice grids.
+The choice grid divides each matrix into rectilinear regions where uniform
+sets of rules may legally be applied." (section 3.2.1)
+
+Implementation: collect the distinct row and column boundaries of all
+applicable regions, form the induced rectilinear cells, and label each
+cell with the set of rules whose region covers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.petabricks.regions import Region
+
+__all__ = ["ChoiceGrid", "ChoiceGridCell", "build_choice_grid"]
+
+
+@dataclass(frozen=True)
+class ChoiceGridCell:
+    region: Region
+    rules: frozenset[str]
+
+
+@dataclass(frozen=True)
+class ChoiceGrid:
+    """All cells covering the output region."""
+
+    output: Region
+    cells: tuple[ChoiceGridCell, ...]
+
+    def cell_at(self, row: int, col: int) -> ChoiceGridCell:
+        for cell in self.cells:
+            if cell.region.contains(row, col):
+                return cell
+        raise KeyError(f"({row}, {col}) outside the output region")
+
+    def uncovered_cells(self) -> list[ChoiceGridCell]:
+        """Cells no rule can compute — compile errors in PetaBricks."""
+        return [c for c in self.cells if not c.rules]
+
+
+def build_choice_grid(
+    output: Region, applicable: Mapping[str, Region | Sequence[Region]]
+) -> ChoiceGrid:
+    """Build the choice grid for ``output`` given per-rule applicable regions."""
+    row_cuts = {output.row_lo, output.row_hi}
+    col_cuts = {output.col_lo, output.col_hi}
+    normalized: dict[str, list[Region]] = {}
+    for rule, regions in applicable.items():
+        if isinstance(regions, Region):
+            regions = [regions]
+        regs = [r for r in regions if not r.empty]
+        normalized[rule] = regs
+        for r in regs:
+            row_cuts.update((r.row_lo, r.row_hi))
+            col_cuts.update((r.col_lo, r.col_hi))
+    rows = sorted(c for c in row_cuts if output.row_lo <= c <= output.row_hi)
+    cols = sorted(c for c in col_cuts if output.col_lo <= c <= output.col_hi)
+    cells: list[ChoiceGridCell] = []
+    for r_lo, r_hi in zip(rows[:-1], rows[1:]):
+        for c_lo, c_hi in zip(cols[:-1], cols[1:]):
+            cell_region = Region(r_lo, r_hi, c_lo, c_hi)
+            if cell_region.empty:
+                continue
+            covering = frozenset(
+                rule
+                for rule, regs in normalized.items()
+                if any(
+                    reg.row_lo <= r_lo
+                    and reg.row_hi >= r_hi
+                    and reg.col_lo <= c_lo
+                    and reg.col_hi >= c_hi
+                    for reg in regs
+                )
+            )
+            cells.append(ChoiceGridCell(cell_region, covering))
+    return ChoiceGrid(output=output, cells=tuple(cells))

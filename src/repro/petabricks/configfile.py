@@ -1,0 +1,102 @@
+"""Flat configuration space and configuration files.
+
+"All choices are represented in a flat configuration space.  Dependencies
+between these configurable parameters are exported to the autotuner so
+that the autotuner can choose a sensible order to tune different
+parameters." (section 3.2.2)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+__all__ = ["ConfigSpace", "Configuration"]
+
+
+class Configuration:
+    """A concrete assignment of configuration values (JSON-serializable)."""
+
+    def __init__(self, values: Mapping[str, Any] | None = None) -> None:
+        self._values: dict[str, Any] = dict(values or {})
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def set(self, key: str, value: Any) -> "Configuration":
+        self._values[key] = value
+        return self
+
+    def updated(self, **kwargs: Any) -> "Configuration":
+        """Copy with some keys replaced."""
+        merged = dict(self._values)
+        merged.update(kwargs)
+        return Configuration(merged)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Configuration({self._values})"
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self._values, indent=2, sort_keys=True, default=list))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Configuration":
+        raw = json.loads(Path(path).read_text())
+        # JSON turns level tuples into lists; normalize to tuples.
+        for key, value in raw.items():
+            if key.endswith(".levels") and isinstance(value, list):
+                raw[key] = [tuple(item) for item in value]
+        return cls(raw)
+
+
+class ConfigSpace:
+    """The set of tunable parameters and their tuning-order dependencies."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    def add_param(
+        self, name: str, depends_on: Iterable[str] = (), **attrs: Any
+    ) -> None:
+        if name in self._graph:
+            raise ValueError(f"duplicate parameter {name!r}")
+        self._graph.add_node(name, **attrs)
+        for dep in depends_on:
+            if dep not in self._graph:
+                raise ValueError(f"parameter {name!r} depends on unknown {dep!r}")
+            self._graph.add_edge(dep, name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def params(self) -> list[str]:
+        return list(self._graph.nodes)
+
+    def tuning_order(self) -> list[list[str]]:
+        """Groups of parameters in the order the autotuner should visit.
+
+        Parameters in the same group belong to a dependency cycle and are
+        "tuned in parallel, with progressively larger input sizes"
+        (section 3.2.2); acyclic parts come back as singleton groups,
+        leaves first.
+        """
+        condensed = nx.condensation(self._graph)
+        order = []
+        for scc_id in nx.topological_sort(condensed):
+            members = sorted(condensed.nodes[scc_id]["members"])
+            order.append(members)
+        return order

@@ -1,0 +1,104 @@
+"""Demonstration transforms for the mini-PetaBricks framework.
+
+The paper motivates algorithmic choice with the C++ STL sort (merge sort
+above a cutoff, insertion sort below — section 1); the sort transform here
+is that example, tunable by the bottom-up genetic autotuner.  The stencil
+transform exercises applicable-region inference and choice grids the way
+PetaBricks' matrix rules do.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.petabricks.choicegrid import ChoiceGrid, build_choice_grid
+from repro.petabricks.configfile import Configuration
+from repro.petabricks.language import Rule, Transform, TunableParam
+from repro.petabricks.regions import Region, applicable_region
+
+__all__ = ["make_sort_transform", "stencil_choice_grid"]
+
+
+def _insertion_sort(transform: Transform, data: list, config: Configuration) -> list:
+    out = list(data)
+    for i in range(1, len(out)):
+        key = out[i]
+        j = i - 1
+        while j >= 0 and out[j] > key:
+            out[j + 1] = out[j]
+            j -= 1
+        out[j + 1] = key
+    return out
+
+
+def _merge_sort(transform: Transform, data: list, config: Configuration) -> list:
+    if len(data) <= 1:
+        return list(data)
+    mid = len(data) // 2
+    left = transform.run(data[:mid], config)
+    right = transform.run(data[mid:], config)
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged
+
+
+def _quick_sort(transform: Transform, data: list, config: Configuration) -> list:
+    if len(data) <= 1:
+        return list(data)
+    pivot = data[len(data) // 2]
+    less = [x for x in data if x < pivot]
+    equal = [x for x in data if x == pivot]
+    greater = [x for x in data if x > pivot]
+    return transform.run(less, config) + equal + transform.run(greater, config)
+
+
+def _radix_sort(transform: Transform, data: list, config: Configuration) -> list:
+    """LSD radix sort for non-negative integers (numpy-backed)."""
+    if not data:
+        return []
+    arr = np.asarray(data)
+    if arr.dtype.kind not in "iu" or (arr < 0).any():
+        # Fall back to recursion on unsupported element types.
+        return _merge_sort(transform, data, config)
+    return np.sort(arr, kind="stable").tolist()
+
+
+def make_sort_transform() -> Transform:
+    """The paper's introductory example as a transform with four rules."""
+    rules = [
+        Rule(name="insertion_sort", body=_insertion_sort, granularity=1),
+        Rule(name="merge_sort", body=_merge_sort, granularity=2),
+        Rule(name="quick_sort", body=_quick_sort, granularity=2),
+        Rule(name="radix_sort", body=_radix_sort, granularity=1),
+    ]
+    tunables = [
+        TunableParam(name="sort.cutoff", default=16, minimum=1, maximum=4096),
+    ]
+    return Transform(name="sort", rules=rules, tunables=tunables, size_of=len)
+
+
+def stencil_choice_grid(n: int) -> ChoiceGrid:
+    """Choice grid of a 5-point stencil transform on an n x n output.
+
+    Two rules: the centered stencil (applicable one cell away from every
+    edge) and a copy-boundary rule (applicable everywhere).  The resulting
+    grid shows the compiler-detected corner cases: the interior cell offers
+    both rules, the edge cells only the copy rule.
+    """
+    output = Region(0, n, 0, n)
+    centered = applicable_region(output, [(-1, 0), (1, 0), (0, -1), (0, 1)])
+    return build_choice_grid(
+        output,
+        {"centered_stencil": centered, "copy_boundary": output},
+    )

@@ -1,0 +1,119 @@
+"""Transforms and rules: algorithmic choice as a first-class construct.
+
+A :class:`Transform` declares what is computed; each :class:`Rule` is one
+way to compute it.  Rules may recurse into the transform (divide and
+conquer), and the active :class:`~repro.petabricks.configfile.Configuration`
+decides which rule runs at which input size — producing exactly the
+"multi-level algorithms" the PetaBricks autotuner builds (e.g. merge sort
+above a cutoff, insertion sort below it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.petabricks.configfile import Configuration
+
+__all__ = ["Rule", "Transform", "TunableParam"]
+
+
+@dataclass(frozen=True)
+class TunableParam:
+    """A scalar knob exported to the autotuner (cutoffs, block sizes...)."""
+
+    name: str
+    default: int
+    minimum: int
+    maximum: int
+    #: names of params that should be tuned before this one (the paper's
+    #: "dependencies between configurable parameters")
+    depends_on: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.default <= self.maximum:
+            raise ValueError(
+                f"default {self.default} outside [{self.minimum}, {self.maximum}]"
+            )
+
+    def clamp(self, value: int) -> int:
+        return max(self.minimum, min(self.maximum, int(value)))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One way to make progress on a transform.
+
+    ``body(transform, input, config)`` computes and returns the output.
+    Recursive rules call ``transform.run(sub_input, config)``.
+    ``applicable`` can restrict the rule (e.g. a leaf rule only below some
+    size); ``granularity`` documents the work-division the rule implies.
+    """
+
+    name: str
+    body: Callable[["Transform", Any, Configuration], Any]
+    applicable: Callable[[Any], bool] = lambda _inp: True
+    granularity: int = 1
+
+    def can_apply(self, inp: Any) -> bool:
+        return self.applicable(inp)
+
+
+class Transform:
+    """A named computation with alternative rules and tunable parameters."""
+
+    def __init__(
+        self,
+        name: str,
+        rules: Sequence[Rule],
+        tunables: Sequence[TunableParam] = (),
+        size_of: Callable[[Any], int] = len,
+    ) -> None:
+        if not rules:
+            raise ValueError("a transform needs at least one rule")
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {name}: {names}")
+        self.name = name
+        self.rules = list(rules)
+        self.tunables = list(tunables)
+        self.size_of = size_of
+        self._rule_index = {r.name: r for r in rules}
+
+    def rule(self, name: str) -> Rule:
+        return self._rule_index[name]
+
+    def rule_names(self) -> list[str]:
+        return [r.name for r in self.rules]
+
+    # -- execution ---------------------------------------------------------
+
+    def select_rule(self, inp: Any, config: Configuration) -> Rule:
+        """Rule chosen by the configuration for this input size.
+
+        The configuration stores a *multi-level* selector: a sorted list of
+        (max_size, rule_name) levels under key ``"<transform>.levels"``;
+        the first level whose max_size covers the input wins.  Falls back
+        to the first applicable rule when unconfigured.
+        """
+        size = self.size_of(inp)
+        levels = config.get(f"{self.name}.levels", None)
+        if levels:
+            for max_size, rule_name in levels:
+                if size <= max_size:
+                    rule = self._rule_index[rule_name]
+                    if rule.can_apply(inp):
+                        return rule
+            rule = self._rule_index[levels[-1][1]]
+            if rule.can_apply(inp):
+                return rule
+        for rule in self.rules:
+            if rule.can_apply(inp):
+                return rule
+        raise RuntimeError(f"no applicable rule in transform {self.name} for {inp!r}")
+
+    def run(self, inp: Any, config: Configuration | None = None) -> Any:
+        """Execute the transform under a configuration."""
+        config = config if config is not None else Configuration()
+        rule = self.select_rule(inp, config)
+        return rule.body(self, inp, config)

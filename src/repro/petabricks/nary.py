@@ -1,0 +1,53 @@
+"""N-ary search over scalar tunables.
+
+"PetaBricks uses an n-ary search tuning algorithm to optimize additional
+parameters such as parallel-sequential cutoff points ... block sizes ...
+as well as user specified tunable parameters." (section 3.2.2)
+
+The search evaluates ``arity`` evenly spaced probes in the current range,
+narrows to the bracket around the best probe, and repeats until the range
+collapses.  For the unimodal cost surfaces cutoffs produce this converges
+to the minimum with O(arity * log(range)) evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["nary_search"]
+
+
+def nary_search(
+    objective: Callable[[int], float],
+    lo: int,
+    hi: int,
+    arity: int = 4,
+    max_rounds: int = 32,
+) -> tuple[int, float]:
+    """Minimize ``objective`` over integers in [lo, hi].
+
+    Returns (best_value, best_objective).  Each evaluation is memoized, so
+    repeated probes at bracket edges are free.
+    """
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    if arity < 2:
+        raise ValueError("arity must be >= 2")
+    cache: dict[int, float] = {}
+
+    def measure(x: int) -> float:
+        if x not in cache:
+            cache[x] = objective(x)
+        return cache[x]
+
+    for _ in range(max_rounds):
+        if hi - lo <= arity:
+            break
+        span = hi - lo
+        probes = sorted({lo + (span * i) // (arity - 1) for i in range(arity)})
+        best = min(probes, key=measure)
+        idx = probes.index(best)
+        lo = probes[idx - 1] if idx > 0 else probes[0]
+        hi = probes[idx + 1] if idx < len(probes) - 1 else probes[-1]
+    best_value = min(range(lo, hi + 1), key=measure)
+    return best_value, cache[best_value]

@@ -1,0 +1,77 @@
+"""Matrix regions and applicable-region inference.
+
+The PetaBricks compiler's first phase computes, for every rule, the region
+of the output where the rule can legally apply (section 3.2.1).  Regions
+here are half-open 2-D rectangles over matrix indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Region", "applicable_region", "region_intersection"]
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """Half-open rectangle [row_lo, row_hi) x [col_lo, col_hi)."""
+
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+
+    def __post_init__(self) -> None:
+        if self.row_hi < self.row_lo or self.col_hi < self.col_lo:
+            raise ValueError(f"negative extent: {self}")
+
+    @property
+    def empty(self) -> bool:
+        return self.row_hi == self.row_lo or self.col_hi == self.col_lo
+
+    @property
+    def area(self) -> int:
+        return (self.row_hi - self.row_lo) * (self.col_hi - self.col_lo)
+
+    def contains(self, row: int, col: int) -> bool:
+        return self.row_lo <= row < self.row_hi and self.col_lo <= col < self.col_hi
+
+    def shrink(self, top: int, bottom: int, left: int, right: int) -> "Region":
+        """Region minus a margin on each side (clamped to empty)."""
+        row_lo = self.row_lo + top
+        row_hi = max(self.row_hi - bottom, row_lo)
+        col_lo = self.col_lo + left
+        col_hi = max(self.col_hi - right, col_lo)
+        return Region(row_lo, row_hi, col_lo, col_hi)
+
+
+def region_intersection(a: Region, b: Region) -> Region:
+    """Largest region inside both (possibly empty)."""
+    row_lo = max(a.row_lo, b.row_lo)
+    row_hi = max(min(a.row_hi, b.row_hi), row_lo)
+    col_lo = max(a.col_lo, b.col_lo)
+    col_hi = max(min(a.col_hi, b.col_hi), col_lo)
+    return Region(row_lo, row_hi, col_lo, col_hi)
+
+
+def applicable_region(
+    output: Region, stencil_offsets: Iterable[tuple[int, int]]
+) -> Region:
+    """Where a stencil rule with the given input offsets can legally apply.
+
+    A rule reading offset (dr, dc) cannot compute output cells within
+    |dr| of the vertical edge it points past (similarly for columns) —
+    the inference the PetaBricks compiler performs to find corner cases.
+    """
+    top = bottom = left = right = 0
+    for dr, dc in stencil_offsets:
+        if dr < 0:
+            top = max(top, -dr)
+        elif dr > 0:
+            bottom = max(bottom, dr)
+        if dc < 0:
+            left = max(left, -dc)
+        elif dc > 0:
+            right = max(right, dc)
+    return output.shrink(top, bottom, left, right)

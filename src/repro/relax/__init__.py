@@ -1,0 +1,36 @@
+"""Iterative smoothers: Red-Black SOR and weighted Jacobi.
+
+The paper's iterative building block is Red-Black Successive Over-Relaxation
+(it "performed better than weighted Jacobi ... for similar computation cost
+per iteration", section 2.3).  Two relaxation weights appear:
+
+* ``omega_opt(n)`` = 2 / (1 + sin(pi h)) — the optimal SOR weight for the 2D
+  model problem with fixed boundaries [Demmel 1997], used when SOR runs as a
+  standalone solver (MULTIGRID-V step 3).
+* ``OMEGA_RECURSE`` = 1.15 — the fixed weight the paper uses for the
+  pre/post relaxations inside RECURSE.
+
+Both a fully vectorized implementation and a scalar reference (for tests)
+are provided; weighted Jacobi exists as the paper's considered-and-rejected
+alternative and is exercised by an ablation benchmark.
+"""
+
+from repro.relax.weights import OMEGA_RECURSE, omega_opt
+from repro.relax.sor import (
+    sor_redblack,
+    sor_redblack_reference,
+    sor_sweeps,
+)
+from repro.relax.jacobi import jacobi_weighted, jacobi_sweeps
+from repro.relax.iterate import iterate_until_residual
+
+__all__ = [
+    "OMEGA_RECURSE",
+    "iterate_until_residual",
+    "jacobi_sweeps",
+    "jacobi_weighted",
+    "omega_opt",
+    "sor_redblack",
+    "sor_redblack_reference",
+    "sor_sweeps",
+]

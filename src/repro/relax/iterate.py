@@ -1,0 +1,37 @@
+"""Residual-driven iteration loops shared by the reference solvers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.grids.norms import residual_norm
+from repro.grids.poisson import residual
+
+__all__ = ["iterate_until_residual"]
+
+
+def iterate_until_residual(
+    step: Callable[[np.ndarray, np.ndarray], None],
+    u: np.ndarray,
+    b: np.ndarray,
+    target: float,
+    max_iters: int = 100_000,
+) -> int:
+    """Apply ``step(u, b)`` until ||b - A u|| <= target; return the count.
+
+    Raises :class:`RuntimeError` if ``max_iters`` is exhausted — reference
+    solvers are expected to converge on the SPD model problem, so hitting
+    the cap indicates a configuration error rather than slow progress.
+    """
+    if target < 0:
+        raise ValueError("target must be >= 0")
+    scratch = np.zeros_like(u)
+    for it in range(1, max_iters + 1):
+        step(u, b)
+        if residual_norm(residual(u, b, out=scratch)) <= target:
+            return it
+    raise RuntimeError(
+        f"iteration did not reach residual {target:g} within {max_iters} steps"
+    )

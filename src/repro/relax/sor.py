@@ -1,0 +1,92 @@
+"""Red-Black SOR sweeps, vectorized with slice arithmetic.
+
+A sweep updates all red points (i + j even over interior indices), then all
+black points.  Within a colour, every neighbour of an updated point has the
+other colour, so the whole colour updates as one vectorized expression while
+remaining a true Gauss-Seidel-style sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.grid import mesh_width
+from repro.util.validation import check_square_grid
+
+__all__ = ["sor_redblack", "sor_redblack_reference", "sor_sweeps"]
+
+
+def _color_slices(n: int, parity: int):
+    """Yield (rows, cols, north, south, west, east) index slices covering all
+    interior points with (i + j) % 2 == parity."""
+    for istart in (1, 2):
+        # Pick jstart in {1, 2} so that (istart + jstart) % 2 == parity.
+        jstart = 1 + ((istart + 1 + parity) % 2)
+        if istart > n - 2 or jstart > n - 2:
+            continue
+        rows = slice(istart, n - 1, 2)
+        cols = slice(jstart, n - 1, 2)
+        north = slice(istart - 1, n - 2, 2)
+        south = slice(istart + 1, n, 2)
+        west = slice(jstart - 1, n - 2, 2)
+        east = slice(jstart + 1, n, 2)
+        yield rows, cols, north, south, west, east
+
+
+def _sweep_color(u: np.ndarray, b: np.ndarray, h2: float, omega: float, parity: int) -> None:
+    n = u.shape[0]
+    quarter_omega = 0.25 * omega
+    for rows, cols, north, south, west, east in _color_slices(n, parity):
+        c = u[rows, cols]
+        stencil = u[north, cols] + u[south, cols]
+        stencil += u[rows, west]
+        stencil += u[rows, east]
+        stencil += h2 * b[rows, cols]
+        c *= 1.0 - omega
+        c += quarter_omega * stencil
+
+
+def sor_redblack(u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1) -> np.ndarray:
+    """Run ``sweeps`` red-black SOR sweeps on ``u`` in place and return it.
+
+    One sweep = red phase then black phase; each phase reads only values of
+    the opposite colour, so this matches the sequential red-black ordering
+    exactly regardless of vectorization.
+    """
+    check_square_grid(u, "u")
+    if b.shape != u.shape:
+        raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
+    if sweeps < 0:
+        raise ValueError("sweeps must be >= 0")
+    h = mesh_width(u.shape[0])
+    h2 = h * h
+    for _ in range(sweeps):
+        _sweep_color(u, b, h2, omega, parity=0)
+        _sweep_color(u, b, h2, omega, parity=1)
+    return u
+
+
+def sor_sweeps(u: np.ndarray, b: np.ndarray, omega: float, sweeps: int) -> np.ndarray:
+    """Alias of :func:`sor_redblack` with a mandatory sweep count."""
+    return sor_redblack(u, b, omega, sweeps)
+
+
+def sor_redblack_reference(
+    u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1
+) -> np.ndarray:
+    """Scalar-loop red-black SOR (executable specification for the tests)."""
+    check_square_grid(u, "u")
+    n = u.shape[0]
+    h = mesh_width(n)
+    h2 = h * h
+    for _ in range(sweeps):
+        for parity in (0, 1):
+            for i in range(1, n - 1):
+                for j in range(1, n - 1):
+                    if (i + j) % 2 != parity:
+                        continue
+                    gs = 0.25 * (
+                        u[i - 1, j] + u[i + 1, j] + u[i, j - 1] + u[i, j + 1] + h2 * b[i, j]
+                    )
+                    u[i, j] = (1.0 - omega) * u[i, j] + omega * gs
+    return u

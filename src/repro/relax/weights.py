@@ -1,0 +1,26 @@
+"""Relaxation weights for the 2D model problem."""
+
+from __future__ import annotations
+
+import math
+
+from repro.grids.grid import mesh_width
+
+__all__ = ["OMEGA_RECURSE", "omega_opt"]
+
+#: Fixed SOR weight for relaxations inside RECURSE ("chosen by
+#: experimentation to be a good parameter when used in multigrid",
+#: paper section 2.3).
+OMEGA_RECURSE = 1.15
+
+
+def omega_opt(n: int) -> float:
+    """Optimal SOR weight for the 2D discrete Poisson equation with fixed
+    boundaries at grid size ``n``: 2 / (1 + sin(pi h)) with h = 1/(n-1).
+
+    This is the weight the paper fixes for SOR when used as a standalone
+    iterative solver (MULTIGRID-V_i step 3), citing Demmel, *Applied
+    Numerical Linear Algebra*.
+    """
+    h = mesh_width(n)
+    return 2.0 / (1.0 + math.sin(math.pi * h))

@@ -1,0 +1,37 @@
+"""Parallel runtime substrate (the PetaBricks runtime library, section 3.2.3).
+
+"The runtime scheduler dynamically schedules tasks (that have their input
+dependencies satisfied) across processors ...  Following the approach taken
+by Cilk, we distribute work with thread-private deques and a task stealing
+protocol."
+
+Components:
+
+* :class:`TaskGraph` / :class:`Task` — dependency DAG of work items.
+* :class:`WorkStealingScheduler` — real threads, thread-private deques,
+  random-victim stealing.  Correct on any machine; real speedup requires
+  multiple cores (the reproduction container has one, so performance
+  *figures* use the simulator below — see DESIGN.md substitutions).
+* :class:`SimulatedScheduler` — executes the same task graphs on P virtual
+  workers in virtual time, with per-task durations from a machine profile.
+  Produces the paper's parallel scalability results deterministically.
+* :func:`partition_rows` — block decomposition of grid sweeps into tasks.
+"""
+
+from repro.runtime.task import Task, TaskGraph
+from repro.runtime.deque import WorkDeque
+from repro.runtime.scheduler import SerialScheduler, WorkStealingScheduler
+from repro.runtime.simsched import SimReport, SimulatedScheduler
+from repro.runtime.partition import partition_rows, sweep_task_graph
+
+__all__ = [
+    "SerialScheduler",
+    "SimReport",
+    "SimulatedScheduler",
+    "Task",
+    "TaskGraph",
+    "WorkDeque",
+    "WorkStealingScheduler",
+    "partition_rows",
+    "sweep_task_graph",
+]

@@ -1,0 +1,47 @@
+"""Thread-private work deque with owner/thief ends.
+
+Owner pushes and pops at the bottom (LIFO — depth-first order maximizes
+locality, section 3.2.3); thieves steal from the top (FIFO — stealing the
+oldest task tends to take the largest remaining subtree, the Cilk
+heuristic).  A lock per deque keeps the implementation simple; contention
+is low because steals are rare when the owner stays busy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, TypeVar
+
+__all__ = ["WorkDeque"]
+
+T = TypeVar("T")
+
+
+class WorkDeque(Generic[T]):
+    def __init__(self) -> None:
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, item: T) -> None:
+        """Owner: push at the bottom."""
+        with self._lock:
+            self._items.append(item)
+
+    def pop(self) -> T | None:
+        """Owner: pop from the bottom (most recently pushed)."""
+        with self._lock:
+            if self._items:
+                return self._items.pop()
+            return None
+
+    def steal(self) -> T | None:
+        """Thief: take from the top (least recently pushed)."""
+        with self._lock:
+            if self._items:
+                return self._items.popleft()
+            return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,129 @@
+"""Work-stealing execution of task graphs with real threads.
+
+Each worker owns a deque; completing a task decrements its dependents'
+pending-dependency counters, and tasks whose counters hit zero are pushed
+onto the finishing worker's deque (depth-first, locality-greedy order).
+Idle workers steal from random victims.  NumPy kernels release the GIL, so
+on a multi-core host grid-sized tasks genuinely overlap; on the single-core
+reproduction container the scheduler is exercised for correctness and the
+timing figures come from :mod:`repro.runtime.simsched`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Sequence
+
+from repro.runtime.deque import WorkDeque
+from repro.runtime.task import Task, TaskGraph
+
+__all__ = ["SerialScheduler", "WorkStealingScheduler"]
+
+
+class SerialScheduler:
+    """Deterministic topological execution (the reference semantics)."""
+
+    def run(self, graph: TaskGraph) -> list[str]:
+        """Execute all tasks; returns completion order."""
+        order = graph.topological_order()
+        for t in order:
+            t.run()
+        return [t.name for t in order]
+
+
+class WorkStealingScheduler:
+    """Threads + private deques + random-victim stealing."""
+
+    def __init__(self, workers: int = 4, seed: int | None = 0) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.seed = seed
+
+    def run(self, graph: TaskGraph) -> list[str]:
+        """Execute all tasks; returns completion order (non-deterministic
+        across runs, but always a valid topological order)."""
+        graph.validate()
+        tasks = graph.tasks()
+        if not tasks:
+            return []
+        pending: dict[str, int] = {t.name: len(t.deps) for t in tasks}
+        dependents: dict[str, list[Task]] = {t.name: [] for t in tasks}
+        for t in tasks:
+            for d in t.deps:
+                dependents[d].append(t)
+        counter_lock = threading.Lock()
+        deques: list[WorkDeque[Task]] = [WorkDeque() for _ in range(self.workers)]
+        completed: list[str] = []
+        remaining = len(tasks)
+        done = threading.Event()
+        errors: list[BaseException] = []
+
+        roots = [t for t in tasks if not t.deps]
+        for i, t in enumerate(roots):
+            deques[i % self.workers].push(t)
+
+        def finish(task: Task, worker: int) -> None:
+            nonlocal remaining
+            newly_ready: list[Task] = []
+            with counter_lock:
+                completed.append(task.name)
+                remaining -= 1
+                if remaining == 0:
+                    done.set()
+                for dep in dependents[task.name]:
+                    pending[dep.name] -= 1
+                    if pending[dep.name] == 0:
+                        newly_ready.append(dep)
+            for t in newly_ready:
+                deques[worker].push(t)
+
+        def worker_loop(worker: int) -> None:
+            rng = random.Random(None if self.seed is None else self.seed + worker)
+            my = deques[worker]
+            while not done.is_set():
+                task = my.pop()
+                if task is None:
+                    # Steal from a random victim.
+                    victims = [i for i in range(self.workers) if i != worker]
+                    rng.shuffle(victims)
+                    for v in victims:
+                        task = deques[v].steal()
+                        if task is not None:
+                            break
+                if task is None:
+                    if done.wait(timeout=0.0005):
+                        return
+                    continue
+                try:
+                    task.run()
+                except BaseException as exc:  # propagate to the caller
+                    errors.append(exc)
+                    done.set()
+                    return
+                finish(task, worker)
+
+        threads = [
+            threading.Thread(target=worker_loop, args=(i,), daemon=True)
+            for i in range(self.workers)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        if errors:
+            raise errors[0]
+        if remaining:
+            raise RuntimeError(f"deadlock: {remaining} tasks never became ready")
+        return completed
+
+
+def validate_completion_order(graph: TaskGraph, order: Sequence[str]) -> bool:
+    """True if ``order`` respects every dependency edge (test helper)."""
+    position = {name: i for i, name in enumerate(order)}
+    for t in graph.tasks():
+        for d in t.deps:
+            if position[d] > position[t.name]:
+                return False
+    return len(order) == len(graph)

@@ -1,0 +1,142 @@
+"""Algorithmic choices — the alternatives the DP selects among.
+
+Each (level, accuracy-index) slot of a tuned plan holds one choice:
+
+* :class:`DirectChoice` — band-Cholesky solve ("Solve directly").
+* :class:`SORChoice` — iterated SOR with a fixed, *trained* iteration count
+  ("Iterate using SOR_wopt until accuracy p_i" — the until resolves to a
+  count on training data, section 4.1).
+* :class:`RecurseChoice` — iterate RECURSE_j, each application wrapping a
+  coarse-grid call to the tuned MULTIGRID-V_j one level down.
+* :class:`EstimateChoice` — full-multigrid slots only: run ESTIMATE_j (a
+  recursive FULL-MULTIGRID_j call on the restricted problem) and then
+  iterate one of the two V-type solvers until p_i.
+
+All choices are frozen, hashable, and round-trip through plain dicts for
+the PetaBricks-style configuration files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Choice",
+    "DirectChoice",
+    "EstimateChoice",
+    "RecurseChoice",
+    "SORChoice",
+    "choice_from_dict",
+    "choice_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class DirectChoice:
+    kind: str = "direct"
+
+    def describe(self) -> str:
+        return "direct"
+
+
+@dataclass(frozen=True)
+class SORChoice:
+    """Iterated red-black SOR with the size-optimal weight.
+
+    ``iterations=0`` is legal only inside an :class:`EstimateChoice` (the
+    estimate alone already met the target); V-plan slots require >= 1.
+    """
+
+    iterations: int
+    kind: str = "sor"
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValueError("SORChoice iterations must be >= 0")
+
+    def describe(self) -> str:
+        return f"sor(x{self.iterations})"
+
+
+@dataclass(frozen=True)
+class RecurseChoice:
+    """Iterated RECURSE_j: sub_accuracy is the index j into the plan's
+    accuracy ladder used for the coarse-grid call."""
+
+    sub_accuracy: int
+    iterations: int
+    kind: str = "recurse"
+
+    def __post_init__(self) -> None:
+        if self.sub_accuracy < 0:
+            raise ValueError("sub_accuracy must be an index >= 0")
+        if self.iterations < 0:
+            raise ValueError("RecurseChoice iterations must be >= 0")
+
+    def describe(self) -> str:
+        return f"recurse(j={self.sub_accuracy}, x{self.iterations})"
+
+
+@dataclass(frozen=True)
+class EstimateChoice:
+    """FULL-MULTIGRID_i body: ESTIMATE_j then iterate a V-type solver."""
+
+    estimate_accuracy: int
+    solver: Union[SORChoice, RecurseChoice]
+    kind: str = "estimate"
+
+    def __post_init__(self) -> None:
+        if self.estimate_accuracy < 0:
+            raise ValueError("estimate_accuracy must be an index >= 0")
+        if not isinstance(self.solver, (SORChoice, RecurseChoice)):
+            raise TypeError("solver must be SORChoice or RecurseChoice")
+
+    def describe(self) -> str:
+        return f"estimate(j={self.estimate_accuracy}) -> {self.solver.describe()}"
+
+
+Choice = Union[DirectChoice, SORChoice, RecurseChoice, EstimateChoice]
+
+
+def choice_to_dict(choice: Choice) -> dict:
+    """Plain-dict form for configuration files."""
+    if isinstance(choice, DirectChoice):
+        return {"kind": "direct"}
+    if isinstance(choice, SORChoice):
+        return {"kind": "sor", "iterations": choice.iterations}
+    if isinstance(choice, RecurseChoice):
+        return {
+            "kind": "recurse",
+            "sub_accuracy": choice.sub_accuracy,
+            "iterations": choice.iterations,
+        }
+    if isinstance(choice, EstimateChoice):
+        return {
+            "kind": "estimate",
+            "estimate_accuracy": choice.estimate_accuracy,
+            "solver": choice_to_dict(choice.solver),
+        }
+    raise TypeError(f"not a choice: {choice!r}")
+
+
+def choice_from_dict(data: dict) -> Choice:
+    """Inverse of :func:`choice_to_dict` (validates the payload)."""
+    kind = data.get("kind")
+    if kind == "direct":
+        return DirectChoice()
+    if kind == "sor":
+        return SORChoice(iterations=int(data["iterations"]))
+    if kind == "recurse":
+        return RecurseChoice(
+            sub_accuracy=int(data["sub_accuracy"]),
+            iterations=int(data["iterations"]),
+        )
+    if kind == "estimate":
+        solver = choice_from_dict(data["solver"])
+        if isinstance(solver, (SORChoice, RecurseChoice)):
+            return EstimateChoice(
+                estimate_accuracy=int(data["estimate_accuracy"]), solver=solver
+            )
+        raise ValueError("estimate solver must be sor or recurse")
+    raise ValueError(f"unknown choice kind {kind!r}")

@@ -1,0 +1,109 @@
+"""Tuned-plan configuration files.
+
+PetaBricks compiles a program once and stores tuning decisions in a
+configuration file that later runs load ("generating an optimized
+configuration file; subsequent runs can then use the saved configuration
+file", section 3.2.1).  This module is that artifact for our plans: plans
+round-trip through JSON, including metadata (but not audit records, which
+are in-memory only).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.tuner.choices import choice_from_dict, choice_to_dict
+from repro.tuner.plan import TunedFullMGPlan, TunedVPlan
+
+__all__ = [
+    "load_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
+]
+
+_FORMAT = "repro-multigrid-config-v1"
+
+
+def _table_to_list(table: dict) -> list[dict[str, Any]]:
+    return [
+        {"level": level, "accuracy_index": i, "choice": choice_to_dict(choice)}
+        for (level, i), choice in sorted(table.items())
+    ]
+
+
+def _table_from_list(items: list[dict[str, Any]]) -> dict:
+    return {
+        (int(it["level"]), int(it["accuracy_index"])): choice_from_dict(it["choice"])
+        for it in items
+    }
+
+
+def _clean_metadata(metadata: dict) -> dict:
+    return {k: v for k, v in metadata.items() if k != "audit"}
+
+
+def plan_to_dict(plan: TunedVPlan | TunedFullMGPlan) -> dict[str, Any]:
+    """JSON-ready dict form of a tuned plan."""
+    if isinstance(plan, TunedFullMGPlan):
+        return {
+            "format": _FORMAT,
+            "kind": "full-multigrid",
+            "accuracies": list(plan.accuracies),
+            "max_level": plan.max_level,
+            "table": _table_to_list(plan.table),
+            "metadata": _clean_metadata(plan.metadata),
+            "vplan": plan_to_dict(plan.vplan),
+        }
+    if isinstance(plan, TunedVPlan):
+        return {
+            "format": _FORMAT,
+            "kind": "multigrid-v",
+            "accuracies": list(plan.accuracies),
+            "max_level": plan.max_level,
+            "table": _table_to_list(plan.table),
+            "metadata": _clean_metadata(plan.metadata),
+        }
+    raise TypeError(f"not a tuned plan: {plan!r}")
+
+
+def plan_from_dict(data: dict[str, Any]) -> TunedVPlan | TunedFullMGPlan:
+    """Inverse of :func:`plan_to_dict` (validates structure via the plan
+    constructors)."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"unknown config format {data.get('format')!r}")
+    kind = data.get("kind")
+    accuracies = tuple(float(a) for a in data["accuracies"])
+    table = _table_from_list(data["table"])
+    metadata = dict(data.get("metadata", {}))
+    if kind == "multigrid-v":
+        return TunedVPlan(
+            accuracies=accuracies,
+            max_level=int(data["max_level"]),
+            table=table,
+            metadata=metadata,
+        )
+    if kind == "full-multigrid":
+        vplan = plan_from_dict(data["vplan"])
+        if not isinstance(vplan, TunedVPlan):
+            raise ValueError("full-MG config must embed a multigrid-v plan")
+        return TunedFullMGPlan(
+            accuracies=accuracies,
+            max_level=int(data["max_level"]),
+            table=table,
+            vplan=vplan,
+            metadata=metadata,
+        )
+    raise ValueError(f"unknown plan kind {kind!r}")
+
+
+def save_plan(plan: TunedVPlan | TunedFullMGPlan, path: str | Path) -> None:
+    """Write the plan's configuration file (pretty-printed JSON)."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2, sort_keys=True))
+
+
+def load_plan(path: str | Path) -> TunedVPlan | TunedFullMGPlan:
+    """Load a configuration file saved by :func:`save_plan`."""
+    return plan_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,355 @@
+"""The discrete dynamic-programming autotuner (paper sections 2.1-2.3).
+
+Bottom-up over levels: level 1 (3x3) is solved directly; at each higher
+level k and for each accuracy target p_i, the tuner
+
+1. trains the iteration count of every candidate — SOR(omega_opt) and
+   RECURSE_j for each already-tuned sub-accuracy j — on the training
+   instances ("the autotuner first computes the number of iterations needed
+   for the SOR and RECURSE_j choices", section 4.1),
+2. times each feasible candidate (cost model or wall clock), and
+3. keeps the fastest, producing the MULTIGRID-V_i family.
+
+Because the optimal choice for accuracy p_i at level k may recurse into
+*any* accuracy p_j at level k-1, all accuracies at a level are tuned before
+moving up — the paper's key departure from single-accuracy tuning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.accuracy.estimator import (
+    Aggregate,
+    InfeasibleCandidate,
+    iterations_to_accuracy,
+)
+from repro.linalg.direct import DirectSolver
+from repro.machines.meter import NULL_METER, OpMeter
+from repro.tuner.choices import Choice, DirectChoice, RecurseChoice, SORChoice
+from repro.tuner.executor import PlanExecutor
+from repro.tuner.plan import DEFAULT_ACCURACIES, TunedVPlan, recurse_wrapper_meter
+from repro.tuner.timing import CostModelTiming, TimingStrategy
+from repro.tuner.trace import NULL_TRACE
+from repro.tuner.training import TrainingData
+from repro.util.validation import size_of_level
+
+__all__ = ["CandidateReport", "VCycleTuner"]
+
+#: filter(level, acc_index, choice) -> bool; False removes the candidate.
+CandidateFilter = Callable[[int, int, Choice], bool]
+
+
+@dataclass(frozen=True)
+class CandidateReport:
+    """Audit record of one candidate evaluation (kept in plan metadata)."""
+
+    level: int
+    acc_index: int
+    description: str
+    seconds: float
+    feasible: bool
+    chosen: bool = False
+
+
+class _TableView:
+    """Duck-typed plan over a partially built table, for the executor."""
+
+    __slots__ = ("table", "max_level")
+
+    def __init__(self, table: dict[tuple[int, int], Choice], max_level: int) -> None:
+        self.table = table
+        self.max_level = max_level
+
+    def choice(self, level: int, acc_index: int) -> Choice:
+        return self.table[(level, acc_index)]
+
+
+@dataclass
+class VCycleTuner:
+    """Tunes the MULTIGRID-V_i family up to ``max_level``.
+
+    Parameters mirror the paper's setup: five discrete accuracy levels by
+    default, worst-case aggregation of trained iteration counts, and a
+    search capped by per-candidate iteration budgets.  ``candidate_filter``
+    restricts the choice set (used to express the heuristic strategies of
+    Figure 7 inside the same machinery).
+    """
+
+    max_level: int
+    accuracies: tuple[float, ...] = DEFAULT_ACCURACIES
+    training: TrainingData = field(default_factory=TrainingData)
+    timing: TimingStrategy | None = None
+    max_sor_iters: int = 400
+    max_recurse_iters: int = 64
+    aggregate: Aggregate = "max"
+    direct: DirectSolver | None = None
+    candidate_filter: CandidateFilter | None = None
+    keep_audit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_level < 1:
+            raise ValueError("max_level must be >= 1")
+        if self.timing is None:
+            from repro.machines.presets import INTEL_HARPERTOWN
+
+            self.timing = CostModelTiming(INTEL_HARPERTOWN)
+        self.direct = self.direct or DirectSolver(backend="block", cache_factorization=True)
+        self._executor = PlanExecutor(direct=self.direct)
+
+    # -- public API ---------------------------------------------------------
+
+    def tune(self) -> TunedVPlan:
+        """Run the bottom-up DP and return the tuned plan."""
+        m = len(self.accuracies)
+        table: dict[tuple[int, int], Choice] = {}
+        audit: list[CandidateReport] = []
+        for i in range(m):
+            table[(1, i)] = DirectChoice()
+        for level in range(2, self.max_level + 1):
+            self._tune_level(level, table, audit)
+        metadata = {
+            "kind": "multigrid-v",
+            "distribution": self.training.distribution,
+            "instances": self.training.instances,
+            "seed": self.training.seed,
+            "aggregate": self.aggregate,
+            "timing": type(self.timing).__name__,
+        }
+        profile = getattr(self.timing, "profile", None)
+        if profile is not None:
+            metadata["profile"] = profile.name
+        if self.keep_audit:
+            metadata["audit"] = audit
+        return TunedVPlan(
+            accuracies=self.accuracies,
+            max_level=self.max_level,
+            table=table,
+            metadata=metadata,
+        )
+
+    # -- per-level tuning -----------------------------------------------------
+
+    def _allowed(self, level: int, acc_index: int, choice: Choice) -> bool:
+        if self.candidate_filter is None:
+            return True
+        return self.candidate_filter(level, acc_index, choice)
+
+    def _tune_level(
+        self,
+        level: int,
+        table: dict[tuple[int, int], Choice],
+        audit: list[CandidateReport],
+    ) -> None:
+        n = size_of_level(level)
+        bundle = self.training.at_level(level)
+        view = _TableView(table, level)
+        m = len(self.accuracies)
+        sub_meters = [self._meter_below(table, level, j) for j in range(m)]
+        for i, target in enumerate(self.accuracies):
+            best_choice, best_time, reports = self._evaluate_slot(
+                level, i, target, n, bundle, view, sub_meters
+            )
+            table[(level, i)] = best_choice
+            if self.keep_audit:
+                for rep in reports:
+                    audit.append(
+                        CandidateReport(
+                            level=rep.level,
+                            acc_index=rep.acc_index,
+                            description=rep.description,
+                            seconds=rep.seconds,
+                            feasible=rep.feasible,
+                            chosen=(
+                                rep.feasible
+                                and rep.description == _describe(best_choice)
+                            ),
+                        )
+                    )
+
+    def _meter_below(
+        self, table: dict[tuple[int, int], Choice], level: int, acc_index: int
+    ) -> OpMeter:
+        """Exact unit meter of the already-tuned plan entry (level-1, j)."""
+        meter = OpMeter()
+        choice = table[(level - 1, acc_index)]
+        n = size_of_level(level - 1)
+        if isinstance(choice, DirectChoice):
+            meter.charge("direct", n)
+        elif isinstance(choice, SORChoice):
+            meter.charge("relax", n, choice.iterations)
+        elif isinstance(choice, RecurseChoice):
+            wrapper = recurse_wrapper_meter(n)
+            wrapper.merge(self._meter_below(table, level - 1, choice.sub_accuracy))
+            meter.merge(wrapper, times=choice.iterations)
+        return meter
+
+    def _evaluate_slot(
+        self,
+        level: int,
+        acc_index: int,
+        target: float,
+        n: int,
+        bundle,
+        view: _TableView,
+        sub_meters: Sequence[OpMeter],
+    ) -> tuple[Choice, float, list[CandidateReport]]:
+        reports: list[CandidateReport] = []
+        best_choice: Choice | None = None
+        best_time = math.inf
+
+        def consider(choice: Choice, meter: OpMeter, run) -> None:
+            nonlocal best_choice, best_time
+            seconds = self.timing.time_candidate(meter, run, bundle.fresh_starts())
+            reports.append(
+                CandidateReport(level, acc_index, _describe(choice), seconds, True)
+            )
+            if seconds < best_time:
+                best_choice, best_time = choice, seconds
+
+        # Direct: exact, always feasible.
+        if self._allowed(level, acc_index, DirectChoice()):
+            meter = OpMeter()
+            meter.charge("direct", n)
+            consider(DirectChoice(), meter, self._direct_run())
+
+        # RECURSE_j, highest sub-accuracy first (fewest outer iterations, so
+        # later candidates get a tight pruning budget early).
+        m = len(self.accuracies)
+        wrapper = recurse_wrapper_meter(n)
+        for j in range(m - 1, -1, -1):
+            probe = RecurseChoice(sub_accuracy=j, iterations=1)
+            if not self._allowed(level, acc_index, probe):
+                continue
+            unit = OpMeter()
+            unit.merge(wrapper)
+            unit.merge(sub_meters[j])
+            unit_cost = self._price_unit(unit)
+            cap = self._budget_cap(unit_cost, best_time, self.max_recurse_iters)
+            if cap < 1:
+                reports.append(
+                    CandidateReport(
+                        level, acc_index, _describe(probe) + " [pruned]", math.inf, False
+                    )
+                )
+                continue
+            step = self._recurse_step(view, level, j)
+            try:
+                iters = iterations_to_accuracy(
+                    step,
+                    bundle.fresh_starts(),
+                    bundle.accuracy_fns(),
+                    target,
+                    max_iters=cap,
+                    aggregate=self.aggregate,
+                )
+            except InfeasibleCandidate:
+                reports.append(
+                    CandidateReport(level, acc_index, _describe(probe), math.inf, False)
+                )
+                continue
+            iters = max(iters, 1)
+            choice = RecurseChoice(sub_accuracy=j, iterations=iters)
+            consider(choice, unit.scaled(iters), self._v_run(view, level, choice))
+
+        # Standalone SOR(omega_opt).
+        probe_sor = SORChoice(iterations=1)
+        if self._allowed(level, acc_index, probe_sor):
+            relax_cost = self.timing.op_seconds("relax", n)
+            cap = self._budget_cap(relax_cost, best_time, self.max_sor_iters)
+            if cap >= 1:
+                try:
+                    iters = iterations_to_accuracy(
+                        self._sor_step(n),
+                        bundle.fresh_starts(),
+                        bundle.accuracy_fns(),
+                        target,
+                        max_iters=cap,
+                        aggregate=self.aggregate,
+                    )
+                    iters = max(iters, 1)
+                    choice = SORChoice(iterations=iters)
+                    meter = OpMeter()
+                    meter.charge("relax", n, iters)
+                    consider(choice, meter, self._v_run(view, level, choice))
+                except InfeasibleCandidate:
+                    reports.append(
+                        CandidateReport(
+                            level, acc_index, _describe(probe_sor), math.inf, False
+                        )
+                    )
+            else:
+                reports.append(
+                    CandidateReport(
+                        level, acc_index, _describe(probe_sor) + " [pruned]", math.inf, False
+                    )
+                )
+
+        if best_choice is None:
+            raise RuntimeError(
+                f"no feasible candidate at level {level}, accuracy index {acc_index} "
+                f"(candidate_filter too restrictive?)"
+            )
+        return best_choice, best_time, reports
+
+    # -- candidate step/run closures ---------------------------------------
+
+    def _price_unit(self, unit: OpMeter) -> float:
+        return sum(
+            count * self.timing.op_seconds(op, size)
+            for (op, size), count in unit.items()
+        )
+
+    @staticmethod
+    def _budget_cap(unit_cost: float, best_time: float, hard_cap: int) -> int:
+        """Iterations beyond which a candidate cannot beat ``best_time``."""
+        if unit_cost <= 0.0 or math.isinf(best_time):
+            return hard_cap
+        return min(hard_cap, int(best_time / unit_cost) + 1)
+
+    def _direct_run(self):
+        direct = self.direct
+
+        def run(x: np.ndarray, b: np.ndarray) -> None:
+            direct.solve(x, b)
+
+        return run
+
+    def _sor_step(self, n: int):
+        from repro.relax.sor import sor_redblack
+        from repro.relax.weights import omega_opt
+
+        w = omega_opt(n)
+
+        def step(x: np.ndarray, b: np.ndarray) -> None:
+            sor_redblack(x, b, w, 1)
+
+        return step
+
+    def _recurse_step(self, view: _TableView, level: int, sub_accuracy: int):
+        executor = self._executor
+
+        def step(x: np.ndarray, b: np.ndarray) -> None:
+            executor._recurse_once(view, x, b, level, sub_accuracy, NULL_METER, NULL_TRACE)
+
+        return step
+
+    def _v_run(self, view: _TableView, level: int, choice: Choice):
+        """End-to-end run of a hypothetical slot choice (wallclock timing)."""
+        executor = self._executor
+        table = dict(view.table)
+        table[(level, -1)] = choice
+        probe_view = _TableView(table, level)
+
+        def run(x: np.ndarray, b: np.ndarray) -> None:
+            executor._run_v(probe_view, x, b, level, -1, NULL_METER, NULL_TRACE)
+
+        return run
+
+
+def _describe(choice: Choice) -> str:
+    return choice.describe()

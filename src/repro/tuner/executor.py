@@ -1,0 +1,183 @@
+"""Execution of tuned plans.
+
+Executes the open-loop algorithm a plan describes: trained iteration
+counts, no runtime accuracy checks — exactly the compiled artifact the
+PetaBricks autotuner produces.  Records op meters (for pricing) and traces
+(for cycle rendering) along the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.poisson import residual
+from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+from repro.linalg.direct import DirectSolver
+from repro.machines.meter import NULL_METER, OpMeter
+from repro.relax.sor import sor_redblack
+from repro.relax.weights import OMEGA_RECURSE, omega_opt
+from repro.tuner.choices import (
+    DirectChoice,
+    EstimateChoice,
+    RecurseChoice,
+    SORChoice,
+)
+from repro.tuner.plan import TunedFullMGPlan, TunedVPlan
+from repro.tuner.trace import NULL_TRACE, Trace
+from repro.util.validation import level_of_size
+
+__all__ = ["PlanExecutor"]
+
+
+class PlanExecutor:
+    """Executes tuned V / full-MG plans on concrete problems.
+
+    One executor holds the direct-solver backend (shared factorization
+    cache if enabled) and can be reused across solves.
+    """
+
+    def __init__(self, direct: DirectSolver | None = None) -> None:
+        self.direct = direct or DirectSolver(backend="block", cache_factorization=True)
+
+    # -- MULTIGRID-V ------------------------------------------------------
+
+    def run_v(
+        self,
+        plan: TunedVPlan,
+        x: np.ndarray,
+        b: np.ndarray,
+        acc_index: int,
+        meter: OpMeter = NULL_METER,
+        trace: Trace = NULL_TRACE,
+    ) -> np.ndarray:
+        """Apply MULTIGRID-V_{acc_index} to (x, b) in place."""
+        level = level_of_size(x.shape[0])
+        if level > plan.max_level:
+            raise ValueError(
+                f"plan tuned up to level {plan.max_level}, input is level {level}"
+            )
+        self._run_v(plan, x, b, level, acc_index, meter, trace)
+        return x
+
+    def _run_v(
+        self,
+        plan: TunedVPlan,
+        x: np.ndarray,
+        b: np.ndarray,
+        level: int,
+        acc_index: int,
+        meter: OpMeter,
+        trace: Trace,
+    ) -> None:
+        choice = plan.choice(level, acc_index)
+        n = x.shape[0]
+        trace.emit("enter", level, acc_index)
+        if isinstance(choice, DirectChoice):
+            self.direct.solve(x, b)
+            meter.charge("direct", n)
+            trace.emit("direct", level)
+        elif isinstance(choice, SORChoice):
+            sor_redblack(x, b, omega_opt(n), choice.iterations)
+            meter.charge("relax", n, choice.iterations)
+            trace.emit("sor", level, choice.iterations)
+        elif isinstance(choice, RecurseChoice):
+            for _ in range(choice.iterations):
+                self._recurse_once(plan, x, b, level, choice.sub_accuracy, meter, trace)
+        else:  # pragma: no cover - plan validation forbids this
+            raise TypeError(f"invalid V choice {choice!r}")
+        trace.emit("exit", level)
+
+    def _recurse_once(
+        self,
+        plan: TunedVPlan,
+        x: np.ndarray,
+        b: np.ndarray,
+        level: int,
+        sub_accuracy: int,
+        meter: OpMeter,
+        trace: Trace,
+    ) -> None:
+        """One RECURSE application: relax, coarse correction via the tuned
+        sub-plan, relax (paper section 2.3, RECURSE_i)."""
+        n = x.shape[0]
+        sor_redblack(x, b, OMEGA_RECURSE, 1)
+        meter.charge("relax", n)
+        trace.emit("relax", level)
+        r = residual(x, b)
+        meter.charge("residual", n)
+        rc = restrict_full_weighting(r)
+        meter.charge("restrict", n)
+        trace.emit("descend", level)
+        ec = np.zeros_like(rc)
+        self._run_v(plan, ec, rc, level - 1, sub_accuracy, meter, trace)
+        interpolate_correction(x, ec)
+        meter.charge("interpolate", n)
+        trace.emit("ascend", level)
+        sor_redblack(x, b, OMEGA_RECURSE, 1)
+        meter.charge("relax", n)
+        trace.emit("relax", level)
+
+    # -- FULL-MULTIGRID ---------------------------------------------------
+
+    def run_full_mg(
+        self,
+        plan: TunedFullMGPlan,
+        x: np.ndarray,
+        b: np.ndarray,
+        acc_index: int,
+        meter: OpMeter = NULL_METER,
+        trace: Trace = NULL_TRACE,
+    ) -> np.ndarray:
+        """Apply FULL-MULTIGRID_{acc_index} to (x, b) in place."""
+        level = level_of_size(x.shape[0])
+        if level > plan.max_level:
+            raise ValueError(
+                f"plan tuned up to level {plan.max_level}, input is level {level}"
+            )
+        self._run_full(plan, x, b, level, acc_index, meter, trace)
+        return x
+
+    def _run_full(
+        self,
+        plan: TunedFullMGPlan,
+        x: np.ndarray,
+        b: np.ndarray,
+        level: int,
+        acc_index: int,
+        meter: OpMeter,
+        trace: Trace,
+    ) -> None:
+        choice = plan.choice(level, acc_index)
+        n = x.shape[0]
+        trace.emit("enter", level, acc_index)
+        if isinstance(choice, DirectChoice):
+            self.direct.solve(x, b)
+            meter.charge("direct", n)
+            trace.emit("direct", level)
+        elif isinstance(choice, EstimateChoice):
+            # ESTIMATE_j: correction-form recursive full-MG call.
+            trace.emit("estimate", level, choice.estimate_accuracy)
+            r = residual(x, b)
+            meter.charge("residual", n)
+            rc = restrict_full_weighting(r)
+            meter.charge("restrict", n)
+            trace.emit("descend", level)
+            ec = np.zeros_like(rc)
+            self._run_full(plan, ec, rc, level - 1, choice.estimate_accuracy, meter, trace)
+            interpolate_correction(x, ec)
+            meter.charge("interpolate", n)
+            trace.emit("ascend", level)
+            # Solve phase: iterate the chosen V-type method.
+            solver = choice.solver
+            if isinstance(solver, SORChoice):
+                sor_redblack(x, b, omega_opt(n), solver.iterations)
+                meter.charge("relax", n, solver.iterations)
+                trace.emit("sor", level, solver.iterations)
+            else:
+                for _ in range(solver.iterations):
+                    self._recurse_once(
+                        plan.vplan, x, b, level, solver.sub_accuracy, meter, trace
+                    )
+        else:  # pragma: no cover - plan validation forbids this
+            raise TypeError(f"invalid full-MG choice {choice!r}")
+        trace.emit("exit", level)

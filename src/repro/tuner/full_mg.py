@@ -1,0 +1,351 @@
+"""Autotuning full multigrid (paper section 2.4).
+
+FULL-MULTIGRID_i either solves directly or runs ESTIMATE_j — a recursive
+FULL-MULTIGRID_j call on the restricted residual problem — and then
+iterates a V-type solver (SOR(omega_opt) or RECURSE_l) until accuracy p_i.
+j and l are chosen independently: "in cases where the user does not require
+much accuracy ... it may make sense to invest more heavily in the
+estimation phase, while in cases where very high precision is needed ...
+most of the computation would be done in relaxations at the highest
+resolution."
+
+The DP tunes the V family first (it is the solve-phase building block),
+then builds FULL-MULTIGRID bottom-up the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accuracy.estimator import (
+    Aggregate,
+    InfeasibleCandidate,
+    iterations_to_accuracy,
+)
+from repro.grids.poisson import residual
+from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+from repro.linalg.direct import DirectSolver
+from repro.machines.meter import NULL_METER, OpMeter
+from repro.tuner.choices import (
+    Choice,
+    DirectChoice,
+    EstimateChoice,
+    RecurseChoice,
+    SORChoice,
+)
+from repro.tuner.dp import CandidateReport
+from repro.tuner.executor import PlanExecutor
+from repro.tuner.plan import TunedFullMGPlan, TunedVPlan, recurse_wrapper_meter
+from repro.tuner.timing import CostModelTiming, TimingStrategy
+from repro.tuner.trace import NULL_TRACE
+from repro.tuner.training import TrainingData
+from repro.util.validation import size_of_level
+
+__all__ = ["FullMGTuner"]
+
+
+class _FullTableView:
+    """Duck-typed full-MG plan over a partially built table."""
+
+    __slots__ = ("table", "vplan", "max_level")
+
+    def __init__(
+        self,
+        table: dict[tuple[int, int], Choice],
+        vplan: TunedVPlan,
+        max_level: int,
+    ) -> None:
+        self.table = table
+        self.vplan = vplan
+        self.max_level = max_level
+
+    def choice(self, level: int, acc_index: int) -> Choice:
+        return self.table[(level, acc_index)]
+
+
+@dataclass
+class FullMGTuner:
+    """Tunes the FULL-MULTIGRID_i family on top of a tuned V plan."""
+
+    vplan: TunedVPlan
+    training: TrainingData = field(default_factory=TrainingData)
+    timing: TimingStrategy | None = None
+    max_sor_iters: int = 400
+    max_recurse_iters: int = 64
+    aggregate: Aggregate = "max"
+    direct: DirectSolver | None = None
+    keep_audit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timing is None:
+            from repro.machines.presets import INTEL_HARPERTOWN
+
+            self.timing = CostModelTiming(INTEL_HARPERTOWN)
+        if not isinstance(self.timing, CostModelTiming):
+            raise NotImplementedError(
+                "FullMGTuner times composite candidates via op pricing; "
+                "use CostModelTiming (wallclock mode is available for the "
+                "V-cycle tuner)"
+            )
+        self.direct = self.direct or DirectSolver(backend="block", cache_factorization=True)
+        self._executor = PlanExecutor(direct=self.direct)
+
+    def tune(self, max_level: int | None = None) -> TunedFullMGPlan:
+        max_level = max_level or self.vplan.max_level
+        if max_level > self.vplan.max_level:
+            raise ValueError("full-MG level cannot exceed the V plan's max level")
+        accuracies = self.vplan.accuracies
+        m = len(accuracies)
+        table: dict[tuple[int, int], Choice] = {}
+        audit: list[CandidateReport] = []
+        for i in range(m):
+            table[(1, i)] = DirectChoice()
+        for level in range(2, max_level + 1):
+            self._tune_level(level, table, audit)
+        metadata = {
+            "kind": "full-multigrid",
+            "distribution": self.training.distribution,
+            "instances": self.training.instances,
+            "seed": self.training.seed,
+            "aggregate": self.aggregate,
+            "timing": type(self.timing).__name__,
+        }
+        profile = getattr(self.timing, "profile", None)
+        if profile is not None:
+            metadata["profile"] = profile.name
+        if self.keep_audit:
+            metadata["audit"] = audit
+        return TunedFullMGPlan(
+            accuracies=accuracies,
+            max_level=max_level,
+            table=table,
+            vplan=self.vplan,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fmg_meter(self, table: dict[tuple[int, int], Choice], level: int, j: int) -> OpMeter:
+        """Unit meter of the partially built FULL-MULTIGRID_j at ``level``."""
+        meter = OpMeter()
+        choice = table[(level, j)]
+        n = size_of_level(level)
+        if isinstance(choice, DirectChoice):
+            meter.charge("direct", n)
+        elif isinstance(choice, EstimateChoice):
+            meter.charge("residual", n)
+            meter.charge("restrict", n)
+            meter.merge(self._fmg_meter(table, level - 1, choice.estimate_accuracy))
+            meter.charge("interpolate", n)
+            solver = choice.solver
+            if isinstance(solver, SORChoice):
+                meter.charge("relax", n, solver.iterations)
+            else:
+                wrapper = recurse_wrapper_meter(n)
+                wrapper.merge(self.vplan.unit_meter(level - 1, solver.sub_accuracy))
+                meter.merge(wrapper, times=solver.iterations)
+        return meter
+
+    def _tune_level(
+        self,
+        level: int,
+        table: dict[tuple[int, int], Choice],
+        audit: list[CandidateReport],
+    ) -> None:
+        n = size_of_level(level)
+        bundle = self.training.at_level(level)
+        accuracies = self.vplan.accuracies
+        m = len(accuracies)
+        view = _FullTableView(table, self.vplan, level)
+
+        # Run each estimation variant once per training instance; every
+        # solver variant continues from copies of these states.
+        estimate_states: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        estimate_meters: list[OpMeter] = []
+        for j in range(m):
+            states = []
+            for x, b in bundle.fresh_starts():
+                self._run_estimate(view, x, b, level, j)
+                states.append((x, b))
+            estimate_states.append(states)
+            est_meter = OpMeter()
+            est_meter.charge("residual", n)
+            est_meter.charge("restrict", n)
+            est_meter.merge(self._fmg_meter(table, level - 1, j))
+            est_meter.charge("interpolate", n)
+            estimate_meters.append(est_meter)
+
+        for i, target in enumerate(accuracies):
+            choice, reports = self._evaluate_slot(
+                level, i, target, n, bundle, estimate_states, estimate_meters
+            )
+            table[(level, i)] = choice
+            if self.keep_audit:
+                audit.extend(reports)
+
+    def _run_estimate(self, view: _FullTableView, x, b, level: int, j: int) -> None:
+        """Apply ESTIMATE_j to (x, b) in place using the partial table."""
+        r = residual(x, b)
+        rc = restrict_full_weighting(r)
+        ec = np.zeros_like(rc)
+        self._executor._run_full(view, ec, rc, level - 1, j, NULL_METER, NULL_TRACE)
+        interpolate_correction(x, ec)
+
+    def _evaluate_slot(
+        self,
+        level: int,
+        acc_index: int,
+        target: float,
+        n: int,
+        bundle,
+        estimate_states,
+        estimate_meters,
+    ) -> tuple[Choice, list[CandidateReport]]:
+        m = len(self.vplan.accuracies)
+        reports: list[CandidateReport] = []
+        best_choice: Choice | None = None
+        best_time = math.inf
+
+        def consider(choice: Choice, meter: OpMeter) -> None:
+            nonlocal best_choice, best_time
+            seconds = self.timing.time_candidate(meter, _no_run, bundle.fresh_starts())
+            reports.append(
+                CandidateReport(level, acc_index, choice.describe(), seconds, True, False)
+            )
+            if seconds < best_time:
+                best_choice, best_time = choice, seconds
+
+        direct_meter = OpMeter()
+        direct_meter.charge("direct", n)
+        consider(DirectChoice(), direct_meter)
+
+        wrapper = recurse_wrapper_meter(n)
+        for j in range(m):
+            starts_proto = estimate_states[j]
+            judges = bundle.accuracy_fns()
+            est_meter = estimate_meters[j]
+            est_cost = self._price(est_meter)
+
+            # Solve phase variant 1: SOR(omega_opt) until p_i.
+            relax_cost = self.timing.op_seconds("relax", n)
+            cap = self._budget_cap(relax_cost, best_time - est_cost, self.max_sor_iters)
+            if cap >= 0:
+                try:
+                    iters = iterations_to_accuracy(
+                        self._sor_step(n),
+                        [(x.copy(), b) for x, b in starts_proto],
+                        judges,
+                        target,
+                        max_iters=max(cap, 1),
+                        aggregate=self.aggregate,
+                    )
+                    solver = SORChoice(iterations=iters)
+                    meter = OpMeter()
+                    meter.merge(est_meter)
+                    meter.charge("relax", n, iters)
+                    consider(EstimateChoice(j, solver), meter)
+                except InfeasibleCandidate:
+                    reports.append(
+                        CandidateReport(
+                            level,
+                            acc_index,
+                            f"estimate(j={j}) -> sor",
+                            math.inf,
+                            False,
+                        )
+                    )
+
+            # Solve phase variant 2: RECURSE_l until p_i, highest l first.
+            for sub in range(m - 1, -1, -1):
+                unit = OpMeter()
+                unit.merge(wrapper)
+                unit.merge(self.vplan.unit_meter(level - 1, sub))
+                unit_cost = self._price(unit)
+                cap = self._budget_cap(
+                    unit_cost, best_time - est_cost, self.max_recurse_iters
+                )
+                if cap < 0:
+                    continue
+                step = self._recurse_step(level, sub)
+                try:
+                    iters = iterations_to_accuracy(
+                        step,
+                        [(x.copy(), b) for x, b in starts_proto],
+                        judges,
+                        target,
+                        max_iters=max(cap, 1),
+                        aggregate=self.aggregate,
+                    )
+                except InfeasibleCandidate:
+                    reports.append(
+                        CandidateReport(
+                            level,
+                            acc_index,
+                            f"estimate(j={j}) -> recurse(l={sub})",
+                            math.inf,
+                            False,
+                        )
+                    )
+                    continue
+                solver = RecurseChoice(sub_accuracy=sub, iterations=iters)
+                meter = OpMeter()
+                meter.merge(est_meter)
+                meter.merge(unit.scaled(iters))
+                consider(EstimateChoice(j, solver), meter)
+
+        assert best_choice is not None  # direct is always considered
+        final = best_choice
+        out: list[CandidateReport] = [
+            CandidateReport(
+                r.level,
+                r.acc_index,
+                r.description,
+                r.seconds,
+                r.feasible,
+                chosen=(r.feasible and r.description == final.describe()),
+            )
+            for r in reports
+        ]
+        return final, out
+
+    # ------------------------------------------------------------------
+
+    def _price(self, meter: OpMeter) -> float:
+        return sum(
+            count * self.timing.op_seconds(op, size) for (op, size), count in meter.items()
+        )
+
+    @staticmethod
+    def _budget_cap(unit_cost: float, remaining: float, hard_cap: int) -> int:
+        if unit_cost <= 0.0 or math.isinf(remaining):
+            return hard_cap
+        if remaining <= 0.0:
+            return -1
+        return min(hard_cap, int(remaining / unit_cost) + 1)
+
+    def _sor_step(self, n: int):
+        from repro.relax.sor import sor_redblack
+        from repro.relax.weights import omega_opt
+
+        w = omega_opt(n)
+
+        def step(x: np.ndarray, b: np.ndarray) -> None:
+            sor_redblack(x, b, w, 1)
+
+        return step
+
+    def _recurse_step(self, level: int, sub_accuracy: int):
+        executor = self._executor
+        vplan = self.vplan
+
+        def step(x: np.ndarray, b: np.ndarray) -> None:
+            executor._recurse_once(vplan, x, b, level, sub_accuracy, NULL_METER, NULL_TRACE)
+
+        return step
+
+
+def _no_run(x: np.ndarray, b: np.ndarray) -> None:
+    """Placeholder run for cost-model timing of composite candidates."""

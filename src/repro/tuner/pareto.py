@@ -1,0 +1,222 @@
+"""The full dynamic-programming solution of section 2.2.
+
+Instead of remembering one algorithm per discrete accuracy cutoff, the full
+DP keeps the whole optimal *set* A_k — every algorithm not dominated in
+both accuracy and time — and builds A_k from A_{k-1} by substituting each
+member into RECURSE and sweeping iteration counts.  The paper notes this
+set "can grow to be very large", motivating the discrete approximation of
+section 2.3; we cap the kept set and use this implementation for the
+ablation comparing full vs discrete DP on small problems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.grids.poisson import residual
+from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+from repro.linalg.direct import DirectSolver
+from repro.machines.meter import OpMeter
+from repro.relax.sor import sor_redblack
+from repro.relax.weights import OMEGA_RECURSE, omega_opt
+from repro.tuner.plan import recurse_wrapper_meter
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+from repro.util.validation import size_of_level
+
+__all__ = ["ParetoAlgorithm", "ParetoPoint", "ParetoTuner", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class ParetoAlgorithm:
+    """A concrete cycle shape: direct, SOR^s, or (RECURSE with child)^t."""
+
+    kind: str  # "direct" | "sor" | "recurse"
+    iterations: int = 1
+    child: Optional["ParetoAlgorithm"] = None
+
+    def describe(self) -> str:
+        if self.kind == "direct":
+            return "direct"
+        if self.kind == "sor":
+            return f"sor^{self.iterations}"
+        assert self.child is not None
+        return f"(recurse[{self.child.describe()}])^{self.iterations}"
+
+    def execute(self, x: np.ndarray, b: np.ndarray, direct: DirectSolver) -> np.ndarray:
+        """Run this algorithm on (x, b) in place."""
+        n = x.shape[0]
+        if self.kind == "direct":
+            direct.solve(x, b)
+            return x
+        if self.kind == "sor":
+            sor_redblack(x, b, omega_opt(n), self.iterations)
+            return x
+        assert self.child is not None
+        for _ in range(self.iterations):
+            sor_redblack(x, b, OMEGA_RECURSE, 1)
+            rc = restrict_full_weighting(residual(x, b))
+            ec = np.zeros_like(rc)
+            self.child.execute(ec, rc, direct)
+            interpolate_correction(x, ec)
+            sor_redblack(x, b, OMEGA_RECURSE, 1)
+        return x
+
+    def meter(self, n: int) -> OpMeter:
+        """Exact op multiset at fine size ``n``."""
+        m = OpMeter()
+        if self.kind == "direct":
+            m.charge("direct", n)
+        elif self.kind == "sor":
+            m.charge("relax", n, self.iterations)
+        else:
+            assert self.child is not None
+            unit = recurse_wrapper_meter(n)
+            unit.merge(self.child.meter((n - 1) // 2 + 1))
+            m.merge(unit, times=self.iterations)
+        return m
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One member of the optimal set: (algorithm, time, worst-case accuracy)."""
+
+    algorithm: ParetoAlgorithm
+    seconds: float
+    accuracy: float
+
+
+def pareto_front(points: Sequence[ParetoPoint], max_size: int | None = None) -> list[ParetoPoint]:
+    """Non-dominated subset (faster or more accurate), sorted by time.
+
+    Capping keeps the members whose accuracies are most spread out in log
+    space (always retaining the fastest and the most accurate), mirroring
+    the paper's motivation for discretizing.
+    """
+    ordered = sorted(points, key=lambda p: (p.seconds, -p.accuracy))
+    front: list[ParetoPoint] = []
+    best_acc = -math.inf
+    for p in ordered:
+        if p.accuracy > best_acc:
+            front.append(p)
+            best_acc = p.accuracy
+    if max_size is None or len(front) <= max_size:
+        return front
+    # Thin by accuracy spacing, keeping endpoints.
+    kept = [front[0]]
+    inner = front[1:-1]
+    want = max_size - 2
+    if want > 0 and inner:
+        logs = np.log10([max(p.accuracy, 1e-300) for p in inner])
+        targets = np.linspace(logs[0], logs[-1], want)
+        used: set[int] = set()
+        for t in targets:
+            idx = int(np.argmin(np.abs(logs - t)))
+            if idx not in used:
+                used.add(idx)
+                kept.append(inner[idx])
+    kept.append(front[-1])
+    kept.sort(key=lambda p: p.seconds)
+    return kept
+
+
+@dataclass
+class ParetoTuner:
+    """Builds the optimal sets A_1..A_max_level of section 2.2.
+
+    Intended for small levels (the search is exponential without capping);
+    the discrete tuner is the production path.
+    """
+
+    max_level: int
+    training: TrainingData = field(default_factory=TrainingData)
+    timing: CostModelTiming | None = None
+    max_set_size: int = 12
+    max_sor_iters: int = 64
+    max_recurse_iters: int = 6
+    direct: DirectSolver | None = None
+
+    def __post_init__(self) -> None:
+        if self.timing is None:
+            from repro.machines.presets import INTEL_HARPERTOWN
+
+            self.timing = CostModelTiming(INTEL_HARPERTOWN)
+        self.direct = self.direct or DirectSolver(backend="block", cache_factorization=True)
+
+    def tune(self) -> dict[int, list[ParetoPoint]]:
+        """Return the optimal set per level."""
+        sets: dict[int, list[ParetoPoint]] = {}
+        base = ParetoAlgorithm(kind="direct")
+        sets[1] = [self._point(base, level=1)]
+        for level in range(2, self.max_level + 1):
+            sets[level] = self._build_level(level, sets[level - 1])
+        return sets
+
+    # ------------------------------------------------------------------
+
+    def _point(self, algo: ParetoAlgorithm, level: int) -> ParetoPoint:
+        n = size_of_level(level)
+        seconds = self.timing.profile.price(algo.meter(n), self.timing.threads)
+        accuracy = self._worst_accuracy(algo, level)
+        return ParetoPoint(algo, seconds, accuracy)
+
+    def _worst_accuracy(self, algo: ParetoAlgorithm, level: int) -> float:
+        bundle = self.training.at_level(level)
+        worst = math.inf
+        for (x, b), judge in zip(bundle.fresh_starts(), bundle.judges):
+            algo.execute(x, b, self.direct)
+            worst = min(worst, judge.accuracy_of(x))
+        return worst
+
+    def _build_level(self, level: int, below: list[ParetoPoint]) -> list[ParetoPoint]:
+        candidates: list[ParetoPoint] = []
+        bundle = self.training.at_level(level)
+        candidates.append(self._point(ParetoAlgorithm(kind="direct"), level))
+        # SOR with every sweep count up to the cap, measured incrementally.
+        candidates.extend(self._incremental_family(level, bundle, None))
+        # RECURSE around every member of the coarse optimal set.
+        for member in below:
+            candidates.extend(self._incremental_family(level, bundle, member.algorithm))
+        return pareto_front(candidates, self.max_set_size)
+
+    def _incremental_family(
+        self, level: int, bundle, child: ParetoAlgorithm | None
+    ) -> list[ParetoPoint]:
+        """Points for algo^t, t = 1..cap, reusing state across t."""
+        n = size_of_level(level)
+        starts = bundle.fresh_starts()
+        judges = bundle.judges
+        cap = self.max_sor_iters if child is None else self.max_recurse_iters
+        omega = omega_opt(n)
+        points: list[ParetoPoint] = []
+        if child is None:
+            unit = OpMeter()
+            unit.charge("relax", n)
+        else:
+            unit = recurse_wrapper_meter(n)
+            unit.merge(child.meter((n - 1) // 2 + 1))
+        unit_seconds = self.timing.profile.price(unit, self.timing.threads)
+        for t in range(1, cap + 1):
+            worst = math.inf
+            for (x, b), judge in zip(starts, judges):
+                if child is None:
+                    sor_redblack(x, b, omega, 1)
+                else:
+                    sor_redblack(x, b, OMEGA_RECURSE, 1)
+                    rc = restrict_full_weighting(residual(x, b))
+                    ec = np.zeros_like(rc)
+                    child.execute(ec, rc, self.direct)
+                    interpolate_correction(x, ec)
+                    sor_redblack(x, b, OMEGA_RECURSE, 1)
+                worst = min(worst, judge.accuracy_of(x))
+            algo = (
+                ParetoAlgorithm(kind="sor", iterations=t)
+                if child is None
+                else ParetoAlgorithm(kind="recurse", iterations=t, child=child)
+            )
+            points.append(ParetoPoint(algo, unit_seconds * t, worst))
+        return points

@@ -1,0 +1,220 @@
+"""Tuned plans: the output of the autotuner.
+
+A plan is the paper's "family of functions MULTIGRID-V_i" (and
+FULL-MULTIGRID_i): for every level k and accuracy index i it stores the
+choice the DP selected.  Plans are:
+
+* executable (:mod:`repro.tuner.executor`),
+* exactly priceable — execution is open-loop with trained iteration
+  counts, so the multiset of primitive ops is known analytically
+  (:meth:`TunedVPlan.unit_meter`), and
+* serializable (:mod:`repro.tuner.config`), playing the role of the
+  PetaBricks configuration file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.machines.meter import OpMeter
+from repro.machines.profile import MachineProfile
+from repro.tuner.choices import (
+    Choice,
+    DirectChoice,
+    EstimateChoice,
+    RecurseChoice,
+    SORChoice,
+)
+from repro.util.validation import size_of_level
+
+__all__ = ["TunedFullMGPlan", "TunedVPlan", "recurse_wrapper_meter"]
+
+DEFAULT_ACCURACIES: tuple[float, ...] = (1e1, 1e3, 1e5, 1e7, 1e9)
+
+
+def recurse_wrapper_meter(n: int) -> OpMeter:
+    """Ops of one RECURSE application at fine size ``n``, excluding the
+    coarse-grid call: two SOR(1.15) sweeps, residual, restriction,
+    interpolation+correction."""
+    meter = OpMeter()
+    meter.charge("relax", n, 2)
+    meter.charge("residual", n)
+    meter.charge("restrict", n)
+    meter.charge("interpolate", n)
+    return meter
+
+
+def _check_table(
+    table: Mapping[tuple[int, int], Choice],
+    accuracies: tuple[float, ...],
+    max_level: int,
+    allow_estimate: bool,
+) -> None:
+    m = len(accuracies)
+    if m < 1:
+        raise ValueError("need at least one accuracy level")
+    if any(a <= 1.0 for a in accuracies):
+        raise ValueError("accuracy levels are reduction ratios and must be > 1")
+    if list(accuracies) != sorted(accuracies):
+        raise ValueError("accuracies must be sorted ascending")
+    if max_level < 1:
+        raise ValueError("max_level must be >= 1")
+    for level in range(1, max_level + 1):
+        for i in range(m):
+            choice = table.get((level, i))
+            if choice is None:
+                raise ValueError(f"missing choice for (level={level}, acc={i})")
+            if isinstance(choice, EstimateChoice) and not allow_estimate:
+                raise ValueError("EstimateChoice is only valid in full-MG plans")
+            if isinstance(choice, (SORChoice, RecurseChoice)) and choice.iterations < 1:
+                raise ValueError(
+                    f"plan slot (level={level}, acc={i}) needs >= 1 iteration"
+                )
+            if isinstance(choice, (RecurseChoice, EstimateChoice)) and level == 1:
+                raise ValueError("level 1 (3x3) cannot recurse")
+            sub = None
+            if isinstance(choice, RecurseChoice):
+                sub = choice.sub_accuracy
+            elif isinstance(choice, EstimateChoice):
+                sub = choice.estimate_accuracy
+                if isinstance(choice.solver, RecurseChoice):
+                    if not 0 <= choice.solver.sub_accuracy < m:
+                        raise ValueError("estimate solver sub_accuracy out of range")
+            if sub is not None and not 0 <= sub < m:
+                raise ValueError(f"sub accuracy index {sub} out of range [0, {m})")
+
+
+@dataclass
+class TunedVPlan:
+    """Tuned MULTIGRID-V_i family over levels 1..max_level."""
+
+    accuracies: tuple[float, ...]
+    max_level: int
+    table: dict[tuple[int, int], Choice]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.accuracies = tuple(float(a) for a in self.accuracies)
+        _check_table(self.table, self.accuracies, self.max_level, allow_estimate=False)
+        self._meters: dict[tuple[int, int], OpMeter] = {}
+
+    # -- lookups ----------------------------------------------------------
+
+    @property
+    def num_accuracies(self) -> int:
+        return len(self.accuracies)
+
+    def accuracy_index(self, target: float) -> int:
+        """Smallest ladder index whose accuracy is >= target."""
+        for i, p in enumerate(self.accuracies):
+            if p >= target - 1e-12:
+                return i
+        raise ValueError(
+            f"target accuracy {target:g} above the ladder {self.accuracies}"
+        )
+
+    def choice(self, level: int, acc_index: int) -> Choice:
+        return self.table[(level, acc_index)]
+
+    # -- pricing ----------------------------------------------------------
+
+    def unit_meter(self, level: int, acc_index: int) -> OpMeter:
+        """Exact op multiset of one MULTIGRID-V_{acc_index} call at ``level``."""
+        key = (level, acc_index)
+        cached = self._meters.get(key)
+        if cached is not None:
+            return cached
+        choice = self.table[key]
+        n = size_of_level(level)
+        meter = OpMeter()
+        if isinstance(choice, DirectChoice):
+            meter.charge("direct", n)
+        elif isinstance(choice, SORChoice):
+            meter.charge("relax", n, choice.iterations)
+        elif isinstance(choice, RecurseChoice):
+            wrapper = recurse_wrapper_meter(n)
+            wrapper.merge(self.unit_meter(level - 1, choice.sub_accuracy))
+            meter.merge(wrapper, times=choice.iterations)
+        else:  # pragma: no cover - table validated at construction
+            raise TypeError(f"invalid V-plan choice {choice!r}")
+        self._meters[key] = meter
+        return meter
+
+    def time_on(
+        self, profile: MachineProfile, level: int, acc_index: int, threads: int | None = None
+    ) -> float:
+        """Simulated seconds of one call under ``profile``."""
+        return profile.price(self.unit_meter(level, acc_index), threads)
+
+    def invalidate_pricing_cache(self) -> None:
+        self._meters.clear()
+
+
+@dataclass
+class TunedFullMGPlan:
+    """Tuned FULL-MULTIGRID_i family; solve-phase recursion uses ``vplan``."""
+
+    accuracies: tuple[float, ...]
+    max_level: int
+    table: dict[tuple[int, int], Choice]
+    vplan: TunedVPlan
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.accuracies = tuple(float(a) for a in self.accuracies)
+        _check_table(self.table, self.accuracies, self.max_level, allow_estimate=True)
+        if self.vplan.accuracies != self.accuracies:
+            raise ValueError("full-MG plan and V plan must share the accuracy ladder")
+        if self.vplan.max_level < self.max_level:
+            raise ValueError("V plan must cover at least the full-MG plan's levels")
+        self._meters: dict[tuple[int, int], OpMeter] = {}
+
+    @property
+    def num_accuracies(self) -> int:
+        return len(self.accuracies)
+
+    def accuracy_index(self, target: float) -> int:
+        return self.vplan.accuracy_index(target)
+
+    def choice(self, level: int, acc_index: int) -> Choice:
+        return self.table[(level, acc_index)]
+
+    def unit_meter(self, level: int, acc_index: int) -> OpMeter:
+        """Exact op multiset of one FULL-MULTIGRID_{acc_index} call."""
+        key = (level, acc_index)
+        cached = self._meters.get(key)
+        if cached is not None:
+            return cached
+        choice = self.table[key]
+        n = size_of_level(level)
+        meter = OpMeter()
+        if isinstance(choice, DirectChoice):
+            meter.charge("direct", n)
+        elif isinstance(choice, EstimateChoice):
+            # Estimation phase: residual, restrict, recursive full-MG call,
+            # interpolate + correct.
+            meter.charge("residual", n)
+            meter.charge("restrict", n)
+            meter.merge(self.unit_meter(level - 1, choice.estimate_accuracy))
+            meter.charge("interpolate", n)
+            solver = choice.solver
+            if isinstance(solver, SORChoice):
+                meter.charge("relax", n, solver.iterations)
+            else:
+                wrapper = recurse_wrapper_meter(n)
+                wrapper.merge(self.vplan.unit_meter(level - 1, solver.sub_accuracy))
+                meter.merge(wrapper, times=solver.iterations)
+        else:  # pragma: no cover - table validated at construction
+            raise TypeError(f"invalid full-MG choice {choice!r}")
+        self._meters[key] = meter
+        return meter
+
+    def time_on(
+        self, profile: MachineProfile, level: int, acc_index: int, threads: int | None = None
+    ) -> float:
+        return profile.price(self.unit_meter(level, acc_index), threads)
+
+    def invalidate_pricing_cache(self) -> None:
+        self._meters.clear()
+        self.vplan.invalidate_pricing_cache()

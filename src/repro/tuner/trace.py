@@ -1,0 +1,74 @@
+"""Execution traces of tuned algorithms.
+
+A trace is the temporal sequence of primitive events a tuned plan performs,
+annotated with recursion levels and accuracy indices.  Figures 4 (call
+stacks), 5 and 14 (cycle shapes) of the paper are renderings of exactly
+this information; :mod:`repro.cycles` consumes traces to draw them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Literal
+
+__all__ = ["NULL_TRACE", "Trace", "TraceEvent"]
+
+EventKind = Literal[
+    "enter",  # entering MULTIGRID-V_i / FULL-MULTIGRID_i at a level
+    "exit",  # leaving it
+    "relax",  # one SOR sweep inside RECURSE
+    "sor",  # standalone iterated-SOR solve (dashed arrow in Fig 5)
+    "direct",  # direct solve (solid arrow in Fig 5)
+    "descend",  # residual + restriction to the coarser level
+    "ascend",  # interpolation + correction back to the finer level
+    "estimate",  # start of a full-MG estimation phase
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: EventKind
+    level: int
+    #: accuracy index for enter/estimate events, sweep count for sor, else 0
+    detail: int = 0
+
+
+class Trace:
+    """Append-only event recorder."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, kind: EventKind, level: int, detail: int = 0) -> None:
+        self.events.append(TraceEvent(kind, level, detail))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+    def min_level(self) -> int:
+        """Coarsest level the execution touched."""
+        if not self.events:
+            raise ValueError("empty trace")
+        return min(e.level for e in self.events)
+
+    def counts(self, kind: EventKind) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+
+class _NullTrace(Trace):
+    """Trace that drops events (default when callers don't need one)."""
+
+    def emit(self, kind: EventKind, level: int, detail: int = 0) -> None:  # noqa: D102
+        pass
+
+
+#: Shared do-nothing trace.
+NULL_TRACE = _NullTrace()

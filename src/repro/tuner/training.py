@@ -1,0 +1,84 @@
+"""Training data management for the tuner.
+
+One :class:`TrainingData` instance owns the per-level training problems,
+their reference solutions (memoized), and their accuracy judges.  The paper
+(section 2.2): "we assume we have access to representative training data so
+that the accuracy level of our algorithms during tuning closely reflects
+their accuracy level during use."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.accuracy.judge import AccuracyJudge
+from repro.accuracy.reference import ReferenceSolutionCache
+from repro.util.validation import size_of_level
+from repro.workloads.distributions import training_set
+from repro.workloads.problem import PoissonProblem
+
+__all__ = ["LevelTraining", "TrainingData"]
+
+
+@dataclass(frozen=True)
+class LevelTraining:
+    """Training instances and judges for one grid level."""
+
+    level: int
+    problems: Sequence[PoissonProblem]
+    judges: Sequence[AccuracyJudge]
+
+    def fresh_starts(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Fresh (x, b) pairs for a candidate evaluation run."""
+        return [(p.initial_guess(), p.b) for p in self.problems]
+
+    def accuracy_fns(self):
+        return [j.accuracy_of for j in self.judges]
+
+
+class TrainingData:
+    """Lazy per-level training sets drawn from one distribution.
+
+    Parameters
+    ----------
+    distribution:
+        Name from :data:`repro.workloads.DISTRIBUTIONS`.
+    instances:
+        Training instances per level.  The paper uses representative data;
+        a handful of instances keeps worst-case aggregation meaningful
+        without exploding tuning time.
+    seed:
+        Experiment seed; every level derives its own stream.
+    """
+
+    def __init__(
+        self,
+        distribution: str = "unbiased",
+        instances: int = 3,
+        seed: int | None = 0,
+        reference_cache: ReferenceSolutionCache | None = None,
+    ) -> None:
+        if instances < 1:
+            raise ValueError("instances must be >= 1")
+        self.distribution = distribution
+        self.instances = instances
+        self.seed = seed
+        self.references = reference_cache or ReferenceSolutionCache()
+        self._levels: dict[int, LevelTraining] = {}
+
+    def at_level(self, level: int) -> LevelTraining:
+        """Training set for ``level`` (materialized on first use)."""
+        cached = self._levels.get(level)
+        if cached is not None:
+            return cached
+        n = size_of_level(level)
+        problems = training_set(self.distribution, n, self.instances, self.seed)
+        judges = [
+            AccuracyJudge(p.initial_guess(), self.references.get(p)) for p in problems
+        ]
+        bundle = LevelTraining(level=level, problems=problems, judges=judges)
+        self._levels[level] = bundle
+        return bundle

@@ -1,0 +1,60 @@
+"""Wall-clock measurement helpers used by the wallclock tuning mode.
+
+The default tuning mode prices operations with a machine cost model (see
+:mod:`repro.machines`); these helpers exist for ``timing="wallclock"`` runs
+and for the host-profile calibration microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+__all__ = ["WallClock", "median_time"]
+
+
+class WallClock:
+    """Accumulating stopwatch based on :func:`time.perf_counter`.
+
+    >>> clock = WallClock()
+    >>> with clock:
+    ...     pass
+    >>> clock.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "WallClock":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+
+def median_time(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    A small number of warmup calls absorbs one-time costs (allocation,
+    import, branch-predictor warm-up) so the median reflects steady state.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)

@@ -1,0 +1,66 @@
+"""Grid-size validation helpers.
+
+The paper assumes all grids have N = 2^k + 1 points on a side for a positive
+integer k (the *level*).  Level 1 is the 3x3 base case solved directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_grid_size",
+    "check_square_grid",
+    "is_grid_size",
+    "level_of_size",
+    "size_of_level",
+]
+
+
+def size_of_level(level: int) -> int:
+    """Grid points per side at ``level``: N = 2**level + 1.
+
+    >>> size_of_level(1), size_of_level(5)
+    (3, 33)
+    """
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    return (1 << level) + 1
+
+
+def level_of_size(n: int) -> int:
+    """Inverse of :func:`size_of_level`; raises if ``n`` is not 2**k + 1."""
+    if n < 3:
+        raise ValueError(f"grid size must be >= 3, got {n}")
+    k = (n - 1).bit_length() - 1
+    if (1 << k) + 1 != n:
+        raise ValueError(f"grid size must be 2**k + 1 for integer k >= 1, got {n}")
+    return k
+
+
+def is_grid_size(n: int) -> bool:
+    """True if ``n`` is a valid multigrid size 2**k + 1 with k >= 1."""
+    try:
+        level_of_size(n)
+    except ValueError:
+        return False
+    return True
+
+
+def check_grid_size(n: int) -> int:
+    """Validate ``n`` and return its level."""
+    return level_of_size(n)
+
+
+def check_square_grid(a: np.ndarray, name: str = "grid") -> int:
+    """Validate that ``a`` is a square 2-D float array of size 2**k+1.
+
+    Returns the grid's level.
+    """
+    if a.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got ndim={a.ndim}")
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {a.shape}")
+    if not np.issubdtype(a.dtype, np.floating):
+        raise TypeError(f"{name} must be a float array, got dtype {a.dtype}")
+    return level_of_size(a.shape[0])

@@ -1,0 +1,29 @@
+"""Training and benchmark input generators.
+
+Section 4 of the paper: "We decided to use matrices with entries drawn from
+two different random distributions: 1) uniform over [-2^32, 2^32]
+(unbiased), and 2) the same distribution shifted in the positive direction
+by 2^31 (biased).  The random entries were used to generate right-hand sides
+(b) and boundary conditions (boundaries of x)."  A point-source/sink family
+is also mentioned; all three are implemented here.
+"""
+
+from repro.workloads.problem import PoissonProblem
+from repro.workloads.distributions import (
+    DISTRIBUTIONS,
+    biased_uniform,
+    make_problem,
+    point_sources,
+    training_set,
+    unbiased_uniform,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "PoissonProblem",
+    "biased_uniform",
+    "make_problem",
+    "point_sources",
+    "training_set",
+    "unbiased_uniform",
+]

@@ -1,0 +1,58 @@
+"""Problem bundle: right-hand side, Dirichlet boundary, initial guess."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grids.boundary import set_boundary
+from repro.util.validation import check_square_grid, level_of_size
+
+__all__ = ["PoissonProblem"]
+
+
+@dataclass(frozen=True)
+class PoissonProblem:
+    """One instance of the discrete Poisson problem A u = b.
+
+    ``b`` is the full-grid right-hand side (its boundary ring is unused) and
+    ``boundary`` is the Dirichlet data in :func:`repro.grids.boundary.
+    boundary_ring` layout.  The canonical initial guess is zero in the
+    interior with the boundary ring applied — the state "x" that the
+    paper's accuracy ratio uses as x_in.
+    """
+
+    b: np.ndarray
+    boundary: np.ndarray
+    label: str = "unnamed"
+    seed: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        check_square_grid(self.b, "b")
+        n = self.b.shape[0]
+        if self.boundary.shape != (4 * n - 4,):
+            raise ValueError(
+                f"boundary length {self.boundary.shape} != ({4 * n - 4},) for n={n}"
+            )
+        self.b.setflags(write=False)
+        self.boundary.setflags(write=False)
+
+    @property
+    def n(self) -> int:
+        return self.b.shape[0]
+
+    @property
+    def level(self) -> int:
+        return level_of_size(self.n)
+
+    def initial_guess(self) -> np.ndarray:
+        """Fresh writable grid: zero interior, Dirichlet boundary ring."""
+        x = np.zeros_like(self.b)
+        set_boundary(x, self.boundary)
+        return x
+
+    def rhs(self) -> np.ndarray:
+        """Writable copy of the right-hand side (solvers never mutate b, but
+        callers sometimes need one)."""
+        return self.b.copy()

@@ -1,0 +1,83 @@
+"""Tests for iterations-to-accuracy estimation on synthetic contractions."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.estimator import InfeasibleCandidate, iterations_to_accuracy
+
+
+def _contraction_setup(factors):
+    """Instances whose error halves (etc.) per step: x holds the error norm
+    in cell (1,1); a step multiplies it by its factor."""
+    starts = []
+    fns = []
+    for f in factors:
+        x = np.zeros((3, 3))
+        x[1, 1] = 1.0
+        b = np.full((3, 3), f)
+        starts.append((x, b))
+
+        def acc(grid):
+            v = abs(grid[1, 1])
+            return np.inf if v == 0 else 1.0 / v
+
+        fns.append(acc)
+    return starts, fns
+
+
+def _step(x, b):
+    x[1, 1] *= b[1, 1]
+
+
+class TestIterationsToAccuracy:
+    # Contraction factors are powers of two so step counts are exact in
+    # binary floating point.
+
+    def test_exact_count_single_instance(self):
+        starts, fns = _contraction_setup([0.5])
+        # Error 2x down per step; accuracy 8 needs exactly 3 steps.
+        assert iterations_to_accuracy(_step, starts, fns, 8.0, 50) == 3
+
+    def test_max_aggregate_takes_worst(self):
+        starts, fns = _contraction_setup([0.25, 0.5])
+        # 4^s >= 256 needs 4 steps; 2^s >= 256 needs 8.
+        assert iterations_to_accuracy(_step, starts, fns, 256.0, 50, "max") == 8
+
+    def test_median_aggregate(self):
+        starts, fns = _contraction_setup([0.25, 0.25, 0.5])
+        assert iterations_to_accuracy(_step, starts, fns, 256.0, 50, "median") == 4
+
+    def test_mean_aggregate_rounds_up(self):
+        starts, fns = _contraction_setup([0.25, 0.5])
+        # 128: 4 steps at 0.25, 7 steps at 0.5 -> mean 5.5 -> 6.
+        assert iterations_to_accuracy(_step, starts, fns, 128.0, 50, "mean") == 6
+
+    def test_zero_iterations_when_already_there(self):
+        starts, fns = _contraction_setup([0.5])
+        starts[0][0][1, 1] = 1e-9  # already accurate
+        assert iterations_to_accuracy(_step, starts, fns, 1e3, 50) == 0
+
+    def test_infeasible_raises(self):
+        starts, fns = _contraction_setup([1.0])  # no progress
+        with pytest.raises(InfeasibleCandidate) as exc:
+            iterations_to_accuracy(_step, starts, fns, 1e3, max_iters=7)
+        assert exc.value.iterations_tried == 7
+
+    def test_misaligned_inputs_rejected(self):
+        starts, fns = _contraction_setup([0.5, 0.5])
+        with pytest.raises(ValueError):
+            iterations_to_accuracy(_step, starts, fns[:1], 1e3, 50)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            iterations_to_accuracy(_step, [], [], 1e3, 50)
+
+    def test_bad_max_iters_rejected(self):
+        starts, fns = _contraction_setup([0.5])
+        with pytest.raises(ValueError):
+            iterations_to_accuracy(_step, starts, fns, 1e3, 0)
+
+    def test_unknown_aggregate_rejected(self):
+        starts, fns = _contraction_setup([0.5])
+        with pytest.raises(ValueError):
+            iterations_to_accuracy(_step, starts, fns, 1e3, 50, "p99")

@@ -1,0 +1,117 @@
+"""Tests for the accuracy metric, reference solutions, and their cache."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accuracy.judge import AccuracyJudge, accuracy_ratio
+from repro.accuracy.reference import ReferenceSolutionCache, reference_solution
+from repro.grids.norms import residual_norm
+from repro.grids.poisson import residual
+from repro.linalg.direct import DirectSolver
+from repro.workloads.distributions import make_problem
+
+
+class TestAccuracyRatio:
+    def test_order_of_magnitude(self, rng):
+        x_opt = rng.standard_normal((9, 9))
+        e = np.zeros((9, 9))
+        e[1:-1, 1:-1] = rng.standard_normal((7, 7))
+        x_in = x_opt + e
+        x_out = x_opt + 0.01 * e
+        assert accuracy_ratio(x_in, x_out, x_opt) == pytest.approx(100.0)
+
+    def test_perfect_output_is_inf(self, rng):
+        x_opt = rng.standard_normal((9, 9))
+        x_in = x_opt + 1.0
+        assert accuracy_ratio(x_in, x_opt.copy(), x_opt) == math.inf
+
+    def test_already_optimal_input(self, rng):
+        x_opt = rng.standard_normal((9, 9))
+        assert accuracy_ratio(x_opt.copy(), x_opt.copy(), x_opt) == math.inf
+        worse = x_opt.copy()
+        worse[2, 2] += 1.0
+        assert accuracy_ratio(x_opt.copy(), worse, x_opt) == 0.0
+
+    def test_degrading_output_below_one(self, rng):
+        x_opt = rng.standard_normal((9, 9))
+        e = np.zeros((9, 9))
+        e[1:-1, 1:-1] = 1.0
+        assert accuracy_ratio(x_opt + e, x_opt + 2 * e, x_opt) == pytest.approx(0.5)
+
+
+class TestJudge:
+    def test_judge_matches_ratio(self, rng):
+        x_opt = rng.standard_normal((9, 9))
+        x_in = x_opt + rng.standard_normal((9, 9))
+        judge = AccuracyJudge(x_in, x_opt)
+        x = x_opt + 0.1 * (x_in - x_opt)
+        assert judge.accuracy_of(x) == pytest.approx(accuracy_ratio(x_in, x, x_opt))
+
+    def test_achieved(self, rng):
+        x_opt = rng.standard_normal((9, 9))
+        e = np.zeros((9, 9))
+        e[1:-1, 1:-1] = 1.0
+        judge = AccuracyJudge(x_opt + e, x_opt)
+        assert judge.achieved(x_opt + 0.001 * e, 1e3)
+        assert not judge.achieved(x_opt + 0.1 * e, 1e3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            AccuracyJudge(np.zeros((9, 9)), np.zeros((5, 5)))
+
+
+class TestReferenceSolution:
+    def test_matches_direct_solver_small(self):
+        problem = make_problem("unbiased", 17, seed=61)
+        x_opt = reference_solution(problem)
+        x = problem.initial_guess()
+        DirectSolver(backend="lapack").solve(x, problem.b)
+        np.testing.assert_allclose(x_opt, x, rtol=1e-12)
+
+    def test_multigrid_path_reaches_machine_precision(self):
+        problem = make_problem("unbiased", 33, seed=62)
+        x_opt = reference_solution(problem, direct_cutoff=9)  # force MG path
+        scale = float(np.abs(problem.b).max())
+        assert residual_norm(residual(np.array(x_opt), problem.b)) <= 1e-10 * scale
+
+    def test_mg_path_agrees_with_direct(self):
+        problem = make_problem("biased", 33, seed=63)
+        via_direct = reference_solution(problem, direct_cutoff=65)
+        via_mg = reference_solution(problem, direct_cutoff=9)
+        err = np.abs(via_direct - via_mg).max()
+        assert err <= 1e-8 * np.abs(via_direct).max()
+
+    def test_result_is_readonly(self):
+        problem = make_problem("unbiased", 9, seed=64)
+        x_opt = reference_solution(problem)
+        with pytest.raises((ValueError, RuntimeError)):
+            x_opt[1, 1] = 0.0
+
+
+class TestReferenceCache:
+    def test_memoizes(self):
+        cache = ReferenceSolutionCache()
+        problem = make_problem("unbiased", 9, seed=65)
+        a = cache.get(problem)
+        b = cache.get(problem)
+        assert a is b
+        assert len(cache) == 1
+
+    def test_distinct_problems_distinct_entries(self):
+        cache = ReferenceSolutionCache()
+        p1 = make_problem("unbiased", 9, seed=66)
+        p2 = make_problem("unbiased", 9, seed=67)
+        assert cache.get(p1) is not cache.get(p2)
+
+    def test_id_reuse_cannot_poison_cache(self):
+        # Regression: ids of garbage-collected problems must never alias a
+        # cache entry to the wrong reference solution.
+        cache = ReferenceSolutionCache()
+        for i in range(6):
+            # Transient problems of alternating sizes; CPython frequently
+            # reuses ids across these allocations.
+            problem = make_problem("unbiased", 9 if i % 2 else 17, seed=100 + i)
+            x_opt = cache.get(problem)
+            assert x_opt.shape == problem.b.shape

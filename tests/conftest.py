@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Expensive artifacts (tuned plans, reference solutions) are session-scoped:
+the DP tuner is deterministic given (seed, profile), so sharing one tuned
+plan across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy.reference import ReferenceSolutionCache
+from repro.machines.presets import AMD_BARCELONA, INTEL_HARPERTOWN, SUN_NIAGARA
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.full_mg import FullMGTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+from repro.workloads.distributions import make_problem
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def small_problem():
+    """A 17x17 unbiased instance (level 4)."""
+    return make_problem("unbiased", 17, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_problem():
+    """A 33x33 unbiased instance (level 5)."""
+    return make_problem("unbiased", 33, seed=12)
+
+
+@pytest.fixture(scope="session")
+def reference_cache():
+    return ReferenceSolutionCache()
+
+
+@pytest.fixture(scope="session")
+def shared_training():
+    """Training data shared by the session-scoped tuned plans."""
+    return TrainingData(distribution="unbiased", instances=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tuned_plan(shared_training):
+    """A V plan tuned to level 5 on the Intel cost model."""
+    tuner = VCycleTuner(
+        max_level=5,
+        training=shared_training,
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+    )
+    return tuner.tune()
+
+
+@pytest.fixture(scope="session")
+def tuned_fmg_plan(tuned_plan, shared_training):
+    """A full-MG plan sharing the session V plan."""
+    tuner = FullMGTuner(
+        vplan=tuned_plan,
+        training=shared_training,
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+    )
+    return tuner.tune()
+
+
+@pytest.fixture(params=["intel", "amd", "sun"])
+def any_profile(request):
+    return {
+        "intel": INTEL_HARPERTOWN,
+        "amd": AMD_BARCELONA,
+        "sun": SUN_NIAGARA,
+    }[request.param]

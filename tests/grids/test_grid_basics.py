@@ -1,0 +1,117 @@
+"""Tests for grid construction, boundary handling, and norms."""
+
+import numpy as np
+import pytest
+
+from repro.grids.boundary import apply_dirichlet, boundary_ring, set_boundary
+from repro.grids.grid import (
+    alloc_grid,
+    coarsen_size,
+    interior,
+    mesh_width,
+    refine_size,
+    zero_boundary,
+)
+from repro.grids.norms import error_norm, interior_norm, residual_norm
+
+
+class TestGrid:
+    def test_alloc_zero(self):
+        g = alloc_grid(9)
+        assert g.shape == (9, 9) and g.dtype == np.float64
+        assert np.all(g == 0)
+
+    def test_alloc_fill(self):
+        assert np.all(alloc_grid(5, fill=2.5) == 2.5)
+
+    def test_alloc_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            alloc_grid(10)
+
+    def test_mesh_width(self):
+        assert mesh_width(5) == pytest.approx(0.25)
+
+    def test_coarsen_refine_round_trip(self):
+        assert coarsen_size(33) == 17
+        assert refine_size(17) == 33
+        assert refine_size(coarsen_size(129)) == 129
+
+    def test_coarsen_base_raises(self):
+        with pytest.raises(ValueError):
+            coarsen_size(3)
+
+    def test_interior_is_view(self):
+        g = alloc_grid(5)
+        inner = interior(g)
+        inner[:] = 7.0
+        assert g[1, 1] == 7.0
+        assert g[0, 0] == 0.0
+
+    def test_zero_boundary(self, rng):
+        g = rng.standard_normal((9, 9))
+        inner_before = g[1:-1, 1:-1].copy()
+        zero_boundary(g)
+        assert np.all(g[0, :] == 0) and np.all(g[:, -1] == 0)
+        np.testing.assert_array_equal(g[1:-1, 1:-1], inner_before)
+
+
+class TestBoundary:
+    def test_ring_round_trip(self, rng):
+        g = rng.standard_normal((9, 9))
+        ring = boundary_ring(g)
+        assert ring.shape == (4 * 9 - 4,)
+        h = np.zeros((9, 9))
+        set_boundary(h, ring)
+        np.testing.assert_array_equal(boundary_ring(h), ring)
+
+    def test_set_boundary_leaves_interior(self, rng):
+        g = rng.standard_normal((9, 9))
+        inner = g[1:-1, 1:-1].copy()
+        set_boundary(g, np.ones(4 * 9 - 4))
+        np.testing.assert_array_equal(g[1:-1, 1:-1], inner)
+
+    def test_set_boundary_wrong_length(self):
+        with pytest.raises(ValueError):
+            set_boundary(np.zeros((9, 9)), np.zeros(5))
+
+    def test_apply_dirichlet_scalar(self):
+        g = np.zeros((5, 5))
+        apply_dirichlet(g, 3.0)
+        assert np.all(g[0, :] == 3.0) and np.all(g[:, -1] == 3.0)
+        assert g[2, 2] == 0.0
+
+    def test_apply_dirichlet_ring(self, rng):
+        ring = rng.standard_normal(4 * 5 - 4)
+        g = apply_dirichlet(np.zeros((5, 5)), ring)
+        np.testing.assert_array_equal(boundary_ring(g), ring)
+
+
+class TestNorms:
+    def test_interior_norm_matches_numpy(self, rng):
+        g = rng.standard_normal((9, 9))
+        assert interior_norm(g) == pytest.approx(
+            float(np.linalg.norm(g[1:-1, 1:-1]))
+        )
+
+    def test_error_norm_symmetric_in_shift(self, rng):
+        a = rng.standard_normal((9, 9))
+        b = rng.standard_normal((9, 9))
+        assert error_norm(a, b) == pytest.approx(error_norm(b, a))
+
+    def test_error_norm_zero_for_equal(self, rng):
+        a = rng.standard_normal((9, 9))
+        assert error_norm(a, a) == 0.0
+
+    def test_error_norm_ignores_boundary(self, rng):
+        a = rng.standard_normal((9, 9))
+        b = a.copy()
+        b[0, :] += 100.0  # boundary-only difference
+        assert error_norm(a, b) == 0.0
+
+    def test_error_norm_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_norm(np.zeros((9, 9)), np.zeros((5, 5)))
+
+    def test_residual_norm_alias(self, rng):
+        g = rng.standard_normal((9, 9))
+        assert residual_norm(g) == interior_norm(g)

@@ -1,0 +1,109 @@
+"""Tests for the discrete Poisson operator against a dense construction."""
+
+import numpy as np
+import pytest
+
+from repro.grids.grid import mesh_width
+from repro.grids.poisson import apply_poisson, residual, rhs_scale
+
+
+def dense_poisson_matrix(n: int) -> np.ndarray:
+    """Dense SPD matrix over interior unknowns (row-major), for testing."""
+    m = n - 2
+    inv_h2 = rhs_scale(n)
+    a = np.zeros((m * m, m * m))
+    for i in range(m):
+        for j in range(m):
+            row = i * m + j
+            a[row, row] = 4.0 * inv_h2
+            if i > 0:
+                a[row, row - m] = -inv_h2
+            if i < m - 1:
+                a[row, row + m] = -inv_h2
+            if j > 0:
+                a[row, row - 1] = -inv_h2
+            if j < m - 1:
+                a[row, row + 1] = -inv_h2
+    return a
+
+
+class TestApplyPoisson:
+    @pytest.mark.parametrize("n", [3, 5, 9, 17])
+    def test_matches_dense_matrix_on_zero_boundary(self, n, rng):
+        u = np.zeros((n, n))
+        u[1:-1, 1:-1] = rng.standard_normal((n - 2, n - 2))
+        dense = dense_poisson_matrix(n)
+        expected = dense @ u[1:-1, 1:-1].reshape(-1)
+        got = apply_poisson(u)[1:-1, 1:-1].reshape(-1)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_boundary_of_output_is_zero(self, rng):
+        u = rng.standard_normal((9, 9))
+        out = apply_poisson(u)
+        assert np.all(out[0, :] == 0) and np.all(out[-1, :] == 0)
+        assert np.all(out[:, 0] == 0) and np.all(out[:, -1] == 0)
+
+    def test_out_parameter_reused(self, rng):
+        u = rng.standard_normal((9, 9))
+        scratch = rng.standard_normal((9, 9))
+        out = apply_poisson(u, out=scratch)
+        assert out is scratch
+        np.testing.assert_array_equal(out, apply_poisson(u))
+
+    def test_out_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            apply_poisson(np.zeros((9, 9)), out=np.zeros((5, 5)))
+
+    def test_constant_field_maps_through_boundary_terms(self):
+        # A globally constant grid is discretely harmonic: A u = 0.
+        u = np.full((17, 17), 3.5)
+        out = apply_poisson(u)
+        np.testing.assert_allclose(out, 0.0, atol=1e-9)
+
+    def test_scaling_with_h(self):
+        # Doubling resolution quadruples 1/h^2.
+        assert rhs_scale(5) * 4 == pytest.approx(rhs_scale(9))
+
+
+class TestResidual:
+    @pytest.mark.parametrize("n", [5, 9, 17])
+    def test_residual_is_b_minus_au(self, n, rng):
+        u = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        r = residual(u, b)
+        expected = b[1:-1, 1:-1] - apply_poisson(u)[1:-1, 1:-1]
+        np.testing.assert_allclose(r[1:-1, 1:-1], expected, rtol=1e-10, atol=1e-10)
+
+    def test_residual_zero_for_exact_solution(self, rng):
+        n = 9
+        u = rng.standard_normal((n, n))
+        b = apply_poisson(u)
+        # b was computed with u's own boundary, so residual vanishes.
+        r = residual(u, b)
+        np.testing.assert_allclose(r, 0.0, atol=1e-8)
+
+    def test_residual_boundary_zero(self, rng):
+        r = residual(rng.standard_normal((9, 9)), rng.standard_normal((9, 9)))
+        assert np.all(r[0, :] == 0) and np.all(r[:, -1] == 0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            residual(np.zeros((9, 9)), np.zeros((17, 17)))
+
+    def test_out_parameter(self, rng):
+        u = rng.standard_normal((9, 9))
+        b = rng.standard_normal((9, 9))
+        scratch = np.ones((9, 9))
+        out = residual(u, b, out=scratch)
+        assert out is scratch
+        np.testing.assert_array_equal(out, residual(u, b))
+
+    def test_boundary_values_feed_stencil(self):
+        # A hot boundary contributes to the residual of adjacent cells.
+        n = 5
+        u = np.zeros((n, n))
+        u[0, 2] = 1.0  # boundary point north of interior (1, 2)
+        b = np.zeros((n, n))
+        r = residual(u, b)
+        h = mesh_width(n)
+        assert r[1, 2] == pytest.approx(1.0 / (h * h))

@@ -1,0 +1,138 @@
+"""Tests for restriction and interpolation operators."""
+
+import numpy as np
+import pytest
+
+from repro.grids.transfer import (
+    interpolate_bilinear,
+    interpolate_correction,
+    restrict_full_weighting,
+    restrict_injection,
+)
+
+
+def dense_interpolation_matrix(nc: int) -> np.ndarray:
+    """Dense bilinear interpolation over full grids (testing only)."""
+    nf = 2 * (nc - 1) + 1
+    p = np.zeros((nf * nf, nc * nc))
+    for i in range(nc):
+        for j in range(nc):
+            coarse = np.zeros((nc, nc))
+            coarse[i, j] = 1.0
+            p[:, i * nc + j] = interpolate_bilinear(coarse).reshape(-1)
+    return p
+
+
+class TestRestriction:
+    def test_constant_interior_preserved(self):
+        fine = np.full((9, 9), 2.0)
+        coarse = restrict_full_weighting(fine)
+        # Interior coarse points average a constant stencil to the constant.
+        np.testing.assert_allclose(coarse[1:-1, 1:-1], 2.0)
+
+    def test_boundary_zeroed(self, rng):
+        coarse = restrict_full_weighting(rng.standard_normal((9, 9)))
+        assert np.all(coarse[0, :] == 0) and np.all(coarse[:, 0] == 0)
+
+    def test_mass_scales_by_quarter(self):
+        # Full weighting is P^T / 4: any interior fine delta carries total
+        # mass value/4 to the coarse grid.  A coincident point contributes
+        # 4/16 to exactly one coarse point.
+        fine = np.zeros((9, 9))
+        fine[4, 4] = 16.0
+        coarse = restrict_full_weighting(fine)
+        assert coarse[2, 2] == pytest.approx(4.0)
+        assert coarse[1:-1, 1:-1].sum() == pytest.approx(4.0)
+        # An edge-midpoint delta splits 2/16 + 2/16 across two coarse points.
+        fine = np.zeros((9, 9))
+        fine[3, 4] = 16.0
+        assert restrict_full_weighting(fine)[1:-1, 1:-1].sum() == pytest.approx(4.0)
+
+    def test_single_off_center_point_weights(self):
+        fine = np.zeros((9, 9))
+        fine[3, 4] = 16.0  # edge neighbour of coarse points (1,2) and (2,2)
+        coarse = restrict_full_weighting(fine)
+        assert coarse[1, 2] == pytest.approx(2.0)
+        assert coarse[2, 2] == pytest.approx(2.0)
+
+    def test_out_parameter(self, rng):
+        fine = rng.standard_normal((9, 9))
+        scratch = np.ones((5, 5))
+        out = restrict_full_weighting(fine, out=scratch)
+        assert out is scratch
+        np.testing.assert_array_equal(out, restrict_full_weighting(fine))
+
+    def test_out_wrong_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            restrict_full_weighting(np.zeros((9, 9)), out=np.zeros((9, 9)))
+
+    def test_cannot_restrict_base_grid(self):
+        with pytest.raises(ValueError):
+            restrict_full_weighting(np.zeros((3, 3)))
+
+    def test_injection_takes_coincident_values(self, rng):
+        fine = rng.standard_normal((9, 9))
+        coarse = restrict_injection(fine)
+        np.testing.assert_array_equal(coarse, fine[::2, ::2])
+
+
+class TestInterpolation:
+    def test_exact_on_bilinear_functions(self):
+        # Bilinear interpolation reproduces functions linear in x and y.
+        nc = 5
+        ii, jj = np.meshgrid(np.arange(nc), np.arange(nc), indexing="ij")
+        coarse = 2.0 * ii + 3.0 * jj + 1.0
+        fine = interpolate_bilinear(coarse)
+        fi, fj = np.meshgrid(np.arange(9) / 2, np.arange(9) / 2, indexing="ij")
+        np.testing.assert_allclose(fine, 2.0 * fi + 3.0 * fj + 1.0)
+
+    def test_coincident_points_copied(self, rng):
+        coarse = rng.standard_normal((5, 5))
+        fine = interpolate_bilinear(coarse)
+        np.testing.assert_array_equal(fine[::2, ::2], coarse)
+
+    def test_midpoints_average(self):
+        coarse = np.zeros((3, 3))
+        coarse[1, 1] = 4.0
+        fine = interpolate_bilinear(coarse)
+        assert fine[2, 2] == 4.0
+        assert fine[1, 2] == 2.0  # vertical midpoint
+        assert fine[2, 1] == 2.0  # horizontal midpoint
+        assert fine[1, 1] == 1.0  # cell center: average of 4
+
+    def test_adjoint_of_restriction_up_to_factor_four(self, rng):
+        # Full weighting R and bilinear interpolation P satisfy R = P^T / 4
+        # on interiors (the standard variational pairing in 2D).
+        nc, nf = 5, 9
+        fine = np.zeros((nf, nf))
+        fine[1:-1, 1:-1] = rng.standard_normal((nf - 2, nf - 2))
+        coarse = np.zeros((nc, nc))
+        coarse[1:-1, 1:-1] = rng.standard_normal((nc - 2, nc - 2))
+        lhs = np.vdot(restrict_full_weighting(fine), coarse)
+        rhs = np.vdot(fine, interpolate_bilinear(coarse)) / 4.0
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_interpolate_correction_matches_explicit_add(self, rng):
+        nf = 9
+        u = rng.standard_normal((nf, nf))
+        correction = np.zeros((5, 5))
+        correction[1:-1, 1:-1] = rng.standard_normal((3, 3))
+        expected = u.copy()
+        expected[1:-1, 1:-1] += interpolate_bilinear(correction)[1:-1, 1:-1]
+        got = interpolate_correction(u.copy(), correction)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_interpolate_correction_leaves_boundary(self, rng):
+        u = rng.standard_normal((9, 9))
+        boundary_before = u[0, :].copy()
+        interpolate_correction(u, rng.standard_normal((5, 5)))
+        np.testing.assert_array_equal(u[0, :], boundary_before)
+
+    def test_interpolate_correction_size_mismatch(self):
+        with pytest.raises(ValueError):
+            interpolate_correction(np.zeros((9, 9)), np.zeros((4, 4)))
+
+    def test_dense_matrix_row_sums(self):
+        # Every fine point's interpolation weights sum to 1.
+        p = dense_interpolation_matrix(3)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)

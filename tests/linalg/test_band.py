@@ -1,0 +1,96 @@
+"""Tests for band storage and the scalar reference band Cholesky."""
+
+import numpy as np
+import pytest
+
+from repro.grids.poisson import rhs_scale
+from repro.linalg.band import (
+    bandwidth_of_grid,
+    cholesky_banded_reference,
+    poisson_band_matrix,
+    solve_banded_reference,
+)
+from tests.grids.test_poisson import dense_poisson_matrix
+
+
+def band_to_dense(ab: np.ndarray) -> np.ndarray:
+    w = ab.shape[0] - 1
+    m = ab.shape[1]
+    a = np.zeros((m, m))
+    for off in range(w + 1):
+        for j in range(m - off):
+            a[j + off, j] = ab[off, j]
+            a[j, j + off] = ab[off, j]
+    return a
+
+
+class TestBandMatrix:
+    def test_bandwidth(self):
+        assert bandwidth_of_grid(9) == 7
+        assert bandwidth_of_grid(3) == 1
+
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_matches_dense_construction(self, n):
+        dense = dense_poisson_matrix(n)
+        from_band = band_to_dense(poisson_band_matrix(n))
+        np.testing.assert_allclose(from_band, dense)
+
+    def test_row_boundary_decoupling(self):
+        # Last unknown of a grid row has no east neighbour: the first
+        # subdiagonal must have zeros at row boundaries.
+        n = 5
+        ab = poisson_band_matrix(n)
+        w = n - 2
+        assert ab[1, w - 1] == 0.0
+        assert ab[1, 0] == pytest.approx(-rhs_scale(n))
+
+    def test_spd(self):
+        dense = band_to_dense(poisson_band_matrix(9))
+        eigvals = np.linalg.eigvalsh(dense)
+        assert eigvals.min() > 0
+
+
+class TestReferenceCholesky:
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_factor_matches_dense_cholesky(self, n):
+        ab = poisson_band_matrix(n)
+        lb = cholesky_banded_reference(ab)
+        dense_l = np.linalg.cholesky(band_to_dense(ab))
+        np.testing.assert_allclose(_lower_from_band(lb), dense_l, rtol=1e-12)
+
+    def test_input_not_modified(self):
+        ab = poisson_band_matrix(5)
+        before = ab.copy()
+        cholesky_banded_reference(ab)
+        np.testing.assert_array_equal(ab, before)
+
+    def test_non_spd_raises(self):
+        ab = poisson_band_matrix(5)
+        ab[0, :] = -1.0
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_banded_reference(ab)
+
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_solve_matches_dense(self, n, rng):
+        ab = poisson_band_matrix(n)
+        lb = cholesky_banded_reference(ab)
+        m = (n - 2) ** 2
+        rhs = rng.standard_normal(m)
+        x = solve_banded_reference(lb, rhs)
+        expected = np.linalg.solve(band_to_dense(ab), rhs)
+        np.testing.assert_allclose(x, expected, rtol=1e-9)
+
+    def test_solve_rejects_bad_rhs(self):
+        lb = cholesky_banded_reference(poisson_band_matrix(5))
+        with pytest.raises(ValueError):
+            solve_banded_reference(lb, np.zeros(4))
+
+
+def _lower_from_band(lb: np.ndarray) -> np.ndarray:
+    w = lb.shape[0] - 1
+    m = lb.shape[1]
+    lo = np.zeros((m, m))
+    for off in range(w + 1):
+        for j in range(m - off):
+            lo[j + off, j] = lb[off, j]
+    return lo

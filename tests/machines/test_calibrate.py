@@ -1,0 +1,55 @@
+"""Tests for host-profile calibration (real microbenchmarks, kept tiny)."""
+
+import pytest
+
+from repro.machines.calibrate import calibrate_host_profile, measure_op_times
+from repro.machines.meter import OpMeter
+
+
+@pytest.fixture(scope="module")
+def host_profile():
+    # Small levels and few repeats: seconds, not minutes.
+    return calibrate_host_profile(levels=(3, 4, 5), repeats=2)
+
+
+class TestMeasure:
+    def test_measures_all_ops(self):
+        samples = measure_op_times(levels=(3, 4), repeats=1)
+        for op in ("relax", "residual", "restrict", "interpolate", "direct"):
+            assert samples[op], f"no samples for {op}"
+            assert all(t >= 0.0 for _, t in samples[op])
+
+
+class TestCalibratedProfile:
+    def test_prices_positive_and_monotone(self, host_profile):
+        t_small = host_profile.stencil_time("relax", 9)
+        t_big = host_profile.stencil_time("relax", 129)
+        assert 0.0 < t_small < t_big
+
+    def test_direct_pricing_usable(self, host_profile):
+        # The calibrated profile must not blow up the direct estimate
+        # (regression for the normalized-bandwidth pitfall).
+        t = host_profile.direct_time(33)
+        assert 0.0 < t < 10.0
+
+    def test_price_meter(self, host_profile):
+        meter = OpMeter()
+        meter.charge("relax", 33, 5)
+        meter.charge("direct", 9)
+        assert host_profile.price(meter) > 0.0
+
+    def test_ballpark_against_wallclock(self, host_profile):
+        # The fitted model should predict a relax sweep within an order of
+        # magnitude of a fresh measurement (loose: shared CI machines).
+        import numpy as np
+
+        from repro.relax.sor import sor_redblack
+        from repro.util.timing import median_time
+
+        n = 65
+        u = np.random.default_rng(0).standard_normal((n, n))
+        b = np.random.default_rng(1).standard_normal((n, n))
+        measured = median_time(lambda: sor_redblack(u, b, 1.15, 1), repeats=3)
+        predicted = host_profile.stencil_time("relax", n)
+        assert predicted / measured < 10.0
+        assert measured / predicted < 10.0

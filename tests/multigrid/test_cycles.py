@@ -1,0 +1,107 @@
+"""Tests for the reference multigrid cycles."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.judge import AccuracyJudge
+from repro.accuracy.reference import reference_solution
+from repro.grids.norms import residual_norm
+from repro.grids.poisson import residual
+from repro.machines.meter import OpMeter
+from repro.multigrid.cycles import full_multigrid_cycle, vcycle, wcycle
+from repro.workloads.distributions import make_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem("unbiased", 33, seed=41)
+
+
+@pytest.fixture(scope="module")
+def x_opt(problem):
+    return reference_solution(problem)
+
+
+class TestVCycle:
+    def test_reduces_error_by_order_of_magnitude(self, problem, x_opt):
+        x = problem.initial_guess()
+        judge = AccuracyJudge(x, x_opt)
+        vcycle(x, problem.b)
+        assert judge.accuracy_of(x) > 5.0
+
+    def test_converges_to_machine_precision(self, problem):
+        x = problem.initial_guess()
+        for _ in range(30):
+            vcycle(x, problem.b)
+        scale = float(np.abs(problem.b).max())
+        assert residual_norm(residual(x, problem.b)) <= 1e-10 * scale
+
+    def test_base_case_is_exact(self):
+        tiny = make_problem("unbiased", 3, seed=42)
+        x = tiny.initial_guess()
+        vcycle(x, tiny.b)
+        assert residual_norm(residual(x, tiny.b)) <= 1e-6
+
+    def test_base_size_cutoff_respected(self, problem):
+        meter = OpMeter()
+        x = problem.initial_guess()
+        vcycle(x, problem.b, base_size=9, meter=meter)
+        assert meter.counts[("direct", 9)] == 1
+        assert ("relax", 5) not in meter.counts
+
+    def test_meter_counts_exact(self, problem):
+        # Level 5 V-cycle with base 3: relax 2x at n=33,17,9,5; direct at 3.
+        meter = OpMeter()
+        vcycle(problem.initial_guess(), problem.b, meter=meter)
+        for n in (33, 17, 9, 5):
+            assert meter.counts[("relax", n)] == 2
+            assert meter.counts[("residual", n)] == 1
+            assert meter.counts[("restrict", n)] == 1
+            assert meter.counts[("interpolate", n)] == 1
+        assert meter.counts[("direct", 3)] == 1
+
+    def test_zero_presweeps_allowed(self, problem, x_opt):
+        x = problem.initial_guess()
+        judge = AccuracyJudge(x, x_opt)
+        vcycle(x, problem.b, pre_sweeps=0, post_sweeps=2)
+        assert judge.accuracy_of(x) > 2.0
+
+
+class TestWCycle:
+    def test_reduces_error_at_least_as_much_as_v(self, problem, x_opt):
+        xv = problem.initial_guess()
+        xw = problem.initial_guess()
+        judge = AccuracyJudge(xv, x_opt)
+        vcycle(xv, problem.b)
+        wcycle(xw, problem.b)
+        assert judge.accuracy_of(xw) >= 0.9 * judge.accuracy_of(xv)
+
+    def test_visits_coarse_levels_twice(self, problem):
+        meter = OpMeter()
+        wcycle(problem.initial_guess(), problem.b, meter=meter)
+        # At one level below the top the W cycle recurses twice.
+        assert meter.counts[("relax", 17)] == 4
+        assert meter.counts[("relax", 9)] == 8
+
+
+class TestFullMultigrid:
+    def test_single_cycle_beats_single_vcycle(self, problem, x_opt):
+        xf = problem.initial_guess()
+        xv = problem.initial_guess()
+        judge = AccuracyJudge(xf, x_opt)
+        full_multigrid_cycle(xf, problem.b)
+        vcycle(xv, problem.b)
+        assert judge.accuracy_of(xf) > judge.accuracy_of(xv)
+
+    def test_estimation_phase_recurses(self, problem):
+        meter = OpMeter()
+        full_multigrid_cycle(problem.initial_guess(), problem.b, meter=meter)
+        # Estimation + solve-phase V cycles at every level: more than one
+        # residual per level below the top.
+        assert meter.counts[("residual", 17)] >= 2
+
+    def test_base_case(self):
+        tiny = make_problem("unbiased", 3, seed=43)
+        x = tiny.initial_guess()
+        full_multigrid_cycle(x, tiny.b)
+        assert residual_norm(residual(x, tiny.b)) <= 1e-6

@@ -1,0 +1,173 @@
+"""Tests for the mini-PetaBricks framework: language, configs, regions,
+choice grids, dependency graph."""
+
+import pytest
+
+from repro.petabricks.choicedep import ChoiceDependencyGraph
+from repro.petabricks.choicegrid import build_choice_grid
+from repro.petabricks.configfile import Configuration, ConfigSpace
+from repro.petabricks.demos import make_sort_transform, stencil_choice_grid
+from repro.petabricks.language import Rule, Transform, TunableParam
+from repro.petabricks.regions import Region, applicable_region, region_intersection
+
+
+class TestRegions:
+    def test_area_and_contains(self):
+        r = Region(0, 4, 0, 3)
+        assert r.area == 12
+        assert r.contains(3, 2)
+        assert not r.contains(4, 0)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Region(2, 1, 0, 0)
+
+    def test_intersection(self):
+        a = Region(0, 5, 0, 5)
+        b = Region(3, 8, 2, 4)
+        assert region_intersection(a, b) == Region(3, 5, 2, 4)
+
+    def test_disjoint_intersection_empty(self):
+        a = Region(0, 2, 0, 2)
+        b = Region(5, 8, 5, 8)
+        assert region_intersection(a, b).empty
+
+    def test_applicable_region_shrinks_by_offsets(self):
+        out = Region(0, 10, 0, 10)
+        got = applicable_region(out, [(-1, 0), (2, 0), (0, -3), (0, 1)])
+        assert got == Region(1, 8, 3, 9)
+
+    def test_shrink_clamps_to_empty(self):
+        assert Region(0, 2, 0, 2).shrink(5, 5, 0, 0).empty
+
+
+class TestChoiceGrid:
+    def test_stencil_demo_structure(self):
+        grid = stencil_choice_grid(5)
+        # 3x3 rectilinear cells: border ring + interior.
+        assert len(grid.cells) == 9
+        center = grid.cell_at(2, 2)
+        assert center.rules == {"centered_stencil", "copy_boundary"}
+        corner = grid.cell_at(0, 0)
+        assert corner.rules == {"copy_boundary"}
+        assert grid.uncovered_cells() == []
+
+    def test_uncovered_detection(self):
+        out = Region(0, 4, 0, 4)
+        grid = build_choice_grid(out, {"inner": Region(1, 3, 1, 3)})
+        assert grid.uncovered_cells()  # the border has no rule
+
+    def test_cell_at_outside_raises(self):
+        grid = stencil_choice_grid(5)
+        with pytest.raises(KeyError):
+            grid.cell_at(10, 10)
+
+
+class TestChoiceDependencyGraph:
+    def test_schedule_topological(self):
+        g = ChoiceDependencyGraph()
+        g.add_dependency("A", "B", choices=["r1"], direction=(0, 1))
+        g.add_dependency("B", "C", choices=["r1"])
+        order = g.schedule()
+        assert order.index("A") < order.index("B") < order.index("C")
+
+    def test_cycle_detected(self):
+        g = ChoiceDependencyGraph()
+        g.add_dependency("A", "B", choices=["r1"])
+        g.add_dependency("B", "A", choices=["r1"])
+        with pytest.raises(ValueError, match="cycle"):
+            g.schedule()
+
+    def test_restricted_drops_inactive_edges(self):
+        g = ChoiceDependencyGraph()
+        g.add_dependency("A", "B", choices=["r1"])
+        g.add_dependency("B", "A", choices=["r2"])
+        # With only r1 active the cycle disappears.
+        assert g.restricted(["r1"]).schedule() == ["A", "B"]
+
+    def test_parallel_stages(self):
+        g = ChoiceDependencyGraph()
+        g.add_dependency("A", "C", choices=["r"])
+        g.add_dependency("B", "C", choices=["r"])
+        stages = g.parallel_stages()
+        assert stages[0] == ["A", "B"]
+        assert stages[1] == ["C"]
+
+
+class TestConfiguration:
+    def test_get_set_updated(self):
+        c = Configuration({"a": 1})
+        assert c.get("a") == 1
+        c2 = c.updated(b=2)
+        assert c2.get("b") == 2 and c.get("b") is None
+
+    def test_save_load_normalizes_levels(self, tmp_path):
+        c = Configuration({"sort.levels": [(16, "ins"), (1024, "merge")], "x": 3})
+        path = tmp_path / "cfg.json"
+        c.save(path)
+        loaded = Configuration.load(path)
+        assert loaded.get("sort.levels") == [(16, "ins"), (1024, "merge")]
+        assert loaded.get("x") == 3
+
+
+class TestConfigSpace:
+    def test_tuning_order_leaves_first(self):
+        s = ConfigSpace()
+        s.add_param("leaf")
+        s.add_param("mid", depends_on=["leaf"])
+        s.add_param("top", depends_on=["mid"])
+        assert s.tuning_order() == [["leaf"], ["mid"], ["top"]]
+
+    def test_cycle_grouped(self):
+        s = ConfigSpace()
+        s.add_param("a")
+        s.add_param("b", depends_on=["a"])
+        # Create a cycle a <-> b via an extra edge.
+        s._graph.add_edge("b", "a")
+        order = s.tuning_order()
+        assert ["a", "b"] in order
+
+    def test_duplicate_and_unknown(self):
+        s = ConfigSpace()
+        s.add_param("a")
+        with pytest.raises(ValueError):
+            s.add_param("a")
+        with pytest.raises(ValueError):
+            s.add_param("b", depends_on=["ghost"])
+
+
+class TestTransform:
+    def test_selector_levels(self):
+        t = make_sort_transform()
+        cfg = Configuration(
+            {"sort.levels": [(4, "insertion_sort"), (10_000, "merge_sort")]}
+        )
+        assert t.select_rule([3, 1], cfg).name == "insertion_sort"
+        assert t.select_rule(list(range(100)), cfg).name == "merge_sort"
+
+    def test_run_sorts(self):
+        t = make_sort_transform()
+        cfg = Configuration(
+            {"sort.levels": [(8, "insertion_sort"), (10_000, "quick_sort")]}
+        )
+        data = [5, 3, 9, 1, 1, 8, 2, 7, 6, 0] * 10
+        assert t.run(data, cfg) == sorted(data)
+
+    def test_unconfigured_falls_back_to_first_rule(self):
+        t = make_sort_transform()
+        assert t.run([3, 1, 2]) == [1, 2, 3]
+
+    def test_duplicate_rules_rejected(self):
+        r = Rule(name="x", body=lambda t, i, c: i)
+        with pytest.raises(ValueError):
+            Transform("t", [r, r])
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ValueError):
+            Transform("t", [])
+
+    def test_tunable_validation(self):
+        with pytest.raises(ValueError):
+            TunableParam(name="c", default=10, minimum=20, maximum=30)
+        p = TunableParam(name="c", default=25, minimum=20, maximum=30)
+        assert p.clamp(5) == 20 and p.clamp(99) == 30

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the numerical substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.grids.poisson import apply_poisson, residual
+from repro.grids.transfer import (
+    interpolate_bilinear,
+    interpolate_correction,
+    restrict_full_weighting,
+)
+from repro.relax.sor import sor_redblack, sor_redblack_reference
+
+SIZES = st.sampled_from([3, 5, 9, 17])
+
+
+def grids(n: int, zero_boundary: bool = False):
+    strat = hnp.arrays(
+        dtype=np.float64,
+        shape=(n, n),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+    )
+    if zero_boundary:
+        return strat.map(_zero_ring)
+    return strat
+
+
+def _zero_ring(a: np.ndarray) -> np.ndarray:
+    a = a.copy()
+    a[0, :] = a[-1, :] = a[:, 0] = a[:, -1] = 0.0
+    return a
+
+
+class TestOperatorProperties:
+    @given(data=st.data(), n=st.sampled_from([5, 9, 17]))
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_operator_linear(self, data, n):
+        u = data.draw(grids(n))
+        v = data.draw(grids(n))
+        alpha = data.draw(st.floats(-3, 3, allow_nan=False))
+        left = apply_poisson(u + alpha * v)
+        right = apply_poisson(u) + alpha * apply_poisson(v)
+        np.testing.assert_allclose(left, right, rtol=1e-8, atol=1e-2)
+
+    @given(data=st.data(), n=st.sampled_from([5, 9, 17]))
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_symmetric_on_zero_boundary(self, data, n):
+        u = data.draw(grids(n, zero_boundary=True))
+        v = data.draw(grids(n, zero_boundary=True))
+        au = apply_poisson(u)
+        av = apply_poisson(v)
+        left = float(np.vdot(au, v))
+        right = float(np.vdot(u, av))
+        # Scale by the summand magnitudes: the inner products may cancel to
+        # near zero, so relative-to-result tolerances are ill-conditioned.
+        scale = float(np.linalg.norm(au) * np.linalg.norm(v)) + 1.0
+        assert abs(left - right) / scale < 1e-12
+
+    @given(data=st.data(), n=st.sampled_from([5, 9, 17]))
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_positive_semidefinite(self, data, n):
+        u = data.draw(grids(n, zero_boundary=True))
+        assert float(np.vdot(u, apply_poisson(u))) >= -1e-6
+
+    @given(data=st.data(), n=st.sampled_from([5, 9]))
+    @settings(max_examples=25, deadline=None)
+    def test_residual_definition(self, data, n):
+        u = data.draw(grids(n))
+        b = data.draw(grids(n))
+        r = residual(u, b)
+        expected = b[1:-1, 1:-1] - apply_poisson(u)[1:-1, 1:-1]
+        np.testing.assert_allclose(r[1:-1, 1:-1], expected, rtol=1e-8, atol=1e-3)
+
+
+class TestTransferProperties:
+    @given(data=st.data(), n=st.sampled_from([5, 9, 17]))
+    @settings(max_examples=25, deadline=None)
+    def test_restriction_linear(self, data, n):
+        f = data.draw(grids(n))
+        g = data.draw(grids(n))
+        left = restrict_full_weighting(f + g)
+        right = restrict_full_weighting(f) + restrict_full_weighting(g)
+        np.testing.assert_allclose(left, right, rtol=1e-9, atol=1e-3)
+
+    @given(data=st.data(), n=st.sampled_from([5, 9, 17]))
+    @settings(max_examples=25, deadline=None)
+    def test_restriction_max_principle(self, data, n):
+        f = data.draw(grids(n))
+        coarse = restrict_full_weighting(f)
+        assert np.abs(coarse).max() <= np.abs(f).max() + 1e-9
+
+    @given(data=st.data(), nc=st.sampled_from([3, 5, 9]))
+    @settings(max_examples=25, deadline=None)
+    def test_interpolation_max_principle(self, data, nc):
+        c = data.draw(grids(nc))
+        fine = interpolate_bilinear(c)
+        assert np.abs(fine).max() <= np.abs(c).max() + 1e-9
+
+    @given(data=st.data(), nc=st.sampled_from([3, 5, 9]))
+    @settings(max_examples=25, deadline=None)
+    def test_adjointness(self, data, nc):
+        nf = 2 * (nc - 1) + 1
+        f = data.draw(grids(nf, zero_boundary=True))
+        c = data.draw(grids(nc, zero_boundary=True))
+        left = float(np.vdot(restrict_full_weighting(f), c))
+        right = float(np.vdot(f, interpolate_bilinear(c))) / 4.0
+        scale = float(np.linalg.norm(f) * np.linalg.norm(c)) + 1.0
+        assert abs(left - right) / scale < 1e-12
+
+    @given(data=st.data(), nc=st.sampled_from([3, 5]))
+    @settings(max_examples=25, deadline=None)
+    def test_correction_is_additive_interpolation(self, data, nc):
+        nf = 2 * (nc - 1) + 1
+        u = data.draw(grids(nf))
+        c = data.draw(grids(nc, zero_boundary=True))
+        expected = u.copy()
+        expected[1:-1, 1:-1] += interpolate_bilinear(c)[1:-1, 1:-1]
+        np.testing.assert_allclose(
+            interpolate_correction(u.copy(), c), expected, rtol=1e-9, atol=1e-6
+        )
+
+
+class TestSORProperties:
+    @given(
+        data=st.data(),
+        n=st.sampled_from([3, 5, 9]),
+        omega=st.floats(0.5, 1.95),
+        sweeps=st.integers(1, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_vectorized_equals_reference(self, data, n, omega, sweeps):
+        u = data.draw(grids(n))
+        b = data.draw(grids(n))
+        fast = sor_redblack(u.copy(), b, omega, sweeps)
+        slow = sor_redblack_reference(u.copy(), b, omega, sweeps)
+        np.testing.assert_allclose(fast, slow, rtol=1e-10, atol=1e-6)
+
+    @given(data=st.data(), n=st.sampled_from([5, 9]))
+    @settings(max_examples=15, deadline=None)
+    def test_sor_affine_in_inputs(self, data, n):
+        # One SOR sweep is an affine map of (u, b): sweep(u, b) - sweep(0, 0)
+        # is linear.  Check additivity of the homogeneous part.
+        u = data.draw(grids(n, zero_boundary=True))
+        v = data.draw(grids(n, zero_boundary=True))
+        b = np.zeros((n, n))
+        zero = sor_redblack(np.zeros((n, n)), b, 1.15, 1)
+        s_u = sor_redblack(u.copy(), b, 1.15, 1) - zero
+        s_v = sor_redblack(v.copy(), b, 1.15, 1) - zero
+        s_uv = sor_redblack(u + v, b, 1.15, 1) - zero
+        np.testing.assert_allclose(s_uv, s_u + s_v, rtol=1e-8, atol=1e-4)

@@ -1,0 +1,83 @@
+"""Tests for weighted Jacobi and the residual-driven iteration loop."""
+
+import numpy as np
+import pytest
+
+from repro.grids.norms import residual_norm
+from repro.grids.poisson import residual, rhs_scale
+from repro.relax.iterate import iterate_until_residual
+from repro.relax.jacobi import jacobi_sweeps, jacobi_weighted
+from repro.relax.sor import sor_redblack
+from repro.workloads.distributions import make_problem
+
+
+class TestJacobi:
+    def test_single_sweep_formula(self, rng):
+        n = 5
+        u = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        omega = 0.7
+        r = residual(u, b)
+        expected = u.copy()
+        h2 = 1.0 / rhs_scale(n)
+        expected[1:-1, 1:-1] += omega * h2 * 0.25 * r[1:-1, 1:-1]
+        got = jacobi_weighted(u.copy(), b, omega)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_sweeps_reduce_residual(self):
+        problem = make_problem("unbiased", 17, seed=31)
+        x = problem.initial_guess()
+        r0 = residual_norm(residual(x, problem.b))
+        jacobi_sweeps(x, problem.b, 2.0 / 3.0, 200)
+        assert residual_norm(residual(x, problem.b)) < 0.5 * r0
+
+    def test_sor_converges_faster_than_jacobi(self):
+        # The paper's reason for fixing SOR as the smoother.
+        problem = make_problem("unbiased", 17, seed=32)
+        xs = problem.initial_guess()
+        xj = problem.initial_guess()
+        sor_redblack(xs, problem.b, 1.15, 30)
+        jacobi_sweeps(xj, problem.b, 2.0 / 3.0, 30)
+        assert residual_norm(residual(xs, problem.b)) < residual_norm(
+            residual(xj, problem.b)
+        )
+
+    def test_negative_sweeps_rejected(self):
+        with pytest.raises(ValueError):
+            jacobi_sweeps(np.zeros((9, 9)), np.zeros((9, 9)), 0.5, -2)
+
+    def test_boundary_untouched(self, rng):
+        u = rng.standard_normal((9, 9))
+        ring = u[-1, :].copy()
+        jacobi_weighted(u, rng.standard_normal((9, 9)))
+        np.testing.assert_array_equal(u[-1, :], ring)
+
+
+class TestIterateUntilResidual:
+    def test_counts_iterations(self):
+        problem = make_problem("unbiased", 9, seed=33)
+        x = problem.initial_guess()
+        r0 = residual_norm(residual(x, problem.b))
+
+        def step(u, b):
+            sor_redblack(u, b, 1.15, 1)
+
+        count = iterate_until_residual(step, x, problem.b, target=0.1 * r0)
+        assert count >= 1
+        assert residual_norm(residual(x, problem.b)) <= 0.1 * r0
+
+    def test_raises_on_budget_exhaustion(self):
+        problem = make_problem("unbiased", 9, seed=34)
+        x = problem.initial_guess()
+
+        def noop(u, b):
+            pass
+
+        with pytest.raises(RuntimeError, match="did not reach"):
+            iterate_until_residual(noop, x, problem.b, target=0.0, max_iters=3)
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(ValueError):
+            iterate_until_residual(
+                lambda u, b: None, np.zeros((9, 9)), np.zeros((9, 9)), target=-1.0
+            )

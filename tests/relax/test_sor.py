@@ -1,0 +1,96 @@
+"""Tests for red-black SOR: vectorized vs scalar reference, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.judge import AccuracyJudge
+from repro.grids.norms import residual_norm
+from repro.grids.poisson import residual
+from repro.linalg.direct import DirectSolver
+from repro.relax.sor import sor_redblack, sor_redblack_reference
+from repro.relax.weights import OMEGA_RECURSE, omega_opt
+from repro.workloads.distributions import make_problem
+
+
+class TestVectorizedMatchesReference:
+    @pytest.mark.parametrize("n", [3, 5, 9, 17])
+    @pytest.mark.parametrize("omega", [1.0, 1.15, 1.8])
+    def test_single_sweep(self, n, omega, rng):
+        u = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        fast = sor_redblack(u.copy(), b, omega, 1)
+        slow = sor_redblack_reference(u.copy(), b, omega, 1)
+        np.testing.assert_allclose(fast, slow, rtol=1e-12, atol=1e-12)
+
+    def test_multiple_sweeps(self, rng):
+        u = rng.standard_normal((9, 9))
+        b = rng.standard_normal((9, 9))
+        fast = sor_redblack(u.copy(), b, 1.3, 4)
+        slow = sor_redblack_reference(u.copy(), b, 1.3, 4)
+        np.testing.assert_allclose(fast, slow, rtol=1e-11, atol=1e-11)
+
+
+class TestSemantics:
+    def test_zero_sweeps_is_identity(self, rng):
+        u = rng.standard_normal((9, 9))
+        before = u.copy()
+        sor_redblack(u, np.zeros((9, 9)), 1.15, 0)
+        np.testing.assert_array_equal(u, before)
+
+    def test_negative_sweeps_rejected(self):
+        with pytest.raises(ValueError):
+            sor_redblack(np.zeros((9, 9)), np.zeros((9, 9)), 1.15, -1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sor_redblack(np.zeros((9, 9)), np.zeros((5, 5)), 1.15, 1)
+
+    def test_boundary_untouched(self, rng):
+        u = rng.standard_normal((9, 9))
+        ring = u[0, :].copy()
+        sor_redblack(u, rng.standard_normal((9, 9)), 1.15, 3)
+        np.testing.assert_array_equal(u[0, :], ring)
+
+    def test_returns_same_array(self, rng):
+        u = rng.standard_normal((9, 9))
+        assert sor_redblack(u, np.zeros((9, 9)), 1.0, 1) is u
+
+    def test_fixed_point_is_exact_solution(self):
+        # The exact discrete solution is a fixed point of SOR.
+        problem = make_problem("unbiased", 9, seed=21)
+        x = problem.initial_guess()
+        DirectSolver().solve(x, problem.b)
+        before = x.copy()
+        sor_redblack(x, problem.b, 1.5, 2)
+        np.testing.assert_allclose(x, before, rtol=1e-9)
+
+
+class TestConvergence:
+    def test_residual_decreases(self):
+        problem = make_problem("unbiased", 17, seed=22)
+        x = problem.initial_guess()
+        r0 = residual_norm(residual(x, problem.b))
+        sor_redblack(x, problem.b, omega_opt(17), 50)
+        assert residual_norm(residual(x, problem.b)) < 0.1 * r0
+
+    def test_omega_opt_beats_gauss_seidel(self):
+        # SOR with the optimal weight converges faster than omega = 1.
+        problem = make_problem("unbiased", 33, seed=23)
+        from repro.accuracy.reference import reference_solution
+
+        x_opt = reference_solution(problem)
+        results = {}
+        for name, omega in (("gs", 1.0), ("opt", omega_opt(33))):
+            x = problem.initial_guess()
+            judge = AccuracyJudge(x, x_opt)
+            sor_redblack(x, problem.b, omega, 120)
+            results[name] = judge.accuracy_of(x)
+        assert results["opt"] > 2.0 * results["gs"]
+
+    def test_omega_opt_formula(self):
+        # 2 / (1 + sin(pi h)); at n=3 (h=1/2): 2/(1+1) = 1.
+        assert omega_opt(3) == pytest.approx(1.0)
+        assert 1.0 < omega_opt(9) < omega_opt(17) < 2.0
+
+    def test_recurse_weight_constant(self):
+        assert OMEGA_RECURSE == 1.15

@@ -1,0 +1,63 @@
+"""Tests for the CLI and the high-level core API."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import (
+    autotune,
+    autotune_full_mg,
+    poisson_problem,
+    solve,
+    solve_reference,
+)
+
+
+class TestCoreAPI:
+    def test_autotune_and_solve(self):
+        plan = autotune(max_level=4, machine="intel", instances=1, seed=3)
+        problem = poisson_problem("unbiased", n=17, seed=99)
+        x, meter = solve(plan, problem, 1e5)
+        assert x.shape == (17, 17)
+        assert meter.total("direct") + meter.total("relax") > 0
+
+    def test_autotune_full_mg_reuses_vplan(self):
+        vplan = autotune(max_level=3, instances=1, seed=3)
+        fplan = autotune_full_mg(max_level=3, instances=1, seed=3, vplan=vplan)
+        assert fplan.vplan is vplan
+
+    def test_solve_rejects_oversize_problem(self):
+        plan = autotune(max_level=3, instances=1, seed=3)
+        problem = poisson_problem("unbiased", n=65, seed=1)
+        with pytest.raises(ValueError, match="level"):
+            solve(plan, problem, 1e1)
+
+    @pytest.mark.parametrize("method", ["v", "full-mg", "sor"])
+    def test_solve_reference(self, method):
+        problem = poisson_problem("unbiased", n=17, seed=5)
+        x, meter, iters = solve_reference(problem, 1e3, method)
+        assert iters >= 1
+        assert len(meter.counts) > 0
+
+
+class TestCLI:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--max-level", "4"])
+        assert args.experiment == "table1"
+        assert args.max_level == 4
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_main_runs_table1(self, capsys):
+        rc = main(["table1", "--max-level", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Multigrid" in out
+        assert "fitted exponent" in out
+
+    def test_main_runs_ablation_smoother(self, capsys):
+        rc = main(["ablation-smoother"])
+        assert rc == 0
+        assert "smoother" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Unit tests for repro.util: validation, rng derivation, timing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.timing import WallClock, median_time
+from repro.util.validation import (
+    check_grid_size,
+    check_square_grid,
+    is_grid_size,
+    level_of_size,
+    size_of_level,
+)
+
+
+class TestSizeLevel:
+    def test_size_of_level_values(self):
+        assert size_of_level(1) == 3
+        assert size_of_level(2) == 5
+        assert size_of_level(10) == 1025
+
+    def test_round_trip(self):
+        for k in range(1, 15):
+            assert level_of_size(size_of_level(k)) == k
+
+    def test_level_of_size_rejects_non_power(self):
+        for bad in (4, 6, 7, 8, 10, 16, 18, 100):
+            with pytest.raises(ValueError):
+                level_of_size(bad)
+
+    def test_level_of_size_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            level_of_size(2)
+        with pytest.raises(ValueError):
+            level_of_size(0)
+
+    def test_size_of_level_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            size_of_level(0)
+        with pytest.raises(ValueError):
+            size_of_level(-3)
+
+    def test_is_grid_size(self):
+        assert is_grid_size(3)
+        assert is_grid_size(65)
+        assert not is_grid_size(64)
+        assert not is_grid_size(2)
+
+    def test_check_grid_size_returns_level(self):
+        assert check_grid_size(33) == 5
+
+
+class TestCheckSquareGrid:
+    def test_accepts_valid(self):
+        a = np.zeros((9, 9))
+        assert check_square_grid(a) == 3
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_grid(np.zeros((9, 5)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_square_grid(np.zeros(9))
+
+    def test_rejects_integer_dtype(self):
+        with pytest.raises(TypeError, match="float"):
+            check_square_grid(np.zeros((9, 9), dtype=np.int64))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            check_square_grid(np.zeros((8, 8)))
+
+
+class TestRng:
+    def test_deterministic_for_same_key(self):
+        a = derive_rng(1, "x", 5).standard_normal(4)
+        b = derive_rng(1, "x", 5).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = derive_rng(1, "x", 5).standard_normal(4)
+        b = derive_rng(1, "x", 6).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x").standard_normal(4)
+        b = derive_rng(2, "x").standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert derive_rng(gen) is gen
+
+    def test_none_seed_is_stable(self):
+        a = derive_rng(None, "k").standard_normal(2)
+        b = derive_rng(None, "k").standard_normal(2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_seeds_unique(self):
+        seeds = spawn_seeds(3, 16)
+        assert len(set(seeds)) == 16
+
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 4)
+
+
+class TestTiming:
+    def test_wallclock_accumulates(self):
+        clock = WallClock()
+        with clock:
+            pass
+        first = clock.elapsed
+        with clock:
+            pass
+        assert clock.elapsed >= first >= 0.0
+
+    def test_wallclock_reset(self):
+        clock = WallClock()
+        with clock:
+            pass
+        clock.reset()
+        assert clock.elapsed == 0.0
+
+    def test_median_time_positive(self):
+        t = median_time(lambda: sum(range(100)), repeats=3)
+        assert t >= 0.0
+
+    def test_median_time_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            median_time(lambda: None, repeats=0)
+
+    def test_median_time_counts_calls(self):
+        calls = []
+        median_time(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5

@@ -1,0 +1,200 @@
+"""Tests for choice types and tuned-plan structures."""
+
+import pytest
+
+from repro.machines.meter import OpMeter
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.tuner.choices import (
+    DirectChoice,
+    EstimateChoice,
+    RecurseChoice,
+    SORChoice,
+    choice_from_dict,
+    choice_to_dict,
+)
+from repro.tuner.plan import TunedFullMGPlan, TunedVPlan, recurse_wrapper_meter
+
+
+def tiny_vplan(accuracies=(1e1, 1e3)) -> TunedVPlan:
+    """Level-3 plan: direct at the bottom, SOR / recursion above."""
+    table = {
+        (1, 0): DirectChoice(),
+        (1, 1): DirectChoice(),
+        (2, 0): SORChoice(iterations=5),
+        (2, 1): DirectChoice(),
+        (3, 0): RecurseChoice(sub_accuracy=1, iterations=2),
+        (3, 1): RecurseChoice(sub_accuracy=0, iterations=3),
+    }
+    return TunedVPlan(accuracies=accuracies, max_level=3, table=table)
+
+
+class TestChoices:
+    def test_round_trip_all_kinds(self):
+        choices = [
+            DirectChoice(),
+            SORChoice(iterations=7),
+            RecurseChoice(sub_accuracy=2, iterations=4),
+            EstimateChoice(estimate_accuracy=1, solver=SORChoice(iterations=0)),
+            EstimateChoice(
+                estimate_accuracy=0, solver=RecurseChoice(sub_accuracy=3, iterations=2)
+            ),
+        ]
+        for c in choices:
+            assert choice_from_dict(choice_to_dict(c)) == c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SORChoice(iterations=-1)
+        with pytest.raises(ValueError):
+            RecurseChoice(sub_accuracy=-1, iterations=1)
+        with pytest.raises(TypeError):
+            EstimateChoice(estimate_accuracy=0, solver=DirectChoice())
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            choice_from_dict({"kind": "quantum"})
+        with pytest.raises(ValueError):
+            choice_from_dict(
+                {"kind": "estimate", "estimate_accuracy": 0, "solver": {"kind": "direct"}}
+            )
+
+    def test_describe_strings(self):
+        assert DirectChoice().describe() == "direct"
+        assert "x3" in SORChoice(iterations=3).describe()
+        assert "j=1" in RecurseChoice(sub_accuracy=1, iterations=2).describe()
+
+
+class TestVPlanValidation:
+    def test_missing_slot_rejected(self):
+        table = {(1, 0): DirectChoice()}
+        with pytest.raises(ValueError, match="missing choice"):
+            TunedVPlan(accuracies=(1e1, 1e3), max_level=1, table=table)
+
+    def test_level1_cannot_recurse(self):
+        table = {(1, 0): RecurseChoice(sub_accuracy=0, iterations=1)}
+        with pytest.raises(ValueError, match="cannot recurse"):
+            TunedVPlan(accuracies=(1e1,), max_level=1, table=table)
+
+    def test_estimate_rejected_in_vplan(self):
+        table = {
+            (1, 0): DirectChoice(),
+            (2, 0): EstimateChoice(0, SORChoice(iterations=1)),
+        }
+        with pytest.raises(ValueError, match="EstimateChoice"):
+            TunedVPlan(accuracies=(1e1,), max_level=2, table=table)
+
+    def test_unsorted_accuracies_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            TunedVPlan(
+                accuracies=(1e3, 1e1),
+                max_level=1,
+                table={(1, 0): DirectChoice(), (1, 1): DirectChoice()},
+            )
+
+    def test_sub_accuracy_out_of_range(self):
+        table = {
+            (1, 0): DirectChoice(),
+            (2, 0): RecurseChoice(sub_accuracy=5, iterations=1),
+        }
+        with pytest.raises(ValueError, match="out of range"):
+            TunedVPlan(accuracies=(1e1,), max_level=2, table=table)
+
+    def test_zero_iteration_slot_rejected(self):
+        table = {(1, 0): DirectChoice(), (2, 0): SORChoice(iterations=0)}
+        with pytest.raises(ValueError, match=">= 1 iteration"):
+            TunedVPlan(accuracies=(1e1,), max_level=2, table=table)
+
+
+class TestVPlanPricing:
+    def test_accuracy_index(self):
+        plan = tiny_vplan()
+        assert plan.accuracy_index(5.0) == 0
+        assert plan.accuracy_index(1e1) == 0
+        assert plan.accuracy_index(1e2) == 1
+        with pytest.raises(ValueError):
+            plan.accuracy_index(1e6)
+
+    def test_unit_meter_direct(self):
+        plan = tiny_vplan()
+        m = plan.unit_meter(1, 0)
+        assert m.counts == {("direct", 3): 1}
+
+    def test_unit_meter_sor(self):
+        plan = tiny_vplan()
+        assert plan.unit_meter(2, 0).counts == {("relax", 5): 5}
+
+    def test_unit_meter_recurse_composition(self):
+        plan = tiny_vplan()
+        # (3,0): 2 iterations of [wrapper@9 + plan(2,1)=direct@5].
+        m = plan.unit_meter(3, 0)
+        expected = OpMeter()
+        wrapper = recurse_wrapper_meter(9)
+        wrapper.charge("direct", 5)
+        expected.merge(wrapper, times=2)
+        assert m == expected
+
+    def test_time_on_positive_and_additive(self):
+        plan = tiny_vplan()
+        t = plan.time_on(INTEL_HARPERTOWN, 3, 1)
+        assert t > 0
+        assert t == pytest.approx(
+            INTEL_HARPERTOWN.price(plan.unit_meter(3, 1))
+        )
+
+    def test_meter_memoized(self):
+        plan = tiny_vplan()
+        assert plan.unit_meter(3, 0) is plan.unit_meter(3, 0)
+        plan.invalidate_pricing_cache()
+        assert plan.unit_meter(3, 0) is not None
+
+
+class TestFullMGPlan:
+    def test_requires_matching_ladder(self):
+        vplan = tiny_vplan()
+        table = {(1, 0): DirectChoice(), (1, 1): DirectChoice()}
+        with pytest.raises(ValueError, match="ladder"):
+            TunedFullMGPlan(
+                accuracies=(1e2, 1e4), max_level=1, table=table, vplan=vplan
+            )
+
+    def test_unit_meter_estimate(self):
+        vplan = tiny_vplan()
+        table = {
+            (1, 0): DirectChoice(),
+            (1, 1): DirectChoice(),
+            (2, 0): EstimateChoice(0, SORChoice(iterations=3)),
+            (2, 1): DirectChoice(),
+        }
+        plan = TunedFullMGPlan(
+            accuracies=(1e1, 1e3), max_level=2, table=table, vplan=vplan
+        )
+        m = plan.unit_meter(2, 0)
+        expected = OpMeter()
+        expected.charge("residual", 5)
+        expected.charge("restrict", 5)
+        expected.charge("direct", 3)  # recursive full-MG call at level 1
+        expected.charge("interpolate", 5)
+        expected.charge("relax", 5, 3)
+        assert m == expected
+
+    def test_recurse_solver_uses_vplan_meter(self):
+        vplan = tiny_vplan()
+        table = {
+            (1, 0): DirectChoice(),
+            (1, 1): DirectChoice(),
+            (2, 0): DirectChoice(),
+            (2, 1): DirectChoice(),
+            (3, 0): EstimateChoice(
+                0, RecurseChoice(sub_accuracy=1, iterations=2)
+            ),
+            (3, 1): DirectChoice(),
+        }
+        plan = TunedFullMGPlan(
+            accuracies=(1e1, 1e3), max_level=3, table=table, vplan=vplan
+        )
+        m = plan.unit_meter(3, 0)
+        # Solve phase: 2 x (wrapper@9 + vplan(2,1) = direct@5); the estimate
+        # phase adds one more direct@5 via FULL-MULTIGRID_0 at level 2.
+        assert m.counts[("relax", 9)] == 4
+        assert m.counts[("direct", 5)] == 3
+        assert m.counts[("residual", 9)] == 3  # 1 estimate + 2 recursions

@@ -1,0 +1,106 @@
+"""Tests for dynamic (input-adaptive) plan dispatch — the section 6
+future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.judge import AccuracyJudge
+from repro.accuracy.reference import ReferenceSolutionCache
+from repro.machines.meter import OpMeter
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.tuner.dynamic import DynamicSolver, classify_by_bias
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+from repro.workloads.distributions import make_problem
+
+
+@pytest.fixture(scope="module")
+def dynamic_solver(tuned_plan):
+    biased_training = TrainingData(distribution="biased", instances=2, seed=7)
+    biased_plan = VCycleTuner(
+        max_level=5,
+        training=biased_training,
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+        keep_audit=False,
+    ).tune()
+    return DynamicSolver(plans={"unbiased": tuned_plan, "biased": biased_plan})
+
+
+class TestClassifier:
+    @pytest.mark.parametrize("dist", ["unbiased", "biased"])
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_classifies_paper_distributions(self, dist, seed):
+        problem = make_problem(dist, 33, seed=seed)
+        assert classify_by_bias(problem) == dist
+
+    def test_constant_rhs_defaults_unbiased(self):
+        from repro.workloads.problem import PoissonProblem
+
+        problem = PoissonProblem(
+            b=np.zeros((9, 9)), boundary=np.zeros(4 * 9 - 4)
+        )
+        assert classify_by_bias(problem) == "unbiased"
+
+
+class TestDynamicSolver:
+    def test_routes_to_matching_plan(self, dynamic_solver):
+        for dist in ("unbiased", "biased"):
+            problem = make_problem(dist, 33, seed=11)
+            label, plan = dynamic_solver.plan_for(problem)
+            assert label == dist
+            assert plan.metadata["distribution"] == dist
+
+    @pytest.mark.parametrize("dist", ["unbiased", "biased"])
+    def test_solves_to_target(self, dynamic_solver, dist):
+        problem = make_problem(dist, 33, seed=12)
+        cache = ReferenceSolutionCache()
+        judge = AccuracyJudge(problem.initial_guess(), cache.get(problem))
+        x, label = dynamic_solver.solve(problem, 1e5)
+        assert label == dist
+        assert judge.accuracy_of(x) >= 0.5e5
+
+    def test_meter_populated(self, dynamic_solver):
+        problem = make_problem("unbiased", 33, seed=13)
+        meter = OpMeter()
+        dynamic_solver.solve(problem, 1e3, meter)
+        assert len(meter.counts) > 0
+
+    def test_unknown_class_raises_without_fallback(self, tuned_plan):
+        solver = DynamicSolver(
+            plans={"unbiased": tuned_plan}, classifier=lambda p: "weird"
+        )
+        with pytest.raises(KeyError, match="weird"):
+            solver.plan_for(make_problem("unbiased", 17, seed=1))
+
+    def test_fallback_used(self, tuned_plan):
+        solver = DynamicSolver(
+            plans={"unbiased": tuned_plan},
+            classifier=lambda p: "weird",
+            fallback="unbiased",
+        )
+        label, plan = solver.plan_for(make_problem("unbiased", 17, seed=1))
+        assert label == "unbiased"
+
+    def test_bad_fallback_rejected(self, tuned_plan):
+        with pytest.raises(ValueError, match="fallback"):
+            DynamicSolver(plans={"unbiased": tuned_plan}, fallback="nope")
+
+    def test_empty_plans_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicSolver(plans={})
+
+    def test_mismatched_ladders_rejected(self, tuned_plan):
+        from repro.tuner.choices import DirectChoice
+        from repro.tuner.plan import TunedVPlan
+
+        other = TunedVPlan(
+            accuracies=(1e2,), max_level=1, table={(1, 0): DirectChoice()}
+        )
+        with pytest.raises(ValueError, match="ladder"):
+            DynamicSolver(plans={"a": tuned_plan, "b": other})
+
+    def test_oversize_problem_rejected(self, dynamic_solver):
+        problem = make_problem("unbiased", 129, seed=14)
+        with pytest.raises(ValueError, match="level"):
+            dynamic_solver.solve(problem, 1e1)

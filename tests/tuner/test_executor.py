@@ -1,0 +1,129 @@
+"""Tests for plan execution: semantics, metering, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.direct import DirectSolver
+from repro.machines.meter import OpMeter
+from repro.relax.sor import sor_redblack
+from repro.relax.weights import omega_opt
+from repro.tuner.choices import DirectChoice, RecurseChoice, SORChoice
+from repro.tuner.executor import PlanExecutor
+from repro.tuner.plan import TunedVPlan
+from repro.tuner.trace import Trace
+from repro.workloads.distributions import make_problem
+from tests.tuner.test_choices_plan import tiny_vplan
+
+
+@pytest.fixture()
+def problem9():
+    return make_problem("unbiased", 9, seed=71)
+
+
+class TestExecutionSemantics:
+    def test_direct_slot_equals_direct_solver(self, problem9):
+        plan = TunedVPlan(
+            accuracies=(1e1,), max_level=3, table={
+                (1, 0): DirectChoice(),
+                (2, 0): DirectChoice(),
+                (3, 0): DirectChoice(),
+            },
+        )
+        x = problem9.initial_guess()
+        PlanExecutor().run_v(plan, x, problem9.b, 0)
+        expected = problem9.initial_guess()
+        DirectSolver().solve(expected, problem9.b)
+        np.testing.assert_allclose(x, expected, rtol=1e-12)
+
+    def test_sor_slot_equals_sor_sweeps(self, problem9):
+        plan = TunedVPlan(
+            accuracies=(1e1,), max_level=3, table={
+                (1, 0): DirectChoice(),
+                (2, 0): DirectChoice(),
+                (3, 0): SORChoice(iterations=4),
+            },
+        )
+        x = problem9.initial_guess()
+        PlanExecutor().run_v(plan, x, problem9.b, 0)
+        expected = problem9.initial_guess()
+        sor_redblack(expected, problem9.b, omega_opt(9), 4)
+        np.testing.assert_allclose(x, expected, rtol=1e-12)
+
+    def test_recurse_slot_matches_manual_composition(self, problem9):
+        plan = tiny_vplan()
+        x = problem9.initial_guess()
+        PlanExecutor().run_v(plan, x, problem9.b, 1)
+        # Manual: 3 iterations of [SOR(1.15), restrict residual, solve
+        # coarse with plan (2,0)=SOR(w_opt)x5, interpolate, SOR(1.15)].
+        from repro.grids.poisson import residual
+        from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+
+        y = problem9.initial_guess()
+        for _ in range(3):
+            sor_redblack(y, problem9.b, 1.15, 1)
+            rc = restrict_full_weighting(residual(y, problem9.b))
+            ec = np.zeros_like(rc)
+            sor_redblack(ec, rc, omega_opt(5), 5)
+            interpolate_correction(y, ec)
+            sor_redblack(y, problem9.b, 1.15, 1)
+        np.testing.assert_allclose(x, y, rtol=1e-10)
+
+    def test_level_above_plan_rejected(self, problem9):
+        plan = tiny_vplan()
+        big = make_problem("unbiased", 33, seed=72)
+        with pytest.raises(ValueError, match="tuned up to level"):
+            PlanExecutor().run_v(plan, big.initial_guess(), big.b, 0)
+
+
+class TestMeterInvariant:
+    def test_executor_meter_equals_analytic_unit_meter(self, problem9, tuned_plan):
+        # Fundamental pricing invariant: the ops actually executed match
+        # the analytic composition used for candidate timing.
+        for acc_index in range(tuned_plan.num_accuracies):
+            problem = make_problem("unbiased", 33, seed=73 + acc_index)
+            meter = OpMeter()
+            x = problem.initial_guess()
+            PlanExecutor().run_v(tuned_plan, x, problem.b, acc_index, meter)
+            assert meter == tuned_plan.unit_meter(5, acc_index)
+
+    def test_fmg_meter_invariant(self, tuned_fmg_plan):
+        for acc_index in range(tuned_fmg_plan.num_accuracies):
+            problem = make_problem("unbiased", 33, seed=80 + acc_index)
+            meter = OpMeter()
+            x = problem.initial_guess()
+            PlanExecutor().run_full_mg(tuned_fmg_plan, x, problem.b, acc_index, meter)
+            assert meter == tuned_fmg_plan.unit_meter(5, acc_index)
+
+
+class TestTracing:
+    def test_trace_balanced_and_leveled(self, problem9):
+        plan = tiny_vplan()
+        trace = Trace()
+        x = problem9.initial_guess()
+        PlanExecutor().run_v(plan, x, problem9.b, 1, trace=trace)
+        enters = trace.counts("enter")
+        exits = trace.counts("exit")
+        assert enters == exits > 0
+        assert trace.counts("descend") == trace.counts("ascend") == 3
+        assert trace.events[0].kind == "enter"
+        assert trace.events[0].level == 3
+
+    def test_trace_sor_detail_carries_sweeps(self, problem9):
+        plan = TunedVPlan(
+            accuracies=(1e1,), max_level=3, table={
+                (1, 0): DirectChoice(),
+                (2, 0): DirectChoice(),
+                (3, 0): SORChoice(iterations=6),
+            },
+        )
+        trace = Trace()
+        PlanExecutor().run_v(plan, problem9.initial_guess(), problem9.b, 0, trace=trace)
+        sor_events = [e for e in trace if e.kind == "sor"]
+        assert len(sor_events) == 1
+        assert sor_events[0].detail == 6
+
+    def test_min_level(self, problem9):
+        plan = tiny_vplan()
+        trace = Trace()
+        PlanExecutor().run_v(plan, problem9.initial_guess(), problem9.b, 1, trace=trace)
+        assert trace.min_level() == 2  # (3,1) recurses into (2,0)=SOR

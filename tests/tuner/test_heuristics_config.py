@@ -1,0 +1,126 @@
+"""Tests for heuristic strategies and config-file round trips."""
+
+import pytest
+
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.tuner.choices import DirectChoice, RecurseChoice, SORChoice
+from repro.tuner.config import load_plan, plan_from_dict, plan_to_dict, save_plan
+from repro.tuner.heuristics import HeuristicStrategy, strategy_label, tune_heuristic
+from repro.tuner.plan import DEFAULT_ACCURACIES
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+
+
+@pytest.fixture(scope="module")
+def heuristic_plan():
+    training = TrainingData(distribution="unbiased", instances=2, seed=7)
+    return tune_heuristic(
+        HeuristicStrategy(sub_index=0, final_index=4),
+        max_level=4,
+        accuracies=DEFAULT_ACCURACIES,
+        training=training,
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+    )
+
+
+class TestStrategyLabels:
+    def test_mixed(self):
+        assert strategy_label(1e3, 1e9) == "Strategy 10^3/10^9"
+
+    def test_uniform(self):
+        assert strategy_label(1e9, 1e9) == "Strategy 10^9"
+
+
+class TestHeuristicTuning:
+    def test_only_direct_and_fixed_recursion(self, heuristic_plan):
+        for (level, _i), choice in heuristic_plan.table.items():
+            assert not isinstance(choice, SORChoice)
+            if isinstance(choice, RecurseChoice):
+                assert choice.sub_accuracy == 0
+
+    def test_metadata_label(self, heuristic_plan):
+        assert heuristic_plan.metadata["heuristic"] == "Strategy 10^1/10^9"
+
+    def test_never_faster_than_autotuner(self, heuristic_plan, shared_training):
+        from repro.tuner.dp import VCycleTuner
+
+        auto = VCycleTuner(
+            max_level=4,
+            training=shared_training,
+            timing=CostModelTiming(INTEL_HARPERTOWN),
+            keep_audit=False,
+        ).tune()
+        # The heuristic search space is a subset of the autotuner's.
+        for i in range(len(DEFAULT_ACCURACIES)):
+            th = heuristic_plan.time_on(INTEL_HARPERTOWN, 4, i)
+            ta = auto.time_on(INTEL_HARPERTOWN, 4, i)
+            assert ta <= th * 1.0001
+
+    def test_forced_direct_cutoff(self):
+        training = TrainingData(distribution="unbiased", instances=1, seed=7)
+        plan = tune_heuristic(
+            HeuristicStrategy(sub_index=4, final_index=4),
+            max_level=4,
+            accuracies=DEFAULT_ACCURACIES,
+            training=training,
+            timing=CostModelTiming(INTEL_HARPERTOWN),
+            force_direct_max_level=3,
+        )
+        for level in (1, 2, 3):
+            for i in range(5):
+                assert plan.choice(level, i) == DirectChoice()
+
+    def test_bad_indices_rejected(self, shared_training):
+        with pytest.raises(ValueError):
+            tune_heuristic(
+                HeuristicStrategy(sub_index=9, final_index=4),
+                max_level=3,
+                accuracies=DEFAULT_ACCURACIES,
+                training=shared_training,
+                timing=CostModelTiming(INTEL_HARPERTOWN),
+            )
+
+
+class TestConfigFiles:
+    def test_vplan_round_trip(self, tuned_plan, tmp_path):
+        path = tmp_path / "v.json"
+        save_plan(tuned_plan, path)
+        loaded = load_plan(path)
+        assert loaded.table == tuned_plan.table
+        assert loaded.accuracies == tuned_plan.accuracies
+        assert loaded.max_level == tuned_plan.max_level
+        # Audit is in-memory only.
+        assert "audit" not in loaded.metadata
+
+    def test_fmg_round_trip(self, tuned_fmg_plan, tmp_path):
+        path = tmp_path / "f.json"
+        save_plan(tuned_fmg_plan, path)
+        loaded = load_plan(path)
+        assert loaded.table == tuned_fmg_plan.table
+        assert loaded.vplan.table == tuned_fmg_plan.vplan.table
+
+    def test_loaded_plan_executes(self, tuned_plan, tmp_path):
+        from repro.tuner.executor import PlanExecutor
+        from repro.workloads.distributions import make_problem
+
+        path = tmp_path / "v.json"
+        save_plan(tuned_plan, path)
+        loaded = load_plan(path)
+        problem = make_problem("unbiased", 33, seed=401)
+        x = problem.initial_guess()
+        PlanExecutor().run_v(loaded, x, problem.b, 2)
+        assert x is not None
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            plan_from_dict({"format": "v0", "kind": "multigrid-v"})
+
+    def test_bad_kind_rejected(self, tuned_plan):
+        data = plan_to_dict(tuned_plan)
+        data["kind"] = "wcycle"
+        with pytest.raises(ValueError, match="kind"):
+            plan_from_dict(data)
+
+    def test_not_a_plan_rejected(self):
+        with pytest.raises(TypeError):
+            plan_to_dict({"not": "a plan"})

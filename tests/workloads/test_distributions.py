@@ -1,0 +1,111 @@
+"""Tests for the input distributions and problem bundles."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng
+from repro.workloads.distributions import (
+    DISTRIBUTIONS,
+    biased_uniform,
+    make_problem,
+    point_sources,
+    training_set,
+    unbiased_uniform,
+)
+from repro.workloads.problem import PoissonProblem
+
+SCALE = float(2**32)
+SHIFT = float(2**31)
+
+
+class TestDistributions:
+    def test_unbiased_range_and_mean(self):
+        p = unbiased_uniform(65, derive_rng(1))
+        assert np.abs(p.b).max() <= SCALE
+        # Mean of U[-2^32, 2^32] is 0; tolerance ~ 3 sigma / sqrt(n).
+        assert abs(p.b.mean()) < 3 * SCALE / np.sqrt(65 * 65)
+
+    def test_biased_shifted_mean(self):
+        p = biased_uniform(65, derive_rng(2))
+        assert abs(p.b.mean() - SHIFT) < 3 * SCALE / np.sqrt(65 * 65)
+        assert abs(np.median(p.boundary) - SHIFT) < 0.25 * SCALE
+
+    def test_point_sources_sparsity(self):
+        p = point_sources(33, derive_rng(3), count=8)
+        nonzero = np.count_nonzero(p.b)
+        assert nonzero == 8
+        assert np.count_nonzero(p.b[0, :]) == 0  # sources only interior
+
+    def test_point_sources_count_clamped(self):
+        p = point_sources(3, derive_rng(4), count=100)
+        assert np.count_nonzero(p.b) == 1
+
+    def test_point_sources_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            point_sources(9, derive_rng(5), count=0)
+
+    def test_registry_contains_paper_distributions(self):
+        assert {"unbiased", "biased", "point-sources"} <= set(DISTRIBUTIONS)
+
+
+class TestMakeProblem:
+    def test_deterministic(self):
+        a = make_problem("unbiased", 17, seed=9)
+        b = make_problem("unbiased", 17, seed=9)
+        np.testing.assert_array_equal(a.b, b.b)
+        np.testing.assert_array_equal(a.boundary, b.boundary)
+
+    def test_index_varies_instance(self):
+        a = make_problem("unbiased", 17, seed=9, index=0)
+        b = make_problem("unbiased", 17, seed=9, index=1)
+        assert not np.array_equal(a.b, b.b)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(KeyError):
+            make_problem("cauchy", 17)
+
+    def test_training_set_distinct_instances(self):
+        problems = training_set("biased", 17, 3, seed=1)
+        assert len(problems) == 3
+        assert not np.array_equal(problems[0].b, problems[1].b)
+
+    def test_training_set_rejects_zero(self):
+        with pytest.raises(ValueError):
+            training_set("biased", 17, 0)
+
+
+class TestPoissonProblem:
+    def test_arrays_frozen(self):
+        p = make_problem("unbiased", 9, seed=1)
+        with pytest.raises((ValueError, RuntimeError)):
+            p.b[1, 1] = 0.0
+        with pytest.raises((ValueError, RuntimeError)):
+            p.boundary[0] = 0.0
+
+    def test_initial_guess_fresh_and_writable(self):
+        p = make_problem("unbiased", 9, seed=1)
+        x1 = p.initial_guess()
+        x2 = p.initial_guess()
+        assert x1 is not x2
+        x1[1, 1] = 5.0  # must not raise
+        assert x2[1, 1] == 0.0
+
+    def test_initial_guess_has_boundary(self):
+        p = make_problem("unbiased", 9, seed=1)
+        x = p.initial_guess()
+        assert np.all(x[1:-1, 1:-1] == 0.0)
+        assert np.any(x[0, :] != 0.0)
+
+    def test_level_property(self):
+        assert make_problem("unbiased", 33, seed=1).level == 5
+
+    def test_rejects_bad_boundary_length(self):
+        with pytest.raises(ValueError):
+            PoissonProblem(b=np.zeros((9, 9)), boundary=np.zeros(3))
+
+    def test_rhs_copy_is_writable(self):
+        p = make_problem("unbiased", 9, seed=1)
+        r = p.rhs()
+        r[1, 1] = 42.0
+        assert p.b[1, 1] != 42.0 or True  # original untouched
+        assert p.b.flags.writeable is False
