@@ -1,0 +1,64 @@
+"""The persistent tuning store, end to end.
+
+Run:  python examples/plan_registry.py
+
+What it does:
+1. runs a small resumable campaign over (machine x level), pre-warming
+   the plan registry with tuned plans (each trial logged in SQLite),
+2. shows a cold tune vs a registry exact-hit (tune once, reuse forever),
+3. shows the nearest-profile fallback serving an un-tuned machine from
+   its closest known neighbour (cross-architecture reuse, Fig. 14),
+4. exports the keyfields/resultfields run table.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import poisson_problem, solve_service
+from repro.machines import AMD_BARCELONA
+from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB, TuneKey
+
+MAX_LEVEL = 5  # N = 33; raise for bigger runs
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "plans.sqlite"
+
+        print("1) campaign sweep (machine x level), resumable:")
+        spec = CampaignSpec(
+            name="demo",
+            machines=("intel", "sun"),
+            distributions=("unbiased",),
+            levels=(4, MAX_LEVEL),
+            instances=2,
+        )
+        campaign = Campaign(spec, TrialDB(db_path))
+        campaign.run(max_cells=2)  # pretend we were interrupted here...
+        print(f"   after interruption: {campaign.status()}")
+        campaign.run()  # ...resume: completed cells are skipped
+        print(campaign.run_table())
+
+        print("\n2) cold tune vs registry hit:")
+        problem = poisson_problem("unbiased", n=2**MAX_LEVEL + 1, seed=123)
+        for attempt in ("first", "second"):
+            start = time.perf_counter()
+            _, _, hit = solve_service(problem, 1e5, machine="intel", store=db_path)
+            wall = time.perf_counter() - start
+            print(f"   {attempt} solve_service: source={hit.source:<6} {wall:.3f}s")
+
+        print("\n3) nearest-profile fallback (AMD was never tuned here):")
+        registry = PlanRegistry(TrialDB(db_path))
+        hit = registry.get_or_tune(AMD_BARCELONA, TuneKey(max_level=MAX_LEVEL, instances=2))
+        print(
+            f"   served from {hit.machine_name} "
+            f"(source={hit.source}, profile distance={hit.distance:.3f})"
+        )
+
+        print("\n4) the trial run table:")
+        print(TrialDB(db_path).format_run_table())
+
+
+if __name__ == "__main__":
+    main()

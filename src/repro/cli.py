@@ -1,7 +1,13 @@
-"""Command-line interface: ``repro-mg <experiment> [options]``.
+"""Command-line interface.
 
-Runs any paper experiment or ablation and prints its table/diagram.  This
-is the operational entry point EXPERIMENTS.md is generated from.
+Two entry styles share the ``repro-mg`` executable:
+
+* ``repro-mg <experiment> [options]`` — regenerate any paper
+  table/figure or ablation (the entry point EXPERIMENTS.md is
+  generated from);
+* ``repro-mg store <tune|ls|export|gc> [options]`` — operate the
+  persistent tuning store (run resumable campaigns, list stored plans,
+  export the trial run table, compact the database).
 """
 
 from __future__ import annotations
@@ -95,6 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-mg",
         description="Reproduction experiments for 'Autotuning Multigrid with "
         "PetaBricks' (SC'09)",
+        epilog="The persistent tuning store has its own subcommands: "
+        "`repro-mg store {tune,ls,export,gc}` (see `repro-mg store --help`).",
     )
     parser.add_argument(
         "experiment",
@@ -116,7 +124,145 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mg store",
+        description="Operate the persistent tuning store (SQLite trial "
+        "database + plan registry + resumable campaigns).",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help="store database path (default: $REPRO_MG_STORE or "
+        "./repro-mg-store.sqlite)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser(
+        "tune",
+        help="run (or resume) a tuning campaign over a machine x "
+        "distribution x level grid",
+    )
+    tune.add_argument("--campaign", default="default", help="campaign name")
+    tune.add_argument(
+        "--machine",
+        action="append",
+        dest="machines",
+        metavar="PRESET",
+        help="machine preset (repeatable; default: intel amd sun)",
+    )
+    tune.add_argument(
+        "--distribution",
+        action="append",
+        dest="distributions",
+        metavar="DIST",
+        help="input distribution (repeatable; default: unbiased)",
+    )
+    tune.add_argument(
+        "--max-level",
+        action="append",
+        dest="levels",
+        type=int,
+        metavar="L",
+        help="finest grid level (repeatable; default: 5)",
+    )
+    tune.add_argument(
+        "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
+    )
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--instances", type=int, default=2)
+    tune.add_argument(
+        "--max-cells", type=int, default=None, help="stop after N pending cells"
+    )
+
+    ls = sub.add_parser("ls", help="list stored plans (or trials)")
+    ls.add_argument("--trials", action="store_true", help="list the trial log instead")
+
+    export = sub.add_parser("export", help="export the trial run table")
+    export.add_argument("--csv", metavar="PATH", help="write CSV here instead of stdout")
+
+    sub.add_parser("gc", help="drop superseded trials and stale cells, VACUUM")
+    return parser
+
+
+def _store_main(argv: list[str]) -> int:
+    import os
+
+    from repro.core.api import STORE_ENV
+    from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB
+
+    args = build_store_parser().parse_args(argv)
+    db_path = args.db or os.environ.get(STORE_ENV, "repro-mg-store.sqlite")
+    db = TrialDB(db_path)
+
+    if args.command == "tune":
+        spec = CampaignSpec(
+            name=args.campaign,
+            machines=tuple(args.machines or ("intel", "amd", "sun")),
+            distributions=tuple(args.distributions or ("unbiased",)),
+            levels=tuple(args.levels or (5,)),
+            kind=args.kind,
+            seed=args.seed,
+            instances=args.instances,
+        )
+        campaign = Campaign(spec, db)
+        pending_before = len(campaign.pending())
+        campaign.run(
+            max_cells=args.max_cells,
+            on_cell=lambda cell: print(
+                f"  {cell.machine:>16}  {cell.distribution:<9} "
+                f"L{cell.max_level}  {cell.source:<7} "
+                f"cost={cell.simulated_cost:.3e}  wall={cell.wall_seconds:.2f}s"
+            ),
+        )
+        status = campaign.status()
+        print(
+            f"campaign {spec.name!r}: {status.get('done', 0)} done, "
+            f"{status.get('pending', 0)} pending "
+            f"({pending_before - len(campaign.pending())} cells this run)"
+        )
+        print(campaign.run_table())
+        return 0
+
+    if args.command == "ls":
+        if args.trials:
+            print(db.format_run_table())
+        else:
+            registry = PlanRegistry(db)
+            plans = registry.plans()
+            if not plans:
+                print("(no plans stored)")
+            else:
+                from repro.bench.report import format_table
+
+                headers = list(plans[0])
+                rows = [[str(p[h]) for h in headers] for p in plans]
+                print(format_table(headers, rows))
+        return 0
+
+    if args.command == "export":
+        if args.csv:
+            count = db.export_csv(args.csv)
+            print(f"wrote {count} trial rows to {args.csv}")
+        else:
+            print(db.format_run_table())
+        return 0
+
+    if args.command == "gc":
+        removed = db.gc()
+        print(
+            f"removed {removed['trials']} superseded trial(s) and "
+            f"{removed['campaign_cells']} stale campaign cell(s)"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled store command {args.command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["store"]:
+        return _store_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

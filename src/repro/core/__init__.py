@@ -1,22 +1,31 @@
 """High-level convenience API over the tuner.
 
 This is the entry point a downstream user reaches for first: build a
-problem, autotune a plan for a machine, solve to a target accuracy.  The
-full control surface lives in :mod:`repro.tuner`.
+problem, autotune a plan for a machine, solve to a target accuracy.
+``autotune_cached`` and ``solve_service`` do the same through the
+persistent plan registry (:mod:`repro.store`), amortizing tuning cost
+across calls, processes, and machines.  The full control surface lives
+in :mod:`repro.tuner`.
 """
 
 from repro.core.api import (
     autotune,
+    autotune_cached,
     autotune_full_mg,
+    default_registry,
     poisson_problem,
     solve,
     solve_reference,
+    solve_service,
 )
 
 __all__ = [
     "autotune",
+    "autotune_cached",
     "autotune_full_mg",
+    "default_registry",
     "poisson_problem",
     "solve",
     "solve_reference",
+    "solve_service",
 ]

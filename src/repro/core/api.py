@@ -1,8 +1,16 @@
-"""One-call wrappers: autotune a plan, solve a problem, compare baselines."""
+"""One-call wrappers: autotune a plan, solve a problem, compare baselines.
+
+Service-shaped callers should prefer :func:`autotune_cached` /
+:func:`solve_service`: they route through the persistent plan registry
+(:mod:`repro.store`), so the DP tuner runs at most once per
+(machine fingerprint, tuning key) across processes and restarts.
+"""
 
 from __future__ import annotations
 
-from typing import Literal
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
@@ -22,13 +30,56 @@ from repro.util.validation import level_of_size
 from repro.workloads.distributions import make_problem
 from repro.workloads.problem import PoissonProblem
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.registry import PlanRegistry, RegistryHit
+
 __all__ = [
     "autotune",
+    "autotune_cached",
     "autotune_full_mg",
+    "default_registry",
     "poisson_problem",
     "solve",
     "solve_reference",
+    "solve_service",
 ]
+
+#: Environment variable naming the default on-disk tuning store.  Unset,
+#: the process default registry is in-memory (still amortizes tuning
+#: across calls within the process).
+STORE_ENV = "REPRO_MG_STORE"
+
+_default_registries: dict[str, "PlanRegistry"] = {}
+
+
+def default_registry() -> "PlanRegistry":
+    """The process-wide plan registry.
+
+    Backed by the SQLite file named in ``$REPRO_MG_STORE`` when set,
+    otherwise an in-memory store shared by all callers in this process.
+    The environment variable is re-read on every call (cached per
+    path), so setting it mid-process takes effect on the next call.
+    """
+    path = os.environ.get(STORE_ENV, ":memory:")
+    registry = _default_registries.get(path)
+    if registry is None:
+        from repro.store.registry import PlanRegistry
+
+        registry = _default_registries[path] = PlanRegistry(path)
+    return registry
+
+
+def _resolve_registry(store: object) -> "PlanRegistry":
+    from repro.store.registry import PlanRegistry
+    from repro.store.trialdb import TrialDB
+
+    if store is None:
+        return default_registry()
+    if isinstance(store, PlanRegistry):
+        return store
+    if isinstance(store, (TrialDB, str, Path)):
+        return PlanRegistry(store)
+    raise TypeError(f"store must be a PlanRegistry, TrialDB, or path; got {store!r}")
 
 
 def poisson_problem(
@@ -127,3 +178,79 @@ def solve_reference(
     }[method]
     iters = solver.solve(x, problem.b, judge.accuracy_of, target_accuracy, meter)
     return x, meter, iters
+
+
+def autotune_cached(
+    max_level: int = 6,
+    machine: str | MachineProfile = "intel",
+    distribution: str = "unbiased",
+    accuracies: tuple[float, ...] = DEFAULT_ACCURACIES,
+    instances: int = 3,
+    seed: int | None = 0,
+    kind: Literal["multigrid-v", "full-multigrid"] = "multigrid-v",
+    store: object = None,
+    allow_nearest: bool = True,
+) -> TunedVPlan | TunedFullMGPlan:
+    """:func:`autotune` through the persistent plan registry.
+
+    An exact registry hit returns the stored plan without running the
+    tuner; otherwise the nearest known machine's plan serves (when
+    ``allow_nearest``), and only a genuinely cold key pays for a DP
+    pass.  ``store`` is a :class:`~repro.store.registry.PlanRegistry`,
+    :class:`~repro.store.trialdb.TrialDB`, or database path; default is
+    :func:`default_registry`.
+    """
+    from repro.store.registry import TuneKey
+
+    profile = get_preset(machine) if isinstance(machine, str) else machine
+    registry = _resolve_registry(store)
+    key = TuneKey(
+        kind=kind,
+        distribution=distribution,
+        max_level=max_level,
+        accuracies=tuple(accuracies),
+        seed=seed,
+        instances=instances,
+    )
+    return registry.get_or_tune(profile, key, allow_nearest=allow_nearest).plan
+
+
+def solve_service(
+    problem: PoissonProblem,
+    target_accuracy: float,
+    machine: str | MachineProfile = "intel",
+    distribution: str | None = None,
+    instances: int = 3,
+    seed: int | None = 0,
+    kind: Literal["multigrid-v", "full-multigrid"] = "multigrid-v",
+    store: object = None,
+) -> tuple[np.ndarray, OpMeter, "RegistryHit"]:
+    """Solve like a long-running service: plans come from the registry.
+
+    The tuning key is derived from the problem (its level, and its
+    distribution label unless ``distribution`` overrides it); repeated
+    calls for the same workload class are registry hits that skip the
+    tuner entirely.  Returns (solution, meter, registry hit) so callers
+    can log where their plan came from.
+    """
+    from repro.store.registry import TuneKey
+    from repro.workloads.distributions import DISTRIBUTIONS
+
+    profile = get_preset(machine) if isinstance(machine, str) else machine
+    registry = _resolve_registry(store)
+    dist = distribution if distribution is not None else problem.label
+    if dist not in DISTRIBUTIONS:
+        raise ValueError(
+            f"cannot infer a training distribution from problem label {dist!r}; "
+            f"pass distribution= (one of {sorted(DISTRIBUTIONS)})"
+        )
+    key = TuneKey(
+        kind=kind,
+        distribution=dist,
+        max_level=problem.level,
+        seed=seed,
+        instances=instances,
+    )
+    hit = registry.get_or_tune(profile, key)
+    x, meter = solve(hit.plan, problem, target_accuracy)
+    return x, meter, hit

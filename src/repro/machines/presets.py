@@ -115,8 +115,15 @@ PRESETS: dict[str, MachineProfile] = {
 
 
 def get_preset(name: str) -> MachineProfile:
-    """Look up a preset by name (raising with the known names on miss)."""
+    """Look up a preset by name.
+
+    Raises :class:`ValueError` naming the valid presets on a miss, so CLI
+    users typing ``--machine hots`` see what ``--machine`` actually accepts.
+    """
     profile = PRESETS.get(name)
     if profile is None:
-        raise KeyError(f"unknown machine preset {name!r}; have {sorted(set(PRESETS))}")
+        valid = ", ".join(sorted(set(PRESETS)))
+        raise ValueError(
+            f"unknown machine preset {name!r}; valid presets are: {valid}"
+        )
     return profile

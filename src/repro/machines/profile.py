@@ -22,6 +22,8 @@ overheads vary per machine.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field, replace
 
@@ -100,6 +102,45 @@ class MachineProfile:
         if threads < 1:
             raise ValueError("threads must be >= 1")
         return replace(self, cores=threads, name=f"{self.name}@{threads}t")
+
+    # -- identity ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every cost-relevant parameter.
+
+        Display-only fields (``name``, ``description``) are excluded so two
+        profiles with identical cost landscapes serialize identically; the
+        persistent tuning store keys plans by this content, not by label.
+        """
+        return {
+            "cores": self.cores,
+            "flop_rate": self.flop_rate,
+            "mem_bw": self.mem_bw,
+            "single_thread_bw_frac": self.single_thread_bw_frac,
+            "cache_size": self.cache_size,
+            "cache_bw": self.cache_bw,
+            "op_overhead": self.op_overhead,
+            "sync_overhead": self.sync_overhead,
+            "dense_efficiency": self.dense_efficiency,
+            "direct_overhead": self.direct_overhead,
+            "working_set_factor": self.working_set_factor,
+            "direct_includes_memory": self.direct_includes_memory,
+            "op_shapes": {
+                op: [s.flops_per_point, s.bytes_per_point, s.barriers]
+                for op, s in sorted(self.op_shapes.items())
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the cost model (machine identity).
+
+        Two :class:`MachineProfile` instances with the same parameters get
+        the same fingerprint regardless of how they were constructed or
+        named, so tuned plans stored under a fingerprint are shared across
+        processes and hosts with equivalent cost landscapes.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return "mp-" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     # -- memory hierarchy -------------------------------------------------
 

@@ -1,0 +1,39 @@
+"""Persistent tuning store: trial database, plan registry, campaigns.
+
+The paper's model is "tune once, store the configuration, reuse it on
+every subsequent run" (PetaBricks section 3.2.1).  This subsystem makes
+that operational at scale:
+
+* :class:`~repro.store.trialdb.TrialDB` — SQLite (WAL) experiment
+  database, one row per tuning trial with py_experimenter-style
+  keyfields and resultfields, exportable as a run table;
+* :class:`~repro.store.registry.PlanRegistry` — tuned plans keyed by
+  :meth:`MachineProfile.fingerprint`, with exact-hit, nearest-profile
+  fallback (cross-architecture reuse, Figure 14), and tune-and-insert;
+* :class:`~repro.store.campaign.Campaign` — resumable sweeps over
+  (machine x distribution x level) grids that pre-warm the registry.
+
+Entry points for callers are :func:`repro.core.autotune_cached` and
+:func:`repro.core.solve_service`, plus ``repro-mg store`` on the CLI.
+"""
+
+from repro.store.campaign import Campaign, CampaignSpec, CellResult
+from repro.store.registry import PlanRegistry, RegistryHit, TuneKey, profile_distance
+from repro.store.sink import CollectingSink, DBTrialSink, TrialSink, plan_cycle_shape
+from repro.store.trialdb import TrialDB, TrialRecord
+
+__all__ = [
+    "Campaign",
+    "CampaignSpec",
+    "CellResult",
+    "CollectingSink",
+    "DBTrialSink",
+    "PlanRegistry",
+    "RegistryHit",
+    "TrialDB",
+    "TrialRecord",
+    "TrialSink",
+    "TuneKey",
+    "plan_cycle_shape",
+    "profile_distance",
+]

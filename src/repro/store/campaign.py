@@ -1,0 +1,209 @@
+"""Resumable autotuning campaigns over (machine x distribution x level).
+
+A campaign is a tuning sweep run ahead of traffic: every cell of the
+grid gets a tuned plan into the registry, so later ``solve_service``
+calls are all registry hits.  Cells are tracked in the
+``campaign_cells`` table and committed one at a time, so a killed
+campaign restarts exactly where it stopped — completed cells are
+skipped, never re-tuned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.machines.presets import get_preset
+from repro.store.registry import PlanRegistry, RegistryHit, TuneKey
+from repro.store.trialdb import TrialDB
+from repro.tuner.plan import DEFAULT_ACCURACIES
+
+__all__ = ["Campaign", "CampaignSpec", "CellResult"]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The grid one campaign sweeps, plus shared tuning keyfields."""
+
+    name: str
+    machines: tuple[str, ...] = ("intel", "amd", "sun")
+    distributions: tuple[str, ...] = ("unbiased",)
+    levels: tuple[int, ...] = (4, 5)
+    kind: str = "multigrid-v"
+    accuracies: tuple[float, ...] = DEFAULT_ACCURACIES
+    seed: int | None = 0
+    instances: int = 2
+    #: campaigns pre-warm the registry per machine, so by default a cell
+    #: is only satisfied by that machine's own plan (no nearest fallback)
+    allow_nearest: bool = False
+
+    def cells(self) -> list[tuple[str, str, int]]:
+        """Deterministic cell order: machine-major, then distribution,
+        then level."""
+        return list(product(self.machines, self.distributions, self.levels))
+
+    def key_for(self, distribution: str, level: int) -> TuneKey:
+        return TuneKey(
+            kind=self.kind,
+            distribution=distribution,
+            max_level=level,
+            accuracies=self.accuracies,
+            seed=self.seed,
+            instances=self.instances,
+        )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one campaign cell in one ``run()`` call."""
+
+    machine: str
+    distribution: str
+    max_level: int
+    #: 'exact' / 'nearest' / 'tuned' from the registry, or 'skipped'
+    #: for cells already done before this run
+    source: str
+    simulated_cost: float | None = None
+    wall_seconds: float | None = None
+    hit: RegistryHit | None = field(default=None, compare=False)
+
+
+class Campaign:
+    """Drives a :class:`CampaignSpec` through a :class:`PlanRegistry`."""
+
+    def __init__(self, spec: CampaignSpec, db: TrialDB | str | Path = ":memory:") -> None:
+        self.spec = spec
+        self.registry = db if isinstance(db, PlanRegistry) else PlanRegistry(db)
+        self.db = self.registry.db
+        self._ensure_cells()
+
+    def _ensure_cells(self) -> None:
+        for machine, dist, level in self.spec.cells():
+            self.db.conn.execute(
+                """
+                INSERT OR IGNORE INTO campaign_cells
+                    (campaign, machine, distribution, max_level)
+                VALUES (?, ?, ?, ?)
+                """,
+                (self.spec.name, machine, dist, level),
+            )
+        self.db.conn.commit()
+
+    # -- status -----------------------------------------------------------
+
+    def cells(self) -> list[dict[str, Any]]:
+        rows = self.db.conn.execute(
+            """
+            SELECT machine, distribution, max_level, status, source,
+                   simulated_cost, wall_seconds, completed_at
+            FROM campaign_cells WHERE campaign = ?
+            ORDER BY machine, distribution, max_level
+            """,
+            (self.spec.name,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def pending(self) -> list[tuple[str, str, int]]:
+        """Grid cells not yet completed, in sweep order."""
+        done = {
+            (c["machine"], c["distribution"], c["max_level"])
+            for c in self.cells()
+            if c["status"] == "done"
+        }
+        return [cell for cell in self.spec.cells() if cell not in done]
+
+    def status(self) -> dict[str, int]:
+        counts = {"done": 0, "pending": 0}
+        for cell in self.cells():
+            counts[cell["status"]] = counts.get(cell["status"], 0) + 1
+        return counts
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        max_cells: int | None = None,
+        on_cell: Callable[[CellResult], None] | None = None,
+    ) -> list[CellResult]:
+        """Run the sweep, skipping completed cells.
+
+        ``max_cells`` bounds how many *pending* cells this call executes
+        (handy for incremental progress and for tests simulating an
+        interruption); each completed cell commits immediately, so any
+        interruption loses at most the in-flight cell.
+        """
+        results: list[CellResult] = []
+        executed = 0
+        pending = set(self.pending())
+        for machine, dist, level in self.spec.cells():
+            if (machine, dist, level) not in pending:
+                results.append(CellResult(machine, dist, level, source="skipped"))
+                continue
+            if max_cells is not None and executed >= max_cells:
+                break
+            profile = get_preset(machine)
+            start = time.perf_counter()
+            hit = self.registry.get_or_tune(
+                profile,
+                self.spec.key_for(dist, level),
+                allow_nearest=self.spec.allow_nearest,
+            )
+            wall = time.perf_counter() - start
+            cost = hit.plan.time_on(profile, level, hit.plan.num_accuracies - 1)
+            self.db.conn.execute(
+                """
+                UPDATE campaign_cells
+                SET status = 'done', source = ?, simulated_cost = ?,
+                    wall_seconds = ?,
+                    completed_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
+                WHERE campaign = ? AND machine = ? AND distribution = ?
+                  AND max_level = ?
+                """,
+                (hit.source, cost, wall, self.spec.name, machine, dist, level),
+            )
+            self.db.conn.commit()
+            result = CellResult(
+                machine, dist, level, hit.source, cost, wall, hit=hit
+            )
+            results.append(result)
+            executed += 1
+            if on_cell is not None:
+                on_cell(result)
+        return results
+
+    # -- reporting --------------------------------------------------------
+
+    def run_table(self) -> str:
+        """The campaign grid as an aligned text table (bench/report style)."""
+        from repro.bench.report import format_table
+
+        headers = [
+            "machine",
+            "distribution",
+            "level",
+            "status",
+            "source",
+            "simulated_cost",
+            "wall_seconds",
+        ]
+        rows: list[Sequence[object]] = []
+        for cell in self.cells():
+            rows.append(
+                [
+                    cell["machine"],
+                    cell["distribution"],
+                    cell["max_level"],
+                    cell["status"],
+                    cell["source"] or "-",
+                    _fmt(cell["simulated_cost"]),
+                    _fmt(cell["wall_seconds"]),
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def _fmt(value: float | None) -> str:
+    return "-" if value is None else f"{value:.3e}"

@@ -1,0 +1,377 @@
+"""The plan registry: tune once, reuse everywhere.
+
+PetaBricks' operational model is "tuning is performed offline ... the
+autotuner generates an optimized configuration file; subsequent runs use
+the saved configuration" (section 3.2.1).  :class:`PlanRegistry` is that
+model made persistent and multi-machine:
+
+* **exact hit** — a plan tuned for this machine fingerprint and tuning
+  key is returned byte-identically from the database, skipping the
+  entire DP pass;
+* **nearest-profile fallback** — with no exact hit, the registry can
+  serve the plan of the *closest* known machine (the paper's Figure 14
+  cross-architecture experiment shows tuned plans transfer with modest
+  slowdown, far better than re-running a heuristic);
+* **tune-and-insert** — otherwise the DP runs once, the trial is logged,
+  and the plan is stored for every future caller.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.machines.profile import MachineProfile
+from repro.store.sink import DBTrialSink, plan_cycle_shape
+from repro.store.trialdb import (
+    TrialDB,
+    TrialRecord,
+    canonical_accuracies,
+    canonical_seed,
+)
+from repro.tuner.config import plan_from_dict, plan_to_dict
+from repro.tuner.plan import DEFAULT_ACCURACIES, TunedFullMGPlan, TunedVPlan
+
+__all__ = ["PlanRegistry", "RegistryHit", "TuneKey", "profile_distance"]
+
+PLAN_KINDS = ("multigrid-v", "full-multigrid")
+
+
+@dataclass(frozen=True)
+class TuneKey:
+    """Keyfields identifying one tuning problem (machine excluded)."""
+
+    kind: str = "multigrid-v"
+    distribution: str = "unbiased"
+    max_level: int = 6
+    accuracies: tuple[float, ...] = DEFAULT_ACCURACIES
+    seed: int | None = 0
+    instances: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in PLAN_KINDS:
+            raise ValueError(f"kind must be one of {PLAN_KINDS}, not {self.kind!r}")
+
+    def storage_key(self, fingerprint: str) -> str:
+        return "|".join(
+            [
+                fingerprint,
+                self.kind,
+                self.distribution,
+                str(self.max_level),
+                canonical_accuracies(self.accuracies),
+                canonical_seed(self.seed),
+                str(self.instances),
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class RegistryHit:
+    """Outcome of a registry lookup-or-tune."""
+
+    plan: TunedVPlan | TunedFullMGPlan
+    #: 'exact' (this fingerprint), 'nearest' (closest known machine), or
+    #: 'tuned' (DP ran in this call)
+    source: str
+    fingerprint: str
+    plan_json: str
+    #: profile distance of the serving machine (0.0 for exact/tuned)
+    distance: float = 0.0
+    machine_name: str | None = None
+
+
+def _flatten(value: Any, path: str, out: dict[str, Any]) -> None:
+    """Flatten nested dicts/lists to (dotted-path, scalar) pairs so every
+    parameter — including the per-op shape tables — enters the metric."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(value[key], f"{path}.{key}", out)
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _flatten(item, f"{path}[{i}]", out)
+    else:
+        out[path] = value
+
+
+def profile_distance(a: dict[str, Any], b: dict[str, Any]) -> float:
+    """Log-scale RMS distance between two profile content dicts.
+
+    Rates and capacities differ across machines by orders of magnitude,
+    so each scalar contributes ``|log10(a/b)|``; nearest-profile lookup
+    minimizes this over stored plans.  Scalars only one side defines
+    count as fully different, so a missing or extra field cannot shrink
+    the distance.
+    """
+    flat_a: dict[str, Any] = {}
+    flat_b: dict[str, Any] = {}
+    _flatten(a, "", flat_a)
+    _flatten(b, "", flat_b)
+    total = 0.0
+    count = 0
+    for name in sorted(set(flat_a) | set(flat_b)):
+        va, vb = flat_a.get(name), flat_b.get(name)
+        count += 1
+        if va is None or vb is None:
+            total += 1.0
+        elif isinstance(va, bool) or isinstance(vb, bool):
+            total += 0.0 if va == vb else 1.0
+        elif isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            if va > 0 and vb > 0:
+                total += math.log10(va / vb) ** 2
+            elif va != vb:
+                total += 1.0
+        elif va != vb:
+            total += 1.0
+    if count == 0:
+        return math.inf
+    return math.sqrt(total / count)
+
+
+class PlanRegistry:
+    """Content-addressed store of tuned plans over a :class:`TrialDB`."""
+
+    def __init__(self, db: TrialDB | str | Path = ":memory:") -> None:
+        self.db = db if isinstance(db, TrialDB) else TrialDB(db)
+        self.sink = DBTrialSink(self.db)
+
+    # -- lookups ----------------------------------------------------------
+
+    def get(
+        self,
+        profile: MachineProfile,
+        key: TuneKey,
+        allow_nearest: bool = True,
+        max_distance: float | None = None,
+    ) -> RegistryHit | None:
+        """The stored plan for (profile, key), or ``None``.
+
+        Exact fingerprint matches win; otherwise, when ``allow_nearest``,
+        the closest stored profile with the same tuning key serves (if
+        within ``max_distance``, when given).
+        """
+        fingerprint = profile.fingerprint()
+        row = self.db.conn.execute(
+            "SELECT * FROM plans WHERE plan_key = ?",
+            (key.storage_key(fingerprint),),
+        ).fetchone()
+        if row is not None:
+            self._touch(row["id"])
+            return RegistryHit(
+                plan=plan_from_dict(json.loads(row["plan_json"])),
+                source="exact",
+                fingerprint=fingerprint,
+                plan_json=row["plan_json"],
+                machine_name=row["machine_name"],
+            )
+        if not allow_nearest:
+            return None
+        return self._nearest(profile, key, max_distance)
+
+    def _nearest(
+        self,
+        profile: MachineProfile,
+        key: TuneKey,
+        max_distance: float | None,
+    ) -> RegistryHit | None:
+        mine = profile.to_dict()
+        rows = self.db.conn.execute(
+            """
+            SELECT * FROM plans
+            WHERE kind = ? AND distribution = ? AND max_level = ?
+              AND accuracies = ? AND seed = ? AND instances = ?
+            """,
+            (
+                key.kind,
+                key.distribution,
+                key.max_level,
+                canonical_accuracies(key.accuracies),
+                canonical_seed(key.seed),
+                key.instances,
+            ),
+        ).fetchall()
+        best_row, best_dist = None, math.inf
+        for row in rows:
+            dist = profile_distance(mine, json.loads(row["profile_json"]))
+            if dist < best_dist:
+                best_row, best_dist = row, dist
+        if best_row is None:
+            return None
+        if max_distance is not None and best_dist > max_distance:
+            return None
+        self._touch(best_row["id"])
+        return RegistryHit(
+            plan=plan_from_dict(json.loads(best_row["plan_json"])),
+            source="nearest",
+            fingerprint=best_row["machine_fingerprint"],
+            plan_json=best_row["plan_json"],
+            distance=best_dist,
+            machine_name=best_row["machine_name"],
+        )
+
+    def _touch(self, plan_id: int) -> None:
+        # Best-effort: the hit counter is telemetry, and lookups must stay
+        # effectively read-only — never fail (or block on the single-writer
+        # lock, e.g. during a concurrent VACUUM) just to bump it.
+        try:
+            self.db.conn.execute(
+                """
+                UPDATE plans SET hits = hits + 1,
+                    last_used_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
+                WHERE id = ?
+                """,
+                (plan_id,),
+            )
+            self.db.conn.commit()
+        except sqlite3.OperationalError:
+            self.db.conn.rollback()
+
+    # -- writes -----------------------------------------------------------
+
+    def put(
+        self,
+        profile: MachineProfile,
+        key: TuneKey,
+        plan: TunedVPlan | TunedFullMGPlan,
+    ) -> str:
+        """Store (or replace) the plan for (profile, key); returns its
+        canonical JSON."""
+        fingerprint = profile.fingerprint()
+        plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+        self.db.conn.execute(
+            """
+            INSERT INTO plans (plan_key, kind, distribution, max_level,
+                               accuracies, machine_fingerprint, seed, instances,
+                               machine_name, profile_json, plan_json)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            ON CONFLICT (plan_key) DO UPDATE SET
+                plan_json = excluded.plan_json,
+                profile_json = excluded.profile_json,
+                machine_name = excluded.machine_name
+            """,
+            (
+                key.storage_key(fingerprint),
+                key.kind,
+                key.distribution,
+                key.max_level,
+                canonical_accuracies(key.accuracies),
+                fingerprint,
+                canonical_seed(key.seed),
+                key.instances,
+                profile.name,
+                json.dumps(profile.to_dict(), sort_keys=True),
+                plan_json,
+            ),
+        )
+        self.db.conn.commit()
+        return plan_json
+
+    # -- the main entry point ---------------------------------------------
+
+    def get_or_tune(
+        self,
+        profile: MachineProfile,
+        key: TuneKey | None = None,
+        *,
+        allow_nearest: bool = True,
+        max_distance: float | None = None,
+        tuner: Callable[[], TunedVPlan | TunedFullMGPlan] | None = None,
+        record_trial: bool = True,
+        **key_fields: Any,
+    ) -> RegistryHit:
+        """Serve a plan: exact hit, nearest-profile fallback, or tune.
+
+        ``key`` can be given directly or assembled from keyword fields
+        (``kind=, distribution=, max_level=, ...``).  ``tuner`` overrides
+        how a cold plan is produced (tests count invocations through it);
+        the default runs the paper's DP tuner for ``key.kind``.
+        """
+        if key is None:
+            key = TuneKey(**key_fields)
+        elif key_fields:
+            raise TypeError("pass either a TuneKey or keyword fields, not both")
+        hit = self.get(profile, key, allow_nearest, max_distance)
+        if hit is not None:
+            return hit
+        start = time.perf_counter()
+        plan = (tuner or (lambda: _default_tuner(profile, key)))()
+        wall = time.perf_counter() - start
+        plan_json = self.put(profile, key, plan)
+        if record_trial:
+            self.sink.record(
+                TrialRecord(
+                    kind=key.kind,
+                    distribution=key.distribution,
+                    max_level=key.max_level,
+                    accuracies=tuple(key.accuracies),
+                    machine_fingerprint=profile.fingerprint(),
+                    seed=key.seed,
+                    instances=key.instances,
+                    machine_name=profile.name,
+                    cycle_shape=plan_cycle_shape(plan),
+                    simulated_cost=plan.time_on(
+                        profile, plan.max_level, plan.num_accuracies - 1
+                    ),
+                    wall_seconds=wall,
+                    plan_json=plan_json,
+                )
+            )
+        return RegistryHit(
+            plan=plan,
+            source="tuned",
+            fingerprint=profile.fingerprint(),
+            plan_json=plan_json,
+            machine_name=profile.name,
+        )
+
+    # -- introspection ----------------------------------------------------
+
+    def plans(self) -> list[dict[str, Any]]:
+        """Summary rows of every stored plan (for ``store ls``)."""
+        rows = self.db.conn.execute(
+            """
+            SELECT kind, distribution, max_level, machine_name,
+                   machine_fingerprint, seed, instances, hits,
+                   created_at, last_used_at
+            FROM plans ORDER BY id
+            """
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def __len__(self) -> int:
+        (n,) = self.db.conn.execute("SELECT COUNT(*) FROM plans").fetchone()
+        return int(n)
+
+
+def _default_tuner(
+    profile: MachineProfile, key: TuneKey
+) -> TunedVPlan | TunedFullMGPlan:
+    """Cold path: run the DP tuner(s) exactly as core.autotune does."""
+    from repro.tuner.dp import VCycleTuner
+    from repro.tuner.full_mg import FullMGTuner
+    from repro.tuner.timing import CostModelTiming
+    from repro.tuner.training import TrainingData
+
+    training = TrainingData(
+        distribution=key.distribution, instances=key.instances, seed=key.seed
+    )
+    vplan = VCycleTuner(
+        max_level=key.max_level,
+        accuracies=tuple(key.accuracies),
+        training=training,
+        timing=CostModelTiming(profile),
+        keep_audit=False,
+    ).tune()
+    if key.kind == "multigrid-v":
+        return vplan
+    return FullMGTuner(
+        vplan=vplan,
+        training=training,
+        timing=CostModelTiming(profile),
+        keep_audit=False,
+    ).tune(key.max_level)

@@ -1,0 +1,98 @@
+"""SQLite schema for the persistent tuning store.
+
+Three tables, in the style of an experiment database (py_experimenter's
+keyfields/resultfields run table):
+
+* ``trials`` — append-only log, one row per tuning run.  Keyfields
+  identify what was tuned (kind, distribution, max level, accuracy
+  ladder, machine fingerprint, seed, instances); resultfields record
+  what came out (chosen cycle shape, simulated cost, wall time, the
+  full plan JSON).
+* ``plans`` — the registry: at most one current plan per
+  (fingerprint, keyfields) combination, with hit counters so ``gc``
+  and capacity planning can see what is actually reused.
+* ``campaign_cells`` — one row per (machine x distribution x level)
+  cell of a sweep, carrying its completion status so an interrupted
+  campaign resumes without redoing finished cells.
+
+``user_version`` tracks the schema revision; opening a database written
+by a newer revision fails loudly instead of corrupting it.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+__all__ = ["SCHEMA_VERSION", "ensure_schema"]
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    -- keyfields
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    -- resultfields
+    machine_name        TEXT,
+    cycle_shape         TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    plan_json           TEXT,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+CREATE INDEX IF NOT EXISTS idx_trials_key
+    ON trials (kind, distribution, max_level, accuracies,
+               machine_fingerprint, seed, instances);
+
+CREATE TABLE IF NOT EXISTS plans (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    plan_key            TEXT    NOT NULL UNIQUE,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    profile_json        TEXT    NOT NULL,
+    plan_json           TEXT    NOT NULL,
+    hits                INTEGER NOT NULL DEFAULT 0,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
+    last_used_at        TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_plans_family
+    ON plans (kind, distribution, max_level, accuracies, seed, instances);
+
+CREATE TABLE IF NOT EXISTS campaign_cells (
+    campaign            TEXT    NOT NULL,
+    machine             TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    max_level           INTEGER NOT NULL,
+    status              TEXT    NOT NULL DEFAULT 'pending',
+    source              TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    completed_at        TEXT,
+    PRIMARY KEY (campaign, machine, distribution, max_level)
+);
+"""
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create the store tables (idempotent) and stamp the schema version."""
+    (version,) = conn.execute("PRAGMA user_version").fetchone()
+    if version > SCHEMA_VERSION:
+        raise RuntimeError(
+            f"store was written by schema version {version}; this code "
+            f"understands up to {SCHEMA_VERSION} — refusing to open"
+        )
+    conn.executescript(_SCHEMA)
+    conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+    conn.commit()

@@ -1,0 +1,93 @@
+"""Trial sinks: how tuners report finished tuning runs to the store.
+
+The tuners (:class:`~repro.tuner.dp.VCycleTuner`,
+:class:`~repro.tuner.full_mg.FullMGTuner`) accept an optional ``sink``
+object and hand it one :class:`~repro.store.trialdb.TrialRecord` per
+``tune()`` call.  The hook is deliberately thin — a single ``record``
+method — so the tuner layer never imports the store at module scope and
+tests can substitute a :class:`CollectingSink`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.store.trialdb import TrialDB, TrialRecord
+
+__all__ = [
+    "CollectingSink",
+    "DBTrialSink",
+    "TrialSink",
+    "emit_tuning_trial",
+    "plan_cycle_shape",
+]
+
+
+class TrialSink:
+    """Interface: receive one record per completed tuning run."""
+
+    def record(self, trial: TrialRecord) -> None:
+        raise NotImplementedError
+
+
+class CollectingSink(TrialSink):
+    """In-memory sink (tests, ad-hoc inspection)."""
+
+    def __init__(self) -> None:
+        self.trials: list[TrialRecord] = []
+
+    def record(self, trial: TrialRecord) -> None:
+        self.trials.append(trial)
+
+
+class DBTrialSink(TrialSink):
+    """Sink writing straight into a :class:`TrialDB`."""
+
+    def __init__(self, db: TrialDB) -> None:
+        self.db = db
+
+    def record(self, trial: TrialRecord) -> None:
+        self.db.record_trial(trial)
+
+
+def plan_cycle_shape(plan: Any) -> str:
+    """Compact description of the tuned cycle: the top-level choice per
+    accuracy index (the row Figure 5's diagrams are drawn from)."""
+    return " | ".join(
+        f"p{i}:{plan.choice(plan.max_level, i).describe()}"
+        for i in range(plan.num_accuracies)
+    )
+
+
+def emit_tuning_trial(
+    sink: TrialSink,
+    plan: Any,
+    timing: Any,
+    training: Any,
+    wall_seconds: float,
+) -> TrialRecord:
+    """Build the trial record for a finished ``tune()`` and hand it to
+    ``sink``.  Called by the tuners (lazily imported, see tuner/dp.py)."""
+    from repro.tuner.config import plan_to_dict
+
+    profile = getattr(timing, "profile", None)
+    m = plan.num_accuracies
+    record = TrialRecord(
+        kind=plan.metadata.get("kind", "multigrid-v"),
+        distribution=training.distribution,
+        max_level=plan.max_level,
+        accuracies=plan.accuracies,
+        machine_fingerprint=profile.fingerprint() if profile else "wallclock",
+        seed=training.seed,
+        instances=training.instances,
+        machine_name=profile.name if profile else None,
+        cycle_shape=plan_cycle_shape(plan),
+        simulated_cost=(
+            plan.time_on(profile, plan.max_level, m - 1) if profile else None
+        ),
+        wall_seconds=wall_seconds,
+        plan_json=json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":")),
+    )
+    sink.record(record)
+    return record

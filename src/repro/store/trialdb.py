@@ -1,0 +1,251 @@
+"""The trial database: a durable log of every tuning run.
+
+PetaBricks tunes once and stores the configuration (section 3.2.1); this
+module stores the *evidence* too.  Every call to the DP tuner can drop a
+:class:`TrialRecord` here, giving the reproduction an experiment database
+in the keyfields/resultfields style: the keyfields say what was tuned,
+the resultfields say what the tuner chose and what it cost.
+
+The database is a single SQLite file opened in WAL mode, so concurrent
+solvers on one host can read plans while a campaign writes new trials.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.store.schema import ensure_schema
+
+__all__ = ["TrialDB", "TrialRecord", "canonical_accuracies", "canonical_seed"]
+
+#: Keyfield column order shared by queries and the run-table export.
+KEYFIELDS = (
+    "kind",
+    "distribution",
+    "max_level",
+    "accuracies",
+    "machine_fingerprint",
+    "seed",
+    "instances",
+)
+RESULTFIELDS = (
+    "machine_name",
+    "cycle_shape",
+    "simulated_cost",
+    "wall_seconds",
+)
+
+
+def canonical_accuracies(accuracies: Sequence[float]) -> str:
+    """Canonical text form of an accuracy ladder (a stable keyfield)."""
+    return json.dumps([float(a) for a in accuracies], separators=(",", ":"))
+
+
+def canonical_seed(seed: int | None) -> str:
+    """Canonical text form of a training seed (``None`` is a valid seed,
+    and SQLite NULLs never compare equal, so seeds are stored as text)."""
+    return json.dumps(seed)
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One tuning run: keyfields identify it, resultfields describe it."""
+
+    kind: str
+    distribution: str
+    max_level: int
+    accuracies: tuple[float, ...]
+    machine_fingerprint: str
+    seed: int | None
+    instances: int
+    machine_name: str | None = None
+    cycle_shape: str | None = None
+    simulated_cost: float | None = None
+    wall_seconds: float | None = None
+    plan_json: str | None = None
+    trial_id: int | None = field(default=None, compare=False)
+    created_at: str | None = field(default=None, compare=False)
+
+    def key(self) -> tuple:
+        """The keyfield tuple (what makes two trials 'the same' cell)."""
+        return (
+            self.kind,
+            self.distribution,
+            self.max_level,
+            canonical_accuracies(self.accuracies),
+            self.machine_fingerprint,
+            canonical_seed(self.seed),
+            self.instances,
+        )
+
+
+class TrialDB:
+    """SQLite-backed trial log (WAL mode) plus the registry/campaign tables.
+
+    Accepts a filesystem path or ``":memory:"``; usable as a context
+    manager.  All store components (:class:`~repro.store.registry.
+    PlanRegistry`, :class:`~repro.store.campaign.Campaign`) share one
+    ``TrialDB`` and therefore one database file.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self.conn = sqlite3.connect(self.path)
+        self.conn.row_factory = sqlite3.Row
+        if self.path != ":memory:":
+            self.conn.execute("PRAGMA journal_mode=WAL")
+            self.conn.execute("PRAGMA synchronous=NORMAL")
+        ensure_schema(self.conn)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "TrialDB":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- trials -----------------------------------------------------------
+
+    def record_trial(self, record: TrialRecord) -> int:
+        """Append one trial row; returns its id."""
+        cur = self.conn.execute(
+            """
+            INSERT INTO trials (kind, distribution, max_level, accuracies,
+                                machine_fingerprint, seed, instances,
+                                machine_name, cycle_shape, simulated_cost,
+                                wall_seconds, plan_json)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            record.key()
+            + (
+                record.machine_name,
+                record.cycle_shape,
+                record.simulated_cost,
+                record.wall_seconds,
+                record.plan_json,
+            ),
+        )
+        self.conn.commit()
+        return int(cur.lastrowid)
+
+    def trials(
+        self,
+        kind: str | None = None,
+        distribution: str | None = None,
+        machine_fingerprint: str | None = None,
+        max_level: int | None = None,
+    ) -> list[TrialRecord]:
+        """Trial records matching the given keyfield filters, oldest first."""
+        clauses, params = _filters(
+            kind=kind,
+            distribution=distribution,
+            machine_fingerprint=machine_fingerprint,
+            max_level=max_level,
+        )
+        rows = self.conn.execute(
+            f"SELECT * FROM trials{clauses} ORDER BY id", params
+        ).fetchall()
+        return [_record_from_row(row) for row in rows]
+
+    def count_trials(self) -> int:
+        (n,) = self.conn.execute("SELECT COUNT(*) FROM trials").fetchone()
+        return int(n)
+
+    # -- run-table export -------------------------------------------------
+
+    def run_table_rows(self) -> tuple[list[str], list[list[Any]]]:
+        """(headers, rows) of the keyfields/resultfields run table."""
+        headers = list(KEYFIELDS) + list(RESULTFIELDS) + ["created_at"]
+        rows = []
+        for row in self.conn.execute(
+            f"SELECT {', '.join(headers)} FROM trials ORDER BY id"
+        ).fetchall():
+            rows.append([row[h] for h in headers])
+        return headers, rows
+
+    def format_run_table(self) -> str:
+        """The run table as an aligned text table (bench/report style)."""
+        from repro.bench.report import format_table
+
+        headers, rows = self.run_table_rows()
+        if not rows:
+            return "(no trials recorded)"
+        display = [[_short(cell) for cell in row] for row in rows]
+        return format_table(headers, display)
+
+    def export_csv(self, path: str | Path) -> int:
+        """Write the run table as CSV; returns the number of data rows."""
+        headers, rows = self.run_table_rows()
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(headers)
+            writer.writerows(rows)
+        return len(rows)
+
+    # -- maintenance ------------------------------------------------------
+
+    def gc(self) -> dict[str, int]:
+        """Compact the store.
+
+        Deletes superseded trials (older rows sharing the keyfields of a
+        newer one) and campaign cells left mid-flight, then VACUUMs.
+        Returns counts of what was removed.
+        """
+        cur = self.conn.execute(
+            f"""
+            DELETE FROM trials WHERE id NOT IN (
+                SELECT MAX(id) FROM trials GROUP BY {', '.join(KEYFIELDS)}
+            )
+            """
+        )
+        removed_trials = cur.rowcount
+        cur = self.conn.execute(
+            "DELETE FROM campaign_cells WHERE status != 'done'"
+        )
+        removed_cells = cur.rowcount
+        self.conn.commit()
+        self.conn.execute("VACUUM")
+        return {"trials": removed_trials, "campaign_cells": removed_cells}
+
+
+def _filters(**kwargs: Any) -> tuple[str, list[Any]]:
+    clauses = [f"{name} = ?" for name, value in kwargs.items() if value is not None]
+    params = [value for value in kwargs.values() if value is not None]
+    return (" WHERE " + " AND ".join(clauses)) if clauses else "", params
+
+
+def _record_from_row(row: sqlite3.Row) -> TrialRecord:
+    return TrialRecord(
+        kind=row["kind"],
+        distribution=row["distribution"],
+        max_level=int(row["max_level"]),
+        accuracies=tuple(json.loads(row["accuracies"])),
+        machine_fingerprint=row["machine_fingerprint"],
+        seed=json.loads(row["seed"]),
+        instances=int(row["instances"]),
+        machine_name=row["machine_name"],
+        cycle_shape=row["cycle_shape"],
+        simulated_cost=row["simulated_cost"],
+        wall_seconds=row["wall_seconds"],
+        plan_json=row["plan_json"],
+        trial_id=int(row["id"]),
+        created_at=row["created_at"],
+    )
+
+
+def _short(cell: Any, limit: int = 40) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3e}"
+    text = "-" if cell is None else str(cell)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

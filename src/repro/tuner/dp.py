@@ -18,8 +18,9 @@ moving up — the paper's key departure from single-accuracy tuning.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -90,6 +91,10 @@ class VCycleTuner:
     direct: DirectSolver | None = None
     candidate_filter: CandidateFilter | None = None
     keep_audit: bool = True
+    #: optional :class:`repro.store.sink.TrialSink`; each ``tune()`` call
+    #: reports one trial record to it (duck-typed so the tuner layer does
+    #: not import the store at module scope)
+    sink: Any | None = None
 
     def __post_init__(self) -> None:
         if self.max_level < 1:
@@ -105,6 +110,7 @@ class VCycleTuner:
 
     def tune(self) -> TunedVPlan:
         """Run the bottom-up DP and return the tuned plan."""
+        start = time.perf_counter()
         m = len(self.accuracies)
         table: dict[tuple[int, int], Choice] = {}
         audit: list[CandidateReport] = []
@@ -125,12 +131,20 @@ class VCycleTuner:
             metadata["profile"] = profile.name
         if self.keep_audit:
             metadata["audit"] = audit
-        return TunedVPlan(
+        plan = TunedVPlan(
             accuracies=self.accuracies,
             max_level=self.max_level,
             table=table,
             metadata=metadata,
         )
+        if self.sink is not None:
+            from repro.store.sink import emit_tuning_trial
+
+            emit_tuning_trial(
+                self.sink, plan, self.timing, self.training,
+                wall_seconds=time.perf_counter() - start,
+            )
+        return plan
 
     # -- per-level tuning -----------------------------------------------------
 

@@ -16,7 +16,9 @@ then builds FULL-MULTIGRID bottom-up the same way.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -78,6 +80,8 @@ class FullMGTuner:
     aggregate: Aggregate = "max"
     direct: DirectSolver | None = None
     keep_audit: bool = True
+    #: optional :class:`repro.store.sink.TrialSink` (see VCycleTuner.sink)
+    sink: Any | None = None
 
     def __post_init__(self) -> None:
         if self.timing is None:
@@ -94,6 +98,7 @@ class FullMGTuner:
         self._executor = PlanExecutor(direct=self.direct)
 
     def tune(self, max_level: int | None = None) -> TunedFullMGPlan:
+        start = time.perf_counter()
         max_level = max_level or self.vplan.max_level
         if max_level > self.vplan.max_level:
             raise ValueError("full-MG level cannot exceed the V plan's max level")
@@ -118,13 +123,21 @@ class FullMGTuner:
             metadata["profile"] = profile.name
         if self.keep_audit:
             metadata["audit"] = audit
-        return TunedFullMGPlan(
+        plan = TunedFullMGPlan(
             accuracies=accuracies,
             max_level=max_level,
             table=table,
             vplan=self.vplan,
             metadata=metadata,
         )
+        if self.sink is not None:
+            from repro.store.sink import emit_tuning_trial
+
+            emit_tuning_trial(
+                self.sink, plan, self.timing, self.training,
+                wall_seconds=time.perf_counter() - start,
+            )
+        return plan
 
     # ------------------------------------------------------------------
 

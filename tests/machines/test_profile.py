@@ -82,8 +82,19 @@ class TestPresets:
     def test_lookup(self):
         assert get_preset("intel") is INTEL_HARPERTOWN
         assert get_preset("amd-barcelona") is AMD_BARCELONA
-        with pytest.raises(KeyError):
+
+    def test_host_preset_resolves(self):
+        # The CLI help advertises --machine host; it must resolve.
+        assert get_preset("host").name == "host-fallback"
+        assert get_preset("host-fallback") is get_preset("host")
+
+    def test_unknown_preset_raises_valueerror_listing_presets(self):
+        with pytest.raises(ValueError) as exc:
             get_preset("cray")
+        message = str(exc.value)
+        assert "cray" in message
+        for name in ("intel", "amd", "sun", "host"):
+            assert name in message
 
     def test_registry_complete(self):
         assert {"intel", "amd", "sun", "host"} <= set(PRESETS)

@@ -1,0 +1,135 @@
+"""Property tests: plan configuration files round-trip exactly.
+
+``plan_from_dict(plan_to_dict(p))`` must be the identity on both plan
+kinds (the PetaBricks configuration-file contract), with the in-memory
+``audit`` metadata scrubbed on the way out.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuner.choices import DirectChoice, EstimateChoice, RecurseChoice, SORChoice
+from repro.tuner.config import plan_from_dict, plan_to_dict
+from repro.tuner.dp import CandidateReport
+from repro.tuner.plan import TunedFullMGPlan, TunedVPlan
+
+MAX_LEVEL = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def ladders(draw) -> tuple[float, ...]:
+    m = draw(st.integers(min_value=1, max_value=5))
+    exponents = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=12), min_size=m, max_size=m, unique=True
+        )
+    )
+    return tuple(10.0**e for e in sorted(exponents))
+
+
+def _v_choice(draw, level: int, m: int):
+    options = ["direct", "sor"]
+    if level >= 2:
+        options.append("recurse")
+    kind = draw(st.sampled_from(options))
+    if kind == "direct":
+        return DirectChoice()
+    if kind == "sor":
+        return SORChoice(iterations=draw(st.integers(min_value=1, max_value=9)))
+    return RecurseChoice(
+        sub_accuracy=draw(st.integers(min_value=0, max_value=m - 1)),
+        iterations=draw(st.integers(min_value=1, max_value=5)),
+    )
+
+
+@st.composite
+def v_plans(draw) -> TunedVPlan:
+    accuracies = draw(ladders())
+    max_level = draw(MAX_LEVEL)
+    m = len(accuracies)
+    table = {
+        (level, i): (DirectChoice() if level == 1 else _v_choice(draw, level, m))
+        for level in range(1, max_level + 1)
+        for i in range(m)
+    }
+    metadata = {"distribution": "unbiased", "seed": draw(st.integers(0, 9))}
+    if draw(st.booleans()):
+        metadata["audit"] = [
+            CandidateReport(
+                level=1, acc_index=0, description="direct", seconds=1e-6, feasible=True
+            )
+        ]
+    return TunedVPlan(
+        accuracies=accuracies, max_level=max_level, table=table, metadata=metadata
+    )
+
+
+@st.composite
+def full_mg_plans(draw) -> TunedFullMGPlan:
+    vplan = draw(v_plans())
+    m = len(vplan.accuracies)
+    table: dict = {}
+    for level in range(1, vplan.max_level + 1):
+        for i in range(m):
+            if level == 1 or draw(st.booleans()):
+                table[(level, i)] = DirectChoice()
+                continue
+            solver_kind = draw(st.sampled_from(["sor", "recurse"]))
+            if solver_kind == "sor":
+                solver = SORChoice(iterations=draw(st.integers(0, 9)))
+            else:
+                solver = RecurseChoice(
+                    sub_accuracy=draw(st.integers(0, m - 1)),
+                    iterations=draw(st.integers(1, 5)),
+                )
+            table[(level, i)] = EstimateChoice(
+                estimate_accuracy=draw(st.integers(0, m - 1)), solver=solver
+            )
+    metadata = {"kind": "full-multigrid"}
+    if draw(st.booleans()):
+        metadata["audit"] = [
+            CandidateReport(
+                level=2, acc_index=0, description="estimate", seconds=2e-6, feasible=True
+            )
+        ]
+    return TunedFullMGPlan(
+        accuracies=vplan.accuracies,
+        max_level=vplan.max_level,
+        table=table,
+        vplan=vplan,
+        metadata=metadata,
+    )
+
+
+def scrubbed(metadata: dict) -> dict:
+    return {k: v for k, v in metadata.items() if k != "audit"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(v_plans())
+def test_v_plan_round_trip_identity(plan):
+    restored = plan_from_dict(plan_to_dict(plan))
+    assert isinstance(restored, TunedVPlan)
+    assert restored.accuracies == plan.accuracies
+    assert restored.max_level == plan.max_level
+    assert restored.table == plan.table
+    assert restored.metadata == scrubbed(plan.metadata)
+    assert "audit" not in restored.metadata
+    # Idempotent at the dict level: serialized form is a fixed point.
+    assert plan_to_dict(restored) == plan_to_dict(plan)
+
+
+@settings(max_examples=40, deadline=None)
+@given(full_mg_plans())
+def test_full_mg_plan_round_trip_identity(plan):
+    restored = plan_from_dict(plan_to_dict(plan))
+    assert isinstance(restored, TunedFullMGPlan)
+    assert restored.accuracies == plan.accuracies
+    assert restored.max_level == plan.max_level
+    assert restored.table == plan.table
+    assert restored.metadata == scrubbed(plan.metadata)
+    assert restored.vplan.table == plan.vplan.table
+    assert restored.vplan.metadata == scrubbed(plan.vplan.metadata)
+    assert plan_to_dict(restored) == plan_to_dict(plan)

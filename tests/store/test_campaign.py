@@ -1,0 +1,92 @@
+"""Tests for resumable autotuning campaigns."""
+
+from repro.store.campaign import Campaign, CampaignSpec
+from repro.store.registry import PlanRegistry
+from repro.store.trialdb import TrialDB
+
+SPEC = CampaignSpec(
+    name="test-sweep",
+    machines=("intel", "amd"),
+    distributions=("unbiased",),
+    levels=(3, 4),
+    instances=1,
+    seed=3,
+)
+
+
+class TestSweep:
+    def test_full_run_covers_grid(self):
+        campaign = Campaign(SPEC, TrialDB(":memory:"))
+        results = campaign.run()
+        assert len(results) == 4
+        assert all(r.source == "tuned" for r in results)
+        assert campaign.status() == {"done": 4, "pending": 0}
+        assert campaign.pending() == []
+
+    def test_cells_tuned_per_machine(self):
+        # allow_nearest defaults off for campaigns: every machine gets
+        # its own plan even when a neighbour's plan is already stored.
+        db = TrialDB(":memory:")
+        campaign = Campaign(SPEC, db)
+        campaign.run()
+        assert len(PlanRegistry(db)) == 4
+
+    def test_run_table_lists_every_cell(self):
+        campaign = Campaign(SPEC, TrialDB(":memory:"))
+        campaign.run(max_cells=1)
+        table = campaign.run_table()
+        assert table.count("done") == 1
+        assert table.count("pending") == 3
+        assert "intel" in table and "amd" in table
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_without_redoing_cells(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        first = Campaign(SPEC, TrialDB(path))
+        first.run(max_cells=3)  # "interrupted" after three cells
+        assert first.status() == {"done": 3, "pending": 1}
+        first.db.close()
+
+        tuned_before = len(PlanRegistry(TrialDB(path)))
+        resumed = Campaign(SPEC, TrialDB(path))
+        results = resumed.run()
+        skipped = [r for r in results if r.source == "skipped"]
+        executed = [r for r in results if r.source != "skipped"]
+        assert len(skipped) == 3  # completed cells are never redone
+        assert len(executed) == 1
+        assert resumed.status() == {"done": 4, "pending": 0}
+        # Only the one pending cell produced a new registry entry.
+        assert len(resumed.registry) == tuned_before + 1
+
+    def test_completed_campaign_rerun_is_all_skips(self):
+        db = TrialDB(":memory:")
+        Campaign(SPEC, db).run()
+        trials_before = db.count_trials()
+        results = Campaign(SPEC, db).run()
+        assert all(r.source == "skipped" for r in results)
+        assert db.count_trials() == trials_before
+
+    def test_on_cell_callback_sees_executed_cells_only(self):
+        campaign = Campaign(SPEC, TrialDB(":memory:"))
+        seen = []
+        campaign.run(max_cells=2, on_cell=lambda cell: seen.append(cell))
+        assert len(seen) == 2
+        assert all(cell.source == "tuned" for cell in seen)
+
+    def test_shared_registry_across_campaigns(self):
+        # Two campaigns with the same keyfields share tuned plans: the
+        # second campaign's cells are registry exact-hits, not re-tunes.
+        db = TrialDB(":memory:")
+        Campaign(SPEC, db).run()
+        other = CampaignSpec(
+            name="second-sweep",
+            machines=SPEC.machines,
+            distributions=SPEC.distributions,
+            levels=SPEC.levels,
+            instances=SPEC.instances,
+            seed=SPEC.seed,
+        )
+        results = Campaign(other, db).run()
+        assert all(r.source == "exact" for r in results)
+        assert db.count_trials() == 4  # no new tuning trials

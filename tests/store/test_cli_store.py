@@ -1,0 +1,104 @@
+"""Tests for the ``repro-mg store`` CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.store.trialdb import TrialDB
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "store.sqlite")
+
+
+def tune_args(db_path, *extra):
+    return [
+        "store",
+        "--db",
+        db_path,
+        "tune",
+        "--machine",
+        "intel",
+        "--distribution",
+        "unbiased",
+        "--max-level",
+        "3",
+        "--instances",
+        "1",
+        "--seed",
+        "3",
+        *extra,
+    ]
+
+
+class TestStoreTune:
+    def test_tune_then_resume(self, db_path, capsys):
+        assert main(tune_args(db_path)) == 0
+        out = capsys.readouterr().out
+        assert "1 done, 0 pending" in out
+        assert "tuned" in out
+        # Second invocation resumes: nothing pending, no new cells run.
+        assert main(tune_args(db_path)) == 0
+        out = capsys.readouterr().out
+        assert "0 cells this run" in out
+
+    def test_max_cells_limits_run(self, db_path, capsys):
+        args = tune_args(db_path, "--max-cells", "1")
+        args[args.index("--max-level") + 1] = "3"
+        args += ["--max-level", "4"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 done, 1 pending" in out
+
+
+class TestStoreLsExportGc:
+    def test_ls_empty_and_populated(self, db_path, capsys):
+        assert main(["store", "--db", db_path, "ls"]) == 0
+        assert "no plans" in capsys.readouterr().out
+        main(tune_args(db_path))
+        capsys.readouterr()
+        assert main(["store", "--db", db_path, "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "intel-harpertown" in out
+        assert "hits" in out
+
+    def test_ls_trials(self, db_path, capsys):
+        main(tune_args(db_path))
+        capsys.readouterr()
+        assert main(["store", "--db", db_path, "ls", "--trials"]) == 0
+        out = capsys.readouterr().out
+        assert "machine_fingerprint" in out
+        assert "mp-" in out
+
+    def test_export_stdout_and_csv(self, db_path, tmp_path, capsys):
+        main(tune_args(db_path))
+        capsys.readouterr()
+        assert main(["store", "--db", db_path, "export"]) == 0
+        assert "multigrid-v" in capsys.readouterr().out
+        csv_path = str(tmp_path / "runs.csv")
+        assert main(["store", "--db", db_path, "export", "--csv", csv_path]) == 0
+        assert "wrote 1 trial rows" in capsys.readouterr().out
+
+    def test_gc(self, db_path, capsys):
+        main(tune_args(db_path))
+        # Duplicate the trial row so gc has something to collect.
+        db = TrialDB(db_path)
+        (trial,) = db.trials()
+        db.record_trial(trial)
+        db.close()
+        capsys.readouterr()
+        assert main(["store", "--db", db_path, "gc"]) == 0
+        assert "removed 1 superseded trial" in capsys.readouterr().out
+
+
+class TestStoreParser:
+    def test_unknown_subcommand_exits(self, db_path):
+        with pytest.raises(SystemExit):
+            main(["store", "--db", db_path, "frobnicate"])
+
+    def test_experiment_path_still_works(self, capsys):
+        # The classic experiment interface is untouched by the store
+        # dispatch (tier-1 behaviour).
+        rc = main(["ablation-smoother"])
+        assert rc == 0
+        assert "smoother" in capsys.readouterr().out

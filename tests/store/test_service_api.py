@@ -1,0 +1,112 @@
+"""Tests for the registry-backed core entry points."""
+
+import pytest
+
+from repro.core import autotune_cached, poisson_problem, solve_service
+from repro.core.api import _resolve_registry, default_registry
+from repro.store.registry import PlanRegistry
+from repro.store.trialdb import TrialDB
+from repro.tuner.config import plan_to_dict
+
+
+class TestAutotuneCached:
+    def test_repeat_call_is_a_registry_hit(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        plan1 = autotune_cached(max_level=3, instances=1, seed=3, store=path)
+        plan2 = autotune_cached(max_level=3, instances=1, seed=3, store=path)
+        assert plan_to_dict(plan1) == plan_to_dict(plan2)
+        # Exactly one tuning trial was logged for the two calls.
+        assert TrialDB(path).count_trials() == 1
+
+    def test_matches_uncached_autotune(self):
+        from repro.core import autotune
+
+        cached = autotune_cached(
+            max_level=3, instances=1, seed=3, store=TrialDB(":memory:")
+        )
+        direct = autotune(max_level=3, instances=1, seed=3)
+        direct.metadata.pop("audit", None)
+        got = plan_to_dict(cached)
+        want = plan_to_dict(direct)
+        assert got["table"] == want["table"]
+        assert got["accuracies"] == want["accuracies"]
+
+    def test_store_argument_forms(self, tmp_path):
+        db = TrialDB(":memory:")
+        assert isinstance(_resolve_registry(db), PlanRegistry)
+        assert isinstance(_resolve_registry(str(tmp_path / "s.sqlite")), PlanRegistry)
+        registry = PlanRegistry(db)
+        assert _resolve_registry(registry) is registry
+        assert _resolve_registry(None) is default_registry()
+        with pytest.raises(TypeError, match="store"):
+            _resolve_registry(42)
+
+    def test_full_mg_kind(self):
+        plan = autotune_cached(
+            max_level=3,
+            instances=1,
+            seed=3,
+            kind="full-multigrid",
+            store=TrialDB(":memory:"),
+        )
+        assert plan_to_dict(plan)["kind"] == "full-multigrid"
+
+
+class TestSolveService:
+    def test_cold_then_warm(self, tmp_path):
+        store = tmp_path / "service.sqlite"
+        problem = poisson_problem("unbiased", n=17, seed=21)
+        x1, meter1, hit1 = solve_service(
+            problem, 1e5, instances=1, seed=3, store=store
+        )
+        x2, meter2, hit2 = solve_service(
+            problem, 1e5, instances=1, seed=3, store=store
+        )
+        assert hit1.source == "tuned"
+        assert hit2.source == "exact"
+        assert x1.shape == (17, 17)
+        assert (x1 == x2).all()
+        assert meter1.counts == meter2.counts
+
+    def test_distribution_from_problem_label(self):
+        db = TrialDB(":memory:")
+        problem = poisson_problem("biased", n=9, seed=5)
+        _, _, hit = solve_service(problem, 1e3, instances=1, seed=3, store=db)
+        (trial,) = db.trials()
+        assert trial.distribution == "biased"
+        assert hit.source == "tuned"
+
+    def test_unlabelled_problem_needs_explicit_distribution(self):
+        import numpy as np
+
+        from repro.workloads.problem import PoissonProblem
+
+        problem = PoissonProblem(b=np.zeros((9, 9)), boundary=np.zeros(32))
+        with pytest.raises(ValueError, match="distribution"):
+            solve_service(problem, 1e3, store=TrialDB(":memory:"))
+        # Passing distribution= explicitly works.
+        _, _, hit = solve_service(
+            problem,
+            1e3,
+            distribution="unbiased",
+            instances=1,
+            seed=3,
+            store=TrialDB(":memory:"),
+        )
+        assert hit.source == "tuned"
+
+
+class TestDefaultRegistry:
+    def test_env_var_change_takes_effect(self, tmp_path, monkeypatch):
+        from repro.core.api import STORE_ENV
+
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        in_memory = default_registry()
+        path = tmp_path / "env-store.sqlite"
+        monkeypatch.setenv(STORE_ENV, str(path))
+        on_disk = default_registry()
+        assert on_disk is not in_memory
+        assert on_disk.db.path == str(path)
+        assert default_registry() is on_disk  # cached per path
+        monkeypatch.delenv(STORE_ENV)
+        assert default_registry() is in_memory

@@ -1,0 +1,71 @@
+"""Tests for the tuner -> store trial-sink hook."""
+
+import json
+
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.store.sink import CollectingSink, DBTrialSink, plan_cycle_shape
+from repro.store.trialdb import TrialDB
+from repro.tuner.config import plan_from_dict, plan_to_dict
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.full_mg import FullMGTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+
+
+def make_training() -> TrainingData:
+    return TrainingData(distribution="unbiased", instances=1, seed=3)
+
+
+class TestVCycleSink:
+    def test_tune_emits_one_trial(self):
+        sink = CollectingSink()
+        plan = VCycleTuner(
+            max_level=3,
+            training=make_training(),
+            timing=CostModelTiming(INTEL_HARPERTOWN),
+            sink=sink,
+        ).tune()
+        (trial,) = sink.trials
+        assert trial.kind == "multigrid-v"
+        assert trial.distribution == "unbiased"
+        assert trial.max_level == 3
+        assert trial.machine_fingerprint == INTEL_HARPERTOWN.fingerprint()
+        assert trial.machine_name == INTEL_HARPERTOWN.name
+        assert trial.seed == 3 and trial.instances == 1
+        assert trial.wall_seconds > 0
+        assert trial.cycle_shape == plan_cycle_shape(plan)
+        # The stored plan JSON reconstructs the exact plan.
+        restored = plan_from_dict(json.loads(trial.plan_json))
+        assert plan_to_dict(restored) == plan_to_dict(plan)
+
+    def test_no_sink_no_side_effects(self):
+        plan = VCycleTuner(
+            max_level=2,
+            training=make_training(),
+            timing=CostModelTiming(INTEL_HARPERTOWN),
+        ).tune()
+        assert plan.max_level == 2  # just tunes; nothing recorded anywhere
+
+    def test_db_sink_writes_rows(self):
+        db = TrialDB(":memory:")
+        VCycleTuner(
+            max_level=2,
+            training=make_training(),
+            timing=CostModelTiming(INTEL_HARPERTOWN),
+            sink=DBTrialSink(db),
+        ).tune()
+        assert db.count_trials() == 1
+        (trial,) = db.trials(kind="multigrid-v")
+        assert trial.simulated_cost > 0
+
+
+class TestFullMGSink:
+    def test_tune_emits_full_mg_trial(self):
+        training = make_training()
+        timing = CostModelTiming(INTEL_HARPERTOWN)
+        vplan = VCycleTuner(max_level=3, training=training, timing=timing).tune()
+        sink = CollectingSink()
+        FullMGTuner(vplan=vplan, training=training, timing=timing, sink=sink).tune()
+        (trial,) = sink.trials
+        assert trial.kind == "full-multigrid"
+        assert json.loads(trial.plan_json)["kind"] == "full-multigrid"

@@ -1,0 +1,132 @@
+"""Tests for the SQLite trial database."""
+
+import sqlite3
+
+import pytest
+
+from repro.store.trialdb import TrialDB, TrialRecord, canonical_seed
+
+
+def make_record(**overrides) -> TrialRecord:
+    base = dict(
+        kind="multigrid-v",
+        distribution="unbiased",
+        max_level=4,
+        accuracies=(1e1, 1e3, 1e5),
+        machine_fingerprint="mp-0123456789abcdef",
+        seed=0,
+        instances=2,
+        machine_name="intel-harpertown",
+        cycle_shape="p0:direct | p1:recurse(j=2, x1)",
+        simulated_cost=1.5e-5,
+        wall_seconds=0.8,
+        plan_json='{"format":"repro-multigrid-config-v1"}',
+    )
+    base.update(overrides)
+    return TrialRecord(**base)
+
+
+class TestTrialRoundTrip:
+    def test_record_and_query(self):
+        db = TrialDB(":memory:")
+        trial_id = db.record_trial(make_record())
+        assert trial_id == 1
+        (got,) = db.trials()
+        assert got == make_record()
+        assert got.trial_id == 1
+        assert got.created_at is not None
+
+    def test_seed_none_round_trips(self):
+        db = TrialDB(":memory:")
+        db.record_trial(make_record(seed=None))
+        (got,) = db.trials()
+        assert got.seed is None
+        assert canonical_seed(None) == "null"
+
+    def test_keyfield_filters(self):
+        db = TrialDB(":memory:")
+        db.record_trial(make_record())
+        db.record_trial(make_record(distribution="biased"))
+        db.record_trial(make_record(kind="full-multigrid"))
+        assert len(db.trials()) == 3
+        assert len(db.trials(distribution="biased")) == 1
+        assert len(db.trials(kind="multigrid-v")) == 2
+        assert len(db.trials(machine_fingerprint="mp-zzz")) == 0
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with TrialDB(path) as db:
+            db.record_trial(make_record())
+        with TrialDB(path) as db:
+            assert db.count_trials() == 1
+
+    def test_wal_mode_on_disk(self, tmp_path):
+        with TrialDB(tmp_path / "store.sqlite") as db:
+            (mode,) = db.conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode == "wal"
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        TrialDB(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(RuntimeError, match="schema version 99"):
+            TrialDB(path)
+
+
+class TestRunTable:
+    def test_rows_and_format(self):
+        db = TrialDB(":memory:")
+        db.record_trial(make_record())
+        headers, rows = db.run_table_rows()
+        assert headers[0] == "kind"
+        assert len(rows) == 1
+        text = db.format_run_table()
+        assert "unbiased" in text
+        assert "machine_fingerprint" in text
+
+    def test_empty_format(self):
+        assert "no trials" in TrialDB(":memory:").format_run_table()
+
+    def test_export_csv(self, tmp_path):
+        db = TrialDB(":memory:")
+        db.record_trial(make_record())
+        db.record_trial(make_record(distribution="biased"))
+        out = tmp_path / "runs.csv"
+        assert db.export_csv(out) == 2
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("kind,")
+
+
+class TestGC:
+    def test_gc_keeps_latest_per_key(self):
+        db = TrialDB(":memory:")
+        db.record_trial(make_record(wall_seconds=1.0))
+        db.record_trial(make_record(wall_seconds=2.0))
+        db.record_trial(make_record(distribution="biased"))
+        removed = db.gc()
+        assert removed["trials"] == 1
+        kept = db.trials(distribution="unbiased")
+        assert len(kept) == 1
+        assert kept[0].wall_seconds == 2.0
+
+    def test_gc_drops_unfinished_campaign_cells(self):
+        db = TrialDB(":memory:")
+        db.conn.execute(
+            "INSERT INTO campaign_cells (campaign, machine, distribution, "
+            "max_level, status) VALUES ('c', 'intel', 'unbiased', 4, 'pending')"
+        )
+        db.conn.execute(
+            "INSERT INTO campaign_cells (campaign, machine, distribution, "
+            "max_level, status) VALUES ('c', 'amd', 'unbiased', 4, 'done')"
+        )
+        db.conn.commit()
+        removed = db.gc()
+        assert removed["campaign_cells"] == 1
+        (n,) = db.conn.execute("SELECT COUNT(*) FROM campaign_cells").fetchone()
+        assert n == 1

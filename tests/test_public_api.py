@@ -65,7 +65,7 @@ class TestFullMGCorePath:
     def test_autotune_rejects_unknown_machine(self):
         from repro.core import autotune
 
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="pdp11"):
             autotune(max_level=2, machine="pdp11")
 
 
