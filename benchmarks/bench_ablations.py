@@ -4,7 +4,6 @@ Not paper figures: these probe the knobs the paper fixed, quantifying how
 much each one matters to the headline results.
 """
 
-import pytest
 
 from repro.bench.ablations import (
     ablation_accuracy_ladder,

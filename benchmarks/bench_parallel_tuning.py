@@ -1,0 +1,179 @@
+"""Extension bench: parallel tuning speedup vs. worker count.
+
+Runs the same campaign grid at several ``--jobs`` settings against
+fresh stores, reports wall-clock speedup over the serial run, and
+verifies the parallel registries are byte-for-byte equivalent to the
+serial one (same plan keys, same plan JSON) — the determinism contract
+of :mod:`repro.parallel`.
+
+Runnable standalone (CI's bench-smoke job uses ``--smoke``)::
+
+    python benchmarks/bench_parallel_tuning.py --smoke --json out.json
+    python benchmarks/bench_parallel_tuning.py --jobs 1 2 4 --min-speedup 2.0
+
+``--min-speedup`` turns the report into a gate: the run fails unless
+the largest worker count reaches that speedup (use on multi-core hosts;
+the paper's Figure 9 measures exactly this kind of scaling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.store import Campaign, CampaignSpec, TrialDB
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="worker counts to benchmark (default: 1 2 4; smoke: 1 2)",
+    )
+    parser.add_argument(
+        "--machines", nargs="+", default=None, help="machine presets in the grid"
+    )
+    parser.add_argument(
+        "--distributions", nargs="+", default=None, help="input distributions"
+    )
+    parser.add_argument(
+        "--levels", type=int, nargs="+", default=None, help="finest grid levels"
+    )
+    parser.add_argument("--instances", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small grid and worker counts (CI gate: determinism, not speedup)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="fail unless the largest worker count reaches this speedup "
+        "(0 disables the gate; needs a host with enough cores)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=f"write results as JSON (default: {OUT_DIR}/parallel_tuning.json)",
+    )
+    return parser
+
+
+def run_grid(spec: CampaignSpec, jobs: int, workdir: Path) -> tuple[float, dict]:
+    """One campaign over a fresh store; returns (wall seconds, contents)."""
+    campaign = Campaign(spec, TrialDB(workdir / f"store-j{jobs}.sqlite"))
+    start = time.perf_counter()
+    campaign.run(jobs=jobs)
+    wall = time.perf_counter() - start
+    contents = campaign.registry.contents()
+    campaign.db.close()
+    return wall, contents
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        machines = args.machines or ["intel", "amd"]
+        distributions = args.distributions or ["unbiased"]
+        levels = args.levels or [3, 4]
+        instances = args.instances or 1
+        job_counts = args.jobs or [1, 2]
+    else:
+        machines = args.machines or ["intel", "amd", "sun"]
+        distributions = args.distributions or ["unbiased", "biased"]
+        levels = args.levels or [5, 6]
+        instances = args.instances or 2
+        job_counts = args.jobs or [1, 2, 4]
+    if 1 not in job_counts:
+        job_counts = [1] + job_counts
+    job_counts = sorted(set(job_counts))
+
+    spec = CampaignSpec(
+        name="bench-parallel",
+        machines=tuple(machines),
+        distributions=tuple(distributions),
+        levels=tuple(levels),
+        instances=instances,
+        seed=args.seed,
+    )
+    cells = len(spec.cells())
+    print(
+        f"parallel tuning bench: {cells} cells "
+        f"({len(machines)} machines x {len(distributions)} distributions "
+        f"x {len(levels)} levels), jobs {job_counts}, "
+        f"{os.cpu_count()} host cpu(s)"
+    )
+
+    runs = []
+    serial_wall = None
+    serial_contents = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for jobs in job_counts:
+            wall, contents = run_grid(spec, jobs, Path(tmp))
+            if jobs == 1:
+                serial_wall, serial_contents = wall, contents
+            speedup = serial_wall / wall if wall > 0 else float("inf")
+            identical = contents == serial_contents
+            runs.append(
+                {
+                    "jobs": jobs,
+                    "wall_seconds": wall,
+                    "speedup_vs_serial": speedup,
+                    "registry_identical_to_serial": identical,
+                }
+            )
+            print(
+                f"  jobs={jobs:<2d} wall={wall:7.2f}s  speedup={speedup:5.2f}x  "
+                f"registry {'==' if identical else '!='} serial"
+            )
+
+    report = {
+        "grid": {
+            "machines": machines,
+            "distributions": distributions,
+            "levels": levels,
+            "instances": instances,
+            "seed": args.seed,
+            "cells": cells,
+        },
+        "host_cpus": os.cpu_count(),
+        "smoke": args.smoke,
+        "runs": runs,
+    }
+    out_path = Path(args.json) if args.json else OUT_DIR / "parallel_tuning.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if not all(r["registry_identical_to_serial"] for r in runs):
+        failures.append("parallel registry diverged from the serial registry")
+    if args.min_speedup > 0:
+        best = runs[-1]
+        if best["speedup_vs_serial"] < args.min_speedup:
+            failures.append(
+                f"jobs={best['jobs']} reached {best['speedup_vs_serial']:.2f}x, "
+                f"below the {args.min_speedup:.2f}x gate"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ paper's "tune once, reuse the configuration" model (section 3.2.1)
 measured as a speedup.
 """
 
+import os
 import time
 
 import pytest
@@ -16,7 +17,9 @@ from repro.core import poisson_problem, solve_service
 from repro.machines.presets import INTEL_HARPERTOWN
 from repro.store import PlanRegistry, TrialDB, TuneKey
 
-MAX_LEVEL = 6
+#: CI's bench-smoke job shrinks the grid via this knob; the speedup
+#: gate below holds at any level, just with smaller absolute numbers.
+MAX_LEVEL = int(os.environ.get("REPRO_MG_BENCH_LEVEL", "6"))
 TARGET = 1e5
 INSTANCES = 2
 

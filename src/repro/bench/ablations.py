@@ -9,11 +9,10 @@ depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.accuracy.judge import AccuracyJudge
 from repro.accuracy.reference import ReferenceSolutionCache
-from repro.bench.report import Series, format_series_table, format_table
+from repro.bench.report import format_table
 from repro.machines.meter import OpMeter
 from repro.machines.presets import get_preset
 from repro.machines.profile import MachineProfile

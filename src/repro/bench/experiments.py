@@ -12,7 +12,7 @@ driver takes ``max_level`` to scale up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

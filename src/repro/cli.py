@@ -174,6 +174,14 @@ def build_store_parser() -> argparse.ArgumentParser:
     tune.add_argument(
         "--max-cells", type=int, default=None, help="stop after N pending cells"
     )
+    tune.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tune up to N campaign cells in parallel worker processes "
+        "(requires a file-backed --db; results are identical to --jobs 1)",
+    )
 
     ls = sub.add_parser("ls", help="list stored plans (or trials)")
     ls.add_argument("--trials", action="store_true", help="list the trial log instead")
@@ -209,6 +217,7 @@ def _store_main(argv: list[str]) -> int:
         pending_before = len(campaign.pending())
         campaign.run(
             max_cells=args.max_cells,
+            jobs=args.jobs,
             on_cell=lambda cell: print(
                 f"  {cell.machine:>16}  {cell.distribution:<9} "
                 f"L{cell.max_level}  {cell.source:<7} "

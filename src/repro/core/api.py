@@ -26,7 +26,6 @@ from repro.tuner.full_mg import FullMGTuner
 from repro.tuner.plan import DEFAULT_ACCURACIES, TunedFullMGPlan, TunedVPlan
 from repro.tuner.timing import CostModelTiming
 from repro.tuner.training import TrainingData
-from repro.util.validation import level_of_size
 from repro.workloads.distributions import make_problem
 from repro.workloads.problem import PoissonProblem
 
@@ -69,6 +68,23 @@ def default_registry() -> "PlanRegistry":
     return registry
 
 
+def _trial_executor(jobs: int | None):
+    """Context-managed executor for a ``jobs=`` argument.
+
+    Executors built here from an int are closed when the ``with`` block
+    exits; an already-constructed :class:`~repro.parallel.TrialExecutor`
+    passes through without being closed (the caller owns its lifecycle,
+    e.g. a warm pool reused across tunes).
+    """
+    from contextlib import nullcontext
+
+    from repro.parallel import TrialExecutor, resolve_executor
+
+    if isinstance(jobs, TrialExecutor):
+        return nullcontext(jobs)
+    return resolve_executor(jobs)
+
+
 def _resolve_registry(store: object) -> "PlanRegistry":
     from repro.store.registry import PlanRegistry
     from repro.store.trialdb import TrialDB
@@ -96,17 +112,25 @@ def autotune(
     accuracies: tuple[float, ...] = DEFAULT_ACCURACIES,
     instances: int = 3,
     seed: int | None = 0,
+    jobs: int | None = None,
 ) -> TunedVPlan:
-    """Tune the MULTIGRID-V_i family for a machine and input distribution."""
+    """Tune the MULTIGRID-V_i family for a machine and input distribution.
+
+    ``jobs`` > 1 evaluates candidate trials on a process pool
+    (:mod:`repro.parallel`); trial tasks are deterministically seeded,
+    so the tuned plan is identical to a serial (``jobs=1``) tune.
+    """
     profile = get_preset(machine) if isinstance(machine, str) else machine
     training = TrainingData(distribution=distribution, instances=instances, seed=seed)
-    tuner = VCycleTuner(
-        max_level=max_level,
-        accuracies=accuracies,
-        training=training,
-        timing=CostModelTiming(profile),
-    )
-    return tuner.tune()
+    with _trial_executor(jobs) as executor:
+        tuner = VCycleTuner(
+            max_level=max_level,
+            accuracies=accuracies,
+            training=training,
+            timing=CostModelTiming(profile),
+            trial_executor=executor,
+        )
+        return tuner.tune()
 
 
 def autotune_full_mg(
@@ -117,19 +141,27 @@ def autotune_full_mg(
     instances: int = 3,
     seed: int | None = 0,
     vplan: TunedVPlan | None = None,
+    jobs: int | None = None,
 ) -> TunedFullMGPlan:
     """Tune FULL-MULTIGRID_i (tuning the V family first if not supplied)."""
     profile = get_preset(machine) if isinstance(machine, str) else machine
     training = TrainingData(distribution=distribution, instances=instances, seed=seed)
-    if vplan is None:
-        vplan = VCycleTuner(
-            max_level=max_level,
-            accuracies=accuracies,
+    with _trial_executor(jobs) as executor:
+        if vplan is None:
+            vplan = VCycleTuner(
+                max_level=max_level,
+                accuracies=accuracies,
+                training=training,
+                timing=CostModelTiming(profile),
+                trial_executor=executor,
+            ).tune()
+        tuner = FullMGTuner(
+            vplan=vplan,
             training=training,
             timing=CostModelTiming(profile),
-        ).tune()
-    tuner = FullMGTuner(vplan=vplan, training=training, timing=CostModelTiming(profile))
-    return tuner.tune(max_level)
+            trial_executor=executor,
+        )
+        return tuner.tune(max_level)
 
 
 def solve(
@@ -190,13 +222,16 @@ def autotune_cached(
     kind: Literal["multigrid-v", "full-multigrid"] = "multigrid-v",
     store: object = None,
     allow_nearest: bool = True,
+    jobs: int | None = None,
 ) -> TunedVPlan | TunedFullMGPlan:
     """:func:`autotune` through the persistent plan registry.
 
     An exact registry hit returns the stored plan without running the
     tuner; otherwise the nearest known machine's plan serves (when
     ``allow_nearest``), and only a genuinely cold key pays for a DP
-    pass.  ``store`` is a :class:`~repro.store.registry.PlanRegistry`,
+    pass — across ``jobs`` worker processes when ``jobs`` > 1, with a
+    plan identical to the serial tune.  ``store`` is a
+    :class:`~repro.store.registry.PlanRegistry`,
     :class:`~repro.store.trialdb.TrialDB`, or database path; default is
     :func:`default_registry`.
     """
@@ -212,7 +247,9 @@ def autotune_cached(
         seed=seed,
         instances=instances,
     )
-    return registry.get_or_tune(profile, key, allow_nearest=allow_nearest).plan
+    return registry.get_or_tune(
+        profile, key, allow_nearest=allow_nearest, jobs=jobs
+    ).plan
 
 
 def solve_service(
@@ -224,14 +261,17 @@ def solve_service(
     seed: int | None = 0,
     kind: Literal["multigrid-v", "full-multigrid"] = "multigrid-v",
     store: object = None,
+    jobs: int | None = None,
 ) -> tuple[np.ndarray, OpMeter, "RegistryHit"]:
     """Solve like a long-running service: plans come from the registry.
 
     The tuning key is derived from the problem (its level, and its
     distribution label unless ``distribution`` overrides it); repeated
     calls for the same workload class are registry hits that skip the
-    tuner entirely.  Returns (solution, meter, registry hit) so callers
-    can log where their plan came from.
+    tuner entirely.  A cold key tunes across ``jobs`` worker processes
+    when ``jobs`` > 1 (identical plan, lower latency).  Returns
+    (solution, meter, registry hit) so callers can log where their plan
+    came from.
     """
     from repro.store.registry import TuneKey
     from repro.workloads.distributions import DISTRIBUTIONS
@@ -251,6 +291,6 @@ def solve_service(
         seed=seed,
         instances=instances,
     )
-    hit = registry.get_or_tune(profile, key)
+    hit = registry.get_or_tune(profile, key, jobs=jobs)
     x, meter = solve(hit.plan, problem, target_accuracy)
     return x, meter, hit

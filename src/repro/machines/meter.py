@@ -15,7 +15,7 @@ cycles.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Iterator
+from typing import Iterator
 
 __all__ = ["NULL_METER", "OpMeter", "OPS"]
 

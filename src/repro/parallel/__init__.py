@@ -1,0 +1,51 @@
+"""Process-pool trial execution for the autotuner and tuning store.
+
+The paper's autotuner is embarrassingly parallel at the trial level:
+candidate timings are independent of each other, and campaign cells are
+independent tuning problems.  This subsystem exposes both axes:
+
+* :class:`~repro.parallel.executor.TrialExecutor` — the interface the
+  DP tuners (:class:`~repro.tuner.dp.VCycleTuner`,
+  :class:`~repro.tuner.full_mg.FullMGTuner`) use to evaluate candidate
+  batches.  :class:`~repro.parallel.executor.SerialExecutor` is the
+  bit-identical in-process default; :class:`~repro.parallel.executor.
+  ProcessPoolTrialExecutor` fans batches across worker processes.
+  Every task is pure data (profile, training seed, partial plan table),
+  so workers reconstruct identical training instances and the parallel
+  tuner selects exactly the plan the serial tuner would.
+* :func:`~repro.parallel.campaigns.run_cells_parallel` — campaign-cell
+  fan-out.  Each worker opens its own WAL-mode
+  :class:`~repro.store.trialdb.TrialDB` connection on the shared store
+  and commits its cell atomically, so an interrupted parallel campaign
+  resumes exactly like a serial one.
+
+Entry points for callers: ``Campaign.run(jobs=N)``,
+``core.autotune_cached(jobs=N)``, ``core.solve_service(jobs=N)``, and
+``repro-mg store tune --jobs N``.
+"""
+
+from repro.parallel.campaigns import run_cells_parallel
+from repro.parallel.dp_tasks import (
+    FMGEstimateTask,
+    VCandidateTask,
+    evaluate_fmg_estimate,
+    evaluate_v_candidate,
+)
+from repro.parallel.executor import (
+    ProcessPoolTrialExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    resolve_executor,
+)
+
+__all__ = [
+    "FMGEstimateTask",
+    "ProcessPoolTrialExecutor",
+    "SerialExecutor",
+    "TrialExecutor",
+    "VCandidateTask",
+    "evaluate_fmg_estimate",
+    "evaluate_v_candidate",
+    "resolve_executor",
+    "run_cells_parallel",
+]

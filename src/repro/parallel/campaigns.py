@@ -1,0 +1,113 @@
+"""Parallel campaign execution: one worker process per in-flight cell.
+
+Campaign cells — (machine, distribution, level) tuning problems — are
+fully independent: distinct machines have distinct fingerprints and
+distinct (distribution, level) pairs have distinct tuning keys, so no
+two cells ever write the same registry row.  That makes a campaign
+embarrassingly parallel: the driver fans pending cells across a process
+pool, and each worker opens its *own* WAL-mode
+:class:`~repro.store.trialdb.TrialDB` connection on the shared database
+path (SQLite connections must not cross process boundaries).  WAL plus
+a busy timeout serializes the actual commits; each worker commits its
+cell's completion as one transaction after the plan and trial rows are
+durable, so a campaign killed mid-run loses at most the in-flight cells
+and resumes without re-tuning completed ones — exactly the serial
+resumability contract, at N-way concurrency.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.parallel.executor import _default_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.campaign import Campaign, CampaignSpec, CellResult
+
+__all__ = ["run_cells_parallel"]
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """One pending cell, addressed by database path (pool-picklable)."""
+
+    db_path: str
+    spec: "CampaignSpec"
+    machine: str
+    distribution: str
+    max_level: int
+
+
+def _tune_cell(task: _CellTask) -> "CellResult":
+    """Worker: tune one cell through a private store connection."""
+    from repro.store.campaign import execute_cell
+    from repro.store.registry import PlanRegistry
+    from repro.store.trialdb import TrialDB
+
+    with TrialDB(task.db_path) as db:
+        return execute_cell(
+            PlanRegistry(db),
+            task.spec,
+            task.machine,
+            task.distribution,
+            task.max_level,
+        )
+
+
+def run_cells_parallel(
+    campaign: "Campaign",
+    jobs: int,
+    max_cells: int | None = None,
+    on_cell: "Callable[[CellResult], None] | None" = None,
+) -> "list[CellResult]":
+    """Run a campaign's pending cells on a pool of ``jobs`` workers.
+
+    Semantics mirror ``Campaign.run``: already-completed cells come back
+    as ``source='skipped'``, at most ``max_cells`` pending cells execute,
+    and results are returned in sweep order.  ``on_cell`` fires from the
+    driver process as cells finish (completion order, not sweep order).
+    """
+    from repro.store.campaign import CellResult
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, not {jobs}")
+    if campaign.db.path == ":memory:":
+        raise ValueError(
+            "parallel campaigns need a file-backed store: worker processes "
+            "open their own connections to the database path, and ':memory:' "
+            "cannot be shared across processes"
+        )
+    pending = campaign.pending()
+    to_run = pending if max_cells is None else pending[: max(max_cells, 0)]
+    results: dict[tuple[str, str, int], CellResult] = {}
+    if to_run:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(to_run)),
+            mp_context=_default_context(),
+        ) as pool:
+            futures = {}
+            for cell in to_run:
+                task = _CellTask(campaign.db.path, campaign.spec, *cell)
+                futures[pool.submit(_tune_cell, task)] = cell
+            for future in as_completed(futures):
+                result = future.result()
+                results[futures[future]] = result
+                if on_cell is not None:
+                    on_cell(result)
+
+    # Assemble in sweep order, mirroring the serial path: completed cells
+    # are 'skipped', executed cells report their outcome, and the sweep
+    # stops at the first pending cell beyond the max_cells budget.
+    out: list[CellResult] = []
+    pending_set = set(pending)
+    for cell in campaign.spec.cells():
+        if cell not in pending_set:
+            machine, dist, level = cell
+            out.append(CellResult(machine, dist, level, source="skipped"))
+        elif cell in results:
+            out.append(results[cell])
+        else:
+            break
+    return out

@@ -1,0 +1,390 @@
+"""Picklable trial tasks for the DP tuners, and their worker functions.
+
+A task carries *only data*: the machine profile, the training keyfields
+(distribution, instances, seed — the deterministic seed is what makes a
+re-run in another process reproduce the exact training instances), the
+partially built plan table, and which candidate to evaluate.  The worker
+rebuilds the same tuner state from that data and runs the *same*
+single-candidate evaluation code the serial DP runs
+(:meth:`~repro.tuner.dp.VCycleTuner._evaluate_candidate`,
+:meth:`~repro.tuner.full_mg.FullMGTuner._evaluate_variant`), so trained
+iteration counts and cost-model seconds are bit-identical to a serial
+tune.  The only difference is pruning: workers evaluate with an infinite
+budget, and any candidate the serial tuner would have pruned prices
+strictly worse than the serial winner, so per-slot selection — done in
+the parent, folding outcomes in serial enumeration order with a strict
+``<`` — picks exactly the same plan.
+
+Worker processes cache the reconstructed tuners (and with them training
+instances, reference solutions, and direct-solver factorizations) across
+tasks, so per-task reconstruction cost is paid once per worker, not once
+per candidate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.machines.profile import MachineProfile
+from repro.tuner.choices import Choice, DirectChoice, RecurseChoice, SORChoice
+from repro.tuner.config import plan_from_dict, plan_to_dict
+from repro.tuner.dp import CandidateOutcome, CandidateReport, VCycleTuner, _TableView
+from repro.tuner.full_mg import FullMGTuner, _FullTableView
+from repro.tuner.plan import TunedVPlan
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+from repro.util.validation import size_of_level
+
+__all__ = [
+    "FMGEstimateTask",
+    "VCandidateTask",
+    "evaluate_fmg_estimate",
+    "evaluate_v_candidate",
+    "tune_fmg_level_parallel",
+    "tune_v_level_parallel",
+]
+
+#: ((level, acc_index), choice) pairs of an in-progress plan table.
+TableItems = tuple[tuple[tuple[int, int], Choice], ...]
+
+
+@dataclass(frozen=True)
+class VCandidateTask:
+    """One V-cycle candidate evaluation, as pure data."""
+
+    profile: MachineProfile
+    threads: int | None
+    distribution: str
+    instances: int
+    seed: int | None
+    accuracies: tuple[float, ...]
+    aggregate: str
+    max_sor_iters: int
+    max_recurse_iters: int
+    level: int
+    table: TableItems
+    acc_index: int
+    kind: str
+    sub_accuracy: int | None
+
+
+@dataclass(frozen=True)
+class FMGEstimateTask:
+    """One full-MG ESTIMATE_j variant family (all slots), as pure data."""
+
+    profile: MachineProfile
+    threads: int | None
+    distribution: str
+    instances: int
+    seed: int | None
+    aggregate: str
+    max_sor_iters: int
+    max_recurse_iters: int
+    level: int
+    table: TableItems
+    vplan_payload: dict[str, Any]
+    j: int
+
+
+def _probe_choice(kind: str, j: int | None) -> Choice:
+    """The probe the candidate_filter sees (mirrors the serial probes)."""
+    if kind == "direct":
+        return DirectChoice()
+    if kind == "recurse":
+        assert j is not None
+        return RecurseChoice(sub_accuracy=j, iterations=1)
+    if kind == "sor":
+        return SORChoice(iterations=1)
+    raise ValueError(f"unknown candidate kind {kind!r}")
+
+
+# -- worker-side caches ----------------------------------------------------
+#
+# Keyed by the tuning context (machine fingerprint, training keyfields,
+# search caps); distinct levels and tables arrive per task.  Living at
+# module scope, the caches persist for the worker process lifetime —
+# and are bounded, so a long-lived pool serving many distinct contexts
+# (machines, vplans) evicts the oldest instead of growing forever.
+
+_CACHE_LIMIT = 8
+_V_TUNERS: dict[tuple, VCycleTuner] = {}
+_FMG_TUNERS: dict[tuple, FullMGTuner] = {}
+
+
+def _cache_put(cache: dict, key: tuple, value) -> None:
+    while len(cache) >= _CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def _v_tuner_for(task: VCandidateTask) -> VCycleTuner:
+    key = (
+        task.profile.fingerprint(),
+        task.threads,
+        task.distribution,
+        task.instances,
+        task.seed,
+        task.accuracies,
+        task.aggregate,
+        task.max_sor_iters,
+        task.max_recurse_iters,
+    )
+    tuner = _V_TUNERS.get(key)
+    if tuner is None:
+        tuner = VCycleTuner(
+            max_level=task.level,
+            accuracies=task.accuracies,
+            training=TrainingData(
+                distribution=task.distribution,
+                instances=task.instances,
+                seed=task.seed,
+            ),
+            timing=CostModelTiming(task.profile, task.threads),
+            max_sor_iters=task.max_sor_iters,
+            max_recurse_iters=task.max_recurse_iters,
+            aggregate=task.aggregate,  # type: ignore[arg-type]
+            keep_audit=False,
+        )
+        _cache_put(_V_TUNERS, key, tuner)
+    return tuner
+
+
+def _fmg_tuner_for(task: FMGEstimateTask) -> FullMGTuner:
+    vplan_key = json.dumps(task.vplan_payload, sort_keys=True, separators=(",", ":"))
+    key = (
+        task.profile.fingerprint(),
+        task.threads,
+        task.distribution,
+        task.instances,
+        task.seed,
+        task.aggregate,
+        task.max_sor_iters,
+        task.max_recurse_iters,
+        vplan_key,
+    )
+    tuner = _FMG_TUNERS.get(key)
+    if tuner is None:
+        vplan = plan_from_dict(task.vplan_payload)
+        if not isinstance(vplan, TunedVPlan):
+            raise TypeError("FMGEstimateTask.vplan_payload must be a multigrid-v plan")
+        tuner = FullMGTuner(
+            vplan=vplan,
+            training=TrainingData(
+                distribution=task.distribution,
+                instances=task.instances,
+                seed=task.seed,
+            ),
+            timing=CostModelTiming(task.profile, task.threads),
+            max_sor_iters=task.max_sor_iters,
+            max_recurse_iters=task.max_recurse_iters,
+            aggregate=task.aggregate,  # type: ignore[arg-type]
+            keep_audit=False,
+        )
+        _cache_put(_FMG_TUNERS, key, tuner)
+    return tuner
+
+
+# -- worker functions ------------------------------------------------------
+
+
+def evaluate_v_candidate(task: VCandidateTask) -> CandidateOutcome:
+    """Evaluate one V-cycle candidate (module-level: pool-picklable)."""
+    tuner = _v_tuner_for(task)
+    table = dict(task.table)
+    n = size_of_level(task.level)
+    bundle = tuner.training.at_level(task.level)
+    view = _TableView(table, task.level)
+    m = len(task.accuracies)
+    sub_meters = [tuner._meter_below(table, task.level, j) for j in range(m)]
+    outcome = tuner._evaluate_candidate(
+        task.level,
+        task.acc_index,
+        task.accuracies[task.acc_index],
+        n,
+        bundle,
+        view,
+        sub_meters,
+        task.kind,
+        task.sub_accuracy,
+        math.inf,
+    )
+    if outcome is None:  # pragma: no cover - parent pre-filters candidates
+        raise RuntimeError(f"candidate {task.kind!r} filtered inside worker")
+    return outcome
+
+
+def evaluate_fmg_estimate(
+    task: FMGEstimateTask,
+) -> list[list[CandidateOutcome | None]]:
+    """Evaluate every solver variant of ESTIMATE_j for every accuracy slot.
+
+    Returns ``outcomes[acc_index][variant_index]`` in the serial variant
+    enumeration order (SOR first, then RECURSE_l highest l first).
+    """
+    tuner = _fmg_tuner_for(task)
+    table = dict(task.table)
+    n = size_of_level(task.level)
+    bundle = tuner.training.at_level(task.level)
+    view = _FullTableView(table, tuner.vplan, task.level)
+    starts = tuner._estimate_states(view, bundle, task.level, task.j)
+    est_meter = tuner._estimate_meter(table, task.level, task.j)
+    outcomes: list[list[CandidateOutcome | None]] = []
+    for i, target in enumerate(tuner.vplan.accuracies):
+        row = [
+            tuner._evaluate_variant(
+                task.level,
+                i,
+                target,
+                n,
+                bundle,
+                task.j,
+                kind,
+                sub,
+                starts,
+                est_meter,
+                math.inf,
+            )
+            for kind, sub in tuner._variant_order()
+        ]
+        outcomes.append(row)
+    return outcomes
+
+
+# -- parent-side level drivers ---------------------------------------------
+
+
+def _require_cost_model(timing: Any) -> CostModelTiming:
+    if not isinstance(timing, CostModelTiming):
+        raise NotImplementedError(
+            "parallel trial execution requires deterministic CostModelTiming; "
+            "wallclock timing measured across racing worker processes would "
+            "not reproduce the serial tuner's choices"
+        )
+    return timing
+
+
+def tune_v_level_parallel(
+    tuner: VCycleTuner,
+    level: int,
+    table: dict[tuple[int, int], Choice],
+    audit: list[CandidateReport],
+) -> None:
+    """Tune one V-cycle level by fanning its candidates across workers."""
+    timing = _require_cost_model(tuner.timing)
+    m = len(tuner.accuracies)
+    frozen_table: TableItems = tuple(sorted(table.items()))
+    tasks: list[VCandidateTask] = []
+    slots: list[int] = []
+    for i in range(m):
+        for kind, j in tuner._candidate_order():
+            if not tuner._allowed(level, i, _probe_choice(kind, j)):
+                continue
+            tasks.append(
+                VCandidateTask(
+                    profile=timing.profile,
+                    threads=timing.threads,
+                    distribution=tuner.training.distribution,
+                    instances=tuner.training.instances,
+                    seed=tuner.training.seed,
+                    accuracies=tuner.accuracies,
+                    aggregate=str(tuner.aggregate),
+                    max_sor_iters=tuner.max_sor_iters,
+                    max_recurse_iters=tuner.max_recurse_iters,
+                    level=level,
+                    table=frozen_table,
+                    acc_index=i,
+                    kind=kind,
+                    sub_accuracy=j,
+                )
+            )
+            slots.append(i)
+    outcomes = tuner.trial_executor.map(evaluate_v_candidate, tasks)
+    per_slot: dict[int, list[CandidateOutcome]] = {i: [] for i in range(m)}
+    for i, outcome in zip(slots, outcomes):
+        per_slot[i].append(outcome)
+    for i in range(m):
+        best_choice: Choice | None = None
+        best_time = math.inf
+        for outcome in per_slot[i]:
+            if outcome.feasible and outcome.seconds < best_time:
+                best_choice, best_time = outcome.choice, outcome.seconds
+        if best_choice is None:
+            raise RuntimeError(
+                f"no feasible candidate at level {level}, accuracy index {i} "
+                f"(candidate_filter too restrictive?)"
+            )
+        table[(level, i)] = best_choice
+        if tuner.keep_audit:
+            chosen_desc = best_choice.describe()
+            audit.extend(
+                CandidateReport(
+                    level,
+                    i,
+                    outcome.description,
+                    outcome.seconds,
+                    outcome.feasible,
+                    chosen=(outcome.feasible and outcome.description == chosen_desc),
+                )
+                for outcome in per_slot[i]
+            )
+
+
+def tune_fmg_level_parallel(
+    tuner: FullMGTuner,
+    level: int,
+    table: dict[tuple[int, int], Choice],
+    audit: list[CandidateReport],
+) -> None:
+    """Tune one full-MG level with one worker task per estimate accuracy."""
+    timing = _require_cost_model(tuner.timing)
+    accuracies = tuner.vplan.accuracies
+    m = len(accuracies)
+    frozen_table: TableItems = tuple(sorted(table.items()))
+    vplan_payload = plan_to_dict(tuner.vplan)
+    tasks = [
+        FMGEstimateTask(
+            profile=timing.profile,
+            threads=timing.threads,
+            distribution=tuner.training.distribution,
+            instances=tuner.training.instances,
+            seed=tuner.training.seed,
+            aggregate=str(tuner.aggregate),
+            max_sor_iters=tuner.max_sor_iters,
+            max_recurse_iters=tuner.max_recurse_iters,
+            level=level,
+            table=frozen_table,
+            vplan_payload=vplan_payload,
+            j=j,
+        )
+        for j in range(m)
+    ]
+    per_estimate = tuner.trial_executor.map(evaluate_fmg_estimate, tasks)
+    n = size_of_level(level)
+    bundle = tuner.training.at_level(level)
+    for i in range(m):
+        collected: list[CandidateOutcome] = [tuner._evaluate_direct(n, bundle)]
+        for j in range(m):
+            collected.extend(o for o in per_estimate[j][i] if o is not None)
+        best_choice: Choice | None = None
+        best_time = math.inf
+        for outcome in collected:
+            if outcome.feasible and outcome.seconds < best_time:
+                best_choice, best_time = outcome.choice, outcome.seconds
+        assert best_choice is not None  # direct is always considered
+        table[(level, i)] = best_choice
+        if tuner.keep_audit:
+            chosen_desc = best_choice.describe()
+            audit.extend(
+                CandidateReport(
+                    level,
+                    i,
+                    outcome.description,
+                    outcome.seconds,
+                    outcome.feasible,
+                    chosen=(outcome.feasible and outcome.description == chosen_desc),
+                )
+                for outcome in collected
+            )

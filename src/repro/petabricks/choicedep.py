@@ -9,7 +9,7 @@ scheduler (which regions may run concurrently).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 import networkx as nx

@@ -9,7 +9,6 @@ PetaBricks' matrix rules do.
 
 from __future__ import annotations
 
-from typing import Any
 
 import numpy as np
 

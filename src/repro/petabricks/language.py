@@ -10,7 +10,7 @@ above a cutoff, insertion sort below it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.petabricks.configfile import Configuration

@@ -9,7 +9,7 @@ model of the latter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 import networkx as nx

@@ -21,7 +21,7 @@ from repro.store.registry import PlanRegistry, RegistryHit, TuneKey
 from repro.store.trialdb import TrialDB
 from repro.tuner.plan import DEFAULT_ACCURACIES
 
-__all__ = ["Campaign", "CampaignSpec", "CellResult"]
+__all__ = ["Campaign", "CampaignSpec", "CellResult", "execute_cell"]
 
 
 @dataclass(frozen=True)
@@ -71,12 +71,62 @@ class CellResult:
     hit: RegistryHit | None = field(default=None, compare=False)
 
 
+def execute_cell(
+    registry: PlanRegistry,
+    spec: CampaignSpec,
+    machine: str,
+    distribution: str,
+    max_level: int,
+) -> CellResult:
+    """Tune (or fetch) one campaign cell and mark it done.
+
+    The plan and trial rows commit inside ``get_or_tune``; the cell's
+    completion then commits as its own atomic transaction, so a crash
+    between the two leaves a resumable pending cell whose re-run is a
+    cheap registry exact-hit.  Shared by the serial sweep and the
+    parallel per-process workers (:mod:`repro.parallel.campaigns`).
+    """
+    profile = get_preset(machine)
+    start = time.perf_counter()
+    hit = registry.get_or_tune(
+        profile,
+        spec.key_for(distribution, max_level),
+        allow_nearest=spec.allow_nearest,
+    )
+    wall = time.perf_counter() - start
+    cost = hit.plan.time_on(profile, max_level, hit.plan.num_accuracies - 1)
+    registry.db.conn.execute(
+        """
+        UPDATE campaign_cells
+        SET status = 'done', source = ?, simulated_cost = ?,
+            wall_seconds = ?,
+            completed_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
+        WHERE campaign = ? AND machine = ? AND distribution = ?
+          AND max_level = ?
+        """,
+        (hit.source, cost, wall, spec.name, machine, distribution, max_level),
+    )
+    registry.db.conn.commit()
+    return CellResult(machine, distribution, max_level, hit.source, cost, wall, hit=hit)
+
+
 class Campaign:
     """Drives a :class:`CampaignSpec` through a :class:`PlanRegistry`."""
 
-    def __init__(self, spec: CampaignSpec, db: TrialDB | str | Path = ":memory:") -> None:
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        db: PlanRegistry | TrialDB | str | Path = ":memory:",
+    ) -> None:
         self.spec = spec
-        self.registry = db if isinstance(db, PlanRegistry) else PlanRegistry(db)
+        if isinstance(db, PlanRegistry):
+            self.registry = db
+        elif isinstance(db, (TrialDB, str, Path)):
+            self.registry = PlanRegistry(db)
+        else:
+            raise TypeError(
+                f"db must be a PlanRegistry, TrialDB, or database path; got {db!r}"
+            )
         self.db = self.registry.db
         self._ensure_cells()
 
@@ -127,14 +177,29 @@ class Campaign:
         self,
         max_cells: int | None = None,
         on_cell: Callable[[CellResult], None] | None = None,
+        jobs: int | None = None,
     ) -> list[CellResult]:
         """Run the sweep, skipping completed cells.
 
         ``max_cells`` bounds how many *pending* cells this call executes
         (handy for incremental progress and for tests simulating an
         interruption); each completed cell commits immediately, so any
-        interruption loses at most the in-flight cell.
+        interruption loses at most the in-flight cell(s).
+
+        ``jobs`` > 1 fans pending cells across that many worker
+        processes (file-backed stores only; each worker opens its own
+        WAL connection).  Cells are independent tuning problems, so the
+        resulting registry is identical to a serial run's — only the
+        wall-clock changes.  With ``jobs`` > 1, ``on_cell`` fires in
+        completion order and the cell results carry their registry hit
+        back from the worker process.
         """
+        if jobs is not None and jobs > 1:
+            from repro.parallel.campaigns import run_cells_parallel
+
+            return run_cells_parallel(
+                self, jobs=jobs, max_cells=max_cells, on_cell=on_cell
+            )
         results: list[CellResult] = []
         executed = 0
         pending = set(self.pending())
@@ -144,30 +209,7 @@ class Campaign:
                 continue
             if max_cells is not None and executed >= max_cells:
                 break
-            profile = get_preset(machine)
-            start = time.perf_counter()
-            hit = self.registry.get_or_tune(
-                profile,
-                self.spec.key_for(dist, level),
-                allow_nearest=self.spec.allow_nearest,
-            )
-            wall = time.perf_counter() - start
-            cost = hit.plan.time_on(profile, level, hit.plan.num_accuracies - 1)
-            self.db.conn.execute(
-                """
-                UPDATE campaign_cells
-                SET status = 'done', source = ?, simulated_cost = ?,
-                    wall_seconds = ?,
-                    completed_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
-                WHERE campaign = ? AND machine = ? AND distribution = ?
-                  AND max_level = ?
-                """,
-                (hit.source, cost, wall, self.spec.name, machine, dist, level),
-            )
-            self.db.conn.commit()
-            result = CellResult(
-                machine, dist, level, hit.source, cost, wall, hit=hit
-            )
+            result = execute_cell(self.registry, self.spec, machine, dist, level)
             results.append(result)
             executed += 1
             if on_cell is not None:

@@ -282,6 +282,7 @@ class PlanRegistry:
         max_distance: float | None = None,
         tuner: Callable[[], TunedVPlan | TunedFullMGPlan] | None = None,
         record_trial: bool = True,
+        jobs: int | None = None,
         **key_fields: Any,
     ) -> RegistryHit:
         """Serve a plan: exact hit, nearest-profile fallback, or tune.
@@ -289,7 +290,9 @@ class PlanRegistry:
         ``key`` can be given directly or assembled from keyword fields
         (``kind=, distribution=, max_level=, ...``).  ``tuner`` overrides
         how a cold plan is produced (tests count invocations through it);
-        the default runs the paper's DP tuner for ``key.kind``.
+        the default runs the paper's DP tuner for ``key.kind``, fanning
+        candidate evaluations across ``jobs`` worker processes when
+        ``jobs`` > 1 (the tuned plan is identical either way).
         """
         if key is None:
             key = TuneKey(**key_fields)
@@ -299,7 +302,7 @@ class PlanRegistry:
         if hit is not None:
             return hit
         start = time.perf_counter()
-        plan = (tuner or (lambda: _default_tuner(profile, key)))()
+        plan = (tuner or (lambda: _default_tuner(profile, key, jobs=jobs)))()
         wall = time.perf_counter() - start
         plan_json = self.put(profile, key, plan)
         if record_trial:
@@ -331,6 +334,20 @@ class PlanRegistry:
 
     # -- introspection ----------------------------------------------------
 
+    def contents(self) -> dict[str, str]:
+        """``plan_key -> canonical plan JSON`` for every stored plan.
+
+        Volatile columns (row ids, timestamps, hit counters) are
+        excluded, so two registries warmed by different execution
+        strategies — e.g. a serial and a parallel campaign — compare
+        equal exactly when they serve identical plans for identical
+        keys.
+        """
+        rows = self.db.conn.execute(
+            "SELECT plan_key, plan_json FROM plans ORDER BY plan_key"
+        ).fetchall()
+        return {row["plan_key"]: row["plan_json"] for row in rows}
+
     def plans(self) -> list[dict[str, Any]]:
         """Summary rows of every stored plan (for ``store ls``)."""
         rows = self.db.conn.execute(
@@ -349,29 +366,45 @@ class PlanRegistry:
 
 
 def _default_tuner(
-    profile: MachineProfile, key: TuneKey
+    profile: MachineProfile, key: TuneKey, jobs: int | None = None
 ) -> TunedVPlan | TunedFullMGPlan:
-    """Cold path: run the DP tuner(s) exactly as core.autotune does."""
+    """Cold path: run the DP tuner(s) exactly as core.autotune does.
+
+    ``jobs`` > 1 evaluates candidate trials on a process pool shared by
+    the V-cycle and (for full-MG keys) the full-MG pass; trial tasks are
+    deterministically seeded, so the result matches a serial tune.
+    """
     from repro.tuner.dp import VCycleTuner
     from repro.tuner.full_mg import FullMGTuner
     from repro.tuner.timing import CostModelTiming
     from repro.tuner.training import TrainingData
 
-    training = TrainingData(
-        distribution=key.distribution, instances=key.instances, seed=key.seed
-    )
-    vplan = VCycleTuner(
-        max_level=key.max_level,
-        accuracies=tuple(key.accuracies),
-        training=training,
-        timing=CostModelTiming(profile),
-        keep_audit=False,
-    ).tune()
-    if key.kind == "multigrid-v":
-        return vplan
-    return FullMGTuner(
-        vplan=vplan,
-        training=training,
-        timing=CostModelTiming(profile),
-        keep_audit=False,
-    ).tune(key.max_level)
+    executor = None
+    if jobs is not None and jobs > 1:
+        from repro.parallel import resolve_executor
+
+        executor = resolve_executor(jobs)
+    try:
+        training = TrainingData(
+            distribution=key.distribution, instances=key.instances, seed=key.seed
+        )
+        vplan = VCycleTuner(
+            max_level=key.max_level,
+            accuracies=tuple(key.accuracies),
+            training=training,
+            timing=CostModelTiming(profile),
+            keep_audit=False,
+            trial_executor=executor,
+        ).tune()
+        if key.kind == "multigrid-v":
+            return vplan
+        return FullMGTuner(
+            vplan=vplan,
+            training=training,
+            timing=CostModelTiming(profile),
+            keep_audit=False,
+            trial_executor=executor,
+        ).tune(key.max_level)
+    finally:
+        if executor is not None:
+            executor.close()

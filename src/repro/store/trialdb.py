@@ -102,6 +102,10 @@ class TrialDB:
         if self.path != ":memory:":
             self.conn.execute("PRAGMA journal_mode=WAL")
             self.conn.execute("PRAGMA synchronous=NORMAL")
+            # Parallel campaigns run one writer process per in-flight
+            # cell; WAL serializes the commits, and the busy timeout
+            # makes lock waits block instead of failing.
+            self.conn.execute("PRAGMA busy_timeout=30000")
         ensure_schema(self.conn)
 
     # -- lifecycle --------------------------------------------------------

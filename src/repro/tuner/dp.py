@@ -39,7 +39,7 @@ from repro.tuner.trace import NULL_TRACE
 from repro.tuner.training import TrainingData
 from repro.util.validation import size_of_level
 
-__all__ = ["CandidateReport", "VCycleTuner"]
+__all__ = ["CandidateOutcome", "CandidateReport", "VCycleTuner"]
 
 #: filter(level, acc_index, choice) -> bool; False removes the candidate.
 CandidateFilter = Callable[[int, int, Choice], bool]
@@ -55,6 +55,20 @@ class CandidateReport:
     seconds: float
     feasible: bool
     chosen: bool = False
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """Result of evaluating one candidate for one (level, accuracy) slot.
+
+    Picklable (choices are frozen dataclasses), so parallel trial
+    executors can ship outcomes back from worker processes.
+    """
+
+    description: str
+    seconds: float
+    feasible: bool
+    choice: Choice | None
 
 
 class _TableView:
@@ -95,6 +109,14 @@ class VCycleTuner:
     #: reports one trial record to it (duck-typed so the tuner layer does
     #: not import the store at module scope)
     sink: Any | None = None
+    #: optional :class:`repro.parallel.TrialExecutor`.  ``None`` or a
+    #: serial executor keeps the classic in-process DP (bit-identical);
+    #: a parallel executor fans each level's candidate evaluations
+    #: across worker processes and — because tasks are deterministically
+    #: seeded pure data — selects exactly the same plan (duck-typed so
+    #: the tuner layer does not import :mod:`repro.parallel` at module
+    #: scope)
+    trial_executor: Any | None = None
 
     def __post_init__(self) -> None:
         if self.max_level < 1:
@@ -159,6 +181,11 @@ class VCycleTuner:
         table: dict[tuple[int, int], Choice],
         audit: list[CandidateReport],
     ) -> None:
+        if _parallel(self.trial_executor):
+            from repro.parallel.dp_tasks import tune_v_level_parallel
+
+            tune_v_level_parallel(self, level, table, audit)
+            return
         n = size_of_level(level)
         bundle = self.training.at_level(level)
         view = _TableView(table, level)
@@ -202,6 +229,21 @@ class VCycleTuner:
             meter.merge(wrapper, times=choice.iterations)
         return meter
 
+    def _candidate_order(self) -> list[tuple[str, int | None]]:
+        """Candidate enumeration order for one slot.
+
+        Direct first, then RECURSE_j highest sub-accuracy first (fewest
+        outer iterations, so later candidates get a tight pruning budget
+        early), then standalone SOR.  Serial pruning and parallel
+        selection both follow this order, which is what makes the two
+        paths choose identical plans.
+        """
+        m = len(self.accuracies)
+        order: list[tuple[str, int | None]] = [("direct", None)]
+        order.extend(("recurse", j) for j in range(m - 1, -1, -1))
+        order.append(("sor", None))
+        return order
+
     def _evaluate_slot(
         self,
         level: int,
@@ -215,42 +257,76 @@ class VCycleTuner:
         reports: list[CandidateReport] = []
         best_choice: Choice | None = None
         best_time = math.inf
-
-        def consider(choice: Choice, meter: OpMeter, run) -> None:
-            nonlocal best_choice, best_time
-            seconds = self.timing.time_candidate(meter, run, bundle.fresh_starts())
-            reports.append(
-                CandidateReport(level, acc_index, _describe(choice), seconds, True)
+        for kind, j in self._candidate_order():
+            outcome = self._evaluate_candidate(
+                level, acc_index, target, n, bundle, view, sub_meters, kind, j, best_time
             )
-            if seconds < best_time:
-                best_choice, best_time = choice, seconds
+            if outcome is None:
+                continue
+            reports.append(
+                CandidateReport(
+                    level, acc_index, outcome.description, outcome.seconds,
+                    outcome.feasible,
+                )
+            )
+            if outcome.feasible and outcome.seconds < best_time:
+                best_choice, best_time = outcome.choice, outcome.seconds
+        if best_choice is None:
+            raise RuntimeError(
+                f"no feasible candidate at level {level}, accuracy index {acc_index} "
+                f"(candidate_filter too restrictive?)"
+            )
+        return best_choice, best_time, reports
 
-        # Direct: exact, always feasible.
-        if self._allowed(level, acc_index, DirectChoice()):
+    def _evaluate_candidate(
+        self,
+        level: int,
+        acc_index: int,
+        target: float,
+        n: int,
+        bundle,
+        view: _TableView,
+        sub_meters: Sequence[OpMeter],
+        kind: str,
+        j: int | None,
+        best_time: float,
+    ) -> CandidateOutcome | None:
+        """Train and time one candidate against a pruning budget.
+
+        ``best_time`` is the fastest feasible candidate seen so far for
+        this slot; ``math.inf`` disables pruning (the parallel path,
+        where candidates are evaluated independently — any candidate
+        serial pruning would have rejected prices strictly worse than
+        the serial winner, so selection is unaffected).  Returns
+        ``None`` when the candidate_filter removes the candidate.
+        """
+        if kind == "direct":
+            # Direct: exact, always feasible.
+            if not self._allowed(level, acc_index, DirectChoice()):
+                return None
             meter = OpMeter()
             meter.charge("direct", n)
-            consider(DirectChoice(), meter, self._direct_run())
+            seconds = self.timing.time_candidate(
+                meter, self._direct_run(), bundle.fresh_starts()
+            )
+            return CandidateOutcome(
+                _describe(DirectChoice()), seconds, True, DirectChoice()
+            )
 
-        # RECURSE_j, highest sub-accuracy first (fewest outer iterations, so
-        # later candidates get a tight pruning budget early).
-        m = len(self.accuracies)
-        wrapper = recurse_wrapper_meter(n)
-        for j in range(m - 1, -1, -1):
+        if kind == "recurse":
+            assert j is not None
             probe = RecurseChoice(sub_accuracy=j, iterations=1)
             if not self._allowed(level, acc_index, probe):
-                continue
+                return None
             unit = OpMeter()
-            unit.merge(wrapper)
+            unit.merge(recurse_wrapper_meter(n))
             unit.merge(sub_meters[j])
             unit_cost = self._price_unit(unit)
             cap = self._budget_cap(unit_cost, best_time, self.max_recurse_iters)
             if cap < 1:
-                reports.append(
-                    CandidateReport(
-                        level, acc_index, _describe(probe) + " [pruned]", math.inf, False
-                    )
+                return CandidateOutcome(
+                    _describe(probe) + " [pruned]", math.inf, False, None
                 )
-                continue
             step = self._recurse_step(view, level, j)
             try:
                 iters = iterations_to_accuracy(
@@ -262,53 +338,46 @@ class VCycleTuner:
                     aggregate=self.aggregate,
                 )
             except InfeasibleCandidate:
-                reports.append(
-                    CandidateReport(level, acc_index, _describe(probe), math.inf, False)
-                )
-                continue
+                return CandidateOutcome(_describe(probe), math.inf, False, None)
             iters = max(iters, 1)
             choice = RecurseChoice(sub_accuracy=j, iterations=iters)
-            consider(choice, unit.scaled(iters), self._v_run(view, level, choice))
+            seconds = self.timing.time_candidate(
+                unit.scaled(iters), self._v_run(view, level, choice),
+                bundle.fresh_starts(),
+            )
+            return CandidateOutcome(_describe(choice), seconds, True, choice)
 
-        # Standalone SOR(omega_opt).
-        probe_sor = SORChoice(iterations=1)
-        if self._allowed(level, acc_index, probe_sor):
+        if kind == "sor":
+            probe_sor = SORChoice(iterations=1)
+            if not self._allowed(level, acc_index, probe_sor):
+                return None
             relax_cost = self.timing.op_seconds("relax", n)
             cap = self._budget_cap(relax_cost, best_time, self.max_sor_iters)
-            if cap >= 1:
-                try:
-                    iters = iterations_to_accuracy(
-                        self._sor_step(n),
-                        bundle.fresh_starts(),
-                        bundle.accuracy_fns(),
-                        target,
-                        max_iters=cap,
-                        aggregate=self.aggregate,
-                    )
-                    iters = max(iters, 1)
-                    choice = SORChoice(iterations=iters)
-                    meter = OpMeter()
-                    meter.charge("relax", n, iters)
-                    consider(choice, meter, self._v_run(view, level, choice))
-                except InfeasibleCandidate:
-                    reports.append(
-                        CandidateReport(
-                            level, acc_index, _describe(probe_sor), math.inf, False
-                        )
-                    )
-            else:
-                reports.append(
-                    CandidateReport(
-                        level, acc_index, _describe(probe_sor) + " [pruned]", math.inf, False
-                    )
+            if cap < 1:
+                return CandidateOutcome(
+                    _describe(probe_sor) + " [pruned]", math.inf, False, None
                 )
-
-        if best_choice is None:
-            raise RuntimeError(
-                f"no feasible candidate at level {level}, accuracy index {acc_index} "
-                f"(candidate_filter too restrictive?)"
+            try:
+                iters = iterations_to_accuracy(
+                    self._sor_step(n),
+                    bundle.fresh_starts(),
+                    bundle.accuracy_fns(),
+                    target,
+                    max_iters=cap,
+                    aggregate=self.aggregate,
+                )
+            except InfeasibleCandidate:
+                return CandidateOutcome(_describe(probe_sor), math.inf, False, None)
+            iters = max(iters, 1)
+            choice = SORChoice(iterations=iters)
+            meter = OpMeter()
+            meter.charge("relax", n, iters)
+            seconds = self.timing.time_candidate(
+                meter, self._v_run(view, level, choice), bundle.fresh_starts()
             )
-        return best_choice, best_time, reports
+            return CandidateOutcome(_describe(choice), seconds, True, choice)
+
+        raise ValueError(f"unknown candidate kind {kind!r}")
 
     # -- candidate step/run closures ---------------------------------------
 
@@ -367,3 +436,8 @@ class VCycleTuner:
 
 def _describe(choice: Choice) -> str:
     return choice.describe()
+
+
+def _parallel(executor: Any) -> bool:
+    """True when the executor should trigger the fan-out tuning path."""
+    return executor is not None and getattr(executor, "jobs", 1) > 1

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Union
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.tuner.choices import (
     RecurseChoice,
     SORChoice,
 )
-from repro.tuner.dp import CandidateReport
+from repro.tuner.dp import CandidateOutcome, CandidateReport, _parallel
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.plan import TunedFullMGPlan, TunedVPlan, recurse_wrapper_meter
 from repro.tuner.timing import CostModelTiming, TimingStrategy
@@ -82,6 +82,10 @@ class FullMGTuner:
     keep_audit: bool = True
     #: optional :class:`repro.store.sink.TrialSink` (see VCycleTuner.sink)
     sink: Any | None = None
+    #: optional :class:`repro.parallel.TrialExecutor` (see
+    #: VCycleTuner.trial_executor); parallel executors evaluate each
+    #: level's estimate variants in worker processes
+    trial_executor: Any | None = None
 
     def __post_init__(self) -> None:
         if self.timing is None:
@@ -162,12 +166,39 @@ class FullMGTuner:
                 meter.merge(wrapper, times=solver.iterations)
         return meter
 
+    def _estimate_meter(
+        self, table: dict[tuple[int, int], Choice], level: int, j: int
+    ) -> OpMeter:
+        """Unit meter of one ESTIMATE_j application at ``level``."""
+        n = size_of_level(level)
+        est_meter = OpMeter()
+        est_meter.charge("residual", n)
+        est_meter.charge("restrict", n)
+        est_meter.merge(self._fmg_meter(table, level - 1, j))
+        est_meter.charge("interpolate", n)
+        return est_meter
+
+    def _estimate_states(
+        self, view: _FullTableView, bundle, level: int, j: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Post-ESTIMATE_j states of every training instance."""
+        states = []
+        for x, b in bundle.fresh_starts():
+            self._run_estimate(view, x, b, level, j)
+            states.append((x, b))
+        return states
+
     def _tune_level(
         self,
         level: int,
         table: dict[tuple[int, int], Choice],
         audit: list[CandidateReport],
     ) -> None:
+        if _parallel(self.trial_executor):
+            from repro.parallel.dp_tasks import tune_fmg_level_parallel
+
+            tune_fmg_level_parallel(self, level, table, audit)
+            return
         n = size_of_level(level)
         bundle = self.training.at_level(level)
         accuracies = self.vplan.accuracies
@@ -176,20 +207,10 @@ class FullMGTuner:
 
         # Run each estimation variant once per training instance; every
         # solver variant continues from copies of these states.
-        estimate_states: list[list[tuple[np.ndarray, np.ndarray]]] = []
-        estimate_meters: list[OpMeter] = []
-        for j in range(m):
-            states = []
-            for x, b in bundle.fresh_starts():
-                self._run_estimate(view, x, b, level, j)
-                states.append((x, b))
-            estimate_states.append(states)
-            est_meter = OpMeter()
-            est_meter.charge("residual", n)
-            est_meter.charge("restrict", n)
-            est_meter.merge(self._fmg_meter(table, level - 1, j))
-            est_meter.charge("interpolate", n)
-            estimate_meters.append(est_meter)
+        estimate_states = [
+            self._estimate_states(view, bundle, level, j) for j in range(m)
+        ]
+        estimate_meters = [self._estimate_meter(table, level, j) for j in range(m)]
 
         for i, target in enumerate(accuracies):
             choice, reports = self._evaluate_slot(
@@ -207,6 +228,15 @@ class FullMGTuner:
         self._executor._run_full(view, ec, rc, level - 1, j, NULL_METER, NULL_TRACE)
         interpolate_correction(x, ec)
 
+    def _variant_order(self) -> list[tuple[str, int | None]]:
+        """Solver-variant enumeration order for one estimate accuracy j:
+        SOR(omega_opt) first, then RECURSE_l highest l first.  Serial
+        pruning and parallel selection both follow this order."""
+        m = len(self.vplan.accuracies)
+        order: list[tuple[str, int | None]] = [("sor", None)]
+        order.extend(("recurse", sub) for sub in range(m - 1, -1, -1))
+        return order
+
     def _evaluate_slot(
         self,
         level: int,
@@ -222,92 +252,27 @@ class FullMGTuner:
         best_choice: Choice | None = None
         best_time = math.inf
 
-        def consider(choice: Choice, meter: OpMeter) -> None:
+        def fold(outcome: CandidateOutcome) -> None:
             nonlocal best_choice, best_time
-            seconds = self.timing.time_candidate(meter, _no_run, bundle.fresh_starts())
             reports.append(
-                CandidateReport(level, acc_index, choice.describe(), seconds, True, False)
-            )
-            if seconds < best_time:
-                best_choice, best_time = choice, seconds
-
-        direct_meter = OpMeter()
-        direct_meter.charge("direct", n)
-        consider(DirectChoice(), direct_meter)
-
-        wrapper = recurse_wrapper_meter(n)
-        for j in range(m):
-            starts_proto = estimate_states[j]
-            judges = bundle.accuracy_fns()
-            est_meter = estimate_meters[j]
-            est_cost = self._price(est_meter)
-
-            # Solve phase variant 1: SOR(omega_opt) until p_i.
-            relax_cost = self.timing.op_seconds("relax", n)
-            cap = self._budget_cap(relax_cost, best_time - est_cost, self.max_sor_iters)
-            if cap >= 0:
-                try:
-                    iters = iterations_to_accuracy(
-                        self._sor_step(n),
-                        [(x.copy(), b) for x, b in starts_proto],
-                        judges,
-                        target,
-                        max_iters=max(cap, 1),
-                        aggregate=self.aggregate,
-                    )
-                    solver = SORChoice(iterations=iters)
-                    meter = OpMeter()
-                    meter.merge(est_meter)
-                    meter.charge("relax", n, iters)
-                    consider(EstimateChoice(j, solver), meter)
-                except InfeasibleCandidate:
-                    reports.append(
-                        CandidateReport(
-                            level,
-                            acc_index,
-                            f"estimate(j={j}) -> sor",
-                            math.inf,
-                            False,
-                        )
-                    )
-
-            # Solve phase variant 2: RECURSE_l until p_i, highest l first.
-            for sub in range(m - 1, -1, -1):
-                unit = OpMeter()
-                unit.merge(wrapper)
-                unit.merge(self.vplan.unit_meter(level - 1, sub))
-                unit_cost = self._price(unit)
-                cap = self._budget_cap(
-                    unit_cost, best_time - est_cost, self.max_recurse_iters
+                CandidateReport(
+                    level, acc_index, outcome.description, outcome.seconds,
+                    outcome.feasible, False,
                 )
-                if cap < 0:
+            )
+            if outcome.feasible and outcome.seconds < best_time:
+                best_choice, best_time = outcome.choice, outcome.seconds
+
+        fold(self._evaluate_direct(n, bundle))
+        for j in range(m):
+            for kind, sub in self._variant_order():
+                outcome = self._evaluate_variant(
+                    level, acc_index, target, n, bundle, j, kind, sub,
+                    estimate_states[j], estimate_meters[j], best_time,
+                )
+                if outcome is None:
                     continue
-                step = self._recurse_step(level, sub)
-                try:
-                    iters = iterations_to_accuracy(
-                        step,
-                        [(x.copy(), b) for x, b in starts_proto],
-                        judges,
-                        target,
-                        max_iters=max(cap, 1),
-                        aggregate=self.aggregate,
-                    )
-                except InfeasibleCandidate:
-                    reports.append(
-                        CandidateReport(
-                            level,
-                            acc_index,
-                            f"estimate(j={j}) -> recurse(l={sub})",
-                            math.inf,
-                            False,
-                        )
-                    )
-                    continue
-                solver = RecurseChoice(sub_accuracy=sub, iterations=iters)
-                meter = OpMeter()
-                meter.merge(est_meter)
-                meter.merge(unit.scaled(iters))
-                consider(EstimateChoice(j, solver), meter)
+                fold(outcome)
 
         assert best_choice is not None  # direct is always considered
         final = best_choice
@@ -323,6 +288,106 @@ class FullMGTuner:
             for r in reports
         ]
         return final, out
+
+    def _evaluate_direct(self, n: int, bundle) -> CandidateOutcome:
+        """The always-feasible direct candidate for one slot."""
+        direct_meter = OpMeter()
+        direct_meter.charge("direct", n)
+        seconds = self.timing.time_candidate(
+            direct_meter, _no_run, bundle.fresh_starts()
+        )
+        return CandidateOutcome(
+            DirectChoice().describe(), seconds, True, DirectChoice()
+        )
+
+    def _evaluate_variant(
+        self,
+        level: int,
+        acc_index: int,
+        target: float,
+        n: int,
+        bundle,
+        j: int,
+        kind: str,
+        sub: int | None,
+        starts_proto,
+        est_meter: OpMeter,
+        best_time: float,
+    ) -> CandidateOutcome | None:
+        """Train and time ESTIMATE_j followed by one solver variant.
+
+        ``best_time`` is the fastest candidate seen so far for this slot
+        and drives budget pruning; ``math.inf`` disables it (the parallel
+        path — any variant serial pruning would have skipped prices
+        strictly worse than the serial winner, so selection agrees).
+        Returns ``None`` when the variant is pruned without a report,
+        matching the serial enumeration exactly.
+        """
+        judges = bundle.accuracy_fns()
+        est_cost = self._price(est_meter)
+
+        if kind == "sor":
+            # Solve phase variant 1: SOR(omega_opt) until p_i.
+            relax_cost = self.timing.op_seconds("relax", n)
+            cap = self._budget_cap(relax_cost, best_time - est_cost, self.max_sor_iters)
+            if cap < 0:
+                return None
+            try:
+                iters = iterations_to_accuracy(
+                    self._sor_step(n),
+                    [(x.copy(), b) for x, b in starts_proto],
+                    judges,
+                    target,
+                    max_iters=max(cap, 1),
+                    aggregate=self.aggregate,
+                )
+            except InfeasibleCandidate:
+                return CandidateOutcome(
+                    f"estimate(j={j}) -> sor", math.inf, False, None
+                )
+            solver: Union[SORChoice, RecurseChoice] = SORChoice(iterations=iters)
+            meter = OpMeter()
+            meter.merge(est_meter)
+            meter.charge("relax", n, iters)
+            choice = EstimateChoice(j, solver)
+            seconds = self.timing.time_candidate(meter, _no_run, bundle.fresh_starts())
+            return CandidateOutcome(choice.describe(), seconds, True, choice)
+
+        if kind == "recurse":
+            # Solve phase variant 2: RECURSE_l until p_i.
+            assert sub is not None
+            unit = OpMeter()
+            unit.merge(recurse_wrapper_meter(n))
+            unit.merge(self.vplan.unit_meter(level - 1, sub))
+            unit_cost = self._price(unit)
+            cap = self._budget_cap(
+                unit_cost, best_time - est_cost, self.max_recurse_iters
+            )
+            if cap < 0:
+                return None
+            step = self._recurse_step(level, sub)
+            try:
+                iters = iterations_to_accuracy(
+                    step,
+                    [(x.copy(), b) for x, b in starts_proto],
+                    judges,
+                    target,
+                    max_iters=max(cap, 1),
+                    aggregate=self.aggregate,
+                )
+            except InfeasibleCandidate:
+                return CandidateOutcome(
+                    f"estimate(j={j}) -> recurse(l={sub})", math.inf, False, None
+                )
+            solver = RecurseChoice(sub_accuracy=sub, iterations=iters)
+            meter = OpMeter()
+            meter.merge(est_meter)
+            meter.merge(unit.scaled(iters))
+            choice = EstimateChoice(j, solver)
+            seconds = self.timing.time_candidate(meter, _no_run, bundle.fresh_starts())
+            return CandidateOutcome(choice.describe(), seconds, True, choice)
+
+        raise ValueError(f"unknown solver variant kind {kind!r}")
 
     # ------------------------------------------------------------------
 

@@ -8,7 +8,7 @@ this information; :mod:`repro.cycles` consumes traces to draw them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Literal
 
 __all__ = ["NULL_TRACE", "Trace", "TraceEvent"]

@@ -1,0 +1,126 @@
+"""Parallel campaigns: identical registries, preserved resumability."""
+
+import pytest
+
+from repro.store import Campaign, CampaignSpec, TrialDB
+
+#: 2 machines x 2 distributions x 2 levels = 8 independent cells.
+SPEC = CampaignSpec(
+    name="parallel-sweep",
+    machines=("intel", "amd"),
+    distributions=("unbiased", "biased"),
+    levels=(3, 4),
+    instances=1,
+    seed=3,
+)
+
+
+def _campaign(tmp_path, name):
+    return Campaign(SPEC, TrialDB(tmp_path / f"{name}.sqlite"))
+
+
+class TestDeterminism:
+    def test_parallel_registry_equals_serial_registry(self, tmp_path):
+        serial = _campaign(tmp_path, "serial")
+        parallel = _campaign(tmp_path, "parallel")
+        serial_results = serial.run(jobs=1)
+        parallel_results = parallel.run(jobs=4)
+
+        assert len(serial_results) == len(parallel_results) == 8
+        assert all(r.source == "tuned" for r in parallel_results)
+        # Byte-for-byte equivalence: same plan keys, same plan JSON.
+        contents = parallel.registry.contents()
+        assert contents == serial.registry.contents()
+        assert len(contents) == 8
+
+    def test_results_come_back_in_sweep_order(self, tmp_path):
+        campaign = _campaign(tmp_path, "ordered")
+        results = campaign.run(jobs=4)
+        assert [
+            (r.machine, r.distribution, r.max_level) for r in results
+        ] == SPEC.cells()
+
+    def test_parallel_results_carry_registry_hits(self, tmp_path):
+        campaign = _campaign(tmp_path, "hits")
+        results = campaign.run(jobs=2)
+        assert all(r.hit is not None for r in results)
+        assert all(r.hit.plan.max_level == r.max_level for r in results)
+
+    def test_on_cell_fires_once_per_executed_cell(self, tmp_path):
+        campaign = _campaign(tmp_path, "callbacks")
+        seen = []
+        campaign.run(jobs=4, on_cell=seen.append)
+        assert len(seen) == 8
+        assert all(cell.source == "tuned" for cell in seen)
+
+
+class TestResume:
+    def test_interrupted_parallel_campaign_resumes(self, tmp_path):
+        path = tmp_path / "resume.sqlite"
+        first = Campaign(SPEC, TrialDB(path))
+        first.run(jobs=4, max_cells=3)  # "killed" after three cells
+        assert first.status() == {"done": 3, "pending": 5}
+        first.db.close()
+
+        resumed = Campaign(SPEC, TrialDB(path))
+        results = resumed.run(jobs=4)
+        assert len([r for r in results if r.source == "skipped"]) == 3
+        assert len([r for r in results if r.source == "tuned"]) == 5
+        assert resumed.status() == {"done": 8, "pending": 0}
+        # Completed cells were never re-tuned: one trial per cell total.
+        assert resumed.db.count_trials() == 8
+
+    def test_completed_parallel_campaign_rerun_executes_nothing(self, tmp_path):
+        campaign = _campaign(tmp_path, "rerun")
+        campaign.run(jobs=4)
+        results = campaign.run(jobs=4)
+        assert all(r.source == "skipped" for r in results)
+        assert campaign.db.count_trials() == 8
+
+    def test_parallel_resume_matches_straight_serial_run(self, tmp_path):
+        interrupted = Campaign(SPEC, TrialDB(tmp_path / "a.sqlite"))
+        interrupted.run(jobs=4, max_cells=2)
+        interrupted.run(jobs=4)
+        straight = Campaign(SPEC, TrialDB(tmp_path / "b.sqlite"))
+        straight.run()
+        assert interrupted.registry.contents() == straight.registry.contents()
+
+
+class TestGuards:
+    def test_memory_store_rejected(self):
+        campaign = Campaign(SPEC, TrialDB(":memory:"))
+        with pytest.raises(ValueError, match="file-backed"):
+            campaign.run(jobs=4)
+
+    def test_bad_job_count_rejected(self, tmp_path):
+        campaign = _campaign(tmp_path, "bad-jobs")
+        from repro.parallel import run_cells_parallel
+
+        with pytest.raises(ValueError, match="jobs"):
+            run_cells_parallel(campaign, jobs=0)
+
+    def test_jobs_one_stays_serial_in_memory(self):
+        # jobs=1 must keep working against :memory: (no pool involved).
+        campaign = Campaign(SPEC, TrialDB(":memory:"))
+        results = campaign.run(jobs=1, max_cells=1)
+        assert len([r for r in results if r.source == "tuned"]) == 1
+
+    def test_max_cells_zero_executes_nothing(self, tmp_path):
+        campaign = _campaign(tmp_path, "zero")
+        results = campaign.run(jobs=4, max_cells=0)
+        assert results == []
+        assert campaign.status() == {"done": 0, "pending": 8}
+
+    def test_shared_registry_between_parallel_campaigns(self, tmp_path):
+        db_path = tmp_path / "shared.sqlite"
+        Campaign(SPEC, TrialDB(db_path)).run(jobs=4)
+        other = CampaignSpec(
+            name="second-sweep",
+            machines=SPEC.machines,
+            distributions=SPEC.distributions,
+            levels=SPEC.levels,
+            instances=SPEC.instances,
+            seed=SPEC.seed,
+        )
+        results = Campaign(other, TrialDB(db_path)).run(jobs=4)
+        assert all(r.source == "exact" for r in results)

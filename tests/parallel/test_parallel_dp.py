@@ -1,0 +1,128 @@
+"""Parallel DP tuning must reproduce serial plans exactly.
+
+The tentpole guarantee: because trial tasks are pure, deterministically
+seeded data and workers run the same single-candidate evaluation code as
+the serial DP, a process-pool tune selects bit-identical plans.  These
+tests pin that for the V-cycle tuner, the full-MG tuner, candidate
+filters, and the registry/core-API ``jobs=`` wiring.
+"""
+
+import pytest
+
+from repro.core import autotune_cached
+from repro.machines.presets import INTEL_HARPERTOWN, SUN_NIAGARA
+from repro.parallel import ProcessPoolTrialExecutor, SerialExecutor
+from repro.store import TrialDB
+from repro.tuner.choices import DirectChoice
+from repro.tuner.config import plan_to_dict
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.full_mg import FullMGTuner
+from repro.tuner.timing import CostModelTiming, WallclockTiming
+from repro.tuner.training import TrainingData
+
+MAX_LEVEL = 4
+
+
+def _training():
+    return TrainingData(distribution="unbiased", instances=2, seed=3)
+
+
+def _tune_v(executor, profile=INTEL_HARPERTOWN, candidate_filter=None):
+    return VCycleTuner(
+        max_level=MAX_LEVEL,
+        training=_training(),
+        timing=CostModelTiming(profile),
+        candidate_filter=candidate_filter,
+        trial_executor=executor,
+    ).tune()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolTrialExecutor(2) as executor:
+        yield executor
+
+
+class TestVCycleDeterminism:
+    def test_serial_executor_matches_default(self):
+        assert plan_to_dict(_tune_v(None)) == plan_to_dict(_tune_v(SerialExecutor()))
+
+    def test_pool_matches_serial(self, pool):
+        assert plan_to_dict(_tune_v(None)) == plan_to_dict(_tune_v(pool))
+
+    def test_pool_matches_serial_on_other_machine(self, pool):
+        serial = _tune_v(None, profile=SUN_NIAGARA)
+        parallel = _tune_v(pool, profile=SUN_NIAGARA)
+        assert plan_to_dict(serial) == plan_to_dict(parallel)
+
+    def test_candidate_filter_respected(self, pool):
+        def no_direct_above_level_1(level, acc_index, choice):
+            return level == 1 or not isinstance(choice, DirectChoice)
+
+        serial = _tune_v(None, candidate_filter=no_direct_above_level_1)
+        parallel = _tune_v(pool, candidate_filter=no_direct_above_level_1)
+        assert plan_to_dict(serial) == plan_to_dict(parallel)
+        assert not any(
+            isinstance(c, DirectChoice)
+            for (level, _), c in parallel.table.items()
+            if level > 1
+        )
+
+    def test_audit_records_cover_all_slots(self, pool):
+        plan = _tune_v(pool)
+        audit = plan.metadata["audit"]
+        slots = {(rep.level, rep.acc_index) for rep in audit}
+        m = plan.num_accuracies
+        assert slots == {
+            (level, i) for level in range(2, MAX_LEVEL + 1) for i in range(m)
+        }
+        chosen = [rep for rep in audit if rep.chosen]
+        assert len(chosen) >= (MAX_LEVEL - 1) * m
+
+    def test_wallclock_timing_rejected(self, pool):
+        tuner = VCycleTuner(
+            max_level=3,
+            training=_training(),
+            timing=WallclockTiming(repeats=1),
+            trial_executor=pool,
+        )
+        with pytest.raises(NotImplementedError, match="CostModelTiming"):
+            tuner.tune()
+
+
+class TestFullMGDeterminism:
+    def test_pool_matches_serial(self, pool):
+        vplan = _tune_v(None)
+
+        def tune(executor):
+            return FullMGTuner(
+                vplan=vplan,
+                training=_training(),
+                timing=CostModelTiming(INTEL_HARPERTOWN),
+                trial_executor=executor,
+            ).tune(MAX_LEVEL)
+
+        assert plan_to_dict(tune(None)) == plan_to_dict(tune(pool))
+
+
+class TestJobsWiring:
+    def test_autotune_cached_jobs_matches_serial(self):
+        kwargs = dict(
+            max_level=3, machine="intel", instances=1, seed=7, allow_nearest=False
+        )
+        serial = autotune_cached(store=TrialDB(":memory:"), jobs=1, **kwargs)
+        parallel = autotune_cached(store=TrialDB(":memory:"), jobs=2, **kwargs)
+        assert plan_to_dict(serial) == plan_to_dict(parallel)
+
+    def test_autotune_cached_full_mg_jobs_matches_serial(self):
+        kwargs = dict(
+            max_level=3,
+            machine="amd",
+            instances=1,
+            seed=7,
+            kind="full-multigrid",
+            allow_nearest=False,
+        )
+        serial = autotune_cached(store=TrialDB(":memory:"), jobs=1, **kwargs)
+        parallel = autotune_cached(store=TrialDB(":memory:"), jobs=2, **kwargs)
+        assert plan_to_dict(serial) == plan_to_dict(parallel)

@@ -1,0 +1,99 @@
+"""Tests for the trial executor interface and its implementations."""
+
+import pytest
+
+from repro.parallel import (
+    ProcessPoolTrialExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    resolve_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three")
+    return x
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_batch(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_jobs_is_one(self):
+        assert SerialExecutor().jobs == 1
+
+    def test_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.map(_square, [2]) == [4]
+
+
+class TestProcessPoolExecutor:
+    def test_maps_in_task_order(self):
+        with ProcessPoolTrialExecutor(2) as ex:
+            assert ex.map(_square, list(range(10))) == [i * i for i in range(10)]
+
+    def test_pool_is_reused_across_batches(self):
+        with ProcessPoolTrialExecutor(2) as ex:
+            ex.map(_square, [1])
+            pool = ex._pool
+            ex.map(_square, [2])
+            assert ex._pool is pool
+
+    def test_empty_batch_spawns_no_pool(self):
+        with ProcessPoolTrialExecutor(2) as ex:
+            assert ex.map(_square, []) == []
+            assert ex._pool is None
+
+    def test_close_is_idempotent(self):
+        ex = ProcessPoolTrialExecutor(2)
+        ex.map(_square, [1])
+        ex.close()
+        ex.close()
+        assert ex._pool is None
+
+    def test_worker_error_propagates(self):
+        with ProcessPoolTrialExecutor(2) as ex:
+            with pytest.raises(ValueError, match="three"):
+                ex.map(_fail_on_three, [1, 2, 3])
+
+    def test_rejects_bad_job_counts(self):
+        with pytest.raises(ValueError):
+            ProcessPoolTrialExecutor(0)
+
+
+class TestResolveExecutor:
+    def test_none_and_one_are_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+
+    def test_many_is_process_pool(self):
+        ex = resolve_executor(4)
+        assert isinstance(ex, ProcessPoolTrialExecutor)
+        assert ex.jobs == 4
+        ex.close()
+
+    def test_executor_passes_through(self):
+        ex = SerialExecutor()
+        assert resolve_executor(ex) is ex
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            resolve_executor(0)
+        with pytest.raises(ValueError):
+            resolve_executor(-2)
+        with pytest.raises(TypeError):
+            resolve_executor(2.5)
+        with pytest.raises(TypeError):
+            resolve_executor(True)
+
+    def test_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            TrialExecutor().map(_square, [1])

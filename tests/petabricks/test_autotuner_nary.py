@@ -8,7 +8,6 @@ discover the known-optimal multi-level composition.
 import pytest
 
 from repro.petabricks.autotuner import BottomUpTuner, MultiLevelConfig
-from repro.petabricks.configfile import Configuration
 from repro.petabricks.language import Rule, Transform
 from repro.petabricks.nary import nary_search
 

@@ -1,7 +1,6 @@
 """Property-based tests for op meters, pricing, schedulers, and the
 Pareto front."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,5 +1,9 @@
 """Tests for resumable autotuning campaigns."""
 
+from pathlib import Path
+
+import pytest
+
 from repro.store.campaign import Campaign, CampaignSpec
 from repro.store.registry import PlanRegistry
 from repro.store.trialdb import TrialDB
@@ -12,6 +16,36 @@ SPEC = CampaignSpec(
     instances=1,
     seed=3,
 )
+
+
+class TestDbParameter:
+    """Campaign accepts a PlanRegistry, a TrialDB, or a database path."""
+
+    def test_accepts_trialdb(self):
+        db = TrialDB(":memory:")
+        campaign = Campaign(SPEC, db)
+        assert campaign.db is db
+
+    def test_accepts_plan_registry(self):
+        registry = PlanRegistry(TrialDB(":memory:"))
+        campaign = Campaign(SPEC, registry)
+        assert campaign.registry is registry
+        assert campaign.db is registry.db
+
+    def test_accepts_str_path(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        campaign = Campaign(SPEC, path)
+        assert campaign.db.path == path
+
+    def test_accepts_pathlib_path(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        campaign = Campaign(SPEC, path)
+        assert campaign.db.path == str(path)
+        assert isinstance(path, Path)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="PlanRegistry, TrialDB, or"):
+            Campaign(SPEC, 42)
 
 
 class TestSweep:

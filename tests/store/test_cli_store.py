@@ -50,6 +50,26 @@ class TestStoreTune:
         out = capsys.readouterr().out
         assert "1 done, 1 pending" in out
 
+    def test_jobs_runs_cells_in_parallel_workers(self, db_path, tmp_path, capsys):
+        args = tune_args(db_path, "--jobs", "2", "--machine", "amd")
+        args[args.index("--max-level") + 1] = "3"
+        args += ["--max-level", "4"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 done, 0 pending" in out
+        # The parallel run stores exactly what a serial run would.
+        serial_db = str(tmp_path / "serial.sqlite")
+        serial_args = tune_args(serial_db, "--machine", "amd")
+        serial_args[serial_args.index("--max-level") + 1] = "3"
+        serial_args += ["--max-level", "4"]
+        assert main(serial_args) == 0
+        from repro.store.registry import PlanRegistry
+
+        parallel_contents = PlanRegistry(TrialDB(db_path)).contents()
+        serial_contents = PlanRegistry(TrialDB(serial_db)).contents()
+        assert parallel_contents == serial_contents
+        assert len(parallel_contents) == 4
+
 
 class TestStoreLsExportGc:
     def test_ls_empty_and_populated(self, db_path, capsys):

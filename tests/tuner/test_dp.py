@@ -5,7 +5,7 @@ import pytest
 from repro.accuracy.judge import AccuracyJudge
 from repro.accuracy.reference import ReferenceSolutionCache
 from repro.machines.presets import INTEL_HARPERTOWN, SUN_NIAGARA
-from repro.tuner.choices import DirectChoice, RecurseChoice, SORChoice
+from repro.tuner.choices import DirectChoice, SORChoice
 from repro.tuner.dp import VCycleTuner
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.timing import CostModelTiming

@@ -7,7 +7,7 @@ from repro.linalg.direct import DirectSolver
 from repro.machines.meter import OpMeter
 from repro.relax.sor import sor_redblack
 from repro.relax.weights import omega_opt
-from repro.tuner.choices import DirectChoice, RecurseChoice, SORChoice
+from repro.tuner.choices import DirectChoice, SORChoice
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.plan import TunedVPlan
 from repro.tuner.trace import Trace

@@ -9,7 +9,6 @@ from repro.tuner.choices import DirectChoice, EstimateChoice
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.full_mg import FullMGTuner
 from repro.tuner.timing import WallclockTiming
-from repro.tuner.training import TrainingData
 from repro.workloads.distributions import make_problem
 
 
