@@ -1,0 +1,158 @@
+"""Extension bench: per-operator kernel and tuning costs, cycle-shape diversity.
+
+Times the operator-layer kernels (apply / residual / red-black SOR sweep /
+direct solve) for each built-in operator family, runs an end-to-end DP
+tune per operator, and reports the tuned top-level cycle shapes — the
+scenario-diversity result: the anisotropic operator tunes to a different
+cycle shape than the isotropic Poisson one, on the same machine model and
+input distribution.
+
+Runnable standalone (CI's bench-smoke job uses ``--smoke``)::
+
+    python benchmarks/bench_operators.py --smoke --json out.json
+    python benchmarks/bench_operators.py --max-level 7 --repeats 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import autotune
+from repro.operators import make_operator
+from repro.store.sink import plan_cycle_shape
+from repro.util.validation import size_of_level
+
+OUT_DIR = Path(__file__).parent / "out"
+
+OPERATORS = ("poisson", "varcoeff", "anisotropic(epsilon=0.01)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--operators", nargs="+", default=list(OPERATORS), metavar="OP",
+        help="operator specs to benchmark",
+    )
+    parser.add_argument(
+        "--max-level", type=int, default=6,
+        help="tuning level and kernel grid level (smoke: 5)",
+    )
+    parser.add_argument("--repeats", type=int, default=10, help="kernel timing repeats")
+    parser.add_argument("--machine", default="amd")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--instances", type=int, default=2)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small level and few repeats (CI gate: runs + shape diversity)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help=f"write results as JSON (default: {OUT_DIR}/operators.json)",
+    )
+    return parser
+
+
+def _time_kernel(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def bench_kernels(name: str, n: int, repeats: int) -> dict:
+    """Median kernel times for one operator at grid size ``n``."""
+    op = make_operator(name, n)
+    rng = np.random.default_rng(0)
+    u = rng.normal(size=(n, n))
+    b = rng.normal(size=(n, n))
+    scratch = np.zeros_like(u)
+    x = np.zeros_like(u)
+    op.direct_solve(x.copy(), b)  # warm the factorization cache
+    return {
+        "apply_s": _time_kernel(lambda: op.apply(u, out=scratch), repeats),
+        "residual_s": _time_kernel(lambda: op.residual(u, b, out=scratch), repeats),
+        "sor_sweep_s": _time_kernel(lambda: op.sor_sweeps(x, b, 1.15, 1), repeats),
+        "direct_solve_s": _time_kernel(lambda: op.direct_solve(x, b), repeats),
+    }
+
+
+def bench_tuning(name: str, args: argparse.Namespace, level: int) -> dict:
+    start = time.perf_counter()
+    plan = autotune(
+        max_level=level,
+        machine=args.machine,
+        distribution="unbiased",
+        instances=args.instances,
+        seed=args.seed,
+        operator=name,
+    )
+    wall = time.perf_counter() - start
+    return {"tune_wall_s": wall, "cycle_shape": plan_cycle_shape(plan)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    level = 5 if args.smoke else args.max_level
+    repeats = 3 if args.smoke else args.repeats
+    n = size_of_level(level)
+
+    print(
+        f"operator bench: {len(args.operators)} operators, level {level} "
+        f"(n={n}), machine={args.machine}"
+    )
+    results = []
+    for name in args.operators:
+        kernels = bench_kernels(name, n, repeats)
+        tuning = bench_tuning(name, args, level)
+        results.append({"operator": name, "kernels": kernels, **tuning})
+        print(
+            f"  {name:<28} sor={kernels['sor_sweep_s'] * 1e6:8.1f}us  "
+            f"residual={kernels['residual_s'] * 1e6:8.1f}us  "
+            f"tune={tuning['tune_wall_s']:6.2f}s"
+        )
+        print(f"  {'':<28} shape: {tuning['cycle_shape']}")
+
+    shapes = {r["operator"]: r["cycle_shape"] for r in results}
+    distinct = len(set(shapes.values()))
+    print(f"distinct tuned cycle shapes: {distinct}/{len(results)}")
+
+    report = {
+        "level": level,
+        "n": n,
+        "machine": args.machine,
+        "seed": args.seed,
+        "instances": args.instances,
+        "smoke": args.smoke,
+        "results": results,
+        "distinct_cycle_shapes": distinct,
+    }
+    out_path = Path(args.json) if args.json else OUT_DIR / "operators.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    # Gate: with the default operator list, anisotropic strong coupling
+    # must tune to a different cycle shape than isotropic Poisson.
+    failures = []
+    if "poisson" in shapes:
+        for name, shape in shapes.items():
+            if name.startswith("anisotropic") and shape == shapes["poisson"]:
+                failures.append(
+                    f"{name} tuned to the same cycle shape as poisson: {shape}"
+                )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The pluggable operator layer, end to end.
+
+Run:  python examples/variable_coefficient.py
+
+What it does:
+1. builds variable-coefficient diffusion and anisotropic Poisson
+   operators next to the classic constant-coefficient one, and shows
+   their stencils acting on the same problem data,
+2. autotunes a plan per operator on the same machine model and compares
+   the tuned cycle shapes — the paper's "best cycle depends on the
+   problem" result extended across problem *families*,
+3. runs a registry-backed campaign over the operator axis, so every
+   family gets its own stored plan (`repro-mg store tune --operator ...`
+   is the CLI spelling of the same sweep).
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import autotune, poisson_problem, solve
+from repro.grids.norms import residual_norm
+from repro.operators import make_operator
+from repro.store import Campaign, CampaignSpec, TrialDB
+from repro.store.sink import plan_cycle_shape
+
+MAX_LEVEL = 5  # N = 33; raise for bigger runs
+OPERATORS = ("poisson", "varcoeff", "anisotropic(epsilon=0.01)")
+
+
+def main() -> None:
+    n = 2**MAX_LEVEL + 1
+
+    print("1) one problem, three operators:")
+    problem = poisson_problem("unbiased", n=n, seed=7)
+    for name in OPERATORS:
+        op = make_operator(name, n)
+        x = problem.initial_guess()
+        r0 = residual_norm(op.residual(x, problem.b))
+        op.sor_sweeps(x, problem.b, 1.15, 5)
+        r5 = residual_norm(op.residual(x, problem.b))
+        print(f"   {name:<28} 5 SOR sweeps: residual {r0:.2e} -> {r5:.2e}")
+
+    print("\n2) the tuned cycle shape depends on the operator:")
+    for name in OPERATORS:
+        plan = autotune(
+            max_level=MAX_LEVEL, machine="amd", instances=2, seed=0, operator=name
+        )
+        prob = poisson_problem("unbiased", n=n, seed=7, operator=name)
+        x, _ = solve(plan, prob, 1e5)
+        op = make_operator(name, n)
+        print(f"   {name:<28} {plan_cycle_shape(plan)}")
+        print(
+            f"   {'':<28} solved to residual "
+            f"{residual_norm(op.residual(x, prob.b)):.2e}"
+        )
+
+    print("\n3) campaign over the operator axis (one registry entry each):")
+    with tempfile.TemporaryDirectory() as tmp:
+        spec = CampaignSpec(
+            name="operator-demo",
+            machines=("amd",),
+            distributions=("unbiased",),
+            levels=(MAX_LEVEL,),
+            operators=OPERATORS,
+            instances=2,
+        )
+        campaign = Campaign(spec, TrialDB(Path(tmp) / "ops.sqlite"))
+        campaign.run()
+        print(campaign.run_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,8 @@ The package builds every system the paper relies on, in Python:
   :mod:`repro.relax`, :mod:`repro.multigrid`);
 * the accuracy metric and training machinery (:mod:`repro.accuracy`,
   :mod:`repro.workloads`);
+* pluggable problem operators — constant/variable-coefficient and
+  anisotropic stencils behind one protocol (:mod:`repro.operators`);
 * the paper's contribution — the accuracy-aware DP autotuner
   (:mod:`repro.tuner`), with cycle-shape rendering (:mod:`repro.cycles`);
 * machine cost models and a work-stealing runtime (:mod:`repro.machines`,

@@ -166,6 +166,17 @@ def build_store_parser() -> argparse.ArgumentParser:
         metavar="L",
         help="finest grid level (repeatable; default: 5)",
     )
+    from repro.operators import operator_families
+
+    tune.add_argument(
+        "--operator",
+        action="append",
+        dest="operators",
+        metavar="OP",
+        help="operator spec (repeatable; default: poisson; families: "
+        f"{', '.join(sorted(operator_families()))}; "
+        "e.g. anisotropic(epsilon=0.01))",
+    )
     tune.add_argument(
         "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
     )
@@ -209,6 +220,7 @@ def _store_main(argv: list[str]) -> int:
             machines=tuple(args.machines or ("intel", "amd", "sun")),
             distributions=tuple(args.distributions or ("unbiased",)),
             levels=tuple(args.levels or (5,)),
+            operators=tuple(args.operators or ("poisson",)),
             kind=args.kind,
             seed=args.seed,
             instances=args.instances,
@@ -220,7 +232,7 @@ def _store_main(argv: list[str]) -> int:
             jobs=args.jobs,
             on_cell=lambda cell: print(
                 f"  {cell.machine:>16}  {cell.distribution:<9} "
-                f"L{cell.max_level}  {cell.source:<7} "
+                f"{cell.operator:<12} L{cell.max_level}  {cell.source:<7} "
                 f"cost={cell.simulated_cost:.3e}  wall={cell.wall_seconds:.2f}s"
             ),
         )

@@ -20,6 +20,7 @@ from repro.machines.meter import OpMeter
 from repro.machines.presets import get_preset
 from repro.machines.profile import MachineProfile
 from repro.multigrid.solver import ReferenceFullMGSolver, ReferenceVSolver, SORSolver
+from repro.operators.spec import OperatorSpec, parse_operator, shared_operator
 from repro.tuner.dp import VCycleTuner
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.full_mg import FullMGTuner
@@ -99,10 +100,18 @@ def _resolve_registry(store: object) -> "PlanRegistry":
 
 
 def poisson_problem(
-    distribution: str = "unbiased", n: int = 33, seed: int | None = 0
+    distribution: str = "unbiased",
+    n: int = 33,
+    seed: int | None = 0,
+    operator: OperatorSpec | str | None = None,
 ) -> PoissonProblem:
-    """A deterministic problem instance from a named distribution."""
-    return make_problem(distribution, n, seed)
+    """A deterministic problem instance from a named distribution.
+
+    ``operator`` picks the discrete operator family (default: the
+    constant-coefficient Poisson stencil; also ``"varcoeff"``,
+    ``"anisotropic"``, or any canonical spec string).
+    """
+    return make_problem(distribution, n, seed, operator=operator)
 
 
 def autotune(
@@ -113,15 +122,18 @@ def autotune(
     instances: int = 3,
     seed: int | None = 0,
     jobs: int | None = None,
+    operator: OperatorSpec | str | None = None,
 ) -> TunedVPlan:
-    """Tune the MULTIGRID-V_i family for a machine and input distribution.
+    """Tune the MULTIGRID-V_i family for a machine, distribution and operator.
 
     ``jobs`` > 1 evaluates candidate trials on a process pool
     (:mod:`repro.parallel`); trial tasks are deterministically seeded,
     so the tuned plan is identical to a serial (``jobs=1``) tune.
     """
     profile = get_preset(machine) if isinstance(machine, str) else machine
-    training = TrainingData(distribution=distribution, instances=instances, seed=seed)
+    training = TrainingData(
+        distribution=distribution, instances=instances, seed=seed, operator=operator
+    )
     with _trial_executor(jobs) as executor:
         tuner = VCycleTuner(
             max_level=max_level,
@@ -142,10 +154,17 @@ def autotune_full_mg(
     seed: int | None = 0,
     vplan: TunedVPlan | None = None,
     jobs: int | None = None,
+    operator: OperatorSpec | str | None = None,
 ) -> TunedFullMGPlan:
-    """Tune FULL-MULTIGRID_i (tuning the V family first if not supplied)."""
+    """Tune FULL-MULTIGRID_i (tuning the V family first if not supplied).
+
+    A caller-supplied ``vplan`` must have been tuned for the same
+    ``operator`` (the tuner validates and raises on mismatch).
+    """
     profile = get_preset(machine) if isinstance(machine, str) else machine
-    training = TrainingData(distribution=distribution, instances=instances, seed=seed)
+    training = TrainingData(
+        distribution=distribution, instances=instances, seed=seed, operator=operator
+    )
     with _trial_executor(jobs) as executor:
         if vplan is None:
             vplan = VCycleTuner(
@@ -171,18 +190,29 @@ def solve(
 ) -> tuple[np.ndarray, OpMeter]:
     """Solve ``problem`` to ``target_accuracy`` with a tuned plan.
 
-    Returns the solution grid and the op meter of the run (price it with
-    any :class:`MachineProfile` for a simulated time).
+    The plan executes against the problem's operator, and must have been
+    tuned for it: trained iteration counts carry no accuracy promise on
+    a different operator, so a mismatch raises instead of silently
+    returning an inaccurate grid.  (Plans from before the operator layer
+    carry no operator metadata and count as Poisson-tuned.)  Returns the
+    solution grid and the op meter of the run (price it with any
+    :class:`MachineProfile` for a simulated time).
     """
     level = problem.level
     if level > plan.max_level:
         raise ValueError(
             f"plan tuned to level {plan.max_level}; problem is level {level}"
         )
+    plan_operator = plan.metadata.get("operator", "poisson")
+    if plan_operator != problem.operator.canonical():
+        raise ValueError(
+            f"plan was tuned for operator {plan_operator!r}; problem uses "
+            f"{problem.operator.canonical()!r}"
+        )
     acc_index = plan.accuracy_index(target_accuracy)
     x = problem.initial_guess()
     meter = OpMeter()
-    executor = PlanExecutor()
+    executor = PlanExecutor(operator=problem.operator)
     if isinstance(plan, TunedFullMGPlan):
         executor.run_full_mg(plan, x, problem.b, acc_index, meter)
     else:
@@ -203,10 +233,11 @@ def solve_reference(
     x = problem.initial_guess()
     judge = AccuracyJudge(x, x_opt)
     meter = OpMeter()
+    op = shared_operator(problem.operator, problem.n)
     solver = {
-        "v": ReferenceVSolver(),
-        "full-mg": ReferenceFullMGSolver(),
-        "sor": SORSolver(),
+        "v": ReferenceVSolver(operator=op),
+        "full-mg": ReferenceFullMGSolver(operator=op),
+        "sor": SORSolver(operator=op),
     }[method]
     iters = solver.solve(x, problem.b, judge.accuracy_of, target_accuracy, meter)
     return x, meter, iters
@@ -223,6 +254,7 @@ def autotune_cached(
     store: object = None,
     allow_nearest: bool = True,
     jobs: int | None = None,
+    operator: OperatorSpec | str | None = None,
 ) -> TunedVPlan | TunedFullMGPlan:
     """:func:`autotune` through the persistent plan registry.
 
@@ -230,8 +262,9 @@ def autotune_cached(
     tuner; otherwise the nearest known machine's plan serves (when
     ``allow_nearest``), and only a genuinely cold key pays for a DP
     pass — across ``jobs`` worker processes when ``jobs`` > 1, with a
-    plan identical to the serial tune.  ``store`` is a
-    :class:`~repro.store.registry.PlanRegistry`,
+    plan identical to the serial tune.  ``operator`` is part of the
+    tuning key, so each problem family gets its own registry entries.
+    ``store`` is a :class:`~repro.store.registry.PlanRegistry`,
     :class:`~repro.store.trialdb.TrialDB`, or database path; default is
     :func:`default_registry`.
     """
@@ -246,6 +279,7 @@ def autotune_cached(
         accuracies=tuple(accuracies),
         seed=seed,
         instances=instances,
+        operator=parse_operator(operator).canonical(),
     )
     return registry.get_or_tune(
         profile, key, allow_nearest=allow_nearest, jobs=jobs
@@ -265,8 +299,8 @@ def solve_service(
 ) -> tuple[np.ndarray, OpMeter, "RegistryHit"]:
     """Solve like a long-running service: plans come from the registry.
 
-    The tuning key is derived from the problem (its level, and its
-    distribution label unless ``distribution`` overrides it); repeated
+    The tuning key is derived from the problem (its level, its operator,
+    and its distribution label unless ``distribution`` overrides it); repeated
     calls for the same workload class are registry hits that skip the
     tuner entirely.  A cold key tunes across ``jobs`` worker processes
     when ``jobs`` > 1 (identical plan, lower latency).  Returns
@@ -290,6 +324,7 @@ def solve_service(
         max_level=problem.level,
         seed=seed,
         instances=instances,
+        operator=problem.operator.canonical(),
     )
     hit = registry.get_or_tune(profile, key, jobs=jobs)
     x, meter = solve(hit.plan, problem, target_accuracy)

@@ -11,6 +11,7 @@ __all__ = [
     "coarsen_size",
     "interior",
     "mesh_width",
+    "prepare_out",
     "refine_size",
     "zero_boundary",
 ]
@@ -56,3 +57,21 @@ def zero_boundary(a: np.ndarray) -> np.ndarray:
     a[:, 0] = 0.0
     a[:, -1] = 0.0
     return a
+
+
+def prepare_out(
+    out: np.ndarray | None,
+    shape: tuple[int, ...],
+    dtype: np.dtype | type = np.float64,
+    name: str = "u",
+) -> np.ndarray:
+    """Shared prologue of the ``out``-parameter grid kernels.
+
+    Allocates a zeroed grid when ``out`` is None; otherwise validates the
+    shape and zeroes the boundary ring (kernels only write the interior).
+    """
+    if out is None:
+        return np.zeros(shape, dtype=dtype)
+    if out.shape != shape:
+        raise ValueError(f"out shape {out.shape} != {name} shape {shape}")
+    return zero_boundary(out)

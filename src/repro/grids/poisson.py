@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.grids.grid import mesh_width
+from repro.grids.grid import mesh_width, prepare_out
 from repro.util.validation import check_square_grid
 
 __all__ = ["apply_poisson", "residual", "rhs_scale"]
@@ -29,15 +29,7 @@ def apply_poisson(u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     check_square_grid(u, "u")
     n = u.shape[0]
     inv_h2 = rhs_scale(n)
-    if out is None:
-        out = np.zeros_like(u)
-    else:
-        if out.shape != u.shape:
-            raise ValueError(f"out shape {out.shape} != u shape {u.shape}")
-        out[0, :] = 0.0
-        out[-1, :] = 0.0
-        out[:, 0] = 0.0
-        out[:, -1] = 0.0
+    out = prepare_out(out, u.shape, u.dtype, "u")
     c = u[1:-1, 1:-1]
     # 4u - (up + down + left + right), scaled by 1/h^2.
     acc = out[1:-1, 1:-1]
@@ -61,15 +53,7 @@ def residual(u: np.ndarray, b: np.ndarray, out: np.ndarray | None = None) -> np.
         raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
     n = u.shape[0]
     inv_h2 = rhs_scale(n)
-    if out is None:
-        out = np.zeros_like(u)
-    else:
-        if out.shape != u.shape:
-            raise ValueError(f"out shape {out.shape} != u shape {u.shape}")
-        out[0, :] = 0.0
-        out[-1, :] = 0.0
-        out[:, 0] = 0.0
-        out[:, -1] = 0.0
+    out = prepare_out(out, u.shape, u.dtype, "u")
     c = u[1:-1, 1:-1]
     acc = out[1:-1, 1:-1]
     # acc = b - (4u - neighbors)/h^2, computed without temporaries beyond one.

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.grids.grid import coarsen_size
+from repro.grids.grid import coarsen_size, prepare_out
 from repro.util.validation import check_square_grid, level_of_size
 
 __all__ = [
@@ -35,15 +35,7 @@ def restrict_full_weighting(fine: np.ndarray, out: np.ndarray | None = None) -> 
     """
     check_square_grid(fine, "fine")
     nc = coarsen_size(fine.shape[0])
-    if out is None:
-        out = np.zeros((nc, nc), dtype=fine.dtype)
-    else:
-        if out.shape != (nc, nc):
-            raise ValueError(f"out shape {out.shape} != ({nc}, {nc})")
-        out[0, :] = 0.0
-        out[-1, :] = 0.0
-        out[:, 0] = 0.0
-        out[:, -1] = 0.0
+    out = prepare_out(out, (nc, nc), fine.dtype, "coarse")
     c = fine[2:-2:2, 2:-2:2]
     n_ = fine[1:-3:2, 2:-2:2]
     s_ = fine[3:-1:2, 2:-2:2]

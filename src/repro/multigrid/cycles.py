@@ -3,17 +3,28 @@
 All cycles operate in correction form below the top level: the coarse
 problem is A_c e = r_c with zero boundary and zero initial guess, so
 transfers of corrections never touch Dirichlet data.
+
+Every cycle takes an optional ``operator`` — any
+:class:`~repro.operators.base.StencilOperator` bound to the input's
+grid size; coarse levels rediscretize via ``operator.coarsen()``.  The
+default is the shared constant-coefficient Poisson operator, whose
+methods delegate to the original kernels, so the default path is
+byte-identical to the historical Poisson-only implementation.
+
+The ``direct=`` solver applies only to the Poisson operator (it encodes
+the constant stencil); generic operators own their banded-Cholesky
+factorizations and ignore it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.grids.poisson import residual
 from repro.grids.transfer import interpolate_correction, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
 from repro.machines.meter import NULL_METER, OpMeter
-from repro.relax.sor import sor_redblack
+from repro.operators.base import StencilOperator
+from repro.operators.poisson import const_poisson
 from repro.relax.weights import OMEGA_RECURSE
 from repro.util.validation import check_square_grid
 
@@ -22,10 +33,21 @@ __all__ = ["full_multigrid_cycle", "vcycle", "wcycle"]
 _DEFAULT_DIRECT = DirectSolver(backend="block", cache_factorization=True)
 
 
+def _resolve_operator(
+    operator: StencilOperator | None, n: int
+) -> StencilOperator:
+    if operator is None:
+        return const_poisson(n)
+    if operator.n != n:
+        raise ValueError(f"operator bound to n={operator.n}, input grid is {n}")
+    return operator
+
+
 def _coarse_correction(
     u: np.ndarray,
     b: np.ndarray,
     *,
+    op: StencilOperator,
     recursions: int,
     pre_sweeps: int,
     post_sweeps: int,
@@ -37,21 +59,23 @@ def _coarse_correction(
     """Shared body of the V and W cycles (`recursions` = 1 or 2)."""
     n = u.shape[0]
     if n <= base_size:
-        direct.solve(u, b)
+        op.direct_solve(u, b, solver=direct)
         meter.charge("direct", n)
         return
     if pre_sweeps:
-        sor_redblack(u, b, omega, pre_sweeps)
+        op.sor_sweeps(u, b, omega, pre_sweeps)
         meter.charge("relax", n, pre_sweeps)
-    r = residual(u, b)
+    r = op.residual(u, b)
     meter.charge("residual", n)
     rc = restrict_full_weighting(r)
     meter.charge("restrict", n)
     ec = np.zeros_like(rc)
+    coarse = op.coarsen()
     for _ in range(recursions):
         _coarse_correction(
             ec,
             rc,
+            op=coarse,
             recursions=recursions,
             pre_sweeps=pre_sweeps,
             post_sweeps=post_sweeps,
@@ -63,7 +87,7 @@ def _coarse_correction(
     interpolate_correction(u, ec)
     meter.charge("interpolate", n)
     if post_sweeps:
-        sor_redblack(u, b, omega, post_sweeps)
+        op.sor_sweeps(u, b, omega, post_sweeps)
         meter.charge("relax", n, post_sweeps)
 
 
@@ -77,6 +101,7 @@ def vcycle(
     base_size: int = 3,
     direct: DirectSolver | None = None,
     meter: OpMeter = NULL_METER,
+    operator: StencilOperator | None = None,
 ) -> np.ndarray:
     """One MULTIGRID-V-SIMPLE cycle on ``u`` in place.
 
@@ -88,6 +113,7 @@ def vcycle(
     _coarse_correction(
         u,
         b,
+        op=_resolve_operator(operator, u.shape[0]),
         recursions=1,
         pre_sweeps=pre_sweeps,
         post_sweeps=post_sweeps,
@@ -109,12 +135,14 @@ def wcycle(
     base_size: int = 3,
     direct: DirectSolver | None = None,
     meter: OpMeter = NULL_METER,
+    operator: StencilOperator | None = None,
 ) -> np.ndarray:
     """One W cycle (two coarse-grid corrections per level) on ``u`` in place."""
     check_square_grid(u, "u")
     _coarse_correction(
         u,
         b,
+        op=_resolve_operator(operator, u.shape[0]),
         recursions=2,
         pre_sweeps=pre_sweeps,
         post_sweeps=post_sweeps,
@@ -136,6 +164,7 @@ def full_multigrid_cycle(
     base_size: int = 3,
     direct: DirectSolver | None = None,
     meter: OpMeter = NULL_METER,
+    operator: StencilOperator | None = None,
 ) -> np.ndarray:
     """One standard full multigrid cycle (Figure 3) on ``u`` in place.
 
@@ -145,12 +174,13 @@ def full_multigrid_cycle(
     """
     check_square_grid(u, "u")
     direct = direct or _DEFAULT_DIRECT
+    op = _resolve_operator(operator, u.shape[0])
     n = u.shape[0]
     if n <= base_size:
-        direct.solve(u, b)
+        op.direct_solve(u, b, solver=direct)
         meter.charge("direct", n)
         return u
-    r = residual(u, b)
+    r = op.residual(u, b)
     meter.charge("residual", n)
     rc = restrict_full_weighting(r)
     meter.charge("restrict", n)
@@ -164,6 +194,7 @@ def full_multigrid_cycle(
         base_size=base_size,
         direct=direct,
         meter=meter,
+        operator=op.coarsen(),
     )
     interpolate_correction(u, ec)
     meter.charge("interpolate", n)
@@ -176,5 +207,6 @@ def full_multigrid_cycle(
         base_size=base_size,
         direct=direct,
         meter=meter,
+        operator=op,
     )
     return u

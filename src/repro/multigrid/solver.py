@@ -17,8 +17,9 @@ import numpy as np
 from repro.linalg.direct import DirectSolver
 from repro.machines.meter import NULL_METER, OpMeter
 from repro.multigrid.cycles import full_multigrid_cycle, vcycle
-from repro.relax.sor import sor_redblack
-from repro.relax.weights import OMEGA_RECURSE, omega_opt
+from repro.operators.base import StencilOperator
+from repro.operators.poisson import const_poisson
+from repro.relax.weights import OMEGA_RECURSE
 
 __all__ = [
     "IterationLimit",
@@ -70,13 +71,16 @@ class SORSolver(_IterativeSolverBase):
     """Iterated red-black SOR with the size-optimal weight (Figure 6's "SOR").
 
     ``omega`` of None means: use omega_opt for the grid size at solve time.
+    ``operator`` of None means the constant-coefficient Poisson default.
     """
 
     omega: float | None = None
+    operator: StencilOperator | None = None
 
     def _step(self, x: np.ndarray, b: np.ndarray, meter: OpMeter) -> None:
-        w = self.omega if self.omega is not None else omega_opt(x.shape[0])
-        sor_redblack(x, b, w, 1)
+        op = self.operator if self.operator is not None else const_poisson(x.shape[0])
+        w = self.omega if self.omega is not None else op.omega_opt()
+        op.sor_sweeps(x, b, w, 1)
         meter.charge("relax", x.shape[0])
 
 
@@ -89,6 +93,7 @@ class ReferenceVSolver(_IterativeSolverBase):
     omega: float = OMEGA_RECURSE
     base_size: int = 3
     direct: DirectSolver | None = None
+    operator: StencilOperator | None = None
 
     def _step(self, x: np.ndarray, b: np.ndarray, meter: OpMeter) -> None:
         vcycle(
@@ -100,6 +105,7 @@ class ReferenceVSolver(_IterativeSolverBase):
             base_size=self.base_size,
             direct=self.direct,
             meter=meter,
+            operator=self.operator,
         )
 
 
@@ -116,6 +122,7 @@ class ReferenceFullMGSolver(_IterativeSolverBase):
     omega: float = OMEGA_RECURSE
     base_size: int = 3
     direct: DirectSolver | None = None
+    operator: StencilOperator | None = None
 
     def solve(
         self,
@@ -136,6 +143,7 @@ class ReferenceFullMGSolver(_IterativeSolverBase):
             base_size=self.base_size,
             direct=self.direct,
             meter=meter,
+            operator=self.operator,
         )
         if accuracy_of(x) >= target:
             return 1
@@ -158,4 +166,5 @@ class ReferenceFullMGSolver(_IterativeSolverBase):
             base_size=self.base_size,
             direct=self.direct,
             meter=meter,
+            operator=self.operator,
         )

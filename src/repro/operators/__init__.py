@@ -1,0 +1,62 @@
+"""Pluggable problem operators for the solver/tuner stack.
+
+The stack was born speaking one language — the constant-coefficient 2D
+Poisson 5-point stencil.  This package makes the operator a first-class
+axis: an :class:`OperatorSpec` identifies a problem family (tuning keys,
+campaign grids, and parallel trial tasks carry its canonical string),
+and a :class:`StencilOperator` is the level-bound kernel bundle the
+solvers and tuners actually call.  Three families ship built-in:
+
+* ``poisson`` — the legacy default, delegating to the original kernels
+  (byte-identical results and tuned plans);
+* ``varcoeff`` — variable-coefficient diffusion -div(c(x,y) grad u)
+  with named analytic coefficient fields;
+* ``anisotropic`` — -(eps u_xx + u_yy), the classic case where the
+  best cycle shape changes.
+
+Known limitation: the machine cost model prices primitive ops
+(``relax``, ``residual``, ...) by grid size only — a variable-weight
+stencil sweep is charged like the constant-coefficient one (measured
+~1.3x cheaper), so simulated costs compare candidates *within* an
+operator family faithfully but understate absolute cost for non-default
+operators.  Per-operator op shapes are a natural follow-up.
+"""
+
+from repro.operators.spec import (
+    POISSON,
+    OperatorFamily,
+    OperatorSpec,
+    get_family,
+    make_operator,
+    operator_families,
+    operator_spec,
+    parse_operator,
+    register_family,
+    shared_operator,
+)
+from repro.operators.base import FivePointOperator, StencilOperator
+from repro.operators.coefficients import COEFF_FIELDS, coefficient_field
+from repro.operators.poisson import ConstCoeffPoisson, const_poisson
+from repro.operators.varcoeff import VariableCoefficientDiffusion
+from repro.operators.anisotropic import AnisotropicPoisson
+
+__all__ = [
+    "COEFF_FIELDS",
+    "POISSON",
+    "AnisotropicPoisson",
+    "ConstCoeffPoisson",
+    "FivePointOperator",
+    "OperatorFamily",
+    "OperatorSpec",
+    "StencilOperator",
+    "VariableCoefficientDiffusion",
+    "coefficient_field",
+    "const_poisson",
+    "get_family",
+    "make_operator",
+    "operator_families",
+    "operator_spec",
+    "parse_operator",
+    "register_family",
+    "shared_operator",
+]

@@ -1,0 +1,46 @@
+"""Anisotropic Poisson: A u = -(eps u_xx + u_yy), 0 < eps <= 1.
+
+The textbook hard case for point smoothers: as eps shrinks, errors that
+are smooth in y but oscillatory in x are barely damped by red-black
+relaxation, so the optimal multigrid cycle invests differently than for
+the isotropic operator — exactly the problem-dependence the autotuner
+exists to exploit.  x runs along grid columns, y along rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.poisson import rhs_scale
+from repro.operators.base import FivePointOperator
+from repro.operators.spec import OperatorFamily, OperatorSpec, register_family
+
+__all__ = ["AnisotropicPoisson"]
+
+
+class AnisotropicPoisson(FivePointOperator):
+    """eps-scaled 5-point stencil (constant weights, stored densely so the
+    shared variable-weight kernels apply unchanged)."""
+
+    def __init__(self, spec: OperatorSpec, n: int, epsilon: float = 0.1) -> None:
+        if not 0.0 < epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], not {epsilon!r}")
+        inv_h2 = rhs_scale(n)
+        shape = (n, n)
+        north = np.full(shape, inv_h2)
+        south = np.full(shape, inv_h2)
+        west = np.full(shape, epsilon * inv_h2)
+        east = np.full(shape, epsilon * inv_h2)
+        diag = np.full(shape, 2.0 * (1.0 + epsilon) * inv_h2)
+        super().__init__(spec, n, north, south, west, east, diag)
+        self.epsilon = float(epsilon)
+
+
+register_family(
+    OperatorFamily(
+        name="anisotropic",
+        builder=AnisotropicPoisson,
+        defaults=(("epsilon", 0.1),),
+        description="anisotropic Poisson -(eps u_xx + u_yy)",
+    )
+)

@@ -1,0 +1,88 @@
+"""Named coefficient-field distributions for variable-coefficient operators.
+
+Each field is an *analytic* function c(x, y) > 0 on the unit square,
+evaluated on the vertex grid of any level — so rediscretizing on a
+coarser grid samples the same underlying field, which is what makes
+``coarsen()`` by rediscretization consistent across the hierarchy.  The
+"random" family draws a fixed number of Fourier modes from a seeded
+generator before evaluation, so it is equally deterministic in ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_grid_size
+
+__all__ = ["COEFF_FIELDS", "coefficient_field"]
+
+
+def _coords(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """(X, Y) vertex coordinates: x along columns, y along rows."""
+    t = np.linspace(0.0, 1.0, n)
+    return t[None, :], t[:, None]
+
+
+def _constant(n: int, amplitude: float, kx: int, ky: int, seed: int) -> np.ndarray:
+    return np.ones((n, n), dtype=np.float64)
+
+
+def _waves(n: int, amplitude: float, kx: int, ky: int, seed: int) -> np.ndarray:
+    """c = exp(a sin(2 pi kx x) sin(2 pi ky y)) — smooth, contrast e^{2a}."""
+    x, y = _coords(n)
+    return np.exp(amplitude * np.sin(2.0 * np.pi * kx * x) * np.sin(2.0 * np.pi * ky * y))
+
+
+def _bump(n: int, amplitude: float, kx: int, ky: int, seed: int) -> np.ndarray:
+    """c = 1 + a gaussian bump centered on the domain (width 0.15)."""
+    x, y = _coords(n)
+    r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2
+    return 1.0 + amplitude * np.exp(-r2 / (2.0 * 0.15**2))
+
+
+_RANDOM_MODES = 3
+
+
+def _random(n: int, amplitude: float, kx: int, ky: int, seed: int) -> np.ndarray:
+    """c = exp(sum a_pq sin(pi p x) sin(pi q y)) with seeded a_pq.
+
+    The 3x3 mode coefficients are drawn before any grid evaluation, so
+    every grid size sees the same field.
+    """
+    rng = np.random.default_rng(seed)
+    coeffs = rng.normal(size=(_RANDOM_MODES, _RANDOM_MODES))
+    x, y = _coords(n)
+    acc = np.zeros((n, n), dtype=np.float64)
+    for p in range(1, _RANDOM_MODES + 1):
+        for q in range(1, _RANDOM_MODES + 1):
+            acc += (
+                coeffs[p - 1, q - 1]
+                / (p + q)
+                * np.sin(np.pi * p * x)
+                * np.sin(np.pi * q * y)
+            )
+    return np.exp(amplitude * acc)
+
+
+COEFF_FIELDS = {
+    "constant": _constant,
+    "waves": _waves,
+    "bump": _bump,
+    "random": _random,
+}
+
+
+def coefficient_field(
+    name: str, n: int, amplitude: float = 1.0, kx: int = 2, ky: int = 2, seed: int = 0
+) -> np.ndarray:
+    """Evaluate a named coefficient field on the (n, n) vertex grid."""
+    check_grid_size(n)
+    builder = COEFF_FIELDS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown coefficient field {name!r}; have {sorted(COEFF_FIELDS)}"
+        )
+    c = builder(n, float(amplitude), int(kx), int(ky), int(seed))
+    if not np.all(c > 0.0):
+        raise ValueError(f"coefficient field {name!r} is not strictly positive")
+    return c

@@ -1,0 +1,102 @@
+"""The constant-coefficient Poisson family: the legacy default operator.
+
+Every method delegates to the original hand-vectorized kernels
+(:mod:`repro.grids.poisson`, :mod:`repro.relax.sor`,
+:mod:`repro.relax.jacobi`, :mod:`repro.linalg.direct`), so code routed
+through the operator layer executes exactly the same floating-point
+operations in exactly the same order as the pre-operator-layer code —
+results, tuned plans, and stored plan JSON stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.grids.poisson import apply_poisson, residual as poisson_residual, rhs_scale
+from repro.operators.base import StencilOperator
+from repro.operators.spec import OperatorFamily, OperatorSpec, register_family
+from repro.relax.jacobi import jacobi_sweeps
+from repro.relax.sor import sor_redblack
+
+__all__ = ["ConstCoeffPoisson", "const_poisson"]
+
+
+class ConstCoeffPoisson(StencilOperator):
+    """-laplacian_h with the 4/h**2 diagonal (delegating implementation)."""
+
+    def __init__(self, spec: OperatorSpec, n: int) -> None:
+        super().__init__(spec, n)
+        self._default_direct: Any = None
+        self._diag: np.ndarray | None = None
+
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        self._check_size(u)
+        return apply_poisson(u, out)
+
+    def residual(
+        self, u: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        self._check_size(u)
+        return poisson_residual(u, b, out)
+
+    def sor_sweeps(
+        self, u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1
+    ) -> np.ndarray:
+        self._check_size(u)
+        return sor_redblack(u, b, omega, sweeps)
+
+    def jacobi_sweeps(
+        self, u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1
+    ) -> np.ndarray:
+        self._check_size(u)
+        return jacobi_sweeps(u, b, omega, sweeps)
+
+    def diagonal(self) -> np.ndarray:
+        if self._diag is None:
+            diag = np.full((self.n, self.n), 4.0 * rhs_scale(self.n))
+            diag.setflags(write=False)
+            self._diag = diag
+        return self._diag
+
+    def coarsen(self) -> "ConstCoeffPoisson":
+        # All Poisson instances are interchangeable per size; share the
+        # module cache so direct-solver factorizations are reused too.
+        from repro.grids.grid import coarsen_size
+
+        return const_poisson(coarsen_size(self.n))
+
+    def direct_solve(self, x: np.ndarray, b: np.ndarray, solver=None) -> np.ndarray:
+        self._check_size(x)
+        if solver is None:
+            if self._default_direct is None:
+                from repro.linalg.direct import DirectSolver
+
+                self._default_direct = DirectSolver(
+                    backend="block", cache_factorization=True
+                )
+            solver = self._default_direct
+        return solver.solve(x, b)
+
+
+_POISSON_FAMILY = register_family(
+    OperatorFamily(
+        name="poisson",
+        builder=lambda spec, n: ConstCoeffPoisson(spec, n),
+        defaults=(),
+        description="constant-coefficient 5-point Poisson (-laplacian)",
+    )
+)
+
+_CACHE: dict[int, ConstCoeffPoisson] = {}
+
+
+def const_poisson(n: int) -> ConstCoeffPoisson:
+    """Shared per-size default-Poisson instance (the hot default path)."""
+    op = _CACHE.get(n)
+    if op is None:
+        from repro.operators.spec import POISSON
+
+        op = _CACHE[n] = ConstCoeffPoisson(POISSON, n)
+    return op

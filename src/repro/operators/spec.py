@@ -1,0 +1,247 @@
+"""Operator specs: stable, picklable identities for problem operators.
+
+An :class:`OperatorSpec` names an operator *family* ("poisson",
+"varcoeff", "anisotropic") plus its non-default parameters.  Specs are
+the currency every layer above the kernels trades in: tuning keys,
+campaign cells, parallel trial tasks and plan metadata all carry the
+spec's canonical string, and the concrete level-bound
+:class:`~repro.operators.base.StencilOperator` is only instantiated
+where grids are touched.
+
+The canonical string grammar is ``family`` or ``family(k=v,k=v)`` with
+parameters sorted by name and defaults omitted, so two specs describe
+the same operator exactly when their canonical strings are equal.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable, Mapping, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.operators.base import StencilOperator
+
+__all__ = [
+    "POISSON",
+    "OperatorFamily",
+    "OperatorSpec",
+    "get_family",
+    "make_operator",
+    "operator_families",
+    "operator_spec",
+    "parse_operator",
+    "register_family",
+    "shared_operator",
+]
+
+Param = Union[int, float, str]
+
+
+def _fmt(value: Param) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _coerce(value: Param, default: Param, name: str) -> Param:
+    """Coerce ``value`` to the type of the family default for ``name``."""
+    try:
+        if isinstance(default, int) and not isinstance(default, bool):
+            as_float = float(value)
+            if not as_float.is_integer():
+                raise ValueError("not an integer")
+            return int(as_float)
+        if isinstance(default, float):
+            return float(value)
+        return str(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"operator param {name}={value!r} is not {type(default).__name__}-like"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """One operator family plus its (non-default) parameters.
+
+    Construct via :func:`operator_spec` / :func:`parse_operator`, which
+    validate against the family registry and normalize params (sorted,
+    defaults dropped) so equal operators compare and hash equal.
+    """
+
+    family: str = "poisson"
+    params: tuple[tuple[str, Param], ...] = ()
+
+    def param_dict(self) -> dict[str, Param]:
+        return dict(self.params)
+
+    def canonical(self) -> str:
+        """The stable text form (storage keys, CLI, plan metadata)."""
+        if not self.params:
+            return self.family
+        inner = ",".join(f"{k}={_fmt(v)}" for k, v in self.params)
+        return f"{self.family}({inner})"
+
+    def fingerprint(self) -> str:
+        """Stable identity of the operator (currently its canonical form)."""
+        return self.canonical()
+
+    @property
+    def is_default_poisson(self) -> bool:
+        """True for the constant-coefficient Poisson default (the legacy
+        operator every pre-operator-layer artifact implicitly meant)."""
+        return self.family == "poisson" and not self.params
+
+    def instantiate(self, n: int) -> "StencilOperator":
+        """The concrete operator bound to grid size ``n``."""
+        return get_family(self.family).build(self, n)
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+#: The default spec: constant-coefficient 5-point Poisson.
+POISSON = OperatorSpec("poisson", ())
+
+
+@dataclass(frozen=True)
+class OperatorFamily:
+    """Registered operator family: defaults plus a level-bound builder."""
+
+    name: str
+    builder: Callable[..., "StencilOperator"] = field(compare=False)
+    defaults: tuple[tuple[str, Param], ...] = ()
+    description: str = ""
+
+    def normalize(self, given: Mapping[str, Param]) -> tuple[tuple[str, Param], ...]:
+        defaults = dict(self.defaults)
+        unknown = sorted(set(given) - set(defaults))
+        if unknown:
+            raise ValueError(
+                f"unknown param(s) {unknown} for operator family {self.name!r}; "
+                f"have {sorted(defaults)}"
+            )
+        out: list[tuple[str, Param]] = []
+        for key in sorted(defaults):
+            if key not in given:
+                continue
+            value = _coerce(given[key], defaults[key], key)
+            if value != defaults[key]:
+                out.append((key, value))
+        return tuple(out)
+
+    def build(self, spec: OperatorSpec, n: int) -> "StencilOperator":
+        params = dict(self.defaults)
+        params.update(spec.params)
+        return self.builder(spec, n, **params)
+
+
+_FAMILIES: dict[str, OperatorFamily] = {}
+
+
+def register_family(family: OperatorFamily) -> OperatorFamily:
+    _FAMILIES[family.name] = family
+    return family
+
+
+def _ensure_builtin() -> None:
+    # Importing the implementation modules registers the built-in families
+    # as a side effect; deferred so spec.py carries no heavy dependencies.
+    import repro.operators.anisotropic  # noqa: F401
+    import repro.operators.poisson  # noqa: F401
+    import repro.operators.varcoeff  # noqa: F401
+
+
+def get_family(name: str) -> OperatorFamily:
+    _ensure_builtin()
+    family = _FAMILIES.get(name)
+    if family is None:
+        raise ValueError(
+            f"unknown operator family {name!r}; have {sorted(_FAMILIES)}"
+        )
+    return family
+
+
+def operator_families() -> dict[str, OperatorFamily]:
+    """Registered families by name (built-ins plus any user-registered)."""
+    _ensure_builtin()
+    return dict(_FAMILIES)
+
+
+def operator_spec(family: str, **params: Param) -> OperatorSpec:
+    """A validated, normalized spec for ``family`` with ``params``."""
+    fam = get_family(family)
+    return OperatorSpec(family=fam.name, params=fam.normalize(params))
+
+
+_SPEC_RE = re.compile(r"^\s*([A-Za-z][\w-]*)\s*(?:\((.*)\))?\s*$")
+
+
+def _parse_value(text: str) -> Param:
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_operator(value: "OperatorSpec | str | None") -> OperatorSpec:
+    """Parse an operator given as a spec, a canonical string, or None.
+
+    ``None`` means the default Poisson operator.  Strings follow the
+    canonical grammar: ``poisson``, ``anisotropic(epsilon=0.01)``,
+    ``varcoeff(field=bump,amplitude=4.0)``.
+    """
+    if value is None:
+        return POISSON
+    if isinstance(value, OperatorSpec):
+        return operator_spec(value.family, **value.param_dict())
+    match = _SPEC_RE.match(str(value))
+    if match is None:
+        raise ValueError(f"cannot parse operator spec {value!r}")
+    family, inner = match.group(1), match.group(2)
+    params: dict[str, Param] = {}
+    if inner and inner.strip():
+        for item in inner.split(","):
+            if "=" not in item:
+                raise ValueError(
+                    f"operator param {item.strip()!r} in {value!r} is not k=v"
+                )
+            key, _, raw = item.partition("=")
+            params[key.strip()] = _parse_value(raw)
+    return operator_spec(family, **params)
+
+
+def make_operator(value: "OperatorSpec | str | None", n: int) -> "StencilOperator":
+    """Instantiate an operator (spec, canonical string, or None) at size ``n``."""
+    return parse_operator(value).instantiate(n)
+
+
+# Sized for several operator families across a full level hierarchy
+# (entries carry coarse chains and cached direct factorizations, so
+# eviction is a real cost — but so is pinning factors at large n).
+@lru_cache(maxsize=32)
+def _shared_instance(spec: OperatorSpec, n: int) -> "StencilOperator":
+    return spec.instantiate(n)
+
+
+def shared_operator(value: "OperatorSpec | str | None", n: int) -> "StencilOperator":
+    """Like :func:`make_operator`, but memoized per (spec, size).
+
+    Operator instances cache derived state (coarse hierarchy, direct
+    factorizations); sharing them across problems and tuner evaluations
+    amortizes that setup.  For the default Poisson spec this returns the
+    module-shared delegating instance.
+    """
+    spec = parse_operator(value)
+    if spec.is_default_poisson:
+        from repro.operators.poisson import const_poisson
+
+        return const_poisson(n)
+    return _shared_instance(spec, n)

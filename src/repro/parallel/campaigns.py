@@ -1,9 +1,9 @@
 """Parallel campaign execution: one worker process per in-flight cell.
 
-Campaign cells — (machine, distribution, level) tuning problems — are
-fully independent: distinct machines have distinct fingerprints and
-distinct (distribution, level) pairs have distinct tuning keys, so no
-two cells ever write the same registry row.  That makes a campaign
+Campaign cells — (machine, distribution, operator, level) tuning
+problems — are fully independent: distinct machines have distinct
+fingerprints and distinct (distribution, operator, level) triples have
+distinct tuning keys, so no two cells ever write the same registry row.  That makes a campaign
 embarrassingly parallel: the driver fans pending cells across a process
 pool, and each worker opens its *own* WAL-mode
 :class:`~repro.store.trialdb.TrialDB` connection on the shared database
@@ -37,6 +37,7 @@ class _CellTask:
     spec: "CampaignSpec"
     machine: str
     distribution: str
+    operator: str
     max_level: int
 
 
@@ -52,6 +53,7 @@ def _tune_cell(task: _CellTask) -> "CellResult":
             task.spec,
             task.machine,
             task.distribution,
+            task.operator,
             task.max_level,
         )
 
@@ -81,7 +83,7 @@ def run_cells_parallel(
         )
     pending = campaign.pending()
     to_run = pending if max_cells is None else pending[: max(max_cells, 0)]
-    results: dict[tuple[str, str, int], CellResult] = {}
+    results: dict[tuple[str, str, str, int], CellResult] = {}
     if to_run:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(to_run)),
@@ -104,8 +106,8 @@ def run_cells_parallel(
     pending_set = set(pending)
     for cell in campaign.spec.cells():
         if cell not in pending_set:
-            machine, dist, level = cell
-            out.append(CellResult(machine, dist, level, source="skipped"))
+            machine, dist, operator, level = cell
+            out.append(CellResult(machine, dist, operator, level, source="skipped"))
         elif cell in results:
             out.append(results[cell])
         else:

@@ -69,6 +69,8 @@ class VCandidateTask:
     acc_index: int
     kind: str
     sub_accuracy: int | None
+    #: canonical operator spec string (pure data, so tasks stay picklable)
+    operator: str = "poisson"
 
 
 @dataclass(frozen=True)
@@ -87,6 +89,8 @@ class FMGEstimateTask:
     table: TableItems
     vplan_payload: dict[str, Any]
     j: int
+    #: canonical operator spec string (pure data, so tasks stay picklable)
+    operator: str = "poisson"
 
 
 def _probe_choice(kind: str, j: int | None) -> Choice:
@@ -125,6 +129,7 @@ def _v_tuner_for(task: VCandidateTask) -> VCycleTuner:
         task.profile.fingerprint(),
         task.threads,
         task.distribution,
+        task.operator,
         task.instances,
         task.seed,
         task.accuracies,
@@ -141,6 +146,7 @@ def _v_tuner_for(task: VCandidateTask) -> VCycleTuner:
                 distribution=task.distribution,
                 instances=task.instances,
                 seed=task.seed,
+                operator=task.operator,
             ),
             timing=CostModelTiming(task.profile, task.threads),
             max_sor_iters=task.max_sor_iters,
@@ -158,6 +164,7 @@ def _fmg_tuner_for(task: FMGEstimateTask) -> FullMGTuner:
         task.profile.fingerprint(),
         task.threads,
         task.distribution,
+        task.operator,
         task.instances,
         task.seed,
         task.aggregate,
@@ -176,6 +183,7 @@ def _fmg_tuner_for(task: FMGEstimateTask) -> FullMGTuner:
                 distribution=task.distribution,
                 instances=task.instances,
                 seed=task.seed,
+                operator=task.operator,
             ),
             timing=CostModelTiming(task.profile, task.threads),
             max_sor_iters=task.max_sor_iters,
@@ -298,6 +306,7 @@ def tune_v_level_parallel(
                     acc_index=i,
                     kind=kind,
                     sub_accuracy=j,
+                    operator=tuner.training.operator_name,
                 )
             )
             slots.append(i)
@@ -358,6 +367,7 @@ def tune_fmg_level_parallel(
             table=frozen_table,
             vplan_payload=vplan_payload,
             j=j,
+            operator=tuner.training.operator_name,
         )
         for j in range(m)
     ]

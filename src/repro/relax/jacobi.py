@@ -13,7 +13,7 @@ from repro.grids.grid import mesh_width
 from repro.grids.poisson import residual
 from repro.util.validation import check_square_grid
 
-__all__ = ["jacobi_sweeps", "jacobi_weighted"]
+__all__ = ["jacobi_sweeps", "jacobi_sweeps_stencil", "jacobi_weighted"]
 
 
 def jacobi_weighted(
@@ -44,4 +44,33 @@ def jacobi_sweeps(u: np.ndarray, b: np.ndarray, omega: float, sweeps: int) -> np
     scratch = np.zeros_like(u)
     for _ in range(sweeps):
         jacobi_weighted(u, b, omega, scratch=scratch)
+    return u
+
+
+def jacobi_sweeps_stencil(
+    u: np.ndarray,
+    b: np.ndarray,
+    diag: np.ndarray,
+    residual_fn,
+    omega: float,
+    sweeps: int,
+) -> np.ndarray:
+    """Weighted Jacobi for a variable-coefficient stencil.
+
+    u <- u + omega * D^{-1} (b - A u), with the true stencil diagonal
+    ``diag`` (full-grid shaped, interior entries used) instead of the
+    constant 4/h**2.  ``residual_fn(u, b, out=...)`` computes b - A u for
+    the operator whose diagonal ``diag`` is.
+    """
+    check_square_grid(u, "u")
+    if b.shape != u.shape:
+        raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
+    if diag.shape != u.shape:
+        raise ValueError(f"diag shape {diag.shape} != u shape {u.shape}")
+    if sweeps < 0:
+        raise ValueError("sweeps must be >= 0")
+    scratch = np.zeros_like(u)
+    for _ in range(sweeps):
+        r = residual_fn(u, b, out=scratch)
+        u[1:-1, 1:-1] += omega * r[1:-1, 1:-1] / diag[1:-1, 1:-1]
     return u

@@ -11,7 +11,8 @@ that operational at scale:
   :meth:`MachineProfile.fingerprint`, with exact-hit, nearest-profile
   fallback (cross-architecture reuse, Figure 14), and tune-and-insert;
 * :class:`~repro.store.campaign.Campaign` — resumable sweeps over
-  (machine x distribution x level) grids that pre-warm the registry.
+  (machine x distribution x operator x level) grids that pre-warm the
+  registry.
 
 Entry points for callers are :func:`repro.core.autotune_cached` and
 :func:`repro.core.solve_service`, plus ``repro-mg store`` on the CLI.

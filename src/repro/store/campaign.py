@@ -1,4 +1,4 @@
-"""Resumable autotuning campaigns over (machine x distribution x level).
+"""Resumable autotuning campaigns over (machine x distribution x operator x level).
 
 A campaign is a tuning sweep run ahead of traffic: every cell of the
 grid gets a tuned plan into the registry, so later ``solve_service``
@@ -17,11 +17,15 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.machines.presets import get_preset
+from repro.operators.spec import parse_operator
 from repro.store.registry import PlanRegistry, RegistryHit, TuneKey
 from repro.store.trialdb import TrialDB
 from repro.tuner.plan import DEFAULT_ACCURACIES
 
 __all__ = ["Campaign", "CampaignSpec", "CellResult", "execute_cell"]
+
+#: One grid cell: (machine, distribution, operator, max_level).
+Cell = tuple[str, str, str, int]
 
 
 @dataclass(frozen=True)
@@ -32,6 +36,8 @@ class CampaignSpec:
     machines: tuple[str, ...] = ("intel", "amd", "sun")
     distributions: tuple[str, ...] = ("unbiased",)
     levels: tuple[int, ...] = (4, 5)
+    #: canonical operator spec strings (normalized on construction)
+    operators: tuple[str, ...] = ("poisson",)
     kind: str = "multigrid-v"
     accuracies: tuple[float, ...] = DEFAULT_ACCURACIES
     seed: int | None = 0
@@ -40,12 +46,18 @@ class CampaignSpec:
     #: is only satisfied by that machine's own plan (no nearest fallback)
     allow_nearest: bool = False
 
-    def cells(self) -> list[tuple[str, str, int]]:
-        """Deterministic cell order: machine-major, then distribution,
-        then level."""
-        return list(product(self.machines, self.distributions, self.levels))
+    def __post_init__(self) -> None:
+        normalized = tuple(parse_operator(op).canonical() for op in self.operators)
+        object.__setattr__(self, "operators", normalized)
 
-    def key_for(self, distribution: str, level: int) -> TuneKey:
+    def cells(self) -> list[Cell]:
+        """Deterministic cell order: machine-major, then distribution,
+        then operator, then level."""
+        return list(
+            product(self.machines, self.distributions, self.operators, self.levels)
+        )
+
+    def key_for(self, distribution: str, level: int, operator: str) -> TuneKey:
         return TuneKey(
             kind=self.kind,
             distribution=distribution,
@@ -53,6 +65,7 @@ class CampaignSpec:
             accuracies=self.accuracies,
             seed=self.seed,
             instances=self.instances,
+            operator=operator,
         )
 
 
@@ -62,6 +75,7 @@ class CellResult:
 
     machine: str
     distribution: str
+    operator: str
     max_level: int
     #: 'exact' / 'nearest' / 'tuned' from the registry, or 'skipped'
     #: for cells already done before this run
@@ -76,6 +90,7 @@ def execute_cell(
     spec: CampaignSpec,
     machine: str,
     distribution: str,
+    operator: str,
     max_level: int,
 ) -> CellResult:
     """Tune (or fetch) one campaign cell and mark it done.
@@ -90,7 +105,7 @@ def execute_cell(
     start = time.perf_counter()
     hit = registry.get_or_tune(
         profile,
-        spec.key_for(distribution, max_level),
+        spec.key_for(distribution, max_level, operator),
         allow_nearest=spec.allow_nearest,
     )
     wall = time.perf_counter() - start
@@ -102,12 +117,14 @@ def execute_cell(
             wall_seconds = ?,
             completed_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
         WHERE campaign = ? AND machine = ? AND distribution = ?
-          AND max_level = ?
+          AND operator = ? AND max_level = ?
         """,
-        (hit.source, cost, wall, spec.name, machine, distribution, max_level),
+        (hit.source, cost, wall, spec.name, machine, distribution, operator, max_level),
     )
     registry.db.conn.commit()
-    return CellResult(machine, distribution, max_level, hit.source, cost, wall, hit=hit)
+    return CellResult(
+        machine, distribution, operator, max_level, hit.source, cost, wall, hit=hit
+    )
 
 
 class Campaign:
@@ -131,14 +148,14 @@ class Campaign:
         self._ensure_cells()
 
     def _ensure_cells(self) -> None:
-        for machine, dist, level in self.spec.cells():
+        for machine, dist, operator, level in self.spec.cells():
             self.db.conn.execute(
                 """
                 INSERT OR IGNORE INTO campaign_cells
-                    (campaign, machine, distribution, max_level)
-                VALUES (?, ?, ?, ?)
+                    (campaign, machine, distribution, operator, max_level)
+                VALUES (?, ?, ?, ?, ?)
                 """,
-                (self.spec.name, machine, dist, level),
+                (self.spec.name, machine, dist, operator, level),
             )
         self.db.conn.commit()
 
@@ -147,19 +164,19 @@ class Campaign:
     def cells(self) -> list[dict[str, Any]]:
         rows = self.db.conn.execute(
             """
-            SELECT machine, distribution, max_level, status, source,
+            SELECT machine, distribution, operator, max_level, status, source,
                    simulated_cost, wall_seconds, completed_at
             FROM campaign_cells WHERE campaign = ?
-            ORDER BY machine, distribution, max_level
+            ORDER BY machine, distribution, operator, max_level
             """,
             (self.spec.name,),
         ).fetchall()
         return [dict(row) for row in rows]
 
-    def pending(self) -> list[tuple[str, str, int]]:
+    def pending(self) -> list[Cell]:
         """Grid cells not yet completed, in sweep order."""
         done = {
-            (c["machine"], c["distribution"], c["max_level"])
+            (c["machine"], c["distribution"], c["operator"], c["max_level"])
             for c in self.cells()
             if c["status"] == "done"
         }
@@ -203,13 +220,15 @@ class Campaign:
         results: list[CellResult] = []
         executed = 0
         pending = set(self.pending())
-        for machine, dist, level in self.spec.cells():
-            if (machine, dist, level) not in pending:
-                results.append(CellResult(machine, dist, level, source="skipped"))
+        for machine, dist, operator, level in self.spec.cells():
+            if (machine, dist, operator, level) not in pending:
+                results.append(
+                    CellResult(machine, dist, operator, level, source="skipped")
+                )
                 continue
             if max_cells is not None and executed >= max_cells:
                 break
-            result = execute_cell(self.registry, self.spec, machine, dist, level)
+            result = execute_cell(self.registry, self.spec, machine, dist, operator, level)
             results.append(result)
             executed += 1
             if on_cell is not None:
@@ -225,6 +244,7 @@ class Campaign:
         headers = [
             "machine",
             "distribution",
+            "operator",
             "level",
             "status",
             "source",
@@ -237,6 +257,7 @@ class Campaign:
                 [
                     cell["machine"],
                     cell["distribution"],
+                    cell["operator"],
                     cell["max_level"],
                     cell["status"],
                     cell["source"] or "-",

@@ -44,7 +44,14 @@ PLAN_KINDS = ("multigrid-v", "full-multigrid")
 
 @dataclass(frozen=True)
 class TuneKey:
-    """Keyfields identifying one tuning problem (machine excluded)."""
+    """Keyfields identifying one tuning problem (machine excluded).
+
+    ``operator`` is the canonical operator spec string (see
+    :func:`repro.operators.parse_operator`); it defaults to the
+    constant-coefficient Poisson operator every pre-operator-layer plan
+    implicitly meant, and is normalized on construction so equivalent
+    spellings produce the same storage key.
+    """
 
     kind: str = "multigrid-v"
     distribution: str = "unbiased"
@@ -52,10 +59,14 @@ class TuneKey:
     accuracies: tuple[float, ...] = DEFAULT_ACCURACIES
     seed: int | None = 0
     instances: int = 3
+    operator: str = "poisson"
 
     def __post_init__(self) -> None:
         if self.kind not in PLAN_KINDS:
             raise ValueError(f"kind must be one of {PLAN_KINDS}, not {self.kind!r}")
+        from repro.operators.spec import parse_operator
+
+        object.__setattr__(self, "operator", parse_operator(self.operator).canonical())
 
     def storage_key(self, fingerprint: str) -> str:
         return "|".join(
@@ -67,6 +78,7 @@ class TuneKey:
                 canonical_accuracies(self.accuracies),
                 canonical_seed(self.seed),
                 str(self.instances),
+                self.operator,
             ]
         )
 
@@ -183,12 +195,13 @@ class PlanRegistry:
         rows = self.db.conn.execute(
             """
             SELECT * FROM plans
-            WHERE kind = ? AND distribution = ? AND max_level = ?
+            WHERE kind = ? AND distribution = ? AND operator = ? AND max_level = ?
               AND accuracies = ? AND seed = ? AND instances = ?
             """,
             (
                 key.kind,
                 key.distribution,
+                key.operator,
                 key.max_level,
                 canonical_accuracies(key.accuracies),
                 canonical_seed(key.seed),
@@ -245,10 +258,10 @@ class PlanRegistry:
         plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
         self.db.conn.execute(
             """
-            INSERT INTO plans (plan_key, kind, distribution, max_level,
+            INSERT INTO plans (plan_key, kind, distribution, operator, max_level,
                                accuracies, machine_fingerprint, seed, instances,
                                machine_name, profile_json, plan_json)
-            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
             ON CONFLICT (plan_key) DO UPDATE SET
                 plan_json = excluded.plan_json,
                 profile_json = excluded.profile_json,
@@ -258,6 +271,7 @@ class PlanRegistry:
                 key.storage_key(fingerprint),
                 key.kind,
                 key.distribution,
+                key.operator,
                 key.max_level,
                 canonical_accuracies(key.accuracies),
                 fingerprint,
@@ -310,6 +324,7 @@ class PlanRegistry:
                 TrialRecord(
                     kind=key.kind,
                     distribution=key.distribution,
+                    operator=key.operator,
                     max_level=key.max_level,
                     accuracies=tuple(key.accuracies),
                     machine_fingerprint=profile.fingerprint(),
@@ -352,7 +367,7 @@ class PlanRegistry:
         """Summary rows of every stored plan (for ``store ls``)."""
         rows = self.db.conn.execute(
             """
-            SELECT kind, distribution, max_level, machine_name,
+            SELECT kind, distribution, operator, max_level, machine_name,
                    machine_fingerprint, seed, instances, hits,
                    created_at, last_used_at
             FROM plans ORDER BY id
@@ -386,7 +401,10 @@ def _default_tuner(
         executor = resolve_executor(jobs)
     try:
         training = TrainingData(
-            distribution=key.distribution, instances=key.instances, seed=key.seed
+            distribution=key.distribution,
+            instances=key.instances,
+            seed=key.seed,
+            operator=key.operator,
         )
         vplan = VCycleTuner(
             max_level=key.max_level,

@@ -4,19 +4,25 @@ Three tables, in the style of an experiment database (py_experimenter's
 keyfields/resultfields run table):
 
 * ``trials`` — append-only log, one row per tuning run.  Keyfields
-  identify what was tuned (kind, distribution, max level, accuracy
-  ladder, machine fingerprint, seed, instances); resultfields record
-  what came out (chosen cycle shape, simulated cost, wall time, the
-  full plan JSON).
+  identify what was tuned (kind, distribution, operator, max level,
+  accuracy ladder, machine fingerprint, seed, instances); resultfields
+  record what came out (chosen cycle shape, simulated cost, wall time,
+  the full plan JSON).
 * ``plans`` — the registry: at most one current plan per
   (fingerprint, keyfields) combination, with hit counters so ``gc``
   and capacity planning can see what is actually reused.
-* ``campaign_cells`` — one row per (machine x distribution x level)
-  cell of a sweep, carrying its completion status so an interrupted
-  campaign resumes without redoing finished cells.
+* ``campaign_cells`` — one row per (machine x distribution x operator
+  x level) cell of a sweep, carrying its completion status so an
+  interrupted campaign resumes without redoing finished cells.
 
 ``user_version`` tracks the schema revision; opening a database written
-by a newer revision fails loudly instead of corrupting it.
+by a newer revision fails loudly instead of corrupting it, while older
+revisions are migrated in place:
+
+* v1 -> v2: the ``operator`` keyfield (pluggable operator layer).
+  Existing rows are stamped with the implicit pre-operator default
+  ``'poisson'`` and plan keys are rewritten to the operator-suffixed
+  form, so every stored plan keeps resolving.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import sqlite3
 
 __all__ = ["SCHEMA_VERSION", "ensure_schema"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -33,6 +39,7 @@ CREATE TABLE IF NOT EXISTS trials (
     -- keyfields
     kind                TEXT    NOT NULL,
     distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
     max_level           INTEGER NOT NULL,
     accuracies          TEXT    NOT NULL,
     machine_fingerprint TEXT    NOT NULL,
@@ -46,8 +53,8 @@ CREATE TABLE IF NOT EXISTS trials (
     plan_json           TEXT,
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
 );
-CREATE INDEX IF NOT EXISTS idx_trials_key
-    ON trials (kind, distribution, max_level, accuracies,
+CREATE INDEX IF NOT EXISTS idx_trials_key_v2
+    ON trials (kind, distribution, operator, max_level, accuracies,
                machine_fingerprint, seed, instances);
 
 CREATE TABLE IF NOT EXISTS plans (
@@ -55,6 +62,7 @@ CREATE TABLE IF NOT EXISTS plans (
     plan_key            TEXT    NOT NULL UNIQUE,
     kind                TEXT    NOT NULL,
     distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
     max_level           INTEGER NOT NULL,
     accuracies          TEXT    NOT NULL,
     machine_fingerprint TEXT    NOT NULL,
@@ -67,32 +75,99 @@ CREATE TABLE IF NOT EXISTS plans (
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
     last_used_at        TEXT
 );
-CREATE INDEX IF NOT EXISTS idx_plans_family
-    ON plans (kind, distribution, max_level, accuracies, seed, instances);
+CREATE INDEX IF NOT EXISTS idx_plans_family_v2
+    ON plans (kind, distribution, operator, max_level, accuracies, seed, instances);
 
 CREATE TABLE IF NOT EXISTS campaign_cells (
     campaign            TEXT    NOT NULL,
     machine             TEXT    NOT NULL,
     distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
     max_level           INTEGER NOT NULL,
     status              TEXT    NOT NULL DEFAULT 'pending',
     source              TEXT,
     simulated_cost      REAL,
     wall_seconds        REAL,
     completed_at        TEXT,
-    PRIMARY KEY (campaign, machine, distribution, max_level)
+    PRIMARY KEY (campaign, machine, distribution, operator, max_level)
 );
 """
 
+#: v1 -> v2: add the operator keyfield everywhere, defaulting existing
+#: rows to the implicit pre-operator 'poisson', and rebuild
+#: campaign_cells (SQLite cannot alter a primary key in place).  One
+#: statement per entry so the migration can run inside a single
+#: explicit transaction (executescript would autocommit each step).
+_MIGRATE_V1_V2 = (
+    "ALTER TABLE trials ADD COLUMN operator TEXT NOT NULL DEFAULT 'poisson'",
+    "DROP INDEX IF EXISTS idx_trials_key",
+    "ALTER TABLE plans ADD COLUMN operator TEXT NOT NULL DEFAULT 'poisson'",
+    "DROP INDEX IF EXISTS idx_plans_family",
+    "UPDATE plans SET plan_key = plan_key || '|poisson'",
+    "ALTER TABLE campaign_cells RENAME TO campaign_cells_v1",
+    """
+    CREATE TABLE campaign_cells (
+        campaign            TEXT    NOT NULL,
+        machine             TEXT    NOT NULL,
+        distribution        TEXT    NOT NULL,
+        operator            TEXT    NOT NULL DEFAULT 'poisson',
+        max_level           INTEGER NOT NULL,
+        status              TEXT    NOT NULL DEFAULT 'pending',
+        source              TEXT,
+        simulated_cost      REAL,
+        wall_seconds        REAL,
+        completed_at        TEXT,
+        PRIMARY KEY (campaign, machine, distribution, operator, max_level)
+    )
+    """,
+    """
+    INSERT INTO campaign_cells
+        (campaign, machine, distribution, operator, max_level,
+         status, source, simulated_cost, wall_seconds, completed_at)
+    SELECT campaign, machine, distribution, 'poisson', max_level,
+           status, source, simulated_cost, wall_seconds, completed_at
+    FROM campaign_cells_v1
+    """,
+    "DROP TABLE campaign_cells_v1",
+)
+
+
+def _migrate_v1_v2(conn: sqlite3.Connection) -> None:
+    """Run the v1 -> v2 migration atomically.
+
+    SQLite DDL is transactional, so the schema changes and the version
+    stamp commit together: a crash mid-migration rolls back to a clean
+    v1 store that simply migrates on the next open, instead of a
+    half-migrated store whose re-migration dies on duplicate columns.
+    """
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        # Re-read under the write lock: a concurrent opener may have
+        # migrated between our unlocked version probe and this BEGIN,
+        # and replaying the ALTERs would die on duplicate columns.
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        if version != 1:
+            conn.execute("ROLLBACK")
+            return
+        for statement in _MIGRATE_V1_V2:
+            conn.execute(statement)
+        conn.execute("PRAGMA user_version = 2")
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise
+
 
 def ensure_schema(conn: sqlite3.Connection) -> None:
-    """Create the store tables (idempotent) and stamp the schema version."""
+    """Create or migrate the store tables and stamp the schema version."""
     (version,) = conn.execute("PRAGMA user_version").fetchone()
     if version > SCHEMA_VERSION:
         raise RuntimeError(
             f"store was written by schema version {version}; this code "
             f"understands up to {SCHEMA_VERSION} — refusing to open"
         )
+    if version == 1:
+        _migrate_v1_v2(conn)
     conn.executescript(_SCHEMA)
     conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
     conn.commit()

@@ -76,6 +76,7 @@ def emit_tuning_trial(
     record = TrialRecord(
         kind=plan.metadata.get("kind", "multigrid-v"),
         distribution=training.distribution,
+        operator=training.operator_name,
         max_level=plan.max_level,
         accuracies=plan.accuracies,
         machine_fingerprint=profile.fingerprint() if profile else "wallclock",

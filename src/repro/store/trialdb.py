@@ -27,6 +27,7 @@ __all__ = ["TrialDB", "TrialRecord", "canonical_accuracies", "canonical_seed"]
 KEYFIELDS = (
     "kind",
     "distribution",
+    "operator",
     "max_level",
     "accuracies",
     "machine_fingerprint",
@@ -63,6 +64,8 @@ class TrialRecord:
     machine_fingerprint: str
     seed: int | None
     instances: int
+    #: canonical operator spec string (the pre-operator-layer default)
+    operator: str = "poisson"
     machine_name: str | None = None
     cycle_shape: str | None = None
     simulated_cost: float | None = None
@@ -76,6 +79,7 @@ class TrialRecord:
         return (
             self.kind,
             self.distribution,
+            self.operator,
             self.max_level,
             canonical_accuracies(self.accuracies),
             self.machine_fingerprint,
@@ -125,11 +129,11 @@ class TrialDB:
         """Append one trial row; returns its id."""
         cur = self.conn.execute(
             """
-            INSERT INTO trials (kind, distribution, max_level, accuracies,
-                                machine_fingerprint, seed, instances,
+            INSERT INTO trials (kind, distribution, operator, max_level,
+                                accuracies, machine_fingerprint, seed, instances,
                                 machine_name, cycle_shape, simulated_cost,
                                 wall_seconds, plan_json)
-            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
             """,
             record.key()
             + (
@@ -149,13 +153,23 @@ class TrialDB:
         distribution: str | None = None,
         machine_fingerprint: str | None = None,
         max_level: int | None = None,
+        operator: str | None = None,
     ) -> list[TrialRecord]:
-        """Trial records matching the given keyfield filters, oldest first."""
+        """Trial records matching the given keyfield filters, oldest first.
+
+        ``operator`` accepts any spelling of a spec; it is normalized to
+        the canonical form rows are stored under.
+        """
+        if operator is not None:
+            from repro.operators.spec import parse_operator
+
+            operator = parse_operator(operator).canonical()
         clauses, params = _filters(
             kind=kind,
             distribution=distribution,
             machine_fingerprint=machine_fingerprint,
             max_level=max_level,
+            operator=operator,
         )
         rows = self.conn.execute(
             f"SELECT * FROM trials{clauses} ORDER BY id", params
@@ -233,6 +247,7 @@ def _record_from_row(row: sqlite3.Row) -> TrialRecord:
     return TrialRecord(
         kind=row["kind"],
         distribution=row["distribution"],
+        operator=row["operator"],
         max_level=int(row["max_level"]),
         accuracies=tuple(json.loads(row["accuracies"])),
         machine_fingerprint=row["machine_fingerprint"],

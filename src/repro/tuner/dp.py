@@ -39,10 +39,52 @@ from repro.tuner.trace import NULL_TRACE
 from repro.tuner.training import TrainingData
 from repro.util.validation import size_of_level
 
-__all__ = ["CandidateOutcome", "CandidateReport", "VCycleTuner"]
+__all__ = [
+    "CandidateOutcome",
+    "CandidateReport",
+    "VCycleTuner",
+    "operator_sor_step",
+    "tuning_metadata",
+]
 
 #: filter(level, acc_index, choice) -> bool; False removes the candidate.
 CandidateFilter = Callable[[int, int, Choice], bool]
+
+
+def tuning_metadata(kind: str, training: TrainingData, timing, aggregate) -> dict:
+    """Base metadata of a tuned plan (shared by both DP tuners).
+
+    The operator is recorded only when non-default, so default-path plan
+    JSON (and stored registry bytes) match pre-operator-layer plans —
+    the rule the solve()-side operator-mismatch check relies on.
+    """
+    metadata = {
+        "kind": kind,
+        "distribution": training.distribution,
+        "instances": training.instances,
+        "seed": training.seed,
+        "aggregate": aggregate,
+        "timing": type(timing).__name__,
+    }
+    if not training.operator.is_default_poisson:
+        metadata["operator"] = training.operator_name
+    profile = getattr(timing, "profile", None)
+    if profile is not None:
+        metadata["profile"] = profile.name
+    return metadata
+
+
+def operator_sor_step(training: TrainingData, n: int):
+    """Standalone-SOR candidate step for the training operator at size ``n``."""
+    from repro.operators.spec import shared_operator
+
+    op = shared_operator(training.operator, n)
+    w = op.omega_opt()
+
+    def step(x: np.ndarray, b: np.ndarray) -> None:
+        op.sor_sweeps(x, b, w, 1)
+
+    return step
 
 
 @dataclass(frozen=True)
@@ -126,7 +168,7 @@ class VCycleTuner:
 
             self.timing = CostModelTiming(INTEL_HARPERTOWN)
         self.direct = self.direct or DirectSolver(backend="block", cache_factorization=True)
-        self._executor = PlanExecutor(direct=self.direct)
+        self._executor = PlanExecutor(direct=self.direct, operator=self.training.operator)
 
     # -- public API ---------------------------------------------------------
 
@@ -140,17 +182,7 @@ class VCycleTuner:
             table[(1, i)] = DirectChoice()
         for level in range(2, self.max_level + 1):
             self._tune_level(level, table, audit)
-        metadata = {
-            "kind": "multigrid-v",
-            "distribution": self.training.distribution,
-            "instances": self.training.instances,
-            "seed": self.training.seed,
-            "aggregate": self.aggregate,
-            "timing": type(self.timing).__name__,
-        }
-        profile = getattr(self.timing, "profile", None)
-        if profile is not None:
-            metadata["profile"] = profile.name
+        metadata = tuning_metadata("multigrid-v", self.training, self.timing, self.aggregate)
         if self.keep_audit:
             metadata["audit"] = audit
         plan = TunedVPlan(
@@ -307,7 +339,7 @@ class VCycleTuner:
             meter = OpMeter()
             meter.charge("direct", n)
             seconds = self.timing.time_candidate(
-                meter, self._direct_run(), bundle.fresh_starts()
+                meter, self._direct_run(n), bundle.fresh_starts()
             )
             return CandidateOutcome(
                 _describe(DirectChoice()), seconds, True, DirectChoice()
@@ -394,24 +426,19 @@ class VCycleTuner:
             return hard_cap
         return min(hard_cap, int(best_time / unit_cost) + 1)
 
-    def _direct_run(self):
+    def _direct_run(self, n: int):
+        from repro.operators.spec import shared_operator
+
         direct = self.direct
+        op = shared_operator(self.training.operator, n)
 
         def run(x: np.ndarray, b: np.ndarray) -> None:
-            direct.solve(x, b)
+            op.direct_solve(x, b, solver=direct)
 
         return run
 
     def _sor_step(self, n: int):
-        from repro.relax.sor import sor_redblack
-        from repro.relax.weights import omega_opt
-
-        w = omega_opt(n)
-
-        def step(x: np.ndarray, b: np.ndarray) -> None:
-            sor_redblack(x, b, w, 1)
-
-        return step
+        return operator_sor_step(self.training, n)
 
     def _recurse_step(self, view: _TableView, level: int, sub_accuracy: int):
         executor = self._executor

@@ -4,18 +4,23 @@ Executes the open-loop algorithm a plan describes: trained iteration
 counts, no runtime accuracy checks — exactly the compiled artifact the
 PetaBricks autotuner produces.  Records op meters (for pricing) and traces
 (for cycle rendering) along the way.
+
+An executor is bound to one operator spec (default: constant-coefficient
+Poisson, whose delegating kernels keep the legacy path byte-identical);
+per-level operator instances come from the shared operator cache and
+coarse levels rediscretize.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.grids.poisson import residual
 from repro.grids.transfer import interpolate_correction, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
 from repro.machines.meter import NULL_METER, OpMeter
-from repro.relax.sor import sor_redblack
-from repro.relax.weights import OMEGA_RECURSE, omega_opt
+from repro.operators.base import StencilOperator
+from repro.operators.spec import OperatorSpec, parse_operator, shared_operator
+from repro.relax.weights import OMEGA_RECURSE
 from repro.tuner.choices import (
     DirectChoice,
     EstimateChoice,
@@ -24,7 +29,7 @@ from repro.tuner.choices import (
 )
 from repro.tuner.plan import TunedFullMGPlan, TunedVPlan
 from repro.tuner.trace import NULL_TRACE, Trace
-from repro.util.validation import level_of_size
+from repro.util.validation import level_of_size, size_of_level
 
 __all__ = ["PlanExecutor"]
 
@@ -33,11 +38,27 @@ class PlanExecutor:
     """Executes tuned V / full-MG plans on concrete problems.
 
     One executor holds the direct-solver backend (shared factorization
-    cache if enabled) and can be reused across solves.
+    cache if enabled) and the operator spec, and can be reused across
+    solves.
     """
 
-    def __init__(self, direct: DirectSolver | None = None) -> None:
+    def __init__(
+        self,
+        direct: DirectSolver | None = None,
+        operator: OperatorSpec | str | None = None,
+    ) -> None:
         self.direct = direct or DirectSolver(backend="block", cache_factorization=True)
+        self.operator = parse_operator(operator)
+        # Per-level operators resolved once: _op sits on the plan
+        # execution hot path (every recursion step), so repeated spec
+        # normalization / shared-cache lookups would add up.
+        self._ops: dict[int, StencilOperator] = {}
+
+    def _op(self, level: int) -> StencilOperator:
+        op = self._ops.get(level)
+        if op is None:
+            op = self._ops[level] = shared_operator(self.operator, size_of_level(level))
+        return op
 
     # -- MULTIGRID-V ------------------------------------------------------
 
@@ -71,13 +92,14 @@ class PlanExecutor:
     ) -> None:
         choice = plan.choice(level, acc_index)
         n = x.shape[0]
+        op = self._op(level)
         trace.emit("enter", level, acc_index)
         if isinstance(choice, DirectChoice):
-            self.direct.solve(x, b)
+            op.direct_solve(x, b, solver=self.direct)
             meter.charge("direct", n)
             trace.emit("direct", level)
         elif isinstance(choice, SORChoice):
-            sor_redblack(x, b, omega_opt(n), choice.iterations)
+            op.sor_sweeps(x, b, op.omega_opt(), choice.iterations)
             meter.charge("relax", n, choice.iterations)
             trace.emit("sor", level, choice.iterations)
         elif isinstance(choice, RecurseChoice):
@@ -100,10 +122,11 @@ class PlanExecutor:
         """One RECURSE application: relax, coarse correction via the tuned
         sub-plan, relax (paper section 2.3, RECURSE_i)."""
         n = x.shape[0]
-        sor_redblack(x, b, OMEGA_RECURSE, 1)
+        op = self._op(level)
+        op.sor_sweeps(x, b, OMEGA_RECURSE, 1)
         meter.charge("relax", n)
         trace.emit("relax", level)
-        r = residual(x, b)
+        r = op.residual(x, b)
         meter.charge("residual", n)
         rc = restrict_full_weighting(r)
         meter.charge("restrict", n)
@@ -113,7 +136,7 @@ class PlanExecutor:
         interpolate_correction(x, ec)
         meter.charge("interpolate", n)
         trace.emit("ascend", level)
-        sor_redblack(x, b, OMEGA_RECURSE, 1)
+        op.sor_sweeps(x, b, OMEGA_RECURSE, 1)
         meter.charge("relax", n)
         trace.emit("relax", level)
 
@@ -149,15 +172,16 @@ class PlanExecutor:
     ) -> None:
         choice = plan.choice(level, acc_index)
         n = x.shape[0]
+        op = self._op(level)
         trace.emit("enter", level, acc_index)
         if isinstance(choice, DirectChoice):
-            self.direct.solve(x, b)
+            op.direct_solve(x, b, solver=self.direct)
             meter.charge("direct", n)
             trace.emit("direct", level)
         elif isinstance(choice, EstimateChoice):
             # ESTIMATE_j: correction-form recursive full-MG call.
             trace.emit("estimate", level, choice.estimate_accuracy)
-            r = residual(x, b)
+            r = op.residual(x, b)
             meter.charge("residual", n)
             rc = restrict_full_weighting(r)
             meter.charge("restrict", n)
@@ -170,7 +194,7 @@ class PlanExecutor:
             # Solve phase: iterate the chosen V-type method.
             solver = choice.solver
             if isinstance(solver, SORChoice):
-                sor_redblack(x, b, omega_opt(n), solver.iterations)
+                op.sor_sweeps(x, b, op.omega_opt(), solver.iterations)
                 meter.charge("relax", n, solver.iterations)
                 trace.emit("sor", level, solver.iterations)
             else:

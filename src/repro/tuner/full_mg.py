@@ -27,7 +27,6 @@ from repro.accuracy.estimator import (
     InfeasibleCandidate,
     iterations_to_accuracy,
 )
-from repro.grids.poisson import residual
 from repro.grids.transfer import interpolate_correction, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
 from repro.machines.meter import NULL_METER, OpMeter
@@ -38,7 +37,13 @@ from repro.tuner.choices import (
     RecurseChoice,
     SORChoice,
 )
-from repro.tuner.dp import CandidateOutcome, CandidateReport, _parallel
+from repro.tuner.dp import (
+    CandidateOutcome,
+    CandidateReport,
+    _parallel,
+    operator_sor_step,
+    tuning_metadata,
+)
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.plan import TunedFullMGPlan, TunedVPlan, recurse_wrapper_meter
 from repro.tuner.timing import CostModelTiming, TimingStrategy
@@ -88,6 +93,14 @@ class FullMGTuner:
     trial_executor: Any | None = None
 
     def __post_init__(self) -> None:
+        vplan_operator = self.vplan.metadata.get("operator", "poisson")
+        if vplan_operator != self.training.operator_name:
+            raise ValueError(
+                f"vplan was tuned for operator {vplan_operator!r}; full-MG "
+                f"training uses {self.training.operator_name!r} — its solve "
+                f"phase would reuse iteration ladders trained on a different "
+                f"operator"
+            )
         if self.timing is None:
             from repro.machines.presets import INTEL_HARPERTOWN
 
@@ -99,7 +112,7 @@ class FullMGTuner:
                 "V-cycle tuner)"
             )
         self.direct = self.direct or DirectSolver(backend="block", cache_factorization=True)
-        self._executor = PlanExecutor(direct=self.direct)
+        self._executor = PlanExecutor(direct=self.direct, operator=self.training.operator)
 
     def tune(self, max_level: int | None = None) -> TunedFullMGPlan:
         start = time.perf_counter()
@@ -114,17 +127,9 @@ class FullMGTuner:
             table[(1, i)] = DirectChoice()
         for level in range(2, max_level + 1):
             self._tune_level(level, table, audit)
-        metadata = {
-            "kind": "full-multigrid",
-            "distribution": self.training.distribution,
-            "instances": self.training.instances,
-            "seed": self.training.seed,
-            "aggregate": self.aggregate,
-            "timing": type(self.timing).__name__,
-        }
-        profile = getattr(self.timing, "profile", None)
-        if profile is not None:
-            metadata["profile"] = profile.name
+        metadata = tuning_metadata(
+            "full-multigrid", self.training, self.timing, self.aggregate
+        )
         if self.keep_audit:
             metadata["audit"] = audit
         plan = TunedFullMGPlan(
@@ -222,7 +227,7 @@ class FullMGTuner:
 
     def _run_estimate(self, view: _FullTableView, x, b, level: int, j: int) -> None:
         """Apply ESTIMATE_j to (x, b) in place using the partial table."""
-        r = residual(x, b)
+        r = self._executor._op(level).residual(x, b)
         rc = restrict_full_weighting(r)
         ec = np.zeros_like(rc)
         self._executor._run_full(view, ec, rc, level - 1, j, NULL_METER, NULL_TRACE)
@@ -405,15 +410,7 @@ class FullMGTuner:
         return min(hard_cap, int(remaining / unit_cost) + 1)
 
     def _sor_step(self, n: int):
-        from repro.relax.sor import sor_redblack
-        from repro.relax.weights import omega_opt
-
-        w = omega_opt(n)
-
-        def step(x: np.ndarray, b: np.ndarray) -> None:
-            sor_redblack(x, b, w, 1)
-
-        return step
+        return operator_sor_step(self.training, n)
 
     def _recurse_step(self, level: int, sub_accuracy: int):
         executor = self._executor

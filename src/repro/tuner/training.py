@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.accuracy.judge import AccuracyJudge
 from repro.accuracy.reference import ReferenceSolutionCache
+from repro.operators.spec import OperatorSpec, parse_operator
 from repro.util.validation import size_of_level
 from repro.workloads.distributions import training_set
 from repro.workloads.problem import PoissonProblem
@@ -52,6 +53,12 @@ class TrainingData:
         without exploding tuning time.
     seed:
         Experiment seed; every level derives its own stream.
+    operator:
+        The discrete operator tuned against (an
+        :class:`~repro.operators.spec.OperatorSpec` or canonical string;
+        default constant-coefficient Poisson).  Training problems carry
+        it, so reference solutions and candidate evaluations all see the
+        same operator.
     """
 
     def __init__(
@@ -60,14 +67,21 @@ class TrainingData:
         instances: int = 3,
         seed: int | None = 0,
         reference_cache: ReferenceSolutionCache | None = None,
+        operator: OperatorSpec | str | None = None,
     ) -> None:
         if instances < 1:
             raise ValueError("instances must be >= 1")
         self.distribution = distribution
         self.instances = instances
         self.seed = seed
+        self.operator = parse_operator(operator)
         self.references = reference_cache or ReferenceSolutionCache()
         self._levels: dict[int, LevelTraining] = {}
+
+    @property
+    def operator_name(self) -> str:
+        """Canonical operator string (storage keyfield form)."""
+        return self.operator.canonical()
 
     def at_level(self, level: int) -> LevelTraining:
         """Training set for ``level`` (materialized on first use)."""
@@ -75,7 +89,9 @@ class TrainingData:
         if cached is not None:
             return cached
         n = size_of_level(level)
-        problems = training_set(self.distribution, n, self.instances, self.seed)
+        problems = training_set(
+            self.distribution, n, self.instances, self.seed, operator=self.operator
+        )
         judges = [
             AccuracyJudge(p.initial_guess(), self.references.get(p)) for p in problems
         ]

@@ -8,7 +8,8 @@ by 2^31 (biased).  The random entries were used to generate right-hand sides
 is also mentioned; all three are implemented here.
 """
 
-from repro.workloads.problem import PoissonProblem
+from repro.operators.coefficients import COEFF_FIELDS, coefficient_field
+from repro.workloads.problem import PoissonProblem, Problem
 from repro.workloads.distributions import (
     DISTRIBUTIONS,
     biased_uniform,
@@ -19,9 +20,12 @@ from repro.workloads.distributions import (
 )
 
 __all__ = [
+    "COEFF_FIELDS",
     "DISTRIBUTIONS",
     "PoissonProblem",
+    "Problem",
     "biased_uniform",
+    "coefficient_field",
     "make_problem",
     "point_sources",
     "training_set",

@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.operators.spec import OperatorSpec, parse_operator
 from repro.util.rng import derive_rng
 from repro.util.validation import check_grid_size
 from repro.workloads.problem import PoissonProblem
@@ -30,20 +31,48 @@ _SCALE = float(2**32)
 _SHIFT = float(2**31)
 
 
-def unbiased_uniform(n: int, rng: np.random.Generator, label: str = "unbiased") -> PoissonProblem:
+def _owned(arr: np.ndarray) -> np.ndarray:
+    """Freeze a generator-owned array in place.
+
+    The problem constructor copies *writable* inputs (it must not alias
+    or freeze caller buffers); generators own their freshly drawn arrays
+    and hand them over read-only, so construction stays copy-free on the
+    training hot path.
+    """
+    arr.setflags(write=False)
+    return arr
+
+
+def unbiased_uniform(
+    n: int,
+    rng: np.random.Generator,
+    label: str = "unbiased",
+    operator: OperatorSpec | str | None = None,
+) -> PoissonProblem:
     """RHS and boundary uniform over [-2^32, 2^32]."""
     check_grid_size(n)
     b = rng.uniform(-_SCALE, _SCALE, size=(n, n))
     boundary = rng.uniform(-_SCALE, _SCALE, size=4 * n - 4)
-    return PoissonProblem(b=b, boundary=boundary, label=label)
+    return PoissonProblem(
+        b=_owned(b), boundary=_owned(boundary), label=label,
+        operator=parse_operator(operator),
+    )
 
 
-def biased_uniform(n: int, rng: np.random.Generator, label: str = "biased") -> PoissonProblem:
+def biased_uniform(
+    n: int,
+    rng: np.random.Generator,
+    label: str = "biased",
+    operator: OperatorSpec | str | None = None,
+) -> PoissonProblem:
     """The unbiased distribution shifted in the positive direction by 2^31."""
     check_grid_size(n)
     b = rng.uniform(-_SCALE, _SCALE, size=(n, n)) + _SHIFT
     boundary = rng.uniform(-_SCALE, _SCALE, size=4 * n - 4) + _SHIFT
-    return PoissonProblem(b=b, boundary=boundary, label=label)
+    return PoissonProblem(
+        b=_owned(b), boundary=_owned(boundary), label=label,
+        operator=parse_operator(operator),
+    )
 
 
 def point_sources(
@@ -51,6 +80,7 @@ def point_sources(
     rng: np.random.Generator,
     count: int = 8,
     label: str = "point-sources",
+    operator: OperatorSpec | str | None = None,
 ) -> PoissonProblem:
     """A finite number of random point sources/sinks in the right-hand side.
 
@@ -68,10 +98,16 @@ def point_sources(
     signs = rng.choice([-1.0, 1.0], size=k)
     b[rows + 1, cols + 1] = signs * rng.uniform(0.5 * _SCALE, _SCALE, size=k)
     boundary = rng.uniform(-_SCALE, _SCALE, size=4 * n - 4)
-    return PoissonProblem(b=b, boundary=boundary, label=label)
+    return PoissonProblem(
+        b=_owned(b), boundary=_owned(boundary), label=label,
+        operator=parse_operator(operator),
+    )
 
 
-DISTRIBUTIONS: dict[str, Callable[[int, np.random.Generator, str], PoissonProblem]] = {
+#: Generators take (n, rng) plus keyword-only ``label`` and ``operator``
+#: (make_problem passes both by keyword — point_sources has an extra
+#: positional ``count`` in between).
+DISTRIBUTIONS: dict[str, Callable[..., PoissonProblem]] = {
     "unbiased": unbiased_uniform,
     "biased": biased_uniform,
     "point-sources": point_sources,
@@ -79,22 +115,39 @@ DISTRIBUTIONS: dict[str, Callable[[int, np.random.Generator, str], PoissonProble
 
 
 def make_problem(
-    distribution: str, n: int, seed: int | None = None, index: int = 0
+    distribution: str,
+    n: int,
+    seed: int | None = None,
+    index: int = 0,
+    operator: OperatorSpec | str | None = None,
 ) -> PoissonProblem:
-    """One deterministic problem instance from a named distribution."""
+    """One deterministic problem instance from a named distribution.
+
+    ``operator`` selects the discrete operator A (spec or canonical
+    string; default constant-coefficient Poisson).  The right-hand side
+    and boundary draws are operator-independent, so the same seed yields
+    the same data for every operator family.
+    """
     gen = DISTRIBUTIONS.get(distribution)
     if gen is None:
         raise KeyError(f"unknown distribution {distribution!r}; have {sorted(DISTRIBUTIONS)}")
     rng = derive_rng(seed, distribution, n, index)
-    problem = gen(n, rng, distribution)
+    problem = gen(n, rng, label=distribution, operator=operator)
     object.__setattr__(problem, "seed", seed)
     return problem
 
 
 def training_set(
-    distribution: str, n: int, count: int, seed: int | None = None
+    distribution: str,
+    n: int,
+    count: int,
+    seed: int | None = None,
+    operator: OperatorSpec | str | None = None,
 ) -> Sequence[PoissonProblem]:
     """``count`` deterministic training instances at grid size ``n``."""
     if count < 1:
         raise ValueError("count must be >= 1")
-    return [make_problem(distribution, n, seed, index=i) for i in range(count)]
+    return [
+        make_problem(distribution, n, seed, index=i, operator=operator)
+        for i in range(count)
+    ]

@@ -7,26 +7,37 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.grids.boundary import set_boundary
+from repro.operators.spec import POISSON, OperatorSpec, parse_operator
 from repro.util.validation import check_square_grid, level_of_size
 
-__all__ = ["PoissonProblem"]
+__all__ = ["PoissonProblem", "Problem"]
 
 
 @dataclass(frozen=True)
 class PoissonProblem:
-    """One instance of the discrete Poisson problem A u = b.
+    """One instance of the discrete problem A u = b.
 
     ``b`` is the full-grid right-hand side (its boundary ring is unused) and
     ``boundary`` is the Dirichlet data in :func:`repro.grids.boundary.
     boundary_ring` layout.  The canonical initial guess is zero in the
     interior with the boundary ring applied — the state "x" that the
     paper's accuracy ratio uses as x_in.
+
+    ``operator`` names the discrete operator A (default: the
+    constant-coefficient Poisson stencil the class is named after; the
+    name predates the pluggable operator layer and is kept for
+    compatibility — :data:`Problem` is the neutral alias).
+
+    The constructor stores *private read-only copies* of writable input
+    arrays, so building a problem never freezes or aliases the caller's
+    buffers; already read-only inputs are shared without copying.
     """
 
     b: np.ndarray
     boundary: np.ndarray
     label: str = "unnamed"
     seed: int | None = field(default=None, compare=False)
+    operator: OperatorSpec = POISSON
 
     def __post_init__(self) -> None:
         check_square_grid(self.b, "b")
@@ -35,8 +46,13 @@ class PoissonProblem:
             raise ValueError(
                 f"boundary length {self.boundary.shape} != ({4 * n - 4},) for n={n}"
             )
-        self.b.setflags(write=False)
-        self.boundary.setflags(write=False)
+        object.__setattr__(self, "operator", parse_operator(self.operator))
+        for name in ("b", "boundary"):
+            arr = getattr(self, name)
+            if arr.flags.writeable:
+                arr = arr.copy()
+                arr.setflags(write=False)
+                object.__setattr__(self, name, arr)
 
     @property
     def n(self) -> int:
@@ -56,3 +72,7 @@ class PoissonProblem:
         """Writable copy of the right-hand side (solvers never mutate b, but
         callers sometimes need one)."""
         return self.b.copy()
+
+
+#: Operator-neutral alias (the problem bundle is no longer Poisson-only).
+Problem = PoissonProblem

@@ -115,3 +115,49 @@ class TestReferenceCache:
             problem = make_problem("unbiased", 9 if i % 2 else 17, seed=100 + i)
             x_opt = cache.get(problem)
             assert x_opt.shape == problem.b.shape
+
+
+class TestHardOperatorReferenceFallback:
+    def test_stalled_cycles_fall_back_to_exact_solve(self):
+        # Strong anisotropy stalls standard V cycles almost immediately;
+        # above the direct cutoff the stagnation loop would exit with a
+        # far-from-exact "reference".  The quality gate must detect that
+        # and fall back to the exact banded solve.
+        from repro.accuracy.reference import reference_solution
+        from repro.grids.norms import residual_norm
+        from repro.operators import shared_operator
+        from repro.workloads.distributions import make_problem
+
+        problem = make_problem(
+            "unbiased", 65, seed=3, operator="anisotropic(epsilon=0.01)"
+        )
+        op = shared_operator(problem.operator, problem.n)
+        x_opt = reference_solution(problem, direct_cutoff=33)
+        r = residual_norm(op.residual(x_opt, problem.b))
+        r0 = residual_norm(op.residual(problem.initial_guess(), problem.b))
+        assert r < 1e-9 * r0
+
+    def test_poisson_reference_above_cutoff_unchanged(self):
+        # The well-conditioned default path must keep using the cycle
+        # iteration (and reach the same floor as before the gate).
+        from repro.accuracy.reference import reference_solution
+        from repro.grids.norms import residual_norm
+        from repro.grids.poisson import residual
+        from repro.workloads.distributions import make_problem
+
+        problem = make_problem("unbiased", 65, seed=3)
+        x_opt = reference_solution(problem, direct_cutoff=33)
+        r = residual_norm(residual(x_opt, problem.b))
+        r0 = residual_norm(residual(problem.initial_guess(), problem.b))
+        assert r < 1e-10 * r0
+
+    def test_fallback_beyond_cutoff_raises_instead_of_huge_solve(self, monkeypatch):
+        import repro.accuracy.reference as ref
+        from repro.workloads.distributions import make_problem
+
+        problem = make_problem(
+            "unbiased", 65, seed=3, operator="anisotropic(epsilon=0.01)"
+        )
+        monkeypatch.setattr(ref, "FALLBACK_DIRECT_CUTOFF", 33)
+        with pytest.raises(RuntimeError, match="stalled at residual ratio"):
+            ref.reference_solution(problem, direct_cutoff=33)

@@ -1,0 +1,111 @@
+"""Default-path equivalence gate.
+
+With the default (constant-coefficient Poisson) operator, the refactored
+stack must produce *byte-identical* artifacts to the pre-operator-layer
+code: identical tuned plan JSON (serial and jobs=4) and identical solver
+output bytes.  The golden hashes below were captured by running the
+pre-refactor code (PR 2 head) with exactly these inputs, on the same
+linux/x86-64 toolchain CI uses.  They pin floating-point results, so a
+different BLAS/LAPACK build may legitimately differ in the last ulp —
+if that ever bites, the portable in-process invariants
+(:class:`TestKernelDelegation`, serial-vs-jobs equality) are the ones
+that must keep holding; the hashes would need recapturing from the
+pre-refactor tree on the new platform.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.api import autotune, autotune_full_mg, solve
+from repro.operators import const_poisson
+from repro.tuner.config import plan_to_dict
+from repro.workloads.distributions import make_problem
+
+# Captured on the pre-refactor tree (see module docstring).
+GOLDEN = {
+    "vplan_l5_intel_unbiased": "4a66d3dd7f4da4aace31915ea1a7257527b1c200d4bb383629a255d2fe35560f",
+    "fmg_l5_intel_unbiased": "8c4b8697359ead8985ee1ef464e7a28e4c98e3d58902469fdd7f00cc7bc20e95",
+    "vplan_l4_amd_biased": "052eaa5357da55b2944c737217c207517d8c9acd8b19f4465bd1c5b2ed2716d8",
+    "vplan_l6_intel_unbiased": "07bb6c87276f65bf0457ba2ee6ea4a395f33e5c24739aebb213e90a0a3add72a",
+    "solve_l6_1e5": "b1e6e80716cff9c08085806dce3f31e7a5213b230f29972d65cd2c9c9deb3347",
+    "solve_l6_1e9": "d5ec2278466b6838944c5528e32a45a8af1da537e862a47908a130b17a7d2739",
+}
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _plan_hash(plan) -> str:
+    payload = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+    return _sha(payload.encode())
+
+
+@pytest.fixture(scope="module")
+def vplan_l5():
+    return autotune(max_level=5, machine="intel", distribution="unbiased",
+                    instances=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def vplan_l6():
+    return autotune(max_level=6, machine="intel", distribution="unbiased",
+                    instances=2, seed=0)
+
+
+class TestTunedPlanBytes:
+    def test_v_plan_serial_matches_pre_refactor(self, vplan_l5):
+        assert _plan_hash(vplan_l5) == GOLDEN["vplan_l5_intel_unbiased"]
+
+    def test_v_plan_parallel_matches_pre_refactor(self):
+        plan = autotune(max_level=5, machine="intel", distribution="unbiased",
+                        instances=2, seed=0, jobs=4)
+        assert _plan_hash(plan) == GOLDEN["vplan_l5_intel_unbiased"]
+
+    def test_full_mg_plan_matches_pre_refactor(self, vplan_l5):
+        fmg = autotune_full_mg(max_level=5, machine="intel", distribution="unbiased",
+                               instances=2, seed=0, vplan=vplan_l5)
+        assert _plan_hash(fmg) == GOLDEN["fmg_l5_intel_unbiased"]
+
+    def test_biased_amd_plan_matches_pre_refactor(self):
+        plan = autotune(max_level=4, machine="amd", distribution="biased",
+                        instances=2, seed=0)
+        assert _plan_hash(plan) == GOLDEN["vplan_l4_amd_biased"]
+
+    def test_level6_plan_matches_pre_refactor(self, vplan_l6):
+        assert _plan_hash(vplan_l6) == GOLDEN["vplan_l6_intel_unbiased"]
+
+    def test_default_plan_metadata_carries_no_operator_key(self, vplan_l5):
+        # Pre-refactor plan JSON had no operator field; the default path
+        # must keep it that way so stored registries stay byte-stable.
+        assert "operator" not in vplan_l5.metadata
+
+
+class TestSolverOutputBytes:
+    def test_solve_outputs_match_pre_refactor(self, vplan_l6):
+        problem = make_problem("unbiased", 65, seed=1)
+        x5, _ = solve(vplan_l6, problem, 1e5)
+        x9, _ = solve(vplan_l6, problem, 1e9)
+        assert _sha(x5.tobytes()) == GOLDEN["solve_l6_1e5"]
+        assert _sha(x9.tobytes()) == GOLDEN["solve_l6_1e9"]
+
+
+class TestKernelDelegation:
+    def test_poisson_operator_is_bytewise_legacy(self):
+        from repro.grids.poisson import apply_poisson, residual
+        from repro.relax.sor import sor_redblack
+
+        n = 33
+        op = const_poisson(n)
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(n, n))
+        b = rng.normal(size=(n, n))
+        assert (op.apply(u) == apply_poisson(u)).all()
+        assert (op.residual(u, b) == residual(u, b)).all()
+        u1, u2 = u.copy(), u.copy()
+        op.sor_sweeps(u1, b, 1.15, 2)
+        sor_redblack(u2, b, 1.15, 2)
+        assert (u1 == u2).all()

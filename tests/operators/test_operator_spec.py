@@ -1,0 +1,115 @@
+"""Operator specs: parsing, canonicalization, registry behaviour."""
+
+import pickle
+
+import pytest
+
+from repro.operators import (
+    POISSON,
+    OperatorSpec,
+    make_operator,
+    operator_families,
+    operator_spec,
+    parse_operator,
+    shared_operator,
+)
+
+
+class TestParsing:
+    def test_none_is_default_poisson(self):
+        spec = parse_operator(None)
+        assert spec == POISSON
+        assert spec.is_default_poisson
+        assert spec.canonical() == "poisson"
+
+    def test_bare_family_name(self):
+        assert parse_operator("anisotropic").canonical() == "anisotropic"
+        assert parse_operator("varcoeff").canonical() == "varcoeff"
+
+    def test_params_round_trip_through_canonical(self):
+        spec = parse_operator("anisotropic(epsilon=0.01)")
+        assert spec.canonical() == "anisotropic(epsilon=0.01)"
+        assert parse_operator(spec.canonical()) == spec
+
+    def test_default_params_are_dropped(self):
+        # epsilon=0.1 is the family default: spelling it out or not must
+        # produce the same spec (and therefore the same storage key).
+        assert parse_operator("anisotropic(epsilon=0.1)") == parse_operator("anisotropic")
+
+    def test_params_sorted_for_stable_keys(self):
+        a = parse_operator("varcoeff(field=bump,amplitude=4.0)")
+        b = parse_operator("varcoeff(amplitude=4.0,field=bump)")
+        assert a == b
+        assert a.canonical() == "varcoeff(amplitude=4.0,field=bump)"
+
+    def test_spec_input_is_renormalized(self):
+        raw = OperatorSpec("anisotropic", (("epsilon", 0.1),))
+        assert parse_operator(raw) == OperatorSpec("anisotropic", ())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown operator family"):
+            parse_operator("helmholtz")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown param"):
+            parse_operator("anisotropic(eps=0.5)")
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(ValueError, match="not k=v"):
+            parse_operator("anisotropic(0.5)")
+
+    def test_non_numeric_value_for_float_param_rejected(self):
+        with pytest.raises(ValueError, match="float-like"):
+            parse_operator("anisotropic(epsilon=tiny)")
+
+    def test_int_param_coercion(self):
+        assert parse_operator("varcoeff(kx=3)").param_dict()["kx"] == 3
+        with pytest.raises(ValueError, match="int-like"):
+            parse_operator("varcoeff(kx=2.5)")
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        families = operator_families()
+        for name in ("poisson", "varcoeff", "anisotropic"):
+            assert name in families
+
+    def test_operator_spec_factory_validates(self):
+        spec = operator_spec("anisotropic", epsilon=0.5)
+        assert spec.canonical() == "anisotropic(epsilon=0.5)"
+
+    def test_specs_are_picklable_and_hashable(self):
+        spec = parse_operator("varcoeff(amplitude=2.0)")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, parse_operator("varcoeff(amplitude=2.0)")}) == 1
+
+
+class TestInstantiation:
+    def test_make_operator_binds_size(self):
+        op = make_operator("anisotropic", 17)
+        assert op.n == 17
+        assert op.fingerprint() == "anisotropic"
+
+    def test_shared_operator_memoizes(self):
+        a = shared_operator("varcoeff(amplitude=2.0)", 17)
+        b = shared_operator("varcoeff(amplitude=2.0)", 17)
+        assert a is b
+
+    def test_shared_default_poisson_is_module_instance(self):
+        from repro.operators import const_poisson
+
+        assert shared_operator(None, 17) is const_poisson(17)
+
+    def test_coarsen_rediscretizes_same_spec(self):
+        op = make_operator("varcoeff", 33)
+        coarse = op.coarsen()
+        assert coarse.n == 17
+        assert coarse.spec == op.spec
+        assert op.coarsen() is coarse  # cached
+
+    def test_coarsen_routes_through_shared_cache(self):
+        # Coarse hierarchies are shared with direct consumers of the
+        # same (spec, size), so weight arrays and direct factorizations
+        # exist once per process, not once per hierarchy walker.
+        op = shared_operator("varcoeff(amplitude=2.0)", 33)
+        assert op.coarsen() is shared_operator("varcoeff(amplitude=2.0)", 17)

@@ -1,0 +1,168 @@
+"""End-to-end operator-aware tuning: scenario diversity through the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import autotune, autotune_cached, solve, solve_service
+from repro.store import PlanRegistry, TrialDB, TuneKey
+from repro.store.sink import plan_cycle_shape
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+from repro.workloads.distributions import make_problem
+
+OPERATORS = ("poisson", "varcoeff", "anisotropic")
+
+
+class TestTunerWithOperators:
+    @pytest.mark.parametrize("operator", OPERATORS)
+    def test_tuned_plan_solves_its_operator(self, operator):
+        plan = autotune(max_level=4, machine="intel", distribution="unbiased",
+                        instances=2, seed=0, operator=operator)
+        problem = make_problem("unbiased", 17, seed=2, operator=operator)
+        x, meter = solve(plan, problem, 1e5)
+        # The plan's promise: accuracy >= 1e5 relative to the reference.
+        from repro.accuracy.judge import AccuracyJudge
+        from repro.accuracy.reference import reference_solution
+
+        judge = AccuracyJudge(problem.initial_guess(), reference_solution(problem))
+        assert judge.accuracy_of(x) >= 1e5
+
+    def test_non_default_operator_recorded_in_metadata(self):
+        training = TrainingData(distribution="unbiased", instances=1, seed=0,
+                                operator="anisotropic(epsilon=0.01)")
+        from repro.machines.presets import INTEL_HARPERTOWN
+
+        plan = VCycleTuner(
+            max_level=3, training=training,
+            timing=CostModelTiming(INTEL_HARPERTOWN), keep_audit=False,
+        ).tune()
+        assert plan.metadata["operator"] == "anisotropic(epsilon=0.01)"
+
+    def test_full_mg_rejects_vplan_operator_mismatch(self):
+        from repro.core.api import autotune_full_mg
+
+        vplan = autotune(max_level=3, machine="intel", instances=1, seed=0)
+        with pytest.raises(ValueError, match="vplan was tuned for operator"):
+            autotune_full_mg(max_level=3, machine="intel", instances=1, seed=0,
+                             vplan=vplan, operator="anisotropic(epsilon=0.01)")
+
+    def test_solve_rejects_operator_mismatch(self):
+        plan = autotune(max_level=4, machine="intel", distribution="unbiased",
+                        instances=2, seed=0)  # tuned for the poisson default
+        problem = make_problem("unbiased", 17, seed=2,
+                               operator="anisotropic(epsilon=0.01)")
+        with pytest.raises(ValueError, match="tuned for operator"):
+            solve(plan, problem, 1e5)
+
+    def test_anisotropic_tunes_a_different_cycle_shape(self):
+        kwargs = dict(max_level=6, machine="amd", distribution="unbiased",
+                      instances=2, seed=0)
+        iso = autotune(operator="poisson", **kwargs)
+        aniso = autotune(operator="anisotropic(epsilon=0.01)", **kwargs)
+        assert plan_cycle_shape(iso) != plan_cycle_shape(aniso)
+
+    def test_parallel_tune_matches_serial_for_operators(self):
+        kwargs = dict(max_level=4, machine="intel", distribution="unbiased",
+                      instances=2, seed=0, operator="varcoeff")
+        serial = autotune(**kwargs)
+        parallel = autotune(jobs=4, **kwargs)
+        assert serial.table == parallel.table
+
+
+class TestRegistryDiversity:
+    def test_each_operator_gets_its_own_registry_entry(self):
+        registry = PlanRegistry(TrialDB(":memory:"))
+        for operator in OPERATORS:
+            autotune_cached(max_level=3, machine="intel", instances=1, seed=0,
+                            store=registry, operator=operator)
+        assert len(registry) == len(OPERATORS)
+        keys = set(registry.contents())
+        assert len(keys) == len(OPERATORS)
+        for operator in OPERATORS:
+            assert any(key.endswith(f"|{operator}") for key in keys)
+
+    def test_registry_hit_requires_matching_operator(self):
+        registry = PlanRegistry(TrialDB(":memory:"))
+        calls = []
+
+        def fake_tune(op):
+            def tuner():
+                calls.append(op)
+                return autotune(max_level=3, machine="intel", instances=1,
+                                seed=0, operator=op)
+            return tuner
+
+        from repro.machines.presets import INTEL_HARPERTOWN
+
+        for op in ("poisson", "varcoeff"):
+            registry.get_or_tune(
+                INTEL_HARPERTOWN,
+                TuneKey(max_level=3, instances=1, operator=op),
+                tuner=fake_tune(op),
+            )
+        assert calls == ["poisson", "varcoeff"]
+        # Warm lookups: no further tuning for either operator.
+        for op in ("poisson", "varcoeff"):
+            hit = registry.get_or_tune(
+                INTEL_HARPERTOWN,
+                TuneKey(max_level=3, instances=1, operator=op),
+                tuner=fake_tune(op),
+            )
+            assert hit.source == "exact"
+        assert calls == ["poisson", "varcoeff"]
+
+    def test_solve_service_keys_on_problem_operator(self):
+        registry = PlanRegistry(TrialDB(":memory:"))
+        p_var = make_problem("unbiased", 9, seed=0, operator="varcoeff")
+        p_poi = make_problem("unbiased", 9, seed=0)
+        x1, _, hit1 = solve_service(p_var, 1e3, machine="intel", instances=1,
+                                    store=registry)
+        x2, _, hit2 = solve_service(p_poi, 1e3, machine="intel", instances=1,
+                                    store=registry)
+        assert hit1.source == "tuned" and hit2.source == "tuned"
+        assert len(registry) == 2
+        assert not np.array_equal(x1, x2)
+
+
+class TestOperatorCampaign:
+    def test_campaign_sweeps_operator_axis(self, tmp_path):
+        from repro.store import Campaign, CampaignSpec
+
+        spec = CampaignSpec(
+            name="op-sweep",
+            machines=("intel",),
+            distributions=("unbiased",),
+            levels=(3,),
+            operators=("poisson", "varcoeff", "anisotropic(epsilon=0.01)"),
+            instances=1,
+            seed=3,
+        )
+        campaign = Campaign(spec, TrialDB(tmp_path / "ops.sqlite"))
+        results = campaign.run()
+        assert len(results) == 3
+        assert all(r.source == "tuned" for r in results)
+        assert [r.operator for r in results] == list(spec.operators)
+        assert len(campaign.registry) == 3
+        # Resume: nothing re-tuned.
+        again = Campaign(spec, TrialDB(tmp_path / "ops.sqlite")).run()
+        assert all(r.source == "skipped" for r in again)
+
+    def test_parallel_campaign_with_operators_matches_serial(self, tmp_path):
+        from repro.store import Campaign, CampaignSpec
+
+        spec = CampaignSpec(
+            name="op-par",
+            machines=("intel",),
+            distributions=("unbiased",),
+            levels=(3,),
+            operators=("poisson", "varcoeff", "anisotropic(epsilon=0.01)"),
+            instances=1,
+            seed=3,
+        )
+        serial = Campaign(spec, TrialDB(tmp_path / "serial.sqlite"))
+        parallel = Campaign(spec, TrialDB(tmp_path / "parallel.sqlite"))
+        serial.run(jobs=1)
+        parallel.run(jobs=3)
+        assert serial.registry.contents() == parallel.registry.contents()
+        assert len(serial.registry.contents()) == 3

@@ -37,7 +37,7 @@ class TestDeterminism:
         campaign = _campaign(tmp_path, "ordered")
         results = campaign.run(jobs=4)
         assert [
-            (r.machine, r.distribution, r.max_level) for r in results
+            (r.machine, r.distribution, r.operator, r.max_level) for r in results
         ] == SPEC.cells()
 
     def test_parallel_results_carry_registry_hits(self, tmp_path):

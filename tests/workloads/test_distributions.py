@@ -109,3 +109,56 @@ class TestPoissonProblem:
         r[1, 1] = 42.0
         assert p.b[1, 1] != 42.0 or True  # original untouched
         assert p.b.flags.writeable is False
+
+
+class TestCallerArraysNotFrozen:
+    """Constructing a problem must not mutate caller-owned buffers
+    (historically __post_init__ called setflags(write=False) on them)."""
+
+    def test_caller_arrays_stay_writable(self):
+        b = np.zeros((9, 9))
+        boundary = np.zeros(4 * 9 - 4)
+        p = PoissonProblem(b=b, boundary=boundary)
+        b[1, 1] = 42.0  # must not raise
+        boundary[0] = 7.0
+        assert b.flags.writeable and boundary.flags.writeable
+        # ... while the problem's own copies are frozen and isolated.
+        assert p.b.flags.writeable is False
+        assert p.boundary.flags.writeable is False
+        assert p.b[1, 1] == 0.0
+        assert p.boundary[0] == 0.0
+
+    def test_read_only_input_shared_without_copy(self):
+        b = np.zeros((9, 9))
+        b.setflags(write=False)
+        boundary = np.zeros(4 * 9 - 4)
+        boundary.setflags(write=False)
+        p = PoissonProblem(b=b, boundary=boundary)
+        assert p.b is b and p.boundary is boundary
+
+
+class TestOperatorField:
+    def test_default_operator_is_poisson(self):
+        p = make_problem("unbiased", 9, seed=1)
+        assert p.operator.canonical() == "poisson"
+        assert p.operator.is_default_poisson
+
+    def test_operator_threads_through_factories(self):
+        p = make_problem("unbiased", 9, seed=1, operator="anisotropic(epsilon=0.01)")
+        assert p.operator.canonical() == "anisotropic(epsilon=0.01)"
+        for q in training_set("biased", 9, 2, seed=1, operator="varcoeff"):
+            assert q.operator.canonical() == "varcoeff"
+
+    def test_point_sources_through_make_problem(self):
+        # Regression: the factory used to pass the distribution name
+        # positionally, which bound it to point_sources' count argument.
+        p = make_problem("point-sources", 9, seed=1, operator="varcoeff")
+        assert p.label == "point-sources"
+        assert p.operator.canonical() == "varcoeff"
+        assert np.count_nonzero(p.b) > 0
+
+    def test_rhs_draws_are_operator_independent(self):
+        a = make_problem("unbiased", 9, seed=1)
+        b = make_problem("unbiased", 9, seed=1, operator="varcoeff")
+        np.testing.assert_array_equal(a.b, b.b)
+        np.testing.assert_array_equal(a.boundary, b.boundary)
