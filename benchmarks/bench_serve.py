@@ -1,0 +1,257 @@
+"""Extension bench: serving throughput and tail latency, cold vs warmed cache.
+
+Drives the solve server with the closed-loop load generator over a
+mixed poisson/anisotropic workload, twice:
+
+* **cold start** — fresh store, nothing cached.  The first response per
+  workload class must come back via the heuristic fallback *without*
+  blocking on the DP tune (stale-while-tune), and the background swaps
+  must show up in telemetry.
+* **warmed cache** — every class warmed before the load.  Throughput
+  and tail latency are compared against the cold run; the gates fail
+  the run when the warmed cache is not decisively better.
+
+Two throughputs are reported per phase.  *Stream* throughput counts
+only the request stream's wall clock — thanks to stale-while-tune it
+stays high even cold, which is the point of the fallback.  *Steady-
+state* throughput charges the cold run for its full bootstrap: the
+clock runs until every background DP tune has landed, because until
+then the system is still paying cold-start cost in the background.
+The warmed/cold speedup gate compares steady-state numbers; the p95
+gate compares the streams' observed tail latencies.
+
+Runnable standalone (CI's bench-smoke job uses ``--smoke``)::
+
+    python benchmarks/bench_serve.py --smoke --json out.json
+    python benchmarks/bench_serve.py --min-speedup 5 --min-p95-factor 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import SolveServer, run_load
+from repro.store import TrialDB
+from repro.util.validation import size_of_level
+from repro.workloads.distributions import make_problem
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--level", type=int, default=None, help="grid level")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=2, help="serving threads")
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--instances", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--target", type=float, default=1e5)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small grid and request counts for CI"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless warmed-cache throughput reaches X times the cold "
+        "run's (default: 5 full, 1.5 smoke; 0 disables)",
+    )
+    parser.add_argument(
+        "--min-p95-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless cold p95 latency is at least X times the warmed "
+        "p95 (default: 2 full, 1.5 smoke; 0 disables)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=f"write results as JSON (default: {OUT_DIR}/serve.json)",
+    )
+    return parser
+
+
+def run_phase(
+    name: str,
+    specs,
+    args,
+    warm: bool,
+) -> dict:
+    """One load-generation pass against a fresh server and store."""
+    server = SolveServer(
+        machine="intel",
+        store=TrialDB(":memory:"),
+        workers=args.workers,
+        queue_size=max(64, args.requests),
+        batch_size=args.batch_size,
+        instances=args.instances,
+        seed=args.seed,
+    )
+    phase: dict = {"phase": name}
+    try:
+        if warm:
+            warm_started = time.perf_counter()
+            for dist, level, operator in specs:
+                entry = server.warm(dist, level, operator)
+                assert entry.source in ("tuned", "exact"), entry.source
+            phase["warmup_seconds"] = time.perf_counter() - warm_started
+        else:
+            # The stale-while-tune contract, observed: the very first
+            # request on a cold key answers from the heuristic fallback
+            # in far less time than the DP tune that replaces it.
+            dist, level, operator = specs[0]
+            probe = make_problem(
+                dist, size_of_level(level), args.seed, index=99, operator=operator
+            )
+            first = server.solve(probe, args.target)
+            phase["first_response"] = {
+                "plan_source": first.plan_source,
+                "latency_s": first.latency_s,
+                "stale": first.stale,
+            }
+        load_started = time.perf_counter()
+        report = run_load(
+            server,
+            specs,
+            requests=args.requests,
+            clients=args.clients,
+            target=args.target,
+            seed=args.seed,
+        )
+        if not warm:
+            # Steady state: the cold run is not done bootstrapping until
+            # every background swap has landed.
+            assert server.wait_for_swaps(timeout=600), "background tunes hung"
+            snapshot = server.stats()
+            phase["swap_events"] = snapshot["swap_events"]
+            phase["background_tune"] = snapshot["latency"].get("background_tune")
+        steady_wall = time.perf_counter() - load_started
+        report["steady_wall_seconds"] = steady_wall
+        report["steady_throughput_rps"] = (
+            report["completed"] / steady_wall if steady_wall > 0 else float("inf")
+        )
+        phase["load"] = report
+        phase["counters"] = server.stats()["counters"]
+    finally:
+        server.shutdown(drain=True)
+    return phase
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.level = args.level or 3
+        args.requests = args.requests or 24
+        args.clients = args.clients or 2
+        args.instances = args.instances or 1
+        min_speedup = 1.5 if args.min_speedup is None else args.min_speedup
+        min_p95 = 1.5 if args.min_p95_factor is None else args.min_p95_factor
+    else:
+        args.level = args.level or 5
+        args.requests = args.requests or 80
+        args.clients = args.clients or 4
+        args.instances = args.instances or 2
+        min_speedup = 5.0 if args.min_speedup is None else args.min_speedup
+        min_p95 = 2.0 if args.min_p95_factor is None else args.min_p95_factor
+
+    # Mixed workload: two poisson classes plus an anisotropic one.
+    specs = [
+        ("unbiased", args.level, None),
+        ("biased", args.level, None),
+        ("unbiased", args.level, "anisotropic(epsilon=0.01)"),
+    ]
+    print(
+        f"serve bench: level {args.level}, {args.requests} requests x "
+        f"{args.clients} clients, {len(specs)} workload classes, "
+        f"{args.workers} serving threads"
+    )
+
+    cold = run_phase("cold", specs, args, warm=False)
+    warmed = run_phase("warmed", specs, args, warm=True)
+
+    cold_rps = cold["load"]["steady_throughput_rps"]
+    warm_rps = warmed["load"]["steady_throughput_rps"]
+    speedup = warm_rps / cold_rps if cold_rps > 0 else float("inf")
+    cold_p95, warm_p95 = cold["load"]["p95_s"], warmed["load"]["p95_s"]
+    p95_factor = cold_p95 / warm_p95 if warm_p95 > 0 else float("inf")
+
+    first = cold["first_response"]
+    print(
+        f"  cold first response: {first['plan_source']} in "
+        f"{first['latency_s'] * 1e3:.1f}ms "
+        f"({len(cold['swap_events'])} background swap(s) observed)"
+    )
+    for phase in (cold, warmed):
+        load = phase["load"]
+        print(
+            f"  {phase['phase']:>6}: stream {load['throughput_rps']:8.1f} req/s  "
+            f"steady-state {load['steady_throughput_rps']:8.1f} req/s  "
+            f"p50={load['p50_s'] * 1e3:7.2f}ms  "
+            f"p95={load['p95_s'] * 1e3:7.2f}ms  "
+            f"p99={load['p99_s'] * 1e3:7.2f}ms  "
+            f"rejected={load['rejected']}"
+        )
+    print(
+        f"  warmed-vs-cold: steady-state throughput {speedup:.1f}x, "
+        f"p95 latency {p95_factor:.1f}x better"
+    )
+
+    report = {
+        "config": {
+            "level": args.level,
+            "requests": args.requests,
+            "clients": args.clients,
+            "workers": args.workers,
+            "batch_size": args.batch_size,
+            "instances": args.instances,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "specs": [list(s) for s in specs],
+        },
+        "cold": cold,
+        "warmed": warmed,
+        "throughput_speedup": speedup,
+        "p95_factor": p95_factor,
+    }
+    out_path = Path(args.json) if args.json else OUT_DIR / "serve.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if first["plan_source"] != "fallback":
+        failures.append(
+            f"cold first response came from {first['plan_source']!r}, "
+            "not the heuristic fallback"
+        )
+    if len(cold["swap_events"]) < len(specs):
+        failures.append(
+            f"only {len(cold['swap_events'])} background swap(s) observed "
+            f"for {len(specs)} cold classes"
+        )
+    if min_speedup > 0 and speedup < min_speedup:
+        failures.append(
+            f"warmed steady-state throughput {speedup:.2f}x cold, below the "
+            f"{min_speedup:.2f}x gate"
+        )
+    if min_p95 > 0 and p95_factor < min_p95:
+        failures.append(
+            f"cold p95 only {p95_factor:.2f}x the warmed p95, below the "
+            f"{min_p95:.2f}x gate"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ The package builds every system the paper relies on, in Python:
   (:mod:`repro.tuner`), with cycle-shape rendering (:mod:`repro.cycles`);
 * machine cost models and a work-stealing runtime (:mod:`repro.machines`,
   :mod:`repro.runtime`);
+* a batched, cache-warmed solve server with stale-while-tune background
+  tuning and telemetry (:mod:`repro.serve`);
 * a mini-PetaBricks choice framework (:mod:`repro.petabricks`);
 * the experiment harness regenerating every table/figure
   (:mod:`repro.bench`).

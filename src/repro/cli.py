@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Two entry styles share the ``repro-mg`` executable:
+Three entry styles share the ``repro-mg`` executable:
 
 * ``repro-mg <experiment> [options]`` — regenerate any paper
   table/figure or ablation (the entry point EXPERIMENTS.md is
   generated from);
 * ``repro-mg store <tune|ls|export|gc> [options]`` — operate the
   persistent tuning store (run resumable campaigns, list stored plans,
-  export the trial run table, compact the database).
+  export the trial run table, compact the database);
+* ``repro-mg serve [warm|bench] [options]`` — run the solve server:
+  warm the plan cache for named workload classes, or drive it with the
+  built-in closed-loop load generator and print telemetry.
 """
 
 from __future__ import annotations
@@ -96,13 +99,29 @@ _EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
 }
 
 
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-mg")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mg",
         description="Reproduction experiments for 'Autotuning Multigrid with "
         "PetaBricks' (SC'09)",
-        epilog="The persistent tuning store has its own subcommands: "
-        "`repro-mg store {tune,ls,export,gc}` (see `repro-mg store --help`).",
+        epilog="The persistent tuning store and the solve server have their "
+        "own subcommands: `repro-mg store {tune,ls,export,gc}` and "
+        "`repro-mg serve {warm,bench}` (see their --help).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     parser.add_argument(
         "experiment",
@@ -129,6 +148,9 @@ def build_store_parser() -> argparse.ArgumentParser:
         prog="repro-mg store",
         description="Operate the persistent tuning store (SQLite trial "
         "database + plan registry + resumable campaigns).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     parser.add_argument(
         "--db",
@@ -196,6 +218,13 @@ def build_store_parser() -> argparse.ArgumentParser:
 
     ls = sub.add_parser("ls", help="list stored plans (or trials)")
     ls.add_argument("--trials", action="store_true", help="list the trial log instead")
+    ls.add_argument(
+        "--operator",
+        metavar="OP",
+        default=None,
+        help="only rows for this operator spec (any spelling; symmetric "
+        "with `store tune --operator`)",
+    )
 
     export = sub.add_parser("export", help="export the trial run table")
     export.add_argument("--csv", metavar="PATH", help="write CSV here instead of stdout")
@@ -247,12 +276,27 @@ def _store_main(argv: list[str]) -> int:
 
     if args.command == "ls":
         if args.trials:
-            print(db.format_run_table())
+            if args.operator is None:
+                print(db.format_run_table())
+            else:
+                trials = db.trials(operator=args.operator)
+                if not trials:
+                    print(f"(no trials stored for operator {args.operator!r})")
+                else:
+                    from repro.bench.report import format_table
+
+                    headers = ["kind", "distribution", "operator", "max_level",
+                               "machine_name", "cycle_shape"]
+                    rows = [[str(getattr(t, h)) for h in headers] for t in trials]
+                    print(format_table(headers, rows))
         else:
             registry = PlanRegistry(db)
-            plans = registry.plans()
+            plans = registry.plans(operator=args.operator)
             if not plans:
-                print("(no plans stored)")
+                suffix = (
+                    f" for operator {args.operator!r}" if args.operator else ""
+                )
+                print(f"(no plans stored{suffix})")
             else:
                 from repro.bench.report import format_table
 
@@ -280,10 +324,165 @@ def _store_main(argv: list[str]) -> int:
     raise AssertionError(f"unhandled store command {args.command!r}")
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mg serve",
+        description="Run the batched, cache-warmed solve server: warm the "
+        "plan cache for named workload classes, or drive it with the "
+        "closed-loop load generator and print the telemetry snapshot.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
+    parser.add_argument(
+        "mode",
+        nargs="?",
+        choices=["warm", "bench"],
+        default="warm",
+        help="warm: tune-and-cache the --warm classes and print telemetry; "
+        "bench: additionally fire a closed-loop request stream (default: warm)",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help="store database path (default: $REPRO_MG_STORE or "
+        "./repro-mg-store.sqlite)",
+    )
+    parser.add_argument("--machine", default="intel", help="machine preset")
+    parser.add_argument(
+        "--warm",
+        action="append",
+        dest="warm_specs",
+        type=parse_warm_spec,
+        metavar="DIST:LEVEL[:OPERATOR]",
+        help="workload class to warm before serving (repeatable; e.g. "
+        "unbiased:5 or biased:5:anisotropic(epsilon=0.01); "
+        "default: unbiased:5)",
+    )
+    parser.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip warmup entirely (cold keys serve the heuristic fallback "
+        "and tune in the background)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for warmup and background DP tunes",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="serving threads")
+    parser.add_argument("--queue-size", type=int, default=128)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--instances", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=64, help="bench mode: total requests"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, help="bench mode: closed-loop clients"
+    )
+    parser.add_argument(
+        "--target", type=float, default=1e5, help="bench mode: target accuracy"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the telemetry snapshot JSON here"
+    )
+    return parser
+
+
+def parse_warm_spec(text: str) -> tuple[str, int, str | None]:
+    """``DIST:LEVEL[:OPERATOR]`` -> (distribution, level, operator).
+
+    Used as the ``type=`` of ``serve --warm``, so malformed specs become
+    argparse usage errors (exit code 2), not tracebacks.
+    """
+    parts = text.split(":", 2)
+    if len(parts) < 2:
+        raise ValueError(
+            f"warm spec {text!r} must be DIST:LEVEL[:OPERATOR], e.g. unbiased:5"
+        )
+    dist, level = parts[0], int(parts[1])
+    operator = parts[2] if len(parts) == 3 else None
+    return dist, level, operator
+
+
+def _serve_main(argv: list[str]) -> int:
+    import json
+    import os
+
+    from repro.core.api import STORE_ENV
+    from repro.serve import SolveServer
+    from repro.serve.loadgen import run_load
+    from repro.store import TrialDB
+
+    args = build_serve_parser().parse_args(argv)
+    db_path = args.db or os.environ.get(STORE_ENV, "repro-mg-store.sqlite")
+    specs = args.warm_specs or [parse_warm_spec("unbiased:5")]
+
+    with SolveServer(
+        machine=args.machine,
+        store=TrialDB(db_path),
+        workers=args.workers,
+        queue_size=args.queue_size,
+        batch_size=args.batch_size,
+        kind=args.kind,
+        seed=args.seed,
+        instances=args.instances,
+        tune_jobs=args.jobs,
+    ) as server:
+        if not args.no_warm:
+            for dist, level, operator in specs:
+                start = time.perf_counter()
+                entry = server.warm(dist, level, operator, jobs=args.jobs)
+                print(
+                    f"warmed {dist}:L{level}:{operator or 'poisson'}  "
+                    f"source={entry.source}  "
+                    f"({time.perf_counter() - start:.2f}s)"
+                )
+        if args.mode == "bench":
+            report = run_load(
+                server,
+                specs,
+                requests=args.requests,
+                clients=args.clients,
+                target=args.target,
+            )
+            print(
+                f"served {report['completed']} requests "
+                f"({report['rejected']} rejected) in "
+                f"{report['wall_seconds']:.2f}s = "
+                f"{report['throughput_rps']:.1f} req/s"
+            )
+            print(
+                "latency p50/p95/p99: "
+                + " / ".join(
+                    f"{report[k] * 1e3:.2f}ms"
+                    for k in ("p50_s", "p95_s", "p99_s")
+                )
+            )
+        server.wait_for_swaps(timeout=1.0)
+        snapshot = server.stats()
+    print(json.dumps(snapshot, indent=2))
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["store"]:
         return _store_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -4,15 +4,18 @@ This is the entry point a downstream user reaches for first: build a
 problem, autotune a plan for a machine, solve to a target accuracy.
 ``autotune_cached`` and ``solve_service`` do the same through the
 persistent plan registry (:mod:`repro.store`), amortizing tuning cost
-across calls, processes, and machines.  The full control surface lives
-in :mod:`repro.tuner`.
+across calls, processes, and machines; ``open_server`` runs the whole
+thing as a long-lived serving runtime (:mod:`repro.serve`).  The full
+control surface lives in :mod:`repro.tuner`.
 """
 
 from repro.core.api import (
     autotune,
     autotune_cached,
     autotune_full_mg,
+    close_default_registry,
     default_registry,
+    open_server,
     poisson_problem,
     solve,
     solve_reference,
@@ -23,7 +26,9 @@ __all__ = [
     "autotune",
     "autotune_cached",
     "autotune_full_mg",
+    "close_default_registry",
     "default_registry",
+    "open_server",
     "poisson_problem",
     "solve",
     "solve_reference",

@@ -31,13 +31,16 @@ from repro.workloads.distributions import make_problem
 from repro.workloads.problem import PoissonProblem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.server import SolveServer
     from repro.store.registry import PlanRegistry, RegistryHit
 
 __all__ = [
     "autotune",
     "autotune_cached",
     "autotune_full_mg",
+    "close_default_registry",
     "default_registry",
+    "open_server",
     "poisson_problem",
     "solve",
     "solve_reference",
@@ -52,21 +55,52 @@ STORE_ENV = "REPRO_MG_STORE"
 _default_registries: dict[str, "PlanRegistry"] = {}
 
 
+def _resolve_store_path(path: str) -> str:
+    """Canonical cache key for a store path.
+
+    Relative spellings of the same file (``store.sqlite`` vs
+    ``./store.sqlite``) must share one registry — and therefore one
+    SQLite connection — so the key is the absolute path.  ``:memory:``
+    stays symbolic: it names a per-process private store, not a file.
+    """
+    return path if path == ":memory:" else os.path.abspath(path)
+
+
 def default_registry() -> "PlanRegistry":
     """The process-wide plan registry.
 
     Backed by the SQLite file named in ``$REPRO_MG_STORE`` when set,
     otherwise an in-memory store shared by all callers in this process.
-    The environment variable is re-read on every call (cached per
-    path), so setting it mid-process takes effect on the next call.
+    The environment variable is re-read on every call but the registry
+    is cached per resolved path, so repeated calls — e.g. one per
+    served request — share a single SQLite connection instead of
+    opening a fresh one each time.  Setting the variable mid-process
+    takes effect on the next call.
     """
-    path = os.environ.get(STORE_ENV, ":memory:")
+    path = _resolve_store_path(os.environ.get(STORE_ENV, ":memory:"))
     registry = _default_registries.get(path)
     if registry is None:
         from repro.store.registry import PlanRegistry
 
         registry = _default_registries[path] = PlanRegistry(path)
     return registry
+
+
+def close_default_registry(path: str | None = None) -> int:
+    """Close cached default registries (all of them, or one path).
+
+    Teardown hook for services and tests: closes the underlying SQLite
+    connections and drops them from the per-path cache, so the next
+    :func:`default_registry` call reopens cleanly.  Returns how many
+    registries were closed.
+    """
+    if path is None:
+        doomed = list(_default_registries)
+    else:
+        doomed = [p for p in (_resolve_store_path(path),) if p in _default_registries]
+    for key in doomed:
+        _default_registries.pop(key).db.close()
+    return len(doomed)
 
 
 def _trial_executor(jobs: int | None):
@@ -302,22 +336,20 @@ def solve_service(
     The tuning key is derived from the problem (its level, its operator,
     and its distribution label unless ``distribution`` overrides it); repeated
     calls for the same workload class are registry hits that skip the
-    tuner entirely.  A cold key tunes across ``jobs`` worker processes
-    when ``jobs`` > 1 (identical plan, lower latency).  Returns
-    (solution, meter, registry hit) so callers can log where their plan
-    came from.
+    tuner entirely.  ``distribution="auto"`` classifies the problem's
+    right-hand side (:func:`repro.tuner.dynamic.classify_by_bias`)
+    instead of trusting the label — the escape hatch for problems built
+    outside the named distributions.  A cold key tunes across ``jobs``
+    worker processes when ``jobs`` > 1 (identical plan, lower latency).
+    Returns (solution, meter, registry hit) so callers can log where
+    their plan came from.
     """
     from repro.store.registry import TuneKey
-    from repro.workloads.distributions import DISTRIBUTIONS
+    from repro.tuner.dynamic import resolve_distribution
 
     profile = get_preset(machine) if isinstance(machine, str) else machine
     registry = _resolve_registry(store)
-    dist = distribution if distribution is not None else problem.label
-    if dist not in DISTRIBUTIONS:
-        raise ValueError(
-            f"cannot infer a training distribution from problem label {dist!r}; "
-            f"pass distribution= (one of {sorted(DISTRIBUTIONS)})"
-        )
+    dist = resolve_distribution(problem, distribution)
     key = TuneKey(
         kind=kind,
         distribution=dist,
@@ -329,3 +361,23 @@ def solve_service(
     hit = registry.get_or_tune(profile, key, jobs=jobs)
     x, meter = solve(hit.plan, problem, target_accuracy)
     return x, meter, hit
+
+
+def open_server(
+    machine: str | MachineProfile = "intel",
+    store: object = None,
+    **options: object,
+) -> "SolveServer":
+    """Open a :class:`~repro.serve.server.SolveServer` (the facade).
+
+    The server starts its worker threads immediately and is a context
+    manager (``with core.open_server() as server: ...`` drains and shuts
+    down on exit).  Keyword options pass through to
+    :class:`~repro.serve.server.SolveServer` — ``workers``,
+    ``queue_size``, ``batch_size``, ``tune_jobs``, ``scheduler``, the
+    tuning configuration (``kind``, ``accuracies``, ``seed``,
+    ``instances``), and so on.
+    """
+    from repro.serve.server import SolveServer
+
+    return SolveServer(machine=machine, store=store, **options)  # type: ignore[arg-type]

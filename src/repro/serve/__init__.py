@@ -1,0 +1,39 @@
+"""Solve-service runtime: batched, cache-warmed serving with background
+tuning.
+
+The paper's operational model — tune once, reuse the stored
+configuration — becomes a serving layer here: a :class:`SolveServer`
+admits requests into a bounded queue, micro-batches them per workload
+class, serves cold classes instantly from the heuristic fallback while
+a background DP tune hot-swaps the real plan in (**stale-while-tune**),
+and exports latency/cache/swap telemetry as JSON.
+
+Quickstart::
+
+    from repro import core
+    with core.open_server(machine="intel", workers=2) as server:
+        server.warm("unbiased", level=5)
+        result = server.solve(core.poisson_problem("unbiased", n=33), 1e5)
+        print(result.plan_source, server.stats()["counters"])
+"""
+
+from repro.serve.batching import Backpressure, RequestQueue
+from repro.serve.cache import CacheEntry, PlanCache, ServeKey
+from repro.serve.loadgen import run_load
+from repro.serve.server import ServeResult, SolveRequest, SolveServer
+from repro.serve.telemetry import LatencyHistogram, SwapEvent, Telemetry
+
+__all__ = [
+    "Backpressure",
+    "CacheEntry",
+    "LatencyHistogram",
+    "PlanCache",
+    "RequestQueue",
+    "ServeKey",
+    "ServeResult",
+    "SolveRequest",
+    "SolveServer",
+    "SwapEvent",
+    "Telemetry",
+    "run_load",
+]

@@ -1,0 +1,118 @@
+"""Bounded request queue with shape/operator-bucketed micro-batching.
+
+Admission control happens at the queue: when it is full, ``put``
+raises :class:`Backpressure` immediately instead of blocking the
+caller — a serving system degrades by shedding load, not by stalling
+every client behind an unbounded backlog.
+
+Batching happens at the exit: a worker takes the oldest request and
+drains every other queued request with the *same bucket key* (machine,
+operator, level, distribution), up to the batch cap.  Requests in one
+batch share a plan lookup and a solver setup (per-level operator
+instances, cached direct-solver factorizations), which is where the
+amortization the server advertises actually comes from.  Requests for
+other keys keep their queue order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Generic, Hashable, TypeVar
+
+__all__ = ["Backpressure", "RequestQueue"]
+
+T = TypeVar("T")
+
+
+class Backpressure(RuntimeError):
+    """The server's bounded queue is full; the request was not admitted.
+
+    Carries ``depth`` and ``capacity`` so callers (and load generators)
+    can implement retry-with-backoff without parsing messages.
+    """
+
+    def __init__(self, depth: int, capacity: int) -> None:
+        super().__init__(
+            f"request queue is full ({depth}/{capacity}); retry later"
+        )
+        self.depth = depth
+        self.capacity = capacity
+
+
+class RequestQueue(Generic[T]):
+    """Thread-safe bounded FIFO with same-key batch extraction."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, not {capacity}")
+        self.capacity = capacity
+        self._items: Deque[tuple[Hashable, T]] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, key: Hashable, item: T) -> int:
+        """Admit one request; returns the new depth.
+
+        Raises :class:`Backpressure` when full and :class:`RuntimeError`
+        when the queue is closed.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise RuntimeError("request queue is closed")
+            if len(self._items) >= self.capacity:
+                raise Backpressure(len(self._items), self.capacity)
+            self._items.append((key, item))
+            depth = len(self._items)
+            self._not_empty.notify()
+            return depth
+
+    def take_batch(self, max_size: int, timeout: float = 0.1) -> list[T] | None:
+        """Remove and return the next same-key batch, oldest first.
+
+        Blocks up to ``timeout`` for work; returns ``[]`` on timeout (so
+        callers can re-check shutdown flags) and ``None`` exactly when
+        the queue is closed *and* drained — the worker's signal to exit.
+        """
+        if max_size < 1:
+            raise ValueError(f"batch size must be >= 1, not {max_size}")
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None if self._closed and not self._items else []
+            head_key, head = self._items.popleft()
+            batch = [head]
+            if max_size > 1 and self._items:
+                keep: list[tuple[Hashable, T]] = []
+                for key, item in self._items:
+                    if key == head_key and len(batch) < max_size:
+                        batch.append(item)
+                    else:
+                        keep.append((key, item))
+                self._items = deque(keep)
+            return batch
+
+    def drain(self) -> list[T]:
+        """Remove and return everything queued (shutdown without drain)."""
+        with self._not_empty:
+            items = [item for _, item in self._items]
+            self._items.clear()
+            return items
+
+    def close(self) -> None:
+        """Refuse new work and wake blocked workers (idempotent)."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,317 @@
+"""The serving plan cache: in-memory layer over the plan registry.
+
+Entries are keyed per (machine fingerprint, operator, level,
+distribution) — the identity of a serving workload class — and hold an
+immutable :class:`CacheEntry` so readers never see a half-updated plan:
+a hot swap replaces the whole entry atomically under the cache lock.
+
+The cache implements the **stale-while-tune** contract the server
+builds on:
+
+* a warm key serves its cached plan with a dict lookup;
+* a key the registry knows (exact fingerprint or nearest profile) is
+  pulled in on first touch;
+* a genuinely cold key is served *immediately* from the paper's fixed
+  heuristic (:func:`repro.tuner.heuristics.tune_heuristic` — seconds,
+  not the minutes-scale DP pass), and the entry is marked ``stale`` so
+  the server schedules a background DP tune whose result hot-swaps in.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.machines.profile import MachineProfile
+from repro.operators.spec import OperatorSpec, parse_operator
+from repro.serve.telemetry import Telemetry
+from repro.tuner.plan import DEFAULT_ACCURACIES, TunedFullMGPlan, TunedVPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.registry import PlanRegistry, TuneKey
+
+__all__ = ["CacheEntry", "PlanCache", "ServeKey"]
+
+
+@dataclass(frozen=True)
+class ServeKey:
+    """Identity of one serving workload class (a cache bucket)."""
+
+    fingerprint: str
+    operator: str
+    level: int
+    distribution: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operator", parse_operator(self.operator).canonical())
+
+    def label(self) -> str:
+        """Compact human-readable form (telemetry event key)."""
+        return (
+            f"{self.fingerprint}/{self.operator}/L{self.level}/{self.distribution}"
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One immutable cached plan.
+
+    ``source`` records provenance: ``exact``/``nearest``/``tuned`` come
+    from the registry (same meaning as
+    :class:`~repro.store.registry.RegistryHit`), ``fallback`` is the
+    heuristic stand-in, ``swapped`` a background tune that replaced a
+    fallback.  ``stale`` marks entries awaiting a background tune;
+    ``generation`` increments on every swap so tests and telemetry can
+    observe replacement without comparing plan objects.
+    """
+
+    plan: TunedVPlan | TunedFullMGPlan
+    source: str
+    generation: int = 0
+    stale: bool = False
+    plan_json: str | None = None
+    #: requests served from this entry (mutable cell; the entry itself
+    #: stays frozen so concurrent readers always see a coherent plan)
+    served: list[int] = field(default_factory=lambda: [0], compare=False)
+
+    def serve_count(self) -> int:
+        return self.served[0]
+
+
+class PlanCache:
+    """Per-workload-class plan cache with stale-while-tune semantics.
+
+    One cache serves any number of machines; the machine fingerprint is
+    part of the key.  The tuning configuration (kind, accuracy ladder,
+    seed, training instances) is fixed per cache — it parameterizes the
+    registry :class:`~repro.store.registry.TuneKey` every bucket maps
+    to.
+    """
+
+    def __init__(
+        self,
+        registry: "PlanRegistry",
+        kind: str = "multigrid-v",
+        accuracies: tuple[float, ...] = DEFAULT_ACCURACIES,
+        seed: int | None = 0,
+        instances: int = 3,
+        allow_nearest: bool = True,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.registry = registry
+        self.kind = kind
+        self.accuracies = tuple(accuracies)
+        self.seed = seed
+        self.instances = instances
+        self.allow_nearest = allow_nearest
+        self.telemetry = telemetry or Telemetry()
+        self._lock = threading.Lock()
+        self._entries: dict[ServeKey, CacheEntry] = {}
+        # Per-key build locks so a thundering herd on one cold key tunes
+        # the heuristic once, without serializing unrelated keys.
+        # (Registry access needs no extra locking here: PlanRegistry
+        # serializes its database touches on the TrialDB lock.)
+        self._build_locks: dict[ServeKey, threading.Lock] = {}
+
+    # -- keys -------------------------------------------------------------
+
+    def key_for(
+        self,
+        profile: MachineProfile,
+        operator: OperatorSpec | str | None,
+        level: int,
+        distribution: str,
+    ) -> ServeKey:
+        return ServeKey(
+            fingerprint=profile.fingerprint(),
+            operator=parse_operator(operator).canonical(),
+            level=level,
+            distribution=distribution,
+        )
+
+    def tune_key(self, key: ServeKey) -> "TuneKey":
+        """The registry tuning key a cache bucket maps to."""
+        from repro.store.registry import TuneKey
+
+        return TuneKey(
+            kind=self.kind,
+            distribution=key.distribution,
+            max_level=key.level,
+            accuracies=self.accuracies,
+            seed=self.seed,
+            instances=self.instances,
+            operator=key.operator,
+        )
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(self, key: ServeKey) -> CacheEntry | None:
+        """The in-memory entry for ``key`` (no registry fallthrough)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[ServeKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def get_or_fallback(
+        self, profile: MachineProfile, key: ServeKey, count: int = 1
+    ) -> CacheEntry:
+        """Serve ``key`` without ever blocking on a DP tune.
+
+        Memory hit -> registry hit (exact, then nearest profile) ->
+        heuristic fallback, in that order.  The returned entry's
+        ``stale`` flag tells the caller a background tune is owed.
+        ``count`` is how many requests this lookup serves (batched
+        callers pass the batch size so serve counts and hit counters
+        stay per-request).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.served[0] += count
+                self.telemetry.incr("cache_hits", count)
+                return entry
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            # Double-check: another thread may have populated the bucket
+            # while this one waited on the build lock.
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    entry.served[0] += count
+                    self.telemetry.incr("cache_hits", count)
+                    return entry
+            self.telemetry.incr("cache_misses", count)
+            entry = self._load(profile, key)
+            with self._lock:
+                entry = self._entries.setdefault(key, entry)
+                entry.served[0] += count
+            return entry
+
+    def _load(self, profile: MachineProfile, key: ServeKey) -> CacheEntry:
+        hit = self.registry.get(
+            profile, self.tune_key(key), allow_nearest=self.allow_nearest
+        )
+        if hit is not None:
+            self.telemetry.incr(f"registry_{hit.source}")
+            return CacheEntry(
+                plan=hit.plan, source=hit.source, plan_json=hit.plan_json
+            )
+        self.telemetry.incr("fallback_builds")
+        return CacheEntry(
+            plan=self._fallback_plan(profile, key), source="fallback", stale=True
+        )
+
+    def _fallback_plan(self, profile: MachineProfile, key: ServeKey) -> TunedVPlan:
+        """The paper's fixed heuristic, trained for this workload class.
+
+        Strategy 10^final (recursion pinned to the ladder's top
+        accuracy) is the strongest of the Figure 7 heuristics and needs
+        no per-level accuracy search, so it trains in a fraction of the
+        DP's time — cheap enough to serve a cold key's first request.
+        """
+        from repro.tuner.heuristics import HeuristicStrategy, tune_heuristic
+        from repro.tuner.timing import CostModelTiming
+        from repro.tuner.training import TrainingData
+
+        final = len(self.accuracies) - 1
+        plan = tune_heuristic(
+            HeuristicStrategy(sub_index=final, final_index=final),
+            max_level=key.level,
+            accuracies=self.accuracies,
+            training=TrainingData(
+                distribution=key.distribution,
+                instances=self.instances,
+                seed=self.seed,
+                operator=key.operator,
+            ),
+            timing=CostModelTiming(profile),
+        )
+        plan.metadata["serve_fallback"] = True
+        return plan
+
+    # -- warmup and swap --------------------------------------------------
+
+    def warm(
+        self,
+        profile: MachineProfile,
+        distribution: str,
+        level: int,
+        operator: OperatorSpec | str | None = None,
+        jobs: int | None = None,
+    ) -> CacheEntry:
+        """Synchronously ensure a *tuned* plan is cached for this class.
+
+        Runs the registry's get-or-tune (the DP on a cold store), so a
+        warmed key never serves the heuristic fallback.  Idempotent:
+        warming an already-fresh key is a no-op lookup.
+        """
+        key = self.key_for(profile, operator, level, distribution)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and not entry.stale:
+                return entry
+        hit = self.registry.get_or_tune(
+            profile, self.tune_key(key), allow_nearest=self.allow_nearest, jobs=jobs
+        )
+        self.telemetry.incr("warmed_keys")
+        entry = CacheEntry(plan=hit.plan, source=hit.source, plan_json=hit.plan_json)
+        return self._install(key, entry)
+
+    def warm_many(
+        self,
+        profile: MachineProfile,
+        specs: Iterable[tuple[str, int, "OperatorSpec | str | None"]],
+        jobs: int | None = None,
+    ) -> list[CacheEntry]:
+        """Warm a batch of (distribution, level, operator) classes."""
+        return [
+            self.warm(profile, dist, level, operator, jobs=jobs)
+            for dist, level, operator in specs
+        ]
+
+    def swap(
+        self,
+        key: ServeKey,
+        plan: TunedVPlan | TunedFullMGPlan,
+        source: str = "swapped",
+        plan_json: str | None = None,
+    ) -> CacheEntry:
+        """Atomically replace the entry for ``key`` with a tuned plan.
+
+        Readers that already hold the old entry keep solving with it
+        (entries are immutable — no torn plans); the next lookup sees
+        the new one.  Returns the installed entry.
+        """
+        with self._lock:
+            old = self._entries.get(key)
+            generation = (old.generation + 1) if old is not None else 0
+            entry = CacheEntry(
+                plan=plan, source=source, generation=generation, plan_json=plan_json
+            )
+            self._entries[key] = entry
+            self.telemetry.swap_event(
+                key.label(),
+                old_source=old.source if old is not None else "(empty)",
+                new_source=source,
+                generation=generation,
+                stale_served=old.serve_count() if old is not None else 0,
+            )
+            return entry
+
+    def _install(self, key: ServeKey, entry: CacheEntry) -> CacheEntry:
+        """Install a fresh (non-swap) entry, keeping any newer one."""
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and not existing.stale:
+                return existing
+            if existing is not None:
+                entry = replace(entry, generation=existing.generation + 1)
+            self._entries[key] = entry
+            return entry

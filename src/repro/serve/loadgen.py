@@ -1,0 +1,137 @@
+"""Closed-loop load generation against a :class:`SolveServer`.
+
+``clients`` threads each keep exactly one request in flight: submit,
+wait for the result, submit the next — the classic closed-loop model,
+so offered load adapts to server capacity instead of overrunning it.
+Requests cycle over a mixed workload (the (distribution, level,
+operator) specs), which exercises the cache's per-class bucketing and
+the queue's same-key batching the way real mixed traffic would.
+
+:class:`~repro.serve.batching.Backpressure` rejections are counted and
+retried after a short pause, so a saturated queue degrades throughput
+instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.serve.batching import Backpressure
+from repro.util.validation import size_of_level
+from repro.workloads.distributions import make_problem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.server import ServeResult, SolveServer
+
+__all__ = ["run_load"]
+
+#: Problems pre-generated per workload class; clients cycle over them so
+#: RHS generation stays off the measured path.
+POOL_SIZE = 8
+
+
+def _exact_percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def run_load(
+    server: "SolveServer",
+    specs: Sequence[tuple[str, int, "str | None"]],
+    requests: int = 64,
+    clients: int = 4,
+    target: float = 1e5,
+    seed: int = 123,
+    retry_pause: float = 0.002,
+) -> dict[str, Any]:
+    """Drive ``requests`` requests through the server; returns a report.
+
+    The report carries throughput, exact latency percentiles over the
+    completed requests (p50/p95/p99), rejection counts, and a breakdown
+    of plan sources served — enough for the cold-vs-warm comparisons
+    the serve benchmark gates on.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    pools: list[list[Any]] = [
+        [
+            make_problem(
+                dist, size_of_level(level), seed, index=i, operator=operator
+            )
+            for i in range(POOL_SIZE)
+        ]
+        for dist, level, operator in specs
+    ]
+
+    counter_lock = threading.Lock()
+    issued = 0
+    rejected = 0
+    results: list["ServeResult"] = []
+
+    def next_index() -> int | None:
+        nonlocal issued
+        with counter_lock:
+            if issued >= requests:
+                return None
+            issued += 1
+            return issued - 1
+
+    def client_loop() -> None:
+        nonlocal rejected
+        while True:
+            index = next_index()
+            if index is None:
+                return
+            pool = pools[index % len(pools)]
+            problem = pool[(index // len(pools)) % len(pool)]
+            while True:
+                try:
+                    future = server.submit(problem, target)
+                    break
+                except Backpressure:
+                    with counter_lock:
+                        rejected += 1
+                    time.sleep(retry_pause)
+            result = future.result()
+            with counter_lock:
+                results.append(result)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_loop, name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    latencies = sorted(r.latency_s for r in results)
+    sources: dict[str, int] = {}
+    batched = 0
+    for r in results:
+        sources[r.plan_source] = sources.get(r.plan_source, 0) + 1
+        if r.batch_size > 1:
+            batched += 1
+    return {
+        "requests": requests,
+        "clients": clients,
+        "completed": len(results),
+        "rejected": rejected,
+        "wall_seconds": wall,
+        "throughput_rps": len(results) / wall if wall > 0 else float("inf"),
+        "p50_s": _exact_percentile(latencies, 0.50),
+        "p95_s": _exact_percentile(latencies, 0.95),
+        "p99_s": _exact_percentile(latencies, 0.99),
+        "max_s": latencies[-1] if latencies else 0.0,
+        "mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
+        "batched_fraction": batched / len(results) if results else 0.0,
+        "sources": dict(sorted(sources.items())),
+    }

@@ -1,0 +1,483 @@
+"""The solve server: a cache-warmed, batched serving runtime.
+
+:class:`SolveServer` turns the one-shot :func:`repro.core.solve_service`
+call into a long-running system shaped like production serving:
+
+* **admission control** — a bounded queue; when it is full, ``submit``
+  fails fast with :class:`~repro.serve.batching.Backpressure`;
+* **micro-batching** — worker threads drain same-workload-class
+  requests together, sharing one plan lookup and one solver setup
+  (NumPy kernels release the GIL, so workers genuinely overlap);
+* **stale-while-tune** — a cold workload class is answered immediately
+  from the paper's heuristic plan while a background job runs the real
+  DP tune and hot-swaps the tuned plan into the cache atomically, with
+  the swap provenance persisted into the trial log;
+* **telemetry** — per-request latency histograms, cache counters,
+  queue depth, and swap events (:mod:`repro.serve.telemetry`).
+
+Batches can optionally run on the work-stealing runtime
+(:mod:`repro.runtime.scheduler`) instead of sequentially inside one
+worker thread, connecting the serving layer to the paper's parallel
+execution model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+import numpy as np
+
+from repro.machines.presets import get_preset
+from repro.machines.profile import MachineProfile
+from repro.operators.spec import OperatorSpec
+from repro.serve.batching import Backpressure, RequestQueue
+from repro.serve.cache import CacheEntry, PlanCache, ServeKey
+from repro.serve.telemetry import Telemetry
+from repro.tuner.executor import PlanExecutor
+from repro.tuner.plan import DEFAULT_ACCURACIES
+from repro.workloads.problem import PoissonProblem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.registry import PlanRegistry
+
+__all__ = ["ServeResult", "SolveRequest", "SolveServer"]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """What a completed request resolves to."""
+
+    solution: np.ndarray
+    #: provenance of the plan that produced the solution
+    plan_source: str
+    #: cache generation of that plan (bumps on every hot swap)
+    generation: int
+    #: True when the request was served by a stale (fallback) entry
+    stale: bool
+    #: how many requests shared this request's batch
+    batch_size: int
+    #: submit-to-completion latency in seconds
+    latency_s: float
+
+
+@dataclass
+class SolveRequest:
+    """One queued request (internal)."""
+
+    problem: PoissonProblem
+    target_accuracy: float
+    key: ServeKey
+    profile: MachineProfile
+    future: "Future[ServeResult]"
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class SolveServer:
+    """Long-running solve service over a plan cache and worker pool.
+
+    Parameters
+    ----------
+    machine:
+        Preset name or :class:`MachineProfile` requests are priced and
+        tuned for (per-request override via ``submit(machine=...)``).
+    store:
+        Plan registry backing the cache — a
+        :class:`~repro.store.registry.PlanRegistry`,
+        :class:`~repro.store.trialdb.TrialDB`, path, or None for
+        :func:`repro.core.default_registry`.
+    workers:
+        Serving threads.  NumPy kernels release the GIL, so >1 overlaps
+        solves on multi-core hosts.
+    queue_size, batch_size:
+        Admission-control bound and micro-batch cap.
+    tune_jobs:
+        Worker *processes* for background DP tunes (None/1 = in the
+        tuner thread).
+    scheduler:
+        Optional :mod:`repro.runtime` scheduler (``SerialScheduler`` or
+        ``WorkStealingScheduler``); batches of >1 request then execute
+        as a task graph instead of a sequential loop.
+    """
+
+    def __init__(
+        self,
+        machine: str | MachineProfile = "intel",
+        store: object = None,
+        *,
+        workers: int = 2,
+        queue_size: int = 128,
+        batch_size: int = 8,
+        kind: str = "multigrid-v",
+        accuracies: tuple[float, ...] = DEFAULT_ACCURACIES,
+        seed: int | None = 0,
+        instances: int = 3,
+        tune_jobs: int | None = None,
+        allow_nearest: bool = True,
+        scheduler: Any | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, not {workers}")
+        from repro.core.api import _resolve_registry
+
+        self.profile = get_preset(machine) if isinstance(machine, str) else machine
+        self.registry: "PlanRegistry" = _resolve_registry(store)
+        self.telemetry = telemetry or Telemetry()
+        self.cache = PlanCache(
+            self.registry,
+            kind=kind,
+            accuracies=accuracies,
+            seed=seed,
+            instances=instances,
+            allow_nearest=allow_nearest,
+            telemetry=self.telemetry,
+        )
+        self.batch_size = batch_size
+        self.tune_jobs = tune_jobs
+        self.scheduler = scheduler
+        self._queue: RequestQueue[SolveRequest] = RequestQueue(queue_size)
+        self._state = threading.Condition()
+        self._closed = False
+        self._inflight = 0
+        self._tuning: set[ServeKey] = set()
+        self._tuner_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-tuner"
+        )
+        self._executors = threading.local()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- client surface ---------------------------------------------------
+
+    def submit(
+        self,
+        problem: PoissonProblem,
+        target_accuracy: float,
+        distribution: str | None = None,
+        machine: str | MachineProfile | None = None,
+    ) -> "Future[ServeResult]":
+        """Enqueue one request; returns a future resolving to
+        :class:`ServeResult`.
+
+        Raises :class:`Backpressure` when the queue is full and
+        :class:`RuntimeError` after :meth:`shutdown`.
+        """
+        with self._state:
+            if self._closed:
+                raise RuntimeError("server is shut down")
+        from repro.tuner.dynamic import resolve_distribution
+
+        profile = self.profile
+        if machine is not None:
+            profile = get_preset(machine) if isinstance(machine, str) else machine
+        dist = resolve_distribution(problem, distribution)
+        key = self.cache.key_for(profile, problem.operator, problem.level, dist)
+        future: "Future[ServeResult]" = Future()
+        request = SolveRequest(
+            problem=problem,
+            target_accuracy=target_accuracy,
+            key=key,
+            profile=profile,
+            future=future,
+        )
+        try:
+            depth = self._queue.put(key, request)
+        except Backpressure:
+            self.telemetry.incr("requests_rejected")
+            raise
+        self.telemetry.incr("requests_submitted")
+        self.telemetry.set_gauge("queue_depth", depth)
+        return future
+
+    def solve(
+        self,
+        problem: PoissonProblem,
+        target_accuracy: float,
+        distribution: str | None = None,
+        timeout: float | None = None,
+    ) -> ServeResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(problem, target_accuracy, distribution).result(timeout)
+
+    def warm(
+        self,
+        distribution: str,
+        level: int,
+        operator: OperatorSpec | str | None = None,
+        jobs: int | None = None,
+    ) -> CacheEntry:
+        """Synchronously tune-and-cache one workload class (no fallback
+        will ever serve for a warmed key)."""
+        return self.cache.warm(self.profile, distribution, level, operator, jobs=jobs)
+
+    def warm_many(
+        self,
+        specs: Iterable[tuple[str, int, OperatorSpec | str | None]],
+        jobs: int | None = None,
+    ) -> list[CacheEntry]:
+        return self.cache.warm_many(self.profile, specs, jobs=jobs)
+
+    def stats(self) -> dict[str, Any]:
+        """Telemetry snapshot (JSON-serializable)."""
+        self.telemetry.set_gauge("queue_depth", self._queue.depth())
+        self.telemetry.set_gauge("cached_keys", len(self.cache))
+        return self.telemetry.snapshot()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the server (idempotent).
+
+        ``drain=True`` waits for every admitted request to finish;
+        ``drain=False`` cancels whatever is still queued.  Background
+        tune jobs that have not started are dropped either way — plans
+        they would have produced stay cold in the registry, which a
+        future process can tune.
+        """
+        with self._state:
+            already = self._closed
+            self._closed = True
+        self._queue.close()
+        if not already and not drain:
+            for request in self._queue.drain():
+                request.future.cancel()
+                self.telemetry.incr("requests_cancelled")
+        if drain:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            with self._state:
+                while self._queue.depth() > 0 or self._inflight > 0:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                    self._state.wait(timeout=remaining if remaining else 0.1)
+        for thread in self._workers:
+            thread.join(timeout=timeout if drain else 5.0)
+        self._tuner_pool.shutdown(wait=False, cancel_futures=True)
+
+    def wait_for_swaps(self, timeout: float = 30.0) -> bool:
+        """Block until no background tune is in flight (True on success).
+
+        Lets tests and benchmarks observe the asynchronous half of
+        stale-while-tune deterministically.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._state:
+                if not self._tuning:
+                    return True
+            time.sleep(0.005)
+        with self._state:
+            return not self._tuning
+
+    def __enter__(self) -> "SolveServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown(drain=True)
+
+    # -- serving ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.take_batch(self.batch_size, timeout=0.05)
+            if batch is None:
+                return
+            if not batch:
+                continue
+            with self._state:
+                self._inflight += len(batch)
+            try:
+                self._serve_batch(batch)
+            finally:
+                with self._state:
+                    self._inflight -= len(batch)
+                    self._state.notify_all()
+                self.telemetry.set_gauge("queue_depth", self._queue.depth())
+
+    def _serve_batch(self, batch: list[SolveRequest]) -> None:
+        head = batch[0]
+        batch_started = time.perf_counter()
+        for request in batch:
+            self.telemetry.observe(
+                "queue_wait", batch_started - request.submitted_at
+            )
+        try:
+            entry = self.cache.get_or_fallback(head.profile, head.key, len(batch))
+        except Exception as exc:  # fallback tuning failed: fail the batch
+            for request in batch:
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(exc)
+            self.telemetry.incr("requests_failed", len(batch))
+            return
+        if entry.stale:
+            self.telemetry.incr("fallback_served", len(batch))
+            self._schedule_tune(head.key, head.profile, entry)
+        self.telemetry.incr("batches")
+        if len(batch) > 1:
+            self.telemetry.incr("batched_requests", len(batch))
+        executor = self._executor_for(head.key)
+        if self.scheduler is not None and len(batch) > 1:
+            # One request per distinct accuracy index runs inline first:
+            # each distinct index exercises its own plan path, so this
+            # populates every per-level operator instance and direct
+            # factorization the batch needs, and the parallel tail only
+            # reads those caches.  Requests whose target is off the
+            # ladder also stay inline (they fail fast in _solve_one).
+            inline, tail = [], []
+            seen: set[int] = set()
+            for request in batch:
+                try:
+                    acc_index = entry.plan.accuracy_index(request.target_accuracy)
+                except ValueError:
+                    acc_index = None
+                if acc_index is None or acc_index not in seen:
+                    if acc_index is not None:
+                        seen.add(acc_index)
+                    inline.append(request)
+                else:
+                    tail.append(request)
+            for request in inline:
+                self._solve_one(request, entry, executor, len(batch))
+            if tail:
+                self._run_on_scheduler(tail, entry, executor, len(batch))
+        else:
+            for request in batch:
+                self._solve_one(request, entry, executor, len(batch))
+
+    def _run_on_scheduler(
+        self, requests: list[SolveRequest], entry: CacheEntry, executor: PlanExecutor,
+        batch_size: int,
+    ) -> None:
+        from repro.runtime.task import TaskGraph
+
+        graph = TaskGraph()
+        for i, request in enumerate(requests):
+            graph.add(
+                f"solve-{i}",
+                # bind loop vars; _solve_one never raises (it resolves the
+                # request future), so scheduler error paths stay clean
+                fn=lambda r=request: self._solve_one(r, entry, executor, batch_size),
+            )
+        self.scheduler.run(graph)
+
+    def _solve_one(
+        self,
+        request: SolveRequest,
+        entry: CacheEntry,
+        executor: PlanExecutor,
+        batch_size: int,
+    ) -> None:
+        if not request.future.set_running_or_notify_cancel():
+            return
+        started = time.perf_counter()
+        try:
+            from repro.tuner.plan import TunedFullMGPlan
+
+            plan = entry.plan
+            acc_index = plan.accuracy_index(request.target_accuracy)
+            x = request.problem.initial_guess()
+            if isinstance(plan, TunedFullMGPlan):
+                executor.run_full_mg(plan, x, request.problem.b, acc_index)
+            else:
+                executor.run_v(plan, x, request.problem.b, acc_index)
+        except Exception as exc:
+            self.telemetry.incr("requests_failed")
+            request.future.set_exception(exc)
+            return
+        finished = time.perf_counter()
+        self.telemetry.observe("solve", finished - started)
+        latency = finished - request.submitted_at
+        self.telemetry.observe("request_latency", latency)
+        self.telemetry.incr("requests_completed")
+        request.future.set_result(
+            ServeResult(
+                solution=x,
+                plan_source=entry.source,
+                generation=entry.generation,
+                stale=entry.stale,
+                batch_size=batch_size,
+                latency_s=latency,
+            )
+        )
+
+    def _executor_for(self, key: ServeKey) -> PlanExecutor:
+        """Worker-local plan executor per operator (shared factorization
+        cache across batches of the same workload class)."""
+        cache: dict[str, PlanExecutor] | None = getattr(
+            self._executors, "by_operator", None
+        )
+        if cache is None:
+            cache = self._executors.by_operator = {}
+        executor = cache.get(key.operator)
+        if executor is None:
+            executor = cache[key.operator] = PlanExecutor(operator=key.operator)
+        return executor
+
+    # -- background tuning ------------------------------------------------
+
+    def _schedule_tune(
+        self, key: ServeKey, profile: MachineProfile, stale_entry: CacheEntry
+    ) -> None:
+        with self._state:
+            if self._closed or key in self._tuning:
+                return
+            self._tuning.add(key)
+        try:
+            self._tuner_pool.submit(self._background_tune, key, profile, stale_entry)
+        except RuntimeError:  # pool already shut down
+            with self._state:
+                self._tuning.discard(key)
+
+    def _background_tune(
+        self, key: ServeKey, profile: MachineProfile, stale_entry: CacheEntry
+    ) -> None:
+        # The registry serializes only its DB touches (lookup, store,
+        # trial record) — never the DP tune itself, so other cold keys
+        # keep resolving while this one tunes.
+        try:
+            from repro.store.registry import _default_tuner
+
+            tune_key = self.cache.tune_key(key)
+
+            def tuner():
+                plan = _default_tuner(profile, tune_key, jobs=self.tune_jobs)
+                # Swap provenance rides inside the plan JSON, so the
+                # trial row the registry records carries it durably.
+                plan.metadata["serve_swap"] = {
+                    "reason": "stale-while-tune",
+                    "key": key.label(),
+                    "fallback_generation": stale_entry.generation,
+                    "stale_served_at_tune": stale_entry.serve_count(),
+                }
+                return plan
+
+            started = time.perf_counter()
+            hit = self.registry.get_or_tune(
+                profile, tune_key, allow_nearest=False, tuner=tuner
+            )
+            if hit.source == "tuned":
+                self.telemetry.observe(
+                    "background_tune", time.perf_counter() - started
+                )
+            source = "swapped" if hit.source == "tuned" else hit.source
+            self.cache.swap(key, hit.plan, source=source, plan_json=hit.plan_json)
+        except Exception:
+            # A failed background tune must not take the server down; the
+            # fallback plan keeps serving and the next cold hit retries.
+            self.telemetry.incr("tune_errors")
+        finally:
+            with self._state:
+                self._tuning.discard(key)
+                self._state.notify_all()

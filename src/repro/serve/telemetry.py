@@ -1,0 +1,212 @@
+"""Serving telemetry: latency histograms, cache counters, swap events.
+
+The solve server's hot path is request latency, not tune time, so the
+metrics of record change with it: percentile latency (p50/p95/p99),
+cache hit/miss/fallback counters, queue depth, and plan hot-swap
+events.  Everything here is cheap enough to sit on the request path —
+histogram recording is one bisect plus one increment under a lock —
+and the whole state exports as JSON for dashboards or CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from collections import deque
+from typing import Any, Deque
+
+__all__ = ["LatencyHistogram", "SwapEvent", "Telemetry"]
+
+#: Default percentiles reported by snapshots.
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def _default_bounds() -> tuple[float, ...]:
+    """Geometric bucket upper bounds from 1 microsecond to ~1000 s.
+
+    Nine decades at 8 buckets/decade keeps relative error per bucket
+    under ~33% — plenty for tail-latency reporting — with 72 buckets.
+    """
+    return tuple(1e-6 * 10 ** (i / 8) for i in range(1, 73))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation.
+
+    Values are durations in seconds.  Percentiles interpolate to the
+    geometric midpoint of the selected bucket, so estimates are stable
+    under merge and never exceed the observed maximum by more than one
+    bucket width.  Not thread-safe on its own; :class:`Telemetry`
+    serializes access.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
+        self.bounds = bounds if bounds is not None else _default_bounds()
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, not {seconds}")
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated latency at quantile ``q`` in [0, 1] (0.0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], not {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                if i >= len(self.bounds):
+                    return self.max
+                lo = self.bounds[i - 1] if i > 0 else self.bounds[i] / 10
+                return min(math.sqrt(lo * self.bounds[i]), self.max)
+        return self.max  # pragma: no cover - rank <= count by construction
+
+    def to_dict(self, percentiles: tuple[float, ...] = PERCENTILES) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count,
+            "mean_s": self.mean,
+            "max_s": self.max,
+        }
+        for q in percentiles:
+            out[f"p{int(round(q * 100))}_s"] = self.percentile(q)
+        return out
+
+
+class SwapEvent:
+    """One atomic plan replacement in the cache (telemetry record)."""
+
+    __slots__ = ("seq", "key", "old_source", "new_source", "generation", "stale_served")
+
+    def __init__(
+        self,
+        seq: int,
+        key: str,
+        old_source: str,
+        new_source: str,
+        generation: int,
+        stale_served: int,
+    ) -> None:
+        self.seq = seq
+        self.key = key
+        self.old_source = old_source
+        self.new_source = new_source
+        self.generation = generation
+        self.stale_served = stale_served
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "key": self.key,
+            "old_source": self.old_source,
+            "new_source": self.new_source,
+            "generation": self.generation,
+            "stale_served": self.stale_served,
+        }
+
+
+class Telemetry:
+    """Thread-safe metric registry for one serving runtime.
+
+    Counters (monotonic ints), gauges (last-write-wins floats), named
+    latency histograms, and a bounded log of plan swap events.  A
+    :meth:`snapshot` is a plain dict — JSON-serializable as-is — taken
+    under the lock, so it is internally consistent.
+    """
+
+    def __init__(self, max_events: int = 256) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._events: Deque[SwapEvent] = deque(maxlen=max_events)
+        self._seq = 0
+
+    # -- recording --------------------------------------------------------
+
+    def incr(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = LatencyHistogram()
+            hist.record(seconds)
+
+    def swap_event(
+        self,
+        key: str,
+        old_source: str,
+        new_source: str,
+        generation: int,
+        stale_served: int = 0,
+    ) -> SwapEvent:
+        with self._lock:
+            self._seq += 1
+            event = SwapEvent(
+                self._seq, key, old_source, new_source, generation, stale_served
+            )
+            self._events.append(event)
+            self._counters["plan_swaps"] = self._counters.get("plan_swaps", 0) + 1
+            return event
+
+    # -- reading ----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def percentile(self, histogram: str, q: float) -> float:
+        with self._lock:
+            hist = self._histograms.get(histogram)
+            return hist.percentile(q) if hist is not None else 0.0
+
+    @property
+    def swap_events(self) -> list[SwapEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent, JSON-serializable view of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "latency": {
+                    name: hist.to_dict()
+                    for name, hist in sorted(self._histograms.items())
+                },
+                "swap_events": [e.to_dict() for e in self._events],
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)

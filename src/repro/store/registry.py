@@ -146,7 +146,14 @@ def profile_distance(a: dict[str, Any], b: dict[str, Any]) -> float:
 
 
 class PlanRegistry:
-    """Content-addressed store of tuned plans over a :class:`TrialDB`."""
+    """Content-addressed store of tuned plans over a :class:`TrialDB`.
+
+    Registry methods serialize their database touches on the TrialDB's
+    reentrant lock, so one registry may be shared across threads (the
+    solve server's workers and background tuner do); the DP tune inside
+    :meth:`get_or_tune` runs *outside* the lock, so concurrent lookups
+    never wait behind a tune.
+    """
 
     def __init__(self, db: TrialDB | str | Path = ":memory:") -> None:
         self.db = db if isinstance(db, TrialDB) else TrialDB(db)
@@ -168,10 +175,11 @@ class PlanRegistry:
         within ``max_distance``, when given).
         """
         fingerprint = profile.fingerprint()
-        row = self.db.conn.execute(
-            "SELECT * FROM plans WHERE plan_key = ?",
-            (key.storage_key(fingerprint),),
-        ).fetchone()
+        with self.db.lock:
+            row = self.db.conn.execute(
+                "SELECT * FROM plans WHERE plan_key = ?",
+                (key.storage_key(fingerprint),),
+            ).fetchone()
         if row is not None:
             self._touch(row["id"])
             return RegistryHit(
@@ -192,22 +200,23 @@ class PlanRegistry:
         max_distance: float | None,
     ) -> RegistryHit | None:
         mine = profile.to_dict()
-        rows = self.db.conn.execute(
-            """
-            SELECT * FROM plans
-            WHERE kind = ? AND distribution = ? AND operator = ? AND max_level = ?
-              AND accuracies = ? AND seed = ? AND instances = ?
-            """,
-            (
-                key.kind,
-                key.distribution,
-                key.operator,
-                key.max_level,
-                canonical_accuracies(key.accuracies),
-                canonical_seed(key.seed),
-                key.instances,
-            ),
-        ).fetchall()
+        with self.db.lock:
+            rows = self.db.conn.execute(
+                """
+                SELECT * FROM plans
+                WHERE kind = ? AND distribution = ? AND operator = ? AND max_level = ?
+                  AND accuracies = ? AND seed = ? AND instances = ?
+                """,
+                (
+                    key.kind,
+                    key.distribution,
+                    key.operator,
+                    key.max_level,
+                    canonical_accuracies(key.accuracies),
+                    canonical_seed(key.seed),
+                    key.instances,
+                ),
+            ).fetchall()
         best_row, best_dist = None, math.inf
         for row in rows:
             dist = profile_distance(mine, json.loads(row["profile_json"]))
@@ -231,18 +240,19 @@ class PlanRegistry:
         # Best-effort: the hit counter is telemetry, and lookups must stay
         # effectively read-only — never fail (or block on the single-writer
         # lock, e.g. during a concurrent VACUUM) just to bump it.
-        try:
-            self.db.conn.execute(
-                """
-                UPDATE plans SET hits = hits + 1,
-                    last_used_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
-                WHERE id = ?
-                """,
-                (plan_id,),
-            )
-            self.db.conn.commit()
-        except sqlite3.OperationalError:
-            self.db.conn.rollback()
+        with self.db.lock:
+            try:
+                self.db.conn.execute(
+                    """
+                    UPDATE plans SET hits = hits + 1,
+                        last_used_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
+                    WHERE id = ?
+                    """,
+                    (plan_id,),
+                )
+                self.db.conn.commit()
+            except sqlite3.OperationalError:
+                self.db.conn.rollback()
 
     # -- writes -----------------------------------------------------------
 
@@ -256,33 +266,34 @@ class PlanRegistry:
         canonical JSON."""
         fingerprint = profile.fingerprint()
         plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
-        self.db.conn.execute(
-            """
-            INSERT INTO plans (plan_key, kind, distribution, operator, max_level,
-                               accuracies, machine_fingerprint, seed, instances,
-                               machine_name, profile_json, plan_json)
-            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-            ON CONFLICT (plan_key) DO UPDATE SET
-                plan_json = excluded.plan_json,
-                profile_json = excluded.profile_json,
-                machine_name = excluded.machine_name
-            """,
-            (
-                key.storage_key(fingerprint),
-                key.kind,
-                key.distribution,
-                key.operator,
-                key.max_level,
-                canonical_accuracies(key.accuracies),
-                fingerprint,
-                canonical_seed(key.seed),
-                key.instances,
-                profile.name,
-                json.dumps(profile.to_dict(), sort_keys=True),
-                plan_json,
-            ),
-        )
-        self.db.conn.commit()
+        with self.db.lock:
+            self.db.conn.execute(
+                """
+                INSERT INTO plans (plan_key, kind, distribution, operator, max_level,
+                                   accuracies, machine_fingerprint, seed, instances,
+                                   machine_name, profile_json, plan_json)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT (plan_key) DO UPDATE SET
+                    plan_json = excluded.plan_json,
+                    profile_json = excluded.profile_json,
+                    machine_name = excluded.machine_name
+                """,
+                (
+                    key.storage_key(fingerprint),
+                    key.kind,
+                    key.distribution,
+                    key.operator,
+                    key.max_level,
+                    canonical_accuracies(key.accuracies),
+                    fingerprint,
+                    canonical_seed(key.seed),
+                    key.instances,
+                    profile.name,
+                    json.dumps(profile.to_dict(), sort_keys=True),
+                    plan_json,
+                ),
+            )
+            self.db.conn.commit()
         return plan_json
 
     # -- the main entry point ---------------------------------------------
@@ -318,6 +329,21 @@ class PlanRegistry:
         start = time.perf_counter()
         plan = (tuner or (lambda: _default_tuner(profile, key, jobs=jobs)))()
         wall = time.perf_counter() - start
+        return self.record_tuned_plan(
+            profile, key, plan, wall, record_trial=record_trial
+        )
+
+    def record_tuned_plan(
+        self,
+        profile: MachineProfile,
+        key: TuneKey,
+        plan: TunedVPlan | TunedFullMGPlan,
+        wall_seconds: float,
+        record_trial: bool = True,
+    ) -> RegistryHit:
+        """Store a freshly tuned plan and log its trial (one commit path
+        shared by :meth:`get_or_tune` and out-of-band tuners such as the
+        solve server's background jobs)."""
         plan_json = self.put(profile, key, plan)
         if record_trial:
             self.sink.record(
@@ -335,7 +361,7 @@ class PlanRegistry:
                     simulated_cost=plan.time_on(
                         profile, plan.max_level, plan.num_accuracies - 1
                     ),
-                    wall_seconds=wall,
+                    wall_seconds=wall_seconds,
                     plan_json=plan_json,
                 )
             )
@@ -358,25 +384,37 @@ class PlanRegistry:
         equal exactly when they serve identical plans for identical
         keys.
         """
-        rows = self.db.conn.execute(
-            "SELECT plan_key, plan_json FROM plans ORDER BY plan_key"
-        ).fetchall()
+        with self.db.lock:
+            rows = self.db.conn.execute(
+                "SELECT plan_key, plan_json FROM plans ORDER BY plan_key"
+            ).fetchall()
         return {row["plan_key"]: row["plan_json"] for row in rows}
 
-    def plans(self) -> list[dict[str, Any]]:
-        """Summary rows of every stored plan (for ``store ls``)."""
-        rows = self.db.conn.execute(
-            """
+    def plans(self, operator: str | None = None) -> list[dict[str, Any]]:
+        """Summary rows of stored plans (for ``store ls``).
+
+        ``operator`` filters to one operator family/spec; any spelling
+        is normalized to the canonical form rows are stored under.
+        """
+        query = """
             SELECT kind, distribution, operator, max_level, machine_name,
                    machine_fingerprint, seed, instances, hits,
                    created_at, last_used_at
-            FROM plans ORDER BY id
+            FROM plans
             """
-        ).fetchall()
+        params: tuple[Any, ...] = ()
+        if operator is not None:
+            from repro.operators.spec import parse_operator
+
+            query += " WHERE operator = ?"
+            params = (parse_operator(operator).canonical(),)
+        with self.db.lock:
+            rows = self.db.conn.execute(query + " ORDER BY id", params).fetchall()
         return [dict(row) for row in rows]
 
     def __len__(self) -> int:
-        (n,) = self.db.conn.execute("SELECT COUNT(*) FROM plans").fetchone()
+        with self.db.lock:
+            (n,) = self.db.conn.execute("SELECT COUNT(*) FROM plans").fetchone()
         return int(n)
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import csv
 import json
 import sqlite3
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
@@ -101,7 +102,16 @@ class TrialDB:
         self.path = str(path)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self.conn = sqlite3.connect(self.path)
+        # The connection may cross threads: the solve server's workers
+        # and background tuner share one registry, and an in-memory
+        # store is per-connection, so per-thread connections cannot
+        # work.  `self.lock` serializes every statement-to-commit
+        # sequence (TrialDB's own methods and PlanRegistry's take it),
+        # so concurrent threads cannot interleave half-built
+        # transactions; it is reentrant so composed operations
+        # (get_or_tune -> put -> record) nest freely.
+        self.lock = threading.RLock()
+        self.conn = sqlite3.connect(self.path, check_same_thread=False)
         self.conn.row_factory = sqlite3.Row
         if self.path != ":memory:":
             self.conn.execute("PRAGMA journal_mode=WAL")
@@ -127,25 +137,26 @@ class TrialDB:
 
     def record_trial(self, record: TrialRecord) -> int:
         """Append one trial row; returns its id."""
-        cur = self.conn.execute(
-            """
-            INSERT INTO trials (kind, distribution, operator, max_level,
-                                accuracies, machine_fingerprint, seed, instances,
-                                machine_name, cycle_shape, simulated_cost,
-                                wall_seconds, plan_json)
-            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-            """,
-            record.key()
-            + (
-                record.machine_name,
-                record.cycle_shape,
-                record.simulated_cost,
-                record.wall_seconds,
-                record.plan_json,
-            ),
-        )
-        self.conn.commit()
-        return int(cur.lastrowid)
+        with self.lock:
+            cur = self.conn.execute(
+                """
+                INSERT INTO trials (kind, distribution, operator, max_level,
+                                    accuracies, machine_fingerprint, seed, instances,
+                                    machine_name, cycle_shape, simulated_cost,
+                                    wall_seconds, plan_json)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                record.key()
+                + (
+                    record.machine_name,
+                    record.cycle_shape,
+                    record.simulated_cost,
+                    record.wall_seconds,
+                    record.plan_json,
+                ),
+            )
+            self.conn.commit()
+            return int(cur.lastrowid)
 
     def trials(
         self,
@@ -171,13 +182,15 @@ class TrialDB:
             max_level=max_level,
             operator=operator,
         )
-        rows = self.conn.execute(
-            f"SELECT * FROM trials{clauses} ORDER BY id", params
-        ).fetchall()
+        with self.lock:
+            rows = self.conn.execute(
+                f"SELECT * FROM trials{clauses} ORDER BY id", params
+            ).fetchall()
         return [_record_from_row(row) for row in rows]
 
     def count_trials(self) -> int:
-        (n,) = self.conn.execute("SELECT COUNT(*) FROM trials").fetchone()
+        with self.lock:
+            (n,) = self.conn.execute("SELECT COUNT(*) FROM trials").fetchone()
         return int(n)
 
     # -- run-table export -------------------------------------------------
@@ -186,9 +199,11 @@ class TrialDB:
         """(headers, rows) of the keyfields/resultfields run table."""
         headers = list(KEYFIELDS) + list(RESULTFIELDS) + ["created_at"]
         rows = []
-        for row in self.conn.execute(
-            f"SELECT {', '.join(headers)} FROM trials ORDER BY id"
-        ).fetchall():
+        with self.lock:
+            fetched = self.conn.execute(
+                f"SELECT {', '.join(headers)} FROM trials ORDER BY id"
+            ).fetchall()
+        for row in fetched:
             rows.append([row[h] for h in headers])
         return headers, rows
 
@@ -220,20 +235,21 @@ class TrialDB:
         newer one) and campaign cells left mid-flight, then VACUUMs.
         Returns counts of what was removed.
         """
-        cur = self.conn.execute(
-            f"""
-            DELETE FROM trials WHERE id NOT IN (
-                SELECT MAX(id) FROM trials GROUP BY {', '.join(KEYFIELDS)}
+        with self.lock:
+            cur = self.conn.execute(
+                f"""
+                DELETE FROM trials WHERE id NOT IN (
+                    SELECT MAX(id) FROM trials GROUP BY {', '.join(KEYFIELDS)}
+                )
+                """
             )
-            """
-        )
-        removed_trials = cur.rowcount
-        cur = self.conn.execute(
-            "DELETE FROM campaign_cells WHERE status != 'done'"
-        )
-        removed_cells = cur.rowcount
-        self.conn.commit()
-        self.conn.execute("VACUUM")
+            removed_trials = cur.rowcount
+            cur = self.conn.execute(
+                "DELETE FROM campaign_cells WHERE status != 'done'"
+            )
+            removed_cells = cur.rowcount
+            self.conn.commit()
+            self.conn.execute("VACUUM")
         return {"trials": removed_trials, "campaign_cells": removed_cells}
 
 

@@ -28,7 +28,7 @@ from repro.tuner.plan import TunedFullMGPlan, TunedVPlan
 from repro.tuner.trace import NULL_TRACE, Trace
 from repro.workloads.problem import PoissonProblem
 
-__all__ = ["DynamicSolver", "classify_by_bias"]
+__all__ = ["DynamicSolver", "classify_by_bias", "resolve_distribution"]
 
 Plan = TunedVPlan | TunedFullMGPlan
 Classifier = Callable[[PoissonProblem], str]
@@ -49,6 +49,28 @@ def classify_by_bias(problem: PoissonProblem, threshold: float = 0.12) -> str:
         return "unbiased"
     standardized_mean = abs(float(b.mean())) / spread
     return "biased" if standardized_mean > threshold else "unbiased"
+
+
+def resolve_distribution(problem: PoissonProblem, distribution: str | None) -> str:
+    """The training-distribution label for a service request.
+
+    ``None`` trusts the problem's label (raising when it is not a known
+    distribution); ``"auto"`` classifies the right-hand side with
+    :func:`classify_by_bias` instead — the escape hatch for unlabeled
+    or externally built problems.  Shared by
+    :func:`repro.core.solve_service` and the solve server.
+    """
+    from repro.workloads.distributions import DISTRIBUTIONS
+
+    if distribution == "auto":
+        return classify_by_bias(problem)
+    dist = distribution if distribution is not None else problem.label
+    if dist not in DISTRIBUTIONS:
+        raise ValueError(
+            f"cannot infer a training distribution from label {dist!r}; pass "
+            f'distribution= (one of {sorted(DISTRIBUTIONS)}) or "auto" to classify'
+        )
+    return dist
 
 
 @dataclass

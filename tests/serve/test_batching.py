@@ -1,0 +1,99 @@
+"""Tests for the bounded request queue and same-key micro-batching."""
+
+import threading
+
+import pytest
+
+from repro.serve.batching import Backpressure, RequestQueue
+
+
+class TestAdmissionControl:
+    def test_put_returns_depth(self):
+        q = RequestQueue(4)
+        assert q.put("a", 1) == 1
+        assert q.put("a", 2) == 2
+        assert q.depth() == 2
+
+    def test_backpressure_is_typed_and_carries_capacity(self):
+        q = RequestQueue(2)
+        q.put("a", 1)
+        q.put("a", 2)
+        with pytest.raises(Backpressure) as err:
+            q.put("a", 3)
+        assert err.value.depth == 2
+        assert err.value.capacity == 2
+        assert isinstance(err.value, RuntimeError)
+
+    def test_closed_queue_rejects_puts(self):
+        q = RequestQueue(2)
+        q.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            q.put("a", 1)
+
+
+class TestBatching:
+    def test_same_key_requests_batch_together(self):
+        q = RequestQueue(10)
+        for i, key in enumerate(["a", "b", "a", "a", "b"]):
+            q.put(key, (key, i))
+        batch = q.take_batch(max_size=8)
+        assert batch == [("a", 0), ("a", 2), ("a", 3)]
+        # Other keys kept their FIFO order.
+        assert q.take_batch(max_size=8) == [("b", 1), ("b", 4)]
+
+    def test_batch_cap_respected(self):
+        q = RequestQueue(10)
+        for i in range(5):
+            q.put("a", i)
+        assert q.take_batch(max_size=2) == [0, 1]
+        assert q.take_batch(max_size=2) == [2, 3]
+        assert q.take_batch(max_size=2) == [4]
+
+    def test_batch_size_one_preserves_order(self):
+        q = RequestQueue(10)
+        for i, key in enumerate(["a", "b", "a"]):
+            q.put(key, i)
+        assert q.take_batch(max_size=1) == [0]
+        assert q.take_batch(max_size=1) == [1]
+        assert q.take_batch(max_size=1) == [2]
+
+    def test_timeout_returns_empty_list(self):
+        q = RequestQueue(2)
+        assert q.take_batch(max_size=4, timeout=0.01) == []
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            RequestQueue(0)
+        q = RequestQueue(2)
+        with pytest.raises(ValueError):
+            q.take_batch(0)
+
+
+class TestCloseSemantics:
+    def test_closed_and_drained_returns_none(self):
+        q = RequestQueue(4)
+        q.put("a", 1)
+        q.close()
+        assert q.take_batch(4) == [1]  # drains what was admitted
+        assert q.take_batch(4, timeout=0.01) is None
+
+    def test_close_wakes_blocked_taker(self):
+        q = RequestQueue(4)
+        out = []
+
+        def taker():
+            out.append(q.take_batch(4, timeout=10.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        q.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert out == [None]
+
+    def test_drain_empties_queue(self):
+        q = RequestQueue(4)
+        q.put("a", 1)
+        q.put("b", 2)
+        assert q.drain() == [1, 2]
+        assert q.depth() == 0

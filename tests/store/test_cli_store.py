@@ -90,6 +90,33 @@ class TestStoreLsExportGc:
         assert "machine_fingerprint" in out
         assert "mp-" in out
 
+    def test_ls_operator_filter(self, db_path, capsys):
+        main(tune_args(db_path))  # poisson
+        main(tune_args(db_path, "--operator", "anisotropic(epsilon=0.02)"))
+        capsys.readouterr()
+        # Any spelling of the spec is normalized before filtering.
+        assert main(
+            ["store", "--db", db_path, "ls", "--operator", "anisotropic(epsilon=2e-2)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "anisotropic(epsilon=0.02)" in out
+        assert out.count("multigrid-v") == 1  # poisson row filtered out
+        assert main(
+            ["store", "--db", db_path, "ls", "--operator", "varcoeff"]
+        ) == 0
+        assert "no plans stored for operator" in capsys.readouterr().out
+
+    def test_ls_trials_operator_filter(self, db_path, capsys):
+        main(tune_args(db_path))
+        main(tune_args(db_path, "--operator", "anisotropic(epsilon=0.02)"))
+        capsys.readouterr()
+        assert main(
+            ["store", "--db", db_path, "ls", "--trials", "--operator", "poisson"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "poisson" in out
+        assert "anisotropic" not in out
+
     def test_export_stdout_and_csv(self, db_path, tmp_path, capsys):
         main(tune_args(db_path))
         capsys.readouterr()

@@ -96,6 +96,46 @@ class TestSolveService:
         assert hit.source == "tuned"
 
 
+class TestSolveServiceAutoDistribution:
+    def test_auto_classifies_unlabelled_problem(self):
+        import numpy as np
+
+        from repro.workloads.problem import PoissonProblem
+
+        rng = np.random.default_rng(1)
+        scale, shift = float(2**32), float(2**31)
+        problem = PoissonProblem(
+            b=rng.uniform(-scale, scale, (9, 9)) + shift,
+            boundary=rng.uniform(-scale, scale, 32) + shift,
+        )
+        db = TrialDB(":memory:")
+        _, _, hit = solve_service(
+            problem, 1e3, distribution="auto", instances=1, seed=3, store=db
+        )
+        (trial,) = db.trials()
+        assert trial.distribution == "biased"
+        assert hit.source == "tuned"
+
+    def test_auto_overrides_the_label(self):
+        """'auto' classifies the data even when a label is present."""
+        db = TrialDB(":memory:")
+        problem = poisson_problem("unbiased", n=9, seed=5)
+        _, _, _ = solve_service(
+            problem, 1e3, distribution="auto", instances=1, seed=3, store=db
+        )
+        (trial,) = db.trials()
+        assert trial.distribution == "unbiased"  # classifier agrees here
+
+    def test_unknown_label_still_raises_without_auto(self):
+        import numpy as np
+
+        from repro.workloads.problem import PoissonProblem
+
+        problem = PoissonProblem(b=np.zeros((9, 9)), boundary=np.zeros(32))
+        with pytest.raises(ValueError, match='"auto"'):
+            solve_service(problem, 1e3, store=TrialDB(":memory:"))
+
+
 class TestDefaultRegistry:
     def test_env_var_change_takes_effect(self, tmp_path, monkeypatch):
         from repro.core.api import STORE_ENV
@@ -110,3 +150,54 @@ class TestDefaultRegistry:
         assert default_registry() is on_disk  # cached per path
         monkeypatch.delenv(STORE_ENV)
         assert default_registry() is in_memory
+
+    def test_repeated_calls_share_one_connection(self, tmp_path, monkeypatch):
+        from repro.core.api import STORE_ENV
+
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "shared.sqlite"))
+        first = default_registry()
+        second = default_registry()
+        assert second is first
+        assert second.db is first.db
+        assert second.db.conn is first.db.conn  # one SQLite connection
+
+    def test_relative_spellings_resolve_to_one_registry(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.core.api import STORE_ENV
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv(STORE_ENV, "rel-store.sqlite")
+        plain = default_registry()
+        monkeypatch.setenv(STORE_ENV, "./rel-store.sqlite")
+        dotted = default_registry()
+        assert dotted is plain
+
+    def test_close_default_registry(self, tmp_path, monkeypatch):
+        import sqlite3
+
+        from repro.core import close_default_registry
+        from repro.core.api import STORE_ENV
+
+        path = tmp_path / "closeme.sqlite"
+        monkeypatch.setenv(STORE_ENV, str(path))
+        registry = default_registry()
+        assert close_default_registry(str(path)) == 1
+        with pytest.raises(sqlite3.ProgrammingError):
+            registry.db.conn.execute("SELECT 1")
+        # The next call reopens cleanly (a fresh cached instance).
+        reopened = default_registry()
+        assert reopened is not registry
+        assert tuple(reopened.db.conn.execute("SELECT 1").fetchone()) == (1,)
+
+    def test_close_all_and_unknown_path(self, tmp_path, monkeypatch):
+        from repro.core import close_default_registry
+        from repro.core.api import STORE_ENV
+
+        assert close_default_registry(str(tmp_path / "never-opened.sqlite")) == 0
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "a.sqlite"))
+        default_registry()
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "b.sqlite"))
+        default_registry()
+        assert close_default_registry() >= 2  # closes every cached registry
+        assert close_default_registry() == 0  # idempotent

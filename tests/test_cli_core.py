@@ -61,3 +61,96 @@ class TestCLI:
         rc = main(["ablation-smoother"])
         assert rc == 0
         assert "smoother" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.cli import _version
+
+        with pytest.raises(SystemExit) as err:
+            main(["--version"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert _version() in out
+        # Metadata-sourced or source-tree fallback, both are real versions.
+        assert _version().count(".") >= 1 or _version() == __version__
+
+    def test_version_flag_on_subcommand_parsers(self, capsys):
+        for argv in (["store", "--version"], ["serve", "--version"]):
+            with pytest.raises(SystemExit) as err:
+                main(argv)
+            assert err.value.code == 0
+            assert "repro-mg" in capsys.readouterr().out
+
+
+class TestServeCLI:
+    def test_parse_warm_spec(self):
+        from repro.cli import parse_warm_spec
+
+        assert parse_warm_spec("unbiased:5") == ("unbiased", 5, None)
+        assert parse_warm_spec("biased:4:anisotropic(epsilon=0.01)") == (
+            "biased",
+            4,
+            "anisotropic(epsilon=0.01)",
+        )
+        with pytest.raises(ValueError, match="DIST:LEVEL"):
+            parse_warm_spec("unbiased")
+
+    def test_malformed_warm_spec_is_a_usage_error(self, capsys):
+        for bad in ("unbiased", "unbiased:x"):
+            with pytest.raises(SystemExit) as err:
+                main(["serve", "warm", "--warm", bad])
+            assert err.value.code == 2  # argparse usage error, no traceback
+            capsys.readouterr()
+
+    def test_serve_warm_mode(self, tmp_path, capsys):
+        db = str(tmp_path / "serve.sqlite")
+        rc = main(
+            [
+                "serve",
+                "warm",
+                "--db",
+                db,
+                "--warm",
+                "unbiased:3",
+                "--instances",
+                "1",
+                "--seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "warmed unbiased:L3:poisson" in out
+        assert '"warmed_keys": 1' in out
+
+    def test_serve_bench_mode(self, tmp_path, capsys):
+        db = str(tmp_path / "serve.sqlite")
+        json_path = str(tmp_path / "telemetry.json")
+        rc = main(
+            [
+                "serve",
+                "bench",
+                "--db",
+                db,
+                "--warm",
+                "unbiased:3",
+                "--requests",
+                "8",
+                "--clients",
+                "2",
+                "--instances",
+                "1",
+                "--seed",
+                "3",
+                "--json",
+                json_path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 8 requests" in out
+        assert "latency p50/p95/p99" in out
+        import json
+
+        snapshot = json.loads(open(json_path).read())
+        assert snapshot["counters"]["requests_completed"] == 8

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.cycles",
     "repro.machines",
     "repro.runtime",
+    "repro.serve",
     "repro.petabricks",
     "repro.bench",
     "repro.util",
