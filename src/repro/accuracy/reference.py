@@ -23,21 +23,41 @@ from repro.workloads.problem import PoissonProblem
 
 __all__ = ["ReferenceSolutionCache", "reference_solution"]
 
-#: Largest grid size solved directly for references.
+#: Largest grid size solved directly for references (2-D).
 DIRECT_CUTOFF = 129
+
+#: The 3-D analogue: sparse-LU references stay cheap up to 17**3
+#: unknowns; beyond that the multigrid iteration is both faster and
+#: lighter on memory.
+DIRECT_CUTOFF_3D = 17
 
 #: Largest grid size the stalled-cycle fallback may solve exactly.  The
 #: banded factor is O(n^3) memory (~133 MB at 257); beyond this the
 #: fallback would silently allocate gigabytes, so it raises instead.
 FALLBACK_DIRECT_CUTOFF = 257
 
+#: 3-D fallback bound: sparse-LU fill at 33**3 interior unknowns is the
+#: largest factorization worth holding for a reference.
+FALLBACK_DIRECT_CUTOFF_3D = 33
+
 _direct = DirectSolver(backend="lapack", cache_factorization=True)
 
 
-def reference_solution(problem: PoissonProblem, direct_cutoff: int = DIRECT_CUTOFF) -> np.ndarray:
+def _default_cutoff(ndim: int) -> int:
+    return DIRECT_CUTOFF if ndim == 2 else DIRECT_CUTOFF_3D
+
+
+def _fallback_cutoff(ndim: int) -> int:
+    return FALLBACK_DIRECT_CUTOFF if ndim == 2 else FALLBACK_DIRECT_CUTOFF_3D
+
+
+def reference_solution(
+    problem: PoissonProblem, direct_cutoff: int | None = None
+) -> np.ndarray:
     """Compute x_opt for ``problem`` (read-only array).
 
-    Uses the exact banded solve for n <= direct_cutoff, otherwise one full
+    Uses the exact solve for n <= direct_cutoff (``None`` picks the
+    per-dimensionality default: 129 in 2-D, 17 in 3-D), otherwise one full
     multigrid cycle plus V cycles until the residual norm stagnates (no
     factor-of-2 improvement between cycles) — i.e. machine precision for
     the problem's operator.
@@ -53,9 +73,14 @@ def reference_solution(problem: PoissonProblem, direct_cutoff: int = DIRECT_CUTO
     """
     x = problem.initial_guess()
     b = problem.b
+    ndim = b.ndim
+    if direct_cutoff is None:
+        direct_cutoff = _default_cutoff(ndim)
     op = shared_operator(problem.operator, problem.n)
     if problem.n <= direct_cutoff:
-        op.direct_solve(x, b, solver=_direct)
+        # The shared LAPACK band solver only encodes the 2-D default
+        # Poisson stencil; other operators own their factorizations.
+        op.direct_solve(x, b, solver=_direct if ndim == 2 else None)
         x.setflags(write=False)
         return x
     scratch = np.zeros_like(x)
@@ -90,12 +115,12 @@ def reference_solution(problem: PoissonProblem, direct_cutoff: int = DIRECT_CUTO
     if not default_poisson and cur > 1e-10 * initial:
         # Cycles stalled far from the achievable floor for this
         # operator; solve exactly (bounded), or fail loudly.
-        if problem.n > FALLBACK_DIRECT_CUTOFF:
+        if problem.n > _fallback_cutoff(ndim):
             raise RuntimeError(
                 f"reference solution for operator "
                 f"{problem.operator.canonical()!r} at n={problem.n} stalled at "
                 f"residual ratio {cur / initial if initial else 0.0:.2e}, and the "
-                f"exact fallback is limited to n <= {FALLBACK_DIRECT_CUTOFF}"
+                f"exact fallback is limited to n <= {_fallback_cutoff(ndim)}"
             )
         x = problem.initial_guess()
         op.direct_solve(x, b)
@@ -110,7 +135,8 @@ class ReferenceSolutionCache:
     reference for each instance is computed once.
     """
 
-    def __init__(self, direct_cutoff: int = DIRECT_CUTOFF) -> None:
+    def __init__(self, direct_cutoff: int | None = None) -> None:
+        #: ``None`` resolves per problem dimensionality at compute time
         self.direct_cutoff = direct_cutoff
         # Keyed by id(); each entry pins the problem object so CPython can
         # never recycle an id while its cache entry is alive (id reuse after

@@ -195,9 +195,18 @@ def build_store_parser() -> argparse.ArgumentParser:
         action="append",
         dest="operators",
         metavar="OP",
-        help="operator spec (repeatable; default: poisson; families: "
-        f"{', '.join(sorted(operator_families()))}; "
-        "e.g. anisotropic(epsilon=0.01))",
+        help="operator spec (repeatable; default: poisson — or poisson3d "
+        f"with --ndim 3; families: {', '.join(sorted(operator_families()))}; "
+        "e.g. anisotropic(epsilon=0.01), anisotropic3d(epsx=0.01))",
+    )
+    tune.add_argument(
+        "--ndim",
+        type=int,
+        choices=(2, 3),
+        default=None,
+        help="grid dimensionality of the campaign (default: derived from "
+        "--operator, 2 when neither is given; picks the default operator "
+        "family and validates explicit --operator specs)",
     )
     tune.add_argument(
         "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
@@ -244,12 +253,28 @@ def _store_main(argv: list[str]) -> int:
     db = TrialDB(db_path)
 
     if args.command == "tune":
+        from repro.operators.spec import default_operator_spec, parse_operator
+
+        operators = tuple(
+            args.operators
+            or (default_operator_spec(args.ndim if args.ndim else 2).canonical(),)
+        )
+        # An unspecified --ndim derives from the operators (core API
+        # semantics); an explicit one must match every spec.
+        if args.ndim is not None:
+            for op in operators:
+                spec_ndim = parse_operator(op).ndim
+                if spec_ndim != args.ndim:
+                    build_store_parser().error(
+                        f"--operator {op!r} is a {spec_ndim}-D family but "
+                        f"--ndim is {args.ndim}"
+                    )
         spec = CampaignSpec(
             name=args.campaign,
             machines=tuple(args.machines or ("intel", "amd", "sun")),
             distributions=tuple(args.distributions or ("unbiased",)),
             levels=tuple(args.levels or (5,)),
-            operators=tuple(args.operators or ("poisson",)),
+            operators=operators,
             kind=args.kind,
             seed=args.seed,
             instances=args.instances,

@@ -20,7 +20,12 @@ from repro.machines.meter import OpMeter
 from repro.machines.presets import get_preset
 from repro.machines.profile import MachineProfile
 from repro.multigrid.solver import ReferenceFullMGSolver, ReferenceVSolver, SORSolver
-from repro.operators.spec import OperatorSpec, parse_operator, shared_operator
+from repro.operators.spec import (
+    OperatorSpec,
+    default_operator_spec,
+    parse_operator,
+    shared_operator,
+)
 from repro.tuner.dp import VCycleTuner
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.full_mg import FullMGTuner
@@ -133,19 +138,43 @@ def _resolve_registry(store: object) -> "PlanRegistry":
     raise TypeError(f"store must be a PlanRegistry, TrialDB, or path; got {store!r}")
 
 
+def _resolve_operator_ndim(
+    operator: OperatorSpec | str | None, ndim: int | None
+) -> OperatorSpec:
+    """Resolve the (operator, ndim) pair every one-call wrapper accepts.
+
+    ``operator=None`` picks the constant-coefficient Poisson default for
+    ``ndim`` (2 unless specified); an explicit operator must agree with
+    an explicit ``ndim``.
+    """
+    if operator is None:
+        return default_operator_spec(2 if ndim is None else ndim)
+    spec = parse_operator(operator)
+    if ndim is not None and spec.ndim != ndim:
+        raise ValueError(
+            f"ndim={ndim} does not match operator {spec.canonical()!r} "
+            f"(a {spec.ndim}-D family)"
+        )
+    return spec
+
+
 def poisson_problem(
     distribution: str = "unbiased",
     n: int = 33,
     seed: int | None = 0,
     operator: OperatorSpec | str | None = None,
+    ndim: int | None = None,
 ) -> PoissonProblem:
     """A deterministic problem instance from a named distribution.
 
     ``operator`` picks the discrete operator family (default: the
     constant-coefficient Poisson stencil; also ``"varcoeff"``,
-    ``"anisotropic"``, or any canonical spec string).
+    ``"anisotropic"``, ``"poisson3d"``, or any canonical spec string).
+    ``ndim=3`` with no operator selects the 3-D Poisson default.
     """
-    return make_problem(distribution, n, seed, operator=operator)
+    return make_problem(
+        distribution, n, seed, operator=_resolve_operator_ndim(operator, ndim)
+    )
 
 
 def autotune(
@@ -157,16 +186,20 @@ def autotune(
     seed: int | None = 0,
     jobs: int | None = None,
     operator: OperatorSpec | str | None = None,
+    ndim: int | None = None,
 ) -> TunedVPlan:
     """Tune the MULTIGRID-V_i family for a machine, distribution and operator.
 
     ``jobs`` > 1 evaluates candidate trials on a process pool
     (:mod:`repro.parallel`); trial tasks are deterministically seeded,
     so the tuned plan is identical to a serial (``jobs=1``) tune.
+    ``ndim=3`` selects the 3-D workload family (``operator=None`` then
+    means the 3-D Poisson default).
     """
     profile = get_preset(machine) if isinstance(machine, str) else machine
     training = TrainingData(
-        distribution=distribution, instances=instances, seed=seed, operator=operator
+        distribution=distribution, instances=instances, seed=seed,
+        operator=_resolve_operator_ndim(operator, ndim),
     )
     with _trial_executor(jobs) as executor:
         tuner = VCycleTuner(
@@ -189,6 +222,7 @@ def autotune_full_mg(
     vplan: TunedVPlan | None = None,
     jobs: int | None = None,
     operator: OperatorSpec | str | None = None,
+    ndim: int | None = None,
 ) -> TunedFullMGPlan:
     """Tune FULL-MULTIGRID_i (tuning the V family first if not supplied).
 
@@ -197,7 +231,8 @@ def autotune_full_mg(
     """
     profile = get_preset(machine) if isinstance(machine, str) else machine
     training = TrainingData(
-        distribution=distribution, instances=instances, seed=seed, operator=operator
+        distribution=distribution, instances=instances, seed=seed,
+        operator=_resolve_operator_ndim(operator, ndim),
     )
     with _trial_executor(jobs) as executor:
         if vplan is None:
@@ -289,6 +324,7 @@ def autotune_cached(
     allow_nearest: bool = True,
     jobs: int | None = None,
     operator: OperatorSpec | str | None = None,
+    ndim: int | None = None,
 ) -> TunedVPlan | TunedFullMGPlan:
     """:func:`autotune` through the persistent plan registry.
 
@@ -313,7 +349,7 @@ def autotune_cached(
         accuracies=tuple(accuracies),
         seed=seed,
         instances=instances,
-        operator=parse_operator(operator).canonical(),
+        operator=_resolve_operator_ndim(operator, ndim).canonical(),
     )
     return registry.get_or_tune(
         profile, key, allow_nearest=allow_nearest, jobs=jobs

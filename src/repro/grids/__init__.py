@@ -1,16 +1,19 @@
-"""Grid substrate: 2D vertex-centered grids, the discrete Poisson operator,
-inter-grid transfers, boundary handling, and norms.
+"""Grid substrate: vertex-centered grids, the discrete Poisson operator,
+inter-grid transfers, boundary handling, and norms — in 2-D and 3-D.
 
-Grids are square ``float64`` arrays of shape (N, N) with N = 2**k + 1.  The
-outermost ring of cells holds Dirichlet boundary values; interior cells are
-unknowns.  The mesh spacing is h = 1/(N-1) and the operator is the standard
-5-point discretization of the negative Laplacian,
+Grids are cube-shaped ``float64`` arrays of side N = 2**k + 1 in ndim in
+{2, 3}.  The outermost shell of cells holds Dirichlet boundary values;
+interior cells are unknowns.  The mesh spacing is h = 1/(N-1) and the
+operator is the standard (2*ndim+1)-point discretization of the negative
+Laplacian — in 2-D,
 
     (A u)_ij = (4 u_ij - u_{i-1,j} - u_{i+1,j} - u_{i,j-1} - u_{i,j+1}) / h**2,
 
-which is symmetric positive definite on the interior unknowns — exactly the
-system the paper's three building blocks (band Cholesky, Red-Black SOR,
-multigrid) all solve.
+and the 7-point analogue with diagonal 6/h**2 in 3-D — symmetric positive
+definite on the interior unknowns, exactly the system the paper's three
+building blocks (direct solve, Red-Black SOR, multigrid) all solve.  The
+2-D kernels are the historical hand-tuned implementations, byte-identical;
+3-D inputs dispatch into separable per-axis implementations.
 """
 
 from repro.grids.grid import (
@@ -21,7 +24,13 @@ from repro.grids.grid import (
     refine_size,
     zero_boundary,
 )
-from repro.grids.poisson import apply_poisson, residual, rhs_scale
+from repro.grids.poisson import (
+    apply_axis_stencil,
+    apply_poisson,
+    residual,
+    residual_axis_stencil,
+    rhs_scale,
+)
 from repro.grids.transfer import (
     interpolate_bilinear,
     interpolate_correction,
@@ -30,16 +39,24 @@ from repro.grids.transfer import (
 )
 from repro.grids.boundary import (
     apply_dirichlet,
+    boundary_mask,
     boundary_ring,
+    boundary_size,
+    boundary_values,
     set_boundary,
+    set_boundary_values,
 )
 from repro.grids.norms import error_norm, interior_norm, residual_norm
 
 __all__ = [
     "alloc_grid",
+    "apply_axis_stencil",
     "apply_dirichlet",
     "apply_poisson",
+    "boundary_mask",
     "boundary_ring",
+    "boundary_size",
+    "boundary_values",
     "coarsen_size",
     "error_norm",
     "interior",
@@ -51,8 +68,10 @@ __all__ = [
     "residual",
     "residual_norm",
     "restrict_full_weighting",
+    "residual_axis_stencil",
     "restrict_injection",
     "rhs_scale",
     "set_boundary",
+    "set_boundary_values",
     "zero_boundary",
 ]

@@ -1,17 +1,58 @@
 """Dirichlet boundary handling.
 
-The boundary ring of a grid array carries the Dirichlet data.  Solvers never
-modify it; transfers of *error corrections* use zero boundaries because the
-error of any iterate vanishes on the boundary.
+The boundary shell of a grid array carries the Dirichlet data.  Solvers
+never modify it; transfers of *error corrections* use zero boundaries
+because the error of any iterate vanishes on the boundary.
+
+Two layouts coexist:
+
+* 2-D keeps the historical *ring* layout (top row, bottom row, then the
+  left/right columns minus corners) so stored problems and seeded draws
+  stay byte-identical;
+* 3-D (and the dimension-neutral :func:`boundary_values` /
+  :func:`set_boundary_values` pair) uses the row-major walk of the
+  boundary mask — stable, and round-trips exactly like the ring.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.util.validation import check_square_grid
+from repro.util.validation import check_cube_grid, check_ndim, check_square_grid
 
-__all__ = ["apply_dirichlet", "boundary_ring", "set_boundary"]
+__all__ = [
+    "apply_dirichlet",
+    "boundary_mask",
+    "boundary_ring",
+    "boundary_size",
+    "boundary_values",
+    "set_boundary",
+    "set_boundary_values",
+]
+
+
+def boundary_size(n: int, ndim: int = 2) -> int:
+    """Number of boundary points of an ``ndim``-cube grid of side ``n``.
+
+    2-D: 4n - 4 (the ring); 3-D: the six faces, n**3 - (n-2)**3.
+    """
+    check_ndim(ndim)
+    return n**ndim - (n - 2) ** ndim
+
+
+_MASKS: dict[tuple[int, int], np.ndarray] = {}
+
+
+def boundary_mask(n: int, ndim: int) -> np.ndarray:
+    """Read-only boolean mask of the boundary points (cached per shape)."""
+    check_ndim(ndim)
+    mask = _MASKS.get((n, ndim))
+    if mask is None:
+        mask = np.ones((n,) * ndim, dtype=bool)
+        mask[(slice(1, -1),) * ndim] = False
+        mask.setflags(write=False)
+        _MASKS[(n, ndim)] = mask
+    return mask
 
 
 def boundary_ring(a: np.ndarray) -> np.ndarray:
@@ -38,8 +79,41 @@ def set_boundary(a: np.ndarray, ring: np.ndarray) -> np.ndarray:
     return a
 
 
+def boundary_values(a: np.ndarray) -> np.ndarray:
+    """The boundary values of ``a`` as a 1-D array (dimension-neutral).
+
+    2-D uses the historical ring layout of :func:`boundary_ring`; 3-D
+    uses the row-major mask walk.  Round-trips with
+    :func:`set_boundary_values`.
+    """
+    if a.ndim == 2:
+        return boundary_ring(a)
+    check_cube_grid(a, "a")
+    return a[boundary_mask(a.shape[0], a.ndim)]
+
+
+def set_boundary_values(a: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Write ``values`` (layout of :func:`boundary_values`) onto ``a`` in
+    place."""
+    if a.ndim == 2:
+        return set_boundary(a, values)
+    check_cube_grid(a, "a")
+    n = a.shape[0]
+    expected = boundary_size(n, a.ndim)
+    if values.shape != (expected,):
+        raise ValueError(f"boundary length {values.shape} != ({expected},)")
+    a[boundary_mask(n, a.ndim)] = values
+    return a
+
+
 def apply_dirichlet(a: np.ndarray, value: float | np.ndarray) -> np.ndarray:
-    """Set the whole boundary ring of ``a`` to ``value`` in place."""
+    """Set the whole boundary shell of ``a`` to ``value`` in place."""
+    if a.ndim != 2:
+        check_cube_grid(a, "a")
+        if np.isscalar(value):
+            a[boundary_mask(a.shape[0], a.ndim)] = value
+            return a
+        return set_boundary_values(a, np.asarray(value, dtype=a.dtype))
     check_square_grid(a, "a")
     if np.isscalar(value):
         a[0, :] = value

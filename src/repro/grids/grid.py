@@ -1,10 +1,16 @@
-"""Basic grid construction and view helpers."""
+"""Basic grid construction and view helpers.
+
+Grids are ``ndim``-dimensional cubes (``ndim`` in 2 or 3) with ``n``
+points per side; the historical 2-D helpers keep their exact code paths
+and the 3-D cases branch off them, so the default 2-D hot path is
+byte-identical to the pre-``ndim`` code.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.util.validation import check_grid_size, level_of_size
+from repro.util.validation import check_grid_size, check_ndim, level_of_size
 
 __all__ = [
     "alloc_grid",
@@ -17,12 +23,15 @@ __all__ = [
 ]
 
 
-def alloc_grid(n: int, fill: float = 0.0) -> np.ndarray:
-    """Allocate an (n, n) float64 grid filled with ``fill``."""
+def alloc_grid(n: int, fill: float = 0.0, ndim: int = 2) -> np.ndarray:
+    """Allocate an ``ndim``-cube float64 grid of side ``n`` filled with
+    ``fill``."""
     check_grid_size(n)
+    check_ndim(ndim)
+    shape = (n,) * ndim
     if fill == 0.0:
-        return np.zeros((n, n), dtype=np.float64)
-    return np.full((n, n), fill, dtype=np.float64)
+        return np.zeros(shape, dtype=np.float64)
+    return np.full(shape, fill, dtype=np.float64)
 
 
 def mesh_width(n: int) -> float:
@@ -47,15 +56,26 @@ def refine_size(n: int) -> int:
 
 def interior(a: np.ndarray) -> np.ndarray:
     """Writable view of the interior unknowns of ``a`` (no copy)."""
-    return a[1:-1, 1:-1]
+    if a.ndim == 2:
+        return a[1:-1, 1:-1]
+    return a[(slice(1, -1),) * a.ndim]
 
 
 def zero_boundary(a: np.ndarray) -> np.ndarray:
-    """Zero the boundary ring of ``a`` in place and return ``a``."""
-    a[0, :] = 0.0
-    a[-1, :] = 0.0
-    a[:, 0] = 0.0
-    a[:, -1] = 0.0
+    """Zero the boundary shell of ``a`` in place and return ``a``."""
+    if a.ndim == 2:
+        a[0, :] = 0.0
+        a[-1, :] = 0.0
+        a[:, 0] = 0.0
+        a[:, -1] = 0.0
+        return a
+    full = [slice(None)] * a.ndim
+    for axis in range(a.ndim):
+        sl = list(full)
+        sl[axis] = 0
+        a[tuple(sl)] = 0.0
+        sl[axis] = -1
+        a[tuple(sl)] = 0.0
     return a
 
 

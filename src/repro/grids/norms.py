@@ -14,17 +14,24 @@ __all__ = ["error_norm", "interior_norm", "residual_norm"]
 
 
 def interior_norm(a: np.ndarray) -> float:
-    """Euclidean norm of the interior unknowns of ``a``."""
-    inner = a[1:-1, 1:-1]
-    return float(np.sqrt(np.einsum("ij,ij->", inner, inner)))
+    """Euclidean norm of the interior unknowns of ``a`` (2-D or 3-D)."""
+    if a.ndim == 2:
+        inner = a[1:-1, 1:-1]
+        return float(np.sqrt(np.einsum("ij,ij->", inner, inner)))
+    inner = a[(slice(1, -1),) * a.ndim]
+    return float(np.sqrt(np.einsum("ijk,ijk->", inner, inner)))
 
 
 def error_norm(x: np.ndarray, x_opt: np.ndarray) -> float:
     """||x - x_opt||_2 over interior points."""
     if x.shape != x_opt.shape:
         raise ValueError(f"shape mismatch: {x.shape} vs {x_opt.shape}")
-    d = x[1:-1, 1:-1] - x_opt[1:-1, 1:-1]
-    return float(np.sqrt(np.einsum("ij,ij->", d, d)))
+    if x.ndim == 2:
+        d = x[1:-1, 1:-1] - x_opt[1:-1, 1:-1]
+        return float(np.sqrt(np.einsum("ij,ij->", d, d)))
+    inner = (slice(1, -1),) * x.ndim
+    d = x[inner] - x_opt[inner]
+    return float(np.sqrt(np.einsum("ijk,ijk->", d, d)))
 
 
 def residual_norm(r: np.ndarray) -> float:

@@ -1,18 +1,30 @@
-"""The discrete 2D Poisson operator and residual computation.
+"""The discrete Poisson operator and residual computation (2-D and 3-D).
 
 Hot-path functions are fully vectorized (slice arithmetic only — no Python
 loops over grid points) and support an ``out`` parameter so callers can avoid
-allocation in inner loops.
+allocation in inner loops.  The 2-D paths are the historical hand-tuned
+kernels, untouched; 3-D inputs branch into the dimension-general
+axis-weighted kernels (:func:`apply_axis_stencil` /
+:func:`residual_axis_stencil`) with unit coefficients — the 7-point stencil
+``(6 u - sum of neighbours) / h**2``.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.grids.grid import mesh_width, prepare_out
-from repro.util.validation import check_square_grid
+from repro.util.validation import check_cube_grid, check_square_grid
 
-__all__ = ["apply_poisson", "residual", "rhs_scale"]
+__all__ = [
+    "apply_axis_stencil",
+    "apply_poisson",
+    "residual",
+    "residual_axis_stencil",
+    "rhs_scale",
+]
 
 
 def rhs_scale(n: int) -> float:
@@ -21,11 +33,77 @@ def rhs_scale(n: int) -> float:
     return 1.0 / (h * h)
 
 
+def _axis_slices(ndim: int, axis: int) -> tuple[tuple[slice, ...], tuple[slice, ...]]:
+    """(lower, upper) neighbour index tuples along ``axis`` for the interior."""
+    lo = tuple(slice(0, -2) if a == axis else slice(1, -1) for a in range(ndim))
+    hi = tuple(slice(2, None) if a == axis else slice(1, -1) for a in range(ndim))
+    return lo, hi
+
+
+def apply_axis_stencil(
+    u: np.ndarray,
+    coeffs: Sequence[float],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply the per-axis constant-coefficient (2d+1)-point stencil.
+
+    (A u)_p = [sum_a c_a (2 u_p - u_{p-e_a} - u_{p+e_a})] / h**2 on the
+    interior; zero on the boundary shell.  ``coeffs`` has one entry per
+    array axis; unit coefficients give -laplacian_h in any dimension.
+    """
+    check_cube_grid(u, "u")
+    if len(coeffs) != u.ndim:
+        raise ValueError(f"need {u.ndim} coefficients, got {len(coeffs)}")
+    inv_h2 = rhs_scale(u.shape[0])
+    out = prepare_out(out, u.shape, u.dtype, "u")
+    inner = (slice(1, -1),) * u.ndim
+    acc = out[inner]
+    np.multiply(u[inner], 2.0 * float(sum(coeffs)), out=acc)
+    for axis, c in enumerate(coeffs):
+        lo, hi = _axis_slices(u.ndim, axis)
+        acc -= c * u[lo]
+        acc -= c * u[hi]
+    acc *= inv_h2
+    return out
+
+
+def residual_axis_stencil(
+    u: np.ndarray,
+    b: np.ndarray,
+    coeffs: Sequence[float],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """r = b - A u for the per-axis stencil of :func:`apply_axis_stencil`."""
+    check_cube_grid(u, "u")
+    if b.shape != u.shape:
+        raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
+    if len(coeffs) != u.ndim:
+        raise ValueError(f"need {u.ndim} coefficients, got {len(coeffs)}")
+    inv_h2 = rhs_scale(u.shape[0])
+    out = prepare_out(out, u.shape, u.dtype, "u")
+    inner = (slice(1, -1),) * u.ndim
+    acc = out[inner]
+    np.multiply(u[inner], -2.0 * float(sum(coeffs)), out=acc)
+    for axis, c in enumerate(coeffs):
+        lo, hi = _axis_slices(u.ndim, axis)
+        acc += c * u[lo]
+        acc += c * u[hi]
+    acc *= inv_h2
+    acc += b[inner]
+    return out
+
+
+_UNIT_3D = (1.0, 1.0, 1.0)
+
+
 def apply_poisson(u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Apply A = -laplacian_h to ``u``; result is zero on the boundary ring.
 
-    (A u)_ij = (4 u_ij - u_N - u_S - u_W - u_E) / h**2 on interior points.
+    (A u)_ij = (4 u_ij - u_N - u_S - u_W - u_E) / h**2 on interior points
+    in 2-D; the 7-point analogue with diagonal 6/h**2 in 3-D.
     """
+    if u.ndim == 3:
+        return apply_axis_stencil(u, _UNIT_3D, out)
     check_square_grid(u, "u")
     n = u.shape[0]
     inv_h2 = rhs_scale(n)
@@ -45,9 +123,11 @@ def apply_poisson(u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
 def residual(u: np.ndarray, b: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Residual r = b - A u on the interior; zero on the boundary ring.
 
-    The boundary ring of ``u`` carries the Dirichlet data, so the 5-point
-    stencil evaluated adjacent to the boundary picks it up automatically.
+    The boundary shell of ``u`` carries the Dirichlet data, so the stencil
+    evaluated adjacent to the boundary picks it up automatically.
     """
+    if u.ndim == 3:
+        return residual_axis_stencil(u, b, _UNIT_3D, out)
     check_square_grid(u, "u")
     if b.shape != u.shape:
         raise ValueError(f"b shape {b.shape} != u shape {u.shape}")

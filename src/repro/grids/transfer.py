@@ -2,10 +2,14 @@
 
 Vertex-centered hierarchy: a fine grid of size N_f = 2**k + 1 maps onto a
 coarse grid of size N_c = 2**(k-1) + 1 with coincident points at even fine
-indices.  Restriction is full weighting (the transpose of bilinear
-interpolation up to a scale factor of 4 in 2D), interpolation is bilinear.
-These are the standard pairing for the 5-point Poisson operator and what the
-paper's RECURSE steps 5 and 7 perform.
+indices.  Restriction is full weighting (the transpose of (bi/tri)linear
+interpolation up to a scale factor of 2**ndim), interpolation is bilinear
+in 2-D and trilinear in 3-D.  These are the standard pairing for the
+5-point/7-point Poisson operators and what the paper's RECURSE steps 5 and
+7 perform.  The public functions dispatch on the input's dimensionality;
+2-D keeps the historical kernels byte-identical, while 3-D uses separable
+per-axis passes (the tensor-product [1/4, 1/2, 1/4] weighting, i.e. the
+27-point full-weighting stencil, and its trilinear adjoint).
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.grids.grid import coarsen_size, prepare_out
-from repro.util.validation import check_square_grid, level_of_size
+from repro.util.validation import check_cube_grid, check_square_grid, level_of_size
 
 __all__ = [
     "interpolate_bilinear",
@@ -23,16 +27,87 @@ __all__ = [
 ]
 
 
+def _restrict_axis_fw(a: np.ndarray, axis: int) -> np.ndarray:
+    """One separable full-weighting pass: coarsen ``axis`` by the
+    [1/4, 1/2, 1/4] rule at even indices, zeroing that axis's boundary."""
+    n = a.shape[axis]
+    nc = (n - 1) // 2 + 1
+    shape = list(a.shape)
+    shape[axis] = nc
+    out = np.zeros(tuple(shape), dtype=a.dtype)
+
+    def sl(arr_ndim: int, which: slice) -> tuple[slice, ...]:
+        return tuple(which if ax == axis else slice(None) for ax in range(arr_ndim))
+
+    acc = out[sl(a.ndim, slice(1, -1))]
+    np.multiply(a[sl(a.ndim, slice(2, -2, 2))], 0.5, out=acc)
+    acc += 0.25 * a[sl(a.ndim, slice(1, -3, 2))]
+    acc += 0.25 * a[sl(a.ndim, slice(3, -1, 2))]
+    return out
+
+
+def _restrict_full_weighting_3d(fine: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    nc = coarsen_size(fine.shape[0])
+    t = fine
+    for axis in range(3):
+        t = _restrict_axis_fw(t, axis)
+    # Each separable pass zeroes its own axis's boundary, so t already
+    # has a clean zero shell — hand it back directly when no out buffer
+    # was supplied (this sits on the cycle hot path).
+    if out is None:
+        return t
+    if out.shape != (nc,) * 3:
+        raise ValueError(f"out shape {out.shape} != coarse shape {(nc,) * 3}")
+    np.copyto(out, t)
+    return out
+
+
+def _refine_axis_linear(a: np.ndarray, axis: int) -> np.ndarray:
+    """One separable linear-interpolation pass: refine ``axis`` to 2n-1
+    points (coincident copies, midpoints average the two endpoints)."""
+    n = a.shape[axis]
+    shape = list(a.shape)
+    shape[axis] = 2 * n - 1
+    out = np.empty(tuple(shape), dtype=a.dtype)
+
+    def sl(which: slice) -> tuple[slice, ...]:
+        return tuple(which if ax == axis else slice(None) for ax in range(a.ndim))
+
+    out[sl(slice(0, None, 2))] = a
+    odd = out[sl(slice(1, None, 2))]
+    np.add(a[sl(slice(0, -1))], a[sl(slice(1, None))], out=odd)
+    odd *= 0.5
+    return out
+
+
+def _interpolate_trilinear(coarse: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    k = check_cube_grid(coarse, "coarse")
+    nf = (1 << (k + 1)) + 1
+    t = coarse
+    for axis in range(3):
+        t = _refine_axis_linear(t, axis)
+    if out is None:
+        return t
+    if out.shape != (nf,) * 3:
+        raise ValueError(f"out shape {out.shape} != {(nf,) * 3}")
+    np.copyto(out, t)
+    return out
+
+
 def restrict_full_weighting(fine: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Full-weighting restriction of ``fine`` onto the next-coarser grid.
 
-    Interior coarse point (I, J) (fine point (2I, 2J)) receives
+    In 2-D, interior coarse point (I, J) (fine point (2I, 2J)) receives
 
         (4*c + 2*(n+s+w+e) + (nw+ne+sw+se)) / 16 .
 
-    The coarse boundary ring is set to zero: restriction is applied to
+    In 3-D the analogous 27-point tensor-product weighting applies.  The
+    coarse boundary shell is set to zero: restriction is applied to
     residuals, which vanish on the boundary.
     """
+    if fine.ndim == 3:
+        check_cube_grid(fine, "fine")
+        return _restrict_full_weighting_3d(fine, out)
     check_square_grid(fine, "fine")
     nc = coarsen_size(fine.shape[0])
     out = prepare_out(out, (nc, nc), fine.dtype, "coarse")
@@ -66,6 +141,15 @@ def restrict_injection(fine: np.ndarray, out: np.ndarray | None = None) -> np.nd
     Used for transferring *solution/boundary* data (not residuals) in the
     full-multigrid estimation phase, where boundary values must carry over.
     """
+    if fine.ndim == 3:
+        check_cube_grid(fine, "fine")
+        nc = coarsen_size(fine.shape[0])
+        if out is None:
+            out = np.empty((nc,) * 3, dtype=fine.dtype)
+        elif out.shape != (nc,) * 3:
+            raise ValueError(f"out shape {out.shape} != {(nc,) * 3}")
+        np.copyto(out, fine[::2, ::2, ::2])
+        return out
     check_square_grid(fine, "fine")
     nc = coarsen_size(fine.shape[0])
     if out is None:
@@ -77,12 +161,14 @@ def restrict_injection(fine: np.ndarray, out: np.ndarray | None = None) -> np.nd
 
 
 def interpolate_bilinear(coarse: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """Bilinear interpolation of ``coarse`` onto the next-finer grid.
+    """(Bi/tri)linear interpolation of ``coarse`` onto the next-finer grid.
 
     Coincident fine points copy the coarse value; fine points midway along a
-    coarse edge average the two endpoints; fine cell centers average the four
-    surrounding coarse points.
+    coarse edge average the two endpoints; fine cell centers average the
+    surrounding coarse points (four in 2-D, eight in 3-D).
     """
+    if coarse.ndim == 3:
+        return _interpolate_trilinear(coarse, out)
     k = check_square_grid(coarse, "coarse")
     nf = (1 << (k + 1)) + 1
     if out is None:
@@ -112,6 +198,16 @@ def interpolate_correction(u: np.ndarray, coarse_correction: np.ndarray) -> np.n
     correction term to current solution."  Only the interior of ``u`` is
     touched — corrections are zero on the Dirichlet boundary.
     """
+    if u.ndim == 3:
+        nf = u.shape[0]
+        nc = coarse_correction.shape[0]
+        if (nc - 1) * 2 + 1 != nf:
+            raise ValueError(f"correction size {nc} does not refine to {nf}")
+        level_of_size(nf)
+        full = _interpolate_trilinear(coarse_correction, None)
+        inner = (slice(1, -1),) * 3
+        u[inner] += full[inner]
+        return u
     nf = u.shape[0]
     nc = coarse_correction.shape[0]
     if (nc - 1) * 2 + 1 != nf:

@@ -27,8 +27,16 @@ from repro.linalg.band import (
 from repro.linalg.blocktri import BlockTridiagonalCholesky, poisson_blocks
 from repro.linalg.tridiag import thomas_solve
 from repro.linalg.direct import DirectSolver, build_interior_rhs, scatter_interior
+from repro.linalg.sparse_nd import (
+    AxisStencilFactor,
+    axis_stencil_matrix,
+    solve_axis_stencil,
+)
 
 __all__ = [
+    "AxisStencilFactor",
+    "axis_stencil_matrix",
+    "solve_axis_stencil",
     "BlockTridiagonalCholesky",
     "DirectSolver",
     "bandwidth_of_grid",

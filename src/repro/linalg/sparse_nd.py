@@ -1,0 +1,104 @@
+"""Sparse direct solves for d-dimensional per-axis-coefficient stencils.
+
+The 2-D Poisson interior matrix is banded with bandwidth n-2, which the
+band-Cholesky backends in :mod:`repro.linalg.direct` handle in O(N^2)
+per solve.  In 3-D the natural-order bandwidth is (n-2)**2, so dense
+band storage explodes (hundreds of MB at n = 33); the interior system is
+instead assembled as a scipy.sparse matrix and factored once with
+SuperLU.  Factors are owned by the caller (operators cache them per
+instance), mirroring how :class:`~repro.operators.base.FivePointOperator`
+owns its banded Cholesky factor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.grids.poisson import rhs_scale
+from repro.util.validation import check_cube_grid
+
+__all__ = ["AxisStencilFactor", "axis_stencil_matrix", "solve_axis_stencil"]
+
+
+def axis_stencil_matrix(n: int, coeffs: Sequence[float]):
+    """Sparse CSC matrix of the interior per-axis stencil operator.
+
+    The operator is ``(A u)_p = [sum_a c_a (2 u_p - u_{p-e_a} -
+    u_{p+e_a})] / h**2`` over the (n-2)**d interior unknowns in row-major
+    order, Dirichlet boundary eliminated.  Built as a Kronecker sum of
+    1-D second-difference matrices, so the assembly is exact for any
+    dimension.
+    """
+    from scipy import sparse
+
+    m = n - 2
+    if m < 1:
+        raise ValueError(f"grid size {n} has no interior")
+    inv_h2 = rhs_scale(n)
+    ndim = len(coeffs)
+    second_diff = sparse.diags(
+        [-np.ones(m - 1), 2.0 * np.ones(m), -np.ones(m - 1)], offsets=(-1, 0, 1)
+    )
+    eye = sparse.identity(m, format="csr")
+    total: Any = None
+    for axis, c in enumerate(coeffs):
+        term: Any = None
+        for pos in range(ndim):
+            factor = second_diff if pos == axis else eye
+            term = factor if term is None else sparse.kron(term, factor, format="csr")
+        term = float(c) * term
+        total = term if total is None else total + term
+    return (inv_h2 * total).tocsc()
+
+
+class AxisStencilFactor:
+    """SuperLU factorization of :func:`axis_stencil_matrix` (per size)."""
+
+    def __init__(self, n: int, coeffs: Sequence[float]) -> None:
+        from scipy.sparse.linalg import splu
+
+        self.n = n
+        self.coeffs = tuple(float(c) for c in coeffs)
+        self._lu = splu(axis_stencil_matrix(n, self.coeffs))
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return self._lu.solve(rhs)
+
+
+def solve_axis_stencil(
+    x: np.ndarray,
+    b: np.ndarray,
+    coeffs: Sequence[float],
+    factor: AxisStencilFactor,
+) -> np.ndarray:
+    """Exact interior solve with Dirichlet data from ``x``'s boundary shell.
+
+    Overwrites the interior of ``x`` in place and returns it.  ``b`` is
+    the full-grid right-hand side (boundary entries unused).
+    """
+    check_cube_grid(x, "x")
+    if b.shape != x.shape:
+        raise ValueError(f"b shape {b.shape} != x shape {x.shape}")
+    n = x.shape[0]
+    ndim = x.ndim
+    if len(coeffs) != ndim:
+        raise ValueError(f"need {ndim} coefficients, got {len(coeffs)}")
+    if factor.n != n or factor.coeffs != tuple(float(c) for c in coeffs):
+        raise ValueError("factor does not match this grid size / stencil")
+    inv_h2 = rhs_scale(n)
+    inner = (slice(1, -1),) * ndim
+    rhs = b[inner].astype(np.float64, copy=True)
+    # Fold the known boundary values adjacent to each face into the RHS.
+    for axis, c in enumerate(coeffs):
+        w = float(c) * inv_h2
+        face_lo = tuple(0 if a == axis else slice(1, -1) for a in range(ndim))
+        face_hi = tuple(-1 if a == axis else slice(1, -1) for a in range(ndim))
+        layer_lo = tuple(0 if a == axis else slice(None) for a in range(ndim))
+        layer_hi = tuple(-1 if a == axis else slice(None) for a in range(ndim))
+        rhs[layer_lo] += w * x[face_lo]
+        rhs[layer_hi] += w * x[face_hi]
+    flat = factor.solve(rhs.reshape(-1))
+    x[inner] = flat.reshape((n - 2,) * ndim)
+    return x

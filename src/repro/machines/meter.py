@@ -17,11 +17,11 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterator
 
-__all__ = ["NULL_METER", "OpMeter", "OPS"]
+__all__ = ["NULL_METER", "OpMeter", "OPS", "OPS_2D", "dim_op"]
 
-#: Primitive operations the cost model understands.  ``n`` is always the
-#: fine-grid size the op touches.
-OPS = (
+#: Primitive operations on 2-D grids.  ``n`` is always the fine-grid
+#: side length the op touches.
+OPS_2D = (
     "relax",  # one red-black SOR (or Jacobi) sweep on an n x n grid
     "residual",  # residual computation on an n x n grid
     "restrict",  # full-weighting restriction from an n x n grid
@@ -31,6 +31,27 @@ OPS = (
     "norm",  # interior norm on an n x n grid
     "copy",  # grid copy / zero-fill at size n
 )
+
+#: The 3-D analogues (7-point sweeps, 27-point transfers, sparse-LU
+#: direct solves) touch n**3 points at side length n, so they are
+#: distinct ops: the cost model prices them with 3-D point counts.
+OPS_3D = tuple(f"{op}3d" for op in OPS_2D)
+
+#: Every primitive operation the cost model understands.
+OPS = OPS_2D + OPS_3D
+
+
+def dim_op(op: str, ndim: int) -> str:
+    """The meter op name for a base op at a grid dimensionality.
+
+    2-D keeps the historical bare names (stored plans and meters stay
+    byte-identical); 3-D appends the ``3d`` suffix.
+    """
+    if ndim == 2:
+        return op
+    if ndim == 3:
+        return op + "3d"
+    raise ValueError(f"no op vocabulary for ndim={ndim}")
 
 
 class OpMeter:

@@ -63,6 +63,21 @@ OP_SHAPES: dict[str, OpShape] = {
     "copy": OpShape(flops_per_point=0.0, bytes_per_point=16.0),
 }
 
+#: Per-point footprints of the 3-D stencil ops (7-point sweeps, 27-point
+#: tensor-product transfers).  These are fixed module constants — they are
+#: deliberately *not* part of :meth:`MachineProfile.to_dict`, so profile
+#: fingerprints (and every plan stored under them) are unchanged by the
+#: 3-D extension; machines still differentiate 3-D costs through their
+#: rates, caches, and overheads.
+OP_SHAPES_3D: dict[str, OpShape] = {
+    "relax": OpShape(flops_per_point=16.0, bytes_per_point=72.0, barriers=2),
+    "residual": OpShape(flops_per_point=9.0, bytes_per_point=48.0),
+    "restrict": OpShape(flops_per_point=15.0, bytes_per_point=18.0),
+    "interpolate": OpShape(flops_per_point=8.0, bytes_per_point=30.0),
+    "norm": OpShape(flops_per_point=2.0, bytes_per_point=8.0),
+    "copy": OpShape(flops_per_point=0.0, bytes_per_point=16.0),
+}
+
 
 @dataclass(frozen=True)
 class MachineProfile:
@@ -161,19 +176,35 @@ class MachineProfile:
 
     # -- op pricing -------------------------------------------------------
 
+    def _stencil_points_time(
+        self, shape: OpShape, points: float, threads: int | None
+    ) -> float:
+        """Roofline time of one grid-local op touching ``points`` points
+        (shared by the 2-D and 3-D pricing paths so the threading and
+        memory model can never drift between dimensions)."""
+        p = self.cores if threads is None else min(threads, self.cores)
+        # Threads stop helping once per-thread chunks are trivially small.
+        usable = max(1, min(p, int(points / 512) or 1))
+        compute = shape.flops_per_point * points / (self.flop_rate * usable)
+        working_set = points * self.working_set_factor
+        memory = shape.bytes_per_point * points / self._mem_rate(working_set, usable)
+        return max(compute, memory) + self.op_overhead + self._barrier_cost(usable, shape.barriers)
+
     def stencil_time(self, op: str, n: int, threads: int | None = None) -> float:
         """Time of one grid-local op (relax/residual/transfer/...) at size n."""
         shape = self.op_shapes.get(op)
         if shape is None:
             raise KeyError(f"no shape for op {op!r}")
-        p = self.cores if threads is None else min(threads, self.cores)
-        points = float(n) * float(n)
-        # Threads stop helping once per-thread chunks are trivially small.
-        usable = max(1, min(p, int(points / 512) or 1))
-        compute = shape.flops(n) / (self.flop_rate * usable)
-        working_set = points * self.working_set_factor
-        memory = shape.bytes(n) / self._mem_rate(working_set, usable)
-        return max(compute, memory) + self.op_overhead + self._barrier_cost(usable, shape.barriers)
+        return self._stencil_points_time(shape, float(n) * float(n), threads)
+
+    def stencil_time_3d(
+        self, base_op: str, n: int, threads: int | None = None
+    ) -> float:
+        """Time of one 3-D grid-local op at side length n (n**3 points)."""
+        shape = OP_SHAPES_3D.get(base_op)
+        if shape is None:
+            raise KeyError(f"no 3-D shape for op {base_op!r}")
+        return self._stencil_points_time(shape, float(n) ** 3, threads)
 
     def direct_time(self, n: int, threads: int | None = None, cached: bool = False) -> float:
         """Time of a band-Cholesky direct solve at grid size n.
@@ -194,12 +225,39 @@ class MachineProfile:
             t += 8.0 * w**3 / self._mem_rate(8.0 * w**3, 1)
         return t + self.op_overhead + self.direct_overhead
 
+    def direct3d_time(
+        self, n: int, threads: int | None = None, cached: bool = False
+    ) -> float:
+        """Time of a sparse-LU direct solve on the (n-2)**3 interior system.
+
+        Sparse factorization of a 3-D grid Laplacian costs O(N^2) flops
+        and the triangular solves O(N^(4/3)) for N interior unknowns
+        (nested-dissection fill); ``cached=True`` prices only the solves.
+        Modelled as serial, like the 2-D dense factorization.
+        """
+        unknowns = float(n - 2) ** 3
+        solve_flops = 80.0 * unknowns ** (4.0 / 3.0)
+        factor_flops = 0.0 if cached else 10.0 * unknowns * unknowns
+        rate = self.flop_rate * self.dense_efficiency
+        t = (factor_flops + solve_flops) / rate
+        if self.direct_includes_memory:
+            # The triangular solves stream the factor from memory once.
+            factor_bytes = 8.0 * 8.0 * unknowns ** (4.0 / 3.0)
+            t += factor_bytes / self._mem_rate(factor_bytes, 1)
+        return t + self.op_overhead + self.direct_overhead
+
     def op_time(self, op: str, n: int, threads: int | None = None) -> float:
         """Time of one occurrence of ``op`` at size ``n``."""
         if op == "direct":
             return self.direct_time(n, threads, cached=False)
         if op == "direct_solve":
             return self.direct_time(n, threads, cached=True)
+        if op == "direct3d":
+            return self.direct3d_time(n, threads, cached=False)
+        if op == "direct_solve3d":
+            return self.direct3d_time(n, threads, cached=True)
+        if op.endswith("3d"):
+            return self.stencil_time_3d(op[:-2], n, threads)
         return self.stencil_time(op, n, threads)
 
     def price(self, meter: OpMeter, threads: int | None = None) -> float:

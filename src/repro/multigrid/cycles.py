@@ -22,11 +22,11 @@ import numpy as np
 
 from repro.grids.transfer import interpolate_correction, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter
+from repro.machines.meter import NULL_METER, OpMeter, dim_op
 from repro.operators.base import StencilOperator
 from repro.operators.poisson import const_poisson
 from repro.relax.weights import OMEGA_RECURSE
-from repro.util.validation import check_square_grid
+from repro.util.validation import check_cube_grid
 
 __all__ = ["full_multigrid_cycle", "vcycle", "wcycle"]
 
@@ -34,10 +34,19 @@ _DEFAULT_DIRECT = DirectSolver(backend="block", cache_factorization=True)
 
 
 def _resolve_operator(
-    operator: StencilOperator | None, n: int
+    operator: StencilOperator | None, u: np.ndarray
 ) -> StencilOperator:
+    n = u.shape[0]
     if operator is None:
+        if u.ndim == 3:
+            from repro.operators.poisson3d import const_poisson3d
+
+            return const_poisson3d(n)
         return const_poisson(n)
+    if operator.ndim != u.ndim:
+        raise ValueError(
+            f"operator is {operator.ndim}-D, input grid has ndim={u.ndim}"
+        )
     if operator.n != n:
         raise ValueError(f"operator bound to n={operator.n}, input grid is {n}")
     return operator
@@ -58,17 +67,18 @@ def _coarse_correction(
 ) -> None:
     """Shared body of the V and W cycles (`recursions` = 1 or 2)."""
     n = u.shape[0]
+    nd = op.ndim
     if n <= base_size:
         op.direct_solve(u, b, solver=direct)
-        meter.charge("direct", n)
+        meter.charge(dim_op("direct", nd), n)
         return
     if pre_sweeps:
         op.sor_sweeps(u, b, omega, pre_sweeps)
-        meter.charge("relax", n, pre_sweeps)
+        meter.charge(dim_op("relax", nd), n, pre_sweeps)
     r = op.residual(u, b)
-    meter.charge("residual", n)
+    meter.charge(dim_op("residual", nd), n)
     rc = restrict_full_weighting(r)
-    meter.charge("restrict", n)
+    meter.charge(dim_op("restrict", nd), n)
     ec = np.zeros_like(rc)
     coarse = op.coarsen()
     for _ in range(recursions):
@@ -85,10 +95,10 @@ def _coarse_correction(
             meter=meter,
         )
     interpolate_correction(u, ec)
-    meter.charge("interpolate", n)
+    meter.charge(dim_op("interpolate", nd), n)
     if post_sweeps:
         op.sor_sweeps(u, b, omega, post_sweeps)
-        meter.charge("relax", n, post_sweeps)
+        meter.charge(dim_op("relax", nd), n, post_sweeps)
 
 
 def vcycle(
@@ -109,11 +119,11 @@ def vcycle(
     the direct solver (the paper's simple variant uses 3; the heuristic
     strategies of Figure 7 use larger cutoffs).
     """
-    check_square_grid(u, "u")
+    check_cube_grid(u, "u")
     _coarse_correction(
         u,
         b,
-        op=_resolve_operator(operator, u.shape[0]),
+        op=_resolve_operator(operator, u),
         recursions=1,
         pre_sweeps=pre_sweeps,
         post_sweeps=post_sweeps,
@@ -138,11 +148,11 @@ def wcycle(
     operator: StencilOperator | None = None,
 ) -> np.ndarray:
     """One W cycle (two coarse-grid corrections per level) on ``u`` in place."""
-    check_square_grid(u, "u")
+    check_cube_grid(u, "u")
     _coarse_correction(
         u,
         b,
-        op=_resolve_operator(operator, u.shape[0]),
+        op=_resolve_operator(operator, u),
         recursions=2,
         pre_sweeps=pre_sweeps,
         post_sweeps=post_sweeps,
@@ -172,18 +182,19 @@ def full_multigrid_cycle(
     recursive full-MG call, then add the interpolated correction.  Solve
     phase: one standard V cycle at this resolution.
     """
-    check_square_grid(u, "u")
+    check_cube_grid(u, "u")
     direct = direct or _DEFAULT_DIRECT
-    op = _resolve_operator(operator, u.shape[0])
+    op = _resolve_operator(operator, u)
     n = u.shape[0]
+    nd = op.ndim
     if n <= base_size:
         op.direct_solve(u, b, solver=direct)
-        meter.charge("direct", n)
+        meter.charge(dim_op("direct", nd), n)
         return u
     r = op.residual(u, b)
-    meter.charge("residual", n)
+    meter.charge(dim_op("residual", nd), n)
     rc = restrict_full_weighting(r)
-    meter.charge("restrict", n)
+    meter.charge(dim_op("restrict", nd), n)
     ec = np.zeros_like(rc)
     full_multigrid_cycle(
         ec,
@@ -197,7 +208,7 @@ def full_multigrid_cycle(
         operator=op.coarsen(),
     )
     interpolate_correction(u, ec)
-    meter.charge("interpolate", n)
+    meter.charge(dim_op("interpolate", nd), n)
     vcycle(
         u,
         b,

@@ -15,7 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter
+from repro.machines.meter import NULL_METER, OpMeter, dim_op
 from repro.multigrid.cycles import full_multigrid_cycle, vcycle
 from repro.operators.base import StencilOperator
 from repro.operators.poisson import const_poisson
@@ -78,10 +78,17 @@ class SORSolver(_IterativeSolverBase):
     operator: StencilOperator | None = None
 
     def _step(self, x: np.ndarray, b: np.ndarray, meter: OpMeter) -> None:
-        op = self.operator if self.operator is not None else const_poisson(x.shape[0])
+        op = self.operator
+        if op is None:
+            if x.ndim == 3:
+                from repro.operators.poisson3d import const_poisson3d
+
+                op = const_poisson3d(x.shape[0])
+            else:
+                op = const_poisson(x.shape[0])
         w = self.omega if self.omega is not None else op.omega_opt()
         op.sor_sweeps(x, b, w, 1)
-        meter.charge("relax", x.shape[0])
+        meter.charge(dim_op("relax", x.ndim), x.shape[0])
 
 
 @dataclass

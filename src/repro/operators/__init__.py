@@ -12,7 +12,10 @@ solvers and tuners actually call.  Three families ship built-in:
 * ``varcoeff`` — variable-coefficient diffusion -div(c(x,y) grad u)
   with named analytic coefficient fields;
 * ``anisotropic`` — -(eps u_xx + u_yy), the classic case where the
-  best cycle shape changes.
+  best cycle shape changes;
+* ``poisson3d`` / ``anisotropic3d`` — the 3-D 7-point analogues
+  (per-axis epsilons for the anisotropic family), opening the 3-D
+  workload family end-to-end.
 
 Known limitation: the machine cost model prices primitive ops
 (``relax``, ``residual``, ...) by grid size only — a variable-weight
@@ -39,12 +42,22 @@ from repro.operators.coefficients import COEFF_FIELDS, coefficient_field
 from repro.operators.poisson import ConstCoeffPoisson, const_poisson
 from repro.operators.varcoeff import VariableCoefficientDiffusion
 from repro.operators.anisotropic import AnisotropicPoisson
+from repro.operators.poisson3d import (
+    AnisotropicPoisson3D,
+    AxisStencilOperator,
+    ConstCoeffPoisson3D,
+    const_poisson3d,
+)
+from repro.operators.spec import default_operator_spec
 
 __all__ = [
     "COEFF_FIELDS",
     "POISSON",
     "AnisotropicPoisson",
+    "AnisotropicPoisson3D",
+    "AxisStencilOperator",
     "ConstCoeffPoisson",
+    "ConstCoeffPoisson3D",
     "FivePointOperator",
     "OperatorFamily",
     "OperatorSpec",
@@ -52,6 +65,8 @@ __all__ = [
     "VariableCoefficientDiffusion",
     "coefficient_field",
     "const_poisson",
+    "const_poisson3d",
+    "default_operator_spec",
     "get_family",
     "make_operator",
     "operator_families",

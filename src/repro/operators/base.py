@@ -34,12 +34,18 @@ __all__ = ["FivePointOperator", "StencilOperator"]
 
 
 class StencilOperator(ABC):
-    """One discrete operator bound to grid size ``n`` (see module docs)."""
+    """One discrete operator bound to grid size ``n`` (see module docs).
 
-    def __init__(self, spec: OperatorSpec, n: int) -> None:
+    ``ndim`` is the grid dimensionality the operator's kernels act on
+    (2 for the historical families, 3 for the ``*3d`` families); it
+    matches the registered family's ``ndim``.
+    """
+
+    def __init__(self, spec: OperatorSpec, n: int, ndim: int = 2) -> None:
         level_of_size(n)  # validates n = 2**k + 1
         self.spec = spec
         self.n = n
+        self.ndim = ndim
         self._coarse: StencilOperator | None = None
 
     # -- kernels ----------------------------------------------------------
@@ -110,7 +116,11 @@ class StencilOperator(ABC):
         return self.spec.fingerprint()
 
     def _check_size(self, u: np.ndarray) -> None:
-        """Guard for the kernels: the operator is bound to one grid size."""
+        """Guard for the kernels: the operator is bound to one grid shape."""
+        if u.ndim != self.ndim:
+            raise ValueError(
+                f"operator is {self.ndim}-D, grid has ndim={u.ndim}"
+            )
         if u.shape[0] != self.n:
             raise ValueError(
                 f"operator bound to n={self.n}, grid is {u.shape[0]}"

@@ -1,0 +1,171 @@
+"""The 3-D operator families: constant-coefficient and anisotropic Poisson.
+
+Both are *per-axis constant-coefficient* 7-point stencils,
+
+    (A u)_p = [sum_a c_a (2 u_p - u_{p-e_a} - u_{p+e_a})] / h**2 ,
+
+implemented once in :class:`AxisStencilOperator`:
+:class:`ConstCoeffPoisson3D` is the unit-coefficient case (the 3-D
+``-laplacian_h``), and :class:`AnisotropicPoisson3D` scales the x/y axes
+by per-axis epsilons — the 3-D analogue of the textbook hard case for
+point smoothers, where the tuned cycle shape diverges from the isotropic
+one.  The direct solve uses a cached SuperLU factorization
+(:mod:`repro.linalg.sparse_nd`): in 3-D the natural-order bandwidth is
+(n-2)**2, so the 2-D band-Cholesky backends do not apply.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.linalg.sparse_nd import AxisStencilFactor
+
+from repro.grids.poisson import (
+    apply_axis_stencil,
+    residual_axis_stencil,
+    rhs_scale,
+)
+from repro.operators.base import StencilOperator
+from repro.operators.spec import OperatorFamily, OperatorSpec, register_family
+from repro.relax.jacobi import jacobi_sweeps_axes3d
+from repro.relax.sor import sor_redblack_axes3d
+
+__all__ = [
+    "AnisotropicPoisson3D",
+    "AxisStencilOperator",
+    "ConstCoeffPoisson3D",
+    "const_poisson3d",
+]
+
+
+class AxisStencilOperator(StencilOperator):
+    """Constant per-axis-coefficient (2d+1)-point stencil operator.
+
+    ``coeffs`` has one strictly positive entry per grid axis; the stencil
+    is symmetric by construction, so SOR/Jacobi smoothing and the sparse
+    direct solve all apply.
+    """
+
+    def __init__(self, spec: OperatorSpec, n: int, coeffs: tuple[float, ...]) -> None:
+        super().__init__(spec, n, ndim=len(coeffs))
+        coeffs = tuple(float(c) for c in coeffs)
+        if any(c <= 0.0 for c in coeffs):
+            raise ValueError(f"axis coefficients must be > 0, got {coeffs}")
+        self.coeffs = coeffs
+        self._diag: np.ndarray | None = None
+        self._factor: "AxisStencilFactor | None" = None
+
+    # -- kernels ----------------------------------------------------------
+
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        self._check_size(u)
+        return apply_axis_stencil(u, self.coeffs, out)
+
+    def residual(
+        self, u: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        self._check_size(u)
+        return residual_axis_stencil(u, b, self.coeffs, out)
+
+    def sor_sweeps(
+        self, u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1
+    ) -> np.ndarray:
+        self._check_size(u)
+        return sor_redblack_axes3d(u, b, self.coeffs, omega, sweeps)
+
+    def jacobi_sweeps(
+        self, u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1
+    ) -> np.ndarray:
+        self._check_size(u)
+        return jacobi_sweeps_axes3d(u, b, self.coeffs, omega, sweeps)
+
+    def diagonal(self) -> np.ndarray:
+        if self._diag is None:
+            diag = np.full(
+                (self.n,) * self.ndim,
+                2.0 * sum(self.coeffs) * rhs_scale(self.n),
+            )
+            diag.setflags(write=False)
+            self._diag = diag
+        return self._diag
+
+    # -- direct solve -----------------------------------------------------
+
+    def direct_solve(self, x: np.ndarray, b: np.ndarray, solver=None) -> np.ndarray:
+        """Sparse-LU interior solve (``solver`` is ignored: the legacy 2-D
+        band solvers cannot represent a 3-D stencil)."""
+        self._check_size(x)
+        from repro.linalg.sparse_nd import AxisStencilFactor, solve_axis_stencil
+
+        if self._factor is None:
+            self._factor = AxisStencilFactor(self.n, self.coeffs)
+        return solve_axis_stencil(x, b, self.coeffs, self._factor)
+
+
+class ConstCoeffPoisson3D(AxisStencilOperator):
+    """-laplacian_h in 3-D: the 7-point stencil with the 6/h**2 diagonal."""
+
+    def __init__(self, spec: OperatorSpec, n: int) -> None:
+        super().__init__(spec, n, (1.0, 1.0, 1.0))
+
+    def coarsen(self) -> "ConstCoeffPoisson3D":
+        # All 3-D Poisson instances are interchangeable per size; share
+        # the module cache so sparse factorizations are reused too.
+        from repro.grids.grid import coarsen_size
+
+        return const_poisson3d(coarsen_size(self.n))
+
+
+class AnisotropicPoisson3D(AxisStencilOperator):
+    """A u = -(epsx u_xx + epsy u_yy + u_zz), per-axis 0 < eps <= 1.
+
+    x runs along array axis 0, y along axis 1, z along axis 2.  Shrinking
+    an epsilon decouples that axis, which point smoothers handle poorly —
+    the problem-dependence the autotuner exists to exploit, now in 3-D.
+    """
+
+    def __init__(
+        self, spec: OperatorSpec, n: int, epsx: float = 0.1, epsy: float = 1.0
+    ) -> None:
+        for name, eps in (("epsx", epsx), ("epsy", epsy)):
+            if not 0.0 < eps <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], not {eps!r}")
+        super().__init__(spec, n, (float(epsx), float(epsy), 1.0))
+        self.epsx = float(epsx)
+        self.epsy = float(epsy)
+
+
+register_family(
+    OperatorFamily(
+        name="poisson3d",
+        builder=lambda spec, n: ConstCoeffPoisson3D(spec, n),
+        defaults=(),
+        description="constant-coefficient 7-point Poisson (-laplacian, 3-D)",
+        ndim=3,
+    )
+)
+
+register_family(
+    OperatorFamily(
+        name="anisotropic3d",
+        builder=AnisotropicPoisson3D,
+        defaults=(("epsx", 0.1), ("epsy", 1.0)),
+        description="anisotropic 3-D Poisson -(epsx u_xx + epsy u_yy + u_zz)",
+        ndim=3,
+    )
+)
+
+_CACHE: dict[int, ConstCoeffPoisson3D] = {}
+
+
+def const_poisson3d(n: int) -> ConstCoeffPoisson3D:
+    """Shared per-size default 3-D Poisson instance (the 3-D hot path)."""
+    op = _CACHE.get(n)
+    if op is None:
+        from repro.operators.spec import operator_spec
+
+        op = _CACHE[n] = ConstCoeffPoisson3D(operator_spec("poisson3d"), n)
+    return op

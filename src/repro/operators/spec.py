@@ -27,6 +27,7 @@ __all__ = [
     "POISSON",
     "OperatorFamily",
     "OperatorSpec",
+    "default_operator_spec",
     "get_family",
     "make_operator",
     "operator_families",
@@ -94,6 +95,11 @@ class OperatorSpec:
         operator every pre-operator-layer artifact implicitly meant)."""
         return self.family == "poisson" and not self.params
 
+    @property
+    def ndim(self) -> int:
+        """Grid dimensionality of the operator's family (2 or 3)."""
+        return get_family(self.family).ndim
+
     def instantiate(self, n: int) -> "StencilOperator":
         """The concrete operator bound to grid size ``n``."""
         return get_family(self.family).build(self, n)
@@ -114,6 +120,8 @@ class OperatorFamily:
     builder: Callable[..., "StencilOperator"] = field(compare=False)
     defaults: tuple[tuple[str, Param], ...] = ()
     description: str = ""
+    #: grid dimensionality the family's operators are bound to
+    ndim: int = 2
 
     def normalize(self, given: Mapping[str, Param]) -> tuple[tuple[str, Param], ...]:
         defaults = dict(self.defaults)
@@ -151,7 +159,17 @@ def _ensure_builtin() -> None:
     # as a side effect; deferred so spec.py carries no heavy dependencies.
     import repro.operators.anisotropic  # noqa: F401
     import repro.operators.poisson  # noqa: F401
+    import repro.operators.poisson3d  # noqa: F401
     import repro.operators.varcoeff  # noqa: F401
+
+
+def default_operator_spec(ndim: int = 2) -> OperatorSpec:
+    """The default (constant-coefficient Poisson) spec for a dimensionality."""
+    if ndim == 2:
+        return POISSON
+    if ndim == 3:
+        return operator_spec("poisson3d")
+    raise ValueError(f"no default operator for ndim={ndim}")
 
 
 def get_family(name: str) -> OperatorFamily:
@@ -244,4 +262,8 @@ def shared_operator(value: "OperatorSpec | str | None", n: int) -> "StencilOpera
         from repro.operators.poisson import const_poisson
 
         return const_poisson(n)
+    if spec.family == "poisson3d" and not spec.params:
+        from repro.operators.poisson3d import const_poisson3d
+
+        return const_poisson3d(n)
     return _shared_instance(spec, n)

@@ -18,21 +18,29 @@ alternative and is exercised by an ablation benchmark.
 from repro.relax.weights import OMEGA_RECURSE, omega_opt
 from repro.relax.sor import (
     sor_redblack,
+    sor_redblack_axes3d,
     sor_redblack_reference,
     sor_redblack_stencil,
     sor_sweeps,
 )
-from repro.relax.jacobi import jacobi_weighted, jacobi_sweeps, jacobi_sweeps_stencil
+from repro.relax.jacobi import (
+    jacobi_sweeps,
+    jacobi_sweeps_axes3d,
+    jacobi_sweeps_stencil,
+    jacobi_weighted,
+)
 from repro.relax.iterate import iterate_until_residual
 
 __all__ = [
     "OMEGA_RECURSE",
     "iterate_until_residual",
     "jacobi_sweeps",
+    "jacobi_sweeps_axes3d",
     "jacobi_sweeps_stencil",
     "jacobi_weighted",
     "omega_opt",
     "sor_redblack",
+    "sor_redblack_axes3d",
     "sor_redblack_reference",
     "sor_redblack_stencil",
     "sor_sweeps",

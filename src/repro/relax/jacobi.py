@@ -7,13 +7,20 @@ selectable smoother so that decision is reproducible as an ablation.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.grids.grid import mesh_width
-from repro.grids.poisson import residual
-from repro.util.validation import check_square_grid
+from repro.grids.poisson import residual, residual_axis_stencil
+from repro.util.validation import check_cube_grid, check_square_grid
 
-__all__ = ["jacobi_sweeps", "jacobi_sweeps_stencil", "jacobi_weighted"]
+__all__ = [
+    "jacobi_sweeps",
+    "jacobi_sweeps_axes3d",
+    "jacobi_sweeps_stencil",
+    "jacobi_weighted",
+]
 
 
 def jacobi_weighted(
@@ -24,16 +31,48 @@ def jacobi_weighted(
 ) -> np.ndarray:
     """One weighted-Jacobi sweep on ``u`` in place.
 
-    u <- u + omega * D^{-1} (b - A u), with D = (4/h^2) I for the 5-point
-    operator.  ``scratch`` (same shape as ``u``) avoids reallocation across
-    sweeps.
+    u <- u + omega * D^{-1} (b - A u), with D = (2d/h^2) I for the
+    d-dimensional constant Poisson operator (4/h^2 in 2-D, 6/h^2 in 3-D).
+    ``scratch`` (same shape as ``u``) avoids reallocation across sweeps.
     """
+    if u.ndim == 3:
+        check_cube_grid(u, "u")
+        if b.shape != u.shape:
+            raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
+        h = mesh_width(u.shape[0])
+        r = residual(u, b, out=scratch)
+        inner = (slice(1, -1),) * 3
+        u[inner] += (omega * h * h / 6.0) * r[inner]
+        return u
     check_square_grid(u, "u")
     if b.shape != u.shape:
         raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
     h = mesh_width(u.shape[0])
     r = residual(u, b, out=scratch)
     u[1:-1, 1:-1] += (omega * h * h * 0.25) * r[1:-1, 1:-1]
+    return u
+
+
+def jacobi_sweeps_axes3d(
+    u: np.ndarray,
+    b: np.ndarray,
+    coeffs: Sequence[float],
+    omega: float,
+    sweeps: int,
+) -> np.ndarray:
+    """Weighted Jacobi for the 3-D per-axis-coefficient 7-point stencil."""
+    check_cube_grid(u, "u")
+    if b.shape != u.shape:
+        raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
+    if sweeps < 0:
+        raise ValueError("sweeps must be >= 0")
+    h = mesh_width(u.shape[0])
+    factor = omega * h * h / (2.0 * float(sum(coeffs)))
+    scratch = np.zeros_like(u)
+    inner = (slice(1, -1),) * 3
+    for _ in range(sweeps):
+        r = residual_axis_stencil(u, b, coeffs, out=scratch)
+        u[inner] += factor * r[inner]
     return u
 
 

@@ -1,20 +1,26 @@
 """Red-Black SOR sweeps, vectorized with slice arithmetic.
 
-A sweep updates all red points (i + j even over interior indices), then all
-black points.  Within a colour, every neighbour of an updated point has the
-other colour, so the whole colour updates as one vectorized expression while
-remaining a true Gauss-Seidel-style sweep.
+A sweep updates all red points (index-sum even over interior indices), then
+all black points.  Within a colour, every neighbour of an updated point has
+the other colour (the stencils couple only along axes), so the whole colour
+updates as one vectorized expression while remaining a true
+Gauss-Seidel-style sweep.  This holds in any dimension: the 2-D paths are
+the historical kernels, and 3-D inputs branch into the per-axis-coefficient
+7-point sweeps (:func:`sor_redblack_axes3d`).
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.grids.grid import mesh_width
-from repro.util.validation import check_square_grid
+from repro.util.validation import check_cube_grid, check_square_grid
 
 __all__ = [
     "sor_redblack",
+    "sor_redblack_axes3d",
     "sor_redblack_reference",
     "sor_redblack_stencil",
     "sor_sweeps",
@@ -51,13 +57,86 @@ def _sweep_color(u: np.ndarray, b: np.ndarray, h2: float, omega: float, parity: 
         c += quarter_omega * stencil
 
 
+def _color_blocks_3d(n: int, parity: int):
+    """Yield interior slice blocks covering all points with
+    (i + j + k) % 2 == parity, plus the six neighbour slices per block."""
+    for istart in (1, 2):
+        for jstart in (1, 2):
+            kstart = 1 + ((istart + jstart + parity + 1) % 2)
+            if istart > n - 2 or jstart > n - 2 or kstart > n - 2:
+                continue
+            ii = slice(istart, n - 1, 2)
+            jj = slice(jstart, n - 1, 2)
+            kk = slice(kstart, n - 1, 2)
+            yield (
+                ii, jj, kk,
+                slice(istart - 1, n - 2, 2), slice(istart + 1, n, 2),
+                slice(jstart - 1, n - 2, 2), slice(jstart + 1, n, 2),
+                slice(kstart - 1, n - 2, 2), slice(kstart + 1, n, 2),
+            )
+
+
+def _sweep_color_axes_3d(
+    u: np.ndarray,
+    b: np.ndarray,
+    coeffs: Sequence[float],
+    h2: float,
+    omega: float,
+    parity: int,
+) -> None:
+    n = u.shape[0]
+    c0, c1, c2 = coeffs
+    inv_diag = 1.0 / (2.0 * (c0 + c1 + c2))
+    for ii, jj, kk, im, ip, jm, jp, km, kp in _color_blocks_3d(n, parity):
+        gs = c0 * (u[im, jj, kk] + u[ip, jj, kk])
+        gs += c1 * (u[ii, jm, kk] + u[ii, jp, kk])
+        gs += c2 * (u[ii, jj, km] + u[ii, jj, kp])
+        gs += h2 * b[ii, jj, kk]
+        gs *= inv_diag
+        c = u[ii, jj, kk]
+        c *= 1.0 - omega
+        c += omega * gs
+
+
+def sor_redblack_axes3d(
+    u: np.ndarray,
+    b: np.ndarray,
+    coeffs: Sequence[float],
+    omega: float,
+    sweeps: int = 1,
+) -> np.ndarray:
+    """Red-black SOR for the 3-D per-axis-coefficient 7-point stencil.
+
+    The operator is ``(A u) = [sum_a c_a (2u - u_a- - u_a+)] / h**2``;
+    with unit coefficients this is the standard 7-point Poisson sweep.
+    """
+    check_cube_grid(u, "u")
+    if u.ndim != 3:
+        raise ValueError(f"u must be 3-D, got ndim={u.ndim}")
+    if b.shape != u.shape:
+        raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
+    if len(coeffs) != 3:
+        raise ValueError(f"need 3 coefficients, got {len(coeffs)}")
+    if sweeps < 0:
+        raise ValueError("sweeps must be >= 0")
+    h = mesh_width(u.shape[0])
+    h2 = h * h
+    for _ in range(sweeps):
+        _sweep_color_axes_3d(u, b, coeffs, h2, omega, parity=0)
+        _sweep_color_axes_3d(u, b, coeffs, h2, omega, parity=1)
+    return u
+
+
 def sor_redblack(u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1) -> np.ndarray:
     """Run ``sweeps`` red-black SOR sweeps on ``u`` in place and return it.
 
     One sweep = red phase then black phase; each phase reads only values of
     the opposite colour, so this matches the sequential red-black ordering
-    exactly regardless of vectorization.
+    exactly regardless of vectorization.  3-D grids use the 7-point
+    Poisson stencil.
     """
+    if u.ndim == 3:
+        return sor_redblack_axes3d(u, b, (1.0, 1.0, 1.0), omega, sweeps)
     check_square_grid(u, "u")
     if b.shape != u.shape:
         raise ValueError(f"b shape {b.shape} != u shape {u.shape}")
@@ -133,10 +212,36 @@ def sor_redblack_stencil(
     return u
 
 
+def _sor_reference_3d(
+    u: np.ndarray, b: np.ndarray, omega: float, sweeps: int
+) -> np.ndarray:
+    n = u.shape[0]
+    h = mesh_width(n)
+    h2 = h * h
+    for _ in range(sweeps):
+        for parity in (0, 1):
+            for i in range(1, n - 1):
+                for j in range(1, n - 1):
+                    for k in range(1, n - 1):
+                        if (i + j + k) % 2 != parity:
+                            continue
+                        gs = (
+                            u[i - 1, j, k] + u[i + 1, j, k]
+                            + u[i, j - 1, k] + u[i, j + 1, k]
+                            + u[i, j, k - 1] + u[i, j, k + 1]
+                            + h2 * b[i, j, k]
+                        ) / 6.0
+                        u[i, j, k] = (1.0 - omega) * u[i, j, k] + omega * gs
+    return u
+
+
 def sor_redblack_reference(
     u: np.ndarray, b: np.ndarray, omega: float, sweeps: int = 1
 ) -> np.ndarray:
     """Scalar-loop red-black SOR (executable specification for the tests)."""
+    if u.ndim == 3:
+        check_cube_grid(u, "u")
+        return _sor_reference_3d(u, b, omega, sweeps)
     check_square_grid(u, "u")
     n = u.shape[0]
     h = mesh_width(n)

@@ -36,15 +36,30 @@ __all__ = ["CacheEntry", "PlanCache", "ServeKey"]
 
 @dataclass(frozen=True)
 class ServeKey:
-    """Identity of one serving workload class (a cache bucket)."""
+    """Identity of one serving workload class (a cache bucket).
+
+    ``ndim`` defaults to the operator family's dimensionality; passing
+    it explicitly must agree (a 3-D workload class can never collide
+    with a 2-D one — the operator name alone already separates them,
+    the field makes the identity self-describing).
+    """
 
     fingerprint: str
     operator: str
     level: int
     distribution: str
+    ndim: int | None = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "operator", parse_operator(self.operator).canonical())
+        spec = parse_operator(self.operator)
+        object.__setattr__(self, "operator", spec.canonical())
+        if self.ndim is None:
+            object.__setattr__(self, "ndim", spec.ndim)
+        elif self.ndim != spec.ndim:
+            raise ValueError(
+                f"ndim={self.ndim} does not match operator "
+                f"{spec.canonical()!r} (a {spec.ndim}-D family)"
+            )
 
     def label(self) -> str:
         """Compact human-readable form (telemetry event key)."""

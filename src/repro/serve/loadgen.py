@@ -15,10 +15,10 @@ instead of failing the run.
 from __future__ import annotations
 
 import threading
-import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.serve.batching import Backpressure
+from repro.util.clock import MONOTONIC_CLOCK, Clock
 from repro.util.validation import size_of_level
 from repro.workloads.distributions import make_problem
 
@@ -47,6 +47,7 @@ def run_load(
     target: float = 1e5,
     seed: int = 123,
     retry_pause: float = 0.002,
+    clock: "Clock | None" = None,
 ) -> dict[str, Any]:
     """Drive ``requests`` requests through the server; returns a report.
 
@@ -59,6 +60,7 @@ def run_load(
         raise ValueError("requests must be >= 1")
     if clients < 1:
         raise ValueError("clients must be >= 1")
+    clock = clock or MONOTONIC_CLOCK
     pools: list[list[Any]] = [
         [
             make_problem(
@@ -97,12 +99,12 @@ def run_load(
                 except Backpressure:
                     with counter_lock:
                         rejected += 1
-                    time.sleep(retry_pause)
+                    clock.sleep(retry_pause)
             result = future.result()
             with counter_lock:
                 results.append(result)
 
-    started = time.perf_counter()
+    started = clock.now()
     threads = [
         threading.Thread(target=client_loop, name=f"loadgen-{i}", daemon=True)
         for i in range(clients)
@@ -111,7 +113,7 @@ def run_load(
         thread.start()
     for thread in threads:
         thread.join()
-    wall = time.perf_counter() - started
+    wall = clock.now() - started
 
     latencies = sorted(r.latency_s for r in results)
     sources: dict[str, int] = {}

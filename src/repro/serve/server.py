@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
@@ -39,6 +39,7 @@ from repro.serve.cache import CacheEntry, PlanCache, ServeKey
 from repro.serve.telemetry import Telemetry
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.plan import DEFAULT_ACCURACIES
+from repro.util.clock import MONOTONIC_CLOCK, Clock
 from repro.workloads.problem import PoissonProblem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -73,7 +74,8 @@ class SolveRequest:
     key: ServeKey
     profile: MachineProfile
     future: "Future[ServeResult]"
-    submitted_at: float = field(default_factory=time.perf_counter)
+    #: server-clock timestamp (set by ``submit`` from the injected clock)
+    submitted_at: float = 0.0
 
 
 class SolveServer:
@@ -101,6 +103,13 @@ class SolveServer:
         Optional :mod:`repro.runtime` scheduler (``SerialScheduler`` or
         ``WorkStealingScheduler``); batches of >1 request then execute
         as a task graph instead of a sequential loop.
+    clock:
+        Injectable :class:`~repro.util.clock.Clock` used for every
+        *measured duration* (queue wait, solve time, request latency,
+        background-tune time).  Tests inject a
+        :class:`~repro.util.clock.ManualClock` so telemetry assertions
+        are deterministic; lifecycle deadlines (shutdown/drain timeouts)
+        intentionally stay on the real clock.
     """
 
     def __init__(
@@ -119,11 +128,13 @@ class SolveServer:
         allow_nearest: bool = True,
         scheduler: Any | None = None,
         telemetry: Telemetry | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, not {workers}")
         from repro.core.api import _resolve_registry
 
+        self.clock = clock or MONOTONIC_CLOCK
         self.profile = get_preset(machine) if isinstance(machine, str) else machine
         self.registry: "PlanRegistry" = _resolve_registry(store)
         self.telemetry = telemetry or Telemetry()
@@ -189,6 +200,7 @@ class SolveServer:
             key=key,
             profile=profile,
             future=future,
+            submitted_at=self.clock.now(),
         )
         try:
             depth = self._queue.put(key, request)
@@ -270,16 +282,18 @@ class SolveServer:
         """Block until no background tune is in flight (True on success).
 
         Lets tests and benchmarks observe the asynchronous half of
-        stale-while-tune deterministically.
+        stale-while-tune deterministically.  Waits on the state
+        condition (notified when a tune finishes) instead of
+        sleep-polling, so the wake-up is immediate and flake-free.
         """
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            with self._state:
-                if not self._tuning:
-                    return True
-            time.sleep(0.005)
         with self._state:
-            return not self._tuning
+            while self._tuning:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._state.wait(timeout=remaining)
+            return True
 
     def __enter__(self) -> "SolveServer":
         return self
@@ -308,7 +322,7 @@ class SolveServer:
 
     def _serve_batch(self, batch: list[SolveRequest]) -> None:
         head = batch[0]
-        batch_started = time.perf_counter()
+        batch_started = self.clock.now()
         for request in batch:
             self.telemetry.observe(
                 "queue_wait", batch_started - request.submitted_at
@@ -381,7 +395,7 @@ class SolveServer:
     ) -> None:
         if not request.future.set_running_or_notify_cancel():
             return
-        started = time.perf_counter()
+        started = self.clock.now()
         try:
             from repro.tuner.plan import TunedFullMGPlan
 
@@ -396,7 +410,7 @@ class SolveServer:
             self.telemetry.incr("requests_failed")
             request.future.set_exception(exc)
             return
-        finished = time.perf_counter()
+        finished = self.clock.now()
         self.telemetry.observe("solve", finished - started)
         latency = finished - request.submitted_at
         self.telemetry.observe("request_latency", latency)
@@ -439,6 +453,7 @@ class SolveServer:
         except RuntimeError:  # pool already shut down
             with self._state:
                 self._tuning.discard(key)
+                self._state.notify_all()
 
     def _background_tune(
         self, key: ServeKey, profile: MachineProfile, stale_entry: CacheEntry
@@ -463,13 +478,13 @@ class SolveServer:
                 }
                 return plan
 
-            started = time.perf_counter()
+            started = self.clock.now()
             hit = self.registry.get_or_tune(
                 profile, tune_key, allow_nearest=False, tuner=tuner
             )
             if hit.source == "tuned":
                 self.telemetry.observe(
-                    "background_tune", time.perf_counter() - started
+                    "background_tune", self.clock.now() - started
                 )
             source = "swapped" if hit.source == "tuned" else hit.source
             self.cache.swap(key, hit.plan, source=source, plan_json=hit.plan_json)

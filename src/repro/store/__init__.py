@@ -14,8 +14,19 @@ that operational at scale:
   (machine x distribution x operator x level) grids that pre-warm the
   registry.
 
+Schema revisions migrate in place on open (``PRAGMA user_version``
+tracks them; see :mod:`repro.store.schema`): v1 -> v2 added the
+``operator`` keyfield, and v2 -> v3 added ``ndim`` for the
+dimension-general solver — existing rows are stamped with the implicit
+pre-3-D default ``ndim=2`` and plan keys gain the ``|2`` suffix, so
+every stored 2-D plan keeps resolving while 3-D plans land under their
+own keys.  Each migration step runs inside one transaction: a crash
+mid-migration rolls back to the previous clean revision and simply
+retries on the next open.
+
 Entry points for callers are :func:`repro.core.autotune_cached` and
-:func:`repro.core.solve_service`, plus ``repro-mg store`` on the CLI.
+:func:`repro.core.solve_service`, plus ``repro-mg store`` on the CLI
+(``store tune --ndim 3`` sweeps the 3-D families).
 """
 
 from repro.store.campaign import Campaign, CampaignSpec, CellResult

@@ -148,14 +148,23 @@ class Campaign:
         self._ensure_cells()
 
     def _ensure_cells(self) -> None:
+        from repro.operators.spec import parse_operator
+
         for machine, dist, operator, level in self.spec.cells():
             self.db.conn.execute(
                 """
                 INSERT OR IGNORE INTO campaign_cells
-                    (campaign, machine, distribution, operator, max_level)
-                VALUES (?, ?, ?, ?, ?)
+                    (campaign, machine, distribution, operator, ndim, max_level)
+                VALUES (?, ?, ?, ?, ?, ?)
                 """,
-                (self.spec.name, machine, dist, operator, level),
+                (
+                    self.spec.name,
+                    machine,
+                    dist,
+                    operator,
+                    parse_operator(operator).ndim,
+                    level,
+                ),
             )
         self.db.conn.commit()
 
@@ -164,8 +173,8 @@ class Campaign:
     def cells(self) -> list[dict[str, Any]]:
         rows = self.db.conn.execute(
             """
-            SELECT machine, distribution, operator, max_level, status, source,
-                   simulated_cost, wall_seconds, completed_at
+            SELECT machine, distribution, operator, ndim, max_level, status,
+                   source, simulated_cost, wall_seconds, completed_at
             FROM campaign_cells WHERE campaign = ?
             ORDER BY machine, distribution, operator, max_level
             """,

@@ -50,7 +50,10 @@ class TuneKey:
     :func:`repro.operators.parse_operator`); it defaults to the
     constant-coefficient Poisson operator every pre-operator-layer plan
     implicitly meant, and is normalized on construction so equivalent
-    spellings produce the same storage key.
+    spellings produce the same storage key.  ``ndim`` is the grid
+    dimensionality; ``None`` derives it from the operator's family, and
+    an explicit value must match it (3-D plans can never shadow 2-D
+    ones, or vice versa).
     """
 
     kind: str = "multigrid-v"
@@ -60,13 +63,22 @@ class TuneKey:
     seed: int | None = 0
     instances: int = 3
     operator: str = "poisson"
+    ndim: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in PLAN_KINDS:
             raise ValueError(f"kind must be one of {PLAN_KINDS}, not {self.kind!r}")
         from repro.operators.spec import parse_operator
 
-        object.__setattr__(self, "operator", parse_operator(self.operator).canonical())
+        spec = parse_operator(self.operator)
+        object.__setattr__(self, "operator", spec.canonical())
+        if self.ndim is None:
+            object.__setattr__(self, "ndim", spec.ndim)
+        elif self.ndim != spec.ndim:
+            raise ValueError(
+                f"ndim={self.ndim} does not match operator "
+                f"{spec.canonical()!r} (a {spec.ndim}-D family)"
+            )
 
     def storage_key(self, fingerprint: str) -> str:
         return "|".join(
@@ -79,6 +91,7 @@ class TuneKey:
                 canonical_seed(self.seed),
                 str(self.instances),
                 self.operator,
+                str(self.ndim),
             ]
         )
 
@@ -204,13 +217,14 @@ class PlanRegistry:
             rows = self.db.conn.execute(
                 """
                 SELECT * FROM plans
-                WHERE kind = ? AND distribution = ? AND operator = ? AND max_level = ?
-                  AND accuracies = ? AND seed = ? AND instances = ?
+                WHERE kind = ? AND distribution = ? AND operator = ? AND ndim = ?
+                  AND max_level = ? AND accuracies = ? AND seed = ? AND instances = ?
                 """,
                 (
                     key.kind,
                     key.distribution,
                     key.operator,
+                    key.ndim,
                     key.max_level,
                     canonical_accuracies(key.accuracies),
                     canonical_seed(key.seed),
@@ -269,10 +283,10 @@ class PlanRegistry:
         with self.db.lock:
             self.db.conn.execute(
                 """
-                INSERT INTO plans (plan_key, kind, distribution, operator, max_level,
-                                   accuracies, machine_fingerprint, seed, instances,
-                                   machine_name, profile_json, plan_json)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                INSERT INTO plans (plan_key, kind, distribution, operator, ndim,
+                                   max_level, accuracies, machine_fingerprint, seed,
+                                   instances, machine_name, profile_json, plan_json)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 ON CONFLICT (plan_key) DO UPDATE SET
                     plan_json = excluded.plan_json,
                     profile_json = excluded.profile_json,
@@ -283,6 +297,7 @@ class PlanRegistry:
                     key.kind,
                     key.distribution,
                     key.operator,
+                    key.ndim,
                     key.max_level,
                     canonical_accuracies(key.accuracies),
                     fingerprint,
@@ -351,6 +366,7 @@ class PlanRegistry:
                     kind=key.kind,
                     distribution=key.distribution,
                     operator=key.operator,
+                    ndim=key.ndim,
                     max_level=key.max_level,
                     accuracies=tuple(key.accuracies),
                     machine_fingerprint=profile.fingerprint(),
@@ -397,7 +413,7 @@ class PlanRegistry:
         is normalized to the canonical form rows are stored under.
         """
         query = """
-            SELECT kind, distribution, operator, max_level, machine_name,
+            SELECT kind, distribution, operator, ndim, max_level, machine_name,
                    machine_fingerprint, seed, instances, hits,
                    created_at, last_used_at
             FROM plans

@@ -17,12 +17,17 @@ keyfields/resultfields run table):
 
 ``user_version`` tracks the schema revision; opening a database written
 by a newer revision fails loudly instead of corrupting it, while older
-revisions are migrated in place:
+revisions are migrated in place (each step runs in one transaction, so
+a crash mid-migration rolls back to the previous clean revision):
 
 * v1 -> v2: the ``operator`` keyfield (pluggable operator layer).
   Existing rows are stamped with the implicit pre-operator default
   ``'poisson'`` and plan keys are rewritten to the operator-suffixed
   form, so every stored plan keeps resolving.
+* v2 -> v3: the ``ndim`` keyfield (dimension-general multigrid).
+  Existing rows are stamped with the implicit pre-3-D default ``2`` and
+  plan keys gain the ``|2`` suffix, so every stored 2-D plan keeps
+  resolving; 3-D plans land under their own keys.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ import sqlite3
 
 __all__ = ["SCHEMA_VERSION", "ensure_schema"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -40,6 +45,7 @@ CREATE TABLE IF NOT EXISTS trials (
     kind                TEXT    NOT NULL,
     distribution        TEXT    NOT NULL,
     operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
     max_level           INTEGER NOT NULL,
     accuracies          TEXT    NOT NULL,
     machine_fingerprint TEXT    NOT NULL,
@@ -53,8 +59,8 @@ CREATE TABLE IF NOT EXISTS trials (
     plan_json           TEXT,
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
 );
-CREATE INDEX IF NOT EXISTS idx_trials_key_v2
-    ON trials (kind, distribution, operator, max_level, accuracies,
+CREATE INDEX IF NOT EXISTS idx_trials_key_v3
+    ON trials (kind, distribution, operator, ndim, max_level, accuracies,
                machine_fingerprint, seed, instances);
 
 CREATE TABLE IF NOT EXISTS plans (
@@ -63,6 +69,7 @@ CREATE TABLE IF NOT EXISTS plans (
     kind                TEXT    NOT NULL,
     distribution        TEXT    NOT NULL,
     operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
     max_level           INTEGER NOT NULL,
     accuracies          TEXT    NOT NULL,
     machine_fingerprint TEXT    NOT NULL,
@@ -75,14 +82,16 @@ CREATE TABLE IF NOT EXISTS plans (
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
     last_used_at        TEXT
 );
-CREATE INDEX IF NOT EXISTS idx_plans_family_v2
-    ON plans (kind, distribution, operator, max_level, accuracies, seed, instances);
+CREATE INDEX IF NOT EXISTS idx_plans_family_v3
+    ON plans (kind, distribution, operator, ndim, max_level, accuracies,
+              seed, instances);
 
 CREATE TABLE IF NOT EXISTS campaign_cells (
     campaign            TEXT    NOT NULL,
     machine             TEXT    NOT NULL,
     distribution        TEXT    NOT NULL,
     operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
     max_level           INTEGER NOT NULL,
     status              TEXT    NOT NULL DEFAULT 'pending',
     source              TEXT,
@@ -132,13 +141,33 @@ _MIGRATE_V1_V2 = (
 )
 
 
-def _migrate_v1_v2(conn: sqlite3.Connection) -> None:
-    """Run the v1 -> v2 migration atomically.
+#: v2 -> v3: add the ndim keyfield everywhere, defaulting existing rows
+#: to the implicit pre-3-D ``2``, and suffix plan keys to the
+#: ndim-qualified form.  (``ndim`` is derivable from the operator family,
+#: so the campaign primary key is unchanged — the column is additive.)
+_MIGRATE_V2_V3 = (
+    "ALTER TABLE trials ADD COLUMN ndim INTEGER NOT NULL DEFAULT 2",
+    "DROP INDEX IF EXISTS idx_trials_key_v2",
+    "ALTER TABLE plans ADD COLUMN ndim INTEGER NOT NULL DEFAULT 2",
+    "DROP INDEX IF EXISTS idx_plans_family_v2",
+    "UPDATE plans SET plan_key = plan_key || '|2'",
+    "ALTER TABLE campaign_cells ADD COLUMN ndim INTEGER NOT NULL DEFAULT 2",
+)
+
+#: ``from_version -> module attribute naming its statements``, applied
+#: one revision at a time.  Resolved through ``globals()`` at run time so
+#: tests can monkeypatch an individual migration's statement list.
+_MIGRATIONS = {1: "_MIGRATE_V1_V2", 2: "_MIGRATE_V2_V3"}
+
+
+def _migrate_step(conn: sqlite3.Connection, from_version: int) -> None:
+    """Run one migration step (``from_version`` -> ``from_version + 1``)
+    atomically.
 
     SQLite DDL is transactional, so the schema changes and the version
     stamp commit together: a crash mid-migration rolls back to a clean
-    v1 store that simply migrates on the next open, instead of a
-    half-migrated store whose re-migration dies on duplicate columns.
+    ``from_version`` store that simply migrates on the next open, instead
+    of a half-migrated store whose re-migration dies on duplicate columns.
     """
     conn.execute("BEGIN IMMEDIATE")
     try:
@@ -146,16 +175,22 @@ def _migrate_v1_v2(conn: sqlite3.Connection) -> None:
         # migrated between our unlocked version probe and this BEGIN,
         # and replaying the ALTERs would die on duplicate columns.
         (version,) = conn.execute("PRAGMA user_version").fetchone()
-        if version != 1:
+        if version != from_version:
             conn.execute("ROLLBACK")
             return
-        for statement in _MIGRATE_V1_V2:
+        for statement in globals()[_MIGRATIONS[from_version]]:
             conn.execute(statement)
-        conn.execute("PRAGMA user_version = 2")
+        conn.execute(f"PRAGMA user_version = {from_version + 1}")
         conn.execute("COMMIT")
     except BaseException:
         conn.execute("ROLLBACK")
         raise
+
+
+def _migrate_v1_v2(conn: sqlite3.Connection) -> None:
+    """The v1 -> v2 step by its historical name (kept for callers/tests
+    that trigger one step directly; no-ops unless the store is at v1)."""
+    _migrate_step(conn, 1)
 
 
 def ensure_schema(conn: sqlite3.Connection) -> None:
@@ -166,8 +201,9 @@ def ensure_schema(conn: sqlite3.Connection) -> None:
             f"store was written by schema version {version}; this code "
             f"understands up to {SCHEMA_VERSION} — refusing to open"
         )
-    if version == 1:
-        _migrate_v1_v2(conn)
+    while version in _MIGRATIONS:
+        _migrate_step(conn, version)
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
     conn.executescript(_SCHEMA)
     conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
     conn.commit()

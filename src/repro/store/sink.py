@@ -77,6 +77,7 @@ def emit_tuning_trial(
         kind=plan.metadata.get("kind", "multigrid-v"),
         distribution=training.distribution,
         operator=training.operator_name,
+        ndim=getattr(plan, "ndim", 2),
         max_level=plan.max_level,
         accuracies=plan.accuracies,
         machine_fingerprint=profile.fingerprint() if profile else "wallclock",

@@ -29,6 +29,7 @@ KEYFIELDS = (
     "kind",
     "distribution",
     "operator",
+    "ndim",
     "max_level",
     "accuracies",
     "machine_fingerprint",
@@ -67,6 +68,8 @@ class TrialRecord:
     instances: int
     #: canonical operator spec string (the pre-operator-layer default)
     operator: str = "poisson"
+    #: grid dimensionality (2-D is the pre-3-D implicit default)
+    ndim: int = 2
     machine_name: str | None = None
     cycle_shape: str | None = None
     simulated_cost: float | None = None
@@ -81,6 +84,7 @@ class TrialRecord:
             self.kind,
             self.distribution,
             self.operator,
+            self.ndim,
             self.max_level,
             canonical_accuracies(self.accuracies),
             self.machine_fingerprint,
@@ -140,11 +144,11 @@ class TrialDB:
         with self.lock:
             cur = self.conn.execute(
                 """
-                INSERT INTO trials (kind, distribution, operator, max_level,
+                INSERT INTO trials (kind, distribution, operator, ndim, max_level,
                                     accuracies, machine_fingerprint, seed, instances,
                                     machine_name, cycle_shape, simulated_cost,
                                     wall_seconds, plan_json)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 record.key()
                 + (
@@ -165,6 +169,7 @@ class TrialDB:
         machine_fingerprint: str | None = None,
         max_level: int | None = None,
         operator: str | None = None,
+        ndim: int | None = None,
     ) -> list[TrialRecord]:
         """Trial records matching the given keyfield filters, oldest first.
 
@@ -181,6 +186,7 @@ class TrialDB:
             machine_fingerprint=machine_fingerprint,
             max_level=max_level,
             operator=operator,
+            ndim=ndim,
         )
         with self.lock:
             rows = self.conn.execute(
@@ -264,6 +270,7 @@ def _record_from_row(row: sqlite3.Row) -> TrialRecord:
         kind=row["kind"],
         distribution=row["distribution"],
         operator=row["operator"],
+        ndim=int(row["ndim"]),
         max_level=int(row["max_level"]),
         accuracies=tuple(json.loads(row["accuracies"])),
         machine_fingerprint=row["machine_fingerprint"],

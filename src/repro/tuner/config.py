@@ -46,9 +46,13 @@ def _clean_metadata(metadata: dict) -> dict:
 
 
 def plan_to_dict(plan: TunedVPlan | TunedFullMGPlan) -> dict[str, Any]:
-    """JSON-ready dict form of a tuned plan."""
+    """JSON-ready dict form of a tuned plan.
+
+    ``ndim`` is serialized only when non-default (3-D), so 2-D plan JSON
+    — including every pre-``ndim`` stored artifact — stays byte-identical.
+    """
     if isinstance(plan, TunedFullMGPlan):
-        return {
+        out: dict[str, Any] = {
             "format": _FORMAT,
             "kind": "full-multigrid",
             "accuracies": list(plan.accuracies),
@@ -57,8 +61,11 @@ def plan_to_dict(plan: TunedVPlan | TunedFullMGPlan) -> dict[str, Any]:
             "metadata": _clean_metadata(plan.metadata),
             "vplan": plan_to_dict(plan.vplan),
         }
+        if plan.ndim != 2:
+            out["ndim"] = plan.ndim
+        return out
     if isinstance(plan, TunedVPlan):
-        return {
+        out = {
             "format": _FORMAT,
             "kind": "multigrid-v",
             "accuracies": list(plan.accuracies),
@@ -66,6 +73,9 @@ def plan_to_dict(plan: TunedVPlan | TunedFullMGPlan) -> dict[str, Any]:
             "table": _table_to_list(plan.table),
             "metadata": _clean_metadata(plan.metadata),
         }
+        if plan.ndim != 2:
+            out["ndim"] = plan.ndim
+        return out
     raise TypeError(f"not a tuned plan: {plan!r}")
 
 
@@ -78,12 +88,14 @@ def plan_from_dict(data: dict[str, Any]) -> TunedVPlan | TunedFullMGPlan:
     accuracies = tuple(float(a) for a in data["accuracies"])
     table = _table_from_list(data["table"])
     metadata = dict(data.get("metadata", {}))
+    ndim = int(data.get("ndim", 2))
     if kind == "multigrid-v":
         return TunedVPlan(
             accuracies=accuracies,
             max_level=int(data["max_level"]),
             table=table,
             metadata=metadata,
+            ndim=ndim,
         )
     if kind == "full-multigrid":
         vplan = plan_from_dict(data["vplan"])
@@ -95,6 +107,7 @@ def plan_from_dict(data: dict[str, Any]) -> TunedVPlan | TunedFullMGPlan:
             table=table,
             vplan=vplan,
             metadata=metadata,
+            ndim=ndim,
         )
     raise ValueError(f"unknown plan kind {kind!r}")
 

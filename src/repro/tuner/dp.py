@@ -30,7 +30,7 @@ from repro.accuracy.estimator import (
     iterations_to_accuracy,
 )
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter
+from repro.machines.meter import NULL_METER, OpMeter, dim_op
 from repro.tuner.choices import Choice, DirectChoice, RecurseChoice, SORChoice
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.plan import DEFAULT_ACCURACIES, TunedVPlan, recurse_wrapper_meter
@@ -169,6 +169,8 @@ class VCycleTuner:
             self.timing = CostModelTiming(INTEL_HARPERTOWN)
         self.direct = self.direct or DirectSolver(backend="block", cache_factorization=True)
         self._executor = PlanExecutor(direct=self.direct, operator=self.training.operator)
+        #: grid dimensionality of the training operator (op vocabulary)
+        self._ndim = self.training.ndim
 
     # -- public API ---------------------------------------------------------
 
@@ -190,6 +192,7 @@ class VCycleTuner:
             max_level=self.max_level,
             table=table,
             metadata=metadata,
+            ndim=self._ndim,
         )
         if self.sink is not None:
             from repro.store.sink import emit_tuning_trial
@@ -252,11 +255,11 @@ class VCycleTuner:
         choice = table[(level - 1, acc_index)]
         n = size_of_level(level - 1)
         if isinstance(choice, DirectChoice):
-            meter.charge("direct", n)
+            meter.charge(dim_op("direct", self._ndim), n)
         elif isinstance(choice, SORChoice):
-            meter.charge("relax", n, choice.iterations)
+            meter.charge(dim_op("relax", self._ndim), n, choice.iterations)
         elif isinstance(choice, RecurseChoice):
-            wrapper = recurse_wrapper_meter(n)
+            wrapper = recurse_wrapper_meter(n, self._ndim)
             wrapper.merge(self._meter_below(table, level - 1, choice.sub_accuracy))
             meter.merge(wrapper, times=choice.iterations)
         return meter
@@ -337,7 +340,7 @@ class VCycleTuner:
             if not self._allowed(level, acc_index, DirectChoice()):
                 return None
             meter = OpMeter()
-            meter.charge("direct", n)
+            meter.charge(dim_op("direct", self._ndim), n)
             seconds = self.timing.time_candidate(
                 meter, self._direct_run(n), bundle.fresh_starts()
             )
@@ -351,7 +354,7 @@ class VCycleTuner:
             if not self._allowed(level, acc_index, probe):
                 return None
             unit = OpMeter()
-            unit.merge(recurse_wrapper_meter(n))
+            unit.merge(recurse_wrapper_meter(n, self._ndim))
             unit.merge(sub_meters[j])
             unit_cost = self._price_unit(unit)
             cap = self._budget_cap(unit_cost, best_time, self.max_recurse_iters)
@@ -383,7 +386,7 @@ class VCycleTuner:
             probe_sor = SORChoice(iterations=1)
             if not self._allowed(level, acc_index, probe_sor):
                 return None
-            relax_cost = self.timing.op_seconds("relax", n)
+            relax_cost = self.timing.op_seconds(dim_op("relax", self._ndim), n)
             cap = self._budget_cap(relax_cost, best_time, self.max_sor_iters)
             if cap < 1:
                 return CandidateOutcome(
@@ -403,7 +406,7 @@ class VCycleTuner:
             iters = max(iters, 1)
             choice = SORChoice(iterations=iters)
             meter = OpMeter()
-            meter.charge("relax", n, iters)
+            meter.charge(dim_op("relax", self._ndim), n, iters)
             seconds = self.timing.time_candidate(
                 meter, self._v_run(view, level, choice), bundle.fresh_starts()
             )

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.grids.transfer import interpolate_correction, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter
+from repro.machines.meter import NULL_METER, OpMeter, dim_op
 from repro.operators.base import StencilOperator
 from repro.operators.spec import OperatorSpec, parse_operator, shared_operator
 from repro.relax.weights import OMEGA_RECURSE
@@ -49,6 +49,8 @@ class PlanExecutor:
     ) -> None:
         self.direct = direct or DirectSolver(backend="block", cache_factorization=True)
         self.operator = parse_operator(operator)
+        #: grid dimensionality of the bound operator (picks op vocabulary)
+        self.ndim = self.operator.ndim
         # Per-level operators resolved once: _op sits on the plan
         # execution hot path (every recursion step), so repeated spec
         # normalization / shared-cache lookups would add up.
@@ -96,11 +98,11 @@ class PlanExecutor:
         trace.emit("enter", level, acc_index)
         if isinstance(choice, DirectChoice):
             op.direct_solve(x, b, solver=self.direct)
-            meter.charge("direct", n)
+            meter.charge(dim_op("direct", self.ndim), n)
             trace.emit("direct", level)
         elif isinstance(choice, SORChoice):
             op.sor_sweeps(x, b, op.omega_opt(), choice.iterations)
-            meter.charge("relax", n, choice.iterations)
+            meter.charge(dim_op("relax", self.ndim), n, choice.iterations)
             trace.emit("sor", level, choice.iterations)
         elif isinstance(choice, RecurseChoice):
             for _ in range(choice.iterations):
@@ -122,22 +124,23 @@ class PlanExecutor:
         """One RECURSE application: relax, coarse correction via the tuned
         sub-plan, relax (paper section 2.3, RECURSE_i)."""
         n = x.shape[0]
+        nd = self.ndim
         op = self._op(level)
         op.sor_sweeps(x, b, OMEGA_RECURSE, 1)
-        meter.charge("relax", n)
+        meter.charge(dim_op("relax", nd), n)
         trace.emit("relax", level)
         r = op.residual(x, b)
-        meter.charge("residual", n)
+        meter.charge(dim_op("residual", nd), n)
         rc = restrict_full_weighting(r)
-        meter.charge("restrict", n)
+        meter.charge(dim_op("restrict", nd), n)
         trace.emit("descend", level)
         ec = np.zeros_like(rc)
         self._run_v(plan, ec, rc, level - 1, sub_accuracy, meter, trace)
         interpolate_correction(x, ec)
-        meter.charge("interpolate", n)
+        meter.charge(dim_op("interpolate", nd), n)
         trace.emit("ascend", level)
         op.sor_sweeps(x, b, OMEGA_RECURSE, 1)
-        meter.charge("relax", n)
+        meter.charge(dim_op("relax", nd), n)
         trace.emit("relax", level)
 
     # -- FULL-MULTIGRID ---------------------------------------------------
@@ -172,30 +175,31 @@ class PlanExecutor:
     ) -> None:
         choice = plan.choice(level, acc_index)
         n = x.shape[0]
+        nd = self.ndim
         op = self._op(level)
         trace.emit("enter", level, acc_index)
         if isinstance(choice, DirectChoice):
             op.direct_solve(x, b, solver=self.direct)
-            meter.charge("direct", n)
+            meter.charge(dim_op("direct", nd), n)
             trace.emit("direct", level)
         elif isinstance(choice, EstimateChoice):
             # ESTIMATE_j: correction-form recursive full-MG call.
             trace.emit("estimate", level, choice.estimate_accuracy)
             r = op.residual(x, b)
-            meter.charge("residual", n)
+            meter.charge(dim_op("residual", nd), n)
             rc = restrict_full_weighting(r)
-            meter.charge("restrict", n)
+            meter.charge(dim_op("restrict", nd), n)
             trace.emit("descend", level)
             ec = np.zeros_like(rc)
             self._run_full(plan, ec, rc, level - 1, choice.estimate_accuracy, meter, trace)
             interpolate_correction(x, ec)
-            meter.charge("interpolate", n)
+            meter.charge(dim_op("interpolate", nd), n)
             trace.emit("ascend", level)
             # Solve phase: iterate the chosen V-type method.
             solver = choice.solver
             if isinstance(solver, SORChoice):
                 op.sor_sweeps(x, b, op.omega_opt(), solver.iterations)
-                meter.charge("relax", n, solver.iterations)
+                meter.charge(dim_op("relax", nd), n, solver.iterations)
                 trace.emit("sor", level, solver.iterations)
             else:
                 for _ in range(solver.iterations):

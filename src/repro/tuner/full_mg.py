@@ -29,7 +29,7 @@ from repro.accuracy.estimator import (
 )
 from repro.grids.transfer import interpolate_correction, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter
+from repro.machines.meter import NULL_METER, OpMeter, dim_op
 from repro.tuner.choices import (
     Choice,
     DirectChoice,
@@ -113,6 +113,8 @@ class FullMGTuner:
             )
         self.direct = self.direct or DirectSolver(backend="block", cache_factorization=True)
         self._executor = PlanExecutor(direct=self.direct, operator=self.training.operator)
+        #: grid dimensionality of the training operator (op vocabulary)
+        self._ndim = self.training.ndim
 
     def tune(self, max_level: int | None = None) -> TunedFullMGPlan:
         start = time.perf_counter()
@@ -138,6 +140,7 @@ class FullMGTuner:
             table=table,
             vplan=self.vplan,
             metadata=metadata,
+            ndim=self._ndim,
         )
         if self.sink is not None:
             from repro.store.sink import emit_tuning_trial
@@ -155,18 +158,19 @@ class FullMGTuner:
         meter = OpMeter()
         choice = table[(level, j)]
         n = size_of_level(level)
+        nd = self._ndim
         if isinstance(choice, DirectChoice):
-            meter.charge("direct", n)
+            meter.charge(dim_op("direct", nd), n)
         elif isinstance(choice, EstimateChoice):
-            meter.charge("residual", n)
-            meter.charge("restrict", n)
+            meter.charge(dim_op("residual", nd), n)
+            meter.charge(dim_op("restrict", nd), n)
             meter.merge(self._fmg_meter(table, level - 1, choice.estimate_accuracy))
-            meter.charge("interpolate", n)
+            meter.charge(dim_op("interpolate", nd), n)
             solver = choice.solver
             if isinstance(solver, SORChoice):
-                meter.charge("relax", n, solver.iterations)
+                meter.charge(dim_op("relax", nd), n, solver.iterations)
             else:
-                wrapper = recurse_wrapper_meter(n)
+                wrapper = recurse_wrapper_meter(n, nd)
                 wrapper.merge(self.vplan.unit_meter(level - 1, solver.sub_accuracy))
                 meter.merge(wrapper, times=solver.iterations)
         return meter
@@ -176,11 +180,12 @@ class FullMGTuner:
     ) -> OpMeter:
         """Unit meter of one ESTIMATE_j application at ``level``."""
         n = size_of_level(level)
+        nd = self._ndim
         est_meter = OpMeter()
-        est_meter.charge("residual", n)
-        est_meter.charge("restrict", n)
+        est_meter.charge(dim_op("residual", nd), n)
+        est_meter.charge(dim_op("restrict", nd), n)
         est_meter.merge(self._fmg_meter(table, level - 1, j))
-        est_meter.charge("interpolate", n)
+        est_meter.charge(dim_op("interpolate", nd), n)
         return est_meter
 
     def _estimate_states(
@@ -297,7 +302,7 @@ class FullMGTuner:
     def _evaluate_direct(self, n: int, bundle) -> CandidateOutcome:
         """The always-feasible direct candidate for one slot."""
         direct_meter = OpMeter()
-        direct_meter.charge("direct", n)
+        direct_meter.charge(dim_op("direct", self._ndim), n)
         seconds = self.timing.time_candidate(
             direct_meter, _no_run, bundle.fresh_starts()
         )
@@ -333,7 +338,7 @@ class FullMGTuner:
 
         if kind == "sor":
             # Solve phase variant 1: SOR(omega_opt) until p_i.
-            relax_cost = self.timing.op_seconds("relax", n)
+            relax_cost = self.timing.op_seconds(dim_op("relax", self._ndim), n)
             cap = self._budget_cap(relax_cost, best_time - est_cost, self.max_sor_iters)
             if cap < 0:
                 return None
@@ -353,7 +358,7 @@ class FullMGTuner:
             solver: Union[SORChoice, RecurseChoice] = SORChoice(iterations=iters)
             meter = OpMeter()
             meter.merge(est_meter)
-            meter.charge("relax", n, iters)
+            meter.charge(dim_op("relax", self._ndim), n, iters)
             choice = EstimateChoice(j, solver)
             seconds = self.timing.time_candidate(meter, _no_run, bundle.fresh_starts())
             return CandidateOutcome(choice.describe(), seconds, True, choice)
@@ -362,7 +367,7 @@ class FullMGTuner:
             # Solve phase variant 2: RECURSE_l until p_i.
             assert sub is not None
             unit = OpMeter()
-            unit.merge(recurse_wrapper_meter(n))
+            unit.merge(recurse_wrapper_meter(n, self._ndim))
             unit.merge(self.vplan.unit_meter(level - 1, sub))
             unit_cost = self._price(unit)
             cap = self._budget_cap(

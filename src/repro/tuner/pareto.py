@@ -141,6 +141,16 @@ class ParetoTuner:
     direct: DirectSolver | None = None
 
     def __post_init__(self) -> None:
+        if self.training.ndim != 2:
+            # The full-DP ablation executes and meters the raw 2-D
+            # constant-coefficient kernels (band-Cholesky direct, 5-point
+            # SOR); silently running it on a 3-D training operator would
+            # price n**3 work with n**2 shapes.  The discrete tuners are
+            # the dimension-general path.
+            raise ValueError(
+                "ParetoTuner is a 2-D constant-coefficient ablation tool; "
+                "use VCycleTuner/FullMGTuner for 3-D operators"
+            )
         if self.timing is None:
             from repro.machines.presets import INTEL_HARPERTOWN
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.machines.meter import OpMeter
+from repro.machines.meter import OpMeter, dim_op
 from repro.machines.profile import MachineProfile
 from repro.tuner.choices import (
     Choice,
@@ -33,15 +33,16 @@ __all__ = ["TunedFullMGPlan", "TunedVPlan", "recurse_wrapper_meter"]
 DEFAULT_ACCURACIES: tuple[float, ...] = (1e1, 1e3, 1e5, 1e7, 1e9)
 
 
-def recurse_wrapper_meter(n: int) -> OpMeter:
+def recurse_wrapper_meter(n: int, ndim: int = 2) -> OpMeter:
     """Ops of one RECURSE application at fine size ``n``, excluding the
     coarse-grid call: two SOR(1.15) sweeps, residual, restriction,
-    interpolation+correction."""
+    interpolation+correction.  ``ndim`` picks the 2-D or 3-D op
+    vocabulary."""
     meter = OpMeter()
-    meter.charge("relax", n, 2)
-    meter.charge("residual", n)
-    meter.charge("restrict", n)
-    meter.charge("interpolate", n)
+    meter.charge(dim_op("relax", ndim), n, 2)
+    meter.charge(dim_op("residual", ndim), n)
+    meter.charge(dim_op("restrict", ndim), n)
+    meter.charge(dim_op("interpolate", ndim), n)
     return meter
 
 
@@ -87,15 +88,23 @@ def _check_table(
 
 @dataclass
 class TunedVPlan:
-    """Tuned MULTIGRID-V_i family over levels 1..max_level."""
+    """Tuned MULTIGRID-V_i family over levels 1..max_level.
+
+    ``ndim`` is the grid dimensionality the plan was tuned for; it
+    selects the op vocabulary (and therefore pricing) of
+    :meth:`unit_meter` and the kernels the executor dispatches into.
+    """
 
     accuracies: tuple[float, ...]
     max_level: int
     table: dict[tuple[int, int], Choice]
     metadata: dict = field(default_factory=dict)
+    ndim: int = 2
 
     def __post_init__(self) -> None:
         self.accuracies = tuple(float(a) for a in self.accuracies)
+        if self.ndim not in (2, 3):
+            raise ValueError(f"ndim must be 2 or 3, got {self.ndim}")
         _check_table(self.table, self.accuracies, self.max_level, allow_estimate=False)
         self._meters: dict[tuple[int, int], OpMeter] = {}
 
@@ -129,11 +138,11 @@ class TunedVPlan:
         n = size_of_level(level)
         meter = OpMeter()
         if isinstance(choice, DirectChoice):
-            meter.charge("direct", n)
+            meter.charge(dim_op("direct", self.ndim), n)
         elif isinstance(choice, SORChoice):
-            meter.charge("relax", n, choice.iterations)
+            meter.charge(dim_op("relax", self.ndim), n, choice.iterations)
         elif isinstance(choice, RecurseChoice):
-            wrapper = recurse_wrapper_meter(n)
+            wrapper = recurse_wrapper_meter(n, self.ndim)
             wrapper.merge(self.unit_meter(level - 1, choice.sub_accuracy))
             meter.merge(wrapper, times=choice.iterations)
         else:  # pragma: no cover - table validated at construction
@@ -160,14 +169,19 @@ class TunedFullMGPlan:
     table: dict[tuple[int, int], Choice]
     vplan: TunedVPlan
     metadata: dict = field(default_factory=dict)
+    ndim: int = 2
 
     def __post_init__(self) -> None:
         self.accuracies = tuple(float(a) for a in self.accuracies)
+        if self.ndim not in (2, 3):
+            raise ValueError(f"ndim must be 2 or 3, got {self.ndim}")
         _check_table(self.table, self.accuracies, self.max_level, allow_estimate=True)
         if self.vplan.accuracies != self.accuracies:
             raise ValueError("full-MG plan and V plan must share the accuracy ladder")
         if self.vplan.max_level < self.max_level:
             raise ValueError("V plan must cover at least the full-MG plan's levels")
+        if self.vplan.ndim != self.ndim:
+            raise ValueError("full-MG plan and V plan must share ndim")
         self._meters: dict[tuple[int, int], OpMeter] = {}
 
     @property
@@ -190,19 +204,19 @@ class TunedFullMGPlan:
         n = size_of_level(level)
         meter = OpMeter()
         if isinstance(choice, DirectChoice):
-            meter.charge("direct", n)
+            meter.charge(dim_op("direct", self.ndim), n)
         elif isinstance(choice, EstimateChoice):
             # Estimation phase: residual, restrict, recursive full-MG call,
             # interpolate + correct.
-            meter.charge("residual", n)
-            meter.charge("restrict", n)
+            meter.charge(dim_op("residual", self.ndim), n)
+            meter.charge(dim_op("restrict", self.ndim), n)
             meter.merge(self.unit_meter(level - 1, choice.estimate_accuracy))
-            meter.charge("interpolate", n)
+            meter.charge(dim_op("interpolate", self.ndim), n)
             solver = choice.solver
             if isinstance(solver, SORChoice):
-                meter.charge("relax", n, solver.iterations)
+                meter.charge(dim_op("relax", self.ndim), n, solver.iterations)
             else:
-                wrapper = recurse_wrapper_meter(n)
+                wrapper = recurse_wrapper_meter(n, self.ndim)
                 wrapper.merge(self.vplan.unit_meter(level - 1, solver.sub_accuracy))
                 meter.merge(wrapper, times=solver.iterations)
         else:  # pragma: no cover - table validated at construction

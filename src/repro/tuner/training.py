@@ -83,6 +83,11 @@ class TrainingData:
         """Canonical operator string (storage keyfield form)."""
         return self.operator.canonical()
 
+    @property
+    def ndim(self) -> int:
+        """Grid dimensionality of the training operator (2 or 3)."""
+        return self.operator.ndim
+
     def at_level(self, level: int) -> LevelTraining:
         """Training set for ``level`` (materialized on first use)."""
         cached = self._levels.get(level)

@@ -1,0 +1,72 @@
+"""Injectable clocks for time-measured components.
+
+The serving runtime measures latencies (queue wait, solve time,
+end-to-end request latency, background-tune duration) and the load
+generator paces retries.  Hard-wiring those to ``time.perf_counter`` /
+``time.sleep`` makes the telemetry assertions in tests depend on real
+scheduler behaviour — the classic source of flaky timing tests.  A
+:class:`Clock` is the seam: production uses :data:`MONOTONIC_CLOCK`
+(perf_counter + real sleep), tests inject a :class:`ManualClock` and
+advance it deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "ManualClock", "MonotonicClock", "MONOTONIC_CLOCK"]
+
+
+class Clock:
+    """Interface: a monotonic ``now()`` in seconds plus a ``sleep()``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real thing: ``time.perf_counter`` and ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+#: Shared default instance (clocks are stateless).
+MONOTONIC_CLOCK = MonotonicClock()
+
+
+class ManualClock(Clock):
+    """A deterministic clock tests advance by hand.
+
+    ``sleep`` advances the clock instead of blocking, so code paths that
+    pace themselves (load-generator retries, pollers) run instantly
+    under test while still observing the passage of virtual time.
+    Thread-safe: concurrent readers see a consistent monotone value.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} (< 0)")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.advance(seconds)

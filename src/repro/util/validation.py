@@ -9,12 +9,25 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "SUPPORTED_NDIMS",
+    "check_cube_grid",
     "check_grid_size",
+    "check_ndim",
     "check_square_grid",
     "is_grid_size",
     "level_of_size",
     "size_of_level",
 ]
+
+#: Grid dimensionalities the solver stack supports end-to-end.
+SUPPORTED_NDIMS = (2, 3)
+
+
+def check_ndim(ndim: int) -> int:
+    """Validate a grid dimensionality and return it."""
+    if ndim not in SUPPORTED_NDIMS:
+        raise ValueError(f"ndim must be one of {SUPPORTED_NDIMS}, got {ndim}")
+    return ndim
 
 
 def size_of_level(level: int) -> int:
@@ -61,6 +74,27 @@ def check_square_grid(a: np.ndarray, name: str = "grid") -> int:
         raise ValueError(f"{name} must be 2-D, got ndim={a.ndim}")
     if a.shape[0] != a.shape[1]:
         raise ValueError(f"{name} must be square, got shape {a.shape}")
+    if not np.issubdtype(a.dtype, np.floating):
+        raise TypeError(f"{name} must be a float array, got dtype {a.dtype}")
+    return level_of_size(a.shape[0])
+
+
+def check_cube_grid(a: np.ndarray, name: str = "grid") -> int:
+    """Validate that ``a`` is a cube-shaped float array of side 2**k+1 in
+    any supported dimensionality (2-D square or 3-D cube).
+
+    Returns the grid's level.  The 2-D path defers to
+    :func:`check_square_grid` so error messages stay identical.
+    """
+    if a.ndim == 2:
+        return check_square_grid(a, name)
+    if a.ndim not in SUPPORTED_NDIMS:
+        raise ValueError(
+            f"{name} must be {' or '.join(f'{d}-D' for d in SUPPORTED_NDIMS)}, "
+            f"got ndim={a.ndim}"
+        )
+    if len(set(a.shape)) != 1:
+        raise ValueError(f"{name} must be a cube, got shape {a.shape}")
     if not np.issubdtype(a.dtype, np.floating):
         raise TypeError(f"{name} must be a float array, got dtype {a.dtype}")
     return level_of_size(a.shape[0])

@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.grids.boundary import boundary_size
 from repro.operators.spec import OperatorSpec, parse_operator
 from repro.util.rng import derive_rng
 from repro.util.validation import check_grid_size
@@ -49,13 +50,18 @@ def unbiased_uniform(
     label: str = "unbiased",
     operator: OperatorSpec | str | None = None,
 ) -> PoissonProblem:
-    """RHS and boundary uniform over [-2^32, 2^32]."""
+    """RHS and boundary uniform over [-2^32, 2^32].
+
+    The grid shape follows the operator's dimensionality (2-D draws are
+    byte-identical to the historical generator; 3-D operators draw cube
+    RHS data and the face boundary).
+    """
     check_grid_size(n)
-    b = rng.uniform(-_SCALE, _SCALE, size=(n, n))
-    boundary = rng.uniform(-_SCALE, _SCALE, size=4 * n - 4)
+    spec = parse_operator(operator)
+    b = rng.uniform(-_SCALE, _SCALE, size=(n,) * spec.ndim)
+    boundary = rng.uniform(-_SCALE, _SCALE, size=boundary_size(n, spec.ndim))
     return PoissonProblem(
-        b=_owned(b), boundary=_owned(boundary), label=label,
-        operator=parse_operator(operator),
+        b=_owned(b), boundary=_owned(boundary), label=label, operator=spec,
     )
 
 
@@ -67,11 +73,11 @@ def biased_uniform(
 ) -> PoissonProblem:
     """The unbiased distribution shifted in the positive direction by 2^31."""
     check_grid_size(n)
-    b = rng.uniform(-_SCALE, _SCALE, size=(n, n)) + _SHIFT
-    boundary = rng.uniform(-_SCALE, _SCALE, size=4 * n - 4) + _SHIFT
+    spec = parse_operator(operator)
+    b = rng.uniform(-_SCALE, _SCALE, size=(n,) * spec.ndim) + _SHIFT
+    boundary = rng.uniform(-_SCALE, _SCALE, size=boundary_size(n, spec.ndim)) + _SHIFT
     return PoissonProblem(
-        b=_owned(b), boundary=_owned(boundary), label=label,
-        operator=parse_operator(operator),
+        b=_owned(b), boundary=_owned(boundary), label=label, operator=spec,
     )
 
 
@@ -90,17 +96,18 @@ def point_sources(
     check_grid_size(n)
     if count < 1:
         raise ValueError("count must be >= 1")
-    b = np.zeros((n, n), dtype=np.float64)
+    spec = parse_operator(operator)
+    ndim = spec.ndim
+    b = np.zeros((n,) * ndim, dtype=np.float64)
     interior = n - 2
-    k = min(count, interior * interior)
-    flat = rng.choice(interior * interior, size=k, replace=False)
-    rows, cols = np.divmod(flat, interior)
+    k = min(count, interior**ndim)
+    flat = rng.choice(interior**ndim, size=k, replace=False)
+    idx = np.unravel_index(flat, (interior,) * ndim)
     signs = rng.choice([-1.0, 1.0], size=k)
-    b[rows + 1, cols + 1] = signs * rng.uniform(0.5 * _SCALE, _SCALE, size=k)
-    boundary = rng.uniform(-_SCALE, _SCALE, size=4 * n - 4)
+    b[tuple(i + 1 for i in idx)] = signs * rng.uniform(0.5 * _SCALE, _SCALE, size=k)
+    boundary = rng.uniform(-_SCALE, _SCALE, size=boundary_size(n, ndim))
     return PoissonProblem(
-        b=_owned(b), boundary=_owned(boundary), label=label,
-        operator=parse_operator(operator),
+        b=_owned(b), boundary=_owned(boundary), label=label, operator=spec,
     )
 
 

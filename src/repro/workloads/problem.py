@@ -6,9 +6,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.grids.boundary import set_boundary
+from repro.grids.boundary import boundary_size, set_boundary_values
 from repro.operators.spec import POISSON, OperatorSpec, parse_operator
-from repro.util.validation import check_square_grid, level_of_size
+from repro.util.validation import check_cube_grid, level_of_size
 
 __all__ = ["PoissonProblem", "Problem"]
 
@@ -40,13 +40,19 @@ class PoissonProblem:
     operator: OperatorSpec = POISSON
 
     def __post_init__(self) -> None:
-        check_square_grid(self.b, "b")
+        check_cube_grid(self.b, "b")
         n = self.b.shape[0]
-        if self.boundary.shape != (4 * n - 4,):
+        expected = boundary_size(n, self.b.ndim)
+        if self.boundary.shape != (expected,):
             raise ValueError(
-                f"boundary length {self.boundary.shape} != ({4 * n - 4},) for n={n}"
+                f"boundary length {self.boundary.shape} != ({expected},) for n={n}"
             )
         object.__setattr__(self, "operator", parse_operator(self.operator))
+        if self.operator.ndim != self.b.ndim:
+            raise ValueError(
+                f"operator {self.operator.canonical()!r} is "
+                f"{self.operator.ndim}-D but b has ndim={self.b.ndim}"
+            )
         for name in ("b", "boundary"):
             arr = getattr(self, name)
             if arr.flags.writeable:
@@ -59,13 +65,18 @@ class PoissonProblem:
         return self.b.shape[0]
 
     @property
+    def ndim(self) -> int:
+        """Grid dimensionality (2 or 3)."""
+        return self.b.ndim
+
+    @property
     def level(self) -> int:
         return level_of_size(self.n)
 
     def initial_guess(self) -> np.ndarray:
-        """Fresh writable grid: zero interior, Dirichlet boundary ring."""
+        """Fresh writable grid: zero interior, Dirichlet boundary applied."""
         x = np.zeros_like(self.b)
-        set_boundary(x, self.boundary)
+        set_boundary_values(x, self.boundary)
         return x
 
     def rhs(self) -> np.ndarray:

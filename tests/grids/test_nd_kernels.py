@@ -1,0 +1,202 @@
+"""3-D kernel correctness: scalar-loop specifications and exact identities.
+
+The vectorized 3-D kernels (7-point apply/residual, red-black SOR,
+separable full-weighting restriction and trilinear interpolation) are
+checked against executable scalar specifications and the algebraic
+identities the multigrid theory relies on (transfer adjointness, exact
+interpolation of linear functions, partition-of-unity restriction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.grids.boundary import (
+    apply_dirichlet,
+    boundary_mask,
+    boundary_size,
+    boundary_values,
+    set_boundary_values,
+)
+from repro.grids.grid import alloc_grid, interior, zero_boundary
+from repro.grids.norms import error_norm, interior_norm
+from repro.grids.poisson import (
+    apply_axis_stencil,
+    apply_poisson,
+    residual,
+    residual_axis_stencil,
+    rhs_scale,
+)
+from repro.grids.transfer import (
+    interpolate_bilinear,
+    interpolate_correction,
+    restrict_full_weighting,
+    restrict_injection,
+)
+from repro.relax.sor import sor_redblack, sor_redblack_axes3d, sor_redblack_reference
+
+
+def rand_cube(n, seed, ndim=3):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n,) * ndim)
+
+
+class TestApplyResidual3D:
+    def test_apply_matches_scalar_stencil(self):
+        n = 9
+        u = rand_cube(n, 0)
+        out = apply_poisson(u)
+        inv_h2 = rhs_scale(n)
+        ref = np.zeros_like(u)
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                for k in range(1, n - 1):
+                    ref[i, j, k] = inv_h2 * (
+                        6 * u[i, j, k]
+                        - u[i - 1, j, k] - u[i + 1, j, k]
+                        - u[i, j - 1, k] - u[i, j + 1, k]
+                        - u[i, j, k - 1] - u[i, j, k + 1]
+                    )
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-9)
+
+    def test_residual_is_b_minus_Au(self):
+        n = 9
+        u, b = rand_cube(n, 1), rand_cube(n, 2)
+        r = residual(u, b)
+        expected = b - apply_poisson(u)
+        inner = (slice(1, -1),) * 3
+        np.testing.assert_allclose(r[inner], expected[inner], rtol=1e-12, atol=1e-9)
+        assert np.all(r[0] == 0.0) and np.all(r[:, 0] == 0.0) and np.all(r[:, :, 0] == 0.0)
+
+    def test_axis_weights_scale_each_axis(self):
+        n = 9
+        u = rand_cube(n, 3)
+        coeffs = (0.25, 1.0, 2.0)
+        out = apply_axis_stencil(u, coeffs)
+        inv_h2 = rhs_scale(n)
+        ref = np.zeros_like(u)
+        for axis, c in enumerate(coeffs):
+            lo = tuple(slice(0, -2) if a == axis else slice(1, -1) for a in range(3))
+            hi = tuple(slice(2, None) if a == axis else slice(1, -1) for a in range(3))
+            ref[(slice(1, -1),) * 3] += c * (
+                2.0 * u[(slice(1, -1),) * 3] - u[lo] - u[hi]
+            )
+        ref *= inv_h2
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-9)
+
+    def test_residual_axis_consistent_with_apply(self):
+        n = 9
+        u, b = rand_cube(n, 4), rand_cube(n, 5)
+        coeffs = (0.5, 1.0, 1.5)
+        r = residual_axis_stencil(u, b, coeffs)
+        expected = b - apply_axis_stencil(u, coeffs)
+        inner = (slice(1, -1),) * 3
+        np.testing.assert_allclose(r[inner], expected[inner], rtol=1e-12, atol=1e-9)
+
+
+class TestSOR3D:
+    @pytest.mark.parametrize("omega", [0.8, 1.0, 1.15])
+    def test_vectorized_matches_scalar_reference(self, omega):
+        n = 9
+        u1 = rand_cube(n, 6)
+        u2 = u1.copy()
+        b = rand_cube(n, 7)
+        sor_redblack(u1, b, omega, sweeps=2)
+        sor_redblack_reference(u2, b, omega, sweeps=2)
+        np.testing.assert_allclose(u1, u2, rtol=1e-13, atol=1e-13)
+
+    def test_axis_weighted_sweep_reduces_residual(self):
+        n = 9
+        coeffs = (0.1, 1.0, 1.0)
+        u = np.zeros((n,) * 3)
+        b = rand_cube(n, 8)
+        r0 = interior_norm(residual_axis_stencil(u, b, coeffs))
+        sor_redblack_axes3d(u, b, coeffs, 1.15, sweeps=20)
+        assert interior_norm(residual_axis_stencil(u, b, coeffs)) < 0.5 * r0
+
+    def test_zero_sweeps_is_identity(self):
+        n = 5
+        u = rand_cube(n, 9)
+        before = u.copy()
+        sor_redblack(u, rand_cube(n, 10), 1.15, sweeps=0)
+        np.testing.assert_array_equal(u, before)
+
+
+class TestTransfers3D:
+    def test_restriction_preserves_constants_on_interior(self):
+        fine = np.ones((9, 9, 9))
+        coarse = restrict_full_weighting(fine)
+        assert coarse.shape == (5, 5, 5)
+        np.testing.assert_allclose(coarse[1:-1, 1:-1, 1:-1], 1.0)
+        assert np.all(coarse[0] == 0.0)
+
+    def test_injection_copies_coincident_points(self):
+        fine = rand_cube(9, 11)
+        coarse = restrict_injection(fine)
+        np.testing.assert_array_equal(coarse, fine[::2, ::2, ::2])
+
+    def test_trilinear_interpolation_exact_on_linear_functions(self):
+        t = np.linspace(0.0, 1.0, 5)
+        x, y, z = np.meshgrid(t, t, t, indexing="ij")
+        lin = 1.0 + 2.0 * x + 3.0 * y - 4.0 * z
+        out = interpolate_bilinear(lin)
+        t9 = np.linspace(0.0, 1.0, 9)
+        x9, y9, z9 = np.meshgrid(t9, t9, t9, indexing="ij")
+        np.testing.assert_allclose(out, 1.0 + 2.0 * x9 + 3.0 * y9 - 4.0 * z9, atol=1e-12)
+
+    def test_correction_adds_interpolant_to_interior_only(self):
+        u = rand_cube(9, 12)
+        boundary_before = u[boundary_mask(9, 3)].copy()
+        c = rand_cube(5, 13)
+        full = interpolate_bilinear(c)
+        expected = u[1:-1, 1:-1, 1:-1] + full[1:-1, 1:-1, 1:-1]
+        interpolate_correction(u, c)
+        np.testing.assert_allclose(u[1:-1, 1:-1, 1:-1], expected, rtol=1e-12)
+        np.testing.assert_array_equal(u[boundary_mask(9, 3)], boundary_before)
+
+    def test_restriction_is_scaled_adjoint_of_interpolation(self):
+        rng = np.random.default_rng(14)
+        uf = np.zeros((9, 9, 9))
+        uf[1:-1, 1:-1, 1:-1] = rng.standard_normal((7, 7, 7))
+        vc = np.zeros((5, 5, 5))
+        vc[1:-1, 1:-1, 1:-1] = rng.standard_normal((3, 3, 3))
+        lhs = float(np.sum(restrict_full_weighting(uf) * vc))
+        rhs = float(np.sum(uf * interpolate_bilinear(vc))) / 8.0
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+class TestGridHelpers3D:
+    def test_alloc_interior_zero_boundary(self):
+        a = alloc_grid(5, fill=2.0, ndim=3)
+        assert a.shape == (5, 5, 5)
+        assert interior(a).shape == (3, 3, 3)
+        zero_boundary(a)
+        assert np.all(a[boundary_mask(5, 3)] == 0.0)
+        assert np.all(interior(a) == 2.0)
+
+    def test_boundary_roundtrip(self):
+        a = rand_cube(5, 15)
+        vals = boundary_values(a)
+        assert vals.shape == (boundary_size(5, 3),)
+        assert boundary_size(5, 3) == 5**3 - 3**3
+        b = np.zeros((5, 5, 5))
+        set_boundary_values(b, vals)
+        np.testing.assert_array_equal(boundary_values(b), vals)
+        assert np.all(interior(b) == 0.0)
+
+    def test_apply_dirichlet_scalar_and_array(self):
+        a = np.zeros((5, 5, 5))
+        apply_dirichlet(a, 3.5)
+        assert np.all(a[boundary_mask(5, 3)] == 3.5)
+        assert np.all(interior(a) == 0.0)
+        vals = np.arange(boundary_size(5, 3), dtype=np.float64)
+        apply_dirichlet(a, vals)
+        np.testing.assert_array_equal(boundary_values(a), vals)
+
+    def test_norms_cover_interior_only(self):
+        a = np.zeros((5, 5, 5))
+        a[boundary_mask(5, 3)] = 100.0
+        assert interior_norm(a) == 0.0
+        a[2, 2, 2] = 3.0
+        assert interior_norm(a) == pytest.approx(3.0)
+        b = np.zeros_like(a)
+        assert error_norm(a, b) == pytest.approx(3.0)

@@ -1,0 +1,145 @@
+"""The 3-D operator families and their identity plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.operators import (
+    AnisotropicPoisson3D,
+    ConstCoeffPoisson3D,
+    const_poisson3d,
+    default_operator_spec,
+    make_operator,
+    operator_families,
+    parse_operator,
+    shared_operator,
+)
+
+
+class TestFamilies:
+    def test_families_registered_with_ndim(self):
+        fams = operator_families()
+        assert fams["poisson3d"].ndim == 3
+        assert fams["anisotropic3d"].ndim == 3
+        assert fams["poisson"].ndim == 2
+
+    def test_spec_ndim_property(self):
+        assert parse_operator("poisson3d").ndim == 3
+        assert parse_operator("anisotropic3d(epsx=0.5)").ndim == 3
+        assert parse_operator(None).ndim == 2
+
+    def test_default_spec_per_ndim(self):
+        assert default_operator_spec(2).canonical() == "poisson"
+        assert default_operator_spec(3).canonical() == "poisson3d"
+        with pytest.raises(ValueError):
+            default_operator_spec(4)
+
+    def test_canonical_drops_default_params(self):
+        assert parse_operator("anisotropic3d(epsx=0.1,epsy=1.0)").canonical() == (
+            "anisotropic3d"
+        )
+        assert parse_operator("anisotropic3d(epsy=0.5)").canonical() == (
+            "anisotropic3d(epsy=0.5)"
+        )
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError, match="epsx"):
+            make_operator("anisotropic3d(epsx=0)", 9)
+        with pytest.raises(ValueError, match="epsy"):
+            make_operator("anisotropic3d(epsy=1.5)", 9)
+
+
+class TestKernels:
+    def test_shared_instance_and_coarsen_chain(self):
+        op = shared_operator("poisson3d", 17)
+        assert isinstance(op, ConstCoeffPoisson3D)
+        assert op.ndim == 3 and op.coeffs == (1.0, 1.0, 1.0)
+        assert op.coarsen() is shared_operator("poisson3d", 9)
+        assert shared_operator("poisson3d", 17) is op
+
+    def test_diagonal_value(self):
+        op = const_poisson3d(9)
+        h = 1.0 / 8.0
+        np.testing.assert_allclose(op.diagonal(), 6.0 / h**2)
+        aniso = make_operator("anisotropic3d(epsx=0.5,epsy=0.25)", 9)
+        np.testing.assert_allclose(aniso.diagonal(), 2.0 * (0.5 + 0.25 + 1.0) / h**2)
+
+    def test_direct_solve_solves_interior_exactly(self):
+        op = make_operator("anisotropic3d(epsx=0.2)", 9)
+        assert isinstance(op, AnisotropicPoisson3D)
+        rng = np.random.default_rng(0)
+        x = np.zeros((9,) * 3)
+        x[0, :, :] = rng.standard_normal((9, 9))
+        b = rng.standard_normal((9,) * 3)
+        op.direct_solve(x, b)
+        r = op.residual(x, b)
+        assert float(np.abs(r[1:-1, 1:-1, 1:-1]).max()) < 1e-9
+
+    def test_operator_rejects_wrong_shape(self):
+        op = const_poisson3d(9)
+        with pytest.raises(ValueError, match="ndim"):
+            op.apply(np.zeros((9, 9)))
+        with pytest.raises(ValueError, match="bound to n=9"):
+            op.apply(np.zeros((17, 17, 17)))
+
+    def test_legacy_direct_solver_is_ignored(self):
+        # Passing the 2-D band solver must not break the 3-D solve.
+        from repro.linalg.direct import DirectSolver
+
+        op = const_poisson3d(5)
+        x = np.zeros((5,) * 3)
+        b = np.ones((5,) * 3)
+        op.direct_solve(x, b, solver=DirectSolver())
+        r = op.residual(x, b)
+        assert float(np.abs(r[1:-1, 1:-1, 1:-1]).max()) < 1e-10
+
+
+class TestIdentityPlumbing:
+    def test_tune_key_derives_and_validates_ndim(self):
+        from repro.store.registry import TuneKey
+
+        assert TuneKey().ndim == 2
+        assert TuneKey(operator="poisson3d").ndim == 3
+        assert TuneKey(operator="poisson3d", ndim=3).ndim == 3
+        with pytest.raises(ValueError, match="ndim=3"):
+            TuneKey(operator="poisson", ndim=3)
+        with pytest.raises(ValueError, match="ndim=2"):
+            TuneKey(operator="anisotropic3d", ndim=2)
+
+    def test_storage_keys_separate_dimensions(self):
+        from repro.store.registry import TuneKey
+
+        k2 = TuneKey(operator="poisson").storage_key("fp")
+        k3 = TuneKey(operator="poisson3d").storage_key("fp")
+        assert k2.endswith("|poisson|2")
+        assert k3.endswith("|poisson3d|3")
+
+    def test_serve_key_derives_and_validates_ndim(self):
+        from repro.serve.cache import ServeKey
+
+        key = ServeKey("fp", "poisson3d", 4, "unbiased")
+        assert key.ndim == 3
+        assert ServeKey("fp", "poisson", 4, "unbiased").ndim == 2
+        with pytest.raises(ValueError, match="ndim=2"):
+            ServeKey("fp", "poisson3d", 4, "unbiased", ndim=2)
+
+    def test_problem_rejects_operator_dimension_mismatch(self):
+        from repro.workloads.problem import PoissonProblem
+
+        b = np.zeros((9, 9))
+        boundary = np.zeros(4 * 9 - 4)
+        with pytest.raises(ValueError, match="3-D"):
+            PoissonProblem(b=b, boundary=boundary, operator="poisson3d")
+
+    def test_training_data_exposes_ndim(self):
+        from repro.tuner.training import TrainingData
+
+        assert TrainingData().ndim == 2
+        assert TrainingData(operator="poisson3d").ndim == 3
+
+    def test_core_resolver_validates(self):
+        from repro.core.api import poisson_problem
+
+        with pytest.raises(ValueError, match="ndim=2"):
+            poisson_problem(n=9, operator="poisson3d", ndim=2)
+        p = poisson_problem(n=9, operator="anisotropic3d", ndim=3)
+        assert p.ndim == 3

@@ -1,0 +1,110 @@
+"""Hypothesis properties parameterized over grid dimensionality.
+
+Two invariants the multigrid convergence theory stands on, now checked
+uniformly in 2-D and 3-D:
+
+* **transfer adjointness** — full-weighting restriction is the adjoint
+  of (bi/tri)linear interpolation up to the 2**ndim volume factor:
+  <R u, v> = <u, P v> / 2**ndim for any u on the fine grid and v on the
+  coarse grid (boundaries zero, as for residual transfers);
+* **smoother energy monotonicity** — SOR with 0 < omega < 2 on an SPD
+  operator never increases the energy norm of the error
+  (Ostrowski-Reich), for every operator family in every dimension.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids.transfer import interpolate_bilinear, restrict_full_weighting
+from repro.operators import shared_operator
+
+NDIM_CASES = [(2, 17, 9), (3, 9, 5)]  # (ndim, fine n, coarse n)
+
+SMOOTHER_CASES = [
+    ("poisson", 2, 17),
+    ("anisotropic(epsilon=0.05)", 2, 17),
+    ("poisson3d", 3, 9),
+    ("anisotropic3d(epsx=0.05)", 3, 9),
+    ("anisotropic3d(epsx=0.3,epsy=0.6)", 3, 9),
+]
+
+
+def _interior_noise(n, ndim, rng):
+    a = np.zeros((n,) * ndim)
+    a[(slice(1, -1),) * ndim] = rng.standard_normal((n - 2,) * ndim)
+    return a
+
+
+def _boundary_problem(op, seed):
+    """Random Dirichlet data + RHS for the operator's grid."""
+    from repro.grids.boundary import boundary_mask, boundary_size
+
+    rng = np.random.default_rng(seed)
+    n, ndim = op.n, op.ndim
+    x = np.zeros((n,) * ndim)
+    x[boundary_mask(n, ndim)] = rng.uniform(-1e3, 1e3, size=boundary_size(n, ndim))
+    b = rng.uniform(-1e3, 1e3, size=(n,) * ndim)
+    return x, b
+
+
+def _energy(op, e):
+    """||e||_A^2 over the interior (boundary of e is zero)."""
+    return float(np.sum(e * op.apply(e)))
+
+
+class TestTransferAdjointness:
+    @pytest.mark.parametrize("ndim,nf,nc", NDIM_CASES)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_restriction_is_scaled_adjoint_of_interpolation(self, ndim, nf, nc, seed):
+        rng = np.random.default_rng(seed)
+        u = _interior_noise(nf, ndim, rng)
+        v = _interior_noise(nc, ndim, rng)
+        lhs = float(np.sum(restrict_full_weighting(u) * v))
+        rhs = float(np.sum(u * interpolate_bilinear(v))) / float(2**ndim)
+        scale = max(1.0, abs(lhs), abs(rhs))
+        assert abs(lhs - rhs) <= 1e-10 * scale
+
+    @pytest.mark.parametrize("ndim,nf,nc", NDIM_CASES)
+    def test_restriction_of_interpolant_recovers_smooth_interior(self, ndim, nf, nc):
+        # R P is an averaging operator: on a constant interior field it
+        # returns the constant away from the boundary layer.
+        v = np.zeros((nc,) * ndim)
+        v[(slice(1, -1),) * ndim] = 1.0
+        rp = restrict_full_weighting(interpolate_bilinear(v))
+        deep = (slice(2, -2),) * ndim
+        if rp[deep].size:
+            np.testing.assert_allclose(rp[deep], 1.0)
+
+
+class TestSmootherMonotonicity:
+    @pytest.mark.parametrize("name,ndim,n", SMOOTHER_CASES)
+    @given(seed=st.integers(0, 10_000), omega=st.sampled_from([0.8, 1.0, 1.15, 1.5]))
+    @settings(max_examples=12, deadline=None)
+    def test_sor_monotonically_reduces_energy_error(self, name, ndim, n, seed, omega):
+        op = shared_operator(name, n)
+        assert op.ndim == ndim
+        x, b = _boundary_problem(op, seed)
+        exact = op.direct_solve(x.copy(), b)
+        energy = _energy(op, x - exact)
+        for _ in range(6):
+            op.sor_sweeps(x, b, omega, 1)
+            nxt = _energy(op, x - exact)
+            assert nxt <= energy * (1.0 + 1e-9)
+            energy = nxt
+
+    @pytest.mark.parametrize("name,ndim,n", SMOOTHER_CASES)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_jacobi_monotonically_reduces_energy_error(self, name, ndim, n, seed):
+        op = shared_operator(name, n)
+        x, b = _boundary_problem(op, seed)
+        exact = op.direct_solve(x.copy(), b)
+        energy = _energy(op, x - exact)
+        for _ in range(6):
+            op.jacobi_sweeps(x, b, 2.0 / 3.0, 1)
+            nxt = _energy(op, x - exact)
+            assert nxt <= energy * (1.0 + 1e-9)
+            energy = nxt

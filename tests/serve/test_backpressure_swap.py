@@ -192,6 +192,42 @@ class TestHotSwapNeverTearsPlans:
                 f"whole-plan golden hash"
             )
 
+    def test_mid_stream_swap_preserves_3d_solution_hashes(self):
+        """The stale-while-tune cycle on a 3-D workload class: every
+        streamed solution byte-matches a whole-plan offline solve."""
+        db = TrialDB(":memory:")
+        problem = poisson_problem("unbiased", n=N, seed=33, operator="poisson3d")
+        with make_server(store=db, workers=2, queue_size=64, batch_size=4) as server:
+            futures = [server.submit(problem, 1e5) for _ in range(10)]
+            assert futures[0].result(timeout=60).plan_source == "fallback"
+            assert server.wait_for_swaps(timeout=120)
+            futures += [server.submit(problem, 1e5) for _ in range(10)]
+            results = [f.result(timeout=60) for f in futures]
+            sources = {r.plan_source for r in results}
+            assert "fallback" in sources
+            assert "swapped" in sources or "exact" in sources
+            key = server.cache.key_for(
+                server.profile, problem.operator, LEVEL, "unbiased"
+            )
+            assert key.ndim == 3
+            tuned_entry = server.cache.lookup(key)
+        from repro.serve.cache import PlanCache
+
+        fallback_cache = PlanCache(server.registry, instances=1, seed=3, telemetry=None)
+        fallback_plan = fallback_cache._fallback_plan(server.profile, key)
+        assert fallback_plan.ndim == 3 and tuned_entry.plan.ndim == 3
+        golden = {
+            "fallback": solution_hash(solve(fallback_plan, problem, 1e5)[0]),
+            "tuned": solution_hash(solve(tuned_entry.plan, problem, 1e5)[0]),
+        }
+        for result in results:
+            digest = solution_hash(result.solution)
+            expected = "fallback" if result.plan_source == "fallback" else "tuned"
+            assert digest == golden[expected], (
+                f"torn plan: a {result.plan_source} 3-D response matched "
+                f"neither whole-plan golden hash"
+            )
+
     def test_scheduler_batches_match_sequential_results(self):
         """The work-stealing path returns byte-identical solutions."""
         problems = [poisson_problem("unbiased", n=N, seed=i) for i in range(6)]

@@ -1,0 +1,134 @@
+"""Deterministic serve timing via the injectable clock.
+
+The server measures queue wait, solve time, and end-to-end latency on
+its injected :class:`~repro.util.clock.Clock`.  With a
+:class:`ManualClock` the tests control exactly how much "time" each
+phase takes, so the telemetry assertions are equalities, not
+sleep-and-hope windows — the de-flake contract for every
+timing-dependent serve/telemetry test.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import poisson_problem
+from repro.serve import SolveServer
+from repro.store.trialdb import TrialDB
+from repro.util.clock import MONOTONIC_CLOCK, ManualClock, MonotonicClock
+
+
+class TestManualClock:
+    def test_advance_and_sleep_are_virtual(self):
+        clock = ManualClock(start=10.0)
+        assert clock.now() == 10.0
+        clock.sleep(2.5)
+        assert clock.now() == 12.5
+        assert clock.advance(0.5) == 13.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        assert clock.now() >= a
+        assert MONOTONIC_CLOCK.now() >= 0.0
+
+
+class TestServerTimingIsDeterministic:
+    def test_request_latency_equals_manual_advances(self):
+        """Block the solve, advance the clock by exactly 1.5 virtual
+        seconds, release: the reported latency must be exactly 1.5."""
+        from repro.tuner.executor import PlanExecutor
+
+        clock = ManualClock()
+        entered = threading.Event()
+        gate = threading.Event()
+        original = PlanExecutor.run_v
+
+        def gated_run_v(self, *args, **kwargs):
+            entered.set()
+            assert gate.wait(timeout=30)
+            return original(self, *args, **kwargs)
+
+        server = SolveServer(
+            machine="intel", store=TrialDB(":memory:"), workers=1,
+            instances=1, seed=3, clock=clock,
+        )
+        try:
+            server.warm("unbiased", 3)  # no background tune in play
+            problem = poisson_problem("unbiased", n=9, seed=1)
+            import unittest.mock as mock
+
+            with mock.patch.object(PlanExecutor, "run_v", gated_run_v):
+                future = server.submit(problem, 1e5)
+                assert entered.wait(timeout=30)
+                clock.advance(1.5)
+                gate.set()
+                result = future.result(timeout=60)
+            assert result.latency_s == pytest.approx(1.5)
+            snap = server.stats()
+            hist = snap["latency"]["request_latency"]
+            assert hist["count"] == 1
+            assert hist["max_s"] == pytest.approx(1.5)
+            # The solve itself saw the same 1.5 virtual seconds...
+            assert snap["latency"]["solve"]["max_s"] == pytest.approx(1.5)
+            # ...and nothing else ever advanced the clock.
+            assert clock.now() == pytest.approx(1.5)
+        finally:
+            server.shutdown(drain=True, timeout=30)
+
+    def test_queue_wait_is_zero_without_advances(self):
+        clock = ManualClock()
+        server = SolveServer(
+            machine="intel", store=TrialDB(":memory:"), workers=1,
+            instances=1, seed=3, clock=clock,
+        )
+        try:
+            server.warm("unbiased", 3)
+            problem = poisson_problem("unbiased", n=9, seed=2)
+            result = server.solve(problem, 1e5, timeout=60)
+            assert result.latency_s == 0.0
+            snap = server.stats()
+            assert snap["latency"]["queue_wait"]["max_s"] == 0.0
+            assert snap["latency"]["request_latency"]["max_s"] == 0.0
+        finally:
+            server.shutdown(drain=True, timeout=30)
+
+    def test_wait_for_swaps_returns_immediately_when_idle(self):
+        server = SolveServer(
+            machine="intel", store=TrialDB(":memory:"), workers=1,
+            instances=1, seed=3,
+        )
+        try:
+            import time
+
+            start = time.monotonic()
+            assert server.wait_for_swaps(timeout=30.0)
+            # Condition-based wait: no sleep-poll tick is ever paid.
+            assert time.monotonic() - start < 1.0
+        finally:
+            server.shutdown(drain=True, timeout=30)
+
+
+class TestLoadgenClock:
+    def test_report_wall_time_uses_injected_clock(self):
+        from repro.serve.loadgen import run_load
+
+        clock = ManualClock(start=100.0)
+        server = SolveServer(
+            machine="intel", store=TrialDB(":memory:"), workers=2,
+            instances=1, seed=3,
+        )
+        try:
+            server.warm("unbiased", 3)
+            report = run_load(
+                server, [("unbiased", 3, None)], requests=4, clients=2,
+                clock=clock,
+            )
+            assert report["completed"] == 4
+            # The manual clock never advanced, so measured wall time is 0
+            # and the throughput guard must have handled it gracefully.
+            assert report["wall_seconds"] == 0.0
+        finally:
+            server.shutdown(drain=True, timeout=30)

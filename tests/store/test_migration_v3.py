@@ -1,0 +1,294 @@
+"""Schema migration: PR-3/4-era (v2) stores keep working under v3.
+
+Builds a database with the verbatim v2 schema (operator keyfield, no
+``ndim``), populates it the way the pre-3-D code did (plan keys ending
+with the operator suffix), then opens it through :class:`TrialDB` and
+checks that the migrated store resolves old plans (as implicit
+``ndim=2``) and accepts new 3-D plans side by side — plus the
+mid-migration crash-rollback and concurrent-loser guarantees the v1->v2
+step already had.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB, TuneKey
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.trialdb import canonical_accuracies, canonical_seed
+from repro.tuner.config import plan_to_dict
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+
+# The v2 schema exactly as PR 3 shipped it.
+V2_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    cycle_shape         TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    plan_json           TEXT,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+CREATE INDEX IF NOT EXISTS idx_trials_key_v2
+    ON trials (kind, distribution, operator, max_level, accuracies,
+               machine_fingerprint, seed, instances);
+
+CREATE TABLE IF NOT EXISTS plans (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    plan_key            TEXT    NOT NULL UNIQUE,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    profile_json        TEXT    NOT NULL,
+    plan_json           TEXT    NOT NULL,
+    hits                INTEGER NOT NULL DEFAULT 0,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
+    last_used_at        TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_plans_family_v2
+    ON plans (kind, distribution, operator, max_level, accuracies, seed, instances);
+
+CREATE TABLE IF NOT EXISTS campaign_cells (
+    campaign            TEXT    NOT NULL,
+    machine             TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    max_level           INTEGER NOT NULL,
+    status              TEXT    NOT NULL DEFAULT 'pending',
+    source              TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    completed_at        TEXT,
+    PRIMARY KEY (campaign, machine, distribution, operator, max_level)
+);
+"""
+
+KEY = TuneKey(max_level=3, instances=1, seed=0)
+
+
+def _tiny_plan(operator=None):
+    return VCycleTuner(
+        max_level=KEY.max_level,
+        training=TrainingData(
+            distribution=KEY.distribution, instances=1, seed=0, operator=operator
+        ),
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+        keep_audit=False,
+    ).tune()
+
+
+def _v2_plan_key(fingerprint: str, key: TuneKey) -> str:
+    """The storage key exactly as PR 3/4 computed it (no ndim suffix)."""
+    return "|".join(
+        [
+            fingerprint,
+            key.kind,
+            key.distribution,
+            str(key.max_level),
+            canonical_accuracies(key.accuracies),
+            canonical_seed(key.seed),
+            str(key.instances),
+            key.operator,
+        ]
+    )
+
+
+@pytest.fixture()
+def v2_store(tmp_path):
+    """A populated PR-3/4-era database file."""
+    path = tmp_path / "pr4-store.sqlite"
+    plan = _tiny_plan()
+    plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+    fingerprint = INTEL_HARPERTOWN.fingerprint()
+    conn = sqlite3.connect(path)
+    conn.executescript(V2_SCHEMA)
+    conn.execute("PRAGMA user_version = 2")
+    conn.execute(
+        """
+        INSERT INTO plans (plan_key, kind, distribution, operator, max_level,
+                           accuracies, machine_fingerprint, seed, instances,
+                           machine_name, profile_json, plan_json, hits)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 5)
+        """,
+        (
+            _v2_plan_key(fingerprint, KEY),
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+            json.dumps(INTEL_HARPERTOWN.to_dict(), sort_keys=True),
+            plan_json,
+        ),
+    )
+    conn.execute(
+        """
+        INSERT INTO trials (kind, distribution, operator, max_level, accuracies,
+                            machine_fingerprint, seed, instances, machine_name)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+        """,
+        (
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+        ),
+    )
+    conn.execute(
+        """
+        INSERT INTO campaign_cells (campaign, machine, distribution, operator,
+                                    max_level, status, source)
+        VALUES ('legacy2', 'intel', 'unbiased', 'poisson', 3, 'done', 'tuned')
+        """
+    )
+    conn.commit()
+    conn.close()
+    return path, plan_json
+
+
+class TestV2Migration:
+    def test_migration_stamps_schema_version(self, v2_store):
+        path, _ = v2_store
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+
+    def test_old_plan_resolves_as_implicit_2d(self, v2_store):
+        path, plan_json = v2_store
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None
+        assert hit.source == "exact"
+        assert hit.plan_json == plan_json
+        assert KEY.ndim == 2
+
+    def test_old_trials_default_to_ndim_2(self, v2_store):
+        path, _ = v2_store
+        db = TrialDB(path)
+        records = db.trials()
+        assert len(records) == 1
+        assert records[0].ndim == 2 and records[0].operator == "poisson"
+        assert db.trials(ndim=3) == []
+
+    def test_old_campaign_cells_survive_with_ndim(self, v2_store):
+        path, _ = v2_store
+        db = TrialDB(path)
+        rows = db.conn.execute(
+            "SELECT ndim, status FROM campaign_cells WHERE campaign = 'legacy2'"
+        ).fetchall()
+        assert [(r["ndim"], r["status"]) for r in rows] == [(2, "done")]
+
+    def test_3d_plans_coexist_with_migrated_2d_ones(self, v2_store):
+        path, _ = v2_store
+        registry = PlanRegistry(TrialDB(path))
+        key3d = TuneKey(max_level=3, instances=1, seed=0, operator="poisson3d")
+        calls = []
+
+        def tuner():
+            calls.append(1)
+            return _tiny_plan(operator="poisson3d")
+
+        first = registry.get_or_tune(INTEL_HARPERTOWN, key3d, tuner=tuner)
+        assert first.source == "tuned" and calls == [1]
+        assert registry.get(INTEL_HARPERTOWN, KEY).source == "exact"
+        assert registry.get(INTEL_HARPERTOWN, key3d).source == "exact"
+        assert len(registry) == 2
+        by_ndim = {row["ndim"] for row in registry.plans()}
+        assert by_ndim == {2, 3}
+
+    def test_migrated_campaign_resumes_without_retuning(self, v2_store):
+        path, _ = v2_store
+        spec = CampaignSpec(
+            name="legacy2", machines=("intel",), distributions=("unbiased",),
+            levels=(3,), instances=1, seed=0,
+        )
+        campaign = Campaign(spec, TrialDB(path))
+        assert campaign.pending() == []
+        results = campaign.run()
+        assert [r.source for r in results] == ["skipped"]
+
+
+class TestV2MigrationAtomicity:
+    def test_failed_migration_rolls_back_to_clean_v2(self, v2_store, monkeypatch):
+        import repro.store.schema as schema
+
+        monkeypatch.setattr(
+            schema,
+            "_MIGRATE_V2_V3",
+            schema._MIGRATE_V2_V3 + ("INSERT INTO nonexistent VALUES (1)",),
+        )
+        path, plan_json = v2_store
+        with pytest.raises(sqlite3.OperationalError):
+            TrialDB(path)
+
+        # Still version 2, no ndim column: the rollback was complete.
+        conn = sqlite3.connect(path)
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == 2
+        columns = [row[1] for row in conn.execute("PRAGMA table_info(plans)")]
+        assert "ndim" not in columns and "operator" in columns
+        conn.close()
+
+        # With the fault removed the same file migrates fine.
+        monkeypatch.undo()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_concurrent_migration_loser_noops(self, v2_store):
+        import repro.store.schema as schema
+
+        path, plan_json = v2_store
+        TrialDB(path).close()  # first opener migrates v2 -> v3
+        conn = sqlite3.connect(path)
+        schema._migrate_step(conn, 2)  # loser replays: must no-op, not crash
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        conn.close()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_v1_store_chains_both_steps(self, tmp_path):
+        # A PR-2-era v1 store must hop v1 -> v2 -> v3 in one open.
+        from tests.store.test_migration import V1_SCHEMA
+
+        path = tmp_path / "v1-chain.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(V1_SCHEMA)
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        columns = [row[1] for row in db.conn.execute("PRAGMA table_info(plans)")]
+        assert "operator" in columns and "ndim" in columns

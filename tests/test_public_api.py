@@ -95,11 +95,13 @@ class TestTraceModule:
 
 class TestOpShapeCoverage:
     def test_all_meterable_stencil_ops_have_shapes(self):
-        from repro.machines.meter import OPS
-        from repro.machines.profile import OP_SHAPES
+        from repro.machines.meter import OPS_2D, OPS_3D
+        from repro.machines.profile import OP_SHAPES, OP_SHAPES_3D
 
-        stencil_ops = set(OPS) - {"direct", "direct_solve"}
+        stencil_ops = set(OPS_2D) - {"direct", "direct_solve"}
         assert stencil_ops <= set(OP_SHAPES)
+        stencil_ops_3d = {op[:-2] for op in OPS_3D} - {"direct", "direct_solve"}
+        assert stencil_ops_3d <= set(OP_SHAPES_3D)
 
     def test_flops_and_bytes_scale_quadratically(self):
         from repro.machines.profile import OP_SHAPES
