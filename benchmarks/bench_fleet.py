@@ -1,0 +1,245 @@
+"""Extension bench: fleet scaling — N pull-workers filling one registry.
+
+Enqueues one campaign grid (2 operators x 2 distributions x 2 levels by
+default) into a shared SQLite store, drains it with fleet worker
+processes at several fleet sizes, and reports wall-clock speedup over
+the single-worker drain.  Two gates:
+
+* every fleet's resulting plan registry must be byte-identical to the
+  single-worker registry (the fleet determinism contract), and
+* with ``--min-speedup`` (smoke default: 2.5, overridable via
+  ``$REPRO_MG_FLEET_SPEEDUP``), the largest fleet must reach that
+  speedup — skipped automatically when the host has fewer CPUs than
+  workers, since the gate measures parallel hardware, not the queue.
+
+Runnable standalone (CI's fleet-smoke job uses ``--smoke``)::
+
+    python benchmarks/bench_fleet.py --smoke --json out.json
+    python benchmarks/bench_fleet.py --workers 1 2 4 8 --min-speedup 3.0
+
+Workers are separate processes (forked, so interpreter startup is
+amortized identically across fleet sizes) sharing one WAL store — the
+same claim/renew/complete protocol `repro-mg fleet work` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.fleet import FleetCoordinator
+from repro.parallel.executor import _default_context
+from repro.store import CampaignSpec, PlanRegistry, TrialDB
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SPEEDUP_ENV = "REPRO_MG_FLEET_SPEEDUP"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="fleet sizes to benchmark (default: 1 4)",
+    )
+    parser.add_argument(
+        "--machines", nargs="+", default=None, help="machine presets in the grid"
+    )
+    parser.add_argument(
+        "--distributions", nargs="+", default=None, help="input distributions"
+    )
+    parser.add_argument(
+        "--operators", nargs="+", default=None, help="operator specs in the grid"
+    )
+    parser.add_argument(
+        "--levels", type=int, nargs="+", default=None, help="finest grid levels"
+    )
+    parser.add_argument("--instances", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small grid; gates identity always and speedup when the host "
+        "has the cores for it",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the largest fleet reaches this speedup over one "
+        f"worker (default: ${SPEEDUP_ENV} or 2.5 with --smoke, else 0; "
+        "0 disables; auto-skipped when cpus < workers)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=f"write results as JSON (default: {OUT_DIR}/fleet.json)",
+    )
+    return parser
+
+
+def _drain(task: tuple[str, str, str]) -> int:
+    """One fleet worker process: pull until the campaign settles."""
+    from repro.fleet import FleetWorker
+
+    db_path, campaign, worker_id = task
+    db = TrialDB(db_path)
+    try:
+        worker = FleetWorker(db, campaign, worker_id=worker_id, lease_ttl=60.0)
+        return len(worker.run())
+    finally:
+        db.close()
+
+
+def run_fleet(
+    spec: CampaignSpec, workers: int, workdir: Path
+) -> tuple[float, dict[str, str]]:
+    """Enqueue + drain with ``workers`` processes; returns (wall, contents)."""
+    db_path = str(workdir / f"fleet-w{workers}.sqlite")
+    db = TrialDB(db_path)
+    FleetCoordinator(db, spec.name).enqueue(spec)
+    db.close()
+
+    tasks = [(db_path, spec.name, f"bench-w{i}") for i in range(workers)]
+    start = time.perf_counter()
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_default_context()
+    ) as pool:
+        completed = sum(pool.map(_drain, tasks))
+    wall = time.perf_counter() - start
+
+    db = TrialDB(db_path)
+    contents = PlanRegistry(db).contents()
+    db.close()
+    if completed != len(spec.cells()):
+        raise RuntimeError(
+            f"fleet of {workers} completed {completed} cells, "
+            f"expected {len(spec.cells())}"
+        )
+    return wall, contents
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        machines = args.machines or ["intel"]
+        distributions = args.distributions or ["unbiased", "biased"]
+        operators = args.operators or ["poisson", "anisotropic(epsilon=0.01)"]
+        levels = args.levels or [5, 6]
+        instances = args.instances or 2
+    else:
+        machines = args.machines or ["intel", "amd"]
+        distributions = args.distributions or ["unbiased", "biased"]
+        operators = args.operators or ["poisson", "anisotropic(epsilon=0.01)"]
+        levels = args.levels or [6, 7]
+        instances = args.instances or 2
+    worker_counts = args.workers or [1, 4]
+    if 1 not in worker_counts:
+        worker_counts = [1] + worker_counts
+    worker_counts = sorted(set(worker_counts))
+
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        env = os.environ.get(SPEEDUP_ENV)
+        if env is not None:
+            min_speedup = float(env)
+        else:
+            min_speedup = 2.5 if args.smoke else 0.0
+
+    spec = CampaignSpec(
+        name="bench-fleet",
+        machines=tuple(machines),
+        distributions=tuple(distributions),
+        operators=tuple(operators),
+        levels=tuple(levels),
+        instances=instances,
+        seed=args.seed,
+    )
+    cells = len(spec.cells())
+    cpus = os.cpu_count() or 1
+    print(
+        f"fleet bench: {cells} cells ({len(operators)} operators x "
+        f"{len(distributions)} distributions x {len(levels)} levels x "
+        f"{len(machines)} machines), fleets {worker_counts}, {cpus} host cpu(s)"
+    )
+
+    runs = []
+    single_wall = None
+    single_contents = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in worker_counts:
+            wall, contents = run_fleet(spec, workers, Path(tmp))
+            if workers == 1:
+                single_wall, single_contents = wall, contents
+            speedup = single_wall / wall if wall > 0 else float("inf")
+            identical = contents == single_contents
+            runs.append(
+                {
+                    "workers": workers,
+                    "wall_seconds": wall,
+                    "speedup_vs_single": speedup,
+                    "registry_identical_to_single": identical,
+                }
+            )
+            print(
+                f"  workers={workers:<2d} wall={wall:7.2f}s  "
+                f"speedup={speedup:5.2f}x  "
+                f"registry {'==' if identical else '!='} single-worker"
+            )
+
+    report = {
+        "grid": {
+            "machines": machines,
+            "distributions": distributions,
+            "operators": operators,
+            "levels": levels,
+            "instances": instances,
+            "seed": args.seed,
+            "cells": cells,
+        },
+        "host_cpus": cpus,
+        "smoke": args.smoke,
+        "min_speedup": min_speedup,
+        "runs": runs,
+    }
+    out_path = Path(args.json) if args.json else OUT_DIR / "fleet.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if not all(r["registry_identical_to_single"] for r in runs):
+        failures.append("fleet registry diverged from the single-worker registry")
+    largest = runs[-1]
+    if min_speedup > 0:
+        if cpus < largest["workers"]:
+            print(
+                f"NOTE: host has {cpus} cpu(s) < {largest['workers']} workers; "
+                f"skipping the {min_speedup:.2f}x speedup gate (identity "
+                "still enforced)"
+            )
+        elif largest["speedup_vs_single"] < min_speedup:
+            failures.append(
+                f"workers={largest['workers']} reached "
+                f"{largest['speedup_vs_single']:.2f}x, below the "
+                f"{min_speedup:.2f}x gate"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,10 @@ Three entry styles share the ``repro-mg`` executable:
 * ``repro-mg store <tune|ls|export|gc> [options]`` — operate the
   persistent tuning store (run resumable campaigns, list stored plans,
   export the trial run table, compact the database);
+* ``repro-mg fleet <enqueue|work|status|export> [options]`` — run a
+  distributed tuning fleet: seed the lease-based work queue with a
+  campaign, start pull-based workers against the shared store, watch
+  heartbeats, export the per-cell provenance run table;
 * ``repro-mg serve [warm|bench] [options]`` — run the solve server:
   warm the plan cache for named workload classes, or drive it with the
   built-in closed-loop load generator and print telemetry.
@@ -143,6 +147,91 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-grid flags shared by ``store tune`` and ``fleet
+    enqueue`` (one grid vocabulary, whichever engine runs the cells)."""
+    parser.add_argument("--campaign", default="default", help="campaign name")
+    parser.add_argument(
+        "--machine",
+        action="append",
+        dest="machines",
+        metavar="PRESET",
+        help="machine preset (repeatable; default: intel amd sun)",
+    )
+    parser.add_argument(
+        "--distribution",
+        action="append",
+        dest="distributions",
+        metavar="DIST",
+        help="input distribution (repeatable; default: unbiased)",
+    )
+    parser.add_argument(
+        "--max-level",
+        action="append",
+        dest="levels",
+        type=int,
+        metavar="L",
+        help="finest grid level (repeatable; default: 5)",
+    )
+    from repro.operators import operator_families
+
+    parser.add_argument(
+        "--operator",
+        action="append",
+        dest="operators",
+        metavar="OP",
+        help="operator spec (repeatable; default: poisson — or poisson3d "
+        f"with --ndim 3; families: {', '.join(sorted(operator_families()))}; "
+        "e.g. anisotropic(epsilon=0.01), anisotropic3d(epsx=0.01))",
+    )
+    parser.add_argument(
+        "--ndim",
+        type=int,
+        choices=(2, 3),
+        default=None,
+        help="grid dimensionality of the campaign (default: derived from "
+        "--operator, 2 when neither is given; picks the default operator "
+        "family and validates explicit --operator specs)",
+    )
+    parser.add_argument(
+        "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--instances", type=int, default=2)
+
+
+def _campaign_spec_from_args(args: argparse.Namespace, error) -> "CampaignSpec":  # type: ignore[name-defined]  # noqa: F821
+    """Build the CampaignSpec the grid flags describe (usage errors via
+    ``error``, mirroring argparse semantics)."""
+    from repro.operators.spec import default_operator_spec, parse_operator
+    from repro.store import CampaignSpec
+
+    operators = tuple(
+        args.operators
+        or (default_operator_spec(args.ndim if args.ndim else 2).canonical(),)
+    )
+    # An unspecified --ndim derives from the operators (core API
+    # semantics); an explicit one must match every spec.
+    if args.ndim is not None:
+        for op in operators:
+            spec_ndim = parse_operator(op).ndim
+            if spec_ndim != args.ndim:
+                error(
+                    f"--operator {op!r} is a {spec_ndim}-D family but "
+                    f"--ndim is {args.ndim}"
+                )
+    return CampaignSpec(
+        name=args.campaign,
+        machines=tuple(args.machines or ("intel", "amd", "sun")),
+        distributions=tuple(args.distributions or ("unbiased",)),
+        levels=tuple(args.levels or (5,)),
+        operators=operators,
+        kind=args.kind,
+        seed=args.seed,
+        instances=args.instances,
+    )
+
+
 def build_store_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mg store",
@@ -165,54 +254,7 @@ def build_store_parser() -> argparse.ArgumentParser:
         help="run (or resume) a tuning campaign over a machine x "
         "distribution x level grid",
     )
-    tune.add_argument("--campaign", default="default", help="campaign name")
-    tune.add_argument(
-        "--machine",
-        action="append",
-        dest="machines",
-        metavar="PRESET",
-        help="machine preset (repeatable; default: intel amd sun)",
-    )
-    tune.add_argument(
-        "--distribution",
-        action="append",
-        dest="distributions",
-        metavar="DIST",
-        help="input distribution (repeatable; default: unbiased)",
-    )
-    tune.add_argument(
-        "--max-level",
-        action="append",
-        dest="levels",
-        type=int,
-        metavar="L",
-        help="finest grid level (repeatable; default: 5)",
-    )
-    from repro.operators import operator_families
-
-    tune.add_argument(
-        "--operator",
-        action="append",
-        dest="operators",
-        metavar="OP",
-        help="operator spec (repeatable; default: poisson — or poisson3d "
-        f"with --ndim 3; families: {', '.join(sorted(operator_families()))}; "
-        "e.g. anisotropic(epsilon=0.01), anisotropic3d(epsx=0.01))",
-    )
-    tune.add_argument(
-        "--ndim",
-        type=int,
-        choices=(2, 3),
-        default=None,
-        help="grid dimensionality of the campaign (default: derived from "
-        "--operator, 2 when neither is given; picks the default operator "
-        "family and validates explicit --operator specs)",
-    )
-    tune.add_argument(
-        "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
-    )
-    tune.add_argument("--seed", type=int, default=0)
-    tune.add_argument("--instances", type=int, default=2)
+    _add_campaign_grid_arguments(tune)
     tune.add_argument(
         "--max-cells", type=int, default=None, help="stop after N pending cells"
     )
@@ -246,39 +288,14 @@ def _store_main(argv: list[str]) -> int:
     import os
 
     from repro.core.api import STORE_ENV
-    from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB
+    from repro.store import Campaign, PlanRegistry, TrialDB
 
     args = build_store_parser().parse_args(argv)
     db_path = args.db or os.environ.get(STORE_ENV, "repro-mg-store.sqlite")
     db = TrialDB(db_path)
 
     if args.command == "tune":
-        from repro.operators.spec import default_operator_spec, parse_operator
-
-        operators = tuple(
-            args.operators
-            or (default_operator_spec(args.ndim if args.ndim else 2).canonical(),)
-        )
-        # An unspecified --ndim derives from the operators (core API
-        # semantics); an explicit one must match every spec.
-        if args.ndim is not None:
-            for op in operators:
-                spec_ndim = parse_operator(op).ndim
-                if spec_ndim != args.ndim:
-                    build_store_parser().error(
-                        f"--operator {op!r} is a {spec_ndim}-D family but "
-                        f"--ndim is {args.ndim}"
-                    )
-        spec = CampaignSpec(
-            name=args.campaign,
-            machines=tuple(args.machines or ("intel", "amd", "sun")),
-            distributions=tuple(args.distributions or ("unbiased",)),
-            levels=tuple(args.levels or (5,)),
-            operators=operators,
-            kind=args.kind,
-            seed=args.seed,
-            instances=args.instances,
-        )
+        spec = _campaign_spec_from_args(args, build_store_parser().error)
         campaign = Campaign(spec, db)
         pending_before = len(campaign.pending())
         campaign.run(
@@ -347,6 +364,172 @@ def _store_main(argv: list[str]) -> int:
         return 0
 
     raise AssertionError(f"unhandled store command {args.command!r}")
+
+
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mg fleet",
+        description="Operate a distributed tuning fleet: enqueue a campaign "
+        "into the shared store's lease-based work queue, run pull-based "
+        "workers against it, watch worker heartbeats, and export the "
+        "per-cell provenance run table.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help="shared store database path (default: $REPRO_MG_STORE or "
+        "./repro-mg-store.sqlite)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    enqueue = sub.add_parser(
+        "enqueue",
+        help="seed the work queue with a campaign grid (idempotent) and "
+        "persist its spec for workers",
+    )
+    _add_campaign_grid_arguments(enqueue)
+
+    work = sub.add_parser(
+        "work",
+        help="run one pull-based worker until the campaign settles",
+    )
+    work.add_argument("--campaign", default="default", help="campaign name")
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="unique worker identity (default: host:pid)",
+    )
+    work.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="lease duration per claimed cell; a worker dead longer than "
+        "this has its cells re-claimed by survivors (default: 120)",
+    )
+    work.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="claims a cell gets before it is parked as poisoned (default: 3)",
+    )
+    work.add_argument(
+        "--max-cells", type=int, default=None, help="stop after N completed cells"
+    )
+    work.add_argument(
+        "--machine",
+        action="append",
+        dest="machines",
+        metavar="PRESET",
+        help="only claim cells for these machine presets (repeatable; "
+        "default: any)",
+    )
+    work.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="exit as soon as no cell is claimable instead of waiting for "
+        "other workers' leases to resolve",
+    )
+
+    status = sub.add_parser(
+        "status", help="queue counts + worker heartbeats for a campaign"
+    )
+    status.add_argument("--campaign", default="default", help="campaign name")
+    status.add_argument(
+        "--json", action="store_true", help="print the snapshot as JSON"
+    )
+
+    export = sub.add_parser(
+        "export", help="write the per-cell provenance run table"
+    )
+    export.add_argument("--campaign", default="default", help="campaign name")
+    export.add_argument(
+        "--csv", metavar="PATH", help="write run_table.csv here instead of stdout"
+    )
+    return parser
+
+
+def _fleet_main(argv: list[str]) -> int:
+    import json
+    import os
+
+    from repro.core.api import STORE_ENV
+    from repro.fleet import FleetCoordinator, FleetWorker
+    from repro.store import TrialDB
+
+    args = build_fleet_parser().parse_args(argv)
+    db_path = args.db or os.environ.get(STORE_ENV, "repro-mg-store.sqlite")
+    db = TrialDB(db_path)
+
+    if args.command == "enqueue":
+        spec = _campaign_spec_from_args(args, build_fleet_parser().error)
+        coordinator = FleetCoordinator(db, spec.name)
+        open_cells = coordinator.enqueue(spec)
+        print(
+            f"campaign {spec.name!r}: {len(spec.cells())} cells in grid, "
+            f"{open_cells} open for workers"
+        )
+        return 0
+
+    if args.command == "work":
+        worker = FleetWorker(
+            db,
+            args.campaign,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts,
+            machines=tuple(args.machines) if args.machines else None,
+        )
+        print(f"worker {worker.worker_id!r} pulling from {args.campaign!r}")
+        results = worker.run(
+            max_cells=args.max_cells, wait_for_leased=not args.no_wait
+        )
+        for cell in results:
+            print(
+                f"  {cell.machine:>16}  {cell.distribution:<9} "
+                f"{cell.operator:<12} L{cell.max_level}  {cell.source:<7} "
+                f"cost={cell.simulated_cost:.3e}  wall={cell.wall_seconds:.2f}s"
+            )
+        snapshot = worker.telemetry.snapshot()
+        print(
+            f"worker {worker.worker_id!r}: "
+            f"{snapshot['counters'].get('cells_done', 0)} done, "
+            f"{snapshot['counters'].get('cells_failed', 0)} failed, "
+            f"{snapshot['counters'].get('leases_lost', 0)} leases lost"
+        )
+        return 0
+
+    if args.command == "status":
+        coordinator = FleetCoordinator(db, args.campaign)
+        if args.json:
+            print(json.dumps(coordinator.status(), indent=2))
+        else:
+            print(coordinator.format_status())
+        return 0
+
+    if args.command == "export":
+        coordinator = FleetCoordinator(db, args.campaign)
+        if args.csv:
+            count = coordinator.export_run_table(args.csv)
+            print(f"wrote {count} cell rows to {args.csv}")
+        else:
+            from repro.bench.report import format_table
+
+            headers, rows = coordinator.run_table_rows()
+            if not rows:
+                print(f"(no cells enqueued for campaign {args.campaign!r})")
+            else:
+                display = [
+                    ["-" if v is None else str(v) for v in row] for row in rows
+                ]
+                print(format_table(headers, display))
+        return 0
+
+    raise AssertionError(f"unhandled fleet command {args.command!r}")
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -506,6 +689,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["store"]:
         return _store_main(argv[1:])
+    if argv[:1] == ["fleet"]:
+        return _fleet_main(argv[1:])
     if argv[:1] == ["serve"]:
         return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)

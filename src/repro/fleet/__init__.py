@@ -1,0 +1,38 @@
+"""Distributed tuning fleet: many workers, one plan registry.
+
+The paper's premise is that tuned plans are per-architecture (section
+3.2.1, Figure 14) — so a production registry is filled by a *fleet* of
+heterogeneous machines, not one box.  This subsystem turns the campaign
+grid into a shared work queue in the py_experimenter style (workers
+pull open keyfield rows, write resultfields back):
+
+* :class:`~repro.fleet.queue.WorkQueue` — lease-based claim / renew /
+  complete / fail over campaign cells, crash-safe: expired leases are
+  re-claimable, attempts are counted, poison cells are parked;
+* :class:`~repro.fleet.worker.FleetWorker` — the pull loop: claim a
+  cell, tune it through the existing registry/executor stack, push the
+  plan + trial (with structured provenance) back;
+* :class:`~repro.fleet.coordinator.FleetCoordinator` — enqueue
+  campaigns, watch worker heartbeats, export ``run_table.csv`` with
+  per-cell provenance;
+* :class:`~repro.fleet.backend.StoreBackend` — the storage seam: the
+  SQLite-WAL :class:`~repro.store.trialdb.TrialDB` today, a networked
+  database later, same queue protocol.
+
+CLI: ``repro-mg fleet {enqueue,work,status,export}``.
+"""
+
+from repro.fleet.backend import SQLiteBackend, StoreBackend
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.queue import Lease, WorkQueue
+from repro.fleet.worker import FleetWorker, load_campaign_spec
+
+__all__ = [
+    "FleetCoordinator",
+    "FleetWorker",
+    "Lease",
+    "SQLiteBackend",
+    "StoreBackend",
+    "WorkQueue",
+    "load_campaign_spec",
+]

@@ -1,0 +1,80 @@
+"""Store backends: where the fleet's shared state actually lives.
+
+The work queue and coordinator never touch SQLite directly — they speak
+to a :class:`StoreBackend`, whose contract is deliberately tiny: run a
+read, run a write transaction that is atomic *across processes*.  Today
+the only implementation is :class:`SQLiteBackend` over the existing
+WAL-mode :class:`~repro.store.trialdb.TrialDB` (``BEGIN IMMEDIATE``
+takes the database write lock, so a claim decided inside one
+transaction is decided for every worker on every host that shares the
+file).  A networked backend (Postgres/MySQL in the py_experimenter
+style) slots in behind the same two methods without touching the queue
+protocol.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.store.trialdb import TrialDB
+
+__all__ = ["SQLiteBackend", "StoreBackend"]
+
+T = TypeVar("T")
+
+
+class StoreBackend:
+    """Interface: atomic reads and exclusive write transactions.
+
+    ``rows`` runs one read statement and returns mapping-style rows.
+    ``transact`` runs ``fn(conn)`` inside a transaction holding the
+    backend's *exclusive* write lock — concurrent ``transact`` calls
+    from other threads, processes, or hosts serialize against it — and
+    commits on return (rolls back on exception).  Both absorb transient
+    contention via the store's retry policy.
+    """
+
+    def rows(self, sql: str, params: Sequence[Any] = ()) -> list[Any]:
+        raise NotImplementedError
+
+    def transact(self, fn: Callable[[Any], T]) -> T:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SQLiteBackend(StoreBackend):
+    """The current backend: one shared SQLite-WAL file via ``TrialDB``.
+
+    ``BEGIN IMMEDIATE`` acquires the database's single write lock up
+    front, so everything ``fn`` reads inside :meth:`transact` is stable
+    until its commit — the property the lease protocol's
+    check-then-claim sequences rely on.  Lock contention (another
+    worker mid-transaction past ``busy_timeout``) is retried with the
+    TrialDB's exponential-backoff policy.
+    """
+
+    def __init__(self, db: TrialDB) -> None:
+        self.db = db
+
+    def rows(self, sql: str, params: Sequence[Any] = ()) -> list[sqlite3.Row]:
+        with self.db.lock:
+            return self.db.conn.execute(sql, params).fetchall()
+
+    def transact(self, fn: Callable[[sqlite3.Connection], T]) -> T:
+        def begin_and_run(conn: sqlite3.Connection) -> T:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                result = fn(conn)
+            except BaseException:
+                conn.rollback()
+                raise
+            conn.commit()
+            return result
+
+        return self.db.write(begin_and_run)
+
+    def close(self) -> None:
+        self.db.close()

@@ -1,0 +1,358 @@
+"""Lease-based work queue over campaign cells.
+
+The py_experimenter model adapted to tuning campaigns: the campaign
+grid is the run table, each (machine x distribution x operator x ndim x
+level) cell is one open row, and workers *pull* — a worker claims a
+lease on a cell, tunes it, and writes the result back.  Leases make the
+protocol crash-safe:
+
+* a claim atomically flips a cell to ``leased`` with a wall-clock
+  expiry and an incremented attempt counter, inside one exclusive
+  backend transaction — two workers can never hold the same cell;
+* a worker that dies simply stops renewing; once the lease expires the
+  cell is claimable again by any survivor (the dead worker's attempt
+  stays counted);
+* a cell that keeps failing is *parked*: after ``max_attempts`` claims
+  it moves to ``poisoned`` with its last error preserved, so one bad
+  cell cannot starve the fleet.
+
+Time comes from an injectable :class:`~repro.util.clock.Clock`
+(wall-clock by default — lease expiries must be comparable across
+processes); tests drive expiry with a ``ManualClock``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.fleet.backend import SQLiteBackend, StoreBackend
+from repro.store.trialdb import TrialDB
+from repro.util.clock import WALL_CLOCK, Clock
+
+__all__ = ["CELL_STATUSES", "Lease", "WorkQueue"]
+
+#: Every state a campaign cell can be in under the fleet protocol.
+CELL_STATUSES = ("pending", "leased", "done", "poisoned")
+
+#: Cell identity columns, in campaign_cells primary-key order.
+_CELL_KEY = ("campaign", "machine", "distribution", "operator", "max_level")
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed cell: identity, holder, and expiry."""
+
+    campaign: str
+    machine: str
+    distribution: str
+    operator: str
+    ndim: int
+    max_level: int
+    worker_id: str
+    attempt: int
+    expires_at: float
+
+    @property
+    def cell(self) -> tuple[str, str, str, int]:
+        """The (machine, distribution, operator, level) campaign cell."""
+        return (self.machine, self.distribution, self.operator, self.max_level)
+
+    def _where(self) -> tuple[str, tuple[Any, ...]]:
+        clause = " AND ".join(f"{col} = ?" for col in _CELL_KEY)
+        return clause, (
+            self.campaign,
+            self.machine,
+            self.distribution,
+            self.operator,
+            self.max_level,
+        )
+
+
+class WorkQueue:
+    """Claim/renew/complete/fail over one campaign's cells.
+
+    All mutations run inside exclusive backend transactions, so the
+    queue is safe for any number of concurrent workers — threads,
+    processes, or machines sharing the store.  ``max_attempts`` bounds
+    how many claims a cell gets before it is parked as ``poisoned``.
+    """
+
+    def __init__(
+        self,
+        backend: StoreBackend | TrialDB,
+        campaign: str,
+        clock: Clock = WALL_CLOCK,
+        lease_ttl: float = 120.0,
+        max_attempts: int = 3,
+    ) -> None:
+        if isinstance(backend, TrialDB):
+            backend = SQLiteBackend(backend)
+        self.backend = backend
+        self.campaign = campaign
+        self.clock = clock
+        self.lease_ttl = float(lease_ttl)
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, not {max_attempts}")
+        self.max_attempts = int(max_attempts)
+
+    # -- claiming ---------------------------------------------------------
+
+    def claim(
+        self,
+        worker_id: str,
+        lease_ttl: float | None = None,
+        limit: int = 1,
+        machines: tuple[str, ...] | None = None,
+    ) -> list[Lease]:
+        """Atomically lease up to ``limit`` open cells to ``worker_id``.
+
+        Open means ``pending``, or ``leased`` with an expired lease (a
+        crashed worker's cells come back here).  Expired cells that have
+        exhausted their attempts are parked as ``poisoned`` instead of
+        handed out again.  ``machines`` restricts claims to cells whose
+        machine axis is in the tuple (a heterogeneous fleet's workers
+        claim only cells they can run).  Returns fewer than ``limit``
+        leases — possibly none — when the queue is drained.
+        """
+        ttl = self.lease_ttl if lease_ttl is None else float(lease_ttl)
+        now = self.clock.now()
+        expires = now + ttl
+
+        def txn(conn: Any) -> list[Lease]:
+            # Park expired cells that are out of attempts before
+            # selecting, so they can never be claimed again.
+            conn.execute(
+                """
+                UPDATE campaign_cells
+                SET status = 'poisoned', lease_owner = NULL,
+                    lease_expires_at = NULL,
+                    last_error = COALESCE(last_error, 'lease expired')
+                WHERE campaign = ? AND status = 'leased'
+                  AND lease_expires_at <= ? AND attempts >= ?
+                """,
+                (self.campaign, now, self.max_attempts),
+            )
+            machine_clause = ""
+            machine_params: tuple[str, ...] = ()
+            if machines is not None:
+                machine_clause = (
+                    f" AND machine IN ({', '.join('?' * len(machines))})"
+                )
+                machine_params = tuple(machines)
+            rows = conn.execute(
+                f"""
+                SELECT machine, distribution, operator, ndim, max_level,
+                       status, attempts
+                FROM campaign_cells
+                WHERE campaign = ?
+                  AND (status = 'pending'
+                       OR (status = 'leased' AND lease_expires_at <= ?))
+                  AND attempts < ?{machine_clause}
+                ORDER BY machine, distribution, operator, max_level
+                LIMIT ?
+                """,
+                (self.campaign, now, self.max_attempts, *machine_params, limit),
+            ).fetchall()
+            leases = []
+            for row in rows:
+                conn.execute(
+                    """
+                    UPDATE campaign_cells
+                    SET status = 'leased', lease_owner = ?,
+                        lease_expires_at = ?, attempts = attempts + 1
+                    WHERE campaign = ? AND machine = ? AND distribution = ?
+                      AND operator = ? AND max_level = ?
+                    """,
+                    (
+                        worker_id,
+                        expires,
+                        self.campaign,
+                        row["machine"],
+                        row["distribution"],
+                        row["operator"],
+                        row["max_level"],
+                    ),
+                )
+                leases.append(
+                    Lease(
+                        campaign=self.campaign,
+                        machine=row["machine"],
+                        distribution=row["distribution"],
+                        operator=row["operator"],
+                        ndim=int(row["ndim"]),
+                        max_level=int(row["max_level"]),
+                        worker_id=worker_id,
+                        attempt=int(row["attempts"]) + 1,
+                        expires_at=expires,
+                    )
+                )
+            return leases
+
+        return self.backend.transact(txn)
+
+    def renew(self, lease: Lease, lease_ttl: float | None = None) -> bool:
+        """Extend a held lease; ``False`` means the lease was lost.
+
+        A lease is lost when it expired and another worker re-claimed
+        (or the queue parked) the cell — the caller should abandon the
+        cell, not write results for it.
+        """
+        ttl = self.lease_ttl if lease_ttl is None else float(lease_ttl)
+        expires = self.clock.now() + ttl
+        where, params = lease._where()
+
+        def txn(conn: Any) -> bool:
+            cur = conn.execute(
+                f"""
+                UPDATE campaign_cells SET lease_expires_at = ?
+                WHERE {where} AND status = 'leased' AND lease_owner = ?
+                """,
+                (expires, *params, lease.worker_id),
+            )
+            return cur.rowcount == 1
+
+        return self.backend.transact(txn)
+
+    # -- finishing --------------------------------------------------------
+
+    def complete(
+        self,
+        lease: Lease,
+        source: str,
+        simulated_cost: float | None = None,
+        wall_seconds: float | None = None,
+    ) -> bool:
+        """Mark a leased cell done, guarded by lease ownership.
+
+        Returns ``False`` when the lease was lost before completion (an
+        expired lease re-claimed by a survivor): the cell's single
+        ``done`` transition belongs to whoever holds the live lease, so
+        no cell is ever completed twice.
+        """
+        where, params = lease._where()
+
+        def txn(conn: Any) -> bool:
+            cur = conn.execute(
+                f"""
+                UPDATE campaign_cells
+                SET status = 'done', source = ?, simulated_cost = ?,
+                    wall_seconds = ?, worker_id = ?, lease_owner = NULL,
+                    lease_expires_at = NULL,
+                    completed_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
+                WHERE {where} AND status = 'leased' AND lease_owner = ?
+                """,
+                (
+                    source,
+                    simulated_cost,
+                    wall_seconds,
+                    lease.worker_id,
+                    *params,
+                    lease.worker_id,
+                ),
+            )
+            return cur.rowcount == 1
+
+        return self.backend.transact(txn)
+
+    def fail(self, lease: Lease, error: str, requeue: bool = True) -> str:
+        """Report a failed attempt; returns the cell's new disposition.
+
+        ``'requeued'`` — the cell went back to ``pending`` for another
+        attempt; ``'poisoned'`` — it exhausted ``max_attempts`` (or
+        ``requeue=False``) and is parked with the error preserved;
+        ``'lost'`` — the lease had already expired and someone else owns
+        the cell now.
+        """
+        where, params = lease._where()
+
+        def txn(conn: Any) -> str:
+            row = conn.execute(
+                f"""
+                SELECT attempts FROM campaign_cells
+                WHERE {where} AND status = 'leased' AND lease_owner = ?
+                """,
+                (*params, lease.worker_id),
+            ).fetchone()
+            if row is None:
+                return "lost"
+            park = not requeue or int(row["attempts"]) >= self.max_attempts
+            status = "poisoned" if park else "pending"
+            conn.execute(
+                f"""
+                UPDATE campaign_cells
+                SET status = ?, lease_owner = NULL, lease_expires_at = NULL,
+                    last_error = ?
+                WHERE {where}
+                """,
+                (status, error, *params),
+            )
+            return "poisoned" if park else "requeued"
+
+        return self.backend.transact(txn)
+
+    # -- maintenance / introspection --------------------------------------
+
+    def release_expired(self) -> int:
+        """Return expired leases to ``pending`` (park exhausted ones).
+
+        Claims do this lazily for the cells they touch; coordinators
+        call this eagerly so ``status()`` reflects reality even while
+        no worker is claiming.  Returns the number of cells released.
+        """
+        now = self.clock.now()
+
+        def txn(conn: Any) -> int:
+            conn.execute(
+                """
+                UPDATE campaign_cells
+                SET status = 'poisoned', lease_owner = NULL,
+                    lease_expires_at = NULL,
+                    last_error = COALESCE(last_error, 'lease expired')
+                WHERE campaign = ? AND status = 'leased'
+                  AND lease_expires_at <= ? AND attempts >= ?
+                """,
+                (self.campaign, now, self.max_attempts),
+            )
+            cur = conn.execute(
+                """
+                UPDATE campaign_cells
+                SET status = 'pending', lease_owner = NULL,
+                    lease_expires_at = NULL
+                WHERE campaign = ? AND status = 'leased'
+                  AND lease_expires_at <= ?
+                """,
+                (self.campaign, now),
+            )
+            return int(cur.rowcount)
+
+        return self.backend.transact(txn)
+
+    def counts(self) -> dict[str, int]:
+        """``status -> cell count`` (every status present, 0 included)."""
+        rows = self.backend.rows(
+            """
+            SELECT status, COUNT(*) AS n FROM campaign_cells
+            WHERE campaign = ? GROUP BY status
+            """,
+            (self.campaign,),
+        )
+        out = {status: 0 for status in CELL_STATUSES}
+        for row in rows:
+            out[row["status"]] = int(row["n"])
+        return out
+
+    def cells(self) -> list[dict[str, Any]]:
+        """Every cell row of this campaign, in deterministic order."""
+        rows = self.backend.rows(
+            """
+            SELECT machine, distribution, operator, ndim, max_level, status,
+                   source, simulated_cost, wall_seconds, completed_at,
+                   lease_owner, lease_expires_at, attempts, last_error,
+                   worker_id
+            FROM campaign_cells WHERE campaign = ?
+            ORDER BY machine, distribution, operator, max_level
+            """,
+            (self.campaign,),
+        )
+        return [dict(row) for row in rows]

@@ -22,7 +22,7 @@ from repro.store.registry import PlanRegistry, RegistryHit, TuneKey
 from repro.store.trialdb import TrialDB
 from repro.tuner.plan import DEFAULT_ACCURACIES
 
-__all__ = ["Campaign", "CampaignSpec", "CellResult", "execute_cell"]
+__all__ = ["Campaign", "CampaignSpec", "CellResult", "execute_cell", "tune_cell"]
 
 #: One grid cell: (machine, distribution, operator, max_level).
 Cell = tuple[str, str, str, int]
@@ -68,6 +68,39 @@ class CampaignSpec:
             operator=operator,
         )
 
+    # -- persistence (fleet workers rebuild specs from the store) ---------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form, stored in the ``campaigns`` table so fleet
+        workers can rebuild tuning keys from bare cell rows."""
+        return {
+            "name": self.name,
+            "machines": list(self.machines),
+            "distributions": list(self.distributions),
+            "levels": list(self.levels),
+            "operators": list(self.operators),
+            "kind": self.kind,
+            "accuracies": list(self.accuracies),
+            "seed": self.seed,
+            "instances": self.instances,
+            "allow_nearest": self.allow_nearest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignSpec":
+        return cls(
+            name=data["name"],
+            machines=tuple(data["machines"]),
+            distributions=tuple(data["distributions"]),
+            levels=tuple(int(level) for level in data["levels"]),
+            operators=tuple(data["operators"]),
+            kind=data["kind"],
+            accuracies=tuple(float(a) for a in data["accuracies"]),
+            seed=data["seed"],
+            instances=int(data["instances"]),
+            allow_nearest=bool(data.get("allow_nearest", False)),
+        )
+
 
 @dataclass(frozen=True)
 class CellResult:
@@ -85,6 +118,42 @@ class CellResult:
     hit: RegistryHit | None = field(default=None, compare=False)
 
 
+def tune_cell(
+    registry: PlanRegistry,
+    spec: CampaignSpec,
+    machine: str,
+    distribution: str,
+    operator: str,
+    max_level: int,
+    worker_id: str | None = None,
+    attempt: int = 1,
+) -> CellResult:
+    """Tune (or fetch) one campaign cell *without* touching its row.
+
+    The plan and trial rows commit inside ``get_or_tune`` with
+    structured provenance (which worker/host ran the tune, attempt
+    number, duration); marking the cell done is the caller's job —
+    :func:`execute_cell` commits it unconditionally, while the fleet's
+    :class:`~repro.fleet.queue.WorkQueue` commits it under a
+    lease-ownership guard.
+    """
+    from repro.store.registry import build_provenance
+
+    profile = get_preset(machine)
+    start = time.perf_counter()
+    hit = registry.get_or_tune(
+        profile,
+        spec.key_for(distribution, max_level, operator),
+        allow_nearest=spec.allow_nearest,
+        provenance=build_provenance(worker=worker_id, attempt=attempt),
+    )
+    wall = time.perf_counter() - start
+    cost = hit.plan.time_on(profile, max_level, hit.plan.num_accuracies - 1)
+    return CellResult(
+        machine, distribution, operator, max_level, hit.source, cost, wall, hit=hit
+    )
+
+
 def execute_cell(
     registry: PlanRegistry,
     spec: CampaignSpec,
@@ -92,6 +161,8 @@ def execute_cell(
     distribution: str,
     operator: str,
     max_level: int,
+    worker_id: str | None = None,
+    attempt: int = 1,
 ) -> CellResult:
     """Tune (or fetch) one campaign cell and mark it done.
 
@@ -101,30 +172,37 @@ def execute_cell(
     cheap registry exact-hit.  Shared by the serial sweep and the
     parallel per-process workers (:mod:`repro.parallel.campaigns`).
     """
-    profile = get_preset(machine)
-    start = time.perf_counter()
-    hit = registry.get_or_tune(
-        profile,
-        spec.key_for(distribution, max_level, operator),
-        allow_nearest=spec.allow_nearest,
+    result = tune_cell(
+        registry, spec, machine, distribution, operator, max_level,
+        worker_id=worker_id, attempt=attempt,
     )
-    wall = time.perf_counter() - start
-    cost = hit.plan.time_on(profile, max_level, hit.plan.num_accuracies - 1)
-    registry.db.conn.execute(
-        """
-        UPDATE campaign_cells
-        SET status = 'done', source = ?, simulated_cost = ?,
-            wall_seconds = ?,
-            completed_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
-        WHERE campaign = ? AND machine = ? AND distribution = ?
-          AND operator = ? AND max_level = ?
-        """,
-        (hit.source, cost, wall, spec.name, machine, distribution, operator, max_level),
-    )
-    registry.db.conn.commit()
-    return CellResult(
-        machine, distribution, operator, max_level, hit.source, cost, wall, hit=hit
-    )
+
+    def commit_done(conn: Any) -> None:
+        conn.execute(
+            """
+            UPDATE campaign_cells
+            SET status = 'done', source = ?, simulated_cost = ?,
+                wall_seconds = ?, worker_id = ?,
+                completed_at = strftime('%Y-%m-%dT%H:%M:%fZ', 'now')
+            WHERE campaign = ? AND machine = ? AND distribution = ?
+              AND operator = ? AND max_level = ?
+            """,
+            (
+                result.source,
+                result.simulated_cost,
+                result.wall_seconds,
+                worker_id,
+                spec.name,
+                machine,
+                distribution,
+                operator,
+                max_level,
+            ),
+        )
+        conn.commit()
+
+    registry.db.write(commit_done)
+    return result
 
 
 class Campaign:
@@ -150,23 +228,26 @@ class Campaign:
     def _ensure_cells(self) -> None:
         from repro.operators.spec import parse_operator
 
-        for machine, dist, operator, level in self.spec.cells():
-            self.db.conn.execute(
-                """
-                INSERT OR IGNORE INTO campaign_cells
-                    (campaign, machine, distribution, operator, ndim, max_level)
-                VALUES (?, ?, ?, ?, ?, ?)
-                """,
-                (
-                    self.spec.name,
-                    machine,
-                    dist,
-                    operator,
-                    parse_operator(operator).ndim,
-                    level,
-                ),
-            )
-        self.db.conn.commit()
+        def insert_cells(conn: Any) -> None:
+            for machine, dist, operator, level in self.spec.cells():
+                conn.execute(
+                    """
+                    INSERT OR IGNORE INTO campaign_cells
+                        (campaign, machine, distribution, operator, ndim, max_level)
+                    VALUES (?, ?, ?, ?, ?, ?)
+                    """,
+                    (
+                        self.spec.name,
+                        machine,
+                        dist,
+                        operator,
+                        parse_operator(operator).ndim,
+                        level,
+                    ),
+                )
+            conn.commit()
+
+        self.db.write(insert_cells)
 
     # -- status -----------------------------------------------------------
 

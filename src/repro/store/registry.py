@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import socket
 import sqlite3
 import time
 from dataclasses import dataclass
@@ -37,9 +39,40 @@ from repro.store.trialdb import (
 from repro.tuner.config import plan_from_dict, plan_to_dict
 from repro.tuner.plan import DEFAULT_ACCURACIES, TunedFullMGPlan, TunedVPlan
 
-__all__ = ["PlanRegistry", "RegistryHit", "TuneKey", "profile_distance"]
+__all__ = [
+    "PlanRegistry",
+    "RegistryHit",
+    "TuneKey",
+    "build_provenance",
+    "profile_distance",
+]
 
 PLAN_KINDS = ("multigrid-v", "full-multigrid")
+
+
+def build_provenance(
+    worker: str | None = None,
+    attempt: int = 1,
+    duration_s: float | None = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """Structured who-ran-this metadata for a tuning run.
+
+    Every tuned plan's trial row records where the tune actually
+    executed — host, pid, the fleet worker id and attempt number when
+    one is involved — as first-class resultfield JSON, rather than
+    burying execution context in ``serve_swap``-style plan metadata.
+    """
+    out: dict[str, Any] = {
+        "worker": worker,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "attempt": int(attempt),
+    }
+    if duration_s is not None:
+        out["duration_s"] = float(duration_s)
+    out.update(extra)
+    return out
 
 
 @dataclass(frozen=True)
@@ -280,8 +313,9 @@ class PlanRegistry:
         canonical JSON."""
         fingerprint = profile.fingerprint()
         plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
-        with self.db.lock:
-            self.db.conn.execute(
+
+        def upsert(conn: sqlite3.Connection) -> None:
+            conn.execute(
                 """
                 INSERT INTO plans (plan_key, kind, distribution, operator, ndim,
                                    max_level, accuracies, machine_fingerprint, seed,
@@ -308,7 +342,9 @@ class PlanRegistry:
                     plan_json,
                 ),
             )
-            self.db.conn.commit()
+            conn.commit()
+
+        self.db.write(upsert)
         return plan_json
 
     # -- the main entry point ---------------------------------------------
@@ -323,6 +359,7 @@ class PlanRegistry:
         tuner: Callable[[], TunedVPlan | TunedFullMGPlan] | None = None,
         record_trial: bool = True,
         jobs: int | None = None,
+        provenance: dict[str, Any] | None = None,
         **key_fields: Any,
     ) -> RegistryHit:
         """Serve a plan: exact hit, nearest-profile fallback, or tune.
@@ -333,6 +370,11 @@ class PlanRegistry:
         the default runs the paper's DP tuner for ``key.kind``, fanning
         candidate evaluations across ``jobs`` worker processes when
         ``jobs`` > 1 (the tuned plan is identical either way).
+
+        ``provenance`` overrides the structured execution metadata
+        stamped on a cold tune's trial row (fleet workers pass their
+        worker id and attempt); by default the local host/pid record
+        from :func:`build_provenance` is used.
         """
         if key is None:
             key = TuneKey(**key_fields)
@@ -345,7 +387,8 @@ class PlanRegistry:
         plan = (tuner or (lambda: _default_tuner(profile, key, jobs=jobs)))()
         wall = time.perf_counter() - start
         return self.record_tuned_plan(
-            profile, key, plan, wall, record_trial=record_trial
+            profile, key, plan, wall, record_trial=record_trial,
+            provenance=provenance,
         )
 
     def record_tuned_plan(
@@ -355,11 +398,19 @@ class PlanRegistry:
         plan: TunedVPlan | TunedFullMGPlan,
         wall_seconds: float,
         record_trial: bool = True,
+        provenance: dict[str, Any] | None = None,
     ) -> RegistryHit:
         """Store a freshly tuned plan and log its trial (one commit path
         shared by :meth:`get_or_tune` and out-of-band tuners such as the
-        solve server's background jobs)."""
+        solve server's background jobs).  The trial row carries
+        structured ``provenance`` JSON — who tuned, where, attempt
+        number, duration — defaulting to this process's identity."""
         plan_json = self.put(profile, key, plan)
+        if provenance is None:
+            provenance = build_provenance(duration_s=wall_seconds)
+        else:
+            provenance = dict(provenance)
+            provenance.setdefault("duration_s", wall_seconds)
         if record_trial:
             self.sink.record(
                 TrialRecord(
@@ -378,6 +429,9 @@ class PlanRegistry:
                         profile, plan.max_level, plan.num_accuracies - 1
                     ),
                     wall_seconds=wall_seconds,
+                    provenance=json.dumps(
+                        provenance, sort_keys=True, separators=(",", ":")
+                    ),
                     plan_json=plan_json,
                 )
             )

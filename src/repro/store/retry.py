@@ -1,0 +1,88 @@
+"""Retry-with-backoff for contended SQLite writes.
+
+WAL mode allows one writer at a time; ``PRAGMA busy_timeout`` makes a
+blocked writer wait inside SQLite, but the timeout can still elapse
+under a long-running transaction (a VACUUM, a slow migration, a stalled
+fleet worker holding ``BEGIN IMMEDIATE``), at which point SQLite raises
+``sqlite3.OperationalError: database is locked``.  Every store write
+path funnels through :func:`run_with_retry`, which retries exactly
+those errors with exponential backoff instead of surfacing a transient
+lock as a failed tuning run.
+
+Anything else — constraint violations, malformed SQL, disk errors —
+propagates immediately: only contention is transient.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = ["DEFAULT_RETRY", "RetryPolicy", "is_locked_error", "run_with_retry"]
+
+T = TypeVar("T")
+
+#: Substrings of ``sqlite3.OperationalError`` messages that mean "another
+#: writer holds the lock right now" (transient, worth retrying).
+_LOCKED_MARKERS = ("database is locked", "database table is locked", "database is busy")
+
+
+def is_locked_error(exc: BaseException) -> bool:
+    """True when ``exc`` is SQLite reporting write contention."""
+    return isinstance(exc, sqlite3.OperationalError) and any(
+        marker in str(exc) for marker in _LOCKED_MARKERS
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for locked-database retries.
+
+    ``retries`` counts re-attempts after the first try, each preceded by
+    a sleep of ``base_delay * 2**attempt`` capped at ``max_delay``.
+    """
+
+    retries: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, not {self.retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-attempt number ``attempt`` (0-based)."""
+        return min(self.base_delay * (2.0**attempt), self.max_delay)
+
+
+#: Shared default: ~6 tries over ~1.5 s of cumulative backoff.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def run_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy = DEFAULT_RETRY,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn``, retrying locked-database errors per ``policy``.
+
+    ``sleep`` is injectable (tests pass ``ManualClock.sleep``) and
+    ``on_retry(attempt, exc)`` fires before each backoff, so callers can
+    count contention in telemetry.  The final failure re-raises the
+    underlying ``sqlite3.OperationalError`` unchanged.
+    """
+    for attempt in range(policy.retries + 1):
+        try:
+            return fn()
+        except sqlite3.OperationalError as exc:
+            if not is_locked_error(exc) or attempt == policy.retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -28,6 +28,14 @@ a crash mid-migration rolls back to the previous clean revision):
   Existing rows are stamped with the implicit pre-3-D default ``2`` and
   plan keys gain the ``|2`` suffix, so every stored 2-D plan keeps
   resolving; 3-D plans land under their own keys.
+* v3 -> v4: the distributed-fleet columns.  ``campaign_cells`` grows the
+  lease protocol (owner, wall-clock expiry, attempt counter, last error)
+  plus completion provenance (which worker finished the cell), and
+  ``trials`` grows a structured ``provenance`` resultfield (worker,
+  host, pid, attempt, duration).  Two new tables — ``campaigns`` (the
+  spec a fleet worker needs to rebuild tuning keys from bare cell rows)
+  and ``fleet_workers`` (heartbeats + per-worker counters) — are created
+  by the base schema, so the migration itself is purely additive.
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ import sqlite3
 
 __all__ = ["SCHEMA_VERSION", "ensure_schema"]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -57,6 +65,7 @@ CREATE TABLE IF NOT EXISTS trials (
     simulated_cost      REAL,
     wall_seconds        REAL,
     plan_json           TEXT,
+    provenance          TEXT,
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
 );
 CREATE INDEX IF NOT EXISTS idx_trials_key_v3
@@ -98,7 +107,33 @@ CREATE TABLE IF NOT EXISTS campaign_cells (
     simulated_cost      REAL,
     wall_seconds        REAL,
     completed_at        TEXT,
+    -- fleet lease protocol (v4)
+    lease_owner         TEXT,
+    lease_expires_at    REAL,
+    attempts            INTEGER NOT NULL DEFAULT 0,
+    last_error          TEXT,
+    worker_id           TEXT,
     PRIMARY KEY (campaign, machine, distribution, operator, max_level)
+);
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    name                TEXT    PRIMARY KEY,
+    spec_json           TEXT    NOT NULL,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+
+CREATE TABLE IF NOT EXISTS fleet_workers (
+    worker_id           TEXT    PRIMARY KEY,
+    campaign            TEXT,
+    host                TEXT,
+    pid                 INTEGER,
+    machine_fingerprint TEXT,
+    started_at          REAL,
+    last_heartbeat      REAL,
+    cells_done          INTEGER NOT NULL DEFAULT 0,
+    cells_failed        INTEGER NOT NULL DEFAULT 0,
+    lease_renewals      INTEGER NOT NULL DEFAULT 0,
+    requeues_claimed    INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -154,10 +189,25 @@ _MIGRATE_V2_V3 = (
     "ALTER TABLE campaign_cells ADD COLUMN ndim INTEGER NOT NULL DEFAULT 2",
 )
 
+#: v3 -> v4: the distributed-fleet columns.  All additive — existing
+#: cells stay 'pending'/'done' with zero attempts and no lease, old
+#: trial rows simply have no provenance — so plan keys, campaign
+#: primary keys, and every stored plan are untouched.  The new
+#: ``campaigns`` / ``fleet_workers`` tables come from the base schema's
+#: CREATE IF NOT EXISTS.
+_MIGRATE_V3_V4 = (
+    "ALTER TABLE trials ADD COLUMN provenance TEXT",
+    "ALTER TABLE campaign_cells ADD COLUMN lease_owner TEXT",
+    "ALTER TABLE campaign_cells ADD COLUMN lease_expires_at REAL",
+    "ALTER TABLE campaign_cells ADD COLUMN attempts INTEGER NOT NULL DEFAULT 0",
+    "ALTER TABLE campaign_cells ADD COLUMN last_error TEXT",
+    "ALTER TABLE campaign_cells ADD COLUMN worker_id TEXT",
+)
+
 #: ``from_version -> module attribute naming its statements``, applied
 #: one revision at a time.  Resolved through ``globals()`` at run time so
 #: tests can monkeypatch an individual migration's statement list.
-_MIGRATIONS = {1: "_MIGRATE_V1_V2", 2: "_MIGRATE_V2_V3"}
+_MIGRATIONS = {1: "_MIGRATE_V1_V2", 2: "_MIGRATE_V2_V3", 3: "_MIGRATE_V3_V4"}
 
 
 def _migrate_step(conn: sqlite3.Connection, from_version: int) -> None:

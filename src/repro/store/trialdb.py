@@ -18,11 +18,14 @@ import sqlite3
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence, TypeVar
 
+from repro.store.retry import DEFAULT_RETRY, RetryPolicy, run_with_retry
 from repro.store.schema import ensure_schema
 
 __all__ = ["TrialDB", "TrialRecord", "canonical_accuracies", "canonical_seed"]
+
+T = TypeVar("T")
 
 #: Keyfield column order shared by queries and the run-table export.
 KEYFIELDS = (
@@ -41,6 +44,7 @@ RESULTFIELDS = (
     "cycle_shape",
     "simulated_cost",
     "wall_seconds",
+    "provenance",
 )
 
 
@@ -75,6 +79,9 @@ class TrialRecord:
     simulated_cost: float | None = None
     wall_seconds: float | None = None
     plan_json: str | None = None
+    #: structured who-ran-this metadata as canonical JSON (worker id,
+    #: host, pid, attempt, duration) — see ``registry.build_provenance``
+    provenance: str | None = None
     trial_id: int | None = field(default=None, compare=False)
     created_at: str | None = field(default=None, compare=False)
 
@@ -102,8 +109,14 @@ class TrialDB:
     ``TrialDB`` and therefore one database file.
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        busy_timeout: float = 30.0,
+        retry: RetryPolicy = DEFAULT_RETRY,
+    ) -> None:
         self.path = str(path)
+        self.retry = retry
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         # The connection may cross threads: the solve server's workers
@@ -120,11 +133,37 @@ class TrialDB:
         if self.path != ":memory:":
             self.conn.execute("PRAGMA journal_mode=WAL")
             self.conn.execute("PRAGMA synchronous=NORMAL")
-            # Parallel campaigns run one writer process per in-flight
-            # cell; WAL serializes the commits, and the busy timeout
-            # makes lock waits block instead of failing.
-            self.conn.execute("PRAGMA busy_timeout=30000")
+            # Parallel campaigns and fleet workers run one writer
+            # process per in-flight cell; WAL serializes the commits,
+            # and the busy timeout makes lock waits block instead of
+            # failing.  Waits past the timeout surface as `database is
+            # locked` and are absorbed by :meth:`write`'s bounded
+            # exponential-backoff retries.
+            self.conn.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
         ensure_schema(self.conn)
+
+    # -- write path -------------------------------------------------------
+
+    def write(self, fn: Callable[[sqlite3.Connection], T]) -> T:
+        """Run a write transaction with locked-database retries.
+
+        ``fn`` receives the connection under the store lock and must
+        leave it committed; on ``sqlite3.OperationalError`` the
+        half-built transaction is rolled back and, for lock contention,
+        retried with exponential backoff per ``self.retry``.  Every
+        TrialDB/PlanRegistry/WorkQueue write path funnels through here,
+        so one policy governs the whole store.
+        """
+
+        def attempt() -> T:
+            with self.lock:
+                try:
+                    return fn(self.conn)
+                except sqlite3.OperationalError:
+                    self.conn.rollback()
+                    raise
+
+        return run_with_retry(attempt, self.retry)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -141,14 +180,15 @@ class TrialDB:
 
     def record_trial(self, record: TrialRecord) -> int:
         """Append one trial row; returns its id."""
-        with self.lock:
-            cur = self.conn.execute(
+
+        def insert(conn: sqlite3.Connection) -> int:
+            cur = conn.execute(
                 """
                 INSERT INTO trials (kind, distribution, operator, ndim, max_level,
                                     accuracies, machine_fingerprint, seed, instances,
                                     machine_name, cycle_shape, simulated_cost,
-                                    wall_seconds, plan_json)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                                    wall_seconds, provenance, plan_json)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 record.key()
                 + (
@@ -156,11 +196,14 @@ class TrialDB:
                     record.cycle_shape,
                     record.simulated_cost,
                     record.wall_seconds,
+                    record.provenance,
                     record.plan_json,
                 ),
             )
-            self.conn.commit()
+            conn.commit()
             return int(cur.lastrowid)
+
+        return self.write(insert)
 
     def trials(
         self,
@@ -241,8 +284,8 @@ class TrialDB:
         newer one) and campaign cells left mid-flight, then VACUUMs.
         Returns counts of what was removed.
         """
-        with self.lock:
-            cur = self.conn.execute(
+        def compact(conn: sqlite3.Connection) -> dict[str, int]:
+            cur = conn.execute(
                 f"""
                 DELETE FROM trials WHERE id NOT IN (
                     SELECT MAX(id) FROM trials GROUP BY {', '.join(KEYFIELDS)}
@@ -250,13 +293,13 @@ class TrialDB:
                 """
             )
             removed_trials = cur.rowcount
-            cur = self.conn.execute(
-                "DELETE FROM campaign_cells WHERE status != 'done'"
-            )
+            cur = conn.execute("DELETE FROM campaign_cells WHERE status != 'done'")
             removed_cells = cur.rowcount
-            self.conn.commit()
-            self.conn.execute("VACUUM")
-        return {"trials": removed_trials, "campaign_cells": removed_cells}
+            conn.commit()
+            conn.execute("VACUUM")
+            return {"trials": removed_trials, "campaign_cells": removed_cells}
+
+        return self.write(compact)
 
 
 def _filters(**kwargs: Any) -> tuple[str, list[Any]]:
@@ -281,6 +324,7 @@ def _record_from_row(row: sqlite3.Row) -> TrialRecord:
         simulated_cost=row["simulated_cost"],
         wall_seconds=row["wall_seconds"],
         plan_json=row["plan_json"],
+        provenance=row["provenance"],
         trial_id=int(row["id"]),
         created_at=row["created_at"],
     )

@@ -15,7 +15,14 @@ from __future__ import annotations
 import threading
 import time
 
-__all__ = ["Clock", "ManualClock", "MonotonicClock", "MONOTONIC_CLOCK"]
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "WallClock",
+    "MONOTONIC_CLOCK",
+    "WALL_CLOCK",
+]
 
 
 class Clock:
@@ -40,6 +47,27 @@ class MonotonicClock(Clock):
 
 #: Shared default instance (clocks are stateless).
 MONOTONIC_CLOCK = MonotonicClock()
+
+
+class WallClock(Clock):
+    """Wall-clock time (``time.time``) and real sleep.
+
+    ``perf_counter``'s reference point is undefined per process, so
+    monotonic readings cannot be *compared* across processes or hosts.
+    Anything that stores timestamps other processes must interpret —
+    the fleet's lease expiries and worker heartbeats live in a shared
+    database — uses wall-clock time instead.
+    """
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+#: Shared default instance for cross-process timestamps.
+WALL_CLOCK = WallClock()
 
 
 class ManualClock(Clock):

@@ -1,0 +1,140 @@
+"""Real multi-process fleet: 3 workers, one SQLite store, one killed mid-run.
+
+This is the acceptance scenario (and the CI ``fleet-smoke`` job): worker
+processes share a file-backed store; one worker is SIGKILLed while
+holding leases; the survivors re-claim its cells after lease expiry and
+finish the campaign with zero lost and zero duplicated cells, producing
+a registry byte-identical to a serial ``Campaign.run()``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.fleet import FleetCoordinator, WorkQueue
+from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB
+
+SPEC = CampaignSpec(
+    name="proc-fleet",
+    machines=("intel", "amd"),
+    distributions=("unbiased",),
+    levels=(3, 4),
+    instances=1,
+    seed=3,
+)
+
+LEASE_TTL = 2.0
+
+#: The victim: claims cells through the real WorkQueue, reports, then
+#: hangs — exactly what a worker that dies mid-tune looks like from the
+#: store's point of view (leases held, never renewed or completed).
+VICTIM_SCRIPT = """
+import sys, time
+from repro.fleet import WorkQueue
+from repro.store import TrialDB
+
+db_path, campaign, ttl = sys.argv[1], sys.argv[2], float(sys.argv[3])
+queue = WorkQueue(TrialDB(db_path), campaign, lease_ttl=ttl)
+leases = queue.claim("victim", limit=2)
+print(f"CLAIMED {len(leases)}", flush=True)
+time.sleep(120)  # SIGKILL arrives long before this returns
+"""
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_worker(db_path: str, worker_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            "fleet", "--db", db_path, "work",
+            "--campaign", "proc-fleet",
+            "--worker-id", worker_id,
+            "--lease-ttl", str(LEASE_TTL),
+        ],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def test_kill_one_worker_survivors_reclaim(tmp_path):
+    db_path = str(tmp_path / "fleet.sqlite")
+    db = TrialDB(db_path)
+    FleetCoordinator(db, "proc-fleet").enqueue(SPEC)
+    db.close()
+
+    victim = subprocess.Popen(
+        [sys.executable, "-c", VICTIM_SCRIPT, db_path, "proc-fleet", str(LEASE_TTL)],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = victim.stdout.readline().strip()
+        assert line == "CLAIMED 2", f"victim reported {line!r}"
+        # Killed while holding 2 live leases: the crash we recover from.
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        workers = [_spawn_worker(db_path, f"survivor-{i}") for i in range(2)]
+        outputs = []
+        for proc in workers:
+            out, _ = proc.communicate(timeout=180)
+            outputs.append(out)
+            assert proc.returncode == 0, out
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+
+    db = TrialDB(db_path)
+    queue = WorkQueue(db, "proc-fleet")
+    counts = queue.counts()
+    assert counts == {"pending": 0, "leased": 0, "done": 4, "poisoned": 0}
+    cells = queue.cells()
+    # Zero lost: every cell completed. Zero duplicated: each cell is one
+    # row with a single done transition, owned by exactly one survivor.
+    assert all(c["worker_id"] in ("survivor-0", "survivor-1") for c in cells)
+    reclaimed = [c for c in cells if c["attempts"] == 2]
+    assert len(reclaimed) == 2, [
+        (c["machine"], c["max_level"], c["attempts"]) for c in cells
+    ]
+    assert all(c["attempts"] in (1, 2) for c in cells)
+
+    # The fleet registry is byte-identical to a serial sweep's.
+    fleet_contents = PlanRegistry(db).contents()
+    db.close()
+    serial_db = TrialDB(":memory:")
+    Campaign(SPEC, serial_db).run()
+    assert fleet_contents == PlanRegistry(serial_db).contents()
+    serial_db.close()
+
+
+def test_three_workers_share_one_store(tmp_path):
+    """3 concurrent worker processes drain one campaign with no
+    double-claims and no lost cells."""
+    db_path = str(tmp_path / "fleet.sqlite")
+    db = TrialDB(db_path)
+    FleetCoordinator(db, "proc-fleet").enqueue(SPEC)
+    db.close()
+
+    workers = [_spawn_worker(db_path, f"w{i}") for i in range(3)]
+    for proc in workers:
+        out, _ = proc.communicate(timeout=180)
+        assert proc.returncode == 0, out
+
+    db = TrialDB(db_path)
+    queue = WorkQueue(db, "proc-fleet")
+    assert queue.counts() == {"pending": 0, "leased": 0, "done": 4, "poisoned": 0}
+    cells = queue.cells()
+    assert all(c["attempts"] == 1 for c in cells)  # nobody stole live leases
+    assert len(PlanRegistry(db).contents()) == 4
+    db.close()

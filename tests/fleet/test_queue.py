@@ -1,0 +1,250 @@
+"""Lease lifecycle: claim/renew/complete/fail, expiry, and poison parking."""
+
+import threading
+
+import pytest
+
+from repro.fleet import SQLiteBackend, WorkQueue
+from repro.store import Campaign, CampaignSpec, TrialDB
+from repro.util.clock import ManualClock
+
+SPEC = CampaignSpec(
+    name="q",
+    machines=("intel", "amd"),
+    distributions=("unbiased",),
+    levels=(3, 4),
+    instances=1,
+    seed=0,
+)
+
+
+@pytest.fixture()
+def queue():
+    db = TrialDB(":memory:")
+    Campaign(SPEC, db)  # seeds the cells
+    clock = ManualClock()
+    q = WorkQueue(db, "q", clock=clock, lease_ttl=10.0, max_attempts=3)
+    yield q, clock, db
+    db.close()
+
+
+class TestClaim:
+    def test_claim_marks_leased_and_counts_attempt(self, queue):
+        q, clock, db = queue
+        leases = q.claim("w1")
+        assert len(leases) == 1
+        lease = leases[0]
+        assert lease.worker_id == "w1"
+        assert lease.attempt == 1
+        assert lease.expires_at == pytest.approx(10.0)
+        assert q.counts() == {"pending": 3, "leased": 1, "done": 0, "poisoned": 0}
+
+    def test_claim_is_exclusive(self, queue):
+        q, clock, db = queue
+        mine = q.claim("w1", limit=4)
+        assert len(mine) == 4
+        assert q.claim("w2") == []
+
+    def test_claim_respects_machine_filter(self, queue):
+        q, clock, db = queue
+        leases = q.claim("w1", limit=4, machines=("amd",))
+        assert len(leases) == 2
+        assert all(lease.machine == "amd" for lease in leases)
+
+    def test_claim_order_is_deterministic(self, queue):
+        q, clock, db = queue
+        leases = q.claim("w1", limit=4)
+        cells = [lease.cell for lease in leases]
+        assert cells == sorted(cells)
+
+    def test_lease_carries_ndim(self, queue):
+        q, clock, db = queue
+        assert {lease.ndim for lease in q.claim("w1", limit=4)} == {2}
+
+
+class TestExpiry:
+    def test_expired_lease_is_reclaimable(self, queue):
+        q, clock, db = queue
+        (lost,) = q.claim("w1")  # w1 "crashes" here
+        clock.advance(10.0)
+        reclaimed = q.claim("w2", limit=4)
+        assert lost.cell in [lease.cell for lease in reclaimed]
+        again = next(l for l in reclaimed if l.cell == lost.cell)
+        assert again.attempt == 2  # the dead worker's attempt stays counted
+
+    def test_live_lease_is_not_reclaimable(self, queue):
+        q, clock, db = queue
+        q.claim("w1", limit=4)
+        clock.advance(9.9)
+        assert q.claim("w2") == []
+
+    def test_renew_extends_lease(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        clock.advance(9.0)
+        assert q.renew(lease) is True
+        clock.advance(9.0)  # 18s total: original lease would have expired
+        assert all(l.cell != lease.cell for l in q.claim("w2", limit=4))
+
+    def test_renew_after_loss_fails(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        clock.advance(10.0)
+        assert any(l.cell == lease.cell for l in q.claim("w2", limit=4))
+        assert q.renew(lease) is False
+
+    def test_release_expired_returns_cells_to_pending(self, queue):
+        q, clock, db = queue
+        q.claim("w1", limit=2)
+        clock.advance(10.0)
+        assert q.release_expired() == 2
+        assert q.counts()["pending"] == 4
+
+
+class TestCompleteAndFail:
+    def test_complete_marks_done_with_provenance(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        assert q.complete(lease, "tuned", 1.5e-6, 0.25) is True
+        cell = next(c for c in q.cells() if c["status"] == "done")
+        assert cell["worker_id"] == "w1"
+        assert cell["attempts"] == 1
+        assert cell["source"] == "tuned"
+        assert cell["wall_seconds"] == 0.25
+        assert cell["lease_owner"] is None
+
+    def test_complete_after_loss_is_refused(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        clock.advance(10.0)
+        (stolen,) = q.claim("w2")
+        assert stolen.cell == lease.cell
+        assert q.complete(lease, "tuned") is False  # w1 lost the race
+        assert q.complete(stolen, "tuned") is True
+        assert q.counts()["done"] == 1  # exactly one done transition
+
+    def test_fail_requeues(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        assert q.fail(lease, "boom") == "requeued"
+        assert q.counts()["pending"] == 4
+        cell = next(c for c in q.cells() if c["last_error"] == "boom")
+        assert cell["status"] == "pending"
+
+    def test_fail_without_requeue_parks(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        assert q.fail(lease, "fatal", requeue=False) == "poisoned"
+        assert q.counts()["poisoned"] == 1
+
+    def test_fail_after_loss_reports_lost(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        clock.advance(10.0)
+        q.claim("w2")
+        assert q.fail(lease, "boom") == "lost"
+
+
+class TestPoisonParking:
+    def test_parked_after_max_failed_attempts(self, queue):
+        q, clock, db = queue
+        outcomes = []
+        for worker in ("w1", "w2", "w3", "w4"):
+            leases = q.claim(worker, limit=4)
+            target = [l for l in leases if l.machine == "amd" and l.max_level == 3]
+            for other in leases:
+                if other not in target:
+                    q.fail(other, "skip this test cell", requeue=True)
+            if target:
+                outcomes.append(q.fail(target[0], f"crash #{worker}"))
+        assert outcomes == ["requeued", "requeued", "poisoned"]
+
+    def test_expired_out_of_attempts_is_parked_not_reclaimed(self, queue):
+        q, clock, db = queue
+        for _ in range(2):
+            (lease,) = q.claim("w1", limit=1)
+            q.fail(lease, "boom")
+        (lease,) = q.claim("w1", limit=1)
+        assert lease.attempt == 3
+        clock.advance(10.0)  # third holder dies instead of failing cleanly
+        claimed = q.claim("w2", limit=4)
+        assert lease.cell not in [l.cell for l in claimed]
+        cell = next(c for c in q.cells() if c["status"] == "poisoned")
+        assert cell["attempts"] == 3
+        assert cell["last_error"] is not None
+
+    def test_poisoned_cells_never_complete(self, queue):
+        q, clock, db = queue
+        (lease,) = q.claim("w1")
+        q.fail(lease, "x", requeue=False)
+        assert q.complete(lease, "tuned") is False
+
+
+class TestConcurrency:
+    def test_double_claim_exclusion_under_four_workers(self, tmp_path):
+        """4 workers hammering one file-backed store: every cell is
+        claimed exactly once, no cell is handed to two workers."""
+        path = tmp_path / "fleet.sqlite"
+        spec = CampaignSpec(
+            name="conc",
+            machines=("intel", "amd", "sun"),
+            distributions=("unbiased", "biased"),
+            levels=(3, 4),
+            instances=1,
+        )
+        Campaign(spec, TrialDB(path)).db.close()
+        claimed: dict[str, list] = {}
+        barrier = threading.Barrier(4)
+
+        def worker(worker_id: str) -> None:
+            db = TrialDB(path)
+            queue = WorkQueue(db, "conc", lease_ttl=60.0)
+            barrier.wait()
+            got = []
+            while True:
+                leases = queue.claim(worker_id)
+                if not leases:
+                    break
+                got.extend(lease.cell for lease in leases)
+            claimed[worker_id] = got
+            db.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        all_cells = [cell for cells in claimed.values() for cell in cells]
+        assert len(all_cells) == 12
+        assert len(set(all_cells)) == 12  # no double-claims
+        db = TrialDB(path)
+        q = WorkQueue(db, "conc")
+        assert q.counts()["leased"] == 12
+        db.close()
+
+
+class TestBackend:
+    def test_trialdb_is_wrapped_automatically(self):
+        db = TrialDB(":memory:")
+        q = WorkQueue(db, "q")
+        assert isinstance(q.backend, SQLiteBackend)
+        assert q.backend.db is db
+
+    def test_transact_rolls_back_on_error(self):
+        db = TrialDB(":memory:")
+        Campaign(SPEC, db)
+        backend = SQLiteBackend(db)
+
+        def bad(conn):
+            conn.execute("UPDATE campaign_cells SET status = 'leased'")
+            raise RuntimeError("abort")
+
+        with pytest.raises(RuntimeError):
+            backend.transact(bad)
+        assert WorkQueue(backend, "q").counts()["leased"] == 0
+
+    def test_max_attempts_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            WorkQueue(TrialDB(":memory:"), "q", max_attempts=0)

@@ -1,0 +1,332 @@
+"""Schema migration: PR-5-era (v3) stores keep working under v4.
+
+Builds a database with the verbatim v3 schema (ndim keyfield, no fleet
+columns), populates it the way the pre-fleet code did, then opens it
+through :class:`TrialDB` and checks that the migrated store resolves old
+plans unchanged, that legacy campaign cells become claimable fleet work
+(attempts start at 0, no lease), and that the fleet tables exist — plus
+the mid-migration crash-rollback and concurrent-loser guarantees every
+earlier step has.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.fleet import FleetCoordinator, WorkQueue
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB, TuneKey
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.trialdb import canonical_accuracies, canonical_seed
+from repro.tuner.config import plan_to_dict
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+
+# The v3 schema exactly as PR 5 shipped it.
+V3_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    cycle_shape         TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    plan_json           TEXT,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+CREATE INDEX IF NOT EXISTS idx_trials_key_v3
+    ON trials (kind, distribution, operator, ndim, max_level, accuracies,
+               machine_fingerprint, seed, instances);
+
+CREATE TABLE IF NOT EXISTS plans (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    plan_key            TEXT    NOT NULL UNIQUE,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    profile_json        TEXT    NOT NULL,
+    plan_json           TEXT    NOT NULL,
+    hits                INTEGER NOT NULL DEFAULT 0,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
+    last_used_at        TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_plans_family_v3
+    ON plans (kind, distribution, operator, ndim, max_level, accuracies,
+              seed, instances);
+
+CREATE TABLE IF NOT EXISTS campaign_cells (
+    campaign            TEXT    NOT NULL,
+    machine             TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    max_level           INTEGER NOT NULL,
+    status              TEXT    NOT NULL DEFAULT 'pending',
+    source              TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    completed_at        TEXT,
+    PRIMARY KEY (campaign, machine, distribution, operator, max_level)
+);
+"""
+
+KEY = TuneKey(max_level=3, instances=1, seed=0)
+
+
+def _tiny_plan():
+    return VCycleTuner(
+        max_level=KEY.max_level,
+        training=TrainingData(distribution=KEY.distribution, instances=1, seed=0),
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+        keep_audit=False,
+    ).tune()
+
+
+def _v3_plan_key(fingerprint: str, key: TuneKey) -> str:
+    """The storage key exactly as PR 5 computed it (ndim-suffixed)."""
+    return "|".join(
+        [
+            fingerprint,
+            key.kind,
+            key.distribution,
+            str(key.max_level),
+            canonical_accuracies(key.accuracies),
+            canonical_seed(key.seed),
+            str(key.instances),
+            key.operator,
+            str(key.ndim),
+        ]
+    )
+
+
+@pytest.fixture()
+def v3_store(tmp_path):
+    """A populated PR-5-era database file: one plan, one trial, one done
+    campaign cell and one still-pending one."""
+    path = tmp_path / "pr5-store.sqlite"
+    plan = _tiny_plan()
+    plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+    fingerprint = INTEL_HARPERTOWN.fingerprint()
+    conn = sqlite3.connect(path)
+    conn.executescript(V3_SCHEMA)
+    conn.execute("PRAGMA user_version = 3")
+    conn.execute(
+        """
+        INSERT INTO plans (plan_key, kind, distribution, operator, ndim,
+                           max_level, accuracies, machine_fingerprint, seed,
+                           instances, machine_name, profile_json, plan_json, hits)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 5)
+        """,
+        (
+            _v3_plan_key(fingerprint, KEY),
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.ndim,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+            json.dumps(INTEL_HARPERTOWN.to_dict(), sort_keys=True),
+            plan_json,
+        ),
+    )
+    conn.execute(
+        """
+        INSERT INTO trials (kind, distribution, operator, ndim, max_level,
+                            accuracies, machine_fingerprint, seed, instances,
+                            machine_name)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+        """,
+        (
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.ndim,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+        ),
+    )
+    conn.execute(
+        """
+        INSERT INTO campaign_cells (campaign, machine, distribution, operator,
+                                    ndim, max_level, status, source)
+        VALUES ('legacy3', 'intel', 'unbiased', 'poisson', 2, 3, 'done', 'tuned'),
+               ('legacy3', 'amd', 'unbiased', 'poisson', 2, 3, 'pending', NULL)
+        """
+    )
+    conn.commit()
+    conn.close()
+    return path, plan_json
+
+
+class TestV3Migration:
+    def test_migration_stamps_schema_version(self, v3_store):
+        path, _ = v3_store
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+
+    def test_old_plan_resolves_unchanged(self, v3_store):
+        """v3 -> v4 adds columns only — plan keys and plan bytes must
+        come through untouched."""
+        path, plan_json = v3_store
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None
+        assert hit.source == "exact"
+        assert hit.plan_json == plan_json
+
+    def test_old_trials_have_no_provenance(self, v3_store):
+        path, _ = v3_store
+        records = TrialDB(path).trials()
+        assert len(records) == 1
+        assert records[0].provenance is None
+
+    def test_legacy_cells_gain_fleet_columns(self, v3_store):
+        path, _ = v3_store
+        db = TrialDB(path)
+        rows = db.conn.execute(
+            """
+            SELECT status, attempts, lease_owner, lease_expires_at, worker_id
+            FROM campaign_cells WHERE campaign = 'legacy3'
+            ORDER BY machine
+            """
+        ).fetchall()
+        assert [(r["status"], r["attempts"]) for r in rows] == [
+            ("pending", 0),
+            ("done", 0),
+        ]
+        assert all(
+            r["lease_owner"] is None and r["worker_id"] is None for r in rows
+        )
+
+    def test_fleet_tables_exist_after_migration(self, v3_store):
+        path, _ = v3_store
+        db = TrialDB(path)
+        tables = {
+            row["name"]
+            for row in db.conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert {"campaigns", "fleet_workers"} <= tables
+
+    def test_legacy_pending_cell_is_claimable_fleet_work(self, v3_store):
+        """A pre-fleet campaign's pending cells become queue work with
+        no extra ceremony; its done cells stay done."""
+        path, _ = v3_store
+        db = TrialDB(path)
+        spec = CampaignSpec(
+            name="legacy3", machines=("intel", "amd"),
+            distributions=("unbiased",), levels=(3,), instances=1, seed=0,
+        )
+        FleetCoordinator(db, "legacy3").enqueue(spec)
+        queue = WorkQueue(db, "legacy3")
+        leases = queue.claim("w1", limit=10)
+        assert [lease.machine for lease in leases] == ["amd"]
+        assert leases[0].attempt == 1
+        assert queue.counts()["done"] == 1  # the legacy done cell
+
+    def test_migrated_campaign_resumes_without_retuning(self, v3_store):
+        path, _ = v3_store
+        spec = CampaignSpec(
+            name="legacy3", machines=("intel",), distributions=("unbiased",),
+            levels=(3,), instances=1, seed=0,
+        )
+        campaign = Campaign(spec, TrialDB(path))
+        assert campaign.pending() == []
+        results = campaign.run()
+        assert [r.source for r in results] == ["skipped"]
+
+
+class TestV3MigrationAtomicity:
+    def test_failed_migration_rolls_back_to_clean_v3(self, v3_store, monkeypatch):
+        import repro.store.schema as schema
+
+        monkeypatch.setattr(
+            schema,
+            "_MIGRATE_V3_V4",
+            schema._MIGRATE_V3_V4 + ("INSERT INTO nonexistent VALUES (1)",),
+        )
+        path, plan_json = v3_store
+        with pytest.raises(sqlite3.OperationalError):
+            TrialDB(path)
+
+        # Still version 3, no lease columns: the rollback was complete.
+        conn = sqlite3.connect(path)
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == 3
+        columns = [
+            row[1] for row in conn.execute("PRAGMA table_info(campaign_cells)")
+        ]
+        assert "lease_owner" not in columns and "ndim" in columns
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert "fleet_workers" not in tables
+        conn.close()
+
+        # With the fault removed the same file migrates fine.
+        monkeypatch.undo()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_concurrent_migration_loser_noops(self, v3_store):
+        import repro.store.schema as schema
+
+        path, plan_json = v3_store
+        TrialDB(path).close()  # first opener migrates v3 -> v4
+        conn = sqlite3.connect(path)
+        schema._migrate_step(conn, 3)  # loser replays: must no-op, not crash
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        conn.close()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_v1_store_chains_every_step(self, tmp_path):
+        # A PR-2-era v1 store must hop v1 -> v2 -> v3 -> v4 in one open.
+        from tests.store.test_migration import V1_SCHEMA
+
+        path = tmp_path / "v1-chain.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(V1_SCHEMA)
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        columns = [
+            row[1] for row in db.conn.execute("PRAGMA table_info(campaign_cells)")
+        ]
+        assert {"operator", "ndim", "lease_owner", "attempts"} <= set(columns)

@@ -1,0 +1,173 @@
+"""The locked-database retry helper and its TrialDB integration."""
+
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.store import TrialDB
+from repro.store.retry import (
+    DEFAULT_RETRY,
+    RetryPolicy,
+    is_locked_error,
+    run_with_retry,
+)
+
+
+class TestIsLockedError:
+    @pytest.mark.parametrize(
+        "message",
+        ["database is locked", "database table is locked", "database is busy"],
+    )
+    def test_contention_messages_match(self, message):
+        assert is_locked_error(sqlite3.OperationalError(message)) is True
+
+    def test_other_operational_errors_do_not_match(self):
+        assert is_locked_error(sqlite3.OperationalError("no such table: x")) is False
+
+    def test_non_sqlite_errors_do_not_match(self):
+        assert is_locked_error(RuntimeError("database is locked")) is False
+
+
+class TestRetryPolicy:
+    def test_delay_doubles_then_caps(self):
+        policy = RetryPolicy(retries=10, base_delay=0.1, max_delay=0.5)
+        assert [policy.delay(i) for i in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            RetryPolicy(retries=-1)
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_default_is_bounded(self):
+        assert DEFAULT_RETRY.retries == 5
+        total = sum(DEFAULT_RETRY.delay(i) for i in range(DEFAULT_RETRY.retries))
+        assert total < 5.0
+
+
+class TestRunWithRetry:
+    def test_success_needs_no_sleep(self):
+        sleeps = []
+        assert run_with_retry(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_locked_error_retries_until_success(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        policy = RetryPolicy(retries=5, base_delay=0.01, max_delay=1.0)
+        assert run_with_retry(flaky, policy, sleep=sleeps.append) == "ok"
+        assert len(attempts) == 3
+        assert sleeps == [0.01, 0.02]
+
+    def test_exhausted_retries_reraise_the_lock_error(self):
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        policy = RetryPolicy(retries=2, base_delay=0.0)
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            run_with_retry(always_locked, policy, sleep=lambda _: None)
+
+    def test_non_lock_errors_propagate_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise sqlite3.OperationalError("no such table: plans")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            run_with_retry(broken, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_on_retry_observes_each_backoff(self):
+        attempts = []
+        seen = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("database is busy")
+            return None
+
+        run_with_retry(
+            flaky,
+            RetryPolicy(retries=5, base_delay=0.0),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(0, "database is busy"), (1, "database is busy")]
+
+    def test_zero_retries_means_one_try(self):
+        attempts = []
+
+        def always_locked():
+            attempts.append(1)
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            run_with_retry(
+                always_locked, RetryPolicy(retries=0), sleep=lambda _: None
+            )
+        assert len(attempts) == 1
+
+
+class TestTrialDBWrite:
+    def test_write_returns_the_callbacks_value(self):
+        db = TrialDB(":memory:")
+        assert db.write(lambda conn: conn.execute("SELECT 7").fetchone()[0]) == 7
+        db.close()
+
+    def test_write_rolls_back_failed_transactions(self):
+        db = TrialDB(":memory:")
+        with pytest.raises(sqlite3.OperationalError):
+            db.write(lambda conn: conn.execute("INSERT INTO nope VALUES (1)"))
+        # The connection is still usable afterwards.
+        assert db.write(lambda conn: conn.execute("SELECT 1").fetchone()[0]) == 1
+        db.close()
+
+    def test_busy_timeout_is_applied(self, tmp_path):
+        db = TrialDB(tmp_path / "t.sqlite", busy_timeout=7.5)
+        (value,) = db.conn.execute("PRAGMA busy_timeout").fetchone()
+        assert value == 7500
+        db.close()
+
+    def test_write_retries_through_an_external_lock(self, tmp_path):
+        """A second connection holding the write lock makes the first
+        writer block, back off, and succeed once the lock drops —
+        instead of surfacing 'database is locked'."""
+        path = tmp_path / "contended.sqlite"
+        # Tiny busy_timeout so the lock error surfaces fast and the
+        # retry loop (not SQLite's internal wait) does the work.
+        db = TrialDB(path, busy_timeout=0.05, retry=RetryPolicy(
+            retries=10, base_delay=0.05, max_delay=0.2
+        ))
+
+        blocker = sqlite3.connect(path, check_same_thread=False)
+        blocker.execute("BEGIN IMMEDIATE")
+        release = threading.Timer(0.5, lambda: (blocker.commit(), blocker.close()))
+        release.start()
+        start = time.perf_counter()
+        db.write(
+            lambda conn: (
+                conn.execute(
+                    "INSERT INTO campaigns (name, spec_json) VALUES ('c', '{}')"
+                ),
+                conn.commit(),
+            )
+        )
+        elapsed = time.perf_counter() - start
+        release.join()
+        assert elapsed >= 0.3  # it really waited for the blocker
+        row = db.conn.execute("SELECT name FROM campaigns").fetchone()
+        assert row["name"] == "c"
+        db.close()
