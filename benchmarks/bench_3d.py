@@ -180,12 +180,15 @@ def main(argv: list[str] | None = None) -> int:
         f"heuristic={heuristic_wall * 1e3:.1f}ms"
     )
 
+    from repro.kernels import backend_provenance, resolve_backend
+
     report = {
         "operator": args.operator,
         "level": level,
         "n": n,
         "machine": args.machine,
         "smoke": args.smoke,
+        "provenance": backend_provenance(resolve_backend("auto")),
         "convergence_factors": factors,
         "worst_convergence_factor": worst_factor,
         "tune_wall_s": tune_wall,

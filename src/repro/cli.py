@@ -196,6 +196,15 @@ def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
     )
+    parser.add_argument(
+        "--backend",
+        default="numpy",
+        metavar="NAME",
+        help="kernel backend the tuner may place on fine levels: numpy "
+        "(default, the reference), cnative, numba, or auto (best backend "
+        "available on the tuning host; each fleet worker resolves it "
+        "against its own availability)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--instances", type=int, default=2)
 
@@ -229,6 +238,7 @@ def _campaign_spec_from_args(args: argparse.Namespace, error) -> "CampaignSpec":
         kind=args.kind,
         seed=args.seed,
         instances=args.instances,
+        backend=args.backend,
     )
 
 
@@ -589,6 +599,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--kind", choices=["multigrid-v", "full-multigrid"], default="multigrid-v"
     )
     parser.add_argument(
+        "--backend",
+        default="numpy",
+        metavar="NAME",
+        help="kernel backend served plans are tuned against: numpy "
+        "(default), cnative, numba, or auto (best available on this host)",
+    )
+    parser.add_argument(
         "--requests", type=int, default=64, help="bench mode: total requests"
     )
     parser.add_argument(
@@ -642,6 +659,7 @@ def _serve_main(argv: list[str]) -> int:
         seed=args.seed,
         instances=args.instances,
         tune_jobs=args.jobs,
+        backend=args.backend,
     ) as server:
         if not args.no_warm:
             for dist, level, operator in specs:

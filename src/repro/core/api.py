@@ -187,6 +187,7 @@ def autotune(
     jobs: int | None = None,
     operator: OperatorSpec | str | None = None,
     ndim: int | None = None,
+    backend: str = "numpy",
 ) -> TunedVPlan:
     """Tune the MULTIGRID-V_i family for a machine, distribution and operator.
 
@@ -194,7 +195,10 @@ def autotune(
     (:mod:`repro.parallel`); trial tasks are deterministically seeded,
     so the tuned plan is identical to a serial (``jobs=1``) tune.
     ``ndim=3`` selects the 3-D workload family (``operator=None`` then
-    means the 3-D Poisson default).
+    means the 3-D Poisson default).  ``backend`` makes accelerated
+    kernel backends available to the tuner as a per-level choice
+    (``"auto"`` picks the best backend this host can run); the plan
+    records which levels use it.
     """
     profile = get_preset(machine) if isinstance(machine, str) else machine
     training = TrainingData(
@@ -208,6 +212,7 @@ def autotune(
             training=training,
             timing=CostModelTiming(profile),
             trial_executor=executor,
+            backend=backend,
         )
         return tuner.tune()
 
@@ -223,11 +228,14 @@ def autotune_full_mg(
     jobs: int | None = None,
     operator: OperatorSpec | str | None = None,
     ndim: int | None = None,
+    backend: str = "numpy",
 ) -> TunedFullMGPlan:
     """Tune FULL-MULTIGRID_i (tuning the V family first if not supplied).
 
     A caller-supplied ``vplan`` must have been tuned for the same
-    ``operator`` (the tuner validates and raises on mismatch).
+    ``operator`` (the tuner validates and raises on mismatch); its
+    per-level kernel backends carry over to the full-MG plan, so
+    ``backend`` only matters when the V plan is tuned here.
     """
     profile = get_preset(machine) if isinstance(machine, str) else machine
     training = TrainingData(
@@ -242,6 +250,7 @@ def autotune_full_mg(
                 training=training,
                 timing=CostModelTiming(profile),
                 trial_executor=executor,
+                backend=backend,
             ).tune()
         tuner = FullMGTuner(
             vplan=vplan,
@@ -325,6 +334,7 @@ def autotune_cached(
     jobs: int | None = None,
     operator: OperatorSpec | str | None = None,
     ndim: int | None = None,
+    backend: str = "numpy",
 ) -> TunedVPlan | TunedFullMGPlan:
     """:func:`autotune` through the persistent plan registry.
 
@@ -350,6 +360,7 @@ def autotune_cached(
         seed=seed,
         instances=instances,
         operator=_resolve_operator_ndim(operator, ndim).canonical(),
+        backend=backend,
     )
     return registry.get_or_tune(
         profile, key, allow_nearest=allow_nearest, jobs=jobs
@@ -366,6 +377,7 @@ def solve_service(
     kind: Literal["multigrid-v", "full-multigrid"] = "multigrid-v",
     store: object = None,
     jobs: int | None = None,
+    backend: str = "numpy",
 ) -> tuple[np.ndarray, OpMeter, "RegistryHit"]:
     """Solve like a long-running service: plans come from the registry.
 
@@ -393,6 +405,7 @@ def solve_service(
         seed=seed,
         instances=instances,
         operator=problem.operator.canonical(),
+        backend=backend,
     )
     hit = registry.get_or_tune(profile, key, jobs=jobs)
     x, meter = solve(hit.plan, problem, target_accuracy)

@@ -1,0 +1,442 @@
+"""Numba JIT kernel backend (optional dependency, graceful fallback).
+
+``numba`` is deliberately *not* a package dependency: this module is
+the only place it may be imported (enforced by a ruff banned-API rule),
+the import happens lazily inside functions, and every entry point
+degrades to "unavailable" when the import fails — the backend registry
+then simply never selects it.  With numba present, ``warmup`` compiles
+every kernel once on tiny grids (honouring ``NUMBA_CACHE_DIR``, which
+CI caches keyed on the numba version and this file's hash), so JIT
+cost never lands inside a timed trial.
+
+The kernel bodies are scalar loops that evaluate exactly the same
+floating-point expressions in exactly the same order as the NumPy
+reference code (and as the C backend); they are compiled with
+``fastmath=False`` so the byte-identity contract holds.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.grids.grid import coarsen_size, mesh_width, prepare_out
+from repro.grids.poisson import rhs_scale
+from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+from repro.kernels.base import LevelKernels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.operators.base import StencilOperator
+
+__all__ = ["NumbaBackend"]
+
+
+# -- kernel bodies (plain Python; JIT-compiled lazily) -------------------
+
+
+def _rbsor2d_const(u, b, h2, omega, sweeps):
+    n = u.shape[0]
+    quarter_omega = 0.25 * omega
+    keep = 1.0 - omega
+    for _ in range(sweeps):
+        for par in range(2):
+            for i in range(1, n - 1):
+                for j in range(1 + ((i + 1 + par) % 2), n - 1, 2):
+                    st = u[i - 1, j] + u[i + 1, j]
+                    st += u[i, j - 1]
+                    st += u[i, j + 1]
+                    st += h2 * b[i, j]
+                    u[i, j] = u[i, j] * keep + quarter_omega * st
+
+
+def _residual2d_const(u, b, out, inv_h2):
+    n = u.shape[0]
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            acc = u[i, j] * -4.0
+            acc += u[i - 1, j]
+            acc += u[i + 1, j]
+            acc += u[i, j - 1]
+            acc += u[i, j + 1]
+            acc *= inv_h2
+            acc += b[i, j]
+            out[i, j] = acc
+
+
+def _rbsor2d_stencil(u, b, cn, cs, cw, ce, cd, omega, sweeps):
+    n = u.shape[0]
+    keep = 1.0 - omega
+    for _ in range(sweeps):
+        for par in range(2):
+            for i in range(1, n - 1):
+                for j in range(1 + ((i + 1 + par) % 2), n - 1, 2):
+                    gs = cn[i, j] * u[i - 1, j]
+                    gs += cs[i, j] * u[i + 1, j]
+                    gs += cw[i, j] * u[i, j - 1]
+                    gs += ce[i, j] * u[i, j + 1]
+                    gs += b[i, j]
+                    gs /= cd[i, j]
+                    u[i, j] = u[i, j] * keep + omega * gs
+
+
+def _residual2d_stencil(u, b, cn, cs, cw, ce, cd, out):
+    n = u.shape[0]
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            acc = u[i, j] * (-cd[i, j])
+            acc += cn[i, j] * u[i - 1, j]
+            acc += cs[i, j] * u[i + 1, j]
+            acc += cw[i, j] * u[i, j - 1]
+            acc += ce[i, j] * u[i, j + 1]
+            acc += b[i, j]
+            out[i, j] = acc
+
+
+def _restrict2d_fw(fine, coarse):
+    nc = coarse.shape[0]
+    for ci in range(1, nc - 1):
+        for cj in range(1, nc - 1):
+            fi = 2 * ci
+            fj = 2 * cj
+            acc = fine[fi - 1, fj] + fine[fi + 1, fj]
+            acc += fine[fi, fj - 1]
+            acc += fine[fi, fj + 1]
+            acc *= 2.0
+            acc += fine[fi - 1, fj - 1]
+            acc += fine[fi - 1, fj + 1]
+            acc += fine[fi + 1, fj - 1]
+            acc += fine[fi + 1, fj + 1]
+            acc += 4.0 * fine[fi, fj]
+            acc *= 1.0 / 16.0
+            coarse[ci, cj] = acc
+
+
+def _interp2d_corr(u, coarse):
+    nc = coarse.shape[0]
+    for ci in range(1, nc - 1):
+        for cj in range(1, nc - 1):
+            u[2 * ci, 2 * cj] += coarse[ci, cj]
+    for ci in range(1, nc - 1):
+        for cj in range(nc - 1):
+            u[2 * ci, 2 * cj + 1] += 0.5 * (coarse[ci, cj] + coarse[ci, cj + 1])
+    for ci in range(nc - 1):
+        for cj in range(1, nc - 1):
+            u[2 * ci + 1, 2 * cj] += 0.5 * (coarse[ci, cj] + coarse[ci + 1, cj])
+    for ci in range(nc - 1):
+        for cj in range(nc - 1):
+            u[2 * ci + 1, 2 * cj + 1] += 0.25 * (
+                ((coarse[ci, cj] + coarse[ci, cj + 1]) + coarse[ci + 1, cj])
+                + coarse[ci + 1, cj + 1]
+            )
+
+
+def _rbsor3d_axes(u, b, c0, c1, c2, h2, omega, sweeps):
+    n = u.shape[0]
+    inv_diag = 1.0 / (2.0 * ((c0 + c1) + c2))
+    keep = 1.0 - omega
+    for _ in range(sweeps):
+        for par in range(2):
+            for i in range(1, n - 1):
+                for j in range(1, n - 1):
+                    for k in range(1 + ((i + j + par + 1) % 2), n - 1, 2):
+                        gs = c0 * (u[i - 1, j, k] + u[i + 1, j, k])
+                        gs += c1 * (u[i, j - 1, k] + u[i, j + 1, k])
+                        gs += c2 * (u[i, j, k - 1] + u[i, j, k + 1])
+                        gs += h2 * b[i, j, k]
+                        gs *= inv_diag
+                        u[i, j, k] = u[i, j, k] * keep + omega * gs
+
+
+def _residual3d_axes(u, b, out, c0, c1, c2, inv_h2):
+    n = u.shape[0]
+    dc = -2.0 * ((c0 + c1) + c2)
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            for k in range(1, n - 1):
+                acc = u[i, j, k] * dc
+                acc += c0 * u[i - 1, j, k]
+                acc += c0 * u[i + 1, j, k]
+                acc += c1 * u[i, j - 1, k]
+                acc += c1 * u[i, j + 1, k]
+                acc += c2 * u[i, j, k - 1]
+                acc += c2 * u[i, j, k + 1]
+                acc *= inv_h2
+                acc += b[i, j, k]
+                out[i, j, k] = acc
+
+
+_KERNEL_BODIES: dict[str, Callable[..., Any]] = {
+    "rbsor2d_const": _rbsor2d_const,
+    "residual2d_const": _residual2d_const,
+    "rbsor2d_stencil": _rbsor2d_stencil,
+    "residual2d_stencil": _residual2d_stencil,
+    "restrict2d_fw": _restrict2d_fw,
+    "interp2d_corr": _interp2d_corr,
+    "rbsor3d_axes": _rbsor3d_axes,
+    "residual3d_axes": _residual3d_axes,
+}
+
+_compiled: dict[str, Callable[..., Any]] | None = None
+_compile_error: str | None = None
+
+
+def _numba_present() -> bool:
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _kernels() -> dict[str, Callable[..., Any]] | None:
+    """JIT-wrap the kernel bodies once; None when numba is unusable."""
+    global _compiled, _compile_error
+    if _compiled is not None or _compile_error is not None:
+        return _compiled
+    if not _numba_present():
+        _compile_error = "numba is not installed"
+        return None
+    try:
+        import numba
+
+        jit = numba.njit(cache=True, fastmath=False)
+        _compiled = {name: jit(fn) for name, fn in _KERNEL_BODIES.items()}
+    except Exception as exc:  # pragma: no cover - depends on numba install
+        _compile_error = f"{type(exc).__name__}: {exc}"
+        return None
+    return _compiled
+
+
+def _usable(*arrays: np.ndarray) -> bool:
+    return all(
+        isinstance(a, np.ndarray)
+        and a.dtype == np.float64
+        and a.flags.c_contiguous
+        for a in arrays
+    )
+
+
+def _bind_const2d(k: dict[str, Callable[..., Any]], op: Any) -> LevelKernels:
+    n = op.n
+
+    def sor_sweeps(u, b, omega, sweeps=1):
+        if sweeps < 0 or u.shape != (n, n) or not _usable(u, b):
+            return op.sor_sweeps(u, b, omega, sweeps)
+        h = mesh_width(n)
+        k["rbsor2d_const"](u, b, h * h, omega, sweeps)
+        return u
+
+    def jacobi_sweeps(u, b, omega, sweeps):
+        if sweeps < 0 or u.shape != (n, n) or not _usable(u, b):
+            return op.jacobi_sweeps(u, b, omega, sweeps)
+        h = mesh_width(n)
+        scratch = np.zeros_like(u)
+        for _ in range(sweeps):
+            k["residual2d_const"](u, b, scratch, rhs_scale(n))
+            u[1:-1, 1:-1] += (omega * h * h * 0.25) * scratch[1:-1, 1:-1]
+        return u
+
+    def residual(u, b, out=None):
+        if u.shape != (n, n) or not _usable(u, b):
+            return op.residual(u, b, out=out)
+        res = prepare_out(out, u.shape)
+        if not _usable(res):
+            return op.residual(u, b, out=out)
+        k["residual2d_const"](u, b, res, rhs_scale(n))
+        return res
+
+    return LevelKernels(
+        backend="numba",
+        sor_sweeps=sor_sweeps,
+        jacobi_sweeps=jacobi_sweeps,
+        residual=residual,
+        restrict=_restrict2d(k),
+        interpolate_correction=_interp2d(k),
+    )
+
+
+def _bind_stencil2d(k: dict[str, Callable[..., Any]], op: Any) -> LevelKernels:
+    n = op.n
+    north, south = op.north, op.south
+    west, east, diag = op.west, op.east, op.diag
+    weights_ok = _usable(north, south, west, east, diag)
+
+    def sor_sweeps(u, b, omega, sweeps=1):
+        if sweeps < 0 or not weights_ok or u.shape != (n, n) or not _usable(u, b):
+            return op.sor_sweeps(u, b, omega, sweeps)
+        k["rbsor2d_stencil"](u, b, north, south, west, east, diag, omega, sweeps)
+        return u
+
+    def jacobi_sweeps(u, b, omega, sweeps):
+        if sweeps < 0 or not weights_ok or u.shape != (n, n) or not _usable(u, b):
+            return op.jacobi_sweeps(u, b, omega, sweeps)
+        scratch = np.zeros_like(u)
+        for _ in range(sweeps):
+            k["residual2d_stencil"](u, b, north, south, west, east, diag, scratch)
+            u[1:-1, 1:-1] += omega * scratch[1:-1, 1:-1] / diag[1:-1, 1:-1]
+        return u
+
+    def residual(u, b, out=None):
+        if not weights_ok or u.shape != (n, n) or not _usable(u, b):
+            return op.residual(u, b, out=out)
+        res = prepare_out(out, u.shape)
+        if not _usable(res):
+            return op.residual(u, b, out=out)
+        k["residual2d_stencil"](u, b, north, south, west, east, diag, res)
+        return res
+
+    return LevelKernels(
+        backend="numba",
+        sor_sweeps=sor_sweeps,
+        jacobi_sweeps=jacobi_sweeps,
+        residual=residual,
+        restrict=_restrict2d(k),
+        interpolate_correction=_interp2d(k),
+    )
+
+
+def _bind_axes3d(k: dict[str, Callable[..., Any]], op: Any) -> LevelKernels:
+    n = op.n
+    c0, c1, c2 = (float(c) for c in op.coeffs)
+
+    def sor_sweeps(u, b, omega, sweeps=1):
+        if sweeps < 0 or u.shape != (n, n, n) or not _usable(u, b):
+            return op.sor_sweeps(u, b, omega, sweeps)
+        h = mesh_width(n)
+        k["rbsor3d_axes"](u, b, c0, c1, c2, h * h, omega, sweeps)
+        return u
+
+    def jacobi_sweeps(u, b, omega, sweeps):
+        if sweeps < 0 or u.shape != (n, n, n) or not _usable(u, b):
+            return op.jacobi_sweeps(u, b, omega, sweeps)
+        h = mesh_width(n)
+        factor = omega * h * h / (2.0 * float(sum(op.coeffs)))
+        scratch = np.zeros_like(u)
+        inner = (slice(1, -1),) * 3
+        for _ in range(sweeps):
+            k["residual3d_axes"](u, b, scratch, c0, c1, c2, rhs_scale(n))
+            u[inner] += factor * scratch[inner]
+        return u
+
+    def residual(u, b, out=None):
+        if u.shape != (n, n, n) or not _usable(u, b):
+            return op.residual(u, b, out=out)
+        res = prepare_out(out, u.shape)
+        if not _usable(res):
+            return op.residual(u, b, out=out)
+        k["residual3d_axes"](u, b, res, c0, c1, c2, rhs_scale(n))
+        return res
+
+    return LevelKernels(
+        backend="numba",
+        sor_sweeps=sor_sweeps,
+        jacobi_sweeps=jacobi_sweeps,
+        residual=residual,
+        restrict=restrict_full_weighting,
+        interpolate_correction=interpolate_correction,
+    )
+
+
+def _restrict2d(k: dict[str, Callable[..., Any]]):
+    def restrict(fine, out=None):
+        if not (
+            isinstance(fine, np.ndarray)
+            and fine.ndim == 2
+            and fine.shape[0] >= 5
+            and _usable(fine)
+        ):
+            return restrict_full_weighting(fine, out=out)
+        nc = coarsen_size(fine.shape[0])
+        res = prepare_out(out, (nc, nc))
+        if not _usable(res):
+            return restrict_full_weighting(fine, out=out)
+        k["restrict2d_fw"](fine, res)
+        return res
+
+    return restrict
+
+
+def _interp2d(k: dict[str, Callable[..., Any]]):
+    def interpolate(u, coarse):
+        if not (
+            isinstance(u, np.ndarray)
+            and u.ndim == 2
+            and u.shape[0] >= 5
+            and _usable(u, coarse)
+            and coarse.shape == (coarsen_size(u.shape[0]),) * 2
+        ):
+            return interpolate_correction(u, coarse)
+        k["interp2d_corr"](u, coarse)
+        return u
+
+    return interpolate
+
+
+class NumbaBackend:
+    """Numba-JIT kernels behind the :class:`KernelBackend` protocol."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._warmed = False
+
+    def available(self) -> bool:
+        return _kernels() is not None
+
+    def supports(self, op: "StencilOperator") -> bool:
+        from repro.operators.base import FivePointOperator
+        from repro.operators.poisson import ConstCoeffPoisson
+        from repro.operators.poisson3d import AxisStencilOperator
+
+        return isinstance(
+            op, (ConstCoeffPoisson, FivePointOperator, AxisStencilOperator)
+        )
+
+    def bind(self, op: "StencilOperator") -> LevelKernels | None:
+        from repro.operators.base import FivePointOperator
+        from repro.operators.poisson import ConstCoeffPoisson
+        from repro.operators.poisson3d import AxisStencilOperator
+
+        k = _kernels()
+        if k is None:
+            return None
+        if isinstance(op, ConstCoeffPoisson):
+            return _bind_const2d(k, op)
+        if isinstance(op, FivePointOperator):
+            return _bind_stencil2d(k, op)
+        if isinstance(op, AxisStencilOperator):
+            return _bind_axes3d(k, op)
+        return None
+
+    def warmup(self) -> None:
+        """Force the JIT compile of every kernel on tiny grids (idempotent)."""
+        if self._warmed:
+            return
+        k = _kernels()
+        if k is None:
+            return
+        n = 5
+        u2, b2, out2 = np.zeros((n, n)), np.zeros((n, n)), np.zeros((n, n))
+        w = np.ones((n, n))
+        coarse = np.zeros((3, 3))
+        k["rbsor2d_const"](u2, b2, 1.0, 1.0, 1)
+        k["residual2d_const"](u2, b2, out2, 1.0)
+        k["rbsor2d_stencil"](u2, b2, w, w, w, w, w, 1.0, 1)
+        k["residual2d_stencil"](u2, b2, w, w, w, w, w, out2)
+        k["restrict2d_fw"](u2, coarse)
+        k["interp2d_corr"](u2, coarse)
+        u3, b3, out3 = np.zeros((n,) * 3), np.zeros((n,) * 3), np.zeros((n,) * 3)
+        k["rbsor3d_axes"](u3, b3, 1.0, 1.0, 1.0, 1.0, 1.0, 1)
+        k["residual3d_axes"](u3, b3, out3, 1.0, 1.0, 1.0, 1.0)
+        self._warmed = True
+
+    def provenance(self) -> dict[str, Any]:
+        available = self.available()
+        if available:
+            import numba
+
+            detail = f"numba {numba.__version__}"
+        else:
+            detail = f"unavailable: {_compile_error or 'numba is not installed'}"
+        return {"backend": self.name, "available": available, "detail": detail}

@@ -1,0 +1,53 @@
+"""The NumPy reference backend: today's vectorized kernels, unchanged.
+
+This backend *is* the ground truth the byte-identity contract is
+defined against — ``bind`` simply returns the operator's own methods
+and the shared transfer functions, so executing a plan through it is
+bit-for-bit the same computation as before the backend layer existed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+from repro.kernels.base import LevelKernels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.operators.base import StencilOperator
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend:
+    """Reference kernels: delegate to the operator and grid modules."""
+
+    name = "numpy"
+
+    def available(self) -> bool:
+        return True
+
+    def supports(self, op: "StencilOperator") -> bool:
+        return True
+
+    def bind(self, op: "StencilOperator") -> LevelKernels:
+        return LevelKernels(
+            backend=self.name,
+            sor_sweeps=op.sor_sweeps,
+            jacobi_sweeps=op.jacobi_sweeps,
+            residual=op.residual,
+            restrict=restrict_full_weighting,
+            interpolate_correction=interpolate_correction,
+        )
+
+    def warmup(self) -> None:  # nothing to compile
+        return None
+
+    def provenance(self) -> dict[str, Any]:
+        return {
+            "backend": self.name,
+            "available": True,
+            "detail": f"numpy {np.__version__}",
+        }

@@ -18,12 +18,16 @@ import numpy as np
 from repro.grids.poisson import residual
 from repro.grids.transfer import interpolate_bilinear, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
-from repro.machines.profile import MachineProfile, OpShape
+from repro.machines.profile import BackendCostModel, MachineProfile, OpShape
 from repro.relax.sor import sor_redblack
 from repro.util.timing import median_time
 from repro.util.validation import size_of_level
 
-__all__ = ["calibrate_host_profile", "measure_op_times"]
+__all__ = [
+    "calibrate_backend_gains",
+    "calibrate_host_profile",
+    "measure_op_times",
+]
 
 
 def measure_op_times(
@@ -70,6 +74,69 @@ def _fit_linear(points: list[tuple[int, float]]) -> tuple[float, float]:
     a = np.vstack([np.ones_like(xs), xs]).T
     (overhead, per_point), *_ = np.linalg.lstsq(a, ys, rcond=None)
     return max(float(overhead), 0.0), max(float(per_point), 1e-12)
+
+
+def calibrate_backend_gains(
+    backend: str = "auto",
+    levels: tuple[int, ...] = (5, 7),
+    repeats: int = 3,
+) -> BackendCostModel | None:
+    """Measured per-op gains of an accelerated kernel backend on this host.
+
+    Times the backend's bound kernels against the NumPy reference on the
+    Poisson operator and returns a :class:`BackendCostModel` suitable for
+    ``MachineProfile.backend_costs``; ``None`` when the backend resolves to
+    ``numpy`` or cannot run here.  This is the measured alternative to
+    :data:`~repro.machines.profile.DEFAULT_BACKEND_GAINS` — note that
+    attaching it to a profile changes the profile's fingerprint.
+    """
+    from repro.kernels import get_backend, resolve_backend
+    from repro.operators import shared_operator
+
+    name = resolve_backend(backend)
+    if name == "numpy":
+        return None
+    accel = get_backend(name)
+    if not accel.available():
+        return None
+    accel.warmup()
+    reference = get_backend("numpy")
+    rng = np.random.default_rng(1234)
+    ratios: dict[str, list[float]] = {
+        "relax": [], "residual": [], "restrict": [], "interpolate": []
+    }
+    for level in levels:
+        n = size_of_level(level)
+        op = shared_operator("poisson", n)
+        if not accel.supports(op):
+            continue
+        bound = accel.bind(op)
+        if bound is None:
+            continue
+        ref = reference.bind(op)
+        u = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        scratch = np.zeros_like(u)
+        coarse = rng.standard_normal(((n - 1) // 2 + 1,) * 2)
+        probes = {
+            "relax": lambda k: k.sor_sweeps(u, b, 1.15, 1),
+            "residual": lambda k: k.residual(u, b, out=scratch),
+            "restrict": lambda k: k.restrict(u),
+            "interpolate": lambda k: k.interpolate_correction(u, coarse),
+        }
+        for op_name, probe in probes.items():
+            t_ref = median_time(lambda: probe(ref), repeats)
+            t_acc = median_time(lambda: probe(bound), repeats)
+            if t_ref > 0.0 and t_acc > 0.0:
+                ratios[op_name].append(t_ref / t_acc)
+    gains = {
+        op_name: max(float(np.median(r)), 1.0)
+        for op_name, r in ratios.items()
+        if r
+    }
+    if not gains:
+        return None
+    return BackendCostModel(gains=gains, op_overhead_scale=2.0)
 
 
 def calibrate_host_profile(

@@ -17,7 +17,16 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterator
 
-__all__ = ["NULL_METER", "OpMeter", "OPS", "OPS_2D", "dim_op"]
+__all__ = [
+    "ACCELERABLE_OPS",
+    "NULL_METER",
+    "OpMeter",
+    "OPS",
+    "OPS_2D",
+    "backend_op",
+    "base_op",
+    "dim_op",
+]
 
 #: Primitive operations on 2-D grids.  ``n`` is always the fine-grid
 #: side length the op touches.
@@ -41,6 +50,12 @@ OPS_3D = tuple(f"{op}3d" for op in OPS_2D)
 OPS = OPS_2D + OPS_3D
 
 
+#: Stencil ops a non-default kernel backend can accelerate.  Direct
+#: solves, norms, and copies always run the reference implementation, so
+#: they are never backend-qualified.
+ACCELERABLE_OPS = ("relax", "residual", "restrict", "interpolate")
+
+
 def dim_op(op: str, ndim: int) -> str:
     """The meter op name for a base op at a grid dimensionality.
 
@@ -54,6 +69,38 @@ def dim_op(op: str, ndim: int) -> str:
     raise ValueError(f"no op vocabulary for ndim={ndim}")
 
 
+def base_op(op: str) -> str:
+    """Strip a backend qualifier: ``"relax@cnative"`` -> ``"relax"``."""
+    base, _, _ = op.partition("@")
+    return base
+
+
+def backend_op(op: str, backend: str) -> str:
+    """Qualify a meter op with the kernel backend executing it.
+
+    The default ``numpy`` backend keeps the historical bare names (stored
+    meters and plan prices stay byte-identical), as do ops no backend
+    accelerates; everything else gains an ``@backend`` suffix so the cost
+    model can price the accelerated kernel.
+    """
+    if not backend or backend == "numpy":
+        return op
+    family = op[:-2] if op.endswith("3d") else op
+    if family not in ACCELERABLE_OPS:
+        return op
+    return f"{op}@{backend}"
+
+
+def _validate_op(op: str) -> None:
+    if op in OPS:
+        return
+    base, sep, backend = op.partition("@")
+    family = base[:-2] if base.endswith("3d") else base
+    if sep and backend and base in OPS and family in ACCELERABLE_OPS:
+        return
+    raise ValueError(f"unknown op {op!r}; known: {OPS} (optionally '@backend')")
+
+
 class OpMeter:
     """Multiset of (op, n) events with merge and pricing hooks."""
 
@@ -63,9 +110,12 @@ class OpMeter:
         self.counts: Counter[tuple[str, int]] = Counter()
 
     def charge(self, op: str, n: int, times: int = 1) -> None:
-        """Record ``times`` occurrences of ``op`` at grid size ``n``."""
-        if op not in OPS:
-            raise ValueError(f"unknown op {op!r}; known: {OPS}")
+        """Record ``times`` occurrences of ``op`` at grid size ``n``.
+
+        ``op`` is either a bare primitive or a backend-qualified stencil
+        op like ``"relax@cnative"`` (see :func:`backend_op`).
+        """
+        _validate_op(op)
         if times:
             self.counts[(op, n)] += times
 
@@ -84,8 +134,10 @@ class OpMeter:
         return out
 
     def total(self, op: str) -> int:
-        """Total count of ``op`` across all sizes."""
-        return sum(cnt for (name, _), cnt in self.counts.items() if name == op)
+        """Total count of ``op`` across all sizes (any backend qualifier)."""
+        return sum(
+            cnt for (name, _), cnt in self.counts.items() if base_op(name) == op
+        )
 
     def items(self) -> Iterator[tuple[tuple[str, int], int]]:
         return iter(self.counts.items())
@@ -107,8 +159,7 @@ class _NullMeter(OpMeter):
     """Meter that discards charges; the default when callers don't care."""
 
     def charge(self, op: str, n: int, times: int = 1) -> None:  # noqa: D102
-        if op not in OPS:
-            raise ValueError(f"unknown op {op!r}; known: {OPS}")
+        _validate_op(op)
 
     def merge(self, other: OpMeter, times: int = 1) -> None:  # noqa: D102
         pass

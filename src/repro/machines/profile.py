@@ -29,7 +29,13 @@ from dataclasses import dataclass, field, replace
 
 from repro.machines.meter import OpMeter
 
-__all__ = ["MachineProfile", "OP_SHAPES", "OpShape"]
+__all__ = [
+    "BackendCostModel",
+    "DEFAULT_BACKEND_GAINS",
+    "MachineProfile",
+    "OP_SHAPES",
+    "OpShape",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,53 @@ OP_SHAPES_3D: dict[str, OpShape] = {
 
 
 @dataclass(frozen=True)
+class BackendCostModel:
+    """How an accelerated kernel backend re-prices the stencil ops.
+
+    ``gains`` maps an op family (``relax``/``residual``/``restrict``/
+    ``interpolate``; 2-D and 3-D share a family) to the speedup over the
+    NumPy reference on the roofline term; ``op_overhead_scale`` scales the
+    fixed per-op dispatch cost — accelerated backends pay *more* dispatch
+    (ctypes / JIT boundary crossing), which is exactly why tuned plans mix
+    backends: tiny coarse grids stay on NumPy while fine grids accelerate.
+    """
+
+    gains: dict[str, float] = field(default_factory=dict)
+    op_overhead_scale: float = 1.0
+
+    def gain_for(self, op_family: str) -> float:
+        return float(self.gains.get(op_family, 1.0))
+
+    def to_dict(self) -> dict:
+        return {
+            "gains": {op: float(g) for op, g in sorted(self.gains.items())},
+            "op_overhead_scale": self.op_overhead_scale,
+        }
+
+
+#: Fallback per-backend cost models, used when a profile carries no
+#: calibrated ``backend_costs`` entry for a backend.  Numbers come from
+#: microbenchmarks of the scalar C kernels vs the vectorized NumPy loops
+#: (see ``benchmarks/bench_kernels.py``); they only need the right *shape*
+#: — accelerated work is several times cheaper, dispatch is costlier — for
+#: the DP to place backends sensibly per level.
+DEFAULT_BACKEND_GAINS: dict[str, BackendCostModel] = {
+    "cnative": BackendCostModel(
+        gains={"relax": 6.0, "residual": 5.0, "restrict": 5.0, "interpolate": 4.0},
+        op_overhead_scale=2.5,
+    ),
+    "numba": BackendCostModel(
+        gains={"relax": 7.0, "residual": 5.5, "restrict": 4.5, "interpolate": 3.5},
+        op_overhead_scale=3.0,
+    ),
+}
+
+
+#: Identity model: no gain, no extra overhead (numpy / unknown backends).
+_IDENTITY_BACKEND = BackendCostModel()
+
+
+@dataclass(frozen=True)
 class MachineProfile:
     """Cost parameters of one target machine."""
 
@@ -111,6 +164,9 @@ class MachineProfile:
     direct_includes_memory: bool = True
     description: str = ""
     op_shapes: dict[str, OpShape] = field(default_factory=lambda: dict(OP_SHAPES))
+    #: calibrated per-backend cost models; empty means "use
+    #: :data:`DEFAULT_BACKEND_GAINS`" and keeps the fingerprint unchanged
+    backend_costs: dict[str, BackendCostModel] = field(default_factory=dict)
 
     def with_threads(self, threads: int) -> "MachineProfile":
         """A copy of this profile restricted to ``threads`` worker threads."""
@@ -127,7 +183,7 @@ class MachineProfile:
         profiles with identical cost landscapes serialize identically; the
         persistent tuning store keys plans by this content, not by label.
         """
-        return {
+        payload = {
             "cores": self.cores,
             "flop_rate": self.flop_rate,
             "mem_bw": self.mem_bw,
@@ -145,6 +201,14 @@ class MachineProfile:
                 for op, s in sorted(self.op_shapes.items())
             },
         }
+        # Only serialized when calibrated: default-gain profiles keep the
+        # exact pre-backend fingerprint, so every stored plan stays valid.
+        if self.backend_costs:
+            payload["backend_costs"] = {
+                name: model.to_dict()
+                for name, model in sorted(self.backend_costs.items())
+            }
+        return payload
 
     def fingerprint(self) -> str:
         """Stable content hash of the cost model (machine identity).
@@ -246,8 +310,46 @@ class MachineProfile:
             t += factor_bytes / self._mem_rate(factor_bytes, 1)
         return t + self.op_overhead + self.direct_overhead
 
+    def backend_model(self, backend: str) -> BackendCostModel:
+        """The cost model for an accelerated backend (calibrated or default).
+
+        Unknown backends (and ``numpy`` itself) price as the identity model,
+        so a plan qualified for a backend this profile knows nothing about
+        degrades to reference pricing rather than failing.
+        """
+        if backend in self.backend_costs:
+            return self.backend_costs[backend]
+        return DEFAULT_BACKEND_GAINS.get(backend, _IDENTITY_BACKEND)
+
+    def _backend_op_time(
+        self, base: str, backend: str, n: int, threads: int | None
+    ) -> float:
+        """Price ``base`` executed by an accelerated kernel backend.
+
+        The roofline/barrier term shrinks by the backend's measured gain;
+        the fixed dispatch overhead *grows* by its overhead scale.  At tiny
+        grid sizes the overhead term dominates and the accelerated op
+        prices above the reference one — the DP then keeps coarse levels
+        on NumPy, which matches what wall-clock measurement shows.
+        """
+        model = self.backend_model(backend)
+        family = base[:-2] if base.endswith("3d") else base
+        reference = self.op_time(base, n, threads)
+        work = max(reference - self.op_overhead, 0.0)
+        return (
+            work / model.gain_for(family)
+            + self.op_overhead * model.op_overhead_scale
+        )
+
     def op_time(self, op: str, n: int, threads: int | None = None) -> float:
-        """Time of one occurrence of ``op`` at size ``n``."""
+        """Time of one occurrence of ``op`` at size ``n``.
+
+        ``op`` may carry a kernel-backend qualifier (``"relax@cnative"``);
+        see :meth:`_backend_op_time`.
+        """
+        if "@" in op:
+            base, _, backend = op.partition("@")
+            return self._backend_op_time(base, backend, n, threads)
         if op == "direct":
             return self.direct_time(n, threads, cached=False)
         if op == "direct_solve":

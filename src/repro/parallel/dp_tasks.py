@@ -71,6 +71,10 @@ class VCandidateTask:
     sub_accuracy: int | None
     #: canonical operator spec string (pure data, so tasks stay picklable)
     operator: str = "poisson"
+    #: kernel-backend tuning dimension; always a resolved name (the
+    #: parent resolves "auto" before building tasks), so workers place
+    #: per-level backends identically whatever is installed there
+    backend: str = "numpy"
 
 
 @dataclass(frozen=True)
@@ -136,6 +140,7 @@ def _v_tuner_for(task: VCandidateTask) -> VCycleTuner:
         task.aggregate,
         task.max_sor_iters,
         task.max_recurse_iters,
+        task.backend,
     )
     tuner = _V_TUNERS.get(key)
     if tuner is None:
@@ -153,6 +158,7 @@ def _v_tuner_for(task: VCandidateTask) -> VCycleTuner:
             max_recurse_iters=task.max_recurse_iters,
             aggregate=task.aggregate,  # type: ignore[arg-type]
             keep_audit=False,
+            backend=task.backend,
         )
         _cache_put(_V_TUNERS, key, tuner)
     return tuner
@@ -307,6 +313,7 @@ def tune_v_level_parallel(
                     kind=kind,
                     sub_accuracy=j,
                     operator=tuner.training.operator_name,
+                    backend=tuner.backend,
                 )
             )
             slots.append(i)

@@ -41,7 +41,9 @@ class ServeKey:
     ``ndim`` defaults to the operator family's dimensionality; passing
     it explicitly must agree (a 3-D workload class can never collide
     with a 2-D one — the operator name alone already separates them,
-    the field makes the identity self-describing).
+    the field makes the identity self-describing).  ``backend`` is the
+    kernel backend plans for this class are tuned against; the default
+    keeps pre-backend keys (and their labels) unchanged.
     """
 
     fingerprint: str
@@ -49,6 +51,7 @@ class ServeKey:
     level: int
     distribution: str
     ndim: int | None = None
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         spec = parse_operator(self.operator)
@@ -63,9 +66,10 @@ class ServeKey:
 
     def label(self) -> str:
         """Compact human-readable form (telemetry event key)."""
-        return (
-            f"{self.fingerprint}/{self.operator}/L{self.level}/{self.distribution}"
-        )
+        base = f"{self.fingerprint}/{self.operator}/L{self.level}/{self.distribution}"
+        if self.backend != "numpy":
+            base += f"@{self.backend}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -113,13 +117,19 @@ class PlanCache:
         instances: int = 3,
         allow_nearest: bool = True,
         telemetry: Telemetry | None = None,
+        backend: str = "numpy",
     ) -> None:
+        from repro.kernels import resolve_backend
+
         self.registry = registry
         self.kind = kind
         self.accuracies = tuple(accuracies)
         self.seed = seed
         self.instances = instances
         self.allow_nearest = allow_nearest
+        # Resolved once at construction ("auto" -> whatever this host
+        # can actually run), so every key this cache mints is concrete.
+        self.backend = resolve_backend(backend)
         self.telemetry = telemetry or Telemetry()
         self._lock = threading.Lock()
         self._entries: dict[ServeKey, CacheEntry] = {}
@@ -143,6 +153,7 @@ class PlanCache:
             operator=parse_operator(operator).canonical(),
             level=level,
             distribution=distribution,
+            backend=self.backend,
         )
 
     def tune_key(self, key: ServeKey) -> "TuneKey":
@@ -157,6 +168,7 @@ class PlanCache:
             seed=self.seed,
             instances=self.instances,
             operator=key.operator,
+            backend=key.backend,
         )
 
     # -- lookups ----------------------------------------------------------

@@ -129,6 +129,7 @@ class SolveServer:
         scheduler: Any | None = None,
         telemetry: Telemetry | None = None,
         clock: Clock | None = None,
+        backend: str = "numpy",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, not {workers}")
@@ -146,6 +147,7 @@ class SolveServer:
             instances=instances,
             allow_nearest=allow_nearest,
             telemetry=self.telemetry,
+            backend=backend,
         )
         self.batch_size = batch_size
         self.tune_jobs = tune_jobs

@@ -42,6 +42,11 @@ class CampaignSpec:
     accuracies: tuple[float, ...] = DEFAULT_ACCURACIES
     seed: int | None = 0
     instances: int = 2
+    #: kernel backend every cell's tune prices against (spec-level, not a
+    #: grid axis).  Kept verbatim — ``"auto"`` stays ``"auto"`` in the
+    #: stored spec so each fleet worker resolves it against its *own*
+    #: backend availability when it builds the cell's TuneKey.
+    backend: str = "numpy"
     #: campaigns pre-warm the registry per machine, so by default a cell
     #: is only satisfied by that machine's own plan (no nearest fallback)
     allow_nearest: bool = False
@@ -66,6 +71,7 @@ class CampaignSpec:
             seed=self.seed,
             instances=self.instances,
             operator=operator,
+            backend=self.backend,
         )
 
     # -- persistence (fleet workers rebuild specs from the store) ---------
@@ -83,6 +89,7 @@ class CampaignSpec:
             "accuracies": list(self.accuracies),
             "seed": self.seed,
             "instances": self.instances,
+            "backend": self.backend,
             "allow_nearest": self.allow_nearest,
         }
 
@@ -98,6 +105,7 @@ class CampaignSpec:
             accuracies=tuple(float(a) for a in data["accuracies"]),
             seed=data["seed"],
             instances=int(data["instances"]),
+            backend=str(data.get("backend", "numpy")),
             allow_nearest=bool(data.get("allow_nearest", False)),
         )
 
@@ -233,8 +241,9 @@ class Campaign:
                 conn.execute(
                     """
                     INSERT OR IGNORE INTO campaign_cells
-                        (campaign, machine, distribution, operator, ndim, max_level)
-                    VALUES (?, ?, ?, ?, ?, ?)
+                        (campaign, machine, distribution, operator, ndim,
+                         backend, max_level)
+                    VALUES (?, ?, ?, ?, ?, ?, ?)
                     """,
                     (
                         self.spec.name,
@@ -242,6 +251,7 @@ class Campaign:
                         dist,
                         operator,
                         parse_operator(operator).ndim,
+                        self.spec.backend,
                         level,
                     ),
                 )

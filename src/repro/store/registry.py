@@ -86,7 +86,11 @@ class TuneKey:
     spellings produce the same storage key.  ``ndim`` is the grid
     dimensionality; ``None`` derives it from the operator's family, and
     an explicit value must match it (3-D plans can never shadow 2-D
-    ones, or vice versa).
+    ones, or vice versa).  ``backend`` is the kernel backend the tune
+    prices against; ``"auto"`` resolves to the best backend available on
+    this host at construction (so the stored key always names a concrete
+    backend), and the default ``'numpy'`` is what every pre-backend plan
+    implicitly meant.
     """
 
     kind: str = "multigrid-v"
@@ -97,10 +101,12 @@ class TuneKey:
     instances: int = 3
     operator: str = "poisson"
     ndim: int | None = None
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.kind not in PLAN_KINDS:
             raise ValueError(f"kind must be one of {PLAN_KINDS}, not {self.kind!r}")
+        from repro.kernels import resolve_backend
         from repro.operators.spec import parse_operator
 
         spec = parse_operator(self.operator)
@@ -112,6 +118,7 @@ class TuneKey:
                 f"ndim={self.ndim} does not match operator "
                 f"{spec.canonical()!r} (a {spec.ndim}-D family)"
             )
+        object.__setattr__(self, "backend", resolve_backend(self.backend))
 
     def storage_key(self, fingerprint: str) -> str:
         return "|".join(
@@ -125,6 +132,7 @@ class TuneKey:
                 str(self.instances),
                 self.operator,
                 str(self.ndim),
+                self.backend,
             ]
         )
 
@@ -251,13 +259,15 @@ class PlanRegistry:
                 """
                 SELECT * FROM plans
                 WHERE kind = ? AND distribution = ? AND operator = ? AND ndim = ?
-                  AND max_level = ? AND accuracies = ? AND seed = ? AND instances = ?
+                  AND backend = ? AND max_level = ? AND accuracies = ? AND seed = ?
+                  AND instances = ?
                 """,
                 (
                     key.kind,
                     key.distribution,
                     key.operator,
                     key.ndim,
+                    key.backend,
                     key.max_level,
                     canonical_accuracies(key.accuracies),
                     canonical_seed(key.seed),
@@ -318,9 +328,10 @@ class PlanRegistry:
             conn.execute(
                 """
                 INSERT INTO plans (plan_key, kind, distribution, operator, ndim,
-                                   max_level, accuracies, machine_fingerprint, seed,
-                                   instances, machine_name, profile_json, plan_json)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                                   backend, max_level, accuracies,
+                                   machine_fingerprint, seed, instances,
+                                   machine_name, profile_json, plan_json)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 ON CONFLICT (plan_key) DO UPDATE SET
                     plan_json = excluded.plan_json,
                     profile_json = excluded.profile_json,
@@ -332,6 +343,7 @@ class PlanRegistry:
                     key.distribution,
                     key.operator,
                     key.ndim,
+                    key.backend,
                     key.max_level,
                     canonical_accuracies(key.accuracies),
                     fingerprint,
@@ -418,6 +430,7 @@ class PlanRegistry:
                     distribution=key.distribution,
                     operator=key.operator,
                     ndim=key.ndim,
+                    backend=key.backend,
                     max_level=key.max_level,
                     accuracies=tuple(key.accuracies),
                     machine_fingerprint=profile.fingerprint(),
@@ -467,8 +480,8 @@ class PlanRegistry:
         is normalized to the canonical form rows are stored under.
         """
         query = """
-            SELECT kind, distribution, operator, ndim, max_level, machine_name,
-                   machine_fingerprint, seed, instances, hits,
+            SELECT kind, distribution, operator, ndim, backend, max_level,
+                   machine_name, machine_fingerprint, seed, instances, hits,
                    created_at, last_used_at
             FROM plans
             """
@@ -521,6 +534,7 @@ def _default_tuner(
             timing=CostModelTiming(profile),
             keep_audit=False,
             trial_executor=executor,
+            backend=key.backend,
         ).tune()
         if key.kind == "multigrid-v":
             return vplan

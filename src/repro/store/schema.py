@@ -36,6 +36,12 @@ a crash mid-migration rolls back to the previous clean revision):
   spec a fleet worker needs to rebuild tuning keys from bare cell rows)
   and ``fleet_workers`` (heartbeats + per-worker counters) — are created
   by the base schema, so the migration itself is purely additive.
+* v4 -> v5: the ``backend`` keyfield (pluggable kernel backends).
+  Existing rows are stamped with the implicit pre-backend default
+  ``'numpy'`` and plan keys gain the ``|numpy`` suffix, so every stored
+  plan keeps resolving; plans tuned against an accelerated backend land
+  under their own keys.  (Like ``ndim``, the campaign primary key is
+  unchanged — ``backend`` is a spec-level column, not a grid axis.)
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ import sqlite3
 
 __all__ = ["SCHEMA_VERSION", "ensure_schema"]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -54,6 +60,7 @@ CREATE TABLE IF NOT EXISTS trials (
     distribution        TEXT    NOT NULL,
     operator            TEXT    NOT NULL DEFAULT 'poisson',
     ndim                INTEGER NOT NULL DEFAULT 2,
+    backend             TEXT    NOT NULL DEFAULT 'numpy',
     max_level           INTEGER NOT NULL,
     accuracies          TEXT    NOT NULL,
     machine_fingerprint TEXT    NOT NULL,
@@ -68,9 +75,9 @@ CREATE TABLE IF NOT EXISTS trials (
     provenance          TEXT,
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
 );
-CREATE INDEX IF NOT EXISTS idx_trials_key_v3
-    ON trials (kind, distribution, operator, ndim, max_level, accuracies,
-               machine_fingerprint, seed, instances);
+CREATE INDEX IF NOT EXISTS idx_trials_key_v5
+    ON trials (kind, distribution, operator, ndim, backend, max_level,
+               accuracies, machine_fingerprint, seed, instances);
 
 CREATE TABLE IF NOT EXISTS plans (
     id                  INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -79,6 +86,7 @@ CREATE TABLE IF NOT EXISTS plans (
     distribution        TEXT    NOT NULL,
     operator            TEXT    NOT NULL DEFAULT 'poisson',
     ndim                INTEGER NOT NULL DEFAULT 2,
+    backend             TEXT    NOT NULL DEFAULT 'numpy',
     max_level           INTEGER NOT NULL,
     accuracies          TEXT    NOT NULL,
     machine_fingerprint TEXT    NOT NULL,
@@ -91,9 +99,9 @@ CREATE TABLE IF NOT EXISTS plans (
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
     last_used_at        TEXT
 );
-CREATE INDEX IF NOT EXISTS idx_plans_family_v3
-    ON plans (kind, distribution, operator, ndim, max_level, accuracies,
-              seed, instances);
+CREATE INDEX IF NOT EXISTS idx_plans_family_v5
+    ON plans (kind, distribution, operator, ndim, backend, max_level,
+              accuracies, seed, instances);
 
 CREATE TABLE IF NOT EXISTS campaign_cells (
     campaign            TEXT    NOT NULL,
@@ -101,6 +109,7 @@ CREATE TABLE IF NOT EXISTS campaign_cells (
     distribution        TEXT    NOT NULL,
     operator            TEXT    NOT NULL DEFAULT 'poisson',
     ndim                INTEGER NOT NULL DEFAULT 2,
+    backend             TEXT    NOT NULL DEFAULT 'numpy',
     max_level           INTEGER NOT NULL,
     status              TEXT    NOT NULL DEFAULT 'pending',
     source              TEXT,
@@ -204,10 +213,28 @@ _MIGRATE_V3_V4 = (
     "ALTER TABLE campaign_cells ADD COLUMN worker_id TEXT",
 )
 
+#: v4 -> v5: add the backend keyfield everywhere, defaulting existing
+#: rows to the implicit pre-backend ``'numpy'``, and suffix plan keys to
+#: the backend-qualified form.  (Like ``ndim``, the campaign primary key
+#: is unchanged — ``backend`` is a spec-level column, not a grid axis.)
+_MIGRATE_V4_V5 = (
+    "ALTER TABLE trials ADD COLUMN backend TEXT NOT NULL DEFAULT 'numpy'",
+    "DROP INDEX IF EXISTS idx_trials_key_v3",
+    "ALTER TABLE plans ADD COLUMN backend TEXT NOT NULL DEFAULT 'numpy'",
+    "DROP INDEX IF EXISTS idx_plans_family_v3",
+    "UPDATE plans SET plan_key = plan_key || '|numpy'",
+    "ALTER TABLE campaign_cells ADD COLUMN backend TEXT NOT NULL DEFAULT 'numpy'",
+)
+
 #: ``from_version -> module attribute naming its statements``, applied
 #: one revision at a time.  Resolved through ``globals()`` at run time so
 #: tests can monkeypatch an individual migration's statement list.
-_MIGRATIONS = {1: "_MIGRATE_V1_V2", 2: "_MIGRATE_V2_V3", 3: "_MIGRATE_V3_V4"}
+_MIGRATIONS = {
+    1: "_MIGRATE_V1_V2",
+    2: "_MIGRATE_V2_V3",
+    3: "_MIGRATE_V3_V4",
+    4: "_MIGRATE_V4_V5",
+}
 
 
 def _migrate_step(conn: sqlite3.Connection, from_version: int) -> None:

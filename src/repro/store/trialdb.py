@@ -33,6 +33,7 @@ KEYFIELDS = (
     "distribution",
     "operator",
     "ndim",
+    "backend",
     "max_level",
     "accuracies",
     "machine_fingerprint",
@@ -74,6 +75,8 @@ class TrialRecord:
     operator: str = "poisson"
     #: grid dimensionality (2-D is the pre-3-D implicit default)
     ndim: int = 2
+    #: kernel backend the tune priced ('numpy' is the pre-backend default)
+    backend: str = "numpy"
     machine_name: str | None = None
     cycle_shape: str | None = None
     simulated_cost: float | None = None
@@ -92,6 +95,7 @@ class TrialRecord:
             self.distribution,
             self.operator,
             self.ndim,
+            self.backend,
             self.max_level,
             canonical_accuracies(self.accuracies),
             self.machine_fingerprint,
@@ -184,11 +188,12 @@ class TrialDB:
         def insert(conn: sqlite3.Connection) -> int:
             cur = conn.execute(
                 """
-                INSERT INTO trials (kind, distribution, operator, ndim, max_level,
-                                    accuracies, machine_fingerprint, seed, instances,
-                                    machine_name, cycle_shape, simulated_cost,
-                                    wall_seconds, provenance, plan_json)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                INSERT INTO trials (kind, distribution, operator, ndim, backend,
+                                    max_level, accuracies, machine_fingerprint,
+                                    seed, instances, machine_name, cycle_shape,
+                                    simulated_cost, wall_seconds, provenance,
+                                    plan_json)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 record.key()
                 + (
@@ -213,6 +218,7 @@ class TrialDB:
         max_level: int | None = None,
         operator: str | None = None,
         ndim: int | None = None,
+        backend: str | None = None,
     ) -> list[TrialRecord]:
         """Trial records matching the given keyfield filters, oldest first.
 
@@ -230,6 +236,7 @@ class TrialDB:
             max_level=max_level,
             operator=operator,
             ndim=ndim,
+            backend=backend,
         )
         with self.lock:
             rows = self.conn.execute(
@@ -316,6 +323,7 @@ def _record_from_row(row: sqlite3.Row) -> TrialRecord:
         ndim=int(row["ndim"]),
         max_level=int(row["max_level"]),
         accuracies=tuple(json.loads(row["accuracies"])),
+        backend=row["backend"],
         machine_fingerprint=row["machine_fingerprint"],
         seed=json.loads(row["seed"]),
         instances=int(row["instances"]),

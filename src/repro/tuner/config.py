@@ -48,8 +48,9 @@ def _clean_metadata(metadata: dict) -> dict:
 def plan_to_dict(plan: TunedVPlan | TunedFullMGPlan) -> dict[str, Any]:
     """JSON-ready dict form of a tuned plan.
 
-    ``ndim`` is serialized only when non-default (3-D), so 2-D plan JSON
-    — including every pre-``ndim`` stored artifact — stays byte-identical.
+    ``ndim`` is serialized only when non-default (3-D), and the per-level
+    kernel ``backends`` map only when non-empty, so default-path plan JSON
+    — including every previously stored artifact — stays byte-identical.
     """
     if isinstance(plan, TunedFullMGPlan):
         out: dict[str, Any] = {
@@ -75,6 +76,10 @@ def plan_to_dict(plan: TunedVPlan | TunedFullMGPlan) -> dict[str, Any]:
         }
         if plan.ndim != 2:
             out["ndim"] = plan.ndim
+        if plan.backends:
+            out["backends"] = {
+                str(level): name for level, name in sorted(plan.backends.items())
+            }
         return out
     raise TypeError(f"not a tuned plan: {plan!r}")
 
@@ -96,6 +101,10 @@ def plan_from_dict(data: dict[str, Any]) -> TunedVPlan | TunedFullMGPlan:
             table=table,
             metadata=metadata,
             ndim=ndim,
+            backends={
+                int(level): str(name)
+                for level, name in data.get("backends", {}).items()
+            },
         )
     if kind == "full-multigrid":
         vplan = plan_from_dict(data["vplan"])

@@ -30,7 +30,7 @@ from repro.accuracy.estimator import (
     iterations_to_accuracy,
 )
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter, dim_op
+from repro.machines.meter import NULL_METER, OpMeter, backend_op, dim_op
 from repro.tuner.choices import Choice, DirectChoice, RecurseChoice, SORChoice
 from repro.tuner.executor import PlanExecutor
 from repro.tuner.plan import DEFAULT_ACCURACIES, TunedVPlan, recurse_wrapper_meter
@@ -44,6 +44,7 @@ __all__ = [
     "CandidateReport",
     "VCycleTuner",
     "operator_sor_step",
+    "plan_level_backends",
     "tuning_metadata",
 ]
 
@@ -72,6 +73,64 @@ def tuning_metadata(kind: str, training: TrainingData, timing, aggregate) -> dic
     if profile is not None:
         metadata["profile"] = profile.name
     return metadata
+
+
+def level_backend(
+    backend: str,
+    level: int,
+    ndim: int,
+    operator,
+    timing: TimingStrategy | None,
+) -> str:
+    """The kernel backend placed at one plan level.
+
+    Pure function of its arguments, so the serial DP and the parallel
+    worker pool (which rebuilds tuners from task data) place backends
+    identically.  A level gets the accelerated backend when pricing the
+    RECURSE wrapper ops there is no more expensive than the reference —
+    with :class:`CostModelTiming` that naturally keeps tiny coarse grids
+    on NumPy (dispatch overhead dominates) while fine grids accelerate;
+    without a cost model (wall-clock tuning) every supported level
+    accelerates.  Backends never change numerics, so this is purely a
+    pricing decision — iteration training is backend-independent.
+    """
+    if backend in ("", "numpy") or level < 2:
+        return "numpy"
+    from repro.kernels import get_backend
+    from repro.operators.spec import shared_operator
+
+    probe = shared_operator(operator, size_of_level(2))
+    if not get_backend(backend).supports(probe):
+        return "numpy"
+    if timing is None:
+        return backend
+    n = size_of_level(level)
+    reference = _wrapper_price(timing, n, ndim, "numpy")
+    accelerated = _wrapper_price(timing, n, ndim, backend)
+    return backend if accelerated <= reference else "numpy"
+
+
+def plan_level_backends(
+    backend: str,
+    max_level: int,
+    ndim: int,
+    operator,
+    timing: TimingStrategy | None,
+) -> dict[int, str]:
+    """Per-level backend placement for a whole plan (non-numpy levels only)."""
+    levels: dict[int, str] = {}
+    for level in range(2, max_level + 1):
+        placed = level_backend(backend, level, ndim, operator, timing)
+        if placed != "numpy":
+            levels[level] = placed
+    return levels
+
+
+def _wrapper_price(timing: TimingStrategy, n: int, ndim: int, backend: str) -> float:
+    meter = recurse_wrapper_meter(n, ndim, backend)
+    return sum(
+        count * timing.op_seconds(op, size) for (op, size), count in meter.items()
+    )
 
 
 def operator_sor_step(training: TrainingData, n: int):
@@ -116,14 +175,23 @@ class CandidateOutcome:
 class _TableView:
     """Duck-typed plan over a partially built table, for the executor."""
 
-    __slots__ = ("table", "max_level")
+    __slots__ = ("table", "max_level", "backends")
 
-    def __init__(self, table: dict[tuple[int, int], Choice], max_level: int) -> None:
+    def __init__(
+        self,
+        table: dict[tuple[int, int], Choice],
+        max_level: int,
+        backends: dict[int, str] | None = None,
+    ) -> None:
         self.table = table
         self.max_level = max_level
+        self.backends = backends or {}
 
     def choice(self, level: int, acc_index: int) -> Choice:
         return self.table[(level, acc_index)]
+
+    def backend_at(self, level: int) -> str:
+        return self.backends.get(level, "numpy")
 
 
 @dataclass
@@ -159,6 +227,10 @@ class VCycleTuner:
     #: the tuner layer does not import :mod:`repro.parallel` at module
     #: scope)
     trial_executor: Any | None = None
+    #: kernel backend tuning dimension: ``"numpy"`` (default, bare-op
+    #: pricing and byte-identical plans), an accelerated backend name, or
+    #: ``"auto"`` (resolved to the best backend available on this host)
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.max_level < 1:
@@ -171,6 +243,33 @@ class VCycleTuner:
         self._executor = PlanExecutor(direct=self.direct, operator=self.training.operator)
         #: grid dimensionality of the training operator (op vocabulary)
         self._ndim = self.training.ndim
+        from repro.kernels import resolve_backend
+
+        self.backend = resolve_backend(self.backend)
+        # Lazy per-level backend placement (worker pools reuse one tuner
+        # across levels beyond its construction-time max_level).
+        self._level_backends: dict[int, str] = {}
+
+    def _backend_at(self, level: int) -> str:
+        cached = self._level_backends.get(level)
+        if cached is None:
+            # Pricing-driven placement needs a cost model; wall-clock
+            # tuning accelerates every supported level (cannot price
+            # dispatch).
+            pricing = self.timing if isinstance(self.timing, CostModelTiming) else None
+            cached = level_backend(
+                self.backend, level, self._ndim, self.training.operator, pricing
+            )
+            self._level_backends[level] = cached
+        return cached
+
+    def _backends_through(self, level: int) -> dict[int, str]:
+        """Backend placement for levels 2..level (non-numpy entries)."""
+        return {
+            lv: self._backend_at(lv)
+            for lv in range(2, level + 1)
+            if self._backend_at(lv) != "numpy"
+        }
 
     # -- public API ---------------------------------------------------------
 
@@ -185,6 +284,8 @@ class VCycleTuner:
         for level in range(2, self.max_level + 1):
             self._tune_level(level, table, audit)
         metadata = tuning_metadata("multigrid-v", self.training, self.timing, self.aggregate)
+        if self.backend != "numpy":
+            metadata["backend"] = self.backend
         if self.keep_audit:
             metadata["audit"] = audit
         plan = TunedVPlan(
@@ -193,6 +294,7 @@ class VCycleTuner:
             table=table,
             metadata=metadata,
             ndim=self._ndim,
+            backends=self._backends_through(self.max_level),
         )
         if self.sink is not None:
             from repro.store.sink import emit_tuning_trial
@@ -223,7 +325,7 @@ class VCycleTuner:
             return
         n = size_of_level(level)
         bundle = self.training.at_level(level)
-        view = _TableView(table, level)
+        view = _TableView(table, level, self._backends_through(level))
         m = len(self.accuracies)
         sub_meters = [self._meter_below(table, level, j) for j in range(m)]
         for i, target in enumerate(self.accuracies):
@@ -254,12 +356,15 @@ class VCycleTuner:
         meter = OpMeter()
         choice = table[(level - 1, acc_index)]
         n = size_of_level(level - 1)
+        backend = self._backend_at(level - 1)
         if isinstance(choice, DirectChoice):
             meter.charge(dim_op("direct", self._ndim), n)
         elif isinstance(choice, SORChoice):
-            meter.charge(dim_op("relax", self._ndim), n, choice.iterations)
+            meter.charge(
+                backend_op(dim_op("relax", self._ndim), backend), n, choice.iterations
+            )
         elif isinstance(choice, RecurseChoice):
-            wrapper = recurse_wrapper_meter(n, self._ndim)
+            wrapper = recurse_wrapper_meter(n, self._ndim, backend)
             wrapper.merge(self._meter_below(table, level - 1, choice.sub_accuracy))
             meter.merge(wrapper, times=choice.iterations)
         return meter
@@ -354,7 +459,7 @@ class VCycleTuner:
             if not self._allowed(level, acc_index, probe):
                 return None
             unit = OpMeter()
-            unit.merge(recurse_wrapper_meter(n, self._ndim))
+            unit.merge(recurse_wrapper_meter(n, self._ndim, self._backend_at(level)))
             unit.merge(sub_meters[j])
             unit_cost = self._price_unit(unit)
             cap = self._budget_cap(unit_cost, best_time, self.max_recurse_iters)
@@ -386,7 +491,8 @@ class VCycleTuner:
             probe_sor = SORChoice(iterations=1)
             if not self._allowed(level, acc_index, probe_sor):
                 return None
-            relax_cost = self.timing.op_seconds(dim_op("relax", self._ndim), n)
+            relax_op = backend_op(dim_op("relax", self._ndim), self._backend_at(level))
+            relax_cost = self.timing.op_seconds(relax_op, n)
             cap = self._budget_cap(relax_cost, best_time, self.max_sor_iters)
             if cap < 1:
                 return CandidateOutcome(
@@ -406,7 +512,7 @@ class VCycleTuner:
             iters = max(iters, 1)
             choice = SORChoice(iterations=iters)
             meter = OpMeter()
-            meter.charge(dim_op("relax", self._ndim), n, iters)
+            meter.charge(relax_op, n, iters)
             seconds = self.timing.time_candidate(
                 meter, self._v_run(view, level, choice), bundle.fresh_starts()
             )
@@ -456,7 +562,7 @@ class VCycleTuner:
         executor = self._executor
         table = dict(view.table)
         table[(level, -1)] = choice
-        probe_view = _TableView(table, level)
+        probe_view = _TableView(table, level, view.backends)
 
         def run(x: np.ndarray, b: np.ndarray) -> None:
             executor._run_v(probe_view, x, b, level, -1, NULL_METER, NULL_TRACE)

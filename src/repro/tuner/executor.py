@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.grids.transfer import interpolate_correction, restrict_full_weighting
+from repro.kernels import LevelKernels, get_backend
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter, dim_op
+from repro.machines.meter import NULL_METER, OpMeter, backend_op, dim_op
 from repro.operators.base import StencilOperator
 from repro.operators.spec import OperatorSpec, parse_operator, shared_operator
 from repro.relax.weights import OMEGA_RECURSE
@@ -32,6 +32,12 @@ from repro.tuner.trace import NULL_TRACE, Trace
 from repro.util.validation import level_of_size, size_of_level
 
 __all__ = ["PlanExecutor"]
+
+
+def _plan_backend(plan, level: int) -> str:
+    """The kernel backend a plan (or partial table view) wants at ``level``."""
+    get = getattr(plan, "backend_at", None)
+    return get(level) if get is not None else "numpy"
 
 
 class PlanExecutor:
@@ -55,12 +61,44 @@ class PlanExecutor:
         # execution hot path (every recursion step), so repeated spec
         # normalization / shared-cache lookups would add up.
         self._ops: dict[int, StencilOperator] = {}
+        self._kernels_cache: dict[tuple[int, str], LevelKernels] = {}
 
     def _op(self, level: int) -> StencilOperator:
         op = self._ops.get(level)
         if op is None:
             op = self._ops[level] = shared_operator(self.operator, size_of_level(level))
         return op
+
+    def _kernels(self, level: int, backend: str) -> LevelKernels:
+        """Bound kernels for (level, backend); falls back to NumPy.
+
+        A plan may record a backend that cannot run on this host (tuned
+        elsewhere, optional dependency missing).  Since every backend is
+        byte-identical by contract, silently executing the reference
+        kernels preserves the plan's numerics exactly — only wall-clock
+        differs from what the tuner priced.
+        """
+        key = (level, backend)
+        kernels = self._kernels_cache.get(key)
+        if kernels is None:
+            op = self._op(level)
+            if backend != "numpy":
+                try:
+                    accel = get_backend(backend)
+                except ValueError:
+                    kernels = None
+                else:
+                    if accel.available() and accel.supports(op):
+                        accel.warmup()
+                        kernels = accel.bind(op)
+                    else:
+                        kernels = None
+            else:
+                kernels = None
+            if kernels is None:
+                kernels = get_backend("numpy").bind(op)
+            self._kernels_cache[key] = kernels
+        return kernels
 
     # -- MULTIGRID-V ------------------------------------------------------
 
@@ -101,8 +139,13 @@ class PlanExecutor:
             meter.charge(dim_op("direct", self.ndim), n)
             trace.emit("direct", level)
         elif isinstance(choice, SORChoice):
-            op.sor_sweeps(x, b, op.omega_opt(), choice.iterations)
-            meter.charge(dim_op("relax", self.ndim), n, choice.iterations)
+            backend = _plan_backend(plan, level)
+            self._kernels(level, backend).sor_sweeps(
+                x, b, op.omega_opt(), choice.iterations
+            )
+            meter.charge(
+                backend_op(dim_op("relax", self.ndim), backend), n, choice.iterations
+            )
             trace.emit("sor", level, choice.iterations)
         elif isinstance(choice, RecurseChoice):
             for _ in range(choice.iterations):
@@ -125,22 +168,24 @@ class PlanExecutor:
         sub-plan, relax (paper section 2.3, RECURSE_i)."""
         n = x.shape[0]
         nd = self.ndim
-        op = self._op(level)
-        op.sor_sweeps(x, b, OMEGA_RECURSE, 1)
-        meter.charge(dim_op("relax", nd), n)
+        backend = _plan_backend(plan, level)
+        kernels = self._kernels(level, backend)
+        relax_op = backend_op(dim_op("relax", nd), backend)
+        kernels.sor_sweeps(x, b, OMEGA_RECURSE, 1)
+        meter.charge(relax_op, n)
         trace.emit("relax", level)
-        r = op.residual(x, b)
-        meter.charge(dim_op("residual", nd), n)
-        rc = restrict_full_weighting(r)
-        meter.charge(dim_op("restrict", nd), n)
+        r = kernels.residual(x, b)
+        meter.charge(backend_op(dim_op("residual", nd), backend), n)
+        rc = kernels.restrict(r)
+        meter.charge(backend_op(dim_op("restrict", nd), backend), n)
         trace.emit("descend", level)
         ec = np.zeros_like(rc)
         self._run_v(plan, ec, rc, level - 1, sub_accuracy, meter, trace)
-        interpolate_correction(x, ec)
-        meter.charge(dim_op("interpolate", nd), n)
+        kernels.interpolate_correction(x, ec)
+        meter.charge(backend_op(dim_op("interpolate", nd), backend), n)
         trace.emit("ascend", level)
-        op.sor_sweeps(x, b, OMEGA_RECURSE, 1)
-        meter.charge(dim_op("relax", nd), n)
+        kernels.sor_sweeps(x, b, OMEGA_RECURSE, 1)
+        meter.charge(relax_op, n)
         trace.emit("relax", level)
 
     # -- FULL-MULTIGRID ---------------------------------------------------
@@ -185,21 +230,25 @@ class PlanExecutor:
         elif isinstance(choice, EstimateChoice):
             # ESTIMATE_j: correction-form recursive full-MG call.
             trace.emit("estimate", level, choice.estimate_accuracy)
-            r = op.residual(x, b)
-            meter.charge(dim_op("residual", nd), n)
-            rc = restrict_full_weighting(r)
-            meter.charge(dim_op("restrict", nd), n)
+            backend = _plan_backend(plan, level)
+            kernels = self._kernels(level, backend)
+            r = kernels.residual(x, b)
+            meter.charge(backend_op(dim_op("residual", nd), backend), n)
+            rc = kernels.restrict(r)
+            meter.charge(backend_op(dim_op("restrict", nd), backend), n)
             trace.emit("descend", level)
             ec = np.zeros_like(rc)
             self._run_full(plan, ec, rc, level - 1, choice.estimate_accuracy, meter, trace)
-            interpolate_correction(x, ec)
-            meter.charge(dim_op("interpolate", nd), n)
+            kernels.interpolate_correction(x, ec)
+            meter.charge(backend_op(dim_op("interpolate", nd), backend), n)
             trace.emit("ascend", level)
             # Solve phase: iterate the chosen V-type method.
             solver = choice.solver
             if isinstance(solver, SORChoice):
-                op.sor_sweeps(x, b, op.omega_opt(), solver.iterations)
-                meter.charge(dim_op("relax", nd), n, solver.iterations)
+                kernels.sor_sweeps(x, b, op.omega_opt(), solver.iterations)
+                meter.charge(
+                    backend_op(dim_op("relax", nd), backend), n, solver.iterations
+                )
                 trace.emit("sor", level, solver.iterations)
             else:
                 for _ in range(solver.iterations):

@@ -29,7 +29,7 @@ from repro.accuracy.estimator import (
 )
 from repro.grids.transfer import interpolate_correction, restrict_full_weighting
 from repro.linalg.direct import DirectSolver
-from repro.machines.meter import NULL_METER, OpMeter, dim_op
+from repro.machines.meter import NULL_METER, OpMeter, backend_op, dim_op
 from repro.tuner.choices import (
     Choice,
     DirectChoice,
@@ -71,6 +71,9 @@ class _FullTableView:
 
     def choice(self, level: int, acc_index: int) -> Choice:
         return self.table[(level, acc_index)]
+
+    def backend_at(self, level: int) -> str:
+        return self.vplan.backend_at(level)
 
 
 @dataclass
@@ -116,6 +119,10 @@ class FullMGTuner:
         #: grid dimensionality of the training operator (op vocabulary)
         self._ndim = self.training.ndim
 
+    def _backend_at(self, level: int) -> str:
+        """Full MG inherits the V plan's per-level backend placement."""
+        return self.vplan.backend_at(level)
+
     def tune(self, max_level: int | None = None) -> TunedFullMGPlan:
         start = time.perf_counter()
         max_level = max_level or self.vplan.max_level
@@ -132,6 +139,8 @@ class FullMGTuner:
         metadata = tuning_metadata(
             "full-multigrid", self.training, self.timing, self.aggregate
         )
+        if self.vplan.metadata.get("backend"):
+            metadata["backend"] = self.vplan.metadata["backend"]
         if self.keep_audit:
             metadata["audit"] = audit
         plan = TunedFullMGPlan(
@@ -159,18 +168,21 @@ class FullMGTuner:
         choice = table[(level, j)]
         n = size_of_level(level)
         nd = self._ndim
+        backend = self._backend_at(level)
         if isinstance(choice, DirectChoice):
             meter.charge(dim_op("direct", nd), n)
         elif isinstance(choice, EstimateChoice):
-            meter.charge(dim_op("residual", nd), n)
-            meter.charge(dim_op("restrict", nd), n)
+            meter.charge(backend_op(dim_op("residual", nd), backend), n)
+            meter.charge(backend_op(dim_op("restrict", nd), backend), n)
             meter.merge(self._fmg_meter(table, level - 1, choice.estimate_accuracy))
-            meter.charge(dim_op("interpolate", nd), n)
+            meter.charge(backend_op(dim_op("interpolate", nd), backend), n)
             solver = choice.solver
             if isinstance(solver, SORChoice):
-                meter.charge(dim_op("relax", nd), n, solver.iterations)
+                meter.charge(
+                    backend_op(dim_op("relax", nd), backend), n, solver.iterations
+                )
             else:
-                wrapper = recurse_wrapper_meter(n, nd)
+                wrapper = recurse_wrapper_meter(n, nd, backend)
                 wrapper.merge(self.vplan.unit_meter(level - 1, solver.sub_accuracy))
                 meter.merge(wrapper, times=solver.iterations)
         return meter
@@ -181,11 +193,12 @@ class FullMGTuner:
         """Unit meter of one ESTIMATE_j application at ``level``."""
         n = size_of_level(level)
         nd = self._ndim
+        backend = self._backend_at(level)
         est_meter = OpMeter()
-        est_meter.charge(dim_op("residual", nd), n)
-        est_meter.charge(dim_op("restrict", nd), n)
+        est_meter.charge(backend_op(dim_op("residual", nd), backend), n)
+        est_meter.charge(backend_op(dim_op("restrict", nd), backend), n)
         est_meter.merge(self._fmg_meter(table, level - 1, j))
-        est_meter.charge(dim_op("interpolate", nd), n)
+        est_meter.charge(backend_op(dim_op("interpolate", nd), backend), n)
         return est_meter
 
     def _estimate_states(
@@ -338,7 +351,10 @@ class FullMGTuner:
 
         if kind == "sor":
             # Solve phase variant 1: SOR(omega_opt) until p_i.
-            relax_cost = self.timing.op_seconds(dim_op("relax", self._ndim), n)
+            relax_op = backend_op(
+                dim_op("relax", self._ndim), self._backend_at(level)
+            )
+            relax_cost = self.timing.op_seconds(relax_op, n)
             cap = self._budget_cap(relax_cost, best_time - est_cost, self.max_sor_iters)
             if cap < 0:
                 return None
@@ -358,7 +374,7 @@ class FullMGTuner:
             solver: Union[SORChoice, RecurseChoice] = SORChoice(iterations=iters)
             meter = OpMeter()
             meter.merge(est_meter)
-            meter.charge(dim_op("relax", self._ndim), n, iters)
+            meter.charge(relax_op, n, iters)
             choice = EstimateChoice(j, solver)
             seconds = self.timing.time_candidate(meter, _no_run, bundle.fresh_starts())
             return CandidateOutcome(choice.describe(), seconds, True, choice)
@@ -367,7 +383,7 @@ class FullMGTuner:
             # Solve phase variant 2: RECURSE_l until p_i.
             assert sub is not None
             unit = OpMeter()
-            unit.merge(recurse_wrapper_meter(n, self._ndim))
+            unit.merge(recurse_wrapper_meter(n, self._ndim, self._backend_at(level)))
             unit.merge(self.vplan.unit_meter(level - 1, sub))
             unit_cost = self._price(unit)
             cap = self._budget_cap(

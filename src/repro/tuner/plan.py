@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.machines.meter import OpMeter, dim_op
+from repro.machines.meter import OpMeter, backend_op, dim_op
 from repro.machines.profile import MachineProfile
 from repro.tuner.choices import (
     Choice,
@@ -33,16 +33,17 @@ __all__ = ["TunedFullMGPlan", "TunedVPlan", "recurse_wrapper_meter"]
 DEFAULT_ACCURACIES: tuple[float, ...] = (1e1, 1e3, 1e5, 1e7, 1e9)
 
 
-def recurse_wrapper_meter(n: int, ndim: int = 2) -> OpMeter:
+def recurse_wrapper_meter(n: int, ndim: int = 2, backend: str = "numpy") -> OpMeter:
     """Ops of one RECURSE application at fine size ``n``, excluding the
     coarse-grid call: two SOR(1.15) sweeps, residual, restriction,
     interpolation+correction.  ``ndim`` picks the 2-D or 3-D op
-    vocabulary."""
+    vocabulary; ``backend`` qualifies the ops with the kernel backend
+    executing this level (the default leaves them bare)."""
     meter = OpMeter()
-    meter.charge(dim_op("relax", ndim), n, 2)
-    meter.charge(dim_op("residual", ndim), n)
-    meter.charge(dim_op("restrict", ndim), n)
-    meter.charge(dim_op("interpolate", ndim), n)
+    meter.charge(backend_op(dim_op("relax", ndim), backend), n, 2)
+    meter.charge(backend_op(dim_op("residual", ndim), backend), n)
+    meter.charge(backend_op(dim_op("restrict", ndim), backend), n)
+    meter.charge(backend_op(dim_op("interpolate", ndim), backend), n)
     return meter
 
 
@@ -100,12 +101,21 @@ class TunedVPlan:
     table: dict[tuple[int, int], Choice]
     metadata: dict = field(default_factory=dict)
     ndim: int = 2
+    #: per-level kernel backend; only non-default levels are stored, so a
+    #: plan with no accelerated levels compares (and serializes) exactly
+    #: as before the backend dimension existed
+    backends: dict[int, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.accuracies = tuple(float(a) for a in self.accuracies)
         if self.ndim not in (2, 3):
             raise ValueError(f"ndim must be 2 or 3, got {self.ndim}")
         _check_table(self.table, self.accuracies, self.max_level, allow_estimate=False)
+        self.backends = {
+            int(level): str(name)
+            for level, name in (self.backends or {}).items()
+            if name != "numpy"
+        }
         self._meters: dict[tuple[int, int], OpMeter] = {}
 
     # -- lookups ----------------------------------------------------------
@@ -126,6 +136,10 @@ class TunedVPlan:
     def choice(self, level: int, acc_index: int) -> Choice:
         return self.table[(level, acc_index)]
 
+    def backend_at(self, level: int) -> str:
+        """The kernel backend executing stencil ops at ``level``."""
+        return self.backends.get(level, "numpy")
+
     # -- pricing ----------------------------------------------------------
 
     def unit_meter(self, level: int, acc_index: int) -> OpMeter:
@@ -136,13 +150,16 @@ class TunedVPlan:
             return cached
         choice = self.table[key]
         n = size_of_level(level)
+        backend = self.backend_at(level)
         meter = OpMeter()
         if isinstance(choice, DirectChoice):
             meter.charge(dim_op("direct", self.ndim), n)
         elif isinstance(choice, SORChoice):
-            meter.charge(dim_op("relax", self.ndim), n, choice.iterations)
+            meter.charge(
+                backend_op(dim_op("relax", self.ndim), backend), n, choice.iterations
+            )
         elif isinstance(choice, RecurseChoice):
-            wrapper = recurse_wrapper_meter(n, self.ndim)
+            wrapper = recurse_wrapper_meter(n, self.ndim, backend)
             wrapper.merge(self.unit_meter(level - 1, choice.sub_accuracy))
             meter.merge(wrapper, times=choice.iterations)
         else:  # pragma: no cover - table validated at construction
@@ -194,6 +211,14 @@ class TunedFullMGPlan:
     def choice(self, level: int, acc_index: int) -> Choice:
         return self.table[(level, acc_index)]
 
+    @property
+    def backends(self) -> dict[int, str]:
+        """Per-level kernel backends (shared with the solve-phase V plan)."""
+        return self.vplan.backends
+
+    def backend_at(self, level: int) -> str:
+        return self.vplan.backend_at(level)
+
     def unit_meter(self, level: int, acc_index: int) -> OpMeter:
         """Exact op multiset of one FULL-MULTIGRID_{acc_index} call."""
         key = (level, acc_index)
@@ -202,21 +227,26 @@ class TunedFullMGPlan:
             return cached
         choice = self.table[key]
         n = size_of_level(level)
+        backend = self.backend_at(level)
         meter = OpMeter()
         if isinstance(choice, DirectChoice):
             meter.charge(dim_op("direct", self.ndim), n)
         elif isinstance(choice, EstimateChoice):
             # Estimation phase: residual, restrict, recursive full-MG call,
             # interpolate + correct.
-            meter.charge(dim_op("residual", self.ndim), n)
-            meter.charge(dim_op("restrict", self.ndim), n)
+            meter.charge(backend_op(dim_op("residual", self.ndim), backend), n)
+            meter.charge(backend_op(dim_op("restrict", self.ndim), backend), n)
             meter.merge(self.unit_meter(level - 1, choice.estimate_accuracy))
-            meter.charge(dim_op("interpolate", self.ndim), n)
+            meter.charge(backend_op(dim_op("interpolate", self.ndim), backend), n)
             solver = choice.solver
             if isinstance(solver, SORChoice):
-                meter.charge(dim_op("relax", self.ndim), n, solver.iterations)
+                meter.charge(
+                    backend_op(dim_op("relax", self.ndim), backend),
+                    n,
+                    solver.iterations,
+                )
             else:
-                wrapper = recurse_wrapper_meter(n, self.ndim)
+                wrapper = recurse_wrapper_meter(n, self.ndim, backend)
                 wrapper.merge(self.vplan.unit_meter(level - 1, solver.sub_accuracy))
                 meter.merge(wrapper, times=solver.iterations)
         else:  # pragma: no cover - table validated at construction

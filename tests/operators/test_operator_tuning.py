@@ -80,8 +80,8 @@ class TestRegistryDiversity:
         keys = set(registry.contents())
         assert len(keys) == len(OPERATORS)
         for operator in OPERATORS:
-            # v3 storage keys carry the ndim suffix after the operator.
-            assert any(key.endswith(f"|{operator}|2") for key in keys)
+            # v5 storage keys carry ndim then backend after the operator.
+            assert any(key.endswith(f"|{operator}|2|numpy") for key in keys)
 
     def test_registry_hit_requires_matching_operator(self):
         registry = PlanRegistry(TrialDB(":memory:"))

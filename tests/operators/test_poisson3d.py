@@ -110,8 +110,8 @@ class TestIdentityPlumbing:
 
         k2 = TuneKey(operator="poisson").storage_key("fp")
         k3 = TuneKey(operator="poisson3d").storage_key("fp")
-        assert k2.endswith("|poisson|2")
-        assert k3.endswith("|poisson3d|3")
+        assert k2.endswith("|poisson|2|numpy")
+        assert k3.endswith("|poisson3d|3|numpy")
 
     def test_serve_key_derives_and_validates_ndim(self):
         from repro.serve.cache import ServeKey

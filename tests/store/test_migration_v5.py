@@ -1,0 +1,339 @@
+"""Schema migration: PR-6-era (v4) stores keep working under v5.
+
+Builds a database with the verbatim v4 schema (fleet columns, no
+``backend`` keyfield), populates it the way the pre-backend code did,
+then opens it through :class:`TrialDB` and checks that the migrated
+store resolves old plans unchanged under their ``|numpy``-suffixed
+keys, that legacy rows are stamped with the implicit pre-backend
+``'numpy'`` default, and that the mid-migration crash-rollback and
+concurrent-loser guarantees every earlier step has still hold.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB, TuneKey
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.trialdb import canonical_accuracies, canonical_seed
+from repro.tuner.config import plan_to_dict
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+
+# The v4 schema exactly as PR 6 shipped it: v3 keyfields plus the
+# distributed-fleet columns and tables.
+V4_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    cycle_shape         TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    plan_json           TEXT,
+    provenance          TEXT,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+CREATE INDEX IF NOT EXISTS idx_trials_key_v3
+    ON trials (kind, distribution, operator, ndim, max_level, accuracies,
+               machine_fingerprint, seed, instances);
+
+CREATE TABLE IF NOT EXISTS plans (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    plan_key            TEXT    NOT NULL UNIQUE,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    profile_json        TEXT    NOT NULL,
+    plan_json           TEXT    NOT NULL,
+    hits                INTEGER NOT NULL DEFAULT 0,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
+    last_used_at        TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_plans_family_v3
+    ON plans (kind, distribution, operator, ndim, max_level, accuracies,
+              seed, instances);
+
+CREATE TABLE IF NOT EXISTS campaign_cells (
+    campaign            TEXT    NOT NULL,
+    machine             TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    max_level           INTEGER NOT NULL,
+    status              TEXT    NOT NULL DEFAULT 'pending',
+    source              TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    completed_at        TEXT,
+    lease_owner         TEXT,
+    lease_expires_at    REAL,
+    attempts            INTEGER NOT NULL DEFAULT 0,
+    last_error          TEXT,
+    worker_id           TEXT,
+    PRIMARY KEY (campaign, machine, distribution, operator, max_level)
+);
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    name                TEXT    PRIMARY KEY,
+    spec_json           TEXT    NOT NULL,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+
+CREATE TABLE IF NOT EXISTS fleet_workers (
+    worker_id           TEXT    PRIMARY KEY,
+    campaign            TEXT,
+    host                TEXT,
+    pid                 INTEGER,
+    machine_fingerprint TEXT,
+    started_at          REAL,
+    last_heartbeat      REAL,
+    cells_done          INTEGER NOT NULL DEFAULT 0,
+    cells_failed        INTEGER NOT NULL DEFAULT 0,
+    lease_renewals      INTEGER NOT NULL DEFAULT 0,
+    requeues_claimed    INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+KEY = TuneKey(max_level=3, instances=1, seed=0)
+
+
+def _tiny_plan():
+    return VCycleTuner(
+        max_level=KEY.max_level,
+        training=TrainingData(distribution=KEY.distribution, instances=1, seed=0),
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+        keep_audit=False,
+    ).tune()
+
+
+def _v4_plan_key(fingerprint: str, key: TuneKey) -> str:
+    """The storage key exactly as PR 6 computed it (no backend suffix)."""
+    return "|".join(
+        [
+            fingerprint,
+            key.kind,
+            key.distribution,
+            str(key.max_level),
+            canonical_accuracies(key.accuracies),
+            canonical_seed(key.seed),
+            str(key.instances),
+            key.operator,
+            str(key.ndim),
+        ]
+    )
+
+
+@pytest.fixture()
+def v4_store(tmp_path):
+    """A populated PR-6-era database file: one plan, one trial, one done
+    campaign cell and one still-pending one."""
+    path = tmp_path / "pr6-store.sqlite"
+    plan = _tiny_plan()
+    plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+    fingerprint = INTEL_HARPERTOWN.fingerprint()
+    conn = sqlite3.connect(path)
+    conn.executescript(V4_SCHEMA)
+    conn.execute("PRAGMA user_version = 4")
+    conn.execute(
+        """
+        INSERT INTO plans (plan_key, kind, distribution, operator, ndim,
+                           max_level, accuracies, machine_fingerprint, seed,
+                           instances, machine_name, profile_json, plan_json, hits)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 5)
+        """,
+        (
+            _v4_plan_key(fingerprint, KEY),
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.ndim,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+            json.dumps(INTEL_HARPERTOWN.to_dict(), sort_keys=True),
+            plan_json,
+        ),
+    )
+    conn.execute(
+        """
+        INSERT INTO trials (kind, distribution, operator, ndim, max_level,
+                            accuracies, machine_fingerprint, seed, instances,
+                            machine_name)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+        """,
+        (
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.ndim,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+        ),
+    )
+    conn.execute(
+        """
+        INSERT INTO campaign_cells (campaign, machine, distribution, operator,
+                                    ndim, max_level, status, source)
+        VALUES ('legacy4', 'intel', 'unbiased', 'poisson', 2, 3, 'done', 'tuned'),
+               ('legacy4', 'amd', 'unbiased', 'poisson', 2, 3, 'pending', NULL)
+        """
+    )
+    conn.commit()
+    conn.close()
+    return path, plan_json
+
+
+class TestV4Migration:
+    def test_migration_stamps_schema_version(self, v4_store):
+        path, _ = v4_store
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+
+    def test_old_plan_resolves_under_numpy_key(self, v4_store):
+        """v4 -> v5 suffixes plan keys with ``|numpy`` — the default
+        TuneKey (backend='numpy') must land an exact hit with the plan
+        bytes untouched."""
+        path, plan_json = v4_store
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None
+        assert hit.source == "exact"
+        assert hit.plan_json == plan_json
+
+    def test_accelerated_key_misses_legacy_plan(self, v4_store):
+        """A cnative-tuned key must not resolve a legacy numpy plan."""
+        path, _ = v4_store
+        registry = PlanRegistry(TrialDB(path))
+        key = TuneKey(max_level=3, instances=1, seed=0, backend="cnative")
+        assert registry.get(INTEL_HARPERTOWN, key) is None
+
+    def test_legacy_rows_stamped_numpy(self, v4_store):
+        path, _ = v4_store
+        db = TrialDB(path)
+        records = db.trials()
+        assert len(records) == 1
+        assert records[0].backend == "numpy"
+        backends = [
+            row["backend"]
+            for row in db.conn.execute("SELECT backend FROM campaign_cells")
+        ]
+        assert backends == ["numpy", "numpy"]
+        (plan_backend,) = db.conn.execute("SELECT backend FROM plans").fetchone()
+        assert plan_backend == "numpy"
+
+    def test_plan_key_gains_numpy_suffix(self, v4_store):
+        path, _ = v4_store
+        db = TrialDB(path)
+        (plan_key,) = db.conn.execute("SELECT plan_key FROM plans").fetchone()
+        assert plan_key.endswith("|numpy")
+
+    def test_backend_filter_on_trials(self, v4_store):
+        path, _ = v4_store
+        db = TrialDB(path)
+        assert len(db.trials(backend="numpy")) == 1
+        assert db.trials(backend="cnative") == []
+
+    def test_migrated_campaign_resumes_without_retuning(self, v4_store):
+        path, _ = v4_store
+        spec = CampaignSpec(
+            name="legacy4", machines=("intel",), distributions=("unbiased",),
+            levels=(3,), instances=1, seed=0,
+        )
+        campaign = Campaign(spec, TrialDB(path))
+        assert campaign.pending() == []
+        results = campaign.run()
+        assert [r.source for r in results] == ["skipped"]
+
+
+class TestV4MigrationAtomicity:
+    def test_failed_migration_rolls_back_to_clean_v4(self, v4_store, monkeypatch):
+        import repro.store.schema as schema
+
+        monkeypatch.setattr(
+            schema,
+            "_MIGRATE_V4_V5",
+            schema._MIGRATE_V4_V5 + ("INSERT INTO nonexistent VALUES (1)",),
+        )
+        path, plan_json = v4_store
+        with pytest.raises(sqlite3.OperationalError):
+            TrialDB(path)
+
+        # Still version 4, no backend column, key unsuffixed: the
+        # rollback was complete.
+        conn = sqlite3.connect(path)
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == 4
+        columns = [row[1] for row in conn.execute("PRAGMA table_info(trials)")]
+        assert "backend" not in columns and "provenance" in columns
+        (plan_key,) = conn.execute("SELECT plan_key FROM plans").fetchone()
+        assert not plan_key.endswith("|numpy")
+        conn.close()
+
+        # With the fault removed the same file migrates fine.
+        monkeypatch.undo()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_concurrent_migration_loser_noops(self, v4_store):
+        import repro.store.schema as schema
+
+        path, plan_json = v4_store
+        TrialDB(path).close()  # first opener migrates v4 -> v5
+        conn = sqlite3.connect(path)
+        schema._migrate_step(conn, 4)  # loser replays: must no-op, not crash
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        conn.close()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_v1_store_chains_every_step(self, tmp_path):
+        # A PR-2-era v1 store must hop v1 -> ... -> v5 in one open.
+        from tests.store.test_migration import V1_SCHEMA
+
+        path = tmp_path / "v1-chain.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(V1_SCHEMA)
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        trial_columns = [
+            row[1] for row in db.conn.execute("PRAGMA table_info(trials)")
+        ]
+        assert {"operator", "ndim", "backend", "provenance"} <= set(trial_columns)
+        cell_columns = [
+            row[1] for row in db.conn.execute("PRAGMA table_info(campaign_cells)")
+        ]
+        assert {"backend", "lease_owner", "attempts"} <= set(cell_columns)

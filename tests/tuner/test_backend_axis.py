@@ -1,0 +1,204 @@
+"""The kernel backend as a tuning dimension.
+
+The DP prices every level twice — NumPy and accelerated — and keeps
+whichever is cheaper, so tuned plans mix backends: accelerated fine
+levels (where the per-call dispatch overhead amortizes) over NumPy
+coarse levels.  These tests pin that placement logic, the plan/config
+round-trip, and the store/serve plumbing that keys plans per backend.
+
+Everything here runs without any accelerated backend actually present:
+the backend is a *pricing* dimension (cost-model gains from the machine
+profile), so tuning for ``cnative`` works on hosts that cannot execute
+it — exactly like tuning for a remote machine's profile.
+"""
+
+import json
+
+import pytest
+
+from repro.core.api import autotune, autotune_cached, autotune_full_mg
+from repro.kernels import resolve_backend
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.serve.cache import PlanCache, ServeKey
+from repro.store import CampaignSpec, PlanRegistry, TrialDB, TuneKey
+from repro.tuner.config import plan_from_dict, plan_to_dict
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+
+
+def _tune(backend: str, max_level: int = 6, **overrides):
+    kwargs = dict(max_level=max_level, machine="intel", distribution="unbiased",
+                  instances=2, seed=0, backend=backend)
+    kwargs.update(overrides)
+    return autotune(**kwargs)
+
+
+class TestBackendPlacement:
+    def test_tuner_accelerates_fine_levels_only(self):
+        """At L6 on the intel profile the crossover (n ~ 33) puts the
+        accelerated backend on the fine levels and leaves the coarse
+        levels — where dispatch overhead dominates — on NumPy."""
+        plan = _tune("cnative")
+        assert plan.backends, "no level was accelerated at L6"
+        assert set(plan.backends.values()) == {"cnative"}
+        accelerated = set(plan.backends)
+        assert accelerated <= {5, 6}
+        for level in range(1, min(accelerated)):
+            assert plan.backend_at(level) == "numpy"
+
+    def test_below_crossover_plan_stays_numpy(self):
+        """A shallow tune (every grid below the crossover) must not
+        pay the accelerated dispatch overhead anywhere."""
+        plan = _tune("cnative", max_level=3)
+        assert plan.backends == {}
+
+    def test_backend_never_beats_free_numpy_pricing(self):
+        """Adding a backend option can only lower the simulated cost:
+        the DP keeps NumPy wherever acceleration does not pay."""
+        profile = INTEL_HARPERTOWN
+        numpy_plan = _tune("numpy")
+        accel_plan = _tune("cnative")
+        top = numpy_plan.num_accuracies - 1
+        assert (
+            accel_plan.time_on(profile, 6, top)
+            <= numpy_plan.time_on(profile, 6, top)
+        )
+
+    def test_metadata_records_the_backend(self):
+        assert _tune("cnative").metadata["backend"] == "cnative"
+        assert "backend" not in _tune("numpy").metadata
+
+    def test_full_mg_plan_carries_vplan_backends(self):
+        kwargs = dict(max_level=5, machine="intel", distribution="unbiased",
+                      instances=2, seed=0)
+        fmg = autotune_full_mg(backend="cnative", **kwargs)
+        assert fmg.backends == fmg.vplan.backends
+        assert fmg.backend_at(5) == fmg.vplan.backend_at(5)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_backends(self):
+        plan = _tune("cnative")
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert clone.backends == plan.backends
+        assert clone.table == plan.table
+
+    def test_numpy_plan_json_is_byte_unchanged(self):
+        """The backend axis must not perturb existing stored plans: a
+        numpy tune serializes to exactly the pre-backend JSON (no
+        ``backends`` key, no metadata stamp)."""
+        explicit = _tune("numpy")
+        implicit = autotune(max_level=6, machine="intel",
+                            distribution="unbiased", instances=2, seed=0)
+        explicit_json = json.dumps(plan_to_dict(explicit), sort_keys=True)
+        implicit_json = json.dumps(plan_to_dict(implicit), sort_keys=True)
+        assert explicit_json == implicit_json
+        assert "backends" not in plan_to_dict(explicit)
+
+    def test_backends_serialized_with_string_levels(self):
+        data = plan_to_dict(_tune("cnative"))
+        assert data["backends"]
+        assert all(isinstance(k, str) for k in data["backends"])
+
+
+class TestTuneKeyBackend:
+    def test_auto_resolves_at_construction(self):
+        key = TuneKey(max_level=4, instances=1, seed=0, backend="auto")
+        assert key.backend == resolve_backend("auto")
+        assert key.backend != "auto"
+
+    def test_storage_key_ends_with_backend(self):
+        key = TuneKey(max_level=4, instances=1, seed=0, backend="cnative")
+        assert key.storage_key("fp").endswith("|cnative")
+
+    def test_unknown_backend_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            TuneKey(max_level=4, instances=1, seed=0, backend="cuda")
+
+    def test_registry_separates_backends(self):
+        registry = PlanRegistry(TrialDB(":memory:"))
+        base = dict(max_level=4, machine="intel", instances=1, seed=0,
+                    store=registry)
+        autotune_cached(backend="numpy", **base)
+        autotune_cached(backend="cnative", **base)
+        assert len(registry) == 2
+        for backend in ("numpy", "cnative"):
+            key = TuneKey(max_level=4, instances=1, seed=0, backend=backend)
+            hit = registry.get(INTEL_HARPERTOWN, key)
+            assert hit is not None and hit.source == "exact"
+
+    def test_trials_record_the_backend(self):
+        db = TrialDB(":memory:")
+        registry = PlanRegistry(db)
+        autotune_cached(max_level=4, machine="intel", instances=1, seed=0,
+                        store=registry, backend="cnative")
+        records = db.trials(backend="cnative")
+        assert len(records) == 1 and records[0].backend == "cnative"
+        assert db.trials(backend="numpy") == []
+
+
+class TestServeBackend:
+    def test_cache_resolves_backend_once(self):
+        cache = PlanCache(PlanRegistry(TrialDB(":memory:")), backend="auto")
+        assert cache.backend == resolve_backend("auto")
+        key = cache.key_for(INTEL_HARPERTOWN, None, 4, "unbiased")
+        assert key.backend == cache.backend
+        assert cache.tune_key(key).backend == cache.backend
+
+    def test_serve_key_label_marks_non_numpy(self):
+        fp = INTEL_HARPERTOWN.fingerprint()
+        plain = ServeKey(fingerprint=fp, operator="poisson", level=4,
+                         distribution="unbiased")
+        fast = ServeKey(fingerprint=fp, operator="poisson", level=4,
+                        distribution="unbiased", backend="cnative")
+        assert "@" not in plain.label()
+        assert fast.label().endswith("@cnative")
+        assert plain != fast
+
+
+class TestCampaignBackend:
+    def test_spec_round_trips_auto_verbatim(self):
+        """'auto' is stored unresolved: each fleet worker resolves it
+        against its *own* host, not the submitting machine's."""
+        spec = CampaignSpec(name="c", machines=("intel",),
+                            distributions=("unbiased",), levels=(3,),
+                            instances=1, seed=0, backend="auto")
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone.backend == "auto"
+
+    def test_default_spec_has_numpy_backend(self):
+        spec = CampaignSpec(name="c", machines=("intel",),
+                            distributions=("unbiased",), levels=(3,),
+                            instances=1, seed=0)
+        assert spec.to_dict()["backend"] == "numpy"
+
+    def test_key_for_carries_backend(self):
+        spec = CampaignSpec(name="c", machines=("intel",),
+                            distributions=("unbiased",), levels=(3,),
+                            instances=1, seed=0, backend="cnative")
+        key = spec.key_for("unbiased", 3, "poisson")
+        assert key.backend == "cnative"
+
+
+class TestTunerField:
+    def test_tuner_resolves_auto(self):
+        tuner = VCycleTuner(
+            max_level=3,
+            training=TrainingData(distribution="unbiased", instances=1, seed=0),
+            timing=CostModelTiming(INTEL_HARPERTOWN),
+            backend="auto",
+            keep_audit=False,
+        )
+        assert tuner.backend == resolve_backend("auto")
+
+    def test_tuner_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            VCycleTuner(
+                max_level=3,
+                training=TrainingData(distribution="unbiased", instances=1,
+                                      seed=0),
+                timing=CostModelTiming(INTEL_HARPERTOWN),
+                backend="opencl",
+                keep_audit=False,
+            )
