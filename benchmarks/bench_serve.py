@@ -20,26 +20,41 @@ then the system is still paying cold-start cost in the background.
 The warmed/cold speedup gate compares steady-state numbers; the p95
 gate compares the streams' observed tail latencies.
 
-Runnable standalone (CI's bench-smoke job uses ``--smoke``)::
+With ``--shards N`` the bench instead measures **horizontal scaling**:
+the same seeded mixed 2D/3D traffic is driven through one warmed
+single-process server and through a sharded front door of N worker
+processes (zero-copy shared-memory payloads), and the gates require
+the sharded tier to reach ``--min-shard-speedup`` times the
+single-process throughput at equal-or-better p99.  Like the fleet
+bench, the speedup/p99 gates measure parallel hardware and are skipped
+(with a note) when the host has fewer CPUs than shards; set
+``$REPRO_MG_SERVE_SPEEDUP`` to override the gate without editing CI.
+
+Runnable standalone (CI's bench-smoke and serve-scale jobs use
+``--smoke``)::
 
     python benchmarks/bench_serve.py --smoke --json out.json
     python benchmarks/bench_serve.py --min-speedup 5 --min-p95-factor 2
+    python benchmarks/bench_serve.py --shards 4 --min-shard-speedup 4
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
-from repro.serve import SolveServer, run_load
+from repro.serve import FrontDoor, SolveServer, run_load
 from repro.store import TrialDB
 from repro.util.validation import size_of_level
 from repro.workloads.distributions import make_problem
 
 OUT_DIR = Path(__file__).parent / "out"
+
+SPEEDUP_ENV = "REPRO_MG_SERVE_SPEEDUP"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +85,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="fail unless cold p95 latency is at least X times the warmed "
         "p95 (default: 2 full, 1.5 smoke; 0 disables)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure horizontal scaling instead: warmed single-process "
+        "server vs an N-shard front door on the same seeded traffic",
+    )
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the sharded tier reaches X times single-process "
+        f"throughput (default: ${SPEEDUP_ENV} or 4 full, 1.5 smoke; "
+        "0 disables; auto-skipped when cpus < shards)",
+    )
+    parser.add_argument(
+        "--max-p99-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail if sharded p99 exceeds X times the single-process p99 "
+        "(default: 1.0 full — equal or better — and 2.0 smoke; "
+        "0 disables; skipped with the speedup gate when cpus < shards)",
     )
     parser.add_argument(
         "--json",
@@ -146,8 +187,171 @@ def run_phase(
     return phase
 
 
+def run_scale(args) -> int:
+    """Single-process vs N-shard front door on identical seeded traffic."""
+    if args.smoke:
+        level2d = args.level or 3
+        level3d = 3
+        requests = args.requests or 48
+        clients = args.clients or max(4, 2 * args.shards)
+        instances = args.instances or 1
+        min_speedup_default = 1.5
+        p99_ratio_default = 2.0
+    else:
+        level2d = args.level or 5
+        level3d = 4
+        requests = args.requests or 160
+        clients = args.clients or max(8, 2 * args.shards)
+        instances = args.instances or 2
+        min_speedup_default = 4.0
+        p99_ratio_default = 1.0
+    min_speedup = args.min_shard_speedup
+    if min_speedup is None:
+        env = os.environ.get(SPEEDUP_ENV)
+        min_speedup = float(env) if env is not None else min_speedup_default
+    p99_ratio = (
+        args.max_p99_ratio if args.max_p99_ratio is not None else p99_ratio_default
+    )
+
+    # Mixed 2D/3D traffic: two 2D classes plus a 3D one, so routing
+    # spans operators, levels, and dimensionality.
+    specs = [
+        ("unbiased", level2d, None),
+        ("biased", level2d, None),
+        ("unbiased", level3d, "poisson3d"),
+    ]
+    cpus = os.cpu_count() or 1
+    print(
+        f"serve scale bench: {requests} requests x {clients} clients over "
+        f"{len(specs)} classes (2D L{level2d} + 3D L{level3d}), "
+        f"single-process vs {args.shards} shards, {cpus} host cpu(s)"
+    )
+
+    def load_kwargs():
+        return dict(
+            requests=requests,
+            clients=clients,
+            target=args.target,
+            seed=args.seed,
+        )
+
+    single = SolveServer(
+        machine="intel",
+        store=TrialDB(":memory:"),
+        workers=args.workers,
+        queue_size=max(64, requests),
+        batch_size=args.batch_size,
+        instances=instances,
+        seed=args.seed,
+    )
+    try:
+        for dist, level, operator in specs:
+            single.warm(dist, level, operator)
+        single_report = run_load(single, specs, **load_kwargs())
+    finally:
+        single.shutdown(drain=True)
+
+    door = FrontDoor(
+        shards=args.shards,
+        machine="intel",
+        workers=args.workers,
+        queue_size=max(64, requests),
+        batch_size=args.batch_size,
+        instances=instances,
+        seed=args.seed,
+        pool_slots=max(64, requests),
+    )
+    try:
+        for dist, level, operator in specs:
+            door.warm(dist, level, operator)
+        sharded_report = run_load(door, specs, **load_kwargs())
+        frontdoor_counters = door.stats()["frontdoor"]["counters"]
+    finally:
+        door.shutdown()
+
+    single_rps = single_report["throughput_rps"]
+    sharded_rps = sharded_report["throughput_rps"]
+    speedup = sharded_rps / single_rps if single_rps > 0 else float("inf")
+    single_p99 = single_report["p99_s"]
+    sharded_p99 = sharded_report["p99_s"]
+    observed_ratio = sharded_p99 / single_p99 if single_p99 > 0 else float("inf")
+    for name, rpt in (("single", single_report), ("sharded", sharded_report)):
+        print(
+            f"  {name:>8}: {rpt['throughput_rps']:8.1f} req/s  "
+            f"p50={rpt['p50_s'] * 1e3:7.2f}ms  "
+            f"p95={rpt['p95_s'] * 1e3:7.2f}ms  "
+            f"p99={rpt['p99_s'] * 1e3:7.2f}ms  "
+            f"rejected={rpt['rejected']}"
+        )
+    print(
+        f"  sharded-vs-single: throughput {speedup:.2f}x, "
+        f"p99 ratio {observed_ratio:.2f} (schedule digest "
+        f"{single_report['schedule_digest']} == "
+        f"{sharded_report['schedule_digest']})"
+    )
+
+    report = {
+        "mode": "scale",
+        "config": {
+            "levels": {"2d": level2d, "3d": level3d},
+            "requests": requests,
+            "clients": clients,
+            "workers": args.workers,
+            "batch_size": args.batch_size,
+            "instances": instances,
+            "seed": args.seed,
+            "shards": args.shards,
+            "smoke": args.smoke,
+            "specs": [list(s) for s in specs],
+        },
+        "host_cpus": cpus,
+        "min_shard_speedup": min_speedup,
+        "max_p99_ratio": p99_ratio,
+        "single": single_report,
+        "sharded": sharded_report,
+        "frontdoor_counters": frontdoor_counters,
+        "shard_speedup": speedup,
+        "p99_ratio": observed_ratio,
+    }
+    out_path = Path(args.json) if args.json else OUT_DIR / "serve.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    if single_report["schedule_digest"] != sharded_report["schedule_digest"]:
+        failures.append("the two phases did not offer identical traffic")
+    if sharded_report["completed"] != requests:
+        failures.append(
+            f"sharded tier completed {sharded_report['completed']} of "
+            f"{requests} requests"
+        )
+    if (min_speedup > 0 or p99_ratio > 0) and cpus < args.shards:
+        print(
+            f"NOTE: host has {cpus} cpu(s) < {args.shards} shards; skipping "
+            f"the {min_speedup:.2f}x speedup / {p99_ratio:.2f} p99 gates "
+            "(completion and traffic identity still enforced)"
+        )
+    else:
+        if min_speedup > 0 and speedup < min_speedup:
+            failures.append(
+                f"sharded throughput {speedup:.2f}x single-process, below "
+                f"the {min_speedup:.2f}x gate"
+            )
+        if p99_ratio > 0 and observed_ratio > p99_ratio:
+            failures.append(
+                f"sharded p99 is {observed_ratio:.2f}x the single-process "
+                f"p99, above the {p99_ratio:.2f} gate"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.shards is not None:
+        return run_scale(args)
     if args.smoke:
         args.level = args.level or 3
         args.requests = args.requests or 24

@@ -1,0 +1,71 @@
+"""Horizontally scaled serving: the sharded front door, end to end.
+
+Run:  python examples/sharded_server.py
+
+What it does:
+1. opens a 2-shard front door over a shared plan store and warms one
+   workload class per shard (warming runs on the shard that will serve
+   the class, so each worker's cache stays hot for its own traffic),
+2. fires mixed 2D + 3D traffic through shared-memory slot pools — the
+   grids never cross a pipe; workers solve in place into the slots,
+3. kills one worker mid-stream to show the self-healing path: the
+   front door respawns the shard and resubmits exactly the unanswered
+   requests (none lost, none answered twice),
+4. prints the aggregated stats: front-door counters (crashes, restarts,
+   resubmits) plus every shard's own telemetry snapshot.
+"""
+
+import os
+import signal
+
+from repro.core import open_server, poisson_problem
+
+LEVEL = 4  # N = 17; raise for bigger runs
+N = 2**LEVEL + 1
+
+
+def main() -> None:
+    with open_server(shards=2, workers=1, instances=1, seed=3) as door:
+        print("1) warm one class per shard (2D poisson, 3D poisson):")
+        for operator in (None, "poisson3d"):
+            reply = door.warm("unbiased", LEVEL, operator)
+            print(f"   {operator or 'poisson':<10} -> {reply.get('source', '?')}")
+
+        print("\n2) mixed 2D/3D traffic through shared memory:")
+        problems = [
+            poisson_problem("unbiased", n=N, seed=i, operator=op)
+            for i in range(6)
+            for op in (None, "poisson3d")
+        ]
+        for problem in problems[:4]:
+            result = door.solve(problem, 1e5)
+            print(
+                f"   {problem.ndim}D  shard={result.shard}  "
+                f"source={result.plan_source:<7} {result.latency_s * 1e3:6.1f}ms"
+            )
+
+        print("\n3) SIGKILL one worker mid-stream; the tier self-heals:")
+        victim = door._workers[0].process
+        futures = [door.submit(p, 1e5) for p in problems]
+        os.kill(victim.pid, signal.SIGKILL)
+        results = [f.result(timeout=120) for f in futures]
+        print(f"   all {len(results)} requests answered exactly once")
+
+        print("\n4) aggregated stats:")
+        snapshot = door.stats()
+        counters = snapshot["frontdoor"]["counters"]
+        for key in (
+            "requests_completed",
+            "requests_resubmitted",
+            "worker_crashes",
+            "worker_restarts",
+            "duplicate_responses",
+        ):
+            print(f"   {key:<22} {counters.get(key, 0)}")
+        for index, shard in sorted(snapshot["shards"].items()):
+            served = shard.get("counters", {}).get("requests_completed", 0)
+            print(f"   shard {index}: served {served}")
+
+
+if __name__ == "__main__":
+    main()

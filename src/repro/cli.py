@@ -615,6 +615,31 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--target", type=float, default=1e5, help="bench mode: target accuracy"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve through a sharded front door over N worker processes "
+        "(zero-copy shared-memory payloads) instead of one in-process server",
+    )
+    parser.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-class p99 latency SLO in milliseconds; on a windowed "
+        "breach the cached plan hot-swaps to a lower-accuracy variant "
+        "until the window recovers (swaps land in the trial log)",
+    )
+    parser.add_argument(
+        "--loadgen-seed",
+        type=int,
+        default=123,
+        metavar="SEED",
+        help="bench mode: RNG seed for the mixed-traffic schedule "
+        "(same seed = byte-identical traffic)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="write the telemetry snapshot JSON here"
     )
     return parser
@@ -641,33 +666,58 @@ def _serve_main(argv: list[str]) -> int:
     import os
 
     from repro.core.api import STORE_ENV
-    from repro.serve import SolveServer
+    from repro.serve import FrontDoor, SolveServer
     from repro.serve.loadgen import run_load
     from repro.store import TrialDB
 
     args = build_serve_parser().parse_args(argv)
     db_path = args.db or os.environ.get(STORE_ENV, "repro-mg-store.sqlite")
     specs = args.warm_specs or [parse_warm_spec("unbiased:5")]
+    slo_p99_s = args.slo_p99_ms / 1e3 if args.slo_p99_ms is not None else None
 
-    with SolveServer(
-        machine=args.machine,
-        store=TrialDB(db_path),
-        workers=args.workers,
-        queue_size=args.queue_size,
-        batch_size=args.batch_size,
-        kind=args.kind,
-        seed=args.seed,
-        instances=args.instances,
-        tune_jobs=args.jobs,
-        backend=args.backend,
-    ) as server:
+    server: "FrontDoor | SolveServer"
+    if args.shards is not None:
+        server = FrontDoor(
+            shards=args.shards,
+            machine=args.machine,
+            store_path=db_path,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            batch_size=args.batch_size,
+            kind=args.kind,
+            seed=args.seed,
+            instances=args.instances,
+            tune_jobs=args.jobs,
+            backend=args.backend,
+            slo_p99_s=slo_p99_s,
+        )
+    else:
+        server = SolveServer(
+            machine=args.machine,
+            store=TrialDB(db_path),
+            workers=args.workers,
+            queue_size=args.queue_size,
+            batch_size=args.batch_size,
+            kind=args.kind,
+            seed=args.seed,
+            instances=args.instances,
+            tune_jobs=args.jobs,
+            backend=args.backend,
+            slo_p99_s=slo_p99_s,
+        )
+    with server:
         if not args.no_warm:
             for dist, level, operator in specs:
                 start = time.perf_counter()
                 entry = server.warm(dist, level, operator, jobs=args.jobs)
+                source = (
+                    entry.get("source", "?")
+                    if isinstance(entry, dict)
+                    else entry.source
+                )
                 print(
                     f"warmed {dist}:L{level}:{operator or 'poisson'}  "
-                    f"source={entry.source}  "
+                    f"source={source}  "
                     f"({time.perf_counter() - start:.2f}s)"
                 )
         if args.mode == "bench":
@@ -677,6 +727,7 @@ def _serve_main(argv: list[str]) -> int:
                 requests=args.requests,
                 clients=args.clients,
                 target=args.target,
+                seed=args.loadgen_seed,
             )
             print(
                 f"served {report['completed']} requests "

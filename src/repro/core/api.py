@@ -36,6 +36,7 @@ from repro.workloads.distributions import make_problem
 from repro.workloads.problem import PoissonProblem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.frontdoor import FrontDoor
     from repro.serve.server import SolveServer
     from repro.store.registry import PlanRegistry, RegistryHit
 
@@ -415,18 +416,49 @@ def solve_service(
 def open_server(
     machine: str | MachineProfile = "intel",
     store: object = None,
+    *,
+    shards: int | None = None,
     **options: object,
-) -> "SolveServer":
-    """Open a :class:`~repro.serve.server.SolveServer` (the facade).
+) -> "SolveServer | FrontDoor":
+    """Open a solve server (the facade) — in-process or sharded.
 
-    The server starts its worker threads immediately and is a context
-    manager (``with core.open_server() as server: ...`` drains and shuts
-    down on exit).  Keyword options pass through to
-    :class:`~repro.serve.server.SolveServer` — ``workers``,
-    ``queue_size``, ``batch_size``, ``tune_jobs``, ``scheduler``, the
-    tuning configuration (``kind``, ``accuracies``, ``seed``,
-    ``instances``), and so on.
+    Without ``shards`` this is a single-process
+    :class:`~repro.serve.server.SolveServer`: worker threads start
+    immediately and the object is a context manager (``with
+    core.open_server() as server: ...`` drains and shuts down on exit).
+    Keyword options pass through — ``workers``, ``queue_size``,
+    ``batch_size``, ``tune_jobs``, ``scheduler``, the tuning
+    configuration (``kind``, ``accuracies``, ``seed``, ``instances``),
+    the SLO controls (``slo_p99_s``, ...), and so on.
+
+    With ``shards=N`` it is a :class:`~repro.serve.frontdoor.FrontDoor`
+    over N shard-worker processes with the same ``submit``/``solve``/
+    ``warm``/``stats`` surface; grid payloads then travel through
+    shared memory instead of the in-process queue.  ``store`` must be a
+    path (or None) in that case — worker processes open their own
+    connections.
     """
+    if shards is not None:
+        from pathlib import Path
+
+        from repro.serve.frontdoor import FrontDoor
+
+        if isinstance(machine, MachineProfile):
+            raise TypeError(
+                "sharded serving takes a machine preset name (workers "
+                "resolve it in their own processes), not a MachineProfile"
+            )
+        if store is not None and not isinstance(store, (str, Path)):
+            raise TypeError(
+                f"sharded serving takes a store *path* (workers open "
+                f"their own connections), not {type(store).__name__}"
+            )
+        return FrontDoor(
+            shards=shards,
+            machine=machine,
+            store_path=str(store) if store is not None else None,
+            **options,  # type: ignore[arg-type]
+        )
     from repro.serve.server import SolveServer
 
     return SolveServer(machine=machine, store=store, **options)  # type: ignore[arg-type]

@@ -1,21 +1,31 @@
-"""Closed-loop load generation against a :class:`SolveServer`.
+"""Closed-loop load generation against a solve server or front door.
 
 ``clients`` threads each keep exactly one request in flight: submit,
 wait for the result, submit the next — the classic closed-loop model,
 so offered load adapts to server capacity instead of overrunning it.
-Requests cycle over a mixed workload (the (distribution, level,
-operator) specs), which exercises the cache's per-class bucketing and
-the queue's same-key batching the way real mixed traffic would.
+Requests follow a **seeded mixed-traffic schedule**: the (distribution,
+level, operator) spec and the concrete problem instance of every
+request index are drawn once from ``numpy``'s seeded generator before
+any client starts, so two runs with the same seed offer byte-identical
+traffic — regardless of thread interleaving — and two seeds offer
+genuinely different mixes.  The schedule digest is part of the report,
+making determinism assertable.
 
-:class:`~repro.serve.batching.Backpressure` rejections are counted and
-retried after a short pause, so a saturated queue degrades throughput
-instead of failing the run.
+The target may be a single-process :class:`~repro.serve.server.
+SolveServer` or a sharded :class:`~repro.serve.frontdoor.FrontDoor` —
+both expose the same ``submit(problem, target)`` future contract, and
+both reject with :class:`~repro.serve.batching.Backpressure`, which is
+counted and retried after a short pause so a saturated tier degrades
+throughput instead of failing the run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
 
 from repro.serve.batching import Backpressure
 from repro.util.clock import MONOTONIC_CLOCK, Clock
@@ -23,9 +33,10 @@ from repro.util.validation import size_of_level
 from repro.workloads.distributions import make_problem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.serve.server import ServeResult, SolveServer
+    from repro.serve.frontdoor import FrontDoor
+    from repro.serve.server import SolveServer
 
-__all__ = ["run_load"]
+__all__ = ["build_schedule", "run_load"]
 
 #: Problems pre-generated per workload class; clients cycle over them so
 #: RHS generation stays off the measured path.
@@ -39,8 +50,34 @@ def _exact_percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank]
 
 
+def build_schedule(
+    requests: int, n_specs: int, seed: int
+) -> list[tuple[int, int]]:
+    """The mixed-traffic schedule: request index -> (spec, pool slot).
+
+    Spec coverage is balanced (every spec appears ``requests / n_specs``
+    times, +/- 1) and the interleaving is a seeded shuffle, so the mix
+    looks like real interleaved traffic while staying exactly
+    reproducible per seed.
+    """
+    if requests < 1 or n_specs < 1:
+        raise ValueError("requests and n_specs must be >= 1")
+    rng = np.random.default_rng(seed)
+    spec_order = [i % n_specs for i in range(requests)]
+    rng.shuffle(spec_order)
+    slots = rng.integers(0, POOL_SIZE, size=requests)
+    return [(spec_order[i], int(slots[i])) for i in range(requests)]
+
+
+def _schedule_digest(schedule: list[tuple[int, int]]) -> str:
+    h = hashlib.blake2b(digest_size=8)
+    for spec_i, slot in schedule:
+        h.update(f"{spec_i}:{slot};".encode())
+    return h.hexdigest()
+
+
 def run_load(
-    server: "SolveServer",
+    server: "SolveServer | FrontDoor",
     specs: Sequence[tuple[str, int, "str | None"]],
     requests: int = 64,
     clients: int = 4,
@@ -52,9 +89,10 @@ def run_load(
     """Drive ``requests`` requests through the server; returns a report.
 
     The report carries throughput, exact latency percentiles over the
-    completed requests (p50/p95/p99), rejection counts, and a breakdown
-    of plan sources served — enough for the cold-vs-warm comparisons
-    the serve benchmark gates on.
+    completed requests (p50/p95/p99), rejection counts, a breakdown of
+    plan sources served, and the seed + schedule digest the traffic was
+    generated from — enough for the cold-vs-warm and single-vs-sharded
+    comparisons the serve benchmarks gate on.
     """
     if requests < 1:
         raise ValueError("requests must be >= 1")
@@ -70,11 +108,12 @@ def run_load(
         ]
         for dist, level, operator in specs
     ]
+    schedule = build_schedule(requests, len(specs), seed)
 
     counter_lock = threading.Lock()
     issued = 0
     rejected = 0
-    results: list["ServeResult"] = []
+    results: list[Any] = []
 
     def next_index() -> int | None:
         nonlocal issued
@@ -90,8 +129,8 @@ def run_load(
             index = next_index()
             if index is None:
                 return
-            pool = pools[index % len(pools)]
-            problem = pool[(index // len(pools)) % len(pool)]
+            spec_i, slot = schedule[index]
+            problem = pools[spec_i][slot]
             while True:
                 try:
                     future = server.submit(problem, target)
@@ -125,6 +164,8 @@ def run_load(
     return {
         "requests": requests,
         "clients": clients,
+        "seed": seed,
+        "schedule_digest": _schedule_digest(schedule),
         "completed": len(results),
         "rejected": rejected,
         "wall_seconds": wall,

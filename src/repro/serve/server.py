@@ -76,6 +76,10 @@ class SolveRequest:
     future: "Future[ServeResult]"
     #: server-clock timestamp (set by ``submit`` from the injected clock)
     submitted_at: float = 0.0
+    #: optional caller-owned output grid; the solve then runs in place in
+    #: the caller's buffer (the sharded tier passes shared-memory views
+    #: here, so solutions never cross a process boundary by copy)
+    out: np.ndarray | None = None
 
 
 class SolveServer:
@@ -110,6 +114,22 @@ class SolveServer:
         :class:`~repro.util.clock.ManualClock` so telemetry assertions
         are deterministic; lifecycle deadlines (shutdown/drain timeouts)
         intentionally stay on the real clock.
+    slo_p99_s:
+        Per-workload-class p99 latency target in seconds (None disables
+        the SLO loop).  When a class's sliding-window p99 exceeds the
+        target, its cached plan is hot-swapped to a faster-but-coarser
+        degraded variant (:meth:`PlanCache.degrade`); once the window
+        recovers below ``slo_recovery_fraction * slo_p99_s`` the
+        full-accuracy plan swaps back.  Both swaps are trial-logged
+        with ``serve_swap`` provenance.  The check runs synchronously
+        after each completed request, so a breach triggers within one
+        telemetry window — deterministically testable with a
+        :class:`ManualClock`.
+    slo_window_s, slo_min_samples:
+        Sliding-window length and the minimum live samples before the
+        controller acts (protects against deciding on one outlier).
+    slo_degrade_rungs:
+        How many accuracy-ladder rungs a degraded plan drops.
     """
 
     def __init__(
@@ -130,15 +150,29 @@ class SolveServer:
         telemetry: Telemetry | None = None,
         clock: Clock | None = None,
         backend: str = "numpy",
+        slo_p99_s: float | None = None,
+        slo_window_s: float = 5.0,
+        slo_min_samples: int = 8,
+        slo_recovery_fraction: float = 0.8,
+        slo_degrade_rungs: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, not {workers}")
+        if slo_p99_s is not None and slo_p99_s <= 0:
+            raise ValueError(f"slo_p99_s must be > 0, not {slo_p99_s}")
         from repro.core.api import _resolve_registry
 
         self.clock = clock or MONOTONIC_CLOCK
         self.profile = get_preset(machine) if isinstance(machine, str) else machine
         self.registry: "PlanRegistry" = _resolve_registry(store)
-        self.telemetry = telemetry or Telemetry()
+        self.telemetry = telemetry or Telemetry(
+            clock=self.clock, window_s=slo_window_s
+        )
+        self.slo_p99_s = slo_p99_s
+        self.slo_window_s = slo_window_s
+        self.slo_min_samples = slo_min_samples
+        self.slo_recovery_fraction = slo_recovery_fraction
+        self.slo_degrade_rungs = slo_degrade_rungs
         self.cache = PlanCache(
             self.registry,
             kind=kind,
@@ -178,13 +212,25 @@ class SolveServer:
         target_accuracy: float,
         distribution: str | None = None,
         machine: str | MachineProfile | None = None,
+        out: np.ndarray | None = None,
     ) -> "Future[ServeResult]":
         """Enqueue one request; returns a future resolving to
         :class:`ServeResult`.
 
+        ``out``, when given, must be a writable grid of the problem's
+        shape; the solve then runs in place in that buffer and
+        ``ServeResult.solution`` *is* it (the shared-memory serving tier
+        passes slot views here so responses are zero-copy).
+
         Raises :class:`Backpressure` when the queue is full and
         :class:`RuntimeError` after :meth:`shutdown`.
         """
+        if out is not None and (
+            out.shape != problem.b.shape or not out.flags.writeable
+        ):
+            raise ValueError(
+                f"out must be a writable array of shape {problem.b.shape}"
+            )
         with self._state:
             if self._closed:
                 raise RuntimeError("server is shut down")
@@ -203,6 +249,7 @@ class SolveServer:
             profile=profile,
             future=future,
             submitted_at=self.clock.now(),
+            out=out,
         )
         try:
             depth = self._queue.put(key, request)
@@ -399,11 +446,20 @@ class SolveServer:
             return
         started = self.clock.now()
         try:
+            from repro.grids.boundary import set_boundary_values
             from repro.tuner.plan import TunedFullMGPlan
 
             plan = entry.plan
             acc_index = plan.accuracy_index(request.target_accuracy)
-            x = request.problem.initial_guess()
+            if entry.accuracy_cap is not None and acc_index > entry.accuracy_cap:
+                acc_index = entry.accuracy_cap
+                self.telemetry.incr("degraded_served")
+            if request.out is not None:
+                x = request.out
+                x.fill(0.0)
+                set_boundary_values(x, request.problem.boundary)
+            else:
+                x = request.problem.initial_guess()
             if isinstance(plan, TunedFullMGPlan):
                 executor.run_full_mg(plan, x, request.problem.b, acc_index)
             else:
@@ -427,6 +483,41 @@ class SolveServer:
                 latency_s=latency,
             )
         )
+        if self.slo_p99_s is not None:
+            self.telemetry.observe_windowed(
+                f"slo:{request.key.label()}", latency, self.slo_window_s
+            )
+            self._slo_check(request.key)
+
+    def _slo_check(self, key: ServeKey) -> None:
+        """Degrade or restore ``key``'s plan from its windowed p99.
+
+        Runs on the serving thread right after a completion, so the
+        decision uses the freshest sample and lands within one window.
+        Both directions require ``slo_min_samples`` live samples —
+        a single outlier (or a near-empty recovering window) never
+        flips the plan.
+        """
+        window = f"slo:{key.label()}"
+        if self.telemetry.window_count(window) < self.slo_min_samples:
+            return
+        entry = self.cache.lookup(key)
+        if entry is None:
+            return
+        p99 = self.telemetry.window_percentile(window, 0.99)
+        target = self.slo_p99_s
+        assert target is not None  # guarded by the caller
+        if not entry.degraded and p99 > target:
+            self.telemetry.incr("slo_breaches")
+            self.cache.degrade(
+                key,
+                rungs=self.slo_degrade_rungs,
+                observed_p99_s=p99,
+                target_p99_s=target,
+            )
+        elif entry.degraded and p99 <= target * self.slo_recovery_fraction:
+            self.telemetry.incr("slo_recoveries")
+            self.cache.restore(key, observed_p99_s=p99, target_p99_s=target)
 
     def _executor_for(self, key: ServeKey) -> PlanExecutor:
         """Worker-local plan executor per operator (shared factorization

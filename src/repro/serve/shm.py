@@ -1,0 +1,274 @@
+"""Zero-copy payloads over POSIX shared memory (the sharded serving bus).
+
+The sharded serving tier must move grids between the front-door process
+and its shard workers without ever pickling an array: a level-7 grid is
+~130 KB and the whole point of multi-process serving is to stop paying
+per-request serialization on the hot path.  The mechanism is a
+:class:`SlotPool` — one ``multiprocessing.shared_memory`` segment cut
+into fixed-size slots, each laid out as
+
+    [ b : n^ndim float64 ][ boundary : ring float64 ][ x : n^ndim float64 ]
+
+The front door acquires a slot, writes the request payload (``b`` and
+the Dirichlet boundary) directly into it, and sends the worker a small
+control message naming (pool, slot, shape) — bytes of JSON, nothing
+more.  The worker attaches NumPy *views* onto the same physical pages
+(:func:`attach_problem`), solves **in place** into the slot's ``x``
+region, and hands the slot token back.  The front door reads the
+solution out and releases the slot.  No array crosses a pipe in either
+direction.
+
+Pools are sized per payload class (one pool per distinct (shape, dtype)
+the traffic mix contains) and created lazily by the owner; workers
+attach by name on first use.  Slot exhaustion is admission control:
+``acquire`` returning ``None`` maps to :class:`~repro.serve.batching.
+Backpressure` at the front door.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.grids.boundary import boundary_size, set_boundary_values
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.problem import PoissonProblem
+
+__all__ = [
+    "ShmAttachments",
+    "SlotLayout",
+    "SlotPool",
+    "attach_problem",
+    "attach_shared_memory",
+    "reset_solution",
+]
+
+FLOAT64 = np.dtype(np.float64)
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* adopting its lifetime.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker, which would unlink the owner's segment
+    when the worker exits (CPython gh-82300).  Python 3.13 grew
+    ``track=False`` for exactly this; on older interpreters the
+    registration is suppressed by stubbing the tracker's ``register``
+    for the duration of the attach (unregistering afterwards instead
+    would double-count in the tracker, which logs spurious KeyErrors at
+    exit).  Either way the owner — the front door — remains solely
+    responsible for ``unlink``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SlotLayout:
+    """Byte layout of one payload slot for a grid shape.
+
+    All three regions are float64 (the solver's only dtype); offsets
+    are computed identically on both sides of the pipe, so a (pool,
+    slot, shape) triple fully determines where every array lives.
+    """
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        n = shape[0]
+        ndim = len(shape)
+        if any(s != n for s in shape):
+            raise ValueError(f"grids are cubes; got shape {shape}")
+        self.shape = tuple(int(s) for s in shape)
+        self.ndim = ndim
+        self.grid_nbytes = int(np.prod(self.shape)) * FLOAT64.itemsize
+        self.boundary_len = boundary_size(n, ndim)
+        self.boundary_nbytes = self.boundary_len * FLOAT64.itemsize
+        #: offsets of (b, boundary, x) within the slot
+        self.b_offset = 0
+        self.boundary_offset = self.grid_nbytes
+        self.x_offset = self.grid_nbytes + self.boundary_nbytes
+        self.slot_nbytes = 2 * self.grid_nbytes + self.boundary_nbytes
+
+    def views(
+        self, buf: memoryview, slot: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(b, boundary, x) NumPy views onto slot ``slot`` of ``buf``.
+
+        Views alias the shared pages directly — writing to them is the
+        transport.  Callers mark the request-side views read-only before
+        handing them to a solver.
+        """
+        base = slot * self.slot_nbytes
+        b = np.frombuffer(
+            buf, dtype=FLOAT64, count=int(np.prod(self.shape)),
+            offset=base + self.b_offset,
+        ).reshape(self.shape)
+        boundary = np.frombuffer(
+            buf, dtype=FLOAT64, count=self.boundary_len,
+            offset=base + self.boundary_offset,
+        )
+        x = np.frombuffer(
+            buf, dtype=FLOAT64, count=int(np.prod(self.shape)),
+            offset=base + self.x_offset,
+        ).reshape(self.shape)
+        return b, boundary, x
+
+
+class SlotPool:
+    """Owner side: a shared-memory segment cut into ``slots`` slots.
+
+    Thread-safe free-list allocation; ``acquire`` is non-blocking (a
+    full pool is the admission-control signal, not a place to queue).
+    The owner must call :meth:`close` (which unlinks) exactly once when
+    serving stops; workers only ever attach and close, never unlink.
+    """
+
+    def __init__(self, shape: tuple[int, ...], slots: int = 32) -> None:
+        if slots < 1:
+            raise ValueError(f"pool needs >= 1 slot, not {slots}")
+        self.layout = SlotLayout(shape)
+        self.slots = slots
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.layout.slot_nbytes * slots
+        )
+        self._lock = threading.Lock()
+        self._free = list(range(slots - 1, -1, -1))
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    def acquire(self) -> int | None:
+        """A free slot index, or ``None`` when the pool is exhausted."""
+        with self._lock:
+            if self._closed or not self._free:
+                return None
+            return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if not 0 <= slot < self.slots or slot in self._free:
+                raise ValueError(f"slot {slot} is not an acquired slot")
+            self._free.append(slot)
+
+    def in_use(self) -> int:
+        with self._lock:
+            return self.slots - len(self._free)
+
+    def write_payload(self, slot: int, problem: "PoissonProblem") -> None:
+        """Copy a problem's payload into ``slot`` (the only writes the
+        owner performs on the request side)."""
+        b, boundary, _ = self.layout.views(self._shm.buf, slot)
+        np.copyto(b, problem.b)
+        np.copyto(boundary, problem.boundary)
+
+    def read_solution(self, slot: int) -> np.ndarray:
+        """The solution the worker left in ``slot``, copied into a fresh
+        caller-owned array (the slot is about to be reused)."""
+        _, _, x = self.layout.views(self._shm.buf, slot)
+        return x.copy()
+
+    def views(self, slot: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.layout.views(self._shm.buf, slot)
+
+    def close(self) -> None:
+        """Release and destroy the segment (idempotent; owner only).
+
+        Live views keep their pages mapped until they die — a caller
+        still holding one sees it stay valid — but the segment's name is
+        unlinked here either way, so the memory is reclaimed as soon as
+        the last view goes.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._free.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            # A view outlives the pool: hand the mapping over to it.
+            # The mmap object is kept alive by (and unmaps with) the
+            # last view; dropping our handle's reference stops
+            # ``SharedMemory.__del__`` from retrying close() later.
+            self._shm._mmap = None  # type: ignore[attr-defined]
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class ShmAttachments:
+    """Worker side: cached attachments to the front door's pools.
+
+    A worker sees a pool name for the first time inside a request
+    message; the attachment is cached so every later request on that
+    pool is a pure pointer computation.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+
+    def buffer(self, name: str) -> memoryview:
+        with self._lock:
+            shm = self._segments.get(name)
+            if shm is None:
+                shm = self._segments[name] = attach_shared_memory(name)
+            return shm.buf
+
+    def close(self) -> None:
+        with self._lock:
+            for shm in self._segments.values():
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - views still alive
+                    shm._mmap = None  # type: ignore[attr-defined]
+            self._segments.clear()
+
+
+def attach_problem(
+    buf: memoryview,
+    slot: int,
+    shape: tuple[int, ...],
+    operator: str,
+    label: str,
+) -> tuple["PoissonProblem", np.ndarray]:
+    """Rebuild the request problem from a slot, zero-copy.
+
+    Returns ``(problem, x_view)``: the problem's ``b``/``boundary`` are
+    *read-only views* of the slot (``PoissonProblem`` shares read-only
+    inputs instead of copying them — the zero-copy contract), and
+    ``x_view`` is the writable solution region the solve runs in place
+    into.
+    """
+    from repro.workloads.problem import PoissonProblem
+
+    layout = SlotLayout(shape)
+    b, boundary, x = layout.views(buf, slot)
+    b.setflags(write=False)
+    boundary.setflags(write=False)
+    problem = PoissonProblem(b=b, boundary=boundary, label=label, operator=operator)
+    return problem, x
+
+
+def reset_solution(x: np.ndarray, boundary: np.ndarray) -> np.ndarray:
+    """Initialize a slot's solution region to the canonical initial guess
+    (zero interior, Dirichlet ring applied) — what ``initial_guess()``
+    builds, but in place in shared memory."""
+    x.fill(0.0)
+    set_boundary_values(x, boundary)
+    return x

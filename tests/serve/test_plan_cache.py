@@ -137,3 +137,56 @@ class TestSwap:
         cache.get_or_fallback(INTEL_HARPERTOWN, key)
         assert len(cache) == 1
         assert cache.keys() == [key]
+
+
+class TestLockFreeWarmHits:
+    def test_warm_lookups_never_block_on_a_stuck_miss(self, cache):
+        """The sharded tier's hot path guarantee: a miss that is stuck
+        inside a registry lookup (holding its per-key build lock) must
+        not delay concurrent warm-key readers — the warm-hit path takes
+        no cache-wide lock at all."""
+        import threading
+
+        cache.warm(INTEL_HARPERTOWN, "unbiased", 3)
+        warm_key = cache.key_for(INTEL_HARPERTOWN, None, 3, "unbiased")
+        cold_key = cache.key_for(INTEL_HARPERTOWN, None, 4, "biased")
+
+        miss_entered = threading.Event()
+        release_miss = threading.Event()
+        original_get = cache.registry.get
+
+        def stuck_get(*args, **kwargs):
+            miss_entered.set()
+            assert release_miss.wait(timeout=30)
+            return original_get(*args, **kwargs)
+
+        cache.registry.get = stuck_get  # instance shadow; scoped to this test
+        try:
+            miss = threading.Thread(
+                target=cache.get_or_fallback, args=(INTEL_HARPERTOWN, cold_key)
+            )
+            miss.start()
+            assert miss_entered.wait(timeout=30)
+            # The miss now sits inside the registry with its build lock
+            # held.  Warm hits from many threads must all finish without
+            # waiting for it.
+            results: list[object] = []
+
+            def warm_hit():
+                results.append(cache.get_or_fallback(INTEL_HARPERTOWN, warm_key))
+
+            readers = [threading.Thread(target=warm_hit) for _ in range(8)]
+            for reader in readers:
+                reader.start()
+            for reader in readers:
+                reader.join(timeout=10)
+                assert not reader.is_alive(), "warm hit blocked behind a miss"
+            assert len(results) == 8
+            assert all(entry.source == "tuned" for entry in results)
+            assert cache.telemetry.counter("cache_hits") >= 8
+        finally:
+            release_miss.set()
+            miss.join(timeout=30)
+            del cache.registry.get
+        assert not miss.is_alive()
+        assert cache.lookup(cold_key) is not None

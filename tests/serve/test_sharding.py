@@ -1,0 +1,128 @@
+"""Shard routing, the pickle-free codec, and the autoscaler policy.
+
+Everything here is the *pure* half of the sharded tier — no processes.
+The codec tests are the zero-copy enforcement: JSON is the only wire
+format, and JSON cannot encode an ndarray, so an array reaching the
+control bus is a hard ``TypeError``, never a silent serialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.sharding import (
+    Autoscaler,
+    ShardStats,
+    ShardWorkerConfig,
+    decode_message,
+    encode_message,
+    shard_index,
+    shard_key,
+)
+from repro.util.clock import ManualClock
+
+
+class TestShardKey:
+    def test_key_carries_operator_level_and_ndim(self):
+        assert shard_key("poisson", 5, 2) == "poisson|L5|2d"
+        assert shard_key("poisson3d", 4, 3) == "poisson3d|L4|3d"
+
+    def test_index_is_deterministic_and_in_range(self):
+        keys = [shard_key("poisson", level, nd) for level in range(3, 9)
+                for nd in (2, 3)]
+        for shards in (1, 2, 4, 7):
+            for key in keys:
+                index = shard_index(key, shards)
+                assert 0 <= index < shards
+                assert shard_index(key, shards) == index  # stable
+
+    def test_index_spreads_keys(self):
+        keys = [shard_key(op, level, 2) for op in ("poisson", "a", "b", "c")
+                for level in range(3, 10)]
+        used = {shard_index(key, 4) for key in keys}
+        assert len(used) == 4  # 28 keys must hit all 4 shards
+
+    def test_index_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_index("poisson|L5|2d", 0)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        msg = {"type": "solve", "id": 7, "shape": [9, 9], "target": 1e5}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_ndarray_is_rejected_not_serialized(self):
+        """The zero-copy guarantee, enforced: no array ever crosses the
+        control bus — not even by accident."""
+        with pytest.raises(TypeError):
+            encode_message({"type": "solve", "payload": np.zeros((9, 9))})
+
+    def test_nested_ndarray_is_rejected_too(self):
+        with pytest.raises(TypeError):
+            encode_message({"type": "solve", "nested": {"x": np.arange(3)}})
+
+
+class TestShardWorkerConfig:
+    def test_server_kwargs_cover_the_serving_surface(self):
+        config = ShardWorkerConfig(index=1, workers=3, slo_p99_s=0.25)
+        kwargs = config.server_kwargs()
+        assert kwargs["workers"] == 3
+        assert kwargs["slo_p99_s"] == 0.25
+        assert "index" not in kwargs  # the shard id is not a server option
+        assert "store_path" not in kwargs
+
+
+class TestAutoscaler:
+    def test_scales_up_on_backlog(self):
+        clock = ManualClock()
+        scaler = Autoscaler(1, 4, up_backlog=4, clock=clock)
+        assert scaler.decide([ShardStats(inflight=1)]) == 1
+        assert scaler.decide([ShardStats(inflight=4)]) == 2
+
+    def test_scales_up_on_p99_breach(self):
+        clock = ManualClock()
+        scaler = Autoscaler(1, 4, slo_p99_s=0.5, clock=clock)
+        assert scaler.decide([ShardStats(inflight=1, p99_s=0.4)]) == 1
+        assert scaler.decide([ShardStats(inflight=1, p99_s=0.6)]) == 2
+
+    def test_respects_max_and_min_bounds(self):
+        clock = ManualClock()
+        scaler = Autoscaler(2, 2, up_backlog=1, down_idle_s=0.0, clock=clock)
+        assert scaler.decide([ShardStats(inflight=9), ShardStats(inflight=9)]) == 2
+        clock.advance(100.0)
+        assert scaler.decide([ShardStats(inflight=0), ShardStats(inflight=0)]) == 2
+
+    def test_cooldown_blocks_consecutive_changes(self):
+        clock = ManualClock()
+        scaler = Autoscaler(1, 8, up_backlog=1, cooldown_s=10.0, clock=clock)
+        assert scaler.decide([ShardStats(inflight=5)]) == 2
+        # Still pressed, but inside the cooldown window: hold.
+        assert scaler.decide([ShardStats(inflight=5), ShardStats(inflight=5)]) == 2
+        clock.advance(10.0)
+        assert scaler.decide([ShardStats(inflight=5), ShardStats(inflight=5)]) == 3
+
+    def test_scales_down_only_after_sustained_idle(self):
+        clock = ManualClock()
+        scaler = Autoscaler(1, 4, down_idle_s=30.0, cooldown_s=0.0, clock=clock)
+        shards = [ShardStats(inflight=0), ShardStats(inflight=0)]
+        assert scaler.decide(shards) == 2  # idle starts counting now
+        clock.advance(29.0)
+        assert scaler.decide(shards) == 2  # not idle long enough
+        clock.advance(1.0)
+        assert scaler.decide(shards) == 1
+
+    def test_traffic_resets_the_idle_timer(self):
+        clock = ManualClock()
+        scaler = Autoscaler(1, 4, down_idle_s=30.0, cooldown_s=0.0, clock=clock)
+        idle = [ShardStats(inflight=0), ShardStats(inflight=0)]
+        assert scaler.decide(idle) == 2
+        clock.advance(29.0)
+        assert scaler.decide([ShardStats(inflight=1), ShardStats(inflight=0)]) == 2
+        clock.advance(29.0)  # idle again, but the timer restarted
+        assert scaler.decide(idle) == 2
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Autoscaler(0, 4)
+        with pytest.raises(ValueError):
+            Autoscaler(5, 4)

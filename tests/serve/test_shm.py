@@ -1,0 +1,177 @@
+"""Zero-copy shared-memory payload transport (:mod:`repro.serve.shm`).
+
+The sharded serving tier's contract is that grid arrays cross the
+process boundary as *views over shared pages*, never as copies or
+pickles — these tests pin the view identity (``np.shares_memory``),
+the slot layout roundtrip, the pool's admission-control semantics, and
+the read-only request-side discipline that lets ``PoissonProblem``
+share the views without copying.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import poisson_problem
+from repro.serve.shm import (
+    ShmAttachments,
+    SlotLayout,
+    SlotPool,
+    attach_problem,
+    attach_shared_memory,
+    reset_solution,
+)
+
+
+class TestSlotLayout:
+    def test_offsets_partition_the_slot(self):
+        layout = SlotLayout((9, 9))
+        assert layout.b_offset == 0
+        assert layout.boundary_offset == layout.grid_nbytes
+        assert layout.x_offset == layout.grid_nbytes + layout.boundary_nbytes
+        assert layout.slot_nbytes == 2 * layout.grid_nbytes + layout.boundary_nbytes
+
+    def test_3d_shapes_supported(self):
+        layout = SlotLayout((9, 9, 9))
+        assert layout.ndim == 3
+        assert layout.grid_nbytes == 9**3 * 8
+
+    def test_non_cube_rejected(self):
+        with pytest.raises(ValueError, match="cube"):
+            SlotLayout((9, 17))
+
+    def test_views_roundtrip_and_are_disjoint(self):
+        pool = SlotPool((9, 9), slots=2)
+        try:
+            b0, bd0, x0 = pool.views(0)
+            b1, _, _ = pool.views(1)
+            b0[:] = 1.0
+            bd0[:] = 2.0
+            x0[:] = 3.0
+            # Re-deriving the views sees the same bytes (same pages)...
+            b0b, bd0b, x0b = pool.views(0)
+            assert np.array_equal(b0b, b0)
+            assert np.array_equal(bd0b, bd0)
+            assert np.array_equal(x0b, x0)
+            # ...regions and slots never overlap.
+            assert not np.shares_memory(b0, x0)
+            assert not np.shares_memory(b0, b1)
+            assert np.all(b1 == 0.0)
+        finally:
+            pool.close()
+
+
+class TestSlotPool:
+    def test_acquire_release_exhaustion(self):
+        pool = SlotPool((9, 9), slots=2)
+        try:
+            a, b = pool.acquire(), pool.acquire()
+            assert {a, b} == {0, 1}
+            assert pool.acquire() is None  # exhausted: admission control
+            assert pool.in_use() == 2
+            pool.release(a)
+            assert pool.acquire() == a
+        finally:
+            pool.close()
+
+    def test_release_rejects_free_or_bogus_slots(self):
+        pool = SlotPool((9, 9), slots=1)
+        try:
+            with pytest.raises(ValueError):
+                pool.release(0)  # never acquired
+            with pytest.raises(ValueError):
+                pool.release(7)  # out of range
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_disables_acquire(self):
+        pool = SlotPool((9, 9), slots=1)
+        pool.close()
+        pool.close()
+        assert pool.acquire() is None
+
+    def test_payload_roundtrip_preserves_bytes(self):
+        problem = poisson_problem("unbiased", n=9, seed=5)
+        pool = SlotPool((9, 9), slots=1)
+        try:
+            slot = pool.acquire()
+            pool.write_payload(slot, problem)
+            b, boundary, _ = pool.views(slot)
+            assert np.array_equal(b, problem.b)
+            assert np.array_equal(boundary, problem.boundary)
+        finally:
+            pool.close()
+
+
+class TestZeroCopyAttachment:
+    def test_attach_problem_shares_pages_and_is_read_only(self):
+        source = poisson_problem("unbiased", n=9, seed=7)
+        pool = SlotPool((9, 9), slots=1)
+        try:
+            slot = pool.acquire()
+            pool.write_payload(slot, source)
+            pool_b, _, _ = pool.views(slot)
+            problem, x = attach_problem(
+                pool._shm.buf, slot, (9, 9), "poisson", "unbiased"
+            )
+            # The zero-copy contract: the problem's arrays ARE the slot.
+            assert np.shares_memory(problem.b, pool_b)
+            assert not problem.b.flags.writeable
+            assert not problem.boundary.flags.writeable
+            assert x.flags.writeable
+            assert np.array_equal(problem.b, source.b)
+            # The solve-in-place region is visible to the owner side.
+            x.fill(42.0)
+            assert pool.read_solution(slot)[0, 0] == 42.0
+        finally:
+            pool.close()
+
+    def test_read_solution_returns_a_private_copy(self):
+        pool = SlotPool((9, 9), slots=1)
+        try:
+            slot = pool.acquire()
+            _, _, x = pool.views(slot)
+            x.fill(1.0)
+            out = pool.read_solution(slot)
+            assert not np.shares_memory(out, x)
+            x.fill(2.0)
+            assert np.all(out == 1.0)
+        finally:
+            pool.close()
+
+    def test_reset_solution_matches_initial_guess(self):
+        problem = poisson_problem("unbiased", n=9, seed=3)
+        x = np.ones_like(problem.b)
+        reset_solution(x, problem.boundary)
+        assert np.array_equal(x, problem.initial_guess())
+
+
+class TestAttachments:
+    def test_attach_by_name_and_cache(self):
+        pool = SlotPool((9, 9), slots=1)
+        attachments = ShmAttachments()
+        try:
+            slot = pool.acquire()
+            _, _, x = pool.views(slot)
+            x.fill(9.0)
+            buf = attachments.buffer(pool.name)
+            assert attachments.buffer(pool.name) is buf  # cached
+            _, _, x_view = SlotLayout((9, 9)).views(buf, slot)
+            assert np.all(x_view == 9.0)
+            del buf, x_view
+        finally:
+            attachments.close()
+            pool.close()
+
+    def test_attach_does_not_adopt_lifetime(self):
+        # Attaching and closing again must leave the owner's segment
+        # intact (the CPython resource-tracker pitfall, gh-82300).
+        pool = SlotPool((9, 9), slots=1)
+        try:
+            shm = attach_shared_memory(pool.name)
+            shm.close()
+            slot = pool.acquire()
+            _, _, x = pool.views(slot)
+            x.fill(1.0)  # still mapped and writable
+            assert pool.read_solution(slot)[0, 0] == 1.0
+        finally:
+            pool.close()

@@ -1,0 +1,187 @@
+"""SLO-driven plan selection: breach -> degrade, recovery -> restore.
+
+The ISSUE contract, pinned deterministically: when a workload class's
+sliding-window p99 breaches the configured SLO the server hot-swaps the
+class to its lower-accuracy tuned plan (the accuracy ladder capped
+``slo_degrade_rungs`` below the top) within one telemetry window, and
+swaps the full-accuracy plan back once the window recovers.  Both swaps
+are stamped into the trial log with ``serve_swap`` provenance.
+
+Determinism comes from the injectable :class:`ManualClock`: solve
+durations are *scripted* — a patched ``PlanExecutor.run_v`` advances
+the clock by a chosen amount per request — so the windowed p99 is an
+exact number, not a racy measurement.
+"""
+
+import json
+import threading
+import unittest.mock as mock
+
+import pytest
+
+from repro.core import poisson_problem
+from repro.serve import SolveServer
+from repro.store.trialdb import TrialDB
+from repro.tuner.executor import PlanExecutor
+from repro.util.clock import ManualClock
+
+SLO_P99_S = 0.5
+WINDOW_S = 5.0
+MIN_SAMPLES = 4
+
+
+@pytest.fixture
+def db():
+    return TrialDB(":memory:")
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def server(db, clock):
+    server = SolveServer(
+        machine="intel",
+        store=db,
+        workers=1,
+        instances=1,
+        seed=3,
+        clock=clock,
+        slo_p99_s=SLO_P99_S,
+        slo_window_s=WINDOW_S,
+        slo_min_samples=MIN_SAMPLES,
+        slo_recovery_fraction=0.8,
+        slo_degrade_rungs=1,
+    )
+    server.warm("unbiased", 3)
+    yield server
+    server.shutdown(drain=True, timeout=30)
+
+
+def _scripted_run_v(clock: ManualClock):
+    """A ``run_v`` replacement that advances the clock by a scripted
+    virtual duration per solve (0.0 once the script runs out).  Must be
+    a plain function so attribute access binds the executor as usual.
+    """
+    durations: list[float] = []
+    lock = threading.Lock()
+    original = PlanExecutor.run_v
+
+    def run_v(self, *args, **kwargs):
+        with lock:
+            duration = durations.pop(0) if durations else 0.0
+        if duration:
+            clock.advance(duration)
+        return original(self, *args, **kwargs)
+
+    run_v.durations = durations  # type: ignore[attr-defined]
+    return run_v
+
+
+def _serve_swaps(db: TrialDB) -> list[dict]:
+    """The ``serve_swap`` provenance payloads in the trial log, in order."""
+    swaps = []
+    for record in db.trials():
+        provenance = json.loads(record.provenance or "{}")
+        if "serve_swap" in provenance:
+            swaps.append(provenance["serve_swap"])
+    return swaps
+
+
+class TestBreachDegradesWithinOneWindow:
+    def test_breach_recovery_roundtrip_is_stamped_into_provenance(
+        self, server, db, clock
+    ):
+        key = server.cache.key_for(server.profile, None, 3, "unbiased")
+        baseline = server.cache.lookup(key)
+        assert baseline is not None and not baseline.degraded
+        problem = poisson_problem("unbiased", n=9, seed=1)
+        scripted = _scripted_run_v(clock)
+
+        with mock.patch.object(PlanExecutor, "run_v", scripted):
+            # --- breach: min_samples slow requests fill the window ----
+            scripted.durations.extend([1.0] * MIN_SAMPLES)
+            for _ in range(MIN_SAMPLES):
+                server.solve(problem, 1e5, timeout=60)
+            # The swap landed with the breaching sample itself — within
+            # the window, not on some later checkpoint.
+            entry = server.cache.lookup(key)
+            assert entry.degraded
+            assert entry.source == "slo_degraded"
+            assert entry.generation == baseline.generation + 1
+            # rungs=1 below the 5-rung default ladder's top index 4
+            assert entry.accuracy_cap == entry.plan.num_accuracies - 2
+            assert server.telemetry.counter("slo_breaches") == 1
+
+            # --- degraded serving: top-rung requests pay one fewer rung
+            result = server.solve(problem, 1e9, timeout=60)
+            assert result.plan_source == "slo_degraded"
+            assert server.telemetry.counter("degraded_served") == 1
+
+            # --- recovery: age the slow samples out, serve fast -------
+            clock.advance(WINDOW_S + 1.0)
+            scripted.durations.extend([0.001] * MIN_SAMPLES)
+            for _ in range(MIN_SAMPLES):
+                server.solve(problem, 1e5, timeout=60)
+            restored = server.cache.lookup(key)
+            assert not restored.degraded
+            assert restored.source == "slo_restored"
+            assert restored.accuracy_cap is None
+            assert restored.generation == baseline.generation + 2
+            assert server.telemetry.counter("slo_recoveries") == 1
+            # Back at full accuracy: no further degraded serves.
+            server.solve(problem, 1e9, timeout=60)
+            assert server.telemetry.counter("degraded_served") == 1
+
+        # --- provenance: both swaps are durable trial rows ------------
+        swaps = _serve_swaps(db)
+        assert [swap["reason"] for swap in swaps] == [
+            "slo-breach", "slo-recovered",
+        ]
+        breach, recovered = swaps
+        assert breach["key"] == key.label() == recovered["key"]
+        assert breach["accuracy_cap"] == entry.accuracy_cap
+        assert breach["observed_p99_s"] == pytest.approx(1.0)
+        assert breach["target_p99_s"] == SLO_P99_S
+        assert recovered["accuracy_cap"] is None
+        assert recovered["observed_p99_s"] <= 0.8 * SLO_P99_S
+        assert recovered["generation"] == breach["generation"] + 1
+
+    def test_single_outlier_never_flips_the_plan(self, server, db, clock):
+        key = server.cache.key_for(server.profile, None, 3, "unbiased")
+        problem = poisson_problem("unbiased", n=9, seed=1)
+        scripted = _scripted_run_v(clock)
+        with mock.patch.object(PlanExecutor, "run_v", scripted):
+            # One catastrophic request, below min_samples: hold steady.
+            scripted.durations.append(50.0)
+            server.solve(problem, 1e5, timeout=60)
+            assert not server.cache.lookup(key).degraded
+            assert server.telemetry.counter("slo_breaches") == 0
+        assert _serve_swaps(db) == []
+
+    def test_degraded_plan_is_the_tuned_plan_at_a_capped_rung(
+        self, server, clock
+    ):
+        """The degraded entry is the *same tuned plan* run at a capped
+        rung — its low-accuracy answer, not a different algorithm."""
+        import numpy as np
+
+        problem = poisson_problem("unbiased", n=9, seed=1)
+        scripted = _scripted_run_v(clock)
+        with mock.patch.object(PlanExecutor, "run_v", scripted):
+            scripted.durations.extend([1.0] * MIN_SAMPLES)
+            for _ in range(MIN_SAMPLES):
+                server.solve(problem, 1e5, timeout=60)
+        key = server.cache.key_for(server.profile, None, 3, "unbiased")
+        entry = server.cache.lookup(key)
+        assert entry.degraded
+        # A top-rung request under the cap must produce bit-for-bit the
+        # plan's own answer at the capped rung's accuracy target.
+        capped_accuracy = entry.plan.accuracies[entry.accuracy_cap]
+        degraded = server.solve(problem, 1e9, timeout=60).solution
+        uncapped_same_rung = server.solve(
+            problem, capped_accuracy, timeout=60
+        ).solution
+        assert np.array_equal(degraded, uncapped_same_rung)
