@@ -47,6 +47,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.obs.bench import write_bench_report
 from repro.serve import FrontDoor, SolveServer, run_load
 from repro.store import TrialDB
 from repro.util.validation import size_of_level
@@ -316,7 +317,10 @@ def run_scale(args) -> int:
     out_path = Path(args.json) if args.json else OUT_DIR / "serve.json"
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    envelope_path = write_bench_report(
+        "serve_scale", report, time.time(), OUT_DIR
+    )
+    print(f"wrote {out_path} and {envelope_path}")
 
     failures = []
     if single_report["schedule_digest"] != sharded_report["schedule_digest"]:
@@ -429,7 +433,8 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.json) if args.json else OUT_DIR / "serve.json"
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    envelope_path = write_bench_report("serve", report, time.time(), OUT_DIR)
+    print(f"wrote {out_path} and {envelope_path}")
 
     failures = []
     if first["plan_source"] != "fallback":

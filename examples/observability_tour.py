@@ -1,0 +1,74 @@
+"""End-to-end observability: trace one request, read its span tree.
+
+Run:  python examples/observability_tour.py
+
+What it does:
+1. opens a traced solve server and warms one workload class,
+2. solves a single request and walks its correlated span tree —
+   serve.request -> serve.batch (plan-cache decision) -> serve.solve ->
+   per-level mg.level -> per-op op.* spans with backend labels,
+3. aggregates the same solve with the SolveProfiler (per level/op/
+   backend cells — the rows a learned cost model trains on),
+4. exports the spans as Chrome trace_event JSON (open in Perfetto or
+   about:tracing) and the telemetry snapshot as Prometheus text.
+"""
+
+import json
+
+from repro.obs import SolveProfiler, Tracer
+from repro.obs.export import chrome_trace, prometheus_text
+from repro.obs.trace import iter_children
+from repro.serve import SolveServer
+from repro.store.trialdb import TrialDB
+from repro.core import poisson_problem
+
+LEVEL = 6  # N = 65; raise for bigger runs
+N = 2**LEVEL + 1
+
+
+def print_tree(spans, span, depth=0):
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+    print(f"  {'  ' * depth}{span.name}  {span.duration_s * 1e3:.3f}ms"
+          + (f"  [{attrs}]" if attrs else ""))
+    for child in sorted(iter_children(spans, span.span_id),
+                        key=lambda s: s.start_s):
+        print_tree(spans, child, depth + 1)
+
+
+def main() -> None:
+    tracer = Tracer()
+    profiler = SolveProfiler()
+    server = SolveServer(
+        machine="intel", store=TrialDB(":memory:"), workers=1, instances=1,
+        seed=3, tracer=tracer, profiler=profiler, op_span_min_points=0,
+    )
+    try:
+        print("1) warm the cache, then solve one traced request:")
+        server.warm("unbiased", LEVEL)
+        result = server.solve(poisson_problem("unbiased", n=N, seed=1), 1e5)
+        print(f"   solved: trace_id={result.trace_id}")
+
+        print("\n2) the request's span tree:")
+        spans = tracer.for_trace(result.trace_id)
+        root = next(s for s in spans if s.parent_id is None)
+        print_tree(spans, root)
+
+        print("\n3) per-(level, op, backend) profile of the same solve:")
+        for row in profiler.rows():
+            print(f"   level={row['level']} {row['op']:<12} "
+                  f"backend={row['backend']:<8} count={row['count']:<3} "
+                  f"total={row['total_s'] * 1e3:.3f}ms")
+
+        print("\n4) exports:")
+        doc = chrome_trace(spans)
+        print(f"   chrome trace_event: {len(doc['traceEvents'])} events "
+              f"({len(json.dumps(doc))} bytes) — load in Perfetto")
+        text = prometheus_text(server.stats())
+        line = next(l for l in text.splitlines() if l.startswith("repro_"))
+        print(f"   prometheus text: {len(text.splitlines())} lines, e.g. {line!r}")
+    finally:
+        server.shutdown(drain=True)
+
+
+if __name__ == "__main__":
+    main()

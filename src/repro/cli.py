@@ -14,7 +14,12 @@ Three entry styles share the ``repro-mg`` executable:
   heartbeats, export the per-cell provenance run table;
 * ``repro-mg serve [warm|bench] [options]`` — run the solve server:
   warm the plan cache for named workload classes, or drive it with the
-  built-in closed-loop load generator and print telemetry.
+  built-in closed-loop load generator and print telemetry (add
+  ``--trace`` to record a span tree per request);
+* ``repro-mg obs <report|trace|export> [options]`` — observability
+  tooling: summarize schema-versioned bench reports, pretty-print
+  recorded span trees, convert span logs to Chrome ``trace_event``
+  JSON or telemetry snapshots to Prometheus text format.
 """
 
 from __future__ import annotations
@@ -120,9 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-mg",
         description="Reproduction experiments for 'Autotuning Multigrid with "
         "PetaBricks' (SC'09)",
-        epilog="The persistent tuning store and the solve server have their "
-        "own subcommands: `repro-mg store {tune,ls,export,gc}` and "
-        "`repro-mg serve {warm,bench}` (see their --help).",
+        epilog="The persistent tuning store, the solve server, and the "
+        "observability tooling have their own subcommands: `repro-mg "
+        "store {tune,ls,export,gc}`, `repro-mg serve {warm,bench}`, and "
+        "`repro-mg obs {report,trace,export}` (see their --help).",
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {_version()}"
@@ -642,6 +648,27 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH", help="write the telemetry snapshot JSON here"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree per request (frontdoor/shard/batch/"
+        "plan-cache/per-level executor ops); bench reports then carry "
+        "per-request trace ids",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="with --trace: write the recorded spans as JSONL here "
+        "(convert with `repro-mg obs export`)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="DIR",
+        default="benchmarks/out",
+        help="bench mode: directory for the schema-versioned BENCH_*.json "
+        "envelope (default: benchmarks/out)",
+    )
     return parser
 
 
@@ -675,6 +702,12 @@ def _serve_main(argv: list[str]) -> int:
     specs = args.warm_specs or [parse_warm_spec("unbiased:5")]
     slo_p99_s = args.slo_p99_ms / 1e3 if args.slo_p99_ms is not None else None
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(capacity=65536)
+
     server: "FrontDoor | SolveServer"
     if args.shards is not None:
         server = FrontDoor(
@@ -690,6 +723,7 @@ def _serve_main(argv: list[str]) -> int:
             tune_jobs=args.jobs,
             backend=args.backend,
             slo_p99_s=slo_p99_s,
+            tracer=tracer,
         )
     else:
         server = SolveServer(
@@ -704,7 +738,9 @@ def _serve_main(argv: list[str]) -> int:
             tune_jobs=args.jobs,
             backend=args.backend,
             slo_p99_s=slo_p99_s,
+            tracer=tracer,
         )
+    report = None
     with server:
         if not args.no_warm:
             for dist, level, operator in specs:
@@ -751,7 +787,186 @@ def _serve_main(argv: list[str]) -> int:
         Path(args.json).parent.mkdir(parents=True, exist_ok=True)
         Path(args.json).write_text(json.dumps(snapshot, indent=2) + "\n")
         print(f"wrote {args.json}")
+    if report is not None:
+        from repro.obs.bench import write_bench_report
+
+        envelope_path = write_bench_report(
+            "serve_cli",
+            {"load": report, "telemetry": snapshot},
+            time.time(),
+            args.bench_out,
+        )
+        print(f"wrote {envelope_path}")
+    if tracer is not None:
+        spans = tracer.spans()
+        print(
+            f"traced {len(spans)} span(s) across "
+            f"{len(tracer.sink.trace_ids())} trace(s)"
+        )
+        if args.trace_out:
+            from repro.obs import write_spans_jsonl
+
+            count = write_spans_jsonl(spans, args.trace_out)
+            print(f"wrote {count} span(s) to {args.trace_out}")
     return 0
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mg obs",
+        description="Observability tooling: summarize schema-versioned "
+        "bench reports, pretty-print recorded span trees, and convert "
+        "span logs / telemetry snapshots for external viewers.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="summarize BENCH_*.json envelopes in a directory"
+    )
+    report.add_argument(
+        "--dir",
+        default="benchmarks/out",
+        help="directory holding BENCH_*.json envelopes (default: "
+        "benchmarks/out)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="print the envelopes as JSON"
+    )
+
+    trace = sub.add_parser(
+        "trace", help="pretty-print span trees from a spans JSONL file"
+    )
+    trace.add_argument("spans", help="spans JSONL file (serve --trace-out)")
+    trace.add_argument(
+        "--trace-id", default=None, help="only this trace (default: all)"
+    )
+
+    export = sub.add_parser(
+        "export",
+        help="convert a spans JSONL file to Chrome trace_event JSON, or a "
+        "telemetry snapshot to Prometheus text format",
+    )
+    export.add_argument(
+        "--spans", default=None, help="spans JSONL file to convert"
+    )
+    export.add_argument(
+        "--telemetry",
+        default=None,
+        help="telemetry snapshot JSON (serve --json) to convert",
+    )
+    export.add_argument(
+        "--format",
+        choices=["chrome", "prometheus"],
+        default=None,
+        help="output format (default: chrome for --spans, prometheus "
+        "for --telemetry)",
+    )
+    export.add_argument(
+        "--out", default=None, help="output path (default: stdout)"
+    )
+    return parser
+
+
+def _print_span_tree(spans, trace_id: str) -> None:
+    from repro.obs.trace import iter_children
+
+    selected = [s for s in spans if s.trace_id == trace_id]
+    by_id = {s.span_id: s for s in selected}
+
+    def render(span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        print(
+            f"  {'  ' * depth}{span.name}  {span.duration_s * 1e3:.3f}ms"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+        for child in sorted(
+            iter_children(selected, span.span_id), key=lambda s: s.start_s
+        ):
+            render(child, depth + 1)
+
+    print(f"trace {trace_id} ({len(selected)} span(s)):")
+    roots = [
+        s for s in selected
+        if s.parent_id is None or s.parent_id not in by_id
+    ]
+    for root in sorted(roots, key=lambda s: s.start_s):
+        render(root, 0)
+
+
+def _obs_main(argv: list[str]) -> int:
+    import json
+    from pathlib import Path
+
+    parser = build_obs_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        from repro.obs.bench import read_bench_report
+
+        paths = sorted(Path(args.dir).glob("BENCH_*.json"))
+        if not paths:
+            print(f"(no BENCH_*.json envelopes under {args.dir})")
+            return 0
+        envelopes = []
+        for path in paths:
+            try:
+                envelopes.append(read_bench_report(path))
+            except (ValueError, json.JSONDecodeError) as exc:
+                print(f"skipping {path}: {exc}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(envelopes, indent=2, sort_keys=True))
+        else:
+            for env in envelopes:
+                created = time.strftime(
+                    "%Y-%m-%d %H:%M:%S", time.localtime(env["created"])
+                )
+                keys = ", ".join(sorted(env["metrics"])[:8])
+                print(f"  {env['bench']:<16} {created}  metrics: {keys}")
+        return 0
+
+    if args.command == "trace":
+        from repro.obs import read_spans_jsonl
+
+        spans = read_spans_jsonl(args.spans)
+        trace_ids = (
+            [args.trace_id]
+            if args.trace_id
+            else sorted({s.trace_id for s in spans})
+        )
+        for trace_id in trace_ids:
+            _print_span_tree(spans, trace_id)
+        return 0
+
+    if args.command == "export":
+        if (args.spans is None) == (args.telemetry is None):
+            parser.error("pass exactly one of --spans or --telemetry")
+        if args.spans is not None:
+            fmt = args.format or "chrome"
+            if fmt != "chrome":
+                parser.error("--spans converts to --format chrome")
+            from repro.obs import chrome_trace, read_spans_jsonl
+
+            text = json.dumps(chrome_trace(read_spans_jsonl(args.spans)))
+        else:
+            fmt = args.format or "prometheus"
+            if fmt != "prometheus":
+                parser.error("--telemetry converts to --format prometheus")
+            from repro.obs import prometheus_text
+
+            text = prometheus_text(json.loads(Path(args.telemetry).read_text()))
+        if args.out:
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {out}")
+        else:
+            print(text)
+        return 0
+
+    raise AssertionError(f"unhandled obs command {args.command!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -762,6 +977,8 @@ def main(argv: list[str] | None = None) -> int:
         return _fleet_main(argv[1:])
     if argv[:1] == ["serve"]:
         return _serve_main(argv[1:])
+    if argv[:1] == ["obs"]:
+        return _obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

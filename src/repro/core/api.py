@@ -429,7 +429,9 @@ def open_server(
     Keyword options pass through — ``workers``, ``queue_size``,
     ``batch_size``, ``tune_jobs``, ``scheduler``, the tuning
     configuration (``kind``, ``accuracies``, ``seed``, ``instances``),
-    the SLO controls (``slo_p99_s``, ...), and so on.
+    the SLO controls (``slo_p99_s``, ...), and the observability hooks
+    (``tracer``/``profiler`` in-process, ``trace=True`` sharded — see
+    :mod:`repro.obs`).
 
     With ``shards=N`` it is a :class:`~repro.serve.frontdoor.FrontDoor`
     over N shard-worker processes with the same ``submit``/``solve``/

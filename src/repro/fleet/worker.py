@@ -17,19 +17,47 @@ the worker object, and a heartbeat row in the shared store's
 
 from __future__ import annotations
 
+import json
 import os
 import socket
+import traceback
 from typing import Any
 
 from repro.fleet.queue import Lease, WorkQueue
 from repro.machines.profile import MachineProfile
+from repro.obs.runtime import get_tracer
 from repro.serve.telemetry import Telemetry
 from repro.store.campaign import CampaignSpec, CellResult, tune_cell
 from repro.store.registry import PlanRegistry
 from repro.store.trialdb import TrialDB
 from repro.util.clock import WALL_CLOCK, Clock
 
-__all__ = ["FleetWorker", "load_campaign_spec"]
+__all__ = ["FleetWorker", "format_worker_error", "load_campaign_spec"]
+
+#: Cap on the persisted traceback, in characters.  The tail is kept —
+#: the innermost frames are the ones that identify the failure.
+TRACEBACK_LIMIT = 4000
+
+
+def format_worker_error(exc: BaseException, limit: int = TRACEBACK_LIMIT) -> str:
+    """A structured, bounded ``last_error`` payload for a failed cell.
+
+    JSON with the exception type, its message, and the traceback tail —
+    enough to diagnose a poisoned cell from the store alone, without the
+    worker's stdout.  Bounded so one pathological repr can't bloat the
+    cell row.  Stored as text in ``campaign_cells.last_error``; readers
+    that expect the old ``"Type: message"`` form still get a readable
+    string, and ``json.loads`` recovers the structure.
+    """
+    tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    if len(tb) > limit:
+        tb = "...(truncated)...\n" + tb[-limit:]
+    message = str(exc)
+    if len(message) > 500:
+        message = message[:500] + "..."
+    return json.dumps(
+        {"type": type(exc).__name__, "message": message, "traceback": tb}
+    )
 
 
 def load_campaign_spec(db: TrialDB, name: str) -> CampaignSpec:
@@ -122,9 +150,14 @@ class FleetWorker:
         while not self._stopped:
             if max_cells is not None and len(results) >= max_cells:
                 break
-            leases = self.queue.claim(
-                self.worker_id, machines=self.machines
-            )
+            tracer = get_tracer()
+            with tracer.span(
+                "fleet.claim", worker=self.worker_id, campaign=self.queue.campaign
+            ) as claim_span:
+                leases = self.queue.claim(
+                    self.worker_id, machines=self.machines
+                )
+                claim_span.set(claimed=len(leases))
             if not leases:
                 if not wait_for_leased or not self._wait_for_foreign_leases():
                     break
@@ -142,21 +175,39 @@ class FleetWorker:
 
     def _run_cell(self, lease: Lease) -> CellResult | None:
         start = self.clock.now()
+        tracer = get_tracer()
+        cell_attrs = {
+            "worker": self.worker_id,
+            "campaign": self.queue.campaign,
+            "machine": lease.machine,
+            "distribution": lease.distribution,
+            "operator": lease.operator,
+            "max_level": lease.max_level,
+            "attempt": lease.attempt,
+        }
         try:
-            result = tune_cell(
-                self.registry,
-                self.spec,
-                lease.machine,
-                lease.distribution,
-                lease.operator,
-                lease.max_level,
-                worker_id=self.worker_id,
-                attempt=lease.attempt,
-            )
+            with tracer.span("fleet.tune", **cell_attrs):
+                result = tune_cell(
+                    self.registry,
+                    self.spec,
+                    lease.machine,
+                    lease.distribution,
+                    lease.operator,
+                    lease.max_level,
+                    worker_id=self.worker_id,
+                    attempt=lease.attempt,
+                )
         except Exception as exc:  # noqa: BLE001 - a bad cell must not kill the loop
-            disposition = self.queue.fail(lease, f"{type(exc).__name__}: {exc}")
+            disposition = self.queue.fail(lease, format_worker_error(exc))
             self.telemetry.incr("cells_failed")
             self.telemetry.incr(f"cells_{disposition}")
+            if tracer.enabled:
+                tracer.event(
+                    "fleet.fail",
+                    error=type(exc).__name__,
+                    disposition=disposition,
+                    **cell_attrs,
+                )
             return None
         # The tune may have outlived the lease; renew before writing the
         # completion so a lost lease is detected instead of double-done.
@@ -165,9 +216,12 @@ class FleetWorker:
             return None
         self.telemetry.incr("lease_renewals")
         wall = self.clock.now() - start
-        if not self.queue.complete(
-            lease, result.source, result.simulated_cost, result.wall_seconds
-        ):
+        with tracer.span("fleet.commit", **cell_attrs) as commit_span:
+            committed = self.queue.complete(
+                lease, result.source, result.simulated_cost, result.wall_seconds
+            )
+            commit_span.set(committed=committed)
+        if not committed:
             self.telemetry.incr("leases_lost")
             return None
         self.telemetry.incr("cells_done")

@@ -271,6 +271,8 @@ def _compiler_version(cc: str) -> str:
 
 def _build_library() -> ctypes.CDLL:
     """Compile (if not cached) and load the kernel shared object."""
+    from repro.obs.runtime import get_tracer
+
     cc = _compiler()
     if cc is None:
         raise RuntimeError("no C compiler (gcc/cc) on PATH")
@@ -289,7 +291,12 @@ def _build_library() -> ctypes.CDLL:
             cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
             str(src_path), "-o", str(tmp_path),
         ]
-        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+        with get_tracer().span(
+            "kernels.compile", backend="cnative", compiler=version, key=key
+        ):
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
         if proc.returncode != 0:
             tmp_path.unlink(missing_ok=True)
             raise RuntimeError(

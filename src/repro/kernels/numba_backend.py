@@ -416,6 +416,15 @@ class NumbaBackend:
         k = _kernels()
         if k is None:
             return
+        from repro.obs.runtime import get_tracer
+
+        with get_tracer().span(
+            "kernels.warmup", backend="numba", kernels=len(k)
+        ):
+            self._do_warmup(k)
+        self._warmed = True
+
+    def _do_warmup(self, k: dict[str, Callable[..., Any]]) -> None:
         n = 5
         u2, b2, out2 = np.zeros((n, n)), np.zeros((n, n)), np.zeros((n, n))
         w = np.ones((n, n))
@@ -429,7 +438,6 @@ class NumbaBackend:
         u3, b3, out3 = np.zeros((n,) * 3), np.zeros((n,) * 3), np.zeros((n,) * 3)
         k["rbsor3d_axes"](u3, b3, 1.0, 1.0, 1.0, 1.0, 1.0, 1)
         k["residual3d_axes"](u3, b3, out3, 1.0, 1.0, 1.0, 1.0)
-        self._warmed = True
 
     def provenance(self) -> dict[str, Any]:
         available = self.available()

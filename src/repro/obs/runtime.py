@@ -1,0 +1,48 @@
+"""Process-global tracer: configure once, read from anywhere.
+
+Components with explicit ``tracer=`` parameters (server, front door,
+executor) should take them — injection beats globals.  But deep call
+sites that cannot grow a parameter without churning every caller
+(registry tune spans, fleet worker cycles, kernel compile events) read
+the process-global tracer instead.  It defaults to
+:data:`~repro.obs.trace.NOOP_TRACER`, so an unconfigured process pays
+one module-attribute load per would-be span and nothing else.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import NOOP_TRACER, NoopTracer, SpanSink, Tracer
+from repro.util.clock import Clock
+
+__all__ = ["configure", "get_tracer", "reset"]
+
+_TRACER: Tracer | NoopTracer = NOOP_TRACER
+
+
+def configure(
+    *,
+    enabled: bool = True,
+    clock: Clock | None = None,
+    capacity: int = 4096,
+    sink: SpanSink | None = None,
+) -> Tracer | NoopTracer:
+    """Install (and return) the process-global tracer.
+
+    ``enabled=False`` restores the shared no-op tracer.  Re-configuring
+    replaces the previous tracer; spans already in its sink stay with
+    that sink.
+    """
+    global _TRACER
+    _TRACER = Tracer(sink=sink, clock=clock, capacity=capacity) if enabled else NOOP_TRACER
+    return _TRACER
+
+
+def get_tracer() -> Tracer | NoopTracer:
+    """The process-global tracer (no-op unless :func:`configure`\\ d)."""
+    return _TRACER
+
+
+def reset() -> None:
+    """Back to the no-op tracer (test teardown hook)."""
+    global _TRACER
+    _TRACER = NOOP_TRACER

@@ -1,0 +1,604 @@
+"""Tracing core: spans, a lock-free ring-buffer sink, and tracers.
+
+A :class:`Span` is one timed operation; spans link into trees through
+``parent_id`` and share a ``trace_id`` per request, so one solve
+submitted through the sharded front door reads as a single correlated
+tree: frontdoor -> shard -> batch -> plan-cache decision -> per-level
+executor ops.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Disabled components hold
+   :data:`NOOP_TRACER`, whose ``span()`` returns one shared,
+   allocation-free context manager.  Hot paths that want even less can
+   branch on ``tracer.enabled`` once and skip the call entirely.
+2. **Lock-free on the hot path.**  :class:`SpanSink` is a bounded
+   buffer whose hot-path emit is the bound ``list.append`` builtin
+   itself (atomic under the GIL — no lock, no Python frame); the
+   oldest entries are trimmed lazily by emitters and readers.  Readers
+   (reports, exporters) get a best-effort snapshot; that is the right
+   trade for telemetry.
+3. **Deterministic time.**  Tracers read the injectable
+   :class:`~repro.util.clock.Clock` layer, so span durations in tests
+   come from a ``ManualClock``, not the scheduler.
+
+``contextvars`` carry the current span for parenting *within* a
+context; they do **not** flow into worker threads or subprocesses, so
+every boundary crossing (queue hand-off, shard control message) passes
+an explicit :class:`SpanContext` and the receiving side re-activates it
+with ``parent=`` or :meth:`Tracer.activate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import uuid
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from repro.util.clock import MONOTONIC_CLOCK, Clock
+
+__all__ = [
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "SpanContext",
+    "SpanSink",
+    "Tracer",
+]
+
+#: Process-wide span-id counter; combined with the pid so ids stay
+#: unique when shard workers ship spans back to the front door.
+_SPAN_IDS = itertools.count(1)
+
+# The pid is cached (and refreshed after fork) because it is read on
+# every span start — a hot path that must stay allocation-light.
+_PID = os.getpid()
+_PID_HEX = f"{_PID:x}"
+
+
+def _refresh_pid() -> None:
+    global _PID, _PID_HEX
+    _PID = os.getpid()
+    _PID_HEX = f"{_PID:x}"
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix
+    os.register_at_fork(after_in_child=_refresh_pid)
+
+
+def _new_span_id() -> str:
+    return f"{_PID_HEX}-{next(_SPAN_IDS):x}"
+
+
+_new_span = object.__new__
+_get_ident = threading.get_ident
+
+
+def _new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class SpanContext:
+    """The propagatable part of a span: (trace_id, span_id).
+
+    This is what crosses thread and process boundaries — a queue
+    hand-off stores it on the request, a shard control message carries
+    it as a two-key dict — so the receiving side can parent its spans
+    into the same tree.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_dict(self) -> dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpanContext":
+        return cls(str(data["trace_id"]), str(data["span_id"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext(trace_id={self.trace_id!r}, span_id={self.span_id!r})"
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    Mutable by design: created at operation start, annotated with
+    ``set()`` while running, stamped with ``end_s`` and emitted to the
+    sink on finish.  ``attrs`` is a plain dict of JSON-serializable
+    labels (operator, level, backend, cache decision, ...).
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start_s",
+        "end_s",
+        "attrs",
+        "pid",
+        "tid",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        start_s: float,
+        *,
+        pid: int | None = None,
+        tid: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        self.pid = pid if pid is not None else _PID
+        self.tid = tid if tid is not None else threading.get_ident()
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attribute labels; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration (0.0 while the span is still open)."""
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration_s:.6f}s)"
+        )
+
+
+def _materialize_leaf(record: tuple) -> Span:
+    """Build a real :class:`Span` from a deferred leaf record.
+
+    Leaf records are emitted by :meth:`Tracer.leaf` as plain tuples —
+    ``(name, attrs, start_s, end_s, parent, pid, tid)`` — so the hot
+    path pays one tuple allocation instead of a Span, an id string, and
+    id formatting.  Ids are drawn here, at read time; the parent is held
+    by reference (a Span or SpanContext), so correlation survives even
+    if the parent has already been evicted from the ring.
+    """
+    name, attrs, start_s, end_s, parent, pid, tid = record
+    if parent is not None:
+        trace_id = parent.trace_id
+        parent_id: str | None = parent.span_id
+    else:
+        trace_id = _new_trace_id()
+        parent_id = None
+    span = _new_span(Span)
+    span.name = name
+    span.trace_id = trace_id
+    span.span_id = _new_span_id()
+    span.parent_id = parent_id
+    span.start_s = start_s
+    span.end_s = end_s
+    span.attrs = attrs
+    span.pid = pid
+    span.tid = tid
+    return span
+
+
+class SpanSink:
+    """Bounded buffer of finished spans with a C-speed hot path.
+
+    ``append_raw`` is the hot-path operation: the bound ``list.append``
+    builtin itself — no Python frame, no lock, no index math.  The
+    buffer is kept near ``capacity`` by *lazy trimming*: ``emit`` (the
+    general-purpose path) and every reader drop the oldest entries once
+    the buffer overshoots.  Raw appenders skip that check, so they must
+    be interleaved with emits or reads — the executor's per-op records
+    satisfy this naturally because every run of ops is bracketed by an
+    ``mg.level`` span whose finish goes through ``emit``.  Telemetry
+    keeps the recent past; it is not an audit log.  Readers get a
+    best-effort snapshot; a span emitted concurrently with a read may
+    or may not appear, which is the documented (and tested) contract.
+
+    Entries are either finished :class:`Span` objects or deferred leaf
+    records (tuples, see :meth:`Tracer.leaf`); readers materialize the
+    tuples into Spans lazily and write them back, so ids stay stable
+    across repeated reads.  All mutations preserve the buffer list's
+    identity (in-place trim and clear), keeping bound ``append_raw``
+    references valid for the sink's lifetime.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"sink capacity must be > 0, not {capacity}")
+        self.capacity = capacity
+        # Trimming deletes from the front of a list — a memmove of
+        # every surviving pointer — so it must not fire per emit once
+        # the buffer is full.  Emits let the buffer overshoot by a
+        # slack chunk and trim back to capacity in one cut (amortized:
+        # one memmove per ~slack emits); readers trim exactly.
+        self._trim_at = capacity + max(64, capacity >> 3)
+        self._slots: list[Span | tuple] = []
+        self._dropped = 0  # entries trimmed away (total ever = dropped + len)
+        #: Bound ``list.append`` — the no-frame emit for per-op hot paths.
+        self.append_raw = self._slots.append
+
+    def emit(self, span: Span | tuple) -> None:
+        self._slots.append(span)
+        if len(self._slots) >= self._trim_at:
+            self._trim()
+
+    def _trim(self) -> None:
+        slots = self._slots
+        excess = len(slots) - self.capacity
+        if excess > 0:
+            del slots[:excess]  # in-place: bound append_raw stays valid
+            self._dropped += excess
+
+    def __len__(self) -> int:
+        return min(len(self._slots), self.capacity)
+
+    @property
+    def emitted(self) -> int:
+        """Total spans ever emitted (including trimmed-away ones)."""
+        return self._dropped + len(self._slots)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of retained spans, oldest first (best effort)."""
+        self._trim()
+        slots = self._slots
+        out: list[Span] = []
+        for i in range(len(slots)):
+            rec = slots[i]
+            if rec.__class__ is tuple:
+                span = _materialize_leaf(rec)
+                if slots[i] is rec:  # atomic under the GIL: keep ids stable
+                    slots[i] = span
+                rec = span
+            out.append(rec)
+        return out
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        """All retained spans of one trace, oldest first."""
+        return [s for s in self.spans() if s.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids present in the sink, oldest first."""
+        seen: dict[str, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        del self._slots[:]  # in-place: bound append_raw stays valid
+        self._dropped = 0
+
+
+#: Current span for implicit parenting. Context-local: flows through
+#: nested ``with tracer.span(...)`` blocks but NOT into worker threads.
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+
+
+class _SpanHandle:
+    """Context manager that finishes (and emits) its span on exit."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token: Any = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        _CURRENT_SPAN.reset(self._token)
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.finish(self._span)
+        return False
+
+
+class _ActivationHandle:
+    """Context manager that installs an existing span as current."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+        self._token: Any = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        _CURRENT_SPAN.reset(self._token)
+        return False
+
+
+class Tracer:
+    """Creates, parents, times, and emits spans.
+
+    ``parent`` resolution for a new span, in priority order: an explicit
+    :class:`Span` or :class:`SpanContext` argument, then the
+    context-local current span, then none (the span roots a new trace
+    with a fresh trace id).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: SpanSink | None = None,
+        clock: Clock | None = None,
+        capacity: int = 4096,
+    ) -> None:
+        self.sink = sink if sink is not None else SpanSink(capacity)
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        # Bound once: start/finish are the hottest calls in the repo
+        # when tracing is on (every executor op), so they must not
+        # re-resolve attribute chains per span.  ``now_fn`` is the
+        # clock's cheapest callable (the raw C builtin for real clocks).
+        self._now = self.clock.now_fn
+        self._emit = self.sink.emit
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        parent: Span | SpanContext | None = None,
+        trace_id: str | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Begin a span without installing it as current (manual mode)."""
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        if parent is not None:
+            resolved_trace = parent.trace_id
+            parent_id: str | None = parent.span_id
+        else:
+            resolved_trace = trace_id if trace_id is not None else _new_trace_id()
+            parent_id = None
+        # Slots are stored directly (no Span.__init__ frame): this path
+        # is gated at <= 5% of level-7 V-cycle wall-clock by
+        # benchmarks/bench_obs.py, and every skipped call counts.
+        span = _new_span(Span)
+        span.name = name
+        span.trace_id = resolved_trace
+        span.span_id = f"{_PID_HEX}-{next(_SPAN_IDS):x}"
+        span.parent_id = parent_id
+        span.end_s = None
+        span.attrs = attrs
+        span.pid = _PID
+        span.tid = _get_ident()
+        span.start_s = self._now()
+        return span
+
+    def begin(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        parent: Span | SpanContext | None,
+    ) -> Span:
+        """Begin a span with an explicit parent and a caller-owned attrs dict.
+
+        The hot-path variant of :meth:`start` for callers that manage
+        their own parent chain (the executor tracks the enclosing
+        ``mg.level`` span in a plain attribute — a contextvar set/reset
+        per recursion level would allocate HAMT nodes and tokens).  The
+        span is not installed as current; ``attrs`` may be shared across
+        spans and must not be mutated afterwards.
+        """
+        span = _new_span(Span)
+        span.name = name
+        if parent is not None:
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+        else:
+            span.trace_id = _new_trace_id()
+            span.parent_id = None
+        span.span_id = f"{_PID_HEX}-{next(_SPAN_IDS):x}"
+        span.end_s = None
+        span.attrs = attrs
+        span.pid = _PID
+        span.tid = _get_ident()
+        span.start_s = self._now()
+        return span
+
+    def leaf(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        start_s: float,
+        parent: Span | SpanContext | None = None,
+    ) -> float:
+        """Record a completed leaf operation; returns its duration.
+
+        The hottest call in the repo when tracing is on: per-op kernel
+        spans are recorded *after the fact* as one deferred tuple —
+        no Span allocation, no id formatting, no contextvar traffic
+        (the caller passes the parent; ``None`` falls back to the
+        context).  The sink materializes real Spans lazily at read
+        time (:func:`_materialize_leaf`).  ``attrs`` may be shared
+        across records and must not be mutated afterwards.  The caller
+        supplies ``start_s`` from this tracer's clock.
+        """
+        end_s = self._now()
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        self._emit((name, attrs, start_s, end_s, parent, _PID, _get_ident()))
+        return end_s - start_s
+
+    def finish(self, span: Span) -> None:
+        """Stamp the end time and emit to the sink."""
+        span.end_s = self._now()
+        self._emit(span)
+
+    def span(
+        self,
+        name: str,
+        parent: Span | SpanContext | None = None,
+        trace_id: str | None = None,
+        **attrs: Any,
+    ) -> _SpanHandle:
+        """``with tracer.span("name") as s:`` — timed, current, emitted."""
+        return _SpanHandle(self, self.start(name, parent, trace_id, **attrs))
+
+    def event(
+        self,
+        name: str,
+        parent: Span | SpanContext | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Emit a zero-duration span (a point annotation in the tree)."""
+        span = self.start(name, parent, **attrs)
+        span.end_s = span.start_s
+        self.sink.emit(span)
+        return span
+
+    # -- context plumbing --------------------------------------------------
+
+    def activate(self, span: Span) -> _ActivationHandle:
+        """Install ``span`` as the context-local parent for a block.
+
+        Used after a boundary crossing (worker thread, subprocess) to
+        re-root implicit parenting under a span created elsewhere.
+        """
+        return _ActivationHandle(span)
+
+    def current(self) -> Span | None:
+        return _CURRENT_SPAN.get()
+
+    def context(self) -> SpanContext | None:
+        """Propagatable context of the current span, if any."""
+        span = _CURRENT_SPAN.get()
+        return span.context() if span is not None else None
+
+    def new_trace_id(self) -> str:
+        return _new_trace_id()
+
+    # -- reading -----------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        return self.sink.spans()
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        return self.sink.for_trace(trace_id)
+
+
+class _NullSpan:
+    """Inert span stand-in; every mutation is a no-op."""
+
+    __slots__ = ()
+
+    trace_id = None
+    span_id = None
+    parent_id = None
+    name = "noop"
+    start_s = 0.0
+    end_s = 0.0
+    attrs: dict[str, Any] = {}
+    duration_s = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def context(self) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullHandle:
+    """Shared allocation-free context manager for the no-op tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NoopTracer:
+    """Zero-overhead tracer: every operation returns a shared inert object.
+
+    ``span()`` hands back one preallocated context manager — no span,
+    no clock read, no sink write — so components can hold a tracer
+    unconditionally and pay (almost) nothing when tracing is off.
+    """
+
+    enabled = False
+    sink = None
+    clock = MONOTONIC_CLOCK
+
+    def start(self, name: str, *args: Any, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def begin(self, name: str, attrs: Any, parent: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def leaf(self, name: str, attrs: Any, start_s: float, parent: Any = None) -> float:
+        return 0.0
+
+    def finish(self, span: Any) -> None:
+        return None
+
+    def span(self, name: str, *args: Any, **attrs: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def event(self, name: str, *args: Any, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def activate(self, span: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def current(self) -> None:
+        return None
+
+    def context(self) -> None:
+        return None
+
+    def new_trace_id(self) -> str:
+        return _new_trace_id()
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        return []
+
+
+#: Shared no-op instance — the default everywhere tracing is optional.
+NOOP_TRACER = NoopTracer()
+
+
+def iter_children(spans: list[Span], parent_id: str | None) -> Iterator[Span]:
+    """Yield spans whose parent is ``parent_id``, in emit order."""
+    for span in spans:
+        if span.parent_id == parent_id:
+            yield span

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable
 
 from repro.machines.profile import MachineProfile
+from repro.obs.trace import NOOP_TRACER, NoopTracer, Tracer
 from repro.operators.spec import OperatorSpec, parse_operator
 from repro.serve.telemetry import Telemetry
 from repro.tuner.plan import DEFAULT_ACCURACIES, TunedFullMGPlan, TunedVPlan
@@ -146,9 +147,11 @@ class PlanCache:
         allow_nearest: bool = True,
         telemetry: Telemetry | None = None,
         backend: str = "numpy",
+        tracer: Tracer | NoopTracer | None = None,
     ) -> None:
         from repro.kernels import resolve_backend
 
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.registry = registry
         self.kind = kind
         self.accuracies = tuple(accuracies)
@@ -243,6 +246,7 @@ class PlanCache:
         if entry is not None:
             entry.note_served(count)
             self.telemetry.incr("cache_hits", count)
+            self._trace_decision(key, "hit", entry)
             return entry
         with self._lock:
             build_lock = self._build_locks.setdefault(key, threading.Lock())
@@ -253,13 +257,33 @@ class PlanCache:
             if entry is not None:
                 entry.note_served(count)
                 self.telemetry.incr("cache_hits", count)
+                self._trace_decision(key, "hit", entry)
                 return entry
             self.telemetry.incr("cache_misses", count)
             entry = self._load(profile, key)
             with self._lock:
                 entry = self._entries.setdefault(key, entry)
             entry.note_served(count)
+            self._trace_decision(key, "miss", entry)
             return entry
+
+    def _trace_decision(self, key: ServeKey, decision: str, entry: CacheEntry) -> None:
+        """Emit one zero-duration plan-cache decision span (tracing on).
+
+        Parents to the context-local current span — the server activates
+        the batch span around its lookup — so the decision lands inside
+        the request's tree: ``... -> serve.batch -> plan_cache.decision``.
+        """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "plan_cache.decision",
+                key=key.label(),
+                decision=decision,
+                source=entry.source,
+                stale=entry.stale,
+                generation=entry.generation,
+                degraded=entry.degraded,
+            )
 
     def _load(self, profile: MachineProfile, key: ServeKey) -> CacheEntry:
         hit = self.registry.get(
@@ -373,6 +397,14 @@ class PlanCache:
                 generation=generation,
                 stale_served=old.serve_count() if old is not None else 0,
             )
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "plan_cache.swap",
+                    key=key.label(),
+                    old_source=old.source if old is not None else "(empty)",
+                    new_source=source,
+                    generation=generation,
+                )
             return entry
 
     # -- SLO-driven plan selection ----------------------------------------
@@ -385,6 +417,7 @@ class PlanCache:
         observed_p99_s: float | None = None,
         target_p99_s: float | None = None,
         reason: str = "slo-breach",
+        trace_id: str | None = None,
     ) -> CacheEntry | None:
         """Hot-swap ``key`` to a faster-but-coarser plan (SLO breach).
 
@@ -396,7 +429,8 @@ class PlanCache:
         that is already degraded (or unknown) returns unchanged/None.
 
         The swap is stamped into the trial log with ``serve_swap``
-        provenance (reason, observed vs target p99, the cap), the same
+        provenance (reason, observed vs target p99, the cap, and the
+        trace id of the request that tripped the decision), the same
         durability contract stale-while-tune swaps have.
         """
         if rungs < 1:
@@ -423,9 +457,19 @@ class PlanCache:
                 generation=entry.generation,
                 stale_served=current.serve_count(),
             )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "plan_cache.degrade",
+                key=key.label(),
+                generation=entry.generation,
+                accuracy_cap=entry.accuracy_cap,
+                observed_p99_s=observed_p99_s,
+                target_p99_s=target_p99_s,
+                trace_id=trace_id,
+            )
         self._record_slo_swap(
             key, entry, reason=reason, observed_p99_s=observed_p99_s,
-            target_p99_s=target_p99_s,
+            target_p99_s=target_p99_s, trace_id=trace_id,
         )
         return entry
 
@@ -436,6 +480,7 @@ class PlanCache:
         observed_p99_s: float | None = None,
         target_p99_s: float | None = None,
         reason: str = "slo-recovered",
+        trace_id: str | None = None,
     ) -> CacheEntry | None:
         """Swap the full-accuracy plan back after the SLO window recovers.
 
@@ -462,9 +507,18 @@ class PlanCache:
                 generation=entry.generation,
                 stale_served=current.serve_count(),
             )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "plan_cache.restore",
+                key=key.label(),
+                generation=entry.generation,
+                observed_p99_s=observed_p99_s,
+                target_p99_s=target_p99_s,
+                trace_id=trace_id,
+            )
         self._record_slo_swap(
             key, entry, reason=reason, observed_p99_s=observed_p99_s,
-            target_p99_s=target_p99_s,
+            target_p99_s=target_p99_s, trace_id=trace_id,
         )
         return entry
 
@@ -476,6 +530,7 @@ class PlanCache:
         reason: str,
         observed_p99_s: float | None,
         target_p99_s: float | None,
+        trace_id: str | None = None,
     ) -> None:
         """Durably log an SLO swap as a trial row with ``serve_swap``
         provenance (best-effort: telemetry already has the event, and a
@@ -496,6 +551,9 @@ class PlanCache:
                     "accuracy_cap": entry.accuracy_cap,
                     "observed_p99_s": observed_p99_s,
                     "target_p99_s": target_p99_s,
+                    # the traced request whose completion triggered the
+                    # swap decision (None when tracing is off)
+                    "trace_id": trace_id,
                 },
             )
             plan_json = entry.plan_json or json.dumps(

@@ -47,6 +47,8 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 import numpy as np
 
+from repro.obs.export import span_from_dict
+from repro.obs.trace import NOOP_TRACER, NoopTracer, Span, Tracer
 from repro.serve.batching import Backpressure
 from repro.serve.sharding import (
     Autoscaler,
@@ -87,6 +89,9 @@ class FrontDoorResult:
     solve_latency_s: float
     #: which shard worker served the request
     shard: int
+    #: trace id correlating the front-door + worker span tree (None when
+    #: tracing is off)
+    trace_id: str | None = None
 
 
 @dataclass
@@ -108,6 +113,8 @@ class PendingRequest:
     slot: int | None = None
     submitted_at: float = 0.0
     resubmits: int = field(default=0, compare=False)
+    #: front-door root span of this request's trace (None unless tracing)
+    span: "Span | None" = None
 
 
 class _WorkerHandle:
@@ -183,6 +190,9 @@ class FrontDoor:
         autoscaler: Autoscaler | None = None,
         telemetry: Telemetry | None = None,
         clock: Clock | None = None,
+        trace: bool = False,
+        tracer: Tracer | NoopTracer | None = None,
+        op_span_min_points: int | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, not {shards}")
@@ -192,6 +202,14 @@ class FrontDoor:
         self.telemetry = telemetry or Telemetry(
             clock=self.clock, window_s=slo_window_s
         )
+        # ``trace=True`` is the one-knob form: a tracer here plus traced
+        # workers whose spans ship home in solve replies.  An explicit
+        # ``tracer`` overrides the instance (e.g. a ManualClock one).
+        if tracer is not None:
+            self.tracer: Tracer | NoopTracer = tracer
+            trace = trace or tracer.enabled
+        else:
+            self.tracer = Tracer() if trace else NOOP_TRACER
         self.autoscaler = autoscaler
         self.pool_slots = pool_slots
         self._worker_options = dict(
@@ -210,6 +228,8 @@ class FrontDoor:
             slo_min_samples=slo_min_samples,
             slo_recovery_fraction=slo_recovery_fraction,
             slo_degrade_rungs=slo_degrade_rungs,
+            trace=trace,
+            op_span_min_points=op_span_min_points,
         )
         # Workers hold threads, SQLite handles and shm attachments —
         # spawn, never fork.
@@ -252,14 +272,32 @@ class FrontDoor:
         key = shard_key(operator, problem.level, problem.ndim)
         shape = problem.b.shape
         future: "Future[FrontDoorResult]" = Future()
+        span: Span | None = None
+        if self.tracer.enabled:
+            # The front door roots the trace; its context rides the JSON
+            # control message so the shard's serve.request span (and
+            # everything below it) joins the same tree.
+            span = self.tracer.start(
+                "frontdoor.request",
+                operator=operator,
+                level=problem.level,
+                distribution=dist,
+                shard_key=key,
+            )
         with self._lock:
             if self._closed:
+                if span is not None:
+                    span.set(error="RuntimeError")
+                    self.tracer.finish(span)
                 raise RuntimeError("front door is shut down")
             handle = self._workers[self._route_key(key)]
             pool = self._pool_for(shape)
             slot = pool.acquire()
             if slot is None:
                 self.telemetry.incr("requests_rejected")
+                if span is not None:
+                    span.set(rejected=True)
+                    self.tracer.finish(span)
                 raise Backpressure(pool.slots, pool.slots)
             pool.write_payload(slot, problem)
             self._next_id += 1
@@ -274,6 +312,9 @@ class FrontDoor:
                 "distribution": dist,
                 "target": target_accuracy,
             }
+            if span is not None:
+                span.set(shard=handle.index)
+                message["trace"] = span.context().to_dict()
             self._pending[rid] = PendingRequest(
                 future=future,
                 worker_index=handle.index,
@@ -282,6 +323,7 @@ class FrontDoor:
                 pool_shape=tuple(shape),
                 slot=slot,
                 submitted_at=self.clock.now(),
+                span=span,
             )
             self._send(handle, rid)
         self.telemetry.incr("requests_submitted")
@@ -590,6 +632,19 @@ class FrontDoor:
                         solution = pool.read_solution(pending.slot)
                     pool.release(pending.slot)
             latency = self.clock.now() - pending.submitted_at
+            trace_id: str | None = None
+            if pending.span is not None:
+                # Merge the worker-side spans (shipped in the reply as
+                # JSON) into the front door's sink, then close the root:
+                # one sink now holds the whole correlated tree.
+                trace_id = pending.span.trace_id
+                if self.tracer.enabled and self.tracer.sink is not None:
+                    for span_dict in msg.get("spans", []):
+                        self.tracer.sink.emit(span_from_dict(span_dict))
+                if kind != "result":
+                    pending.span.set(error=msg.get("error", "unexpected reply"))
+                pending.span.set(resubmits=pending.resubmits)
+                self.tracer.finish(pending.span)
             if kind == "result" and solution is not None:
                 self.telemetry.observe_windowed(
                     f"shard{handle.index}:latency", latency
@@ -606,6 +661,7 @@ class FrontDoor:
                         latency_s=latency,
                         solve_latency_s=msg.get("solve_latency_s", 0.0),
                         shard=handle.index,
+                        trace_id=trace_id,
                     )
                 )
             else:

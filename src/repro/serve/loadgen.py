@@ -157,11 +157,14 @@ def run_load(
     latencies = sorted(r.latency_s for r in results)
     sources: dict[str, int] = {}
     batched = 0
+    trace_ids: list[str] = []
     for r in results:
         sources[r.plan_source] = sources.get(r.plan_source, 0) + 1
         if r.batch_size > 1:
             batched += 1
-    return {
+        if getattr(r, "trace_id", None) is not None:
+            trace_ids.append(r.trace_id)
+    report: dict[str, Any] = {
         "requests": requests,
         "clients": clients,
         "seed": seed,
@@ -178,3 +181,8 @@ def run_load(
         "batched_fraction": batched / len(results) if results else 0.0,
         "sources": dict(sorted(sources.items())),
     }
+    # Only when the target is tracing: the report stays byte-identical
+    # for untraced runs, and traced runs can be joined to their spans.
+    if trace_ids:
+        report["trace_ids"] = sorted(trace_ids)
+    return report

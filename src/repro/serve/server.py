@@ -33,6 +33,8 @@ import numpy as np
 
 from repro.machines.presets import get_preset
 from repro.machines.profile import MachineProfile
+from repro.obs.profile import SolveProfiler
+from repro.obs.trace import NOOP_TRACER, NoopTracer, Span, SpanContext, Tracer
 from repro.operators.spec import OperatorSpec
 from repro.serve.batching import Backpressure, RequestQueue
 from repro.serve.cache import CacheEntry, PlanCache, ServeKey
@@ -63,6 +65,9 @@ class ServeResult:
     batch_size: int
     #: submit-to-completion latency in seconds
     latency_s: float
+    #: trace id correlating this request's span tree (None when tracing
+    #: is off)
+    trace_id: str | None = None
 
 
 @dataclass
@@ -80,6 +85,10 @@ class SolveRequest:
     #: the caller's buffer (the sharded tier passes shared-memory views
     #: here, so solutions never cross a process boundary by copy)
     out: np.ndarray | None = None
+    #: root span of this request's trace (None when tracing is off);
+    #: carried explicitly because contextvars do not cross the queue
+    #: hand-off into worker threads
+    span: Span | None = None
 
 
 class SolveServer:
@@ -155,6 +164,9 @@ class SolveServer:
         slo_min_samples: int = 8,
         slo_recovery_fraction: float = 0.8,
         slo_degrade_rungs: int = 1,
+        tracer: Tracer | NoopTracer | None = None,
+        profiler: SolveProfiler | None = None,
+        op_span_min_points: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, not {workers}")
@@ -163,6 +175,9 @@ class SolveServer:
         from repro.core.api import _resolve_registry
 
         self.clock = clock or MONOTONIC_CLOCK
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.profiler = profiler
+        self.op_span_min_points = op_span_min_points
         self.profile = get_preset(machine) if isinstance(machine, str) else machine
         self.registry: "PlanRegistry" = _resolve_registry(store)
         self.telemetry = telemetry or Telemetry(
@@ -182,6 +197,7 @@ class SolveServer:
             allow_nearest=allow_nearest,
             telemetry=self.telemetry,
             backend=backend,
+            tracer=self.tracer,
         )
         self.batch_size = batch_size
         self.tune_jobs = tune_jobs
@@ -213,6 +229,7 @@ class SolveServer:
         distribution: str | None = None,
         machine: str | MachineProfile | None = None,
         out: np.ndarray | None = None,
+        trace_parent: SpanContext | None = None,
     ) -> "Future[ServeResult]":
         """Enqueue one request; returns a future resolving to
         :class:`ServeResult`.
@@ -221,6 +238,10 @@ class SolveServer:
         shape; the solve then runs in place in that buffer and
         ``ServeResult.solution`` *is* it (the shared-memory serving tier
         passes slot views here so responses are zero-copy).
+
+        ``trace_parent`` joins this request to an existing trace (the
+        sharded front door passes the context it stamped on the control
+        message); without it, a traced request roots a fresh trace.
 
         Raises :class:`Backpressure` when the queue is full and
         :class:`RuntimeError` after :meth:`shutdown`.
@@ -242,6 +263,16 @@ class SolveServer:
         dist = resolve_distribution(problem, distribution)
         key = self.cache.key_for(profile, problem.operator, problem.level, dist)
         future: "Future[ServeResult]" = Future()
+        span: Span | None = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "serve.request",
+                parent=trace_parent,
+                operator=key.operator,
+                level=key.level,
+                distribution=key.distribution,
+                target_accuracy=target_accuracy,
+            )
         request = SolveRequest(
             problem=problem,
             target_accuracy=target_accuracy,
@@ -250,11 +281,15 @@ class SolveServer:
             future=future,
             submitted_at=self.clock.now(),
             out=out,
+            span=span,
         )
         try:
             depth = self._queue.put(key, request)
         except Backpressure:
             self.telemetry.incr("requests_rejected")
+            if span is not None:
+                span.set(rejected=True)
+                self.tracer.finish(span)
             raise
         self.telemetry.incr("requests_submitted")
         self.telemetry.set_gauge("queue_depth", depth)
@@ -376,17 +411,50 @@ class SolveServer:
             self.telemetry.observe(
                 "queue_wait", batch_started - request.submitted_at
             )
+        # The batch span covers formation + plan-cache decision, parented
+        # under the head request's trace; it is finished *before* the
+        # solves so a caller that collects spans when the head future
+        # resolves (the shard worker) sees a complete tree.  Solve spans
+        # of the head request still parent under it by id.
+        batch_span: Span | None = None
+        if self.tracer.enabled and head.span is not None:
+            batch_span = self.tracer.start("serve.batch", parent=head.span)
         try:
-            entry = self.cache.get_or_fallback(head.profile, head.key, len(batch))
+            if batch_span is not None:
+                with self.tracer.activate(batch_span):
+                    entry = self.cache.get_or_fallback(
+                        head.profile, head.key, len(batch)
+                    )
+            else:
+                entry = self.cache.get_or_fallback(head.profile, head.key, len(batch))
         except Exception as exc:  # fallback tuning failed: fail the batch
             for request in batch:
                 if request.future.set_running_or_notify_cancel():
                     request.future.set_exception(exc)
+                if request.span is not None:
+                    request.span.set(error=type(exc).__name__)
+                    self.tracer.finish(request.span)
             self.telemetry.incr("requests_failed", len(batch))
+            if batch_span is not None:
+                batch_span.set(error=type(exc).__name__)
+                self.tracer.finish(batch_span)
             return
+        if batch_span is not None:
+            batch_span.set(
+                batch_size=len(batch),
+                source=entry.source,
+                stale=entry.stale,
+                generation=entry.generation,
+            )
+            self.tracer.finish(batch_span)
         if entry.stale:
             self.telemetry.incr("fallback_served", len(batch))
-            self._schedule_tune(head.key, head.profile, entry)
+            self._schedule_tune(
+                head.key,
+                head.profile,
+                entry,
+                trace_id=head.span.trace_id if head.span is not None else None,
+            )
         self.telemetry.incr("batches")
         if len(batch) > 1:
             self.telemetry.incr("batched_requests", len(batch))
@@ -412,12 +480,18 @@ class SolveServer:
                 else:
                     tail.append(request)
             for request in inline:
-                self._solve_one(request, entry, executor, len(batch))
+                self._solve_one(
+                    request, entry, executor, len(batch),
+                    parent=batch_span if request is head else None,
+                )
             if tail:
                 self._run_on_scheduler(tail, entry, executor, len(batch))
         else:
             for request in batch:
-                self._solve_one(request, entry, executor, len(batch))
+                self._solve_one(
+                    request, entry, executor, len(batch),
+                    parent=batch_span if request is head else None,
+                )
 
     def _run_on_scheduler(
         self, requests: list[SolveRequest], entry: CacheEntry, executor: PlanExecutor,
@@ -441,9 +515,24 @@ class SolveServer:
         entry: CacheEntry,
         executor: PlanExecutor,
         batch_size: int,
+        parent: Span | None = None,
     ) -> None:
         if not request.future.set_running_or_notify_cancel():
+            if request.span is not None:
+                request.span.set(cancelled=True)
+                self.tracer.finish(request.span)
             return
+        solve_span: Span | None = None
+        if self.tracer.enabled and request.span is not None:
+            # The head request's solve nests under the batch span (same
+            # trace); every other request's solve hangs off its own root.
+            span_parent = parent if parent is not None else request.span
+            solve_span = self.tracer.start(
+                "serve.solve",
+                parent=span_parent,
+                plan_source=entry.source,
+                batch_size=batch_size,
+            )
         started = self.clock.now()
         try:
             from repro.grids.boundary import set_boundary_values
@@ -460,19 +549,42 @@ class SolveServer:
                 set_boundary_values(x, request.problem.boundary)
             else:
                 x = request.problem.initial_guess()
-            if isinstance(plan, TunedFullMGPlan):
+            if solve_span is not None:
+                solve_span.set(acc_index=acc_index)
+                with self.tracer.activate(solve_span):
+                    if isinstance(plan, TunedFullMGPlan):
+                        executor.run_full_mg(plan, x, request.problem.b, acc_index)
+                    else:
+                        executor.run_v(plan, x, request.problem.b, acc_index)
+            elif isinstance(plan, TunedFullMGPlan):
                 executor.run_full_mg(plan, x, request.problem.b, acc_index)
             else:
                 executor.run_v(plan, x, request.problem.b, acc_index)
         except Exception as exc:
             self.telemetry.incr("requests_failed")
+            if solve_span is not None:
+                solve_span.set(error=type(exc).__name__)
+                self.tracer.finish(solve_span)
+            if request.span is not None:
+                request.span.set(error=type(exc).__name__)
+                self.tracer.finish(request.span)
             request.future.set_exception(exc)
             return
         finished = self.clock.now()
+        if solve_span is not None:
+            self.tracer.finish(solve_span)
         self.telemetry.observe("solve", finished - started)
         latency = finished - request.submitted_at
         self.telemetry.observe("request_latency", latency)
         self.telemetry.incr("requests_completed")
+        trace_id: str | None = None
+        if request.span is not None:
+            # Finish the root span *before* resolving the future, so a
+            # waiter that collects this trace's spans on completion (the
+            # shard worker shipping them back to the front door) sees
+            # the whole tree.
+            trace_id = request.span.trace_id
+            self.tracer.finish(request.span)
         request.future.set_result(
             ServeResult(
                 solution=x,
@@ -481,15 +593,16 @@ class SolveServer:
                 stale=entry.stale,
                 batch_size=batch_size,
                 latency_s=latency,
+                trace_id=trace_id,
             )
         )
         if self.slo_p99_s is not None:
             self.telemetry.observe_windowed(
                 f"slo:{request.key.label()}", latency, self.slo_window_s
             )
-            self._slo_check(request.key)
+            self._slo_check(request.key, trace_id)
 
-    def _slo_check(self, key: ServeKey) -> None:
+    def _slo_check(self, key: ServeKey, trace_id: str | None = None) -> None:
         """Degrade or restore ``key``'s plan from its windowed p99.
 
         Runs on the serving thread right after a completion, so the
@@ -514,10 +627,13 @@ class SolveServer:
                 rungs=self.slo_degrade_rungs,
                 observed_p99_s=p99,
                 target_p99_s=target,
+                trace_id=trace_id,
             )
         elif entry.degraded and p99 <= target * self.slo_recovery_fraction:
             self.telemetry.incr("slo_recoveries")
-            self.cache.restore(key, observed_p99_s=p99, target_p99_s=target)
+            self.cache.restore(
+                key, observed_p99_s=p99, target_p99_s=target, trace_id=trace_id
+            )
 
     def _executor_for(self, key: ServeKey) -> PlanExecutor:
         """Worker-local plan executor per operator (shared factorization
@@ -529,27 +645,42 @@ class SolveServer:
             cache = self._executors.by_operator = {}
         executor = cache.get(key.operator)
         if executor is None:
-            executor = cache[key.operator] = PlanExecutor(operator=key.operator)
+            executor = cache[key.operator] = PlanExecutor(
+                operator=key.operator,
+                tracer=self.tracer,
+                profiler=self.profiler,
+                op_span_min_points=self.op_span_min_points,
+            )
         return executor
 
     # -- background tuning ------------------------------------------------
 
     def _schedule_tune(
-        self, key: ServeKey, profile: MachineProfile, stale_entry: CacheEntry
+        self,
+        key: ServeKey,
+        profile: MachineProfile,
+        stale_entry: CacheEntry,
+        trace_id: str | None = None,
     ) -> None:
         with self._state:
             if self._closed or key in self._tuning:
                 return
             self._tuning.add(key)
         try:
-            self._tuner_pool.submit(self._background_tune, key, profile, stale_entry)
+            self._tuner_pool.submit(
+                self._background_tune, key, profile, stale_entry, trace_id
+            )
         except RuntimeError:  # pool already shut down
             with self._state:
                 self._tuning.discard(key)
                 self._state.notify_all()
 
     def _background_tune(
-        self, key: ServeKey, profile: MachineProfile, stale_entry: CacheEntry
+        self,
+        key: ServeKey,
+        profile: MachineProfile,
+        stale_entry: CacheEntry,
+        trace_id: str | None = None,
     ) -> None:
         # The registry serializes only its DB touches (lookup, store,
         # trial record) — never the DP tune itself, so other cold keys
@@ -563,18 +694,41 @@ class SolveServer:
                 plan = _default_tuner(profile, tune_key, jobs=self.tune_jobs)
                 # Swap provenance rides inside the plan JSON, so the
                 # trial row the registry records carries it durably.
-                plan.metadata["serve_swap"] = {
+                swap_meta = {
                     "reason": "stale-while-tune",
                     "key": key.label(),
                     "fallback_generation": stale_entry.generation,
                     "stale_served_at_tune": stale_entry.serve_count(),
                 }
+                if trace_id is not None:
+                    # Correlate the swap with the request that triggered
+                    # it: the same id the client got in its ServeResult.
+                    swap_meta["trace_id"] = trace_id
+                plan.metadata["serve_swap"] = swap_meta
                 return plan
 
+            tune_span: Span | None = None
+            if self.tracer.enabled:
+                tune_span = self.tracer.start(
+                    "serve.background_tune",
+                    parent=None,
+                    trace_id=trace_id,
+                    key=key.label(),
+                )
             started = self.clock.now()
-            hit = self.registry.get_or_tune(
-                profile, tune_key, allow_nearest=False, tuner=tuner
-            )
+            try:
+                if tune_span is not None:
+                    with self.tracer.activate(tune_span):
+                        hit = self.registry.get_or_tune(
+                            profile, tune_key, allow_nearest=False, tuner=tuner
+                        )
+                else:
+                    hit = self.registry.get_or_tune(
+                        profile, tune_key, allow_nearest=False, tuner=tuner
+                    )
+            finally:
+                if tune_span is not None:
+                    self.tracer.finish(tune_span)
             if hit.source == "tuned":
                 self.telemetry.observe(
                     "background_tune", self.clock.now() - started

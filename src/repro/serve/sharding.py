@@ -107,6 +107,14 @@ class ShardWorkerConfig:
     slo_min_samples: int = 8
     slo_recovery_fraction: float = 0.8
     slo_degrade_rungs: int = 1
+    #: enable tracing inside this worker; solve replies then carry the
+    #: worker-side span tree (as JSON dicts) back to the front door
+    trace: bool = False
+    #: ring-buffer capacity of the worker's span sink when tracing
+    trace_capacity: int = 4096
+    #: executor op-span floor (None keeps the library default; 0 records
+    #: every op — the tiny-grid test/demo setting)
+    op_span_min_points: int | None = None
 
     def server_kwargs(self) -> dict[str, Any]:
         return {
@@ -124,6 +132,7 @@ class ShardWorkerConfig:
             "slo_min_samples": self.slo_min_samples,
             "slo_recovery_fraction": self.slo_recovery_fraction,
             "slo_degrade_rungs": self.slo_degrade_rungs,
+            "op_span_min_points": self.op_span_min_points,
         }
 
 
@@ -148,6 +157,8 @@ def shard_worker_main(config: ShardWorkerConfig, conn: "Connection") -> None:
     request, serialized by a send lock; the loop itself only ever
     blocks in ``recv_bytes``.
     """
+    from repro.obs.export import span_to_dict
+    from repro.obs.trace import SpanContext, Tracer
     from repro.serve.server import ServeResult, SolveServer
     from repro.serve.shm import ShmAttachments, attach_problem
     from repro.store.registry import PlanRegistry
@@ -157,7 +168,8 @@ def shard_worker_main(config: ShardWorkerConfig, conn: "Connection") -> None:
     store: Any = (
         config.store_path if config.store_path is not None else PlanRegistry(":memory:")
     )
-    server = SolveServer(store=store, **config.server_kwargs())
+    tracer = Tracer(capacity=config.trace_capacity) if config.trace else None
+    server = SolveServer(store=store, tracer=tracer, **config.server_kwargs())
     attachments = ShmAttachments()
     send_lock = threading.Lock()
 
@@ -183,18 +195,25 @@ def shard_worker_main(config: ShardWorkerConfig, conn: "Connection") -> None:
                 }
             )
             return
-        reply(
-            {
-                "type": "result",
-                "id": request_id,
-                **slot_token,
-                "plan_source": result.plan_source,
-                "generation": result.generation,
-                "stale": result.stale,
-                "batch_size": result.batch_size,
-                "solve_latency_s": result.latency_s,
-            }
-        )
+        response: dict[str, Any] = {
+            "type": "result",
+            "id": request_id,
+            **slot_token,
+            "plan_source": result.plan_source,
+            "generation": result.generation,
+            "stale": result.stale,
+            "batch_size": result.batch_size,
+            "solve_latency_s": result.latency_s,
+        }
+        if tracer is not None and result.trace_id is not None:
+            # Ship this request's span tree home as plain JSON dicts —
+            # still pickle-free — so the front door can merge every
+            # worker's spans into one correlated trace.
+            response["trace_id"] = result.trace_id
+            response["spans"] = [
+                span_to_dict(s) for s in tracer.for_trace(result.trace_id)
+            ]
+        reply(response)
 
     def handle_solve(msg: dict[str, Any]) -> None:
         # Isolated in its own frame on purpose: the shm views built here
@@ -209,11 +228,15 @@ def shard_worker_main(config: ShardWorkerConfig, conn: "Connection") -> None:
                 msg["operator"],
                 msg["distribution"],
             )
+            trace_ctx = msg.get("trace")
             future = server.submit(
                 problem,
                 msg["target"],
                 distribution=msg["distribution"],
                 out=x,
+                trace_parent=(
+                    SpanContext.from_dict(trace_ctx) if trace_ctx is not None else None
+                ),
             )
         except Exception as exc:
             reply(

@@ -7,6 +7,14 @@ events.  Everything here is cheap enough to sit on the request path —
 histogram recording is one bisect plus one increment under a lock —
 and the whole state exports as JSON for dashboards or CI artifacts.
 
+Since the observability PR, the primitives live in
+:mod:`repro.obs.metrics`: every counter, gauge, and histogram here is a
+handle minted from a :class:`~repro.obs.metrics.MetricsRegistry` (one
+per :class:`Telemetry` by default, or a shared one passed in), so the
+same metrics are visible to the unified Prometheus exporter.  The JSON
+``snapshot()`` shape is unchanged — byte-compatible with every earlier
+release — and is regression-tested against a hand-rolled baseline.
+
 Two latency views coexist.  :class:`LatencyHistogram` is cumulative —
 the whole lifetime of the server — which is the right record for a
 benchmark report.  :class:`SlidingWindow` is *recent* — only the
@@ -22,85 +30,37 @@ from __future__ import annotations
 import json
 import math
 import threading
-from bisect import bisect_left
 from collections import deque
 from typing import Any, Deque
 
+from repro.obs.metrics import PERCENTILES as PERCENTILES
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_bounds,
+)
 from repro.util.clock import MONOTONIC_CLOCK, Clock
 
 __all__ = ["LatencyHistogram", "SlidingWindow", "SwapEvent", "Telemetry"]
 
-#: Default percentiles reported by snapshots.
-PERCENTILES = (0.50, 0.95, 0.99)
-
 
 def _default_bounds() -> tuple[float, ...]:
-    """Geometric bucket upper bounds from 1 microsecond to ~1000 s.
-
-    Nine decades at 8 buckets/decade keeps relative error per bucket
-    under ~33% — plenty for tail-latency reporting — with 72 buckets.
-    """
-    return tuple(1e-6 * 10 ** (i / 8) for i in range(1, 73))
+    """Geometric bucket bounds (now shared via :mod:`repro.obs.metrics`)."""
+    return default_bounds()
 
 
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """Fixed-bucket latency histogram with percentile estimation.
 
-    Values are durations in seconds.  Percentiles interpolate to the
-    geometric midpoint of the selected bucket, so estimates are stable
-    under merge and never exceed the observed maximum by more than one
-    bucket width.  Not thread-safe on its own; :class:`Telemetry`
-    serializes access.
+    The implementation is :class:`repro.obs.metrics.Histogram` — values
+    are durations in seconds, percentiles interpolate to the geometric
+    midpoint of the selected bucket, estimates are stable under merge
+    and never exceed the observed maximum by more than one bucket
+    width.  Not thread-safe on its own; :class:`Telemetry` serializes
+    access.
     """
-
-    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
-        self.bounds = bounds if bounds is not None else _default_bounds()
-        if list(self.bounds) != sorted(self.bounds):
-            raise ValueError("histogram bounds must be sorted ascending")
-        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
-        self.count = 0
-        self.sum = 0.0
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError(f"latency must be >= 0, not {seconds}")
-        self.counts[bisect_left(self.bounds, seconds)] += 1
-        self.count += 1
-        self.sum += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Estimated latency at quantile ``q`` in [0, 1] (0.0 if empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], not {q}")
-        if self.count == 0:
-            return 0.0
-        rank = max(1, math.ceil(q * self.count))
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank:
-                if i >= len(self.bounds):
-                    return self.max
-                lo = self.bounds[i - 1] if i > 0 else self.bounds[i] / 10
-                return min(math.sqrt(lo * self.bounds[i]), self.max)
-        return self.max  # pragma: no cover - rank <= count by construction
-
-    def to_dict(self, percentiles: tuple[float, ...] = PERCENTILES) -> dict[str, Any]:
-        out: dict[str, Any] = {
-            "count": self.count,
-            "mean_s": self.mean,
-            "max_s": self.max,
-        }
-        for q in percentiles:
-            out[f"p{int(round(q * 100))}_s"] = self.percentile(q)
-        return out
 
 
 class SlidingWindow:
@@ -188,13 +148,18 @@ class SwapEvent:
 
 
 class Telemetry:
-    """Thread-safe metric registry for one serving runtime.
+    """Thread-safe metric facade for one serving runtime.
 
     Counters (monotonic ints), gauges (last-write-wins floats), named
     latency histograms, named sliding windows (recent-percentile view
     for SLO control), and a bounded log of plan swap events.  A
     :meth:`snapshot` is a plain dict — JSON-serializable as-is — taken
     under the lock, so it is internally consistent.
+
+    The counters, gauges, and histograms are handles on a
+    :class:`~repro.obs.metrics.MetricsRegistry` (a private one unless
+    ``registry`` is passed), so a process-wide registry sees serving
+    metrics alongside everything else; the snapshot shape is unchanged.
 
     ``clock`` timestamps window samples and window reads; the default
     real clock is right for production, tests inject a
@@ -207,33 +172,52 @@ class Telemetry:
         max_events: int = 256,
         clock: Clock | None = None,
         window_s: float = 5.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.clock = clock or MONOTONIC_CLOCK
         self.window_s = window_s
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self._gauges: dict[str, float] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._windows: dict[str, SlidingWindow] = {}
         self._events: Deque[SwapEvent] = deque(maxlen=max_events)
         self._seq = 0
+
+    # -- registry plumbing -------------------------------------------------
+
+    def _counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = self.registry.counter(name)
+        return metric
+
+    def _gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = self.registry.gauge(name)
+        return metric
+
+    def _histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = self.registry.histogram(name)
+        return metric
 
     # -- recording --------------------------------------------------------
 
     def incr(self, name: str, by: int = 1) -> None:
         with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + by
+            self._counter(name).inc(by)
 
     def set_gauge(self, name: str, value: float) -> None:
         with self._lock:
-            self._gauges[name] = float(value)
+            self._gauge(name).set(value)
 
     def observe(self, name: str, seconds: float) -> None:
         with self._lock:
-            hist = self._histograms.get(name)
-            if hist is None:
-                hist = self._histograms[name] = LatencyHistogram()
-            hist.record(seconds)
+            self._histogram(name).record(seconds)
 
     def observe_windowed(
         self, name: str, seconds: float, window_s: float | None = None
@@ -245,10 +229,7 @@ class Telemetry:
         """
         now = self.clock.now()
         with self._lock:
-            hist = self._histograms.get(name)
-            if hist is None:
-                hist = self._histograms[name] = LatencyHistogram()
-            hist.record(seconds)
+            self._histogram(name).record(seconds)
             window = self._windows.get(name)
             if window is None:
                 window = self._windows[name] = SlidingWindow(
@@ -284,18 +265,20 @@ class Telemetry:
                 self._seq, key, old_source, new_source, generation, stale_served
             )
             self._events.append(event)
-            self._counters["plan_swaps"] = self._counters.get("plan_swaps", 0) + 1
+            self._counter("plan_swaps").inc()
             return event
 
     # -- reading ----------------------------------------------------------
 
     def counter(self, name: str) -> int:
         with self._lock:
-            return self._counters.get(name, 0)
+            metric = self._counters.get(name)
+            return metric.value if metric is not None else 0
 
     def gauge(self, name: str) -> float:
         with self._lock:
-            return self._gauges.get(name, 0.0)
+            metric = self._gauges.get(name)
+            return metric.value if metric is not None else 0.0
 
     def percentile(self, histogram: str, q: float) -> float:
         with self._lock:
@@ -312,8 +295,10 @@ class Telemetry:
         now = self.clock.now()
         with self._lock:
             return {
-                "counters": dict(sorted(self._counters.items())),
-                "gauges": dict(sorted(self._gauges.items())),
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
                 "latency": {
                     name: hist.to_dict()
                     for name, hist in sorted(self._histograms.items())

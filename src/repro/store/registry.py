@@ -395,8 +395,18 @@ class PlanRegistry:
         hit = self.get(profile, key, allow_nearest, max_distance)
         if hit is not None:
             return hit
+        from repro.obs.runtime import get_tracer
+
         start = time.perf_counter()
-        plan = (tuner or (lambda: _default_tuner(profile, key, jobs=jobs)))()
+        with get_tracer().span(
+            "registry.tune",
+            kind=key.kind,
+            operator=key.operator,
+            distribution=key.distribution,
+            max_level=key.max_level,
+            backend=key.backend,
+        ):
+            plan = (tuner or (lambda: _default_tuner(profile, key, jobs=jobs)))()
         wall = time.perf_counter() - start
         return self.record_tuned_plan(
             profile, key, plan, wall, record_trial=record_trial,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Callable
 
 __all__ = [
     "Clock",
@@ -34,9 +35,23 @@ class Clock:
     def sleep(self, seconds: float) -> None:
         raise NotImplementedError
 
+    @property
+    def now_fn(self) -> Callable[[], float]:
+        """The cheapest zero-arg callable equivalent to :meth:`now`.
+
+        Hot paths that read the clock per kernel op bind this once —
+        real clocks return the underlying C builtin directly (no Python
+        wrapper frame per read, which is measurable at per-op
+        granularity); the base fallback is the bound ``now`` itself, so
+        ``ManualClock`` stays fully injectable.
+        """
+        return self.now
+
 
 class MonotonicClock(Clock):
     """The real thing: ``time.perf_counter`` and ``time.sleep``."""
+
+    now_fn = staticmethod(time.perf_counter)
 
     def now(self) -> float:
         return time.perf_counter()
@@ -52,12 +67,16 @@ MONOTONIC_CLOCK = MonotonicClock()
 class WallClock(Clock):
     """Wall-clock time (``time.time``) and real sleep.
 
+    ``now_fn`` is the raw ``time.time`` builtin (see :class:`Clock`).
+
     ``perf_counter``'s reference point is undefined per process, so
     monotonic readings cannot be *compared* across processes or hosts.
     Anything that stores timestamps other processes must interpret —
     the fleet's lease expiries and worker heartbeats live in a shared
     database — uses wall-clock time instead.
     """
+
+    now_fn = staticmethod(time.time)
 
     def now(self) -> float:
         return time.time()

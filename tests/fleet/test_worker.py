@@ -1,8 +1,11 @@
 """FleetWorker: drain the queue, match the serial registry, survive crashes."""
 
+import json
+
 import pytest
 
 from repro.fleet import FleetCoordinator, FleetWorker, WorkQueue, load_campaign_spec
+from repro.fleet.worker import format_worker_error
 from repro.machines.presets import get_preset
 from repro.serve.telemetry import Telemetry
 from repro.store import Campaign, CampaignSpec, PlanRegistry, TrialDB
@@ -155,6 +158,66 @@ class TestCrashRecovery:
         worker = FleetWorker(db, "fleet-test", worker_id="w1")
         worker.stop()
         assert worker.run() == []
+        db.close()
+
+
+class TestFormatWorkerError:
+    def test_payload_is_structured_json(self):
+        try:
+            raise ValueError("bad preset")
+        except ValueError as exc:
+            payload = format_worker_error(exc)
+        doc = json.loads(payload)
+        assert doc["type"] == "ValueError"
+        assert doc["message"] == "bad preset"
+        assert "Traceback (most recent call last)" in doc["traceback"]
+        assert "raise ValueError" in doc["traceback"]
+        # readable as the old "Type: message" style too
+        assert "ValueError" in payload and "bad preset" in payload
+
+    def test_traceback_is_tail_bounded(self):
+        def recurse(n):
+            if n == 0:
+                raise RuntimeError("bottom")
+            recurse(n - 1)
+
+        try:
+            recurse(200)
+        except RuntimeError as exc:
+            doc = json.loads(format_worker_error(exc, limit=100))
+        assert doc["traceback"].startswith("...(truncated)...\n")
+        assert len(doc["traceback"]) <= 100 + len("...(truncated)...\n")
+        # the tail (the actual raise site) survives the truncation
+        assert "bottom" in doc["traceback"]
+
+    def test_message_is_bounded(self):
+        try:
+            raise RuntimeError("x" * 2000)
+        except RuntimeError as exc:
+            doc = json.loads(format_worker_error(exc))
+        assert len(doc["message"]) == 503
+        assert doc["message"].endswith("...")
+
+    def test_poisoned_cell_stores_recoverable_structure(self):
+        """The stored last_error round-trips: json.loads on the cell row
+        recovers type + message + traceback."""
+        db = TrialDB(":memory:")
+        spec = CampaignSpec(
+            name="fleet-test",
+            machines=("no-such-machine",),
+            distributions=("unbiased",),
+            levels=(3,),
+            instances=1,
+            seed=3,
+        )
+        enqueue(db, spec)
+        FleetWorker(db, "fleet-test", worker_id="w1", max_attempts=1).run()
+        (cell,) = WorkQueue(db, "fleet-test").cells()
+        assert cell["status"] == "poisoned"
+        doc = json.loads(cell["last_error"])
+        assert doc["type"] == "ValueError"
+        assert "no-such-machine" in doc["message"]
+        assert "Traceback" in doc["traceback"]
         db.close()
 
 

@@ -1,0 +1,50 @@
+"""Schema-versioned bench report envelopes."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    bench_envelope,
+    read_bench_report,
+    write_bench_report,
+)
+
+
+class TestEnvelope:
+    def test_shape(self):
+        env = bench_envelope("serve", {"p99_s": 0.02}, created=123.0)
+        assert env == {
+            "schema": BENCH_SCHEMA,
+            "bench": "serve",
+            "created": 123.0,
+            "metrics": {"p99_s": 0.02},
+        }
+
+    def test_rejects_pathy_names(self):
+        for bad in ("", "a/b", "a\\b"):
+            with pytest.raises(ValueError):
+                bench_envelope(bad, {}, 0.0)
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = write_bench_report("obs", {"overhead": 0.04}, 99.0, tmp_path)
+        assert path.name == "BENCH_obs.json"
+        doc = read_bench_report(path)
+        assert doc["bench"] == "obs"
+        assert doc["metrics"] == {"overhead": 0.04}
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": "other/v9", "bench": "x"}))
+        with pytest.raises(ValueError):
+            read_bench_report(path)
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            read_bench_report(path)
+
+    def test_read_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "BENCH_y.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA, "bench": "y"}))
+        with pytest.raises(ValueError):
+            read_bench_report(path)

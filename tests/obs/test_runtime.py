@@ -1,0 +1,35 @@
+"""Process-global tracer: configure / get / reset."""
+
+from repro.obs.runtime import configure, get_tracer, reset
+from repro.obs.trace import NOOP_TRACER, SpanSink, Tracer
+from repro.util.clock import ManualClock
+
+
+class TestRuntime:
+    def teardown_method(self):
+        reset()
+
+    def test_defaults_to_noop(self):
+        reset()
+        assert get_tracer() is NOOP_TRACER
+
+    def test_configure_installs_and_returns(self):
+        tracer = configure(clock=ManualClock(), capacity=16)
+        assert isinstance(tracer, Tracer)
+        assert get_tracer() is tracer
+        assert tracer.sink.capacity == 16
+
+    def test_configure_with_shared_sink(self):
+        sink = SpanSink(capacity=8)
+        tracer = configure(sink=sink)
+        assert tracer.sink is sink
+
+    def test_disable_restores_noop(self):
+        configure(clock=ManualClock())
+        assert configure(enabled=False) is NOOP_TRACER
+        assert get_tracer() is NOOP_TRACER
+
+    def test_reset_is_teardown(self):
+        configure(clock=ManualClock())
+        reset()
+        assert get_tracer() is NOOP_TRACER

@@ -1,0 +1,48 @@
+"""SolveProfiler: aggregation cells, merge, training-row export."""
+
+import pytest
+
+from repro.obs.profile import SolveProfiler
+
+
+class TestSolveProfiler:
+    def test_records_aggregate_per_cell(self):
+        prof = SolveProfiler()
+        prof.record(7, "relax", "numpy", 0.010)
+        prof.record(7, "relax", "numpy", 0.030)
+        prof.record(7, "residual", "numpy", 0.005)
+        assert len(prof) == 2
+        rows = {(r["level"], r["op"], r["backend"]): r for r in prof.rows()}
+        relax = rows[(7, "relax", "numpy")]
+        assert relax["count"] == 2
+        assert relax["total_s"] == pytest.approx(0.040)
+        assert relax["mean_s"] == pytest.approx(0.020)
+
+    def test_rows_sorted_and_shaped_for_training(self):
+        prof = SolveProfiler()
+        prof.record(6, "restrict", "cnative", 0.002)
+        prof.record(3, "direct", "direct", 0.001)
+        rows = prof.rows()
+        assert [r["level"] for r in rows] == [3, 6]
+        for row in rows:
+            assert set(row) == {"level", "op", "backend", "count", "total_s", "mean_s"}
+
+    def test_merge_folds_cells(self):
+        a, b = SolveProfiler(), SolveProfiler()
+        a.record(7, "relax", "numpy", 0.01)
+        b.record(7, "relax", "numpy", 0.03)
+        b.record(5, "restrict", "numpy", 0.002)
+        a.merge(b)
+        rows = {(r["level"], r["op"]): r for r in a.rows()}
+        assert rows[(7, "relax")]["count"] == 2
+        assert rows[(7, "relax")]["total_s"] == pytest.approx(0.04)
+        assert rows[(5, "restrict")]["count"] == 1
+
+    def test_totals_and_dict(self):
+        prof = SolveProfiler()
+        prof.record(7, "relax", "numpy", 0.01)
+        prof.record(6, "residual", "numpy", 0.02)
+        assert prof.total_seconds() == pytest.approx(0.03)
+        doc = prof.to_dict()
+        assert doc["total_s"] == pytest.approx(0.03)
+        assert len(doc["rows"]) == 2

@@ -1,0 +1,232 @@
+"""Tracing core: spans, parenting, the sink's trim contract, no-op cost."""
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanContext,
+    SpanSink,
+    Tracer,
+)
+from repro.util.clock import ManualClock
+
+
+def manual_tracer(capacity: int = 64) -> tuple[Tracer, ManualClock]:
+    clock = ManualClock()
+    return Tracer(clock=clock, capacity=capacity), clock
+
+
+class TestSpan:
+    def test_duration_and_attrs(self):
+        tracer, clock = manual_tracer()
+        span = tracer.start("solve", level=7)
+        clock.advance(0.25)
+        tracer.finish(span)
+        assert span.duration_s == pytest.approx(0.25)
+        assert span.attrs == {"level": 7}
+        span.set(backend="numpy")
+        assert span.attrs["backend"] == "numpy"
+
+    def test_open_span_has_zero_duration(self):
+        tracer, _ = manual_tracer()
+        span = tracer.start("open")
+        assert span.end_s is None
+        assert span.duration_s == 0.0
+
+    def test_context_round_trip(self):
+        tracer, _ = manual_tracer()
+        span = tracer.start("root")
+        ctx = span.context()
+        restored = SpanContext.from_dict(ctx.to_dict())
+        assert (restored.trace_id, restored.span_id) == (span.trace_id, span.span_id)
+
+
+class TestParenting:
+    def test_root_span_mints_trace_id(self):
+        tracer, _ = manual_tracer()
+        a = tracer.start("a")
+        b = tracer.start("b")
+        assert a.parent_id is None and b.parent_id is None
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_context_manager_nests(self):
+        tracer, _ = manual_tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        assert tracer.current() is None
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "outer"]  # finish order
+
+    def test_explicit_parent_beats_context(self):
+        tracer, _ = manual_tracer()
+        other = tracer.start("other")
+        with tracer.span("current"):
+            child = tracer.start("child", parent=other)
+        assert child.parent_id == other.span_id
+        assert child.trace_id == other.trace_id
+
+    def test_parent_from_span_context(self):
+        """Cross-boundary parenting: only (trace_id, span_id) crosses."""
+        tracer, _ = manual_tracer()
+        ctx = SpanContext("cafe" * 4, "1-2f")
+        span = tracer.start("worker.side", parent=ctx)
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_id == ctx.span_id
+
+    def test_activate_installs_existing_span(self):
+        tracer, _ = manual_tracer()
+        root = tracer.start("root")
+        with tracer.activate(root):
+            assert tracer.current() is root
+            assert tracer.context().span_id == root.span_id
+            child = tracer.start("child")
+        assert child.parent_id == root.span_id
+        assert tracer.current() is None
+
+    def test_error_label_on_exception(self):
+        tracer, _ = manual_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.end_s is not None
+
+
+class TestLeafRecords:
+    def test_leaf_materializes_under_parent(self):
+        tracer, clock = manual_tracer()
+        with tracer.span("parent") as parent:
+            start = clock.now()
+            clock.advance(0.5)
+            duration = tracer.leaf("op.relax", {"level": 7}, start)
+        assert duration == pytest.approx(0.5)
+        spans = tracer.spans()
+        leaf = next(s for s in spans if s.name == "op.relax")
+        assert leaf.parent_id == parent.span_id
+        assert leaf.trace_id == parent.trace_id
+        assert leaf.duration_s == pytest.approx(0.5)
+        assert leaf.attrs == {"level": 7}
+
+    def test_leaf_with_explicit_parent(self):
+        tracer, clock = manual_tracer()
+        parent = tracer.start("parent")
+        tracer.leaf("op.residual", {}, clock.now(), parent)
+        leaf = next(s for s in tracer.spans() if s.name == "op.residual")
+        assert leaf.parent_id == parent.span_id
+
+    def test_orphan_leaf_roots_its_own_trace(self):
+        tracer, clock = manual_tracer()
+        tracer.leaf("op.loose", {}, clock.now())
+        (leaf,) = tracer.spans()
+        assert leaf.parent_id is None
+        assert leaf.trace_id
+
+    def test_ids_stable_across_reads(self):
+        """Lazy materialization must not redraw ids on the next read."""
+        tracer, clock = manual_tracer()
+        with tracer.span("parent"):
+            for _ in range(5):
+                tracer.leaf("op", {}, clock.now())
+        first = [s.span_id for s in tracer.spans()]
+        second = [s.span_id for s in tracer.spans()]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_correlation_survives_parent_eviction(self):
+        """Leaf records hold the parent by reference, not by ring slot."""
+        tracer, clock = manual_tracer(capacity=4)
+        with tracer.span("parent") as parent:
+            for _ in range(64):  # far past capacity: parent span evicted
+                tracer.leaf("op", {}, clock.now())
+        retained = tracer.spans()
+        assert all(s.trace_id == parent.trace_id for s in retained if s.name == "op")
+
+
+class TestSpanSink:
+    def test_capacity_bounds_retention(self):
+        sink = SpanSink(capacity=8)
+        tracer = Tracer(sink=sink, clock=ManualClock())
+        for i in range(30):
+            tracer.finish(tracer.start(f"s{i}"))
+        assert sink.emitted == 30
+        assert len(sink) <= 8
+        names = [s.name for s in sink.spans()]
+        assert len(names) == 8
+        assert names == [f"s{i}" for i in range(22, 30)]  # recent past, in order
+
+    def test_raw_append_then_reader_trims(self):
+        sink = SpanSink(capacity=4)
+        for i in range(20):
+            sink.append_raw((f"op{i}", {}, 0.0, 1.0, None, 1, 1))
+        assert sink.emitted == 20
+        spans = sink.spans()
+        assert [s.name for s in spans] == ["op16", "op17", "op18", "op19"]
+        assert sink.emitted == 20  # trim accounting keeps the total
+
+    def test_clear_keeps_bound_appenders_valid(self):
+        sink = SpanSink(capacity=4)
+        append = sink.append_raw
+        append(("before", {}, 0.0, 1.0, None, 1, 1))
+        sink.clear()
+        assert sink.emitted == 0
+        append(("after", {}, 0.0, 1.0, None, 1, 1))
+        assert [s.name for s in sink.spans()] == ["after"]
+
+    def test_for_trace_and_trace_ids(self):
+        tracer, _ = manual_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = tracer.sink.trace_ids()
+        assert len(ids) == 2
+        (only_a,) = tracer.sink.for_trace(ids[0])
+        assert only_a.name == "a"
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SpanSink(capacity=0)
+
+
+class TestNoopTracer:
+    def test_shared_inert_objects(self):
+        assert isinstance(NOOP_TRACER, NoopTracer)
+        assert NOOP_TRACER.enabled is False
+        with NOOP_TRACER.span("anything", level=3) as a:
+            with NOOP_TRACER.span("nested") as b:
+                assert a is b  # one shared null span, no allocation
+
+    def test_null_span_absorbs_mutation(self):
+        with NOOP_TRACER.span("x") as span:
+            assert span.set(level=1) is span
+            assert span.context() is None
+            assert span.duration_s == 0.0
+
+    def test_leaf_and_begin_are_inert(self):
+        span = NOOP_TRACER.begin("x", {}, None)
+        assert span.context() is None
+        assert NOOP_TRACER.leaf("x", {}, 0.0) == 0.0
+
+    def test_no_spans_recorded(self):
+        assert NOOP_TRACER.spans() == []
+        assert NOOP_TRACER.current() is None
+        assert NOOP_TRACER.context() is None
+
+
+class TestManualClockDurations:
+    def test_durations_are_deterministic(self):
+        tracer, clock = manual_tracer()
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.25)
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].duration_s == pytest.approx(1.25)
+        assert spans["inner"].duration_s == pytest.approx(0.25)
