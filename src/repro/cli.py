@@ -213,6 +213,14 @@ def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--instances", type=int, default=2)
+    parser.add_argument(
+        "--tuner",
+        choices=["dp", "model"],
+        default="dp",
+        help="search used for cold cells: dp (exhaustive, the paper's "
+        "tuner) or model (learned-cost-model Bayesian optimization at a "
+        "fraction of the trial budget, warm-started from the store)",
+    )
 
 
 def _campaign_spec_from_args(args: argparse.Namespace, error) -> "CampaignSpec":  # type: ignore[name-defined]  # noqa: F821
@@ -245,6 +253,7 @@ def _campaign_spec_from_args(args: argparse.Namespace, error) -> "CampaignSpec":
         seed=args.seed,
         instances=args.instances,
         backend=args.backend,
+        tuner=args.tuner,
     )
 
 

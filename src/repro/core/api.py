@@ -189,6 +189,7 @@ def autotune(
     operator: OperatorSpec | str | None = None,
     ndim: int | None = None,
     backend: str = "numpy",
+    tuner: Literal["dp", "model"] = "dp",
 ) -> TunedVPlan:
     """Tune the MULTIGRID-V_i family for a machine, distribution and operator.
 
@@ -199,7 +200,9 @@ def autotune(
     means the 3-D Poisson default).  ``backend`` makes accelerated
     kernel backends available to the tuner as a per-level choice
     (``"auto"`` picks the best backend this host can run); the plan
-    records which levels use it.
+    records which levels use it.  ``tuner="model"`` runs the budgeted
+    model-guided BO search (:mod:`repro.modeltuner`) instead of the
+    exhaustive DP — same plan surface, a fraction of the trial budget.
     """
     profile = get_preset(machine) if isinstance(machine, str) else machine
     training = TrainingData(
@@ -207,15 +210,27 @@ def autotune(
         operator=_resolve_operator_ndim(operator, ndim),
     )
     with _trial_executor(jobs) as executor:
-        tuner = VCycleTuner(
+        if tuner == "model":
+            from repro.modeltuner import BOSearch
+
+            return BOSearch(
+                max_level=max_level,
+                accuracies=accuracies,
+                training=training,
+                profile=profile,
+                backend=backend,
+                trial_executor=executor,
+            ).tune()
+        if tuner != "dp":
+            raise ValueError(f"unknown tuner {tuner!r}; use 'dp' or 'model'")
+        return VCycleTuner(
             max_level=max_level,
             accuracies=accuracies,
             training=training,
             timing=CostModelTiming(profile),
             trial_executor=executor,
             backend=backend,
-        )
-        return tuner.tune()
+        ).tune()
 
 
 def autotune_full_mg(
@@ -336,16 +351,20 @@ def autotune_cached(
     operator: OperatorSpec | str | None = None,
     ndim: int | None = None,
     backend: str = "numpy",
+    tuner: Literal["dp", "model"] = "dp",
 ) -> TunedVPlan | TunedFullMGPlan:
     """:func:`autotune` through the persistent plan registry.
 
     An exact registry hit returns the stored plan without running the
     tuner; otherwise the nearest known machine's plan serves (when
-    ``allow_nearest``), and only a genuinely cold key pays for a DP
+    ``allow_nearest``), and only a genuinely cold key pays for a tuning
     pass — across ``jobs`` worker processes when ``jobs`` > 1, with a
-    plan identical to the serial tune.  ``operator`` is part of the
-    tuning key, so each problem family gets its own registry entries.
-    ``store`` is a :class:`~repro.store.registry.PlanRegistry`,
+    plan identical to the serial tune.  ``tuner="model"`` makes that
+    cold pass the budgeted model-guided search warm-started from the
+    store's accumulated trials (:mod:`repro.modeltuner`) instead of the
+    exhaustive DP.  ``operator`` is part of the tuning key, so each
+    problem family gets its own registry entries.  ``store`` is a
+    :class:`~repro.store.registry.PlanRegistry`,
     :class:`~repro.store.trialdb.TrialDB`, or database path; default is
     :func:`default_registry`.
     """
@@ -364,7 +383,7 @@ def autotune_cached(
         backend=backend,
     )
     return registry.get_or_tune(
-        profile, key, allow_nearest=allow_nearest, jobs=jobs
+        profile, key, allow_nearest=allow_nearest, jobs=jobs, tuner=tuner
     ).plan
 
 

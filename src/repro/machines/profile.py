@@ -210,6 +210,48 @@ class MachineProfile:
             }
         return payload
 
+    @classmethod
+    def from_dict(cls, data: dict, name: str = "profile") -> "MachineProfile":
+        """Rebuild a profile from its :meth:`to_dict` payload.
+
+        The inverse of :meth:`to_dict` up to display fields (``name`` is
+        caller-supplied, ``description`` empty), so a round-tripped
+        profile has the same :meth:`fingerprint` — the property the
+        store's serialized model artifacts rely on.
+        """
+        op_shapes = {
+            op: OpShape(
+                flops_per_point=float(s[0]),
+                bytes_per_point=float(s[1]),
+                barriers=int(s[2]),
+            )
+            for op, s in data.get("op_shapes", {}).items()
+        }
+        backend_costs = {
+            backend: BackendCostModel(
+                gains=dict(model.get("gains", {})),
+                op_overhead_scale=float(model.get("op_overhead_scale", 1.0)),
+            )
+            for backend, model in data.get("backend_costs", {}).items()
+        }
+        return cls(
+            name=name,
+            cores=int(data["cores"]),
+            flop_rate=float(data["flop_rate"]),
+            mem_bw=float(data["mem_bw"]),
+            single_thread_bw_frac=float(data["single_thread_bw_frac"]),
+            cache_size=float(data["cache_size"]),
+            cache_bw=float(data["cache_bw"]),
+            op_overhead=float(data["op_overhead"]),
+            sync_overhead=float(data["sync_overhead"]),
+            dense_efficiency=float(data["dense_efficiency"]),
+            direct_overhead=float(data.get("direct_overhead", 0.0)),
+            working_set_factor=float(data.get("working_set_factor", 24.0)),
+            direct_includes_memory=bool(data.get("direct_includes_memory", True)),
+            op_shapes=op_shapes or dict(OP_SHAPES),
+            backend_costs=backend_costs,
+        )
+
     def fingerprint(self) -> str:
         """Stable content hash of the cost model (machine identity).
 

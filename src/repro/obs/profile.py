@@ -77,6 +77,44 @@ class SolveProfiler:
             for (level, op, backend), (count, total) in items
         ]
 
+    def to_training_rows(self, ndim: int = 2) -> list[dict[str, Any]]:
+        """Measured (op, n) -> seconds rows in the cost-model vocabulary.
+
+        Cells are recorded under base op family names (``relax``,
+        ``direct``, ...); a learned cost model prices the meter
+        vocabulary (``relax3d``, ``relax@cnative``, ...), so each cell is
+        qualified here — by ``ndim`` and by its recorded backend — rather
+        than making every consumer re-parse :meth:`rows` export text.
+        Each row: ``{op, n, seconds, weight}`` where ``n`` is the grid
+        side length of the cell's level, ``seconds`` the per-call mean,
+        and ``weight`` the call count.  Cells whose mean rounds to zero
+        (clock granularity) are dropped — they carry no timing signal.
+        An empty profiler yields an empty list.
+        """
+        from repro.machines.meter import backend_op, dim_op
+
+        with self._lock:
+            items = sorted(self._cells.items())
+        rows: list[dict[str, Any]] = []
+        for (level, op, backend), (count, total) in items:
+            if count <= 0 or total <= 0.0:
+                continue
+            if op == "direct":
+                # The executor records direct solves under the sentinel
+                # backend "direct"; the meter op is the bare direct op.
+                qualified = dim_op("direct", ndim)
+            else:
+                qualified = backend_op(dim_op(op, ndim), backend)
+            rows.append(
+                {
+                    "op": qualified,
+                    "n": 2**level + 1,
+                    "seconds": total / count,
+                    "weight": count,
+                }
+            )
+        return rows
+
     def total_seconds(self) -> float:
         with self._lock:
             return sum(total for _, total in self._cells.values())

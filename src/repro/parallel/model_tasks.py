@@ -1,0 +1,159 @@
+"""Picklable candidate tasks for the model-based tuner.
+
+Mirrors :mod:`repro.parallel.dp_tasks`, with one addition: the task
+carries the serialized learned :class:`~repro.modeltuner.costmodel.
+CostModel` (as canonical JSON, so tasks stay hashable pure data).  The
+stock DP worker rebuilds ``CostModelTiming(profile)`` and would silently
+revert a model-priced tune to analytic pricing inside worker processes;
+this worker rebuilds :class:`~repro.modeltuner.costmodel.ModelTiming`
+from the payload instead, so model-guided evaluation is byte-identical
+whether it runs in-process (``jobs=1``) or on a pool (``jobs=4``) — the
+property the modeltuner hypothesis suite pins.
+
+:class:`~repro.modeltuner.bo.BOSearch` routes *every* candidate
+evaluation — serial or parallel — through :func:`evaluate_model_candidate`
+with an infinite pruning budget, so there is exactly one evaluation code
+path and no serial-only pruning state to diverge on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machines.profile import MachineProfile
+from repro.tuner.dp import CandidateOutcome, VCycleTuner, _TableView
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+from repro.util.validation import size_of_level
+
+__all__ = ["ModelCandidateTask", "evaluate_model_candidate"]
+
+#: ((level, acc_index), choice) pairs of an in-progress plan table.
+TableItems = tuple
+
+
+@dataclass(frozen=True)
+class ModelCandidateTask:
+    """One model-priced V-cycle candidate evaluation, as pure data."""
+
+    profile: MachineProfile
+    threads: int | None
+    distribution: str
+    instances: int
+    seed: int | None
+    accuracies: tuple[float, ...]
+    aggregate: str
+    max_sor_iters: int
+    max_recurse_iters: int
+    level: int
+    table: TableItems
+    acc_index: int
+    kind: str
+    sub_accuracy: int | None
+    operator: str = "poisson"
+    backend: str = "numpy"
+    #: canonical JSON of ``CostModel.to_dict()``; ``None`` evaluates with
+    #: the analytic ``CostModelTiming(profile)`` (warm-machine search)
+    model_payload: str | None = None
+
+
+# -- worker-side cache -----------------------------------------------------
+#
+# Same shape and bound as dp_tasks: keyed by the tuning context plus the
+# model fingerprint, so a long-lived pool serving several fitted models
+# keeps each one's tuner (training instances, factorizations) warm.
+
+_CACHE_LIMIT = 8
+_MODEL_TUNERS: dict[tuple, VCycleTuner] = {}
+
+
+def _cache_put(cache: dict, key: tuple, value) -> None:
+    while len(cache) >= _CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def _timing_for(task: ModelCandidateTask) -> CostModelTiming:
+    if task.model_payload is None:
+        return CostModelTiming(task.profile, task.threads)
+    from repro.modeltuner.costmodel import CostModel, ModelTiming
+
+    return ModelTiming(CostModel.from_json(task.model_payload), task.threads)
+
+
+def _model_key(task: ModelCandidateTask) -> str:
+    if task.model_payload is None:
+        return ""
+    import hashlib
+
+    return hashlib.sha256(task.model_payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _tuner_for(task: ModelCandidateTask) -> VCycleTuner:
+    key = (
+        task.profile.fingerprint(),
+        _model_key(task),
+        task.threads,
+        task.distribution,
+        task.operator,
+        task.instances,
+        task.seed,
+        task.accuracies,
+        task.aggregate,
+        task.max_sor_iters,
+        task.max_recurse_iters,
+        task.backend,
+    )
+    tuner = _MODEL_TUNERS.get(key)
+    if tuner is None:
+        tuner = VCycleTuner(
+            max_level=task.level,
+            accuracies=task.accuracies,
+            training=TrainingData(
+                distribution=task.distribution,
+                instances=task.instances,
+                seed=task.seed,
+                operator=task.operator,
+            ),
+            timing=_timing_for(task),
+            max_sor_iters=task.max_sor_iters,
+            max_recurse_iters=task.max_recurse_iters,
+            aggregate=task.aggregate,  # type: ignore[arg-type]
+            keep_audit=False,
+            backend=task.backend,
+        )
+        _cache_put(_MODEL_TUNERS, key, tuner)
+    return tuner
+
+
+def evaluate_model_candidate(task: ModelCandidateTask) -> CandidateOutcome:
+    """Evaluate one candidate under model pricing (pool-picklable).
+
+    Identical to :func:`repro.parallel.dp_tasks.evaluate_v_candidate`
+    except for the timing strategy: training is numerics (backend- and
+    pricing-independent), so iteration counts match the DP's, and only
+    the seconds differ.
+    """
+    tuner = _tuner_for(task)
+    table = dict(task.table)
+    n = size_of_level(task.level)
+    bundle = tuner.training.at_level(task.level)
+    view = _TableView(table, task.level)
+    m = len(task.accuracies)
+    sub_meters = [tuner._meter_below(table, task.level, j) for j in range(m)]
+    outcome = tuner._evaluate_candidate(
+        task.level,
+        task.acc_index,
+        task.accuracies[task.acc_index],
+        n,
+        bundle,
+        view,
+        sub_meters,
+        task.kind,
+        task.sub_accuracy,
+        math.inf,
+    )
+    if outcome is None:  # pragma: no cover - the parent pre-filters
+        raise RuntimeError(f"candidate {task.kind!r} filtered inside worker")
+    return outcome

@@ -148,6 +148,7 @@ class PlanCache:
         telemetry: Telemetry | None = None,
         backend: str = "numpy",
         tracer: Tracer | NoopTracer | None = None,
+        model_fallback: bool = False,
     ) -> None:
         from repro.kernels import resolve_backend
 
@@ -158,6 +159,11 @@ class PlanCache:
         self.seed = seed
         self.instances = instances
         self.allow_nearest = allow_nearest
+        #: cold keys try a model-predicted plan (the budgeted BO search
+        #: warm-started from the store, :mod:`repro.modeltuner`) before
+        #: the fixed heuristic; the entry is still stale, so the
+        #: background DP tune swaps in the exact plan as usual
+        self.model_fallback = model_fallback
         # Resolved once at construction ("auto" -> whatever this host
         # can actually run), so every key this cache mints is concrete.
         self.backend = resolve_backend(backend)
@@ -299,7 +305,40 @@ class PlanCache:
             plan=self._fallback_plan(profile, key), source="fallback", stale=True
         )
 
-    def _fallback_plan(self, profile: MachineProfile, key: ServeKey) -> TunedVPlan:
+    def _fallback_plan(
+        self, profile: MachineProfile, key: ServeKey
+    ) -> TunedVPlan | TunedFullMGPlan:
+        """A stand-in plan served while the real tune runs in background.
+
+        With ``model_fallback`` on, the first try is a model-predicted
+        plan — the budgeted BO search priced by the cost model fitted
+        from the store's accumulated trials — which beats the fixed
+        heuristic whenever the store has evidence; the heuristic remains
+        the last resort (and the only path when the model tuner fails
+        for any reason, since a fallback build must never take serving
+        down).
+        """
+        if self.model_fallback:
+            try:
+                plan = self._model_fallback_plan(profile, key)
+            except Exception:
+                self.telemetry.incr("model_fallback_errors")
+            else:
+                self.telemetry.incr("model_fallback_builds")
+                plan.metadata["serve_fallback"] = True
+                return plan
+        return self._heuristic_fallback_plan(profile, key)
+
+    def _model_fallback_plan(
+        self, profile: MachineProfile, key: ServeKey
+    ) -> TunedVPlan | TunedFullMGPlan:
+        from repro.modeltuner.warmstart import model_plan_for_key
+
+        return model_plan_for_key(self.registry, profile, self.tune_key(key))
+
+    def _heuristic_fallback_plan(
+        self, profile: MachineProfile, key: ServeKey
+    ) -> TunedVPlan:
         """The paper's fixed heuristic, trained for this workload class.
 
         Strategy 10^final (recursion pinned to the ladder's top

@@ -139,6 +139,10 @@ class SolveServer:
         controller acts (protects against deciding on one outlier).
     slo_degrade_rungs:
         How many accuracy-ladder rungs a degraded plan drops.
+    model_fallback:
+        Cold keys serve a model-predicted plan (the budgeted BO search
+        warm-started from the store, :mod:`repro.modeltuner`) instead of
+        the fixed heuristic while the background tune runs.
     """
 
     def __init__(
@@ -167,6 +171,7 @@ class SolveServer:
         tracer: Tracer | NoopTracer | None = None,
         profiler: SolveProfiler | None = None,
         op_span_min_points: int | None = None,
+        model_fallback: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, not {workers}")
@@ -198,6 +203,7 @@ class SolveServer:
             telemetry=self.telemetry,
             backend=backend,
             tracer=self.tracer,
+            model_fallback=model_fallback,
         )
         self.batch_size = batch_size
         self.tune_jobs = tune_jobs

@@ -16,13 +16,16 @@ that operational at scale:
 
 Schema revisions migrate in place on open (``PRAGMA user_version``
 tracks them; see :mod:`repro.store.schema`): v1 -> v2 added the
-``operator`` keyfield, and v2 -> v3 added ``ndim`` for the
+``operator`` keyfield, v2 -> v3 added ``ndim`` for the
 dimension-general solver — existing rows are stamped with the implicit
 pre-3-D default ``ndim=2`` and plan keys gain the ``|2`` suffix, so
 every stored 2-D plan keeps resolving while 3-D plans land under their
-own keys.  Each migration step runs inside one transaction: a crash
-mid-migration rolls back to the previous clean revision and simply
-retries on the next open.
+own keys — and v5 -> v6 added the model-based tuner's ``tuner``
+provenance column plus the ``model_artifacts`` table
+(:class:`~repro.store.models.ModelStore`) that persists fitted cost
+models for fleet-wide warm starts.  Each migration step runs inside one
+transaction: a crash mid-migration rolls back to the previous clean
+revision and simply retries on the next open.
 
 Entry points for callers are :func:`repro.core.autotune_cached` and
 :func:`repro.core.solve_service`, plus ``repro-mg store`` on the CLI
@@ -30,6 +33,7 @@ Entry points for callers are :func:`repro.core.autotune_cached` and
 """
 
 from repro.store.campaign import Campaign, CampaignSpec, CellResult
+from repro.store.models import ModelStore, model_artifact_key
 from repro.store.registry import PlanRegistry, RegistryHit, TuneKey, profile_distance
 from repro.store.sink import CollectingSink, DBTrialSink, TrialSink, plan_cycle_shape
 from repro.store.trialdb import TrialDB, TrialRecord
@@ -40,12 +44,14 @@ __all__ = [
     "CellResult",
     "CollectingSink",
     "DBTrialSink",
+    "ModelStore",
     "PlanRegistry",
     "RegistryHit",
     "TrialDB",
     "TrialRecord",
     "TrialSink",
     "TuneKey",
+    "model_artifact_key",
     "plan_cycle_shape",
     "profile_distance",
 ]

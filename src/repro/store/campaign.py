@@ -50,10 +50,15 @@ class CampaignSpec:
     #: campaigns pre-warm the registry per machine, so by default a cell
     #: is only satisfied by that machine's own plan (no nearest fallback)
     allow_nearest: bool = False
+    #: which search cold cells run: 'dp' (exhaustive) or 'model' (the
+    #: budgeted BO search warm-started from the store's trials)
+    tuner: str = "dp"
 
     def __post_init__(self) -> None:
         normalized = tuple(parse_operator(op).canonical() for op in self.operators)
         object.__setattr__(self, "operators", normalized)
+        if self.tuner not in ("dp", "model"):
+            raise ValueError(f"unknown tuner {self.tuner!r}; use 'dp' or 'model'")
 
     def cells(self) -> list[Cell]:
         """Deterministic cell order: machine-major, then distribution,
@@ -91,6 +96,7 @@ class CampaignSpec:
             "instances": self.instances,
             "backend": self.backend,
             "allow_nearest": self.allow_nearest,
+            "tuner": self.tuner,
         }
 
     @classmethod
@@ -107,6 +113,7 @@ class CampaignSpec:
             instances=int(data["instances"]),
             backend=str(data.get("backend", "numpy")),
             allow_nearest=bool(data.get("allow_nearest", False)),
+            tuner=str(data.get("tuner", "dp")),
         )
 
 
@@ -153,7 +160,10 @@ def tune_cell(
         profile,
         spec.key_for(distribution, max_level, operator),
         allow_nearest=spec.allow_nearest,
-        provenance=build_provenance(worker=worker_id, attempt=attempt),
+        tuner=spec.tuner,
+        provenance=build_provenance(
+            worker=worker_id, attempt=attempt, tuner=spec.tuner
+        ),
     )
     wall = time.perf_counter() - start
     cost = hit.plan.time_on(profile, max_level, hit.plan.num_accuracies - 1)

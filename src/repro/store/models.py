@@ -1,0 +1,140 @@
+"""Persistence for fitted cost models (the ``model_artifacts`` table).
+
+A fitted :class:`~repro.modeltuner.costmodel.CostModel` is expensive to
+assemble only in the sense that it needs *data* — accumulated trial rows
+and solve-profiler cells.  Persisting the fitted artifact lets a fleet
+worker or a cold machine pull model-predicted plans without having that
+data locally: the store carries the model the same way it carries plans.
+
+One current artifact per ``(machine fingerprint, operator, ndim,
+backend)`` — newer fits replace older ones, mirroring the plans table's
+one-current-plan-per-key rule.  The artifact row stores the model's
+canonical JSON (:meth:`CostModel.to_json`), which round-trips the fitted
+laws, the base profile, and the calibration exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any
+
+from repro.store.trialdb import TrialDB
+
+__all__ = ["ModelStore", "model_artifact_key"]
+
+
+def model_artifact_key(
+    fingerprint: str, operator: str = "poisson", ndim: int = 2, backend: str = "numpy"
+) -> str:
+    """Storage key of the current model for one pricing context."""
+    return "|".join([fingerprint, operator, str(ndim), backend])
+
+
+class ModelStore:
+    """Fitted cost-model artifacts over a shared :class:`TrialDB`."""
+
+    def __init__(self, db: TrialDB) -> None:
+        self.db = db
+
+    def put_model(
+        self,
+        model: Any,
+        operator: str = "poisson",
+        ndim: int = 2,
+        backend: str = "numpy",
+        provenance: dict[str, Any] | None = None,
+    ) -> str:
+        """Store (or replace) the model for its base profile's context;
+        returns the storage key."""
+        key = model_artifact_key(
+            model.base.fingerprint(), operator, ndim, backend
+        )
+        payload = model.to_json()
+        trained_rows = int(model.provenance.get("rows", 0)) + int(
+            model.provenance.get("trials", 0)
+        )
+        provenance_json = (
+            json.dumps(provenance, sort_keys=True, separators=(",", ":"))
+            if provenance is not None
+            else None
+        )
+
+        def upsert(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                """
+                INSERT INTO model_artifacts (model_key, machine_fingerprint,
+                                             operator, ndim, backend,
+                                             model_json, provenance,
+                                             trained_rows)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT (model_key) DO UPDATE SET
+                    model_json = excluded.model_json,
+                    provenance = excluded.provenance,
+                    trained_rows = excluded.trained_rows
+                """,
+                (
+                    key,
+                    model.base.fingerprint(),
+                    operator,
+                    ndim,
+                    backend,
+                    payload,
+                    provenance_json,
+                    trained_rows,
+                ),
+            )
+            conn.commit()
+
+        self.db.write(upsert)
+        return key
+
+    def get_model_json(
+        self,
+        fingerprint: str,
+        operator: str = "poisson",
+        ndim: int = 2,
+        backend: str = "numpy",
+    ) -> str | None:
+        """The stored model's canonical JSON, or ``None`` when cold."""
+        key = model_artifact_key(fingerprint, operator, ndim, backend)
+        with self.db.lock:
+            row = self.db.conn.execute(
+                "SELECT model_json FROM model_artifacts WHERE model_key = ?",
+                (key,),
+            ).fetchone()
+        return row["model_json"] if row is not None else None
+
+    def get_cost_model(
+        self,
+        fingerprint: str,
+        operator: str = "poisson",
+        ndim: int = 2,
+        backend: str = "numpy",
+    ) -> Any | None:
+        """The stored :class:`CostModel`, rebuilt, or ``None`` when cold."""
+        payload = self.get_model_json(fingerprint, operator, ndim, backend)
+        if payload is None:
+            return None
+        from repro.modeltuner.costmodel import CostModel
+
+        return CostModel.from_json(payload)
+
+    def models(self) -> list[dict[str, Any]]:
+        """Summary rows of stored artifacts (for ``store models``)."""
+        with self.db.lock:
+            rows = self.db.conn.execute(
+                """
+                SELECT model_key, machine_fingerprint, operator, ndim,
+                       backend, trained_rows, created_at
+                FROM model_artifacts ORDER BY id
+                """
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def __len__(self) -> int:
+        with self.db.lock:
+            (n,) = self.db.conn.execute(
+                "SELECT COUNT(*) FROM model_artifacts"
+            ).fetchone()
+        return int(n)

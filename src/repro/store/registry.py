@@ -323,6 +323,7 @@ class PlanRegistry:
         canonical JSON."""
         fingerprint = profile.fingerprint()
         plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+        tuner_name = str(plan.metadata.get("tuner", "dp"))
 
         def upsert(conn: sqlite3.Connection) -> None:
             conn.execute(
@@ -330,12 +331,13 @@ class PlanRegistry:
                 INSERT INTO plans (plan_key, kind, distribution, operator, ndim,
                                    backend, max_level, accuracies,
                                    machine_fingerprint, seed, instances,
-                                   machine_name, profile_json, plan_json)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                                   machine_name, profile_json, plan_json, tuner)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 ON CONFLICT (plan_key) DO UPDATE SET
                     plan_json = excluded.plan_json,
                     profile_json = excluded.profile_json,
-                    machine_name = excluded.machine_name
+                    machine_name = excluded.machine_name,
+                    tuner = excluded.tuner
                 """,
                 (
                     key.storage_key(fingerprint),
@@ -352,6 +354,7 @@ class PlanRegistry:
                     profile.name,
                     json.dumps(profile.to_dict(), sort_keys=True),
                     plan_json,
+                    tuner_name,
                 ),
             )
             conn.commit()
@@ -368,7 +371,7 @@ class PlanRegistry:
         *,
         allow_nearest: bool = True,
         max_distance: float | None = None,
-        tuner: Callable[[], TunedVPlan | TunedFullMGPlan] | None = None,
+        tuner: Callable[[], TunedVPlan | TunedFullMGPlan] | str | None = None,
         record_trial: bool = True,
         jobs: int | None = None,
         provenance: dict[str, Any] | None = None,
@@ -378,10 +381,14 @@ class PlanRegistry:
 
         ``key`` can be given directly or assembled from keyword fields
         (``kind=, distribution=, max_level=, ...``).  ``tuner`` overrides
-        how a cold plan is produced (tests count invocations through it);
-        the default runs the paper's DP tuner for ``key.kind``, fanning
-        candidate evaluations across ``jobs`` worker processes when
-        ``jobs`` > 1 (the tuned plan is identical either way).
+        how a cold plan is produced (tests count invocations through it):
+        a callable runs as-is, ``"model"`` runs the learned-cost-model BO
+        search warm-started from this store's accumulated trials (see
+        :func:`repro.modeltuner.warmstart.model_plan_for_key`), and
+        ``None`` / ``"dp"`` runs the paper's exhaustive DP tuner for
+        ``key.kind``, fanning candidate evaluations across ``jobs``
+        worker processes when ``jobs`` > 1 (the tuned plan is identical
+        either way).
 
         ``provenance`` overrides the structured execution metadata
         stamped on a cold tune's trial row (fleet workers pass their
@@ -395,6 +402,18 @@ class PlanRegistry:
         hit = self.get(profile, key, allow_nearest, max_distance)
         if hit is not None:
             return hit
+        if isinstance(tuner, str):
+            if tuner == "model":
+                from repro.modeltuner.warmstart import model_plan_for_key
+
+                registry, the_key = self, key
+                tuner = lambda: model_plan_for_key(  # noqa: E731
+                    registry, profile, the_key, jobs=jobs
+                )
+            elif tuner == "dp":
+                tuner = None
+            else:
+                raise ValueError(f"unknown tuner {tuner!r}; use 'dp' or 'model'")
         from repro.obs.runtime import get_tracer
 
         start = time.perf_counter()
@@ -455,6 +474,7 @@ class PlanRegistry:
                     provenance=json.dumps(
                         provenance, sort_keys=True, separators=(",", ":")
                     ),
+                    tuner=str(plan.metadata.get("tuner", "dp")),
                     plan_json=plan_json,
                 )
             )

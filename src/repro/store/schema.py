@@ -42,6 +42,14 @@ a crash mid-migration rolls back to the previous clean revision):
   plan keeps resolving; plans tuned against an accelerated backend land
   under their own keys.  (Like ``ndim``, the campaign primary key is
   unchanged — ``backend`` is a spec-level column, not a grid axis.)
+* v5 -> v6: the model-based tuner.  ``trials`` and ``plans`` grow a
+  ``tuner`` resultfield (``'dp'`` or ``'model'``; existing rows are
+  stamped with the implicit pre-model default ``'dp'``), and a new
+  ``model_artifacts`` table persists fitted cost models — one current
+  model per (machine fingerprint, operator, ndim, backend) — so fleet
+  workers and cold machines can pull model-predicted plans without
+  refitting.  ``tuner`` is provenance, not identity: plan keys are
+  unchanged, so every stored plan keeps resolving.
 """
 
 from __future__ import annotations
@@ -50,7 +58,7 @@ import sqlite3
 
 __all__ = ["SCHEMA_VERSION", "ensure_schema"]
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -73,6 +81,7 @@ CREATE TABLE IF NOT EXISTS trials (
     wall_seconds        REAL,
     plan_json           TEXT,
     provenance          TEXT,
+    tuner               TEXT    NOT NULL DEFAULT 'dp',
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
 );
 CREATE INDEX IF NOT EXISTS idx_trials_key_v5
@@ -95,6 +104,7 @@ CREATE TABLE IF NOT EXISTS plans (
     machine_name        TEXT,
     profile_json        TEXT    NOT NULL,
     plan_json           TEXT    NOT NULL,
+    tuner               TEXT    NOT NULL DEFAULT 'dp',
     hits                INTEGER NOT NULL DEFAULT 0,
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
     last_used_at        TEXT
@@ -128,6 +138,19 @@ CREATE TABLE IF NOT EXISTS campaign_cells (
 CREATE TABLE IF NOT EXISTS campaigns (
     name                TEXT    PRIMARY KEY,
     spec_json           TEXT    NOT NULL,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+
+CREATE TABLE IF NOT EXISTS model_artifacts (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    model_key           TEXT    NOT NULL UNIQUE,
+    machine_fingerprint TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    backend             TEXT    NOT NULL DEFAULT 'numpy',
+    model_json          TEXT    NOT NULL,
+    provenance          TEXT,
+    trained_rows        INTEGER NOT NULL DEFAULT 0,
     created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
 );
 
@@ -226,6 +249,16 @@ _MIGRATE_V4_V5 = (
     "ALTER TABLE campaign_cells ADD COLUMN backend TEXT NOT NULL DEFAULT 'numpy'",
 )
 
+#: v5 -> v6: the model-based tuner.  All additive — existing trial and
+#: plan rows are stamped with the implicit pre-model ``'dp'``, plan keys
+#: are untouched (``tuner`` is provenance, not identity), and the new
+#: ``model_artifacts`` table comes from the base schema's CREATE IF NOT
+#: EXISTS, like the v4 fleet tables.
+_MIGRATE_V5_V6 = (
+    "ALTER TABLE trials ADD COLUMN tuner TEXT NOT NULL DEFAULT 'dp'",
+    "ALTER TABLE plans ADD COLUMN tuner TEXT NOT NULL DEFAULT 'dp'",
+)
+
 #: ``from_version -> module attribute naming its statements``, applied
 #: one revision at a time.  Resolved through ``globals()`` at run time so
 #: tests can monkeypatch an individual migration's statement list.
@@ -234,6 +267,7 @@ _MIGRATIONS = {
     2: "_MIGRATE_V2_V3",
     3: "_MIGRATE_V3_V4",
     4: "_MIGRATE_V4_V5",
+    5: "_MIGRATE_V5_V6",
 }
 
 

@@ -90,6 +90,7 @@ def emit_tuning_trial(
         ),
         wall_seconds=wall_seconds,
         plan_json=json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":")),
+        tuner=str(plan.metadata.get("tuner", "dp")),
     )
     sink.record(record)
     return record

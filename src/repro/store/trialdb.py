@@ -46,6 +46,7 @@ RESULTFIELDS = (
     "simulated_cost",
     "wall_seconds",
     "provenance",
+    "tuner",
 )
 
 
@@ -85,6 +86,9 @@ class TrialRecord:
     #: structured who-ran-this metadata as canonical JSON (worker id,
     #: host, pid, attempt, duration) — see ``registry.build_provenance``
     provenance: str | None = None
+    #: which search produced the plan: 'dp' (exhaustive) or 'model'
+    #: (learned-cost-model BO) — provenance, not part of the cell key
+    tuner: str = "dp"
     trial_id: int | None = field(default=None, compare=False)
     created_at: str | None = field(default=None, compare=False)
 
@@ -192,8 +196,8 @@ class TrialDB:
                                     max_level, accuracies, machine_fingerprint,
                                     seed, instances, machine_name, cycle_shape,
                                     simulated_cost, wall_seconds, provenance,
-                                    plan_json)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                                    tuner, plan_json)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 record.key()
                 + (
@@ -202,6 +206,7 @@ class TrialDB:
                     record.simulated_cost,
                     record.wall_seconds,
                     record.provenance,
+                    record.tuner,
                     record.plan_json,
                 ),
             )
@@ -333,6 +338,7 @@ def _record_from_row(row: sqlite3.Row) -> TrialRecord:
         wall_seconds=row["wall_seconds"],
         plan_json=row["plan_json"],
         provenance=row["provenance"],
+        tuner=row["tuner"],
         trial_id=int(row["id"]),
         created_at=row["created_at"],
     )

@@ -1,0 +1,185 @@
+"""Model tuner wired through every entry point: core API, registry,
+campaigns, the CLI grid arguments, serving fallback, and the artifact
+store."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import autotune, autotune_cached
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.modeltuner import CostModel, model_for_profile
+from repro.serve.cache import PlanCache
+from repro.store import (
+    CampaignSpec,
+    ModelStore,
+    PlanRegistry,
+    TrialDB,
+    TuneKey,
+    model_artifact_key,
+)
+from repro.store.campaign import tune_cell
+
+
+@pytest.fixture
+def registry():
+    return PlanRegistry(TrialDB(":memory:"))
+
+
+KEY = TuneKey(max_level=3, instances=1, seed=0)
+
+
+class TestCoreAPI:
+    def test_autotune_model_tuner(self):
+        plan = autotune(max_level=3, instances=1, tuner="model")
+        assert plan.metadata["tuner"] == "model"
+        assert plan.metadata["trials_used"] > 0
+
+    def test_autotune_rejects_unknown_tuner(self):
+        with pytest.raises(ValueError, match="tuner"):
+            autotune(max_level=3, instances=1, tuner="annealing")
+
+    def test_autotune_cached_model_tuner(self, registry):
+        plan = autotune_cached(
+            max_level=3, instances=1, seed=0, store=registry, tuner="model"
+        )
+        assert plan.metadata["tuner"] == "model"
+        # The cached plan resolves from the registry on the second call.
+        again = autotune_cached(
+            max_level=3, instances=1, seed=0, store=registry, tuner="model"
+        )
+        assert again.metadata["tuner"] == "model"
+        assert registry.db.count_trials() == 1
+
+
+class TestRegistry:
+    def test_get_or_tune_model_string(self, registry):
+        hit = registry.get_or_tune(INTEL_HARPERTOWN, KEY, tuner="model")
+        assert hit.source == "tuned"
+        assert hit.plan.metadata["tuner"] == "model"
+        # Trial row and plan row both carry the tuner provenance.
+        (record,) = registry.db.trials()
+        assert record.tuner == "model"
+        (row,) = registry.db.conn.execute("SELECT tuner FROM plans").fetchall()
+        assert row["tuner"] == "model"
+
+    def test_model_tune_persists_artifact(self, registry):
+        registry.get_or_tune(INTEL_HARPERTOWN, KEY, tuner="model")
+        store = ModelStore(registry.db)
+        assert len(store) == 1
+        (summary,) = store.models()
+        assert summary["model_key"] == model_artifact_key(
+            INTEL_HARPERTOWN.fingerprint()
+        )
+        model = store.get_cost_model(INTEL_HARPERTOWN.fingerprint())
+        assert isinstance(model, CostModel)
+
+    def test_dp_string_matches_default(self, registry):
+        hit = registry.get_or_tune(INTEL_HARPERTOWN, KEY, tuner="dp")
+        assert hit.plan.metadata.get("tuner", "dp") == "dp"
+        (record,) = registry.db.trials()
+        assert record.tuner == "dp"
+
+    def test_unknown_tuner_string_rejected(self, registry):
+        with pytest.raises(ValueError, match="tuner"):
+            registry.get_or_tune(INTEL_HARPERTOWN, KEY, tuner="bogus")
+
+    def test_full_mg_key_keeps_model_metadata(self, registry):
+        key = TuneKey(
+            kind="full-multigrid", max_level=3, instances=1, seed=0
+        )
+        hit = registry.get_or_tune(INTEL_HARPERTOWN, key, tuner="model")
+        assert hit.plan.metadata["tuner"] == "model"
+        assert "trials_used" in hit.plan.metadata
+
+
+class TestModelForProfile:
+    def test_fit_once_then_served_from_store(self, registry):
+        first = model_for_profile(registry, INTEL_HARPERTOWN)
+        assert len(ModelStore(registry.db)) == 1
+        second = model_for_profile(registry, INTEL_HARPERTOWN)
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_refit_replaces_artifact(self, registry):
+        model_for_profile(registry, INTEL_HARPERTOWN)
+        model_for_profile(registry, INTEL_HARPERTOWN, refit=True)
+        assert len(ModelStore(registry.db)) == 1
+
+
+class TestCampaigns:
+    def test_spec_round_trips_tuner(self):
+        spec = CampaignSpec(name="m", tuner="model")
+        assert CampaignSpec.from_dict(spec.to_dict()).tuner == "model"
+        # Pre-model specs deserialize to the DP default.
+        legacy = dict(spec.to_dict())
+        del legacy["tuner"]
+        assert CampaignSpec.from_dict(legacy).tuner == "dp"
+
+    def test_spec_rejects_unknown_tuner(self):
+        with pytest.raises(ValueError, match="tuner"):
+            CampaignSpec(name="m", tuner="random")
+
+    def test_tune_cell_uses_spec_tuner(self, registry):
+        spec = CampaignSpec(
+            name="m", machines=("intel",), levels=(3,), instances=1, tuner="model"
+        )
+        result = tune_cell(registry, spec, "intel", "unbiased", "poisson", 3)
+        assert result.source == "tuned"
+        assert result.hit.plan.metadata["tuner"] == "model"
+        (record,) = registry.db.trials()
+        assert record.tuner == "model"
+
+
+class TestCLI:
+    def test_store_tune_model_tuner(self, tmp_path, capsys):
+        db_path = str(tmp_path / "store.sqlite")
+        args = [
+            "store", "--db", db_path, "tune",
+            "--machine", "intel", "--max-level", "3",
+            "--instances", "1", "--tuner", "model",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        db = TrialDB(db_path)
+        (record,) = db.trials()
+        assert record.tuner == "model"
+        assert len(ModelStore(db)) == 1
+
+    def test_unknown_tuner_rejected_by_parser(self, tmp_path, capsys):
+        db_path = str(tmp_path / "store.sqlite")
+        with pytest.raises(SystemExit):
+            main(["store", "--db", db_path, "tune", "--tuner", "simplex"])
+
+
+class TestServeFallback:
+    def _cold_key(self, cache):
+        return cache.key_for(INTEL_HARPERTOWN, None, 3, "unbiased")
+
+    def test_model_fallback_serves_model_plan(self, registry):
+        cache = PlanCache(registry, instances=1, seed=0, model_fallback=True)
+        entry = cache.get_or_fallback(
+            INTEL_HARPERTOWN, self._cold_key(cache)
+        )
+        assert entry.source == "fallback"
+        assert entry.stale  # background DP swap is still owed
+        assert entry.plan.metadata["tuner"] == "model"
+        assert entry.plan.metadata["serve_fallback"] is True
+        assert cache.telemetry.counter("model_fallback_builds") == 1
+
+    def test_model_failure_falls_back_to_heuristic(self, registry, monkeypatch):
+        cache = PlanCache(registry, instances=1, seed=0, model_fallback=True)
+
+        def boom(profile, key):
+            raise RuntimeError("model tuner unavailable")
+
+        monkeypatch.setattr(cache, "_model_fallback_plan", boom)
+        entry = cache.get_or_fallback(INTEL_HARPERTOWN, self._cold_key(cache))
+        assert entry.source == "fallback"
+        assert entry.plan.metadata.get("heuristic", "").startswith("Strategy")
+        assert cache.telemetry.counter("model_fallback_errors") == 1
+        assert cache.telemetry.counter("model_fallback_builds") == 0
+
+    def test_default_cache_keeps_heuristic_fallback(self, registry):
+        cache = PlanCache(registry, instances=1, seed=0)
+        entry = cache.get_or_fallback(INTEL_HARPERTOWN, self._cold_key(cache))
+        assert entry.plan.metadata.get("heuristic", "").startswith("Strategy")
+        assert cache.telemetry.counter("model_fallback_builds") == 0

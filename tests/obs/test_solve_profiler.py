@@ -46,3 +46,55 @@ class TestSolveProfiler:
         doc = prof.to_dict()
         assert doc["total_s"] == pytest.approx(0.03)
         assert len(doc["rows"]) == 2
+
+
+class TestTrainingRows:
+    """Cells -> cost-model vocabulary (the model tuner's measured input)."""
+
+    def test_rows_carry_size_mean_and_weight(self):
+        prof = SolveProfiler()
+        prof.record(5, "relax", "numpy", 0.010)
+        prof.record(5, "relax", "numpy", 0.030)
+        (row,) = prof.to_training_rows()
+        assert row["op"] == "relax"
+        assert row["n"] == 2**5 + 1
+        assert row["seconds"] == pytest.approx(0.020)  # per-call mean
+        assert row["weight"] == 2  # call count
+
+    def test_empty_profiler_yields_empty_list(self):
+        assert SolveProfiler().to_training_rows() == []
+        assert SolveProfiler().to_training_rows(ndim=3) == []
+
+    def test_direct_sentinel_backend_maps_to_bare_op(self):
+        # The executor records direct solves under the sentinel backend
+        # "direct"; the meter vocabulary has no "direct@direct" op.
+        prof = SolveProfiler()
+        prof.record(3, "direct", "direct", 0.001)
+        (row,) = prof.to_training_rows()
+        assert row["op"] == "direct"
+
+    def test_ndim_and_backend_qualify_ops(self):
+        prof = SolveProfiler()
+        prof.record(6, "relax", "cnative", 0.002)
+        prof.record(3, "direct", "direct", 0.001)
+        rows = {r["op"] for r in prof.to_training_rows(ndim=3)}
+        assert rows == {"relax3d@cnative", "direct3d"}
+
+    def test_zero_signal_cells_dropped(self):
+        prof = SolveProfiler()
+        prof.record(5, "relax", "numpy", 0.0)  # clock-granularity zero
+        prof.record(5, "residual", "numpy", 0.004)
+        ops = [r["op"] for r in prof.to_training_rows()]
+        assert ops == ["residual"]
+
+    def test_rows_fit_into_cost_model(self):
+        # End-to-end: the export is directly consumable by CostModel.fit.
+        from repro.machines.presets import INTEL_HARPERTOWN
+        from repro.modeltuner import CostModel
+
+        prof = SolveProfiler()
+        for level in (4, 5, 6):
+            prof.record(level, "relax", "numpy", 1e-6 * 4**level)
+        model = CostModel.fit(prof.to_training_rows(), INTEL_HARPERTOWN)
+        assert "relax" in model.laws
+        assert model.laws["relax"].observations == 3

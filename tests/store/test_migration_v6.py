@@ -1,0 +1,318 @@
+"""Schema migration: PR-9-era (v5) stores keep working under v6.
+
+Builds a database with the verbatim v5 schema (backend keyfield, no
+``tuner`` column, no ``model_artifacts`` table), populates it the way
+the pre-model-tuner code did, then opens it through :class:`TrialDB`
+and checks that plan keys resolve *unchanged* (``tuner`` is provenance,
+not identity — the first migration step that rewrites no keys), that
+legacy rows are stamped with the implicit pre-model ``'dp'`` default,
+that the new artifact table exists and starts cold, and that the
+mid-migration crash-rollback and concurrent-loser guarantees every
+earlier step has still hold.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.machines.presets import INTEL_HARPERTOWN
+from repro.store import ModelStore, PlanRegistry, TrialDB, TuneKey
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.trialdb import canonical_accuracies, canonical_seed
+from repro.tuner.config import plan_to_dict
+from repro.tuner.dp import VCycleTuner
+from repro.tuner.timing import CostModelTiming
+from repro.tuner.training import TrainingData
+
+# The v5 schema exactly as PR 9 shipped it: v4 tables plus the backend
+# keyfield — and, compared to v6, no tuner column and no model_artifacts.
+V5_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    backend             TEXT    NOT NULL DEFAULT 'numpy',
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    cycle_shape         TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    plan_json           TEXT,
+    provenance          TEXT,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+CREATE INDEX IF NOT EXISTS idx_trials_key_v5
+    ON trials (kind, distribution, operator, ndim, backend, max_level,
+               accuracies, machine_fingerprint, seed, instances);
+
+CREATE TABLE IF NOT EXISTS plans (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    plan_key            TEXT    NOT NULL UNIQUE,
+    kind                TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    backend             TEXT    NOT NULL DEFAULT 'numpy',
+    max_level           INTEGER NOT NULL,
+    accuracies          TEXT    NOT NULL,
+    machine_fingerprint TEXT    NOT NULL,
+    seed                TEXT    NOT NULL,
+    instances           INTEGER NOT NULL,
+    machine_name        TEXT,
+    profile_json        TEXT    NOT NULL,
+    plan_json           TEXT    NOT NULL,
+    hits                INTEGER NOT NULL DEFAULT 0,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now')),
+    last_used_at        TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_plans_family_v5
+    ON plans (kind, distribution, operator, ndim, backend, max_level,
+              accuracies, seed, instances);
+
+CREATE TABLE IF NOT EXISTS campaign_cells (
+    campaign            TEXT    NOT NULL,
+    machine             TEXT    NOT NULL,
+    distribution        TEXT    NOT NULL,
+    operator            TEXT    NOT NULL DEFAULT 'poisson',
+    ndim                INTEGER NOT NULL DEFAULT 2,
+    backend             TEXT    NOT NULL DEFAULT 'numpy',
+    max_level           INTEGER NOT NULL,
+    status              TEXT    NOT NULL DEFAULT 'pending',
+    source              TEXT,
+    simulated_cost      REAL,
+    wall_seconds        REAL,
+    completed_at        TEXT,
+    lease_owner         TEXT,
+    lease_expires_at    REAL,
+    attempts            INTEGER NOT NULL DEFAULT 0,
+    last_error          TEXT,
+    worker_id           TEXT,
+    PRIMARY KEY (campaign, machine, distribution, operator, max_level)
+);
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    name                TEXT    PRIMARY KEY,
+    spec_json           TEXT    NOT NULL,
+    created_at          TEXT    NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%fZ', 'now'))
+);
+
+CREATE TABLE IF NOT EXISTS fleet_workers (
+    worker_id           TEXT    PRIMARY KEY,
+    campaign            TEXT,
+    host                TEXT,
+    pid                 INTEGER,
+    machine_fingerprint TEXT,
+    started_at          REAL,
+    last_heartbeat      REAL,
+    cells_done          INTEGER NOT NULL DEFAULT 0,
+    cells_failed        INTEGER NOT NULL DEFAULT 0,
+    lease_renewals      INTEGER NOT NULL DEFAULT 0,
+    requeues_claimed    INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+KEY = TuneKey(max_level=3, instances=1, seed=0)
+
+
+def _tiny_plan():
+    return VCycleTuner(
+        max_level=KEY.max_level,
+        training=TrainingData(distribution=KEY.distribution, instances=1, seed=0),
+        timing=CostModelTiming(INTEL_HARPERTOWN),
+        keep_audit=False,
+    ).tune()
+
+
+@pytest.fixture()
+def v5_store(tmp_path):
+    """A populated PR-9-era database file: one plan and one trial (no
+    tuner column anywhere)."""
+    path = tmp_path / "pr9-store.sqlite"
+    plan = _tiny_plan()
+    plan_json = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+    fingerprint = INTEL_HARPERTOWN.fingerprint()
+    conn = sqlite3.connect(path)
+    conn.executescript(V5_SCHEMA)
+    conn.execute("PRAGMA user_version = 5")
+    conn.execute(
+        """
+        INSERT INTO plans (plan_key, kind, distribution, operator, ndim, backend,
+                           max_level, accuracies, machine_fingerprint, seed,
+                           instances, machine_name, profile_json, plan_json, hits)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 5)
+        """,
+        (
+            KEY.storage_key(fingerprint),
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.ndim,
+            KEY.backend,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+            json.dumps(INTEL_HARPERTOWN.to_dict(), sort_keys=True),
+            plan_json,
+        ),
+    )
+    conn.execute(
+        """
+        INSERT INTO trials (kind, distribution, operator, ndim, backend,
+                            max_level, accuracies, machine_fingerprint, seed,
+                            instances, machine_name)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+        """,
+        (
+            KEY.kind,
+            KEY.distribution,
+            KEY.operator,
+            KEY.ndim,
+            KEY.backend,
+            KEY.max_level,
+            canonical_accuracies(KEY.accuracies),
+            fingerprint,
+            canonical_seed(KEY.seed),
+            KEY.instances,
+            INTEL_HARPERTOWN.name,
+        ),
+    )
+    conn.commit()
+    conn.close()
+    return path, plan_json
+
+
+class TestV5Migration:
+    def test_migration_stamps_schema_version(self, v5_store):
+        path, _ = v5_store
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+
+    def test_old_plan_key_resolves_unchanged(self, v5_store):
+        """``tuner`` is provenance, not identity: v5 -> v6 rewrites no
+        plan keys, so the default TuneKey lands an exact hit with the
+        plan bytes untouched."""
+        path, plan_json = v5_store
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None
+        assert hit.source == "exact"
+        assert hit.plan_json == plan_json
+
+    def test_plan_keys_byte_identical_across_migration(self, v5_store):
+        path, _ = v5_store
+        conn = sqlite3.connect(path)
+        (before,) = conn.execute("SELECT plan_key FROM plans").fetchone()
+        conn.close()
+        db = TrialDB(path)
+        (after,) = db.conn.execute("SELECT plan_key FROM plans").fetchone()
+        assert after == before
+
+    def test_legacy_rows_stamped_dp(self, v5_store):
+        path, _ = v5_store
+        db = TrialDB(path)
+        records = db.trials()
+        assert len(records) == 1
+        assert records[0].tuner == "dp"
+        (plan_tuner,) = db.conn.execute("SELECT tuner FROM plans").fetchone()
+        assert plan_tuner == "dp"
+
+    def test_model_artifacts_table_created_cold(self, v5_store):
+        path, _ = v5_store
+        db = TrialDB(path)
+        store = ModelStore(db)
+        assert len(store) == 0
+        assert store.get_cost_model(INTEL_HARPERTOWN.fingerprint()) is None
+
+    def test_migrated_store_accepts_model_tunes(self, v5_store):
+        # The real point of the migration: a legacy store can serve as
+        # the model tuner's warm-start corpus straight away.
+        path, _ = v5_store
+        registry = PlanRegistry(TrialDB(path))
+        key = TuneKey(max_level=3, instances=1, seed=1)  # new key, cold
+        hit = registry.get_or_tune(
+            INTEL_HARPERTOWN, key, allow_nearest=False, tuner="model"
+        )
+        assert hit.source == "tuned"
+        assert hit.plan.metadata["tuner"] == "model"
+        tuners = sorted(r.tuner for r in registry.db.trials())
+        assert tuners == ["dp", "model"]
+
+
+class TestV5MigrationAtomicity:
+    def test_failed_migration_rolls_back_to_clean_v5(self, v5_store, monkeypatch):
+        import repro.store.schema as schema
+
+        monkeypatch.setattr(
+            schema,
+            "_MIGRATE_V5_V6",
+            schema._MIGRATE_V5_V6 + ("INSERT INTO nonexistent VALUES (1)",),
+        )
+        path, plan_json = v5_store
+        with pytest.raises(sqlite3.OperationalError):
+            TrialDB(path)
+
+        # Still version 5, no tuner column: the rollback was complete.
+        conn = sqlite3.connect(path)
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == 5
+        columns = [row[1] for row in conn.execute("PRAGMA table_info(trials)")]
+        assert "tuner" not in columns and "backend" in columns
+        conn.close()
+
+        # With the fault removed the same file migrates fine.
+        monkeypatch.undo()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_concurrent_migration_loser_noops(self, v5_store):
+        import repro.store.schema as schema
+
+        path, plan_json = v5_store
+        TrialDB(path).close()  # first opener migrates v5 -> v6
+        conn = sqlite3.connect(path)
+        schema._migrate_step(conn, 5)  # loser replays: must no-op, not crash
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        conn.close()
+        registry = PlanRegistry(TrialDB(path))
+        hit = registry.get(INTEL_HARPERTOWN, KEY)
+        assert hit is not None and hit.plan_json == plan_json
+
+    def test_v1_store_chains_every_step(self, tmp_path):
+        # A PR-2-era v1 store must hop v1 -> ... -> v6 in one open.
+        from tests.store.test_migration import V1_SCHEMA
+
+        path = tmp_path / "v1-chain.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(V1_SCHEMA)
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+        db = TrialDB(path)
+        (version,) = db.conn.execute("PRAGMA user_version").fetchone()
+        assert version == SCHEMA_VERSION
+        trial_columns = [
+            row[1] for row in db.conn.execute("PRAGMA table_info(trials)")
+        ]
+        assert {"operator", "ndim", "backend", "provenance", "tuner"} <= set(
+            trial_columns
+        )
+        tables = {
+            row[0]
+            for row in db.conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert "model_artifacts" in tables
